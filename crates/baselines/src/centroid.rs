@@ -1,0 +1,97 @@
+//! RSS-weighted centroid localization.
+//!
+//! Calibration-free like NomLoc, but coarse: the estimate is the weighted
+//! mean of AP positions with weights from linearized RSS. Serves as the
+//! "cheapest possible" comparator in the benches.
+
+use crate::RssObservation;
+use nomloc_geometry::Point;
+
+/// Localizes as the RSS-weighted centroid of the AP positions.
+///
+/// Weights are linear received powers (`10^{RSS/10}`) raised to `sharpness`;
+/// larger sharpness pulls the estimate toward the strongest AP. Returns
+/// `None` for an empty observation set.
+pub fn locate(observations: &[RssObservation], sharpness: f64) -> Option<Point> {
+    if observations.is_empty() {
+        return None;
+    }
+    let mut wx = 0.0;
+    let mut wy = 0.0;
+    let mut wsum = 0.0;
+    for o in observations {
+        let w = 10f64.powf(o.rss_dbm / 10.0).powf(sharpness);
+        wx += o.ap.x * w;
+        wy += o.ap.y * w;
+        wsum += w;
+    }
+    if wsum <= 0.0 || !wsum.is_finite() {
+        return None;
+    }
+    Some(Point::new(wx / wsum, wy / wsum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_rss_gives_plain_centroid() {
+        let obs = [
+            RssObservation::new(Point::new(0.0, 0.0), -50.0),
+            RssObservation::new(Point::new(10.0, 0.0), -50.0),
+            RssObservation::new(Point::new(5.0, 9.0), -50.0),
+        ];
+        let p = locate(&obs, 1.0).unwrap();
+        assert!(p.distance(Point::new(5.0, 3.0)) < 1e-9);
+    }
+
+    #[test]
+    fn stronger_ap_attracts_estimate() {
+        let obs = [
+            RssObservation::new(Point::new(0.0, 0.0), -40.0),
+            RssObservation::new(Point::new(10.0, 0.0), -70.0),
+        ];
+        let p = locate(&obs, 1.0).unwrap();
+        assert!(p.x < 1.0, "estimate {p} should hug the strong AP");
+    }
+
+    #[test]
+    fn sharpness_controls_pull() {
+        let obs = [
+            RssObservation::new(Point::new(0.0, 0.0), -45.0),
+            RssObservation::new(Point::new(10.0, 0.0), -50.0),
+        ];
+        let soft = locate(&obs, 0.1).unwrap();
+        let sharp = locate(&obs, 2.0).unwrap();
+        assert!(sharp.x < soft.x);
+    }
+
+    #[test]
+    fn zero_sharpness_ignores_rss() {
+        let obs = [
+            RssObservation::new(Point::new(0.0, 0.0), -40.0),
+            RssObservation::new(Point::new(10.0, 0.0), -90.0),
+        ];
+        let p = locate(&obs, 0.0).unwrap();
+        assert!(p.distance(Point::new(5.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(locate(&[], 1.0).is_none());
+    }
+
+    #[test]
+    fn estimate_inside_convex_hull_of_aps() {
+        let obs = [
+            RssObservation::new(Point::new(0.0, 0.0), -47.0),
+            RssObservation::new(Point::new(8.0, 0.0), -53.0),
+            RssObservation::new(Point::new(8.0, 6.0), -61.0),
+            RssObservation::new(Point::new(0.0, 6.0), -44.0),
+        ];
+        let p = locate(&obs, 1.0).unwrap();
+        assert!((0.0..=8.0).contains(&p.x));
+        assert!((0.0..=6.0).contains(&p.y));
+    }
+}

@@ -1,0 +1,179 @@
+//! FILA-style CSI ranging (the paper's reference \[17\]).
+//!
+//! FILA ("FILA: Fine-grained Indoor Localization", INFOCOM 2012 — by an
+//! overlapping author group) extracts the direct-path power from CSI and
+//! inverts a *calibrated* propagation model to range each AP, then
+//! trilaterates. It shares NomLoc's PDP front end but keeps the
+//! range-based back end, making it the sharpest contrast for the paper's
+//! point: with the same physical-layer observable, the range-based method
+//! still needs per-venue calibration of `(p0, n)` while the SP method
+//! needs none.
+
+use crate::rss_ranging; // shares the lateration solver
+use crate::RssObservation;
+use nomloc_geometry::Point;
+
+/// Calibrated PDP propagation model: `P(d) = p0 / dⁿ` (linear power).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsiRangeModel {
+    /// Direct-path power at 1 m (linear).
+    pub p0: f64,
+    /// Path-loss exponent.
+    pub exponent: f64,
+}
+
+/// One CSI ranging observation: AP position plus the measured PDP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdpObservation {
+    /// AP position.
+    pub ap: Point,
+    /// Measured power of the direct path (linear).
+    pub pdp: f64,
+}
+
+impl PdpObservation {
+    /// Creates an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pdp` is not strictly positive and finite.
+    pub fn new(ap: Point, pdp: f64) -> Self {
+        assert!(pdp > 0.0 && pdp.is_finite(), "PDP must be positive");
+        PdpObservation { ap, pdp }
+    }
+}
+
+impl CsiRangeModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p0` or `exponent` is not strictly positive.
+    pub fn new(p0: f64, exponent: f64) -> Self {
+        assert!(p0 > 0.0, "reference power must be positive");
+        assert!(exponent > 0.0, "exponent must be positive");
+        CsiRangeModel { p0, exponent }
+    }
+
+    /// Distance estimate from a measured PDP, metres.
+    pub fn invert(&self, pdp: f64) -> f64 {
+        (self.p0 / pdp).powf(1.0 / self.exponent)
+    }
+
+    /// Expected PDP at a distance.
+    pub fn predict(&self, distance: f64) -> f64 {
+        self.p0 / distance.max(0.1).powf(self.exponent)
+    }
+
+    /// Fits `(p0, n)` from `(distance, pdp)` calibration samples by least
+    /// squares in log-log space. Returns `None` for degenerate input.
+    pub fn fit(samples: &[(f64, f64)]) -> Option<CsiRangeModel> {
+        if samples.len() < 2 || samples.iter().any(|&(d, p)| d <= 0.0 || p <= 0.0) {
+            return None;
+        }
+        // log P = log p0 − n·log d: reuse the dB-domain fitter.
+        let db_samples: Vec<(f64, f64)> = samples
+            .iter()
+            .map(|&(d, p)| (d, 10.0 * p.log10()))
+            .collect();
+        let m = rss_ranging::PathLossModel::fit(&db_samples)?;
+        Some(CsiRangeModel {
+            p0: 10f64.powf(m.rss_at_1m_dbm / 10.0),
+            exponent: m.exponent,
+        })
+    }
+}
+
+/// Localizes by inverting the model per AP and trilaterating.
+///
+/// Returns `None` with fewer than three observations or a degenerate
+/// geometry.
+pub fn locate(observations: &[PdpObservation], model: &CsiRangeModel) -> Option<Point> {
+    // Reuse the RSS lateration back end by mapping PDPs to dB.
+    let rss_model = rss_ranging::PathLossModel::new(
+        10.0 * model.p0.log10(),
+        model.exponent,
+    );
+    let rss_obs: Vec<RssObservation> = observations
+        .iter()
+        .map(|o| RssObservation::new(o.ap, 10.0 * o.pdp.log10()))
+        .collect();
+    rss_ranging::locate(&rss_obs, &rss_model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CsiRangeModel {
+        CsiRangeModel::new(1e-4, 2.0)
+    }
+
+    fn obs(ap: Point, truth: Point, m: &CsiRangeModel) -> PdpObservation {
+        PdpObservation::new(ap, m.predict(ap.distance(truth)))
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let m = model();
+        for d in [0.5, 1.0, 2.0, 8.0, 20.0] {
+            let pdp = m.predict(d);
+            assert!((m.invert(pdp) - d.max(0.1)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perfect_pdps_recover_position() {
+        let m = model();
+        let truth = Point::new(3.0, 7.0);
+        let aps = [
+            Point::new(0.0, 0.0),
+            Point::new(12.0, 0.0),
+            Point::new(12.0, 12.0),
+            Point::new(0.0, 12.0),
+        ];
+        let observations: Vec<PdpObservation> =
+            aps.iter().map(|&ap| obs(ap, truth, &m)).collect();
+        let p = locate(&observations, &m).unwrap();
+        assert!(p.distance(truth) < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn fit_recovers_model() {
+        let m = CsiRangeModel::new(3.3e-5, 2.4);
+        let samples: Vec<(f64, f64)> =
+            [0.8, 1.5, 3.0, 6.0, 12.0].iter().map(|&d| (d, m.predict(d))).collect();
+        let fitted = CsiRangeModel::fit(&samples).unwrap();
+        assert!((fitted.p0 / m.p0 - 1.0).abs() < 1e-9);
+        assert!((fitted.exponent - m.exponent).abs() < 1e-9);
+        assert!(CsiRangeModel::fit(&samples[..1]).is_none());
+        assert!(CsiRangeModel::fit(&[(1.0, 0.0), (2.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn miscalibrated_exponent_biases_ranges() {
+        // The calibration dependence NomLoc avoids: data from n = 3
+        // inverted with n = 2 under-ranges far APs.
+        let true_model = CsiRangeModel::new(1e-4, 3.0);
+        let wrong_model = CsiRangeModel::new(1e-4, 2.0);
+        let pdp = true_model.predict(8.0);
+        let est = wrong_model.invert(pdp);
+        assert!(est > 8.0 * 1.5, "bias too small: {est}");
+    }
+
+    #[test]
+    fn too_few_observations() {
+        let m = model();
+        let o = [
+            PdpObservation::new(Point::new(0.0, 0.0), 1e-6),
+            PdpObservation::new(Point::new(5.0, 0.0), 1e-6),
+        ];
+        assert!(locate(&o, &m).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "PDP must be positive")]
+    fn rejects_zero_pdp() {
+        let _ = PdpObservation::new(Point::ORIGIN, 0.0);
+    }
+}

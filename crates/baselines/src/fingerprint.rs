@@ -1,0 +1,220 @@
+//! RSS grid fingerprinting with k-nearest-neighbour matching.
+//!
+//! The fingerprint-based class of §III-A: an offline *war-driving* survey
+//! records an RSS vector per grid cell; online, the measured vector is
+//! matched to the k nearest fingerprints in signal space and their
+//! positions averaged. The survey cost is exactly the calibration burden
+//! NomLoc eliminates — and, as the paper argues, the database is
+//! *unbuildable* for nomadic APs, whose positions change between survey
+//! and query.
+
+use nomloc_geometry::Point;
+
+/// One surveyed fingerprint: a position and its RSS vector (dBm per AP,
+/// in a fixed AP order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    /// Surveyed position.
+    pub position: Point,
+    /// RSS per AP, dBm, in database AP order.
+    pub rss_dbm: Vec<f64>,
+}
+
+/// A fingerprint database over a fixed AP order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FingerprintDb {
+    entries: Vec<Fingerprint>,
+}
+
+impl FingerprintDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a surveyed fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the RSS vector length differs from earlier entries.
+    pub fn add(&mut self, fp: Fingerprint) {
+        if let Some(first) = self.entries.first() {
+            assert_eq!(
+                first.rss_dbm.len(),
+                fp.rss_dbm.len(),
+                "fingerprint dimensionality must be uniform"
+            );
+        }
+        self.entries.push(fp);
+    }
+
+    /// Number of surveyed cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no cells have been surveyed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// k-NN localization: average the positions of the `k` fingerprints
+    /// nearest to `query` in RSS space (Euclidean distance in dB).
+    ///
+    /// Returns `None` when the database is empty, `k == 0`, or the query
+    /// dimensionality mismatches.
+    pub fn locate(&self, query: &[f64], k: usize) -> Option<Point> {
+        if self.entries.is_empty() || k == 0 {
+            return None;
+        }
+        if query.len() != self.entries[0].rss_dbm.len() {
+            return None;
+        }
+        let mut scored: Vec<(f64, Point)> = self
+            .entries
+            .iter()
+            .map(|fp| {
+                let d2: f64 = fp
+                    .rss_dbm
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d2, fp.position)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let k = k.min(scored.len());
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for (_, p) in &scored[..k] {
+            x += p.x;
+            y += p.y;
+        }
+        Some(Point::new(x / k as f64, y / k as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic venue: RSS from AP i = −40 − 20·log10(dist).
+    fn rss_vector(p: Point, aps: &[Point]) -> Vec<f64> {
+        aps.iter()
+            .map(|ap| -40.0 - 20.0 * ap.distance(p).max(0.1).log10())
+            .collect()
+    }
+
+    fn surveyed_db(aps: &[Point]) -> FingerprintDb {
+        let mut db = FingerprintDb::new();
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let p = Point::new(i as f64, j as f64);
+                db.add(Fingerprint {
+                    position: p,
+                    rss_dbm: rss_vector(p, aps),
+                });
+            }
+        }
+        db
+    }
+
+    fn aps() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn exact_grid_point_recovered() {
+        let aps = aps();
+        let db = surveyed_db(&aps);
+        let q = Point::new(3.0, 7.0);
+        let est = db.locate(&rss_vector(q, &aps), 1).unwrap();
+        assert!(est.distance(q) < 1e-9);
+    }
+
+    #[test]
+    fn off_grid_point_within_cell_size() {
+        let aps = aps();
+        let db = surveyed_db(&aps);
+        let q = Point::new(4.4, 6.6);
+        let est = db.locate(&rss_vector(q, &aps), 3).unwrap();
+        assert!(est.distance(q) < 1.5, "{est} vs {q}");
+    }
+
+    #[test]
+    fn knn_averages_positions() {
+        let mut db = FingerprintDb::new();
+        db.add(Fingerprint {
+            position: Point::new(0.0, 0.0),
+            rss_dbm: vec![-50.0],
+        });
+        db.add(Fingerprint {
+            position: Point::new(2.0, 0.0),
+            rss_dbm: vec![-51.0],
+        });
+        db.add(Fingerprint {
+            position: Point::new(100.0, 0.0),
+            rss_dbm: vec![-90.0],
+        });
+        let est = db.locate(&[-50.5], 2).unwrap();
+        assert!(est.distance(Point::new(1.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn stale_database_breaks_localization() {
+        // The paper's argument against fingerprinting with nomadic APs:
+        // move one AP after the survey and the database lies.
+        let survey_aps = aps();
+        let db = surveyed_db(&survey_aps);
+        let mut moved = survey_aps.clone();
+        moved[0] = Point::new(8.0, 8.0); // the "nomadic" AP walked away
+        let q = Point::new(2.3, 2.3);
+        let fresh = db.locate(&rss_vector(q, &survey_aps), 3).unwrap();
+        let stale = db.locate(&rss_vector(q, &moved), 3).unwrap();
+        assert!(
+            stale.distance(q) > fresh.distance(q) + 0.5,
+            "stale fingerprints should mislocate: fresh {:.2} m, stale {:.2} m",
+            fresh.distance(q),
+            stale.distance(q)
+        );
+    }
+
+    #[test]
+    fn degenerate_queries() {
+        let db = surveyed_db(&aps());
+        assert!(db.locate(&[-50.0], 3).is_none(), "dimension mismatch");
+        assert!(db.locate(&rss_vector(Point::new(1.0, 1.0), &aps()), 0).is_none());
+        assert!(FingerprintDb::new().locate(&[-50.0], 1).is_none());
+    }
+
+    #[test]
+    fn k_larger_than_db_is_clamped() {
+        let mut db = FingerprintDb::new();
+        db.add(Fingerprint {
+            position: Point::new(1.0, 1.0),
+            rss_dbm: vec![-50.0],
+        });
+        let est = db.locate(&[-50.0], 99).unwrap();
+        assert_eq!(est, Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn mixed_dimensions_rejected() {
+        let mut db = FingerprintDb::new();
+        db.add(Fingerprint {
+            position: Point::ORIGIN,
+            rss_dbm: vec![-50.0],
+        });
+        db.add(Fingerprint {
+            position: Point::ORIGIN,
+            rss_dbm: vec![-50.0, -60.0],
+        });
+    }
+}

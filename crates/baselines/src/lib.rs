@@ -1,0 +1,67 @@
+//! Baseline indoor-localization algorithms for comparison against NomLoc.
+//!
+//! The paper's headline comparison is NomLoc against its own static-AP
+//! deployment (same algorithm, no nomadic sites); that baseline lives in
+//! `nomloc-core` as [`Deployment::Static`]. This crate adds the classical
+//! RSS-based comparators that motivate the paper's design decisions:
+//!
+//! * [`rss_ranging`] — log-distance RSS ranging plus least-squares
+//!   trilateration (the "range-based" class of §III-A, which *requires
+//!   calibration* of the path-loss exponent);
+//! * [`centroid`] — RSS-weighted centroid (calibration-free but coarse);
+//! * [`nearest`] — nearest-AP cell assignment (the crudest proximity
+//!   scheme);
+//! * [`fingerprint`] — grid fingerprinting with k-nearest-neighbour
+//!   matching (the "fingerprint-based" class, which requires a full
+//!   war-driving survey and is impossible with nomadic APs);
+//! * [`csi_ranging`] — FILA-style CSI ranging (the paper's \[17\]): NomLoc's
+//!   own PDP front end bolted to a calibrated range-based back end.
+//!
+//! All baselines consume RSS observations produced by the same simulator
+//! that feeds NomLoc its CSI, so comparisons are apples-to-apples.
+//!
+//! [`Deployment::Static`]: nomloc_core::experiment::Deployment
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centroid;
+pub mod csi_ranging;
+pub mod fingerprint;
+pub mod nearest;
+pub mod rss_ranging;
+
+use nomloc_geometry::Point;
+
+/// One RSS observation: an AP at a known position measured the object at
+/// the given received power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RssObservation {
+    /// AP position.
+    pub ap: Point,
+    /// Received signal strength, dBm.
+    pub rss_dbm: f64,
+}
+
+impl RssObservation {
+    /// Creates an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rss_dbm` is not finite.
+    pub fn new(ap: Point, rss_dbm: f64) -> Self {
+        assert!(rss_dbm.is_finite(), "RSS must be finite");
+        RssObservation { ap, rss_dbm }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "RSS must be finite")]
+    fn observation_rejects_nan() {
+        let _ = RssObservation::new(Point::ORIGIN, f64::NAN);
+    }
+}

@@ -1,0 +1,55 @@
+//! Nearest-AP cell assignment.
+//!
+//! The crudest proximity localizer: report the position of the AP with the
+//! strongest RSS. Its error is bounded below by half the AP spacing, which
+//! makes the value of NomLoc's *pairwise* proximity partition easy to see
+//! in the benches.
+
+use crate::RssObservation;
+use nomloc_geometry::Point;
+
+/// Returns the position of the strongest-RSS AP, or `None` when empty.
+pub fn locate(observations: &[RssObservation]) -> Option<Point> {
+    observations
+        .iter()
+        .max_by(|a, b| a.rss_dbm.total_cmp(&b.rss_dbm))
+        .map(|o| o.ap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_strongest() {
+        let obs = [
+            RssObservation::new(Point::new(0.0, 0.0), -60.0),
+            RssObservation::new(Point::new(5.0, 5.0), -45.0),
+            RssObservation::new(Point::new(9.0, 1.0), -52.0),
+        ];
+        assert_eq!(locate(&obs), Some(Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn single_observation() {
+        let obs = [RssObservation::new(Point::new(2.0, 3.0), -70.0)];
+        assert_eq!(locate(&obs), Some(Point::new(2.0, 3.0)));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(locate(&[]).is_none());
+    }
+
+    #[test]
+    fn tie_returns_one_of_the_tied() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(9.0, 9.0);
+        let obs = [
+            RssObservation::new(a, -50.0),
+            RssObservation::new(b, -50.0),
+        ];
+        let p = locate(&obs).unwrap();
+        assert!(p == a || p == b);
+    }
+}

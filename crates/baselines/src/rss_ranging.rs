@@ -1,0 +1,246 @@
+//! RSS log-distance ranging + least-squares trilateration.
+//!
+//! The classical range-based localizer: invert the log-distance path-loss
+//! model per AP to get a distance estimate, then solve the lateration
+//! system by linearized least squares. Its accuracy hinges on *calibrated*
+//! model parameters — exactly the dependency NomLoc is designed to avoid
+//! (§III-A, challenge 1).
+
+use crate::RssObservation;
+use nomloc_geometry::Point;
+
+/// Calibrated log-distance model: `RSS(d) = rss_at_1m − 10·n·log₁₀(d)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLossModel {
+    /// Expected RSS at 1 m, dBm.
+    pub rss_at_1m_dbm: f64,
+    /// Path-loss exponent.
+    pub exponent: f64,
+}
+
+impl PathLossModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the exponent is not strictly positive.
+    pub fn new(rss_at_1m_dbm: f64, exponent: f64) -> Self {
+        assert!(exponent > 0.0, "path-loss exponent must be positive");
+        PathLossModel {
+            rss_at_1m_dbm,
+            exponent,
+        }
+    }
+
+    /// Distance estimate for a measured RSS, metres.
+    pub fn invert(&self, rss_dbm: f64) -> f64 {
+        10f64.powf((self.rss_at_1m_dbm - rss_dbm) / (10.0 * self.exponent))
+    }
+
+    /// Expected RSS at a distance, dBm.
+    pub fn predict(&self, distance: f64) -> f64 {
+        self.rss_at_1m_dbm - 10.0 * self.exponent * distance.max(0.1).log10()
+    }
+
+    /// Fits the model to `(distance, rss)` calibration samples by ordinary
+    /// least squares in log-distance. Returns `None` with fewer than two
+    /// distinct distances.
+    pub fn fit(samples: &[(f64, f64)]) -> Option<PathLossModel> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let xs: Vec<f64> = samples.iter().map(|(d, _)| d.max(0.1).log10()).collect();
+        let ys: Vec<f64> = samples.iter().map(|(_, r)| *r).collect();
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        if sxx < 1e-12 {
+            return None;
+        }
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let slope = sxy / sxx; // = −10 n
+        let intercept = my - slope * mx; // = rss at 1 m
+        if slope >= 0.0 {
+            return None;
+        }
+        Some(PathLossModel {
+            rss_at_1m_dbm: intercept,
+            exponent: -slope / 10.0,
+        })
+    }
+}
+
+/// Localizes by inverting the model per AP and solving the lateration
+/// system with linearized least squares.
+///
+/// Returns `None` with fewer than three observations or a degenerate AP
+/// geometry (collinear anchors).
+pub fn locate(observations: &[RssObservation], model: &PathLossModel) -> Option<Point> {
+    if observations.len() < 3 {
+        return None;
+    }
+    let ranges: Vec<f64> = observations
+        .iter()
+        .map(|o| model.invert(o.rss_dbm))
+        .collect();
+
+    // Linearize by subtracting the last equation:
+    //   2(xₙ−xᵢ)x + 2(yₙ−yᵢ)y = rᵢ² − rₙ² − ‖pᵢ‖² + ‖pₙ‖²
+    let last = observations.len() - 1;
+    let pn = observations[last].ap;
+    let rn = ranges[last];
+    let mut ata = [[0.0f64; 2]; 2];
+    let mut atb = [0.0f64; 2];
+    for i in 0..last {
+        let pi = observations[i].ap;
+        let a0 = 2.0 * (pn.x - pi.x);
+        let a1 = 2.0 * (pn.y - pi.y);
+        let b = ranges[i] * ranges[i] - rn * rn - pi.to_vec().norm_sq()
+            + pn.to_vec().norm_sq();
+        ata[0][0] += a0 * a0;
+        ata[0][1] += a0 * a1;
+        ata[1][1] += a1 * a1;
+        atb[0] += a0 * b;
+        atb[1] += a1 * b;
+    }
+    ata[1][0] = ata[0][1];
+    let det = ata[0][0] * ata[1][1] - ata[0][1] * ata[1][0];
+    if det.abs() < 1e-9 {
+        return None;
+    }
+    let x = (atb[0] * ata[1][1] - atb[1] * ata[0][1]) / det;
+    let y = (ata[0][0] * atb[1] - ata[1][0] * atb[0]) / det;
+    let p = Point::new(x, y);
+    p.is_finite().then_some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PathLossModel {
+        PathLossModel::new(-40.0, 2.0)
+    }
+
+    fn obs(ap: Point, truth: Point, m: &PathLossModel) -> RssObservation {
+        RssObservation::new(ap, m.predict(ap.distance(truth)))
+    }
+
+    #[test]
+    fn invert_round_trips_predict() {
+        let m = model();
+        for d in [0.5, 1.0, 3.0, 10.0, 30.0] {
+            let rss = m.predict(d);
+            assert!((m.invert(rss) - d.max(0.1)).abs() < 1e-9, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn perfect_observations_recover_position() {
+        let m = model();
+        let truth = Point::new(4.0, 3.0);
+        let aps = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ];
+        let observations: Vec<RssObservation> =
+            aps.iter().map(|&ap| obs(ap, truth, &m)).collect();
+        let p = locate(&observations, &m).unwrap();
+        assert!(p.distance(truth) < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn noisy_observations_still_close() {
+        let m = model();
+        let truth = Point::new(6.0, 7.0);
+        let aps = [
+            Point::new(0.0, 0.0),
+            Point::new(12.0, 0.0),
+            Point::new(12.0, 12.0),
+            Point::new(0.0, 12.0),
+        ];
+        // ±1.5 dB deterministic perturbation.
+        let noise = [1.5, -1.5, 1.0, -1.0];
+        let observations: Vec<RssObservation> = aps
+            .iter()
+            .zip(noise)
+            .map(|(&ap, n)| RssObservation::new(ap, m.predict(ap.distance(truth)) + n))
+            .collect();
+        let p = locate(&observations, &m).unwrap();
+        assert!(p.distance(truth) < 3.0, "{p} vs {truth}");
+    }
+
+    #[test]
+    fn wrong_calibration_degrades_accuracy() {
+        // The paper's point: range-based methods need per-venue
+        // calibration. Feed data generated at n = 3 into a model assuming
+        // n = 2 and watch the error blow up.
+        let true_model = PathLossModel::new(-40.0, 3.0);
+        let wrong_model = PathLossModel::new(-40.0, 2.0);
+        let truth = Point::new(3.0, 8.0);
+        let aps = [
+            Point::new(0.0, 0.0),
+            Point::new(12.0, 0.0),
+            Point::new(12.0, 12.0),
+            Point::new(0.0, 12.0),
+        ];
+        let observations: Vec<RssObservation> =
+            aps.iter().map(|&ap| obs(ap, truth, &true_model)).collect();
+        let good = locate(&observations, &true_model).unwrap();
+        let bad = locate(&observations, &wrong_model).unwrap();
+        assert!(good.distance(truth) < 1e-6);
+        assert!(bad.distance(truth) > 1.0, "miscalibration barely hurt: {bad}");
+    }
+
+    #[test]
+    fn too_few_observations() {
+        let m = model();
+        let o = [
+            RssObservation::new(Point::new(0.0, 0.0), -50.0),
+            RssObservation::new(Point::new(5.0, 0.0), -55.0),
+        ];
+        assert!(locate(&o, &m).is_none());
+    }
+
+    #[test]
+    fn collinear_anchors_rejected() {
+        let m = model();
+        let truth = Point::new(3.0, 3.0);
+        let aps = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(10.0, 0.0),
+        ];
+        let observations: Vec<RssObservation> =
+            aps.iter().map(|&ap| obs(ap, truth, &m)).collect();
+        assert!(locate(&observations, &m).is_none());
+    }
+
+    #[test]
+    fn fit_recovers_model() {
+        let m = PathLossModel::new(-38.5, 2.7);
+        let samples: Vec<(f64, f64)> =
+            [1.0, 2.0, 4.0, 8.0, 16.0].iter().map(|&d| (d, m.predict(d))).collect();
+        let fitted = PathLossModel::fit(&samples).unwrap();
+        assert!((fitted.rss_at_1m_dbm - m.rss_at_1m_dbm).abs() < 1e-9);
+        assert!((fitted.exponent - m.exponent).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(PathLossModel::fit(&[]).is_none());
+        assert!(PathLossModel::fit(&[(1.0, -40.0)]).is_none());
+        assert!(PathLossModel::fit(&[(2.0, -45.0), (2.0, -46.0)]).is_none());
+        // Positive slope (RSS growing with distance) is nonsense.
+        assert!(PathLossModel::fit(&[(1.0, -50.0), (10.0, -30.0)]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn model_rejects_bad_exponent() {
+        let _ = PathLossModel::new(-40.0, 0.0);
+    }
+}

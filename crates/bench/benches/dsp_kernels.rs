@@ -1,0 +1,50 @@
+//! DSP kernel throughput: FFT variants and PDP extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nomloc_dsp::pdp::DelayProfile;
+use nomloc_dsp::{fft, Complex};
+
+fn signal(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Complex::new((0.3 * t).sin(), (0.7 * t).cos())
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    // 30 = Intel 5300 grouped CSI (Bluestein path); powers of two hit the
+    // radix-2 path.
+    for n in [30usize, 56, 64, 256, 1024] {
+        let x = signal(n);
+        group.bench_with_input(BenchmarkId::new("forward", n), &x, |b, x| {
+            b.iter(|| fft::fft(std::hint::black_box(x)))
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", n), &x, |b, x| {
+            b.iter(|| fft::ifft(std::hint::black_box(x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pdp_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdp");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let csi = signal(30);
+    for pad in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("from_csi_pad", pad), &pad, |b, &pad| {
+            b.iter(|| DelayProfile::from_csi(std::hint::black_box(&csi), 20e6, pad).peak())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_pdp_extraction);
+criterion_main!(benches);

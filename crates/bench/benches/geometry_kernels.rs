@@ -1,0 +1,70 @@
+//! Geometry and analysis kernel throughput: half-plane clipping, convex
+//! decomposition, and localizability-map construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nomloc_core::localizability;
+use nomloc_core::scenario::Venue;
+use nomloc_geometry::{convex, HalfPlane, Point, Polygon};
+
+fn random_halfplanes(n: usize) -> Vec<HalfPlane> {
+    (0..n)
+        .map(|i| {
+            let a = i as f64 * 2.399; // golden-angle spread
+            HalfPlane::closer_to(
+                Point::new(6.0 + 3.0 * a.cos(), 4.0 + 2.0 * a.sin()),
+                Point::new(6.0 - 4.0 * a.sin(), 4.0 + 3.0 * a.cos()),
+            )
+        })
+        .collect()
+}
+
+fn bench_clipping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halfplane_clipping");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let bounds = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(12.0, 8.0));
+    for n in [6usize, 21, 55] {
+        let hps = random_halfplanes(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &hps, |b, hps| {
+            b.iter(|| nomloc_geometry::intersect_halfplanes(&bounds, std::hint::black_box(hps)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convex_decompose");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // A staircase polygon with many reflex vertices.
+    for steps in [3usize, 6, 12] {
+        let mut verts = vec![Point::new(0.0, 0.0)];
+        for k in 0..steps {
+            let x = (k + 1) as f64;
+            verts.push(Point::new(x, k as f64));
+            verts.push(Point::new(x, (k + 1) as f64));
+        }
+        verts.push(Point::new(0.0, steps as f64));
+        let poly = Polygon::new(verts).expect("staircase is simple");
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &poly, |b, poly| {
+            b.iter(|| convex::decompose(std::hint::black_box(poly)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_localizability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("localizability_map");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, venue) in [("lab", Venue::lab()), ("lobby", Venue::lobby())] {
+        let sites = venue.static_deployment();
+        group.bench_function(name, |b| {
+            b.iter(|| localizability::analyze(venue.plan.boundary(), &sites, 1.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clipping, bench_decomposition, bench_localizability);
+criterion_main!(benches);

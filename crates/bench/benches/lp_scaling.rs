@@ -1,0 +1,76 @@
+//! Solver scalability (the §IV-B-4 polynomial-time claim): relaxation-LP
+//! wall time as the constraint count grows with APs × nomadic sites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nomloc_geometry::{HalfPlane, Point, Polygon};
+use nomloc_lp::center::{self, CenterMethod};
+use nomloc_lp::relax::{relax_constraints, WeightedConstraint};
+
+/// Builds the constraint set a venue with `n_sites` AP sites would
+/// generate: all pairwise bisectors around a ring, plus the boundary.
+fn constraint_set(n_sites: usize) -> (Vec<WeightedConstraint>, Polygon) {
+    let bounds = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(20.0, 20.0));
+    let sites: Vec<Point> = (0..n_sites)
+        .map(|i| {
+            let a = i as f64 / n_sites as f64 * std::f64::consts::TAU;
+            Point::new(10.0 + 8.0 * a.cos(), 10.0 + 8.0 * a.sin())
+        })
+        .collect();
+    let object = Point::new(6.0, 9.0);
+    let mut cs = Vec::new();
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            let (near, far) = if object.distance_sq(sites[i]) <= object.distance_sq(sites[j]) {
+                (sites[i], sites[j])
+            } else {
+                (sites[j], sites[i])
+            };
+            cs.push(WeightedConstraint::new(
+                HalfPlane::closer_to(near, far),
+                0.8,
+            ));
+        }
+    }
+    for h in center::polygon_halfplanes(&bounds) {
+        cs.push(WeightedConstraint::new(h, 1000.0));
+    }
+    (cs, bounds)
+}
+
+fn bench_relaxation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relaxation_lp");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n_sites in [4usize, 6, 8, 12, 16, 24] {
+        let (cs, _) = constraint_set(n_sites);
+        group.bench_with_input(
+            BenchmarkId::new("constraints", cs.len()),
+            &cs,
+            |b, cs| b.iter(|| relax_constraints(std::hint::black_box(cs)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_centers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("center_methods");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let (cs, bounds) = constraint_set(8);
+    let hps: Vec<HalfPlane> = cs.iter().map(|c| c.halfplane).collect();
+    for (name, method) in [
+        ("chebyshev", CenterMethod::Chebyshev),
+        ("analytic", CenterMethod::Analytic),
+        ("centroid", CenterMethod::Centroid),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| center::center(method, std::hint::black_box(&hps), &bounds).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relaxation, bench_centers);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! End-to-end localization latency: CSI reports → PDPs → judgements → LP →
+//! position, for both venues and both deployments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nomloc_core::proximity::{ApSite, PdpReading};
+use nomloc_core::scenario::Venue;
+use nomloc_core::server::{CsiReport, LocalizationServer};
+use nomloc_rfsim::{Environment, SubcarrierGrid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn reports_for(venue: &Venue, nomadic_sites: usize, packets: usize) -> Vec<CsiReport> {
+    let env = Environment::new(venue.plan.clone(), venue.radio.clone());
+    let grid = SubcarrierGrid::intel5300();
+    let mut rng = StdRng::seed_from_u64(99);
+    let object = venue.test_sites[0];
+    let mut reports = Vec::new();
+    for (i, &p) in venue.static_deployment().iter().enumerate() {
+        reports.push(CsiReport {
+            site: ApSite::fixed(i + 1, p),
+            burst: env.sample_csi_burst(object, p, &grid, packets, &mut rng),
+        });
+    }
+    for (v, &p) in venue.nomadic_sites.iter().take(nomadic_sites).enumerate() {
+        reports.push(CsiReport {
+            site: ApSite::nomadic(1, v + 1, p),
+            burst: env.sample_csi_burst(object, p, &grid, packets, &mut rng),
+        });
+    }
+    reports
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, venue) in [("lab", Venue::lab()), ("lobby", Venue::lobby())] {
+        let server = LocalizationServer::new(venue.plan.boundary().clone());
+        for nomadic in [0usize, 3] {
+            let reports = reports_for(&venue, nomadic, 30);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("nomadic{nomadic}")),
+                &reports,
+                |b, reports| b.iter(|| server.process(std::hint::black_box(reports)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let venue = Venue::lab();
+    let server = LocalizationServer::new(venue.plan.boundary().clone());
+    let reports = reports_for(&venue, 3, 30);
+    group.bench_function("extract_pdp", |b| {
+        b.iter(|| server.extract_readings(std::hint::black_box(&reports)))
+    });
+    let readings: Vec<PdpReading> = server.extract_readings(&reports);
+    group.bench_function("judge_pairs", |b| {
+        b.iter(|| server.judge(std::hint::black_box(&readings)))
+    });
+    group.bench_function("localize_from_readings", |b| {
+        b.iter(|| server.localize(std::hint::black_box(&readings)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_stages);
+criterion_main!(benches);

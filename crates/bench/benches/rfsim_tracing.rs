@@ -1,0 +1,66 @@
+//! RF simulator throughput: link tracing and CSI sampling in both venues.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nomloc_core::scenario::Venue;
+use nomloc_rfsim::{Environment, SubcarrierGrid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_link");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, venue) in [("lab", Venue::lab()), ("lobby", Venue::lobby())] {
+        let env = Environment::new(venue.plan.clone(), venue.radio.clone());
+        let tx = venue.test_sites[0];
+        let rx = venue.static_aps[0];
+        group.bench_function(name, |b| {
+            b.iter(|| env.trace(std::hint::black_box(tx), std::hint::black_box(rx)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reflection_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reflection_order");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let venue = Venue::lab();
+    for order in [0u8, 1, 2] {
+        let mut radio = venue.radio.clone();
+        radio.reflection_order = order;
+        let env = Environment::new(venue.plan.clone(), radio);
+        let tx = venue.test_sites[0];
+        let rx = venue.static_aps[0];
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, _| {
+            b.iter(|| env.trace(std::hint::black_box(tx), std::hint::black_box(rx)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_csi_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csi_sampling");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let venue = Venue::lab();
+    let env = Environment::new(venue.plan.clone(), venue.radio.clone());
+    let grid = SubcarrierGrid::intel5300();
+    let tx = venue.test_sites[0];
+    let rx = venue.static_aps[0];
+    let trace = env.trace(tx, rx);
+    let mut rng = StdRng::seed_from_u64(5);
+    group.bench_function("single_snapshot", |b| {
+        b.iter(|| trace.sample_csi(env.config(), &grid, &mut rng))
+    });
+    group.bench_function("burst_60", |b| {
+        b.iter(|| env.sample_csi_burst(tx, rx, &grid, 60, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace, bench_reflection_orders, bench_csi_sampling);
+criterion_main!(benches);

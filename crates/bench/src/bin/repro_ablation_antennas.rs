@@ -1,0 +1,30 @@
+//! Hardware ablation: receive-antenna diversity. The paper's Intel 5300
+//! exports CSI for up to three λ/2-spaced receive chains; selection
+//! combining across them stabilizes the PDP against per-element fading.
+//! Sweeps 1–3 antennas in both venues.
+
+use nomloc_bench::{header, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let name = venue_fn().name;
+        header(&format!("Ablation — receive antennas, {name}"));
+        println!(
+            "{:>10}  {:>12}  {:>12}  {:>12}",
+            "antennas", "mean_err_m", "slv_m2", "prox_acc"
+        );
+        for antennas in 1..=3usize {
+            let result = standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS))
+                .rx_antennas(antennas)
+                .run();
+            println!(
+                "{antennas:>10}  {:>12.3}  {:>12.3}  {:>12.3}",
+                result.mean_error(),
+                result.slv(),
+                result.mean_proximity_accuracy()
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Design ablation: CSI granularity. The paper credits 20 MHz CSI's
+//! frequency diversity for resolving multipath (§III-B); this sweep varies
+//! what the receiver exports — 8 pilot subcarriers, the Intel 5300's 30
+//! grouped subcarriers, the full 56-subcarrier 20 MHz grid, and a
+//! 114-subcarrier 40 MHz channel — and measures the end-to-end effect.
+
+use nomloc_bench::{header, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+use nomloc_rfsim::SubcarrierGrid;
+
+type GridMaker = fn() -> SubcarrierGrid;
+
+fn main() {
+    let grids: [(&str, GridMaker); 4] = [
+        ("pilots-8", SubcarrierGrid::pilots_8),
+        ("intel5300-30", SubcarrierGrid::intel5300),
+        ("20MHz-56", SubcarrierGrid::full_80211n_20mhz),
+        ("40MHz-114", SubcarrierGrid::full_80211n_40mhz),
+    ];
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let name = venue_fn().name;
+        header(&format!("Ablation — CSI granularity / bandwidth, {name}"));
+        println!(
+            "{:>14}  {:>12}  {:>12}  {:>12}",
+            "grid", "mean_err_m", "slv_m2", "prox_acc"
+        );
+        for (label, grid) in grids {
+            let result = standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS))
+                .subcarrier_grid(grid())
+                .run();
+            println!(
+                "{label:>14}  {:>12.3}  {:>12.3}  {:>12.3}",
+                result.mean_error(),
+                result.slv(),
+                result.mean_proximity_accuracy()
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Realism ablation: the nomadic AP's human carrier. The paper's greeters
+//! and guards *hold* the nomadic AP; their bodies shadow some of its
+//! links. Compares campaigns with and without an 8 dB human-body obstacle
+//! standing behind each nomadic measurement site.
+
+use nomloc_bench::{header, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let name = venue_fn().name;
+        header(&format!("Ablation — nomadic carrier body, {name}"));
+        println!(
+            "{:>12}  {:>12}  {:>12}  {:>12}",
+            "carrier", "mean_err_m", "slv_m2", "prox_acc"
+        );
+        for (label, blocking) in [("absent", false), ("present", true)] {
+            let result = standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS))
+                .carrier_blocking(blocking)
+                .run();
+            println!(
+                "{label:>12}  {:>12.3}  {:>12.3}  {:>12.3}",
+                result.mean_error(),
+                result.slv(),
+                result.mean_proximity_accuracy()
+            );
+        }
+        // Even with the carrier in the way, nomadic must beat static.
+        let static_result = standard_campaign(venue_fn(), Deployment::Static).run();
+        println!(
+            "(static reference: {:.3} m mean error)",
+            static_result.mean_error()
+        );
+    }
+}

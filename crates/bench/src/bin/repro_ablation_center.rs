@@ -1,0 +1,36 @@
+//! Design ablation: the "center of the feasible region". The paper uses
+//! CVX's interior-point log-barrier center (≈ analytic center); this
+//! implementation defaults to the Chebyshev center and also offers the
+//! exact polygon centroid. The sweep shows how much the choice matters.
+
+use nomloc_bench::{header, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+use nomloc_lp::center::CenterMethod;
+
+fn main() {
+    let methods = [
+        ("chebyshev", CenterMethod::Chebyshev),
+        ("analytic", CenterMethod::Analytic),
+        ("centroid", CenterMethod::Centroid),
+    ];
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let name = venue_fn().name;
+        header(&format!("Ablation — center method, {name}"));
+        println!(
+            "{:>12}  {:>12}  {:>12}  {:>12}",
+            "method", "mean_err_m", "slv_m2", "err_90th_m"
+        );
+        for (label, method) in methods {
+            let result = standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS))
+                .center_method(method)
+                .run();
+            println!(
+                "{label:>12}  {:>12.3}  {:>12.3}  {:>12.3}",
+                result.mean_error(),
+                result.slv(),
+                result.error_cdf().quantile(0.9)
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Design ablation: the confidence factor `f` (Eq. 1–4). Compares the
+//! paper's exponential family against logistic variants and a hard 0/1
+//! decision, validating that *graded* confidence is what lets the
+//! relaxation LP sacrifice the right constraints.
+
+use nomloc_bench::{header, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::confidence::{HardDecision, Logistic, PaperExp};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let name = venue_fn().name;
+        header(&format!("Ablation — confidence function f, {name}"));
+        println!(
+            "{:>14}  {:>12}  {:>12}  {:>12}",
+            "f", "mean_err_m", "slv_m2", "err_90th_m"
+        );
+        let campaign =
+            |c| standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run_with_confidence(c);
+        let rows: Vec<(&str, nomloc_core::experiment::CampaignResult)> = vec![
+            ("paper-exp", campaign(PaperExp)),
+            ("logistic-k05", standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run_with_confidence(Logistic::new(0.5))),
+            ("logistic-k1", standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run_with_confidence(Logistic::new(1.0))),
+            ("logistic-k4", standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run_with_confidence(Logistic::new(4.0))),
+            ("hard-0/1", standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run_with_confidence(HardDecision)),
+        ];
+        for (label, result) in rows {
+            println!(
+                "{label:>14}  {:>12.3}  {:>12.3}  {:>12.3}",
+                result.mean_error(),
+                result.slv(),
+                result.error_cdf().quantile(0.9)
+            );
+        }
+    }
+}

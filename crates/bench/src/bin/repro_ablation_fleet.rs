@@ -1,0 +1,34 @@
+//! Extension ablation (paper §VI future work): aggregating **multiple
+//! nomadic APs**. Sweeps the number of nomadic APs from 0 (pure static)
+//! to 4 (every AP nomadic) in both venues.
+
+use nomloc_bench::{header, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let name = venue_fn().name;
+        header(&format!("Ablation — nomadic fleet size, {name}"));
+        println!(
+            "{:>8}  {:>12}  {:>12}  {:>12}",
+            "nomads", "mean_err_m", "slv_m2", "err_90th_m"
+        );
+        for nomads in 0..=4usize {
+            let result = standard_campaign(
+                venue_fn(),
+                Deployment::Fleet {
+                    nomads,
+                    steps: NOMADIC_STEPS,
+                },
+            )
+            .run();
+            println!(
+                "{nomads:>8}  {:>12.3}  {:>12.3}  {:>12.3}",
+                result.mean_error(),
+                result.slv(),
+                result.error_cdf().quantile(0.9)
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Extension ablation (paper §VI future work): the impact of the nomadic
+//! AP's **moving pattern** on overall performance. Compares the paper's
+//! uniform random walk against stay-biased, patrol-sweep, and corridor
+//! pacing transition families at equal step budgets.
+
+use nomloc_bench::{header, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::{Deployment, MobilityPattern};
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    let patterns = [
+        ("uniform", MobilityPattern::Uniform),
+        ("stay-biased", MobilityPattern::StayBiased),
+        ("sweep", MobilityPattern::Sweep),
+        ("corridor", MobilityPattern::Corridor),
+    ];
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let name = venue_fn().name;
+        header(&format!("Ablation — nomadic moving pattern, {name}"));
+        println!(
+            "{:>12}  {:>12}  {:>12}  {:>12}",
+            "pattern", "mean_err_m", "slv_m2", "prox_acc"
+        );
+        for (label, pattern) in patterns {
+            let result = standard_campaign(
+                venue_fn(),
+                Deployment::Nomadic {
+                    steps: NOMADIC_STEPS,
+                    pattern,
+                },
+            )
+            .run();
+            println!(
+                "{label:>12}  {:>12.3}  {:>12.3}  {:>12.3}",
+                result.mean_error(),
+                result.slv(),
+                result.mean_proximity_accuracy()
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Scaling study: the same Lab layout at different physical sizes.
+//!
+//! SP localization accuracy is bounded by the partition-cell size, which
+//! grows linearly with the venue; meanwhile larger venues also weaken SNR.
+//! This sweep quantifies how the calibration-free accuracy tracks venue
+//! scale — the deployment question ("how many nomadic sites does a bigger
+//! store need?") behind the paper's marketplace motivation.
+
+use nomloc_bench::{header, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    header("Ablation — venue scale (Lab layout × factor)");
+    println!(
+        "{:>8}  {:>10}  {:>12}  {:>12}  {:>12}",
+        "scale", "area_m2", "static_err", "nomadic_err", "nomadic_slv"
+    );
+    for factor in [0.75, 1.0, 1.5, 2.0] {
+        let venue = Venue::lab().scaled(factor);
+        let area = venue.plan.boundary().area();
+        let st = standard_campaign(venue.clone(), Deployment::Static).run();
+        let no = standard_campaign(venue, Deployment::nomadic(NOMADIC_STEPS)).run();
+        println!(
+            "{factor:>8.2}  {area:>10.1}  {:>12.3}  {:>12.3}  {:>12.3}",
+            st.mean_error(),
+            no.mean_error(),
+            no.slv()
+        );
+    }
+}

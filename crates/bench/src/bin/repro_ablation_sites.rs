@@ -1,0 +1,25 @@
+//! Design ablation: nomadic downscoping granularity (§IV-B-3). "The
+//! further the nomadic AP moves, the more CSI measurements will be
+//! collected … resulting in finer granularity segmentation." Sweeps the
+//! walk length (which controls how many distinct sites get measured) and
+//! reports accuracy plus the mean feasible-region area.
+
+use nomloc_bench::{header, standard_campaign};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let name = venue_fn().name;
+        header(&format!("Ablation — nomadic walk length, {name}"));
+        println!("{:>8}  {:>12}  {:>12}", "steps", "mean_err_m", "slv_m2");
+        for steps in [0usize, 1, 2, 4, 8, 16] {
+            let result = standard_campaign(venue_fn(), Deployment::nomadic(steps)).run();
+            println!(
+                "{steps:>8}  {:>12.3}  {:>12.3}",
+                result.mean_error(),
+                result.slv()
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Design ablation: spectral windowing ahead of the CSI→CIR IFFT.
+//!
+//! The max-tap PDP rides on the Dirichlet kernel of the implicit
+//! rectangular window; tapering (Hann/Hamming/Blackman) trades delay
+//! resolution for sidelobe suppression. This sweep measures what the
+//! trade is worth end to end.
+
+use nomloc_bench::{header, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+use nomloc_dsp::Window;
+
+fn main() {
+    let windows = [
+        ("rectangular", Window::Rectangular),
+        ("hann", Window::Hann),
+        ("hamming", Window::Hamming),
+        ("blackman", Window::Blackman),
+    ];
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let name = venue_fn().name;
+        header(&format!("Ablation — PDP spectral window, {name}"));
+        println!(
+            "{:>12}  {:>12}  {:>12}  {:>12}",
+            "window", "mean_err_m", "slv_m2", "prox_acc"
+        );
+        for (label, window) in windows {
+            let result = standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS))
+                .pdp_window(window)
+                .run();
+            println!(
+                "{label:>12}  {:>12.3}  {:>12.3}  {:>12.3}",
+                result.mean_error(),
+                result.slv(),
+                result.mean_proximity_accuracy()
+            );
+        }
+    }
+}

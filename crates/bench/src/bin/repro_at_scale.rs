@@ -1,0 +1,40 @@
+//! At-scale experiment beyond the paper's testbed: the cross-shaped Mall
+//! venue (≈ 420 m², six APs, five public nomadic sites, fourteen test
+//! sites). Shows the pipeline holding up at C(11, 2) = 55 constraints per
+//! round, and the nomadic gains persisting in a venue 4× the Lab.
+
+use nomloc_bench::{header, print_row, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    header("At scale — Mall (cross-shaped wing, 6 APs)");
+    let venue = Venue::mall();
+    print_row("area (m²)", venue.plan.boundary().area());
+    print_row("test sites", venue.n_test_sites() as f64);
+
+    let st = standard_campaign(Venue::mall(), Deployment::Static).run();
+    let no = standard_campaign(Venue::mall(), Deployment::nomadic(NOMADIC_STEPS)).run();
+    let fleet = standard_campaign(
+        Venue::mall(),
+        Deployment::Fleet {
+            nomads: 3,
+            steps: NOMADIC_STEPS,
+        },
+    )
+    .run();
+
+    println!();
+    println!(
+        "{:>22}  {:>12}  {:>12}  {:>12}",
+        "deployment", "mean_err_m", "slv_m2", "err_90th_m"
+    );
+    for (label, r) in [("static (6 APs)", &st), ("1 nomadic", &no), ("3-nomad fleet", &fleet)] {
+        println!(
+            "{label:>22}  {:>12.3}  {:>12.3}  {:>12.3}",
+            r.mean_error(),
+            r.slv(),
+            r.error_cdf().quantile(0.9)
+        );
+    }
+}

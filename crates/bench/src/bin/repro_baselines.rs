@@ -1,0 +1,189 @@
+//! Context comparison: NomLoc against the classical RSS localizers the
+//! paper's related-work section positions itself against — log-distance
+//! trilateration (needs calibration), RSS-weighted centroid, nearest-AP,
+//! and grid fingerprinting (needs a survey; breaks when an AP moves).
+
+use nomloc_baselines::csi_ranging::{self, CsiRangeModel, PdpObservation};
+use nomloc_baselines::fingerprint::{Fingerprint, FingerprintDb};
+use nomloc_baselines::rss_ranging::PathLossModel;
+use nomloc_baselines::{centroid, nearest, rss_ranging, RssObservation};
+use nomloc_core::pdp::PdpEstimator;
+use nomloc_rfsim::SubcarrierGrid;
+use nomloc_bench::{header, print_row, standard_campaign, NOMADIC_STEPS, SEED, TRIALS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+use nomloc_geometry::Point;
+use nomloc_rfsim::Environment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean error of an RSS-based locator over all test sites.
+fn rss_baseline<F>(venue: &Venue, locate: F, rng: &mut StdRng) -> f64
+where
+    F: Fn(&[RssObservation]) -> Option<Point>,
+{
+    let env = Environment::new(venue.plan.clone(), venue.radio.clone());
+    let aps = venue.static_deployment();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &site in &venue.test_sites {
+        for _ in 0..TRIALS {
+            let obs: Vec<RssObservation> = aps
+                .iter()
+                .map(|&ap| RssObservation::new(ap, env.sample_rss_dbm(site, ap, rng)))
+                .collect();
+            if let Some(est) = locate(&obs) {
+                let est = venue.plan.boundary().clamp_point(est);
+                total += est.distance(site);
+                count += 1;
+            }
+        }
+    }
+    total / count.max(1) as f64
+}
+
+/// Fits the path-loss model from a small calibration survey (what NomLoc
+/// avoids having to do).
+fn calibrate(venue: &Venue, rng: &mut StdRng) -> PathLossModel {
+    let env = Environment::new(venue.plan.clone(), venue.radio.clone());
+    let aps = venue.static_deployment();
+    let mut samples = Vec::new();
+    for &site in &venue.test_sites {
+        for &ap in &aps {
+            let rss = env.sample_rss_dbm(site, ap, rng);
+            samples.push((site.distance(ap), rss));
+        }
+    }
+    PathLossModel::fit(&samples).expect("calibration survey is non-degenerate")
+}
+
+/// Builds a fingerprint database on a 1 m survey grid.
+fn survey(venue: &Venue, rng: &mut StdRng) -> (FingerprintDb, Vec<Point>) {
+    let env = Environment::new(venue.plan.clone(), venue.radio.clone());
+    let aps = venue.static_deployment();
+    let (min, max) = venue.plan.boundary().bounding_box();
+    let mut db = FingerprintDb::new();
+    let mut x = min.x + 0.5;
+    while x < max.x {
+        let mut y = min.y + 0.5;
+        while y < max.y {
+            let p = Point::new(x, y);
+            if venue.plan.is_placeable(p) {
+                let rss: Vec<f64> = aps
+                    .iter()
+                    .map(|&ap| env.sample_rss_dbm(p, ap, rng))
+                    .collect();
+                db.add(Fingerprint {
+                    position: p,
+                    rss_dbm: rss,
+                });
+            }
+            y += 1.0;
+        }
+        x += 1.0;
+    }
+    (db, aps)
+}
+
+fn fingerprint_baseline(venue: &Venue, rng: &mut StdRng) -> f64 {
+    let (db, aps) = survey(venue, rng);
+    let env = Environment::new(venue.plan.clone(), venue.radio.clone());
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &site in &venue.test_sites {
+        for _ in 0..TRIALS {
+            let query: Vec<f64> = aps
+                .iter()
+                .map(|&ap| env.sample_rss_dbm(site, ap, rng))
+                .collect();
+            if let Some(est) = db.locate(&query, 3) {
+                total += est.distance(site);
+                count += 1;
+            }
+        }
+    }
+    total / count.max(1) as f64
+}
+
+/// FILA-style baseline: NomLoc's PDP front end + calibrated range back end.
+fn fila_baseline(venue: &Venue, rng: &mut StdRng) -> f64 {
+    let env = Environment::new(venue.plan.clone(), venue.radio.clone());
+    let grid = SubcarrierGrid::intel5300();
+    let est = PdpEstimator::new();
+    let aps = venue.static_deployment();
+
+    // Calibration survey: burst PDP vs known distance at every test site.
+    let mut samples = Vec::new();
+    for &site in &venue.test_sites {
+        for &ap in &aps {
+            let burst = env.sample_csi_burst(site, ap, &grid, 30, rng);
+            if let Some(pdp) = est.pdp_of_burst(&burst) {
+                samples.push((site.distance(ap), pdp));
+            }
+        }
+    }
+    let model = CsiRangeModel::fit(&samples).expect("calibration survey fits");
+
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &site in &venue.test_sites {
+        for _ in 0..TRIALS {
+            let obs: Vec<PdpObservation> = aps
+                .iter()
+                .filter_map(|&ap| {
+                    let burst = env.sample_csi_burst(site, ap, &grid, 30, rng);
+                    est.pdp_of_burst(&burst).map(|p| PdpObservation::new(ap, p))
+                })
+                .collect();
+            if let Some(p) = csi_ranging::locate(&obs, &model) {
+                let p = venue.plan.boundary().clamp_point(p);
+                total += p.distance(site);
+                count += 1;
+            }
+        }
+    }
+    total / count.max(1) as f64
+}
+
+fn main() {
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let venue = venue_fn();
+        let name = venue.name;
+        header(&format!("Baseline comparison — mean error (m), {name}"));
+        let mut rng = StdRng::seed_from_u64(SEED);
+
+        let nomloc_static = standard_campaign(venue_fn(), Deployment::Static).run();
+        let nomloc_nomadic =
+            standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run();
+        print_row("NomLoc (nomadic, calibration-free)", nomloc_nomadic.mean_error());
+        print_row("NomLoc SP (static, calibration-free)", nomloc_static.mean_error());
+
+        let model = calibrate(&venue, &mut rng);
+        print_row(
+            "RSS trilateration (calibrated)",
+            rss_baseline(&venue, |o| rss_ranging::locate(o, &model), &mut rng),
+        );
+        let miscal = PathLossModel::new(model.rss_at_1m_dbm, model.exponent * 1.6);
+        print_row(
+            "RSS trilateration (miscalibrated)",
+            rss_baseline(&venue, |o| rss_ranging::locate(o, &miscal), &mut rng),
+        );
+        print_row(
+            "RSS weighted centroid",
+            rss_baseline(&venue, |o| centroid::locate(o, 1.0), &mut rng),
+        );
+        print_row(
+            "Nearest AP",
+            rss_baseline(&venue, nearest::locate, &mut rng),
+        );
+        print_row("Fingerprint 3-NN (surveyed)", fingerprint_baseline(&venue, &mut rng));
+        print_row(
+            "FILA-style CSI ranging (calibrated)",
+            fila_baseline(&venue, &mut rng),
+        );
+        println!(
+            "(calibrated model: RSS(1 m) = {:.1} dBm, n = {:.2})",
+            model.rss_at_1m_dbm, model.exponent
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Measurement-budget study: accuracy vs probe packets per AP site.
+//!
+//! The paper "collects thousands of packages at each site"; this sweep
+//! shows where the burst-median PDP saturates, i.e. how many packets a
+//! deployment actually needs per localization round.
+
+use nomloc_bench::{header, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let name = venue_fn().name;
+        header(&format!("Convergence — packets per site, {name}"));
+        println!(
+            "{:>10}  {:>12}  {:>12}  {:>12}",
+            "packets", "mean_err_m", "slv_m2", "prox_acc"
+        );
+        for packets in [1usize, 3, 10, 30, 60, 120] {
+            let result = standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS))
+                .packets_per_site(packets)
+                .run();
+            println!(
+                "{packets:>10}  {:>12.3}  {:>12.3}  {:>12.3}",
+                result.mean_error(),
+                result.slv(),
+                result.mean_proximity_accuracy()
+            );
+        }
+    }
+}

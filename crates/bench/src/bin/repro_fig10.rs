@@ -1,0 +1,35 @@
+//! Reproduces Fig. 10: effect of the nomadic AP's position error (ER) on
+//! localization accuracy, in the Lab (10a) and Lobby (10b).
+//!
+//! Paper observations to match: larger ER degrades accuracy, but the
+//! degradation is negligible for small ER and graceful up to 3 m — the
+//! SP method "does not highly depend on the accurate location of these
+//! APs".
+
+use nomloc_bench::{header, print_cdf, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    for (fig, venue_fn) in [("10(a)", Venue::lab as fn() -> Venue), ("10(b)", Venue::lobby)] {
+        let name = venue_fn().name;
+        header(&format!("Fig. {fig} — Effect of ER, {name}"));
+        let mut means = Vec::new();
+        for er in [0.0, 1.0, 2.0, 3.0] {
+            let result = standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS))
+                .position_error(er)
+                .run();
+            print_cdf(&format!("{name} ER={er} m"), &result.error_cdf());
+            means.push((er, result.mean_error()));
+        }
+        println!();
+        println!("mean error by ER:");
+        for (er, m) in &means {
+            println!("  ER = {er} m → {m:.2} m");
+        }
+        let degradation = means.last().unwrap().1 - means[0].1;
+        println!(
+            "degradation from ER 0 → 3 m: {degradation:+.2} m (paper: robust / graceful)"
+        );
+    }
+}

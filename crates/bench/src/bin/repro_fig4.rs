@@ -1,0 +1,69 @@
+//! Reproduces Fig. 4: the virtual-AP construction for the area-boundary
+//! constraint. Mirrors AP 1 across each boundary edge of the Lab and
+//! verifies — point by point — that "closer to AP 1 than to every virtual
+//! AP" is exactly "inside the venue".
+//!
+//! Writes `fig4_vaps.svg` when `NOMLOC_SVG_DIR` is set.
+
+use nomloc_bench::header;
+use nomloc_core::constraints::{boundary_constraints, virtual_aps};
+use nomloc_core::scenario::Venue;
+use nomloc_geometry::{Point, Polygon};
+use nomloc_report::SceneBuilder;
+use nomloc_rfsim::FloorPlan;
+
+fn main() {
+    header("Fig. 4 — area boundary via virtual APs");
+    let venue = Venue::lab();
+    let boundary = venue.plan.boundary().clone();
+    let ap1 = venue.nomadic_home;
+
+    let vaps = virtual_aps(&boundary, ap1);
+    println!("AP1 at {ap1}; {} boundary edges ⇒ {} virtual APs:", boundary.len(), vaps.len());
+    for (i, v) in vaps.iter().enumerate() {
+        println!("  VAP{}: {v} (outside: {})", i + 1, !boundary.contains(*v));
+    }
+
+    // Verify the equivalence on a probe grid.
+    let cs = boundary_constraints(&boundary, ap1);
+    let (min, max) = boundary.bounding_box();
+    let mut checked = 0;
+    let mut agree = 0;
+    let mut y = min.y - 2.0;
+    while y <= max.y + 2.0 {
+        let mut x = min.x - 2.0;
+        while x <= max.x + 2.0 {
+            let p = Point::new(x, y);
+            if boundary.distance_to_boundary(p) > 1e-6 {
+                checked += 1;
+                let inside = boundary.contains(p);
+                let satisfied = cs.iter().all(|c| c.halfplane.contains(p));
+                if inside == satisfied {
+                    agree += 1;
+                }
+            }
+            x += 0.5;
+        }
+        y += 0.5;
+    }
+    println!("constraint/containment agreement: {agree}/{checked} probe points");
+
+    if let Some(dir) = nomloc_report::svg_dir_from_env() {
+        // Draw on an expanded canvas so the mirrored VAPs are visible.
+        let canvas = Polygon::rectangle(
+            Point::new(min.x - (max.x - min.x), min.y - (max.y - min.y)),
+            Point::new(max.x + (max.x - min.x), max.y + (max.y - min.y)),
+        );
+        let plan = FloorPlan::builder(canvas).build();
+        let mut scene = SceneBuilder::new(&plan)
+            .region(boundary.clone())
+            .ap(ap1, "AP1");
+        for (i, &v) in vaps.iter().enumerate() {
+            scene = scene.estimate(v, format!("VAP{}", i + 1));
+        }
+        match nomloc_report::write_svg(&dir, "fig4_vaps", &scene.render()) {
+            Ok(()) => println!("wrote {}/fig4_vaps.svg", dir.display()),
+            Err(e) => eprintln!("svg write failed: {e}"),
+        }
+    }
+}

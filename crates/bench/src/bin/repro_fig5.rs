@@ -1,0 +1,113 @@
+//! Reproduces Fig. 5: feasible vs infeasible constraint sets, and the
+//! relaxation's repair. Builds a consistent judgement set (non-empty
+//! feasible polygon) and an over-constrained one (empty intersection),
+//! then shows Eq. 19 recovering a solution by sacrificing the
+//! lowest-weight constraint.
+//!
+//! Writes `fig5_feasible.svg` / `fig5_relaxed.svg` when `NOMLOC_SVG_DIR`
+//! is set.
+
+use nomloc_bench::{header, print_row};
+use nomloc_core::constraints::judgement_constraints;
+use nomloc_core::proximity::{ApSite, ProximityJudgement};
+use nomloc_core::SpEstimator;
+use nomloc_geometry::{HalfPlane, Point, Polygon};
+use nomloc_lp::center;
+use nomloc_report::SceneBuilder;
+use nomloc_rfsim::FloorPlan;
+
+fn judgement(near: Point, far: Point, w: f64) -> ProximityJudgement {
+    ProximityJudgement {
+        near: ApSite::fixed(0, near),
+        far: ApSite::fixed(1, far),
+        weight: w,
+    }
+}
+
+fn main() {
+    header("Fig. 5 — feasibility and relaxation");
+    let area = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 8.0));
+    let truth = Point::new(3.0, 3.0);
+    let aps = [
+        Point::new(1.0, 1.0),
+        Point::new(9.0, 1.0),
+        Point::new(9.0, 7.0),
+        Point::new(1.0, 7.0),
+    ];
+
+    // Consistent set: all judgements match an object at `truth`.
+    let mut consistent = Vec::new();
+    for i in 0..aps.len() {
+        for j in (i + 1)..aps.len() {
+            let (near, far) = if truth.distance_sq(aps[i]) <= truth.distance_sq(aps[j]) {
+                (aps[i], aps[j])
+            } else {
+                (aps[j], aps[i])
+            };
+            consistent.push(judgement(near, far, 0.9));
+        }
+    }
+    let hps: Vec<HalfPlane> = judgement_constraints(&consistent)
+        .iter()
+        .map(|c| c.halfplane)
+        .collect();
+    let region = center::feasible_region(&hps, &area).expect("consistent set is feasible");
+    print_row("feasible region area (consistent, m²)", region.area());
+    let est = SpEstimator::new().estimate(&consistent, &area).unwrap();
+    print_row("relaxation cost (consistent)", est.relaxation_cost);
+    print_row("estimate error (m)", est.position.distance(truth));
+
+    // Over-constrained: a wrong judgement against a nomadic site N makes
+    // the system strictly infeasible. Truth gives "closer to AP1 than AP2"
+    // (x ≤ 5); the erroneous "closer to AP2 than N(4,1)" demands x ≥ 6.5.
+    let nomadic_site = Point::new(4.0, 1.0);
+    let mut contradicted = consistent.clone();
+    contradicted.push(ProximityJudgement {
+        near: ApSite::fixed(1, aps[1]),
+        far: ApSite::nomadic(0, 1, nomadic_site),
+        weight: 0.55,
+    });
+    let hps_bad: Vec<HalfPlane> = judgement_constraints(&contradicted)
+        .iter()
+        .map(|c| c.halfplane)
+        .collect();
+    println!(
+        "over-constrained intersection empty: {}",
+        center::feasible_region(&hps_bad, &area).is_none()
+    );
+    let est_bad = SpEstimator::new().estimate(&contradicted, &area).unwrap();
+    print_row("relaxation cost (contradicted)", est_bad.relaxation_cost);
+    print_row(
+        "estimate error after relaxation (m)",
+        est_bad.position.distance(truth),
+    );
+
+    if let Some(dir) = nomloc_report::svg_dir_from_env() {
+        let plan = FloorPlan::builder(area.clone()).build();
+        let scene = SceneBuilder::new(&plan)
+            .region(region)
+            .object(truth, "truth")
+            .estimate(est.position, "estimate")
+            .ap(aps[0], "AP1")
+            .ap(aps[1], "AP2")
+            .ap(aps[2], "AP3")
+            .ap(aps[3], "AP4")
+            .render();
+        match nomloc_report::write_svg(&dir, "fig5_feasible", &scene) {
+            Ok(()) => println!("wrote {}/fig5_feasible.svg", dir.display()),
+            Err(e) => eprintln!("svg write failed: {e}"),
+        }
+        let scene = SceneBuilder::new(&plan)
+            .object(truth, "truth")
+            .estimate(est_bad.position, "relaxed estimate")
+            .ap(aps[0], "AP1")
+            .ap(aps[1], "AP2")
+            .ap(aps[2], "AP3")
+            .ap(aps[3], "AP4")
+            .render();
+        match nomloc_report::write_svg(&dir, "fig5_relaxed", &scene) {
+            Ok(()) => println!("wrote {}/fig5_relaxed.svg", dir.display()),
+            Err(e) => eprintln!("svg write failed: {e}"),
+        }
+    }
+}

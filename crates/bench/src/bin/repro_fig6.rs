@@ -1,0 +1,53 @@
+//! Reproduces Fig. 6: the layouts of the two experimental venues, with
+//! APs, nomadic sites, and test sites marked.
+//!
+//! Prints a text inventory; writes `fig6_lab.svg` / `fig6_lobby.svg` when
+//! `NOMLOC_SVG_DIR` is set.
+
+use nomloc_bench::header;
+use nomloc_core::scenario::Venue;
+use nomloc_report::SceneBuilder;
+
+fn main() {
+    for venue in [Venue::lab(), Venue::lobby()] {
+        header(&format!("Fig. 6 — layout, {}", venue.name));
+        let (min, max) = venue.plan.boundary().bounding_box();
+        println!(
+            "outline {:.0} × {:.0} m, area {:.0} m², {} obstacles, {} walls",
+            max.x - min.x,
+            max.y - min.y,
+            venue.plan.boundary().area(),
+            venue.plan.obstacles().len(),
+            venue.plan.walls().len()
+        );
+        println!("AP1 (nomadic) home: {}", venue.nomadic_home);
+        for (i, ap) in venue.static_aps.iter().enumerate() {
+            println!("AP{}: {ap}", i + 2);
+        }
+        for (i, p) in venue.nomadic_sites.iter().enumerate() {
+            println!("P{}: {p}", i + 1);
+        }
+        for (i, s) in venue.test_sites.iter().enumerate() {
+            println!("site {:>2}: {s}", i + 1);
+        }
+
+        if let Some(dir) = nomloc_report::svg_dir_from_env() {
+            let mut scene = SceneBuilder::new(&venue.plan)
+                .ap(venue.nomadic_home, "AP1");
+            for (i, &ap) in venue.static_aps.iter().enumerate() {
+                scene = scene.ap(ap, format!("AP{}", i + 2));
+            }
+            for (i, &p) in venue.nomadic_sites.iter().enumerate() {
+                scene = scene.estimate(p, format!("P{}", i + 1));
+            }
+            for (i, &s) in venue.test_sites.iter().enumerate() {
+                scene = scene.object(s, format!("{}", i + 1));
+            }
+            let file = format!("fig6_{}", venue.name.to_lowercase());
+            match nomloc_report::write_svg(&dir, &file, &scene.render()) {
+                Ok(()) => println!("wrote {}/{file}.svg", dir.display()),
+                Err(e) => eprintln!("svg write failed: {e}"),
+            }
+        }
+    }
+}

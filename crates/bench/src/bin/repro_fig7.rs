@@ -1,0 +1,37 @@
+//! Reproduces Fig. 7: accuracy of PDP-based proximity determination per
+//! test position, in both the Lab and Lobby scenarios.
+//!
+//! Paper observations to match: most positions exceed 85 % accuracy;
+//! positions near the midpoint of AP pairs dip (similar PDPs → coin
+//! flips); the sparser Lobby deployment does at least as well as the Lab.
+
+use nomloc_bench::{header, standard_campaign, print_row};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn run(venue: Venue) {
+    header(&format!(
+        "Fig. 7 — PDP proximity accuracy per position, {}",
+        venue.name
+    ));
+    let result = standard_campaign(venue, Deployment::nomadic(nomloc_bench::NOMADIC_STEPS)).run();
+    println!("{:>10}  {:>10}", "position", "accuracy");
+    for (i, acc) in result.proximity_accuracy.iter().enumerate() {
+        println!("{:>10}  {acc:>10.3}", i + 1);
+    }
+    print_row("mean accuracy", result.mean_proximity_accuracy());
+    let above_85 = result
+        .proximity_accuracy
+        .iter()
+        .filter(|&&a| a > 0.85)
+        .count();
+    print_row(
+        "positions above 85 % (paper: 'most')",
+        above_85 as f64 / result.proximity_accuracy.len() as f64,
+    );
+}
+
+fn main() {
+    run(Venue::lab());
+    run(Venue::lobby());
+}

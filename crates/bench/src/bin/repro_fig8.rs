@@ -1,0 +1,33 @@
+//! Reproduces Fig. 8: spatial localizability variance (SLV) of the static
+//! AP deployment vs NomLoc (nomadic), in the Lab and Lobby scenarios.
+//!
+//! Paper observations to match: NomLoc's SLV is smaller in both venues, and
+//! the gap is larger in the Lobby where the static deployment's SLV is
+//! largest.
+
+use nomloc_bench::{header, print_row, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    header("Fig. 8 — Spatial localizability variance (m²)");
+    let mut rows = Vec::new();
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let venue = venue_fn();
+        let name = venue.name;
+        let static_slv = standard_campaign(venue_fn(), Deployment::Static).run().slv();
+        let nomadic_slv = standard_campaign(venue, Deployment::nomadic(NOMADIC_STEPS))
+            .run()
+            .slv();
+        print_row(&format!("{name} / static"), static_slv);
+        print_row(&format!("{name} / nomadic"), nomadic_slv);
+        rows.push((name, static_slv, nomadic_slv));
+    }
+    println!();
+    for (name, s, n) in &rows {
+        println!(
+            "{name}: nomadic reduces SLV by {:.0} % (static {s:.2} → nomadic {n:.2})",
+            100.0 * (1.0 - n / s)
+        );
+    }
+}

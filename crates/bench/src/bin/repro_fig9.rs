@@ -1,0 +1,44 @@
+//! Reproduces Fig. 9: CDF of mean localization error for static vs nomadic
+//! deployments, in the Lab (9a) and Lobby (9b).
+//!
+//! Paper observations to match: in the Lab both deployments achieve mean
+//! accuracy below ~2 m with NomLoc clearly ahead; in the Lobby NomLoc holds
+//! ~2.5 m mean / ~3.6 m at the 90th percentile while the static deployment
+//! degrades significantly.
+
+use nomloc_bench::{header, print_cdf, standard_campaign, NOMADIC_STEPS};
+use nomloc_core::experiment::Deployment;
+use nomloc_core::scenario::Venue;
+
+fn main() {
+    for (fig, venue_fn) in [("9(a)", Venue::lab as fn() -> Venue), ("9(b)", Venue::lobby)] {
+        let name = venue_fn().name;
+        header(&format!("Fig. {fig} — Error CDF, {name}"));
+        let static_result = standard_campaign(venue_fn(), Deployment::Static).run();
+        let nomadic_result =
+            standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run();
+        print_cdf(&format!("{name} static"), &static_result.error_cdf());
+        print_cdf(&format!("{name} nomadic"), &nomadic_result.error_cdf());
+        println!(
+            "mean error: static {:.2} m → nomadic {:.2} m ({:+.0} %)",
+            static_result.mean_error(),
+            nomadic_result.mean_error(),
+            100.0 * (nomadic_result.mean_error() / static_result.mean_error() - 1.0)
+        );
+        // Optional SVG chart next to the text output.
+        if let Some(dir) = nomloc_report::svg_dir_from_env() {
+            let static_cdf = static_result.error_cdf();
+            let nomadic_cdf = nomadic_result.error_cdf();
+            if let Some(svg) = nomloc_report::cdf_chart(
+                &format!("Fig. {fig} — Error CDF, {name}"),
+                &[("static", &static_cdf), ("nomadic", &nomadic_cdf)],
+            ) {
+                let file = format!("fig9_{}", name.to_lowercase());
+                match nomloc_report::write_svg(&dir, &file, &svg) {
+                    Ok(()) => println!("wrote {}/{file}.svg", dir.display()),
+                    Err(e) => eprintln!("svg write failed: {e}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Analytical counterpart of Fig. 1: the spatial-localizability map of a
+//! deployment, before any radio is simulated.
+//!
+//! Prints ASCII heat maps of the *predicted* localization error (the
+//! distance from each grid point to the center of its space-partition
+//! cell) for the static deployment and for the deployment augmented with
+//! the nomadic AP's sites, in both venues — making the "blind areas"
+//! visible and showing how the nomadic sites dissolve them.
+
+use nomloc_bench::{header, print_row};
+use nomloc_core::localizability::{analyze, plan_route};
+use nomloc_core::scenario::Venue;
+use nomloc_geometry::Point;
+
+const PITCH: f64 = 0.5;
+
+/// Renders the map as rows of glyphs: '.' < 1 m, 'o' < 2 m, 'O' < 3 m,
+/// '#' ≥ 3 m, space = outside the venue.
+fn render(venue: &Venue, sites: &[Point]) {
+    let map = analyze(venue.plan.boundary(), sites, PITCH);
+    let (min, max) = venue.plan.boundary().bounding_box();
+    let cols = ((max.x - min.x) / PITCH).round() as usize;
+    let rows = ((max.y - min.y) / PITCH).round() as usize;
+    let mut grid = vec![vec![' '; cols]; rows];
+    for c in map.cells() {
+        let i = ((c.point.x - min.x) / PITCH) as usize;
+        let j = ((c.point.y - min.y) / PITCH) as usize;
+        if j < rows && i < cols {
+            grid[j][i] = match c.predicted_error {
+                e if e < 1.0 => '.',
+                e if e < 2.0 => 'o',
+                e if e < 3.0 => 'O',
+                _ => '#',
+            };
+        }
+    }
+    // Mark AP sites.
+    for ap in sites {
+        let i = ((ap.x - min.x) / PITCH) as usize;
+        let j = ((ap.y - min.y) / PITCH) as usize;
+        if j < rows && i < cols {
+            grid[j][i] = 'A';
+        }
+    }
+    for row in grid.iter().rev() {
+        println!("  {}", row.iter().collect::<String>());
+    }
+    print_row("mean predicted error (m)", map.mean_predicted_error());
+    print_row("predicted SLV (m²)", map.predicted_slv());
+    print_row("blind points (err > 3 m)", map.blind_spots(3.0).len() as f64);
+}
+
+fn main() {
+    println!("legend: '.' <1 m   'o' <2 m   'O' <3 m   '#' ≥3 m   'A' AP site");
+    for venue in [Venue::lab(), Venue::lobby()] {
+        header(&format!("{} — static deployment", venue.name));
+        let static_sites = venue.static_deployment();
+        render(&venue, &static_sites);
+
+        header(&format!("{} — with nomadic sites", venue.name));
+        let mut nomadic_sites = static_sites.clone();
+        nomadic_sites.extend_from_slice(&venue.nomadic_sites);
+        render(&venue, &nomadic_sites);
+
+        // Planning: greedy 3-site route for the nomadic AP.
+        let candidates: Vec<Point> = venue
+            .test_sites
+            .iter()
+            .chain(venue.nomadic_sites.iter())
+            .copied()
+            .collect();
+        let route = plan_route(venue.plan.boundary(), &static_sites, &candidates, 3, 1.0);
+        println!();
+        println!("greedy nomadic route for {} (site → predicted SLV after visit):", venue.name);
+        for (i, (site, slv)) in route.iter().enumerate() {
+            println!("  {}. {site} → {slv:.3}", i + 1);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared harness utilities for the figure-reproduction binaries.
+//!
+//! Each `repro_*` binary regenerates one figure of the NomLoc paper as a
+//! plain-text table/series on stdout; this module holds the formatting and
+//! the campaign presets shared across them so every figure is produced from
+//! the same parameterization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nomloc_core::experiment::{Campaign, Deployment};
+use nomloc_core::scenario::Venue;
+use nomloc_dsp::stats::Ecdf;
+
+/// Packets per AP site used by all figure campaigns (the paper collects
+/// "thousands of packages at each site"; 60 medians out the same).
+pub const PACKETS: usize = 60;
+
+/// Independent trials per test site.
+pub const TRIALS: usize = 8;
+
+/// Markov-chain steps per nomadic round (enough to visit all four sites
+/// with high probability).
+pub const NOMADIC_STEPS: usize = 8;
+
+/// Base RNG seed for all figures (override with the `NOMLOC_SEED`
+/// environment variable to check seed-robustness of the trends).
+pub const SEED: u64 = 2014;
+
+/// The seed in effect: `NOMLOC_SEED` if set and parseable, else [`SEED`].
+pub fn seed() -> u64 {
+    std::env::var("NOMLOC_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SEED)
+}
+
+/// The standard campaign used in the figures, before per-figure tweaks.
+pub fn standard_campaign(venue: Venue, deployment: Deployment) -> Campaign {
+    Campaign::new(venue, deployment)
+        .packets_per_site(PACKETS)
+        .trials_per_site(TRIALS)
+        .seed(seed())
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Prints an `(x, y)` series as two aligned columns.
+pub fn print_series(x_label: &str, y_label: &str, series: &[(f64, f64)]) {
+    println!("{x_label:>12}  {y_label:>12}");
+    for (x, y) in series {
+        println!("{x:>12.4}  {y:>12.4}");
+    }
+}
+
+/// Prints a CDF as the `(error, probability)` staircase the paper plots.
+pub fn print_cdf(label: &str, cdf: &Ecdf) {
+    println!("--- CDF: {label} (n = {}) ---", cdf.len());
+    print_series("error_m", "cdf", &cdf.series());
+    println!(
+        "mean = {:.2} m, median = {:.2} m, 90th = {:.2} m",
+        cdf.mean(),
+        cdf.quantile(0.5),
+        cdf.quantile(0.9)
+    );
+}
+
+/// Prints a labelled scalar row.
+pub fn print_row(label: &str, value: f64) {
+    println!("{label:<40} {value:>10.4}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomloc_core::experiment::Deployment;
+
+    #[test]
+    fn standard_campaign_constructs() {
+        let c = standard_campaign(Venue::lab(), Deployment::Static);
+        assert_eq!(c.venue().name, "Lab");
+    }
+
+    #[test]
+    fn printers_do_not_panic() {
+        header("test");
+        print_series("x", "y", &[(1.0, 2.0)]);
+        print_row("row", 1.0);
+        let cdf = Ecdf::new(vec![1.0, 2.0]).unwrap();
+        print_cdf("test", &cdf);
+    }
+}

@@ -1,0 +1,32 @@
+//! The `nomloc` command-line tool. Parsing and rendering live in
+//! `nomloc_cli`; this binary only dispatches.
+
+use nomloc_cli::{parse, run_campaign, run_map, run_venues, Command, USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Venues) => {
+            print!("{}", run_venues());
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Campaign(spec)) => {
+            print!("{}", run_campaign(&spec));
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Map(spec)) => {
+            print!("{}", run_map(&spec));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `nomloc help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

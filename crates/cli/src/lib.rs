@@ -1,0 +1,598 @@
+//! Command-line interface for the NomLoc indoor localization system.
+//!
+//! The `nomloc` binary wraps the library's campaign runner and analysis
+//! tools for interactive use:
+//!
+//! ```text
+//! nomloc campaign --venue lab --deployment nomadic:8 --trials 8
+//! nomloc map --venue lobby --nomadic
+//! nomloc venues
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace stays dependency-light);
+//! the parsing layer lives here so it can be unit-tested, while
+//! `src/bin/nomloc.rs` only dispatches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nomloc_core::experiment::{Campaign, Deployment};
+use nomloc_core::localizability;
+use nomloc_core::scenario::Venue;
+use nomloc_dsp::Window;
+use nomloc_geometry::Point;
+use nomloc_lp::center::CenterMethod;
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a measurement campaign and print its summary.
+    Campaign(CampaignSpec),
+    /// Print the analytical localizability map of a venue.
+    Map(MapSpec),
+    /// List the built-in venues.
+    Venues,
+    /// Print usage.
+    Help,
+}
+
+/// Parameters of a `campaign` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Venue name (`lab` / `lobby`).
+    pub venue: VenueName,
+    /// Deployment under test.
+    pub deployment: DeploymentSpec,
+    /// Probe packets per AP site.
+    pub packets: usize,
+    /// Trials per test site.
+    pub trials: usize,
+    /// Nomadic position error range, metres.
+    pub er: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Center method.
+    pub center: CenterMethod,
+    /// PDP spectral window.
+    pub window: Window,
+    /// Receive antennas per AP.
+    pub antennas: usize,
+    /// Model the nomadic carrier's body.
+    pub carrier: bool,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            venue: VenueName::Lab,
+            deployment: DeploymentSpec::Nomadic { steps: 8 },
+            packets: 60,
+            trials: 8,
+            er: 0.0,
+            seed: 2014,
+            center: CenterMethod::Chebyshev,
+            window: Window::Rectangular,
+            antennas: 1,
+            carrier: false,
+        }
+    }
+}
+
+/// Parameters of a `map` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapSpec {
+    /// Venue name.
+    pub venue: VenueName,
+    /// Include the nomadic AP's sites in the deployment.
+    pub nomadic: bool,
+    /// Grid pitch, metres.
+    pub pitch: f64,
+}
+
+impl Default for MapSpec {
+    fn default() -> Self {
+        MapSpec {
+            venue: VenueName::Lab,
+            nomadic: false,
+            pitch: 0.5,
+        }
+    }
+}
+
+/// A built-in venue selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VenueName {
+    /// The cluttered laboratory (Fig. 6(a)).
+    Lab,
+    /// The open L-shaped lobby (Fig. 6(b)).
+    Lobby,
+    /// The marketplace-scale cross-shaped mall wing.
+    Mall,
+}
+
+impl VenueName {
+    /// Builds the venue.
+    pub fn venue(&self) -> Venue {
+        match self {
+            VenueName::Lab => Venue::lab(),
+            VenueName::Lobby => Venue::lobby(),
+            VenueName::Mall => Venue::mall(),
+        }
+    }
+}
+
+/// Deployment selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentSpec {
+    /// All APs parked.
+    Static,
+    /// One nomadic AP walking `steps` transitions.
+    Nomadic {
+        /// Markov-chain transitions per round.
+        steps: usize,
+    },
+    /// `nomads` nomadic APs walking 8 transitions each.
+    Fleet {
+        /// Number of nomadic APs.
+        nomads: usize,
+    },
+}
+
+impl DeploymentSpec {
+    /// Converts to the library's deployment type.
+    pub fn deployment(&self) -> Deployment {
+        match self {
+            DeploymentSpec::Static => Deployment::Static,
+            DeploymentSpec::Nomadic { steps } => Deployment::nomadic(*steps),
+            DeploymentSpec::Fleet { nomads } => Deployment::Fleet {
+                nomads: *nomads,
+                steps: 8,
+            },
+        }
+    }
+}
+
+/// A CLI parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Usage text printed by `nomloc help`.
+pub const USAGE: &str = "\
+nomloc — calibration-free indoor localization with nomadic access points
+
+USAGE:
+    nomloc campaign [OPTIONS]     run a measurement campaign
+    nomloc map [OPTIONS]          print a localizability heat map
+    nomloc venues                 list built-in venues
+    nomloc help                   show this message
+
+CAMPAIGN OPTIONS:
+    --venue lab|lobby|mall        venue (default lab)
+    --deployment static|nomadic[:STEPS]|fleet:N
+                                  AP deployment (default nomadic:8)
+    --packets N                   probe packets per AP site (default 60)
+    --trials N                    trials per test site (default 8)
+    --er METERS                   nomadic position error range (default 0)
+    --seed N                      RNG seed (default 2014)
+    --center chebyshev|analytic|centroid
+                                  feasible-region center (default chebyshev)
+    --window rect|hann|hamming|blackman
+                                  PDP spectral window (default rect)
+    --antennas N                  receive antennas per AP (default 1)
+    --carrier                     model the nomadic carrier's body
+
+MAP OPTIONS:
+    --venue lab|lobby|mall        venue (default lab)
+    --nomadic                     include the nomadic AP's sites
+    --pitch METERS                grid pitch (default 0.5)
+";
+
+/// Parses a full argument list (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a user-facing message on unknown
+/// commands, flags, or malformed values.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("venues") => Ok(Command::Venues),
+        Some("campaign") => parse_campaign(it.as_slice()).map(Command::Campaign),
+        Some("map") => parse_map(it.as_slice()).map(Command::Map),
+        Some(other) => Err(err(format!("unknown command `{other}`; try `nomloc help`"))),
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a str, ParseError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+}
+
+fn parse_usize(flag: &str, v: &str) -> Result<usize, ParseError> {
+    v.parse()
+        .map_err(|_| err(format!("flag `{flag}`: `{v}` is not a non-negative integer")))
+}
+
+fn parse_f64(flag: &str, v: &str) -> Result<f64, ParseError> {
+    v.parse::<f64>()
+        .ok()
+        .filter(|x| x.is_finite() && *x >= 0.0)
+        .ok_or_else(|| err(format!("flag `{flag}`: `{v}` is not a non-negative number")))
+}
+
+fn parse_venue(v: &str) -> Result<VenueName, ParseError> {
+    match v {
+        "lab" => Ok(VenueName::Lab),
+        "lobby" => Ok(VenueName::Lobby),
+        "mall" => Ok(VenueName::Mall),
+        _ => Err(err(format!("unknown venue `{v}` (lab|lobby|mall)"))),
+    }
+}
+
+fn parse_deployment(v: &str) -> Result<DeploymentSpec, ParseError> {
+    if v == "static" {
+        return Ok(DeploymentSpec::Static);
+    }
+    if v == "nomadic" {
+        return Ok(DeploymentSpec::Nomadic { steps: 8 });
+    }
+    if let Some(steps) = v.strip_prefix("nomadic:") {
+        return Ok(DeploymentSpec::Nomadic {
+            steps: parse_usize("--deployment", steps)?,
+        });
+    }
+    if let Some(n) = v.strip_prefix("fleet:") {
+        return Ok(DeploymentSpec::Fleet {
+            nomads: parse_usize("--deployment", n)?,
+        });
+    }
+    Err(err(format!(
+        "unknown deployment `{v}` (static|nomadic[:STEPS]|fleet:N)"
+    )))
+}
+
+fn parse_campaign(args: &[String]) -> Result<CampaignSpec, ParseError> {
+    let mut spec = CampaignSpec::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--venue" => spec.venue = parse_venue(take_value(flag, &mut it)?)?,
+            "--deployment" => {
+                spec.deployment = parse_deployment(take_value(flag, &mut it)?)?
+            }
+            "--packets" => spec.packets = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--trials" => spec.trials = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--er" => spec.er = parse_f64(flag, take_value(flag, &mut it)?)?,
+            "--seed" => {
+                spec.seed = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("flag `--seed`: not an integer"))?
+            }
+            "--center" => {
+                spec.center = match take_value(flag, &mut it)? {
+                    "chebyshev" => CenterMethod::Chebyshev,
+                    "analytic" => CenterMethod::Analytic,
+                    "centroid" => CenterMethod::Centroid,
+                    other => {
+                        return Err(err(format!(
+                            "unknown center `{other}` (chebyshev|analytic|centroid)"
+                        )))
+                    }
+                }
+            }
+            "--window" => {
+                spec.window = match take_value(flag, &mut it)? {
+                    "rect" | "rectangular" => Window::Rectangular,
+                    "hann" => Window::Hann,
+                    "hamming" => Window::Hamming,
+                    "blackman" => Window::Blackman,
+                    other => {
+                        return Err(err(format!(
+                            "unknown window `{other}` (rect|hann|hamming|blackman)"
+                        )))
+                    }
+                }
+            }
+            "--antennas" => spec.antennas = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--carrier" => spec.carrier = true,
+            other => return Err(err(format!("unknown campaign flag `{other}`"))),
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_map(args: &[String]) -> Result<MapSpec, ParseError> {
+    let mut spec = MapSpec::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--venue" => spec.venue = parse_venue(take_value(flag, &mut it)?)?,
+            "--nomadic" => spec.nomadic = true,
+            "--pitch" => {
+                spec.pitch = parse_f64(flag, take_value(flag, &mut it)?)?;
+                if spec.pitch <= 0.0 {
+                    return Err(err("flag `--pitch`: must be positive"));
+                }
+            }
+            other => return Err(err(format!("unknown map flag `{other}`"))),
+        }
+    }
+    Ok(spec)
+}
+
+/// Runs a campaign per spec and renders its report to a string.
+pub fn run_campaign(spec: &CampaignSpec) -> String {
+    let venue = spec.venue.venue();
+    let result = Campaign::new(venue.clone(), spec.deployment.deployment())
+        .packets_per_site(spec.packets)
+        .trials_per_site(spec.trials)
+        .position_error(spec.er)
+        .center_method(spec.center)
+        .pdp_window(spec.window)
+        .rx_antennas(spec.antennas)
+        .carrier_blocking(spec.carrier)
+        .seed(spec.seed)
+        .run();
+    let cdf = result.error_cdf();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "campaign: {} / {:?} (packets {}, trials {}, ER {} m, seed {})\n\n",
+        venue.name, spec.deployment, spec.packets, spec.trials, spec.er, spec.seed
+    ));
+    out.push_str(&format!("{:>6} {:>12} {:>12} {:>10}\n", "site", "truth", "mean_err_m", "prox_acc"));
+    for ((i, o), acc) in result
+        .outcomes
+        .iter()
+        .enumerate()
+        .zip(&result.proximity_accuracy)
+    {
+        out.push_str(&format!(
+            "{:>6} {:>12} {:>12.3} {:>10.3}\n",
+            i + 1,
+            format!("{}", o.site),
+            o.mean_error(),
+            acc
+        ));
+    }
+    out.push_str(&format!(
+        "\nmean error {:.2} m | median {:.2} m | 90th {:.2} m | SLV {:.3} m² | proximity acc {:.1} %\n",
+        result.mean_error(),
+        cdf.quantile(0.5),
+        cdf.quantile(0.9),
+        result.slv(),
+        100.0 * result.mean_proximity_accuracy(),
+    ));
+    out
+}
+
+/// Renders the localizability map per spec to a string.
+pub fn run_map(spec: &MapSpec) -> String {
+    let venue = spec.venue.venue();
+    let mut sites = venue.static_deployment();
+    if spec.nomadic {
+        sites.extend_from_slice(&venue.nomadic_sites);
+    }
+    let map = localizability::analyze(venue.plan.boundary(), &sites, spec.pitch);
+    let (min, max) = venue.plan.boundary().bounding_box();
+    let cols = ((max.x - min.x) / spec.pitch).round() as usize;
+    let rows = ((max.y - min.y) / spec.pitch).round() as usize;
+    let mut grid = vec![vec![' '; cols]; rows];
+    for c in map.cells() {
+        let i = ((c.point.x - min.x) / spec.pitch) as usize;
+        let j = ((c.point.y - min.y) / spec.pitch) as usize;
+        if j < rows && i < cols {
+            grid[j][i] = match c.predicted_error {
+                e if e < 1.0 => '.',
+                e if e < 2.0 => 'o',
+                e if e < 3.0 => 'O',
+                _ => '#',
+            };
+        }
+    }
+    for ap in &sites {
+        let i = ((ap.x - min.x) / spec.pitch) as usize;
+        let j = ((ap.y - min.y) / spec.pitch) as usize;
+        if j < rows && i < cols {
+            grid[j][i] = 'A';
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — {} ('.' <1 m, 'o' <2 m, 'O' <3 m, '#' ≥3 m, 'A' AP)\n",
+        venue.name,
+        if spec.nomadic {
+            "static + nomadic sites"
+        } else {
+            "static deployment"
+        }
+    ));
+    for row in grid.iter().rev() {
+        out.push_str("  ");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "mean predicted error {:.2} m | predicted SLV {:.3} m² | blind points (≥3 m): {}\n",
+        map.mean_predicted_error(),
+        map.predicted_slv(),
+        map.blind_spots(3.0).len()
+    ));
+    out
+}
+
+/// Renders the venue listing.
+pub fn run_venues() -> String {
+    let mut out = String::new();
+    for venue in [Venue::lab(), Venue::lobby(), Venue::mall()] {
+        let (min, max) = venue.plan.boundary().bounding_box();
+        out.push_str(&format!(
+            "{:<6} {:>5.1} × {:<5.1} m  area {:>6.1} m²  APs {}  nomadic sites {}  test sites {:>2}  obstacles {}\n",
+            venue.name,
+            max.x - min.x,
+            max.y - min.y,
+            venue.plan.boundary().area(),
+            venue.static_deployment().len(),
+            venue.nomadic_sites.len(),
+            venue.test_sites.len(),
+            venue.plan.obstacles().len(),
+        ));
+    }
+    out
+}
+
+/// Checks a point is inside a venue (helper reused by integration tests).
+pub fn inside(venue: &Venue, p: Point) -> bool {
+    venue.plan.boundary().contains(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse(&args("")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("-h")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let e = parse(&args("frobnicate")).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn campaign_defaults() {
+        let cmd = parse(&args("campaign")).unwrap();
+        assert_eq!(cmd, Command::Campaign(CampaignSpec::default()));
+    }
+
+    #[test]
+    fn campaign_full_flags() {
+        let cmd = parse(&args(
+            "campaign --venue lobby --deployment fleet:3 --packets 10 --trials 2 \
+             --er 1.5 --seed 7 --center centroid --window hann --antennas 3 --carrier",
+        ))
+        .unwrap();
+        let Command::Campaign(spec) = cmd else {
+            panic!("not a campaign")
+        };
+        assert_eq!(spec.venue, VenueName::Lobby);
+        assert_eq!(spec.deployment, DeploymentSpec::Fleet { nomads: 3 });
+        assert_eq!(spec.packets, 10);
+        assert_eq!(spec.trials, 2);
+        assert_eq!(spec.er, 1.5);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.center, CenterMethod::Centroid);
+        assert_eq!(spec.window, Window::Hann);
+        assert_eq!(spec.antennas, 3);
+        assert!(spec.carrier);
+    }
+
+    #[test]
+    fn deployment_forms() {
+        assert_eq!(parse_deployment("static").unwrap(), DeploymentSpec::Static);
+        assert_eq!(
+            parse_deployment("nomadic").unwrap(),
+            DeploymentSpec::Nomadic { steps: 8 }
+        );
+        assert_eq!(
+            parse_deployment("nomadic:3").unwrap(),
+            DeploymentSpec::Nomadic { steps: 3 }
+        );
+        assert_eq!(
+            parse_deployment("fleet:2").unwrap(),
+            DeploymentSpec::Fleet { nomads: 2 }
+        );
+        assert!(parse_deployment("wandering").is_err());
+        assert!(parse_deployment("nomadic:x").is_err());
+    }
+
+    #[test]
+    fn bad_values_are_rejected_with_messages() {
+        assert!(parse(&args("campaign --packets ten")).is_err());
+        assert!(parse(&args("campaign --er -1")).is_err());
+        assert!(parse(&args("campaign --venue attic")).is_err());
+        assert!(parse(&args("campaign --center middle")).is_err());
+        assert!(parse(&args("campaign --window kaiser")).is_err());
+        assert!(parse(&args("campaign --packets")).is_err(), "missing value");
+        assert!(parse(&args("campaign --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn map_flags() {
+        let cmd = parse(&args("map --venue lobby --nomadic --pitch 1.0")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Map(MapSpec {
+                venue: VenueName::Lobby,
+                nomadic: true,
+                pitch: 1.0,
+            })
+        );
+        assert!(parse(&args("map --pitch 0")).is_err());
+        assert!(parse(&args("map --bogus")).is_err());
+    }
+
+    #[test]
+    fn venues_listing_mentions_all_three() {
+        let out = run_venues();
+        assert!(out.contains("Lab"));
+        assert!(out.contains("Lobby"));
+        assert!(out.contains("Mall"));
+    }
+
+    #[test]
+    fn mall_venue_parses() {
+        assert_eq!(parse_venue("mall").unwrap(), VenueName::Mall);
+    }
+
+    #[test]
+    fn run_map_renders_grid() {
+        let out = run_map(&MapSpec {
+            venue: VenueName::Lab,
+            nomadic: true,
+            pitch: 1.0,
+        });
+        assert!(out.contains('A'), "AP markers missing");
+        assert!(out.contains("predicted SLV"));
+    }
+
+    #[test]
+    fn run_campaign_smoke() {
+        let spec = CampaignSpec {
+            packets: 8,
+            trials: 1,
+            ..CampaignSpec::default()
+        };
+        let out = run_campaign(&spec);
+        assert!(out.contains("mean error"));
+        assert!(out.contains("SLV"));
+        // One row per Lab test site.
+        assert_eq!(out.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 10);
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end tests of the `nomloc` binary via `CARGO_BIN_EXE`.
+
+use std::process::Command;
+
+fn nomloc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_nomloc"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = nomloc(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("campaign"));
+    assert!(text.contains("map"));
+}
+
+#[test]
+fn no_args_means_help() {
+    let out = nomloc(&[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn venues_lists_both() {
+    let out = nomloc(&["venues"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Lab"));
+    assert!(text.contains("Lobby"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = nomloc(&["explode"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("explode"));
+    assert!(err.contains("nomloc help"));
+}
+
+#[test]
+fn bad_flag_value_fails_cleanly() {
+    let out = nomloc(&["campaign", "--packets", "many"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--packets"));
+}
+
+#[test]
+fn map_renders() {
+    let out = nomloc(&["map", "--venue", "lab", "--pitch", "1.0"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("predicted SLV"));
+    assert!(text.contains('A'), "AP markers");
+}
+
+#[test]
+fn tiny_campaign_runs() {
+    let out = nomloc(&[
+        "campaign",
+        "--venue",
+        "lab",
+        "--packets",
+        "5",
+        "--trials",
+        "1",
+        "--deployment",
+        "static",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mean error"));
+    assert!(text.contains("SLV"));
+}

@@ -1,0 +1,223 @@
+//! Confidence factors for proximity judgements (Eq. 1–4).
+//!
+//! A judgement "the object is closer to AP *j* than AP *i*" derived from
+//! the PDP ratio `x = Pᵢ/Pⱼ` carries confidence `w = f(x)`, where `f` must
+//! satisfy the paper's axioms (Eq. 2–3):
+//!
+//! * `f(x) + f(1/x) = 1` — the two directions of one comparison partition
+//!   the total belief;
+//! * `f(1) = ½` — equal PDPs give a coin-flip;
+//! * `f(x) ≥ 0`.
+//!
+//! A useful `f` is also *decreasing*: the more the loser's power trails the
+//! winner's, the more confident the judgement. The paper's choice (Eq. 4)
+//! is the exponential family implemented by [`PaperExp`]; [`Logistic`] and
+//! [`HardDecision`] are alternatives for the ablation study.
+
+/// A confidence function over PDP ratios.
+///
+/// Implementations must uphold the axioms listed in the
+/// [module docs](self); the test suite and property tests verify them for
+/// the provided types.
+pub trait Confidence {
+    /// Confidence of the judgement given the PDP ratio `x = P_loser /
+    /// P_winner ∈ (0, ∞)`.
+    fn confidence(&self, x: f64) -> f64;
+
+    /// Weight of the winning judgement for PDPs `(winner, loser)`:
+    /// `f(loser/winner)`, clamped into `[½, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when either power is non-positive.
+    fn judgement_weight(&self, winner_pdp: f64, loser_pdp: f64) -> f64 {
+        debug_assert!(winner_pdp > 0.0 && loser_pdp > 0.0, "PDPs must be positive");
+        self.confidence(loser_pdp / winner_pdp).clamp(0.5, 1.0)
+    }
+}
+
+/// The paper's exponential confidence function (Eq. 4):
+///
+/// ```text
+/// f(x) = 2^{−x}          0 < x ≤ 1
+/// f(x) = 1 − 2^{−1/x}    x > 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PaperExp;
+
+impl Confidence for PaperExp {
+    fn confidence(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else if x <= 1.0 {
+            2f64.powf(-x)
+        } else {
+            1.0 - 2f64.powf(-1.0 / x)
+        }
+    }
+}
+
+/// Logistic family `f(x) = 1 / (1 + xᵏ)` with steepness `k > 0`.
+///
+/// Satisfies the axioms for every `k`: `f(x) + f(1/x) = 1/(1+xᵏ) +
+/// xᵏ/(1+xᵏ) = 1`. Larger `k` approaches the hard decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Logistic {
+    k: f64,
+}
+
+impl Logistic {
+    /// Creates a logistic confidence function with steepness `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is not strictly positive and finite.
+    pub fn new(k: f64) -> Self {
+        assert!(k > 0.0 && k.is_finite(), "steepness must be positive");
+        Logistic { k }
+    }
+
+    /// The steepness parameter.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+}
+
+impl Default for Logistic {
+    fn default() -> Self {
+        Logistic { k: 1.0 }
+    }
+}
+
+impl Confidence for Logistic {
+    fn confidence(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            1.0 / (1.0 + x.powf(self.k))
+        }
+    }
+}
+
+/// Degenerate all-or-nothing confidence: total trust in every judgement.
+///
+/// `f(x) = 1` for `x < 1`, `½` at `1`, `0` beyond. Used by the ablation to
+/// show why graded confidence matters for the relaxation LP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HardDecision;
+
+impl Confidence for HardDecision {
+    fn confidence(&self, x: f64) -> f64 {
+        if x < 1.0 {
+            1.0
+        } else if x == 1.0 {
+            0.5
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_axioms<C: Confidence>(f: &C) {
+        // f(1) = ½.
+        assert!((f.confidence(1.0) - 0.5).abs() < 1e-12);
+        // f(x) + f(1/x) = 1 across a log-spaced sweep.
+        for i in -40..=40 {
+            let x = 10f64.powf(i as f64 / 10.0);
+            let s = f.confidence(x) + f.confidence(1.0 / x);
+            assert!((s - 1.0).abs() < 1e-9, "axiom failed at x = {x}: {s}");
+            assert!(f.confidence(x) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_exp_axioms() {
+        check_axioms(&PaperExp);
+    }
+
+    #[test]
+    fn logistic_axioms() {
+        for k in [0.5, 1.0, 2.0, 5.0] {
+            check_axioms(&Logistic::new(k));
+        }
+    }
+
+    #[test]
+    fn hard_decision_axioms() {
+        let f = HardDecision;
+        assert_eq!(f.confidence(1.0), 0.5);
+        for x in [0.1, 0.5, 0.99] {
+            assert_eq!(f.confidence(x) + f.confidence(1.0 / x), 1.0);
+        }
+    }
+
+    #[test]
+    fn paper_exp_known_values() {
+        let f = PaperExp;
+        // f(1/2) = 2^{-1/2} ≈ 0.7071.
+        assert!((f.confidence(0.5) - 2f64.powf(-0.5)).abs() < 1e-12);
+        // f(2) = 1 − 2^{-1/2} ≈ 0.2929.
+        assert!((f.confidence(2.0) - (1.0 - 2f64.powf(-0.5))).abs() < 1e-12);
+        // Extremes.
+        assert!((f.confidence(1e-9) - 1.0).abs() < 1e-6);
+        assert!(f.confidence(1e9) < 1e-6);
+    }
+
+    #[test]
+    fn confidence_is_decreasing() {
+        for f in [&PaperExp as &dyn Confidence, &Logistic::new(2.0), &HardDecision] {
+            let mut prev = f.confidence(0.01);
+            for i in 1..200 {
+                let x = 0.01 + i as f64 * 0.05;
+                let c = f.confidence(x);
+                assert!(c <= prev + 1e-12, "not decreasing at {x}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn judgement_weight_range() {
+        let f = PaperExp;
+        // Winner has more power, so ratio ≤ 1 and weight ∈ [½, 1].
+        for (w, l) in [(1.0, 1.0), (2.0, 1.0), (100.0, 1.0), (1.0, 0.999)] {
+            let wt = f.judgement_weight(w, l);
+            assert!((0.5..=1.0).contains(&wt), "weight {wt}");
+        }
+        // Equal powers: exactly ½.
+        assert!((f.judgement_weight(3.0, 3.0) - 0.5).abs() < 1e-12);
+        // Overwhelming winner: near 1.
+        assert!(f.judgement_weight(1e6, 1.0) > 0.99);
+    }
+
+    #[test]
+    fn close_pdps_get_low_confidence() {
+        // The paper's §V-C observation: errors cluster where PDPs are
+        // similar, but those judgements carry weight ≈ ½ so they barely
+        // hurt the LP.
+        let f = PaperExp;
+        let near_tie = f.judgement_weight(1.05, 1.0);
+        let clear = f.judgement_weight(10.0, 1.0);
+        assert!(near_tie < 0.55);
+        assert!(clear > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "steepness")]
+    fn logistic_rejects_zero_k() {
+        let _ = Logistic::new(0.0);
+    }
+
+    #[test]
+    fn logistic_steepness_ordering() {
+        // At the same ratio < 1, steeper k is more confident.
+        let soft = Logistic::new(0.5);
+        let sharp = Logistic::new(4.0);
+        assert!(sharp.confidence(0.5) > soft.confidence(0.5));
+        assert!(sharp.confidence(2.0) < soft.confidence(2.0));
+    }
+}

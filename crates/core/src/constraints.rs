@@ -1,0 +1,207 @@
+//! Constraint generation for the SP location estimator (§IV-B).
+//!
+//! Three families of half-planes feed the LP:
+//!
+//! * **proximity constraints** (Eq. 6–8) — one per pairwise judgement,
+//!   weighted by the confidence factor;
+//! * **area-boundary constraints** (Eq. 9–11) — built with *virtual APs*:
+//!   a reference point is mirrored across each edge of the (convex) region
+//!   and "closer to the reference than to its mirror" pins the object
+//!   inside that edge. These carry [`crate::BOUNDARY_WEIGHT`];
+//! * **nomadic downscoping constraints** (Eq. 13–15) — the judgements
+//!   involving nomadic AP sites; structurally identical to proximity
+//!   constraints, they arrive through the same pairwise machinery because
+//!   [`crate::proximity::judge_all_pairs`] already treats every nomadic
+//!   site as a distinct AP site.
+
+use crate::proximity::ProximityJudgement;
+use crate::BOUNDARY_WEIGHT;
+use nomloc_geometry::{HalfPlane, Point, Polygon};
+use nomloc_lp::relax::WeightedConstraint;
+
+/// Converts one proximity judgement into its weighted half-plane (Eq. 7).
+pub fn judgement_constraint(j: &ProximityJudgement) -> WeightedConstraint {
+    WeightedConstraint::new(
+        HalfPlane::closer_to(j.near.position, j.far.position),
+        j.weight,
+    )
+}
+
+/// Converts a batch of judgements.
+pub fn judgement_constraints(judgements: &[ProximityJudgement]) -> Vec<WeightedConstraint> {
+    judgements.iter().map(judgement_constraint).collect()
+}
+
+/// Virtual APs: the mirror images of `reference` across each edge of
+/// `region` (Fig. 4).
+///
+/// The paper notes "the site of AP 1 could be any other sites within the
+/// area"; any interior reference produces the same half-planes.
+pub fn virtual_aps(region: &Polygon, reference: Point) -> Vec<Point> {
+    region
+        .edges()
+        .filter_map(|e| e.line().map(|l| l.mirror(reference)))
+        .collect()
+}
+
+/// Area-boundary constraints for a convex region (Eq. 9–11): "closer to
+/// the reference than to each of its virtual APs", at boundary weight.
+///
+/// For a reference strictly inside the region these half-planes are exactly
+/// the interior sides of the region's edges.
+pub fn boundary_constraints(region: &Polygon, reference: Point) -> Vec<WeightedConstraint> {
+    region
+        .edges()
+        .filter_map(|e| {
+            let line = e.line()?;
+            let vap = line.mirror(reference);
+            if vap.distance(reference) < 1e-9 {
+                // Reference on the edge: the mirror degenerates; fall back
+                // to the half-plane of the edge itself via its normal.
+                return None;
+            }
+            Some(WeightedConstraint::new(
+                HalfPlane::closer_to(reference, vap),
+                BOUNDARY_WEIGHT,
+            ))
+        })
+        .collect()
+}
+
+/// Full constraint set for one convex region: judgements plus boundary.
+pub fn assemble(
+    judgements: &[ProximityJudgement],
+    region: &Polygon,
+) -> Vec<WeightedConstraint> {
+    let mut out = judgement_constraints(judgements);
+    out.extend(boundary_constraints(region, region.centroid()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proximity::ApSite;
+
+    fn square() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0))
+    }
+
+    fn judgement(nx: f64, ny: f64, fx: f64, fy: f64, w: f64) -> ProximityJudgement {
+        ProximityJudgement {
+            near: ApSite::fixed(0, Point::new(nx, ny)),
+            far: ApSite::fixed(1, Point::new(fx, fy)),
+            weight: w,
+        }
+    }
+
+    #[test]
+    fn judgement_constraint_is_bisector() {
+        let j = judgement(2.0, 5.0, 8.0, 5.0, 0.8);
+        let c = judgement_constraint(&j);
+        assert_eq!(c.weight, 0.8);
+        // Points nearer the near-AP satisfy; midpoint is on the boundary.
+        assert!(c.halfplane.contains(Point::new(0.0, 0.0)));
+        assert!(!c.halfplane.contains(Point::new(9.0, 9.0)));
+        assert!(c.halfplane.violation(Point::new(5.0, 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_aps_one_per_edge() {
+        let vaps = virtual_aps(&square(), Point::new(3.0, 4.0));
+        assert_eq!(vaps.len(), 4);
+        // Mirror across y=0 is (3, −4); across x=10 is (17, 4); etc.
+        assert!(vaps.iter().any(|p| p.distance(Point::new(3.0, -4.0)) < 1e-9));
+        assert!(vaps.iter().any(|p| p.distance(Point::new(17.0, 4.0)) < 1e-9));
+        assert!(vaps.iter().any(|p| p.distance(Point::new(3.0, 16.0)) < 1e-9));
+        assert!(vaps.iter().any(|p| p.distance(Point::new(-3.0, 4.0)) < 1e-9));
+        // All virtual APs are outside the region.
+        assert!(vaps.iter().all(|p| !square().contains(*p)));
+    }
+
+    #[test]
+    fn boundary_constraints_equal_region_interior() {
+        // The mirror construction must reproduce the region: a point is
+        // inside the square iff it satisfies all boundary constraints.
+        let cs = boundary_constraints(&square(), Point::new(2.0, 7.0));
+        assert_eq!(cs.len(), 4);
+        for c in &cs {
+            assert_eq!(c.weight, BOUNDARY_WEIGHT);
+        }
+        let grid: Vec<Point> = (-2..13)
+            .flat_map(|i| (-2..13).map(move |j| Point::new(i as f64, j as f64)))
+            .collect();
+        for p in grid {
+            let inside = square().contains(p);
+            let satisfied = cs.iter().all(|c| c.halfplane.contains(p));
+            assert_eq!(inside, satisfied, "mismatch at {p}");
+        }
+    }
+
+    #[test]
+    fn boundary_constraints_independent_of_reference() {
+        // "The site of AP 1 could be any other sites within the area."
+        let a = boundary_constraints(&square(), Point::new(1.0, 1.0));
+        let b = boundary_constraints(&square(), Point::new(8.0, 5.0));
+        let probes = [
+            Point::new(5.0, 5.0),
+            Point::new(-1.0, 5.0),
+            Point::new(5.0, 11.0),
+            Point::new(0.0, 0.0),
+        ];
+        for p in probes {
+            let sa = a.iter().all(|c| c.halfplane.contains(p));
+            let sb = b.iter().all(|c| c.halfplane.contains(p));
+            assert_eq!(sa, sb, "reference changed the region at {p}");
+        }
+    }
+
+    #[test]
+    fn boundary_constraints_on_triangle() {
+        let tri = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(0.0, 6.0),
+        ])
+        .unwrap();
+        let cs = boundary_constraints(&tri, tri.centroid());
+        assert_eq!(cs.len(), 3);
+        assert!(cs.iter().all(|c| c.halfplane.contains(Point::new(1.0, 1.0))));
+        assert!(cs.iter().any(|c| !c.halfplane.contains(Point::new(4.0, 4.0))));
+    }
+
+    #[test]
+    fn assemble_combines_both_families() {
+        let js = [judgement(2.0, 5.0, 8.0, 5.0, 0.8)];
+        let all = assemble(&js, &square());
+        assert_eq!(all.len(), 1 + 4);
+        let n_boundary = all.iter().filter(|c| c.weight == BOUNDARY_WEIGHT).count();
+        assert_eq!(n_boundary, 4);
+    }
+
+    #[test]
+    fn nomadic_sites_add_constraints_via_pairs() {
+        // Eq. 13–15: S nomadic sites × (n−1) static APs appear naturally as
+        // pairwise judgements; with 3 static + 2 nomadic sites we get
+        // C(5,2) = 10 constraints, of which 2 × 3 = 6 involve a nomadic
+        // site paired with a static one.
+        use crate::confidence::PaperExp;
+        use crate::proximity::{judge_all_pairs, PdpReading};
+        let mut readings = vec![
+            PdpReading::new(ApSite::fixed(1, Point::new(0.0, 0.0)), 1.0),
+            PdpReading::new(ApSite::fixed(2, Point::new(10.0, 0.0)), 0.8),
+            PdpReading::new(ApSite::fixed(3, Point::new(0.0, 10.0)), 0.6),
+        ];
+        readings.push(PdpReading::new(ApSite::nomadic(0, 0, Point::new(5.0, 5.0)), 2.0));
+        readings.push(PdpReading::new(ApSite::nomadic(0, 1, Point::new(6.0, 4.0)), 2.5));
+        let js = judge_all_pairs(&readings, &PaperExp);
+        assert_eq!(js.len(), 10);
+        let nomadic_static = js
+            .iter()
+            .filter(|j| (j.near.ap == 0) != (j.far.ap == 0))
+            .count();
+        assert_eq!(nomadic_static, 6);
+        let cs = judgement_constraints(&js);
+        assert_eq!(cs.len(), 10);
+    }
+}

@@ -1,0 +1,426 @@
+//! SP-based location estimation (§IV-B).
+//!
+//! Turns a set of proximity judgements into a position:
+//!
+//! 1. decompose the area of interest into convex pieces (non-convex venues
+//!    like the L-shaped lobby, §IV-B-2);
+//! 2. per piece, assemble judgement + boundary constraints and solve the
+//!    weighted relaxation LP (Eq. 19);
+//! 3. keep the pieces with minimal relaxation cost and report the center
+//!    of their (merged) relaxed feasible regions.
+
+use crate::constraints;
+use crate::proximity::ProximityJudgement;
+use nomloc_geometry::{convex, HalfPlane, Point, Polygon};
+use nomloc_lp::center::{self, CenterMethod};
+use nomloc_lp::relax::relax_constraints;
+use nomloc_lp::LpError;
+use std::fmt;
+
+/// Errors from location estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// The area polygon decomposed into zero usable pieces.
+    EmptyArea,
+    /// Every convex piece failed in the LP layer (carries the last error).
+    Solver(LpError),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::EmptyArea => write!(f, "area of interest has no convex pieces"),
+            EstimateError::Solver(e) => write!(f, "all convex pieces failed to solve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// A location estimate with its diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationEstimate {
+    /// Estimated object position.
+    pub position: Point,
+    /// Total relaxation cost `wᵀt` of the winning piece (0 ⇒ all
+    /// judgements were mutually consistent).
+    pub relaxation_cost: f64,
+    /// Area of the relaxed feasible region, m² (granularity of the space
+    /// partition — smaller is finer).
+    pub region_area: f64,
+    /// Number of constraints in the LP (judgements + boundary).
+    pub n_constraints: usize,
+    /// Number of convex pieces that tied for the minimal relaxation cost.
+    pub n_winning_pieces: usize,
+}
+
+/// The space-partition estimator.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_core::{ApSite, ProximityJudgement, SpEstimator};
+/// use nomloc_geometry::{Point, Polygon};
+///
+/// let area = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+/// // One judgement: closer to the west AP than the east AP ⇒ west half.
+/// let j = ProximityJudgement {
+///     near: ApSite::fixed(0, Point::new(1.0, 5.0)),
+///     far: ApSite::fixed(1, Point::new(9.0, 5.0)),
+///     weight: 0.9,
+/// };
+/// let est = SpEstimator::default().estimate(&[j], &area)?;
+/// assert!(est.position.x < 5.0);
+/// # Ok::<(), nomloc_core::estimator::EstimateError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpEstimator {
+    /// How the feasible region is reduced to a point.
+    pub center_method: CenterMethod,
+}
+
+impl SpEstimator {
+    /// Creates an estimator with the default (Chebyshev) center.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the center method.
+    pub fn with_center_method(mut self, method: CenterMethod) -> Self {
+        self.center_method = method;
+        self
+    }
+
+    /// Estimates the object position inside `area` from `judgements`.
+    ///
+    /// With no judgements the estimate degenerates to the area's "center"
+    /// (per the configured method) — maximal uncertainty.
+    ///
+    /// # Errors
+    ///
+    /// See [`EstimateError`].
+    pub fn estimate(
+        &self,
+        judgements: &[ProximityJudgement],
+        area: &Polygon,
+    ) -> Result<LocationEstimate, EstimateError> {
+        let pieces = convex::decompose(area);
+        if pieces.is_empty() {
+            return Err(EstimateError::EmptyArea);
+        }
+
+        struct PieceSolution {
+            cost: f64,
+            center: Point,
+            region_area: f64,
+            n_constraints: usize,
+        }
+
+        let mut solutions: Vec<PieceSolution> = Vec::with_capacity(pieces.len());
+        let mut last_err = LpError::Infeasible;
+        for piece in &pieces {
+            let cs = constraints::assemble(judgements, piece);
+            let n_constraints = cs.len();
+            let relaxed = match relax_constraints(&cs) {
+                Ok(r) => r,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            // Geometry of the post-relaxation region, per the paper's
+            // reading of Eq. 19: constraints with tᵢ = 0 are *retained*,
+            // constraints with tᵢ > 0 were judged wrong and are
+            // *sacrificed* (dropped), leaving a non-degenerate cell whose
+            // center is the estimate.
+            let n_judgements = judgements.len();
+            let kept_judgements: Vec<HalfPlane> = judgements
+                .iter()
+                .zip(&relaxed.slacks()[..n_judgements])
+                .filter(|(_, &t)| t <= 1e-6)
+                .map(|(j, _)| crate::constraints::judgement_constraint(j).halfplane)
+                .collect();
+            let (center, region_area) =
+                match center::feasible_region(&kept_judgements, piece) {
+                    Some(region) => {
+                        let c = center::center(self.center_method, &kept_judgements, piece)
+                            .unwrap_or_else(|_| region.centroid());
+                        (c, region.area())
+                    }
+                    // Degenerate (zero-area) region: fall back to the LP
+                    // witness clamped into the piece.
+                    None => (piece.clamp_point(relaxed.witness()), 0.0),
+                };
+            solutions.push(PieceSolution {
+                cost: relaxed.cost(),
+                center,
+                region_area,
+                n_constraints,
+            });
+        }
+
+        if solutions.is_empty() {
+            return Err(EstimateError::Solver(last_err));
+        }
+
+        // Keep the minimal-cost pieces (ties within tolerance) and merge
+        // their centers weighted by feasible area.
+        let min_cost = solutions
+            .iter()
+            .map(|s| s.cost)
+            .fold(f64::INFINITY, f64::min);
+        let winners: Vec<&PieceSolution> = solutions
+            .iter()
+            .filter(|s| s.cost <= min_cost + 1e-6 * (1.0 + min_cost))
+            .collect();
+        let total_area: f64 = winners.iter().map(|s| s.region_area).sum();
+        let position = if total_area > 1e-12 {
+            let mut x = 0.0;
+            let mut y = 0.0;
+            for s in &winners {
+                x += s.center.x * s.region_area;
+                y += s.center.y * s.region_area;
+            }
+            Point::new(x / total_area, y / total_area)
+        } else {
+            // All-degenerate: average the witnesses.
+            let n = winners.len() as f64;
+            Point::new(
+                winners.iter().map(|s| s.center.x).sum::<f64>() / n,
+                winners.iter().map(|s| s.center.y).sum::<f64>() / n,
+            )
+        };
+
+        Ok(LocationEstimate {
+            position,
+            relaxation_cost: min_cost,
+            region_area: total_area,
+            n_constraints: winners.iter().map(|s| s.n_constraints).max().unwrap_or(0),
+            n_winning_pieces: winners.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proximity::ApSite;
+
+    fn square() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0))
+    }
+
+    fn l_shape() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(20.0, 8.0),
+            Point::new(8.0, 8.0),
+            Point::new(8.0, 15.0),
+            Point::new(0.0, 15.0),
+        ])
+        .unwrap()
+    }
+
+    fn judgement(near: Point, far: Point, w: f64) -> ProximityJudgement {
+        ProximityJudgement {
+            near: ApSite::fixed(0, near),
+            far: ApSite::fixed(1, far),
+            weight: w,
+        }
+    }
+
+    /// Judgements consistent with an object at `q` among the given APs.
+    fn truthful_judgements(q: Point, aps: &[Point]) -> Vec<ProximityJudgement> {
+        let mut out = Vec::new();
+        for i in 0..aps.len() {
+            for j in (i + 1)..aps.len() {
+                let (near, far) = if q.distance_sq(aps[i]) <= q.distance_sq(aps[j]) {
+                    (aps[i], aps[j])
+                } else {
+                    (aps[j], aps[i])
+                };
+                out.push(judgement(near, far, 0.9));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn no_judgements_returns_area_center() {
+        let est = SpEstimator::new().estimate(&[], &square()).unwrap();
+        assert!(est.position.distance(Point::new(5.0, 5.0)) < 1e-4);
+        assert_eq!(est.relaxation_cost, 0.0);
+        assert!((est.region_area - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_judgement_halves_region() {
+        let j = judgement(Point::new(1.0, 5.0), Point::new(9.0, 5.0), 0.9);
+        let est = SpEstimator::new().estimate(&[j], &square()).unwrap();
+        assert!(est.position.x < 5.0);
+        assert!((est.region_area - 50.0).abs() < 1e-6);
+        assert!(est.relaxation_cost < 1e-9);
+        assert_eq!(est.n_constraints, 5);
+    }
+
+    #[test]
+    fn consistent_judgements_localize_near_truth() {
+        let aps = [
+            Point::new(0.5, 0.5),
+            Point::new(9.5, 0.5),
+            Point::new(9.5, 9.5),
+            Point::new(0.5, 9.5),
+            Point::new(5.0, 0.5),
+            Point::new(5.0, 9.5),
+        ];
+        for q in [Point::new(2.0, 3.0), Point::new(7.5, 6.0), Point::new(5.0, 5.0)] {
+            let js = truthful_judgements(q, &aps);
+            let est = SpEstimator::new().estimate(&js, &square()).unwrap();
+            assert!(
+                est.position.distance(q) < 3.0,
+                "estimate {} too far from truth {q}",
+                est.position
+            );
+            assert!(est.relaxation_cost < 1e-6, "truthful set should be exact");
+        }
+    }
+
+    #[test]
+    fn more_aps_give_finer_region() {
+        let q = Point::new(3.0, 4.0);
+        let few = [Point::new(0.5, 0.5), Point::new(9.5, 9.5)];
+        let many = [
+            Point::new(0.5, 0.5),
+            Point::new(9.5, 0.5),
+            Point::new(9.5, 9.5),
+            Point::new(0.5, 9.5),
+            Point::new(5.0, 5.0),
+            Point::new(2.0, 8.0),
+        ];
+        let est_few = SpEstimator::new()
+            .estimate(&truthful_judgements(q, &few), &square())
+            .unwrap();
+        let est_many = SpEstimator::new()
+            .estimate(&truthful_judgements(q, &many), &square())
+            .unwrap();
+        assert!(
+            est_many.region_area < est_few.region_area,
+            "downscoping: {} ≥ {}",
+            est_many.region_area,
+            est_few.region_area
+        );
+    }
+
+    #[test]
+    fn opposite_judgements_leave_degenerate_but_feasible_set() {
+        // "Closer to a than b" and "closer to b than a" as *closed*
+        // half-planes still share the bisector line: feasible with zero
+        // area, no relaxation charged, estimate on the bisector.
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(9.0, 5.0);
+        let js = [judgement(a, b, 0.95), judgement(b, a, 0.55)];
+        let est = SpEstimator::new().estimate(&js, &square()).unwrap();
+        assert!(est.relaxation_cost < 1e-6);
+        assert!((est.position.x - 5.0).abs() < 0.1, "{}", est.position);
+    }
+
+    #[test]
+    fn contradictory_judgements_are_relaxed() {
+        // x ≤ 5 (confident, bisector of 1↔9) vs x ≥ 6 (doubtful, bisector
+        // of 9↔3): genuinely disjoint, so the LP must pay.
+        let js = [
+            judgement(Point::new(1.0, 5.0), Point::new(9.0, 5.0), 0.95),
+            judgement(Point::new(9.0, 5.0), Point::new(3.0, 5.0), 0.55),
+        ];
+        let est = SpEstimator::new().estimate(&js, &square()).unwrap();
+        assert!(est.relaxation_cost > 0.0);
+        assert!(
+            est.position.x < 5.0 + 1e-6,
+            "confident side wins: {}",
+            est.position
+        );
+    }
+
+    #[test]
+    fn estimate_always_inside_area() {
+        // Judgements dragging the solution toward a far corner can't push
+        // it out of the boundary.
+        let js = [
+            judgement(Point::new(100.0, 100.0), Point::new(-50.0, -50.0), 0.99),
+            judgement(Point::new(120.0, 80.0), Point::new(-60.0, -40.0), 0.99),
+        ];
+        let est = SpEstimator::new().estimate(&js, &square()).unwrap();
+        assert!(
+            square().contains(est.position)
+                || square().distance_to_boundary(est.position) < 1e-6,
+            "{} escaped",
+            est.position
+        );
+    }
+
+    #[test]
+    fn l_shape_decomposes_and_solves() {
+        let area = l_shape();
+        let aps = [
+            Point::new(1.0, 1.0),
+            Point::new(19.0, 1.0),
+            Point::new(1.0, 14.0),
+            Point::new(19.0, 7.0),
+        ];
+        for q in [Point::new(3.0, 3.0), Point::new(15.0, 4.0), Point::new(4.0, 12.0)] {
+            let js = truthful_judgements(q, &aps);
+            let est = SpEstimator::new().estimate(&js, &area).unwrap();
+            assert!(
+                area.contains(est.position) || area.distance_to_boundary(est.position) < 1e-6,
+                "estimate {} outside the L at truth {q}",
+                est.position
+            );
+            assert!(est.position.distance(q) < 6.0);
+        }
+    }
+
+    #[test]
+    fn l_shape_notch_never_wins() {
+        // The notch (x > 8, y > 8) is outside the L; truthful judgements
+        // for a point near the notch corner must still land inside.
+        let area = l_shape();
+        let aps = [
+            Point::new(1.0, 1.0),
+            Point::new(19.0, 1.0),
+            Point::new(1.0, 14.0),
+        ];
+        let q = Point::new(7.0, 7.0);
+        let est = SpEstimator::new()
+            .estimate(&truthful_judgements(q, &aps), &area)
+            .unwrap();
+        assert!(area.contains(est.position) || area.distance_to_boundary(est.position) < 1e-6);
+    }
+
+    #[test]
+    fn center_methods_all_work() {
+        let q = Point::new(4.0, 6.0);
+        let aps = [
+            Point::new(0.5, 0.5),
+            Point::new(9.5, 0.5),
+            Point::new(9.5, 9.5),
+            Point::new(0.5, 9.5),
+        ];
+        let js = truthful_judgements(q, &aps);
+        for m in [CenterMethod::Chebyshev, CenterMethod::Analytic, CenterMethod::Centroid] {
+            let est = SpEstimator::new()
+                .with_center_method(m)
+                .estimate(&js, &square())
+                .unwrap();
+            assert!(est.position.distance(q) < 4.0, "{m:?} → {}", est.position);
+        }
+    }
+
+    #[test]
+    fn diagnostics_populated() {
+        let j = judgement(Point::new(1.0, 5.0), Point::new(9.0, 5.0), 0.9);
+        let est = SpEstimator::new().estimate(&[j], &square()).unwrap();
+        assert_eq!(est.n_winning_pieces, 1);
+        assert!(est.n_constraints >= 5);
+    }
+}

@@ -1,0 +1,635 @@
+//! Measurement campaigns: the simulation loop behind every figure.
+//!
+//! A [`Campaign`] places the object at each test site of a [`Venue`],
+//! simulates the probe/measurement exchange under a chosen [`Deployment`],
+//! runs the full NomLoc pipeline, and records localization errors and
+//! proximity-judgement accuracy. The `repro_*` binaries, the examples, and
+//! the integration tests are all thin wrappers over this module.
+
+use crate::confidence::{Confidence, PaperExp};
+use crate::metrics::{self, SiteOutcome};
+use crate::proximity::{judgement_accuracy, ApSite, PdpReading};
+use crate::scenario::Venue;
+use crate::server::LocalizationServer;
+use nomloc_dsp::stats::Ecdf;
+use nomloc_dsp::Window;
+use nomloc_geometry::Point;
+use nomloc_lp::center::CenterMethod;
+use nomloc_mobility::{patterns, MarkovChain, PositionError};
+use nomloc_rfsim::{AntennaArray, Environment, SubcarrierGrid};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// AP deployment strategy under evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Deployment {
+    /// All APs fixed (the paper's baseline): the nomadic AP parks at home.
+    Static,
+    /// AP 1 random-walks over {home, P1…} taking measurements from each
+    /// distinct site it visits.
+    Nomadic {
+        /// Number of Markov-chain transitions per localization round.
+        steps: usize,
+        /// Transition matrix family over the nomadic site set.
+        pattern: MobilityPattern,
+    },
+    /// Multiple nomadic APs (the paper's §VI future-work extension): the
+    /// first `nomads` APs each walk over their own home plus the venue's
+    /// shared nomadic sites; the rest stay fixed.
+    Fleet {
+        /// How many APs are nomadic (0 degenerates to `Static`; 1 matches
+        /// `Nomadic` up to RNG draws). Clamped to the AP count.
+        nomads: usize,
+        /// Markov-chain transitions per nomadic AP per round.
+        steps: usize,
+    },
+}
+
+/// Named transition-matrix families (see [`nomloc_mobility::patterns`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityPattern {
+    /// Uniform random walk (the paper's model).
+    Uniform,
+    /// Linger at each site (`stay` probability 0.5).
+    StayBiased,
+    /// Deterministic patrol cycle.
+    Sweep,
+    /// Pace between neighbouring sites.
+    Corridor,
+}
+
+impl MobilityPattern {
+    /// Builds the transition matrix for `n` sites.
+    pub fn matrix(&self, n: usize) -> Vec<Vec<f64>> {
+        match self {
+            MobilityPattern::Uniform => patterns::uniform(n),
+            MobilityPattern::StayBiased => patterns::stay_biased(n, 0.5),
+            MobilityPattern::Sweep => patterns::sweep(n),
+            MobilityPattern::Corridor => patterns::corridor(n),
+        }
+    }
+}
+
+impl Deployment {
+    /// Nomadic deployment with the paper's uniform random walk.
+    pub fn nomadic(steps: usize) -> Deployment {
+        Deployment::Nomadic {
+            steps,
+            pattern: MobilityPattern::Uniform,
+        }
+    }
+}
+
+/// A configured measurement campaign. Build with [`Campaign::new`] and the
+/// chained setters, then call [`Campaign::run`].
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    venue: Venue,
+    deployment: Deployment,
+    packets_per_site: usize,
+    trials_per_site: usize,
+    position_error: f64,
+    center_method: CenterMethod,
+    pdp_window: Window,
+    rx_antennas: usize,
+    carrier_blocking: bool,
+    grid: SubcarrierGrid,
+    parallel: bool,
+    seed: u64,
+}
+
+/// Results of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Venue name the campaign ran in.
+    pub venue_name: &'static str,
+    /// Per-site localization outcomes, in test-site order.
+    pub outcomes: Vec<SiteOutcome>,
+    /// Per-site PDP proximity-determination accuracy (Fig. 7 metric),
+    /// averaged over trials, in test-site order.
+    pub proximity_accuracy: Vec<f64>,
+}
+
+impl CampaignResult {
+    /// Spatial localizability variance (Eq. 22).
+    pub fn slv(&self) -> f64 {
+        metrics::slv(&self.outcomes).unwrap_or(f64::NAN)
+    }
+
+    /// Mean localization error across sites, metres.
+    pub fn mean_error(&self) -> f64 {
+        metrics::mean_error(&self.outcomes).unwrap_or(f64::NAN)
+    }
+
+    /// Error CDF over per-site mean errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the campaign produced no outcomes (cannot happen for
+    /// venues with test sites).
+    pub fn error_cdf(&self) -> Ecdf {
+        metrics::error_cdf(&self.outcomes).expect("campaign produced outcomes")
+    }
+
+    /// Per-site mean errors, in test-site order.
+    pub fn site_mean_errors(&self) -> Vec<f64> {
+        metrics::site_mean_errors(&self.outcomes)
+    }
+
+    /// Mean proximity accuracy across sites.
+    pub fn mean_proximity_accuracy(&self) -> f64 {
+        if self.proximity_accuracy.is_empty() {
+            f64::NAN
+        } else {
+            self.proximity_accuracy.iter().sum::<f64>() / self.proximity_accuracy.len() as f64
+        }
+    }
+}
+
+impl Campaign {
+    /// Creates a campaign with the paper's defaults: 50 packets per site,
+    /// 5 trials per site, exact nomadic coordinates (ER = 0), Chebyshev
+    /// centers, seed 0.
+    pub fn new(venue: Venue, deployment: Deployment) -> Self {
+        Campaign {
+            venue,
+            deployment,
+            packets_per_site: 50,
+            trials_per_site: 5,
+            position_error: 0.0,
+            center_method: CenterMethod::Chebyshev,
+            pdp_window: Window::Rectangular,
+            rx_antennas: 1,
+            carrier_blocking: false,
+            grid: SubcarrierGrid::intel5300(),
+            parallel: true,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of probe packets measured per AP site.
+    pub fn packets_per_site(mut self, n: usize) -> Self {
+        self.packets_per_site = n.max(1);
+        self
+    }
+
+    /// Sets the number of independent localization trials per test site.
+    pub fn trials_per_site(mut self, n: usize) -> Self {
+        self.trials_per_site = n.max(1);
+        self
+    }
+
+    /// Sets the nomadic-AP position error range (the paper's ER), metres.
+    pub fn position_error(mut self, er: f64) -> Self {
+        self.position_error = er.max(0.0);
+        self
+    }
+
+    /// Sets the center method of the SP estimator.
+    pub fn center_method(mut self, method: CenterMethod) -> Self {
+        self.center_method = method;
+        self
+    }
+
+    /// Sets the spectral window of the PDP estimator.
+    pub fn pdp_window(mut self, window: Window) -> Self {
+        self.pdp_window = window;
+        self
+    }
+
+    /// Sets the number of λ/2-spaced receive antennas per AP (selection
+    /// combining across elements; the paper's Intel 5300 has three).
+    pub fn rx_antennas(mut self, n: usize) -> Self {
+        self.rx_antennas = n.max(1);
+        self
+    }
+
+    /// Sets the CSI subcarrier grid (default: the Intel 5300's 30 grouped
+    /// subcarriers over 20 MHz).
+    pub fn subcarrier_grid(mut self, grid: SubcarrierGrid) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Models the person carrying each nomadic AP as a human-body obstacle
+    /// standing 0.3 m behind the AP (away from the venue center), shadowing
+    /// the links that pass through them.
+    pub fn carrier_blocking(mut self, enabled: bool) -> Self {
+        self.carrier_blocking = enabled;
+        self
+    }
+
+    /// Enables or disables the per-site thread fan-out (on by default;
+    /// results are bit-identical either way thanks to per-(site, trial)
+    /// RNG derivation).
+    pub fn parallel(mut self, enabled: bool) -> Self {
+        self.parallel = enabled;
+        self
+    }
+
+    /// Sets the RNG seed (campaigns are fully deterministic given a seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The venue under test.
+    pub fn venue(&self) -> &Venue {
+        &self.venue
+    }
+
+    /// Runs the campaign with the paper's confidence function.
+    pub fn run(&self) -> CampaignResult {
+        self.run_with_confidence(PaperExp)
+    }
+
+    /// Runs the campaign with a custom confidence function (for the
+    /// f-function ablation).
+    pub fn run_with_confidence<C>(&self, confidence: C) -> CampaignResult
+    where
+        C: Confidence + Send + Sync + Clone + 'static,
+    {
+        let env = Environment::new(self.venue.plan.clone(), self.venue.radio.clone());
+        let grid = self.grid.clone();
+        let server = LocalizationServer::new(self.venue.plan.boundary().clone())
+            .with_center_method(self.center_method)
+            .with_pdp_estimator(
+                crate::pdp::PdpEstimator::new().with_window(self.pdp_window),
+            )
+            .with_confidence(confidence);
+        let err_model = PositionError::new(self.position_error);
+
+        // Sites are independent (per-(site, trial) RNGs), so fan out
+        // across threads; results are ordered by site index either way.
+        let site_results: Vec<(SiteOutcome, f64)> = if self.parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .venue
+                    .test_sites
+                    .iter()
+                    .enumerate()
+                    .map(|(site_idx, &object)| {
+                        let env = &env;
+                        let grid = &grid;
+                        let server = &server;
+                        let err_model = &err_model;
+                        scope.spawn(move || {
+                            self.run_site(site_idx, object, env, grid, server, err_model)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("site worker panicked"))
+                    .collect()
+            })
+        } else {
+            self.venue
+                .test_sites
+                .iter()
+                .enumerate()
+                .map(|(site_idx, &object)| {
+                    self.run_site(site_idx, object, &env, &grid, &server, &err_model)
+                })
+                .collect()
+        };
+
+        let (outcomes, accuracies) = site_results.into_iter().unzip();
+        CampaignResult {
+            venue_name: self.venue.name,
+            outcomes,
+            proximity_accuracy: accuracies,
+        }
+    }
+
+    /// Runs all trials of one test site, returning its outcome and mean
+    /// proximity accuracy.
+    fn run_site(
+        &self,
+        site_idx: usize,
+        object: Point,
+        env: &Environment,
+        grid: &SubcarrierGrid,
+        server: &LocalizationServer,
+        err_model: &PositionError,
+    ) -> (SiteOutcome, f64) {
+        let mut errors = Vec::with_capacity(self.trials_per_site);
+        let mut acc_sum = 0.0;
+        let mut acc_count = 0usize;
+        for trial in 0..self.trials_per_site {
+            let mut rng = self.trial_rng(site_idx, trial);
+            // (reported site, true position) pairs for this round.
+            let ap_sites = self.measurement_sites(err_model, &mut rng);
+            let pdp_estimator = crate::pdp::PdpEstimator::new().with_window(self.pdp_window);
+            let readings: Vec<PdpReading> = ap_sites
+                .iter()
+                .filter_map(|m| {
+                    let array = AntennaArray::half_wavelength(
+                        m.true_pos,
+                        self.rx_antennas,
+                        self.venue.radio.carrier_hz,
+                    );
+                    // The carrier's body shadows a nomadic AP's links.
+                    let blocked_env;
+                    let site_env = if self.carrier_blocking && m.nomadic {
+                        blocked_env = self.blocked_environment(env, m.true_pos);
+                        &blocked_env
+                    } else {
+                        env
+                    };
+                    let bursts = site_env.sample_csi_array(
+                        object,
+                        &array,
+                        grid,
+                        self.packets_per_site,
+                        &mut rng,
+                    );
+                    let pdp = pdp_estimator.pdp_of_array(&bursts)?;
+                    (pdp > 0.0 && pdp.is_finite()).then(|| PdpReading::new(m.site, pdp))
+                })
+                .collect();
+
+            let judgements = server.judge(&readings);
+            if let Some(acc) =
+                judgement_accuracy(&judgements, object, |s| true_position(&ap_sites, s))
+            {
+                acc_sum += acc;
+                acc_count += 1;
+            }
+            let estimate = server
+                .localize(&readings)
+                .map(|e| e.position)
+                .unwrap_or_else(|_| self.venue.plan.boundary().centroid());
+            errors.push(estimate.distance(object));
+        }
+        let accuracy = if acc_count > 0 {
+            acc_sum / acc_count as f64
+        } else {
+            f64::NAN
+        };
+        (SiteOutcome::new(object, errors), accuracy)
+    }
+
+    /// The AP measurement sites of one localization round.
+    fn measurement_sites(
+        &self,
+        err_model: &PositionError,
+        rng: &mut StdRng,
+    ) -> Vec<MeasurementSite> {
+        let mut out = Vec::new();
+        match &self.deployment {
+            Deployment::Static => {
+                for (i, &p) in self.venue.static_deployment().iter().enumerate() {
+                    out.push(MeasurementSite::fixed(ApSite::fixed(i + 1, p), p));
+                }
+            }
+            Deployment::Nomadic { steps, pattern } => {
+                // Static APs 2…n keep their exact positions.
+                for (i, &p) in self.venue.static_aps.iter().enumerate() {
+                    out.push(MeasurementSite::fixed(ApSite::fixed(i + 2, p), p));
+                }
+                // AP 1 walks over {home, P1…}; each *distinct* visited
+                // site contributes one measurement, with its reported
+                // coordinates perturbed by the ER model.
+                let sites = self.venue.nomadic_site_set();
+                self.walk_nomad(1, &sites, pattern, *steps, err_model, rng, &mut out);
+            }
+            Deployment::Fleet { nomads, steps } => {
+                let all_homes = self.venue.static_deployment();
+                let nomads = (*nomads).min(all_homes.len());
+                // Fixed remainder.
+                for (i, &p) in all_homes.iter().enumerate().skip(nomads) {
+                    out.push(MeasurementSite::fixed(ApSite::fixed(i + 1, p), p));
+                }
+                // Each nomad walks over its own home plus the shared
+                // public sites.
+                for (i, &home) in all_homes.iter().enumerate().take(nomads) {
+                    let mut sites = vec![home];
+                    sites.extend_from_slice(&self.venue.nomadic_sites);
+                    self.walk_nomad(
+                        i + 1,
+                        &sites,
+                        &MobilityPattern::Uniform,
+                        *steps,
+                        err_model,
+                        rng,
+                        &mut out,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Walks one nomadic AP over `sites` and appends a measurement per
+    /// distinct visited site.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_nomad(
+        &self,
+        ap: usize,
+        sites: &[Point],
+        pattern: &MobilityPattern,
+        steps: usize,
+        err_model: &PositionError,
+        rng: &mut StdRng,
+        out: &mut Vec<MeasurementSite>,
+    ) {
+        let chain = MarkovChain::new(sites.to_vec(), pattern.matrix(sites.len()))
+            .expect("pattern matrices are stochastic by construction");
+        let mut seen = vec![false; sites.len()];
+        let mut visit = 0;
+        for idx in chain.walk(0, steps, rng) {
+            if seen[idx] {
+                continue;
+            }
+            seen[idx] = true;
+            let true_pos = sites[idx];
+            let reported = err_model.apply(true_pos, rng);
+            out.push(MeasurementSite {
+                site: ApSite::nomadic(ap, visit, reported),
+                true_pos,
+                nomadic: true,
+            });
+            visit += 1;
+        }
+    }
+
+    /// Environment with the nomadic carrier's body added behind `ap_pos`.
+    fn blocked_environment(&self, base: &Environment, ap_pos: Point) -> Environment {
+        let center = self.venue.plan.boundary().centroid();
+        let away = (ap_pos - center)
+            .normalized()
+            .unwrap_or(nomloc_geometry::Vec2::new(1.0, 0.0));
+        let body_center = ap_pos + away * 0.45;
+        let half = 0.2;
+        let body = nomloc_geometry::Polygon::rectangle(
+            Point::new(body_center.x - half, body_center.y - half),
+            Point::new(body_center.x + half, body_center.y + half),
+        );
+        Environment::new(
+            base.plan().with_obstacle(body, nomloc_rfsim::Material::HUMAN),
+            self.venue.radio.clone(),
+        )
+    }
+
+    /// Deterministic per-(site, trial) RNG derived from the campaign seed.
+    fn trial_rng(&self, site_idx: usize, trial: usize) -> StdRng {
+        let mut s = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(site_idx as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(trial as u64 + 1);
+        // splitmix-style finalizer for good bit diffusion.
+        s ^= s >> 30;
+        s = s.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s ^= s >> 27;
+        s = s.wrapping_mul(0x94D0_49BB_1331_11EB);
+        s ^= s >> 31;
+        StdRng::seed_from_u64(s)
+    }
+}
+
+/// One AP measurement site of a localization round.
+#[derive(Debug, Clone, Copy)]
+struct MeasurementSite {
+    /// Reported site identity/coordinates.
+    site: ApSite,
+    /// Ground-truth coordinates.
+    true_pos: Point,
+    /// Whether a nomadic carrier stands at this site.
+    nomadic: bool,
+}
+
+impl MeasurementSite {
+    fn fixed(site: ApSite, true_pos: Point) -> Self {
+        MeasurementSite {
+            site,
+            true_pos,
+            nomadic: false,
+        }
+    }
+}
+
+/// Looks up the true position of a reported AP site.
+fn true_position(ap_sites: &[MeasurementSite], site: &ApSite) -> Point {
+    ap_sites
+        .iter()
+        .find(|m| m.site.ap == site.ap && m.site.visit == site.visit)
+        .map(|m| m.true_pos)
+        .unwrap_or(site.position)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(venue: Venue, deployment: Deployment) -> Campaign {
+        Campaign::new(venue, deployment)
+            .packets_per_site(12)
+            .trials_per_site(2)
+            .seed(42)
+    }
+
+    #[test]
+    fn static_campaign_runs_and_is_deterministic() {
+        let c = quick(Venue::lab(), Deployment::Static);
+        let a = c.run();
+        let b = c.run();
+        assert_eq!(a.outcomes.len(), 10);
+        assert_eq!(a.site_mean_errors(), b.site_mean_errors(), "same seed, same result");
+        assert!(a.mean_error().is_finite());
+        assert!(a.slv() >= 0.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        // With a feasible judgement set the estimate depends only on the
+        // half-plane geometry, so a *static* campaign can coincide across
+        // seeds. Nomadic with ER > 0 randomizes the reported coordinates,
+        // which must show up in the outcomes.
+        let a = quick(Venue::lab(), Deployment::nomadic(6))
+            .position_error(1.5)
+            .run();
+        let b = quick(Venue::lab(), Deployment::nomadic(6))
+            .position_error(1.5)
+            .seed(43)
+            .run();
+        assert_ne!(a.site_mean_errors(), b.site_mean_errors());
+    }
+
+    #[test]
+    fn nomadic_campaign_runs_in_lobby() {
+        let r = quick(Venue::lobby(), Deployment::nomadic(6)).run();
+        assert_eq!(r.outcomes.len(), 12);
+        assert!(r.mean_error().is_finite());
+        assert!(r.mean_proximity_accuracy() > 0.5, "better than coin flips");
+    }
+
+    #[test]
+    fn errors_bounded_by_venue_diameter() {
+        let venue = Venue::lab();
+        let (min, max) = venue.plan.boundary().bounding_box();
+        let diameter = min.distance(max);
+        let r = quick(venue, Deployment::nomadic(6)).run();
+        for o in &r.outcomes {
+            for &e in &o.errors {
+                assert!(e <= diameter, "error {e} exceeds venue diameter");
+            }
+        }
+    }
+
+    #[test]
+    fn proximity_accuracy_in_unit_range() {
+        let r = quick(Venue::lab(), Deployment::Static).run();
+        for (i, &a) in r.proximity_accuracy.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&a), "site {i} accuracy {a}");
+        }
+    }
+
+    #[test]
+    fn position_error_setter_clamps() {
+        let c = Campaign::new(Venue::lab(), Deployment::Static).position_error(-3.0);
+        // Negative ER clamps to zero rather than panicking.
+        let _ = c.run_with_confidence(PaperExp);
+    }
+
+    #[test]
+    fn fleet_deployment_adds_sites() {
+        // More nomads ⇒ more measurement sites ⇒ no worse mean region
+        // granularity. Just verify the plumbing here; quality trends are
+        // covered by the repro binaries.
+        let venue = Venue::lab();
+        for nomads in 0..=3 {
+            let r = quick(venue.clone(), Deployment::Fleet { nomads, steps: 5 }).run();
+            assert!(r.mean_error().is_finite(), "fleet {nomads}");
+        }
+    }
+
+    #[test]
+    fn fleet_zero_equals_static_site_count() {
+        let c = quick(Venue::lab(), Deployment::Fleet { nomads: 0, steps: 5 });
+        let err = PositionError::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sites = c.measurement_sites(&err, &mut rng);
+        assert_eq!(sites.len(), 4);
+    }
+
+    #[test]
+    fn mobility_patterns_all_run() {
+        for pattern in [
+            MobilityPattern::Uniform,
+            MobilityPattern::StayBiased,
+            MobilityPattern::Sweep,
+            MobilityPattern::Corridor,
+        ] {
+            let r = quick(
+                Venue::lab(),
+                Deployment::Nomadic { steps: 4, pattern },
+            )
+            .run();
+            assert!(r.mean_error().is_finite(), "{pattern:?}");
+        }
+    }
+}

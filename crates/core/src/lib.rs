@@ -1,0 +1,73 @@
+//! NomLoc: calibration-free indoor localization with nomadic access points.
+//!
+//! This crate implements the primary contribution of *"NomLoc:
+//! Calibration-free Indoor Localization With Nomadic Access Points"* (Xiao
+//! et al., IEEE ICDCS 2014): a WLAN positioning system that fights **spatial
+//! localizability variance** — the accuracy gap between well-covered and
+//! blind spots of a static AP deployment — by letting one or more *nomadic*
+//! APs (a greeter's smartphone, a guard's intercom) take CSI measurements
+//! from multiple sites, dynamically reshaping the network topology.
+//!
+//! The pipeline has two stages:
+//!
+//! 1. **PDP-based proximity determination** ([`pdp`], [`proximity`],
+//!    [`confidence`]): per link, the frequency-domain CSI is transformed to
+//!    the channel impulse response and the maximum-power tap approximates
+//!    the power of the direct path (PDP); comparing PDPs of two APs yields
+//!    a relative-proximity judgement weighted by the confidence factor
+//!    `w = f(Pᵢ/Pⱼ)` of Eq. 1–4.
+//! 2. **SP-based location estimation** ([`constraints`], [`estimator`]):
+//!    judgements become perpendicular-bisector half-planes (Eq. 7), the
+//!    venue boundary becomes virtual-AP half-planes (Eq. 9–11), nomadic
+//!    sites densify the partition (Eq. 13–15), and the weighted LP
+//!    relaxation of Eq. 19 absorbs erroneous judgements before the center
+//!    of the feasible region is reported.
+//!
+//! The [`server`] module wires the stages into a [`server::LocalizationServer`];
+//! [`scenario`] reproduces the paper's two experimental venues (Fig. 6);
+//! [`experiment`] runs full measurement campaigns; [`metrics`] computes the
+//! paper's evaluation metrics (accuracy CDF and SLV, Eq. 20–23).
+//!
+//! # Example
+//!
+//! ```
+//! use nomloc_core::experiment::{Campaign, Deployment};
+//! use nomloc_core::scenario::Venue;
+//!
+//! let venue = Venue::lab();
+//! let campaign = Campaign::new(venue, Deployment::nomadic(6))
+//!     .packets_per_site(20)
+//!     .trials_per_site(1)
+//!     .seed(7);
+//! let result = campaign.run();
+//! assert!(result.slv().is_finite());
+//! assert!(result.mean_error() < 5.0, "meter-scale accuracy expected");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confidence;
+pub mod constraints;
+pub mod estimator;
+pub mod experiment;
+pub mod localizability;
+pub mod metrics;
+pub mod pdp;
+pub mod proximity;
+pub mod scenario;
+pub mod server;
+pub mod tracking;
+
+pub use confidence::{Confidence, HardDecision, Logistic, PaperExp};
+pub use estimator::{LocationEstimate, SpEstimator};
+pub use proximity::{ApSite, PdpReading, ProximityJudgement};
+pub use server::LocalizationServer;
+
+/// Relaxation weight assigned to area-boundary (virtual-AP) constraints.
+///
+/// The paper presets boundary constraints "a large weight to guarantee the
+/// corresponding constraint satisfied with high priority" (§IV-B-4);
+/// proximity weights live in `(0.5, 1]`, so three orders of magnitude is
+/// decisively larger while staying numerically tame.
+pub const BOUNDARY_WEIGHT: f64 = 1000.0;

@@ -1,0 +1,385 @@
+//! Spatial localizability analysis and deployment planning.
+//!
+//! The paper's problem statement (Fig. 1, §I/§III) is that a fixed AP
+//! deployment localizes some positions sharply and others poorly, and that
+//! the blind spots "may change as the environment changes". This module
+//! *predicts* that structure without running any radio: under ideal
+//! (truthful) proximity judgements, the SP estimate for an object at `p`
+//! is the center of `p`'s space-partition cell — the intersection of the
+//! pairwise-bisector half-planes `p` satisfies, clipped to the venue. The
+//! cell's size and the distance from `p` to its center are the intrinsic
+//! resolution of the deployment at `p`.
+//!
+//! [`analyze`] computes these per grid point; [`LocalizabilityMap`] then
+//! answers the planning questions — predicted SLV, blind spots, and which
+//! candidate nomadic site shrinks the variance most ([`best_extra_site`]).
+
+use nomloc_geometry::{convex, HalfPlane, Point, Polygon};
+use nomloc_lp::center::{self, CenterMethod};
+
+/// Localizability prediction at one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellInfo {
+    /// The grid point.
+    pub point: Point,
+    /// Area of the point's space-partition cell, m².
+    pub cell_area: f64,
+    /// Distance from the point to its cell's center — the error an ideal
+    /// NomLoc run would make for an object standing here, metres.
+    pub predicted_error: f64,
+}
+
+/// A grid of localizability predictions over a venue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalizabilityMap {
+    cells: Vec<CellInfo>,
+    pitch: f64,
+}
+
+impl LocalizabilityMap {
+    /// Per-point predictions, row-major over the sampled grid.
+    pub fn cells(&self) -> &[CellInfo] {
+        &self.cells
+    }
+
+    /// The sampling pitch, metres.
+    pub fn pitch(&self) -> f64 {
+        self.pitch
+    }
+
+    /// Number of sampled points.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no interior grid point was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Mean predicted error over the venue, metres.
+    pub fn mean_predicted_error(&self) -> f64 {
+        if self.cells.is_empty() {
+            return f64::NAN;
+        }
+        self.cells.iter().map(|c| c.predicted_error).sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// Predicted spatial localizability variance (Eq. 22 over the
+    /// predicted per-point errors).
+    pub fn predicted_slv(&self) -> f64 {
+        let n = self.cells.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let mean = self.mean_predicted_error();
+        self.cells
+            .iter()
+            .map(|c| (c.predicted_error - mean) * (c.predicted_error - mean))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Grid points whose predicted error exceeds `threshold` — the blind
+    /// areas "where the suspect can slip in".
+    pub fn blind_spots(&self, threshold: f64) -> Vec<Point> {
+        self.cells
+            .iter()
+            .filter(|c| c.predicted_error > threshold)
+            .map(|c| c.point)
+            .collect()
+    }
+
+    /// The worst grid point and its predicted error.
+    pub fn worst(&self) -> Option<&CellInfo> {
+        self.cells
+            .iter()
+            .max_by(|a, b| a.predicted_error.total_cmp(&b.predicted_error))
+    }
+}
+
+/// Predicts localizability over `area` for APs measuring from `ap_sites`,
+/// sampling interior points at `pitch` metres.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_core::localizability::analyze;
+/// use nomloc_geometry::{Point, Polygon};
+///
+/// let room = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(8.0, 8.0));
+/// let aps = [Point::new(1.0, 1.0), Point::new(7.0, 7.0)];
+/// let map = analyze(&room, &aps, 1.0);
+/// assert!(map.mean_predicted_error() > 0.0);
+/// assert!(map.predicted_slv().is_finite());
+/// ```
+///
+/// # Panics
+///
+/// Panics when `pitch` is not strictly positive.
+pub fn analyze(area: &Polygon, ap_sites: &[Point], pitch: f64) -> LocalizabilityMap {
+    assert!(pitch > 0.0, "grid pitch must be positive");
+    let pieces = convex::decompose(area);
+    let (min, max) = area.bounding_box();
+    let mut cells = Vec::new();
+    let mut y = min.y + pitch / 2.0;
+    while y < max.y {
+        let mut x = min.x + pitch / 2.0;
+        while x < max.x {
+            let p = Point::new(x, y);
+            if area.contains(p) {
+                if let Some(info) = cell_info(p, ap_sites, &pieces) {
+                    cells.push(info);
+                }
+            }
+            x += pitch;
+        }
+        y += pitch;
+    }
+    LocalizabilityMap { cells, pitch }
+}
+
+/// The partition cell of `p` under truthful judgements, evaluated in the
+/// convex piece containing `p`.
+fn cell_info(p: Point, ap_sites: &[Point], pieces: &[Polygon]) -> Option<CellInfo> {
+    let piece = pieces.iter().find(|piece| piece.contains(p))?;
+    let mut hps = Vec::with_capacity(ap_sites.len() * ap_sites.len() / 2);
+    for i in 0..ap_sites.len() {
+        for j in (i + 1)..ap_sites.len() {
+            let (near, far) = if p.distance_sq(ap_sites[i]) <= p.distance_sq(ap_sites[j]) {
+                (ap_sites[i], ap_sites[j])
+            } else {
+                (ap_sites[j], ap_sites[i])
+            };
+            if near.distance(far) > 1e-9 {
+                hps.push(HalfPlane::closer_to(near, far));
+            }
+        }
+    }
+    let region = center::feasible_region(&hps, piece)?;
+    let c = center::center(CenterMethod::Chebyshev, &hps, piece)
+        .unwrap_or_else(|_| region.centroid());
+    Some(CellInfo {
+        point: p,
+        cell_area: region.area(),
+        predicted_error: p.distance(c),
+    })
+}
+
+/// Greedy deployment planning: among `candidates`, the extra measurement
+/// site that minimizes the *predicted SLV* when added to `ap_sites`.
+///
+/// This is the planning question a nomadic AP answers continuously — and
+/// the discrete analogue of the AP-placement literature the paper cites
+/// (\[5\], \[12\], \[25\]). Returns `None` when `candidates` is empty.
+pub fn best_extra_site(
+    area: &Polygon,
+    ap_sites: &[Point],
+    candidates: &[Point],
+    pitch: f64,
+) -> Option<(Point, f64)> {
+    candidates
+        .iter()
+        .map(|&cand| {
+            let mut sites = ap_sites.to_vec();
+            sites.push(cand);
+            (cand, analyze(area, &sites, pitch).predicted_slv())
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// Greedy k-site planning: repeatedly applies [`best_extra_site`],
+/// removing each chosen candidate from the pool. Returns the chosen sites
+/// in selection order with the predicted SLV after each addition.
+///
+/// This plans a *route* for a nomadic AP: the measurement sites worth
+/// visiting, most valuable first.
+pub fn plan_route(
+    area: &Polygon,
+    ap_sites: &[Point],
+    candidates: &[Point],
+    k: usize,
+    pitch: f64,
+) -> Vec<(Point, f64)> {
+    let mut pool: Vec<Point> = candidates.to_vec();
+    let mut sites = ap_sites.to_vec();
+    let mut route = Vec::new();
+    for _ in 0..k.min(candidates.len()) {
+        let Some((best, slv)) = best_extra_site(area, &sites, &pool, pitch) else {
+            break;
+        };
+        pool.retain(|p| p.distance(best) > 1e-9);
+        sites.push(best);
+        route.push((best, slv));
+    }
+    route
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0))
+    }
+
+    fn corners() -> Vec<Point> {
+        vec![
+            Point::new(0.5, 0.5),
+            Point::new(9.5, 0.5),
+            Point::new(9.5, 9.5),
+            Point::new(0.5, 9.5),
+        ]
+    }
+
+    #[test]
+    fn map_covers_interior() {
+        let map = analyze(&square(), &corners(), 1.0);
+        assert_eq!(map.len(), 100);
+        assert!((map.pitch() - 1.0).abs() < 1e-12);
+        for c in map.cells() {
+            assert!(square().contains(c.point));
+            assert!(c.cell_area > 0.0);
+            assert!(c.predicted_error >= 0.0);
+        }
+    }
+
+    #[test]
+    fn more_aps_improve_prediction() {
+        let few = analyze(&square(), &corners()[..2], 1.0);
+        let many = analyze(&square(), &corners(), 1.0);
+        assert!(many.mean_predicted_error() < few.mean_predicted_error());
+    }
+
+    #[test]
+    fn symmetric_deployment_has_low_slv() {
+        // Four corner APs make a symmetric partition; an asymmetric
+        // deployment (all APs in one corner) leaves the far side blind.
+        let symmetric = analyze(&square(), &corners(), 1.0);
+        let clumped = analyze(
+            &square(),
+            &[
+                Point::new(0.5, 0.5),
+                Point::new(1.5, 0.5),
+                Point::new(0.5, 1.5),
+                Point::new(1.5, 1.5),
+            ],
+            1.0,
+        );
+        assert!(symmetric.predicted_slv() < clumped.predicted_slv());
+        assert!(symmetric.mean_predicted_error() < clumped.mean_predicted_error());
+    }
+
+    #[test]
+    fn blind_spots_far_from_clumped_aps() {
+        let clumped = analyze(
+            &square(),
+            &[Point::new(0.5, 0.5), Point::new(1.5, 0.5), Point::new(0.5, 1.5)],
+            1.0,
+        );
+        let blind = clumped.blind_spots(2.5);
+        assert!(!blind.is_empty());
+        // Blind spots concentrate away from the AP cluster.
+        let mean_dist: f64 = blind
+            .iter()
+            .map(|p| p.distance(Point::new(1.0, 1.0)))
+            .sum::<f64>()
+            / blind.len() as f64;
+        assert!(mean_dist > 5.0, "blind spots at mean distance {mean_dist}");
+        let worst = clumped.worst().unwrap();
+        assert!(worst.predicted_error > 2.5);
+    }
+
+    #[test]
+    fn best_extra_site_prefers_uncovered_area() {
+        // Three APs cover the south; the best fourth site is in the north.
+        let aps = vec![
+            Point::new(1.0, 1.0),
+            Point::new(5.0, 1.0),
+            Point::new(9.0, 1.0),
+        ];
+        let candidates = vec![Point::new(5.0, 9.0), Point::new(5.0, 2.0)];
+        let (best, slv) = best_extra_site(&square(), &aps, &candidates, 1.0).unwrap();
+        assert_eq!(best, Point::new(5.0, 9.0));
+        assert!(slv.is_finite());
+        assert!(best_extra_site(&square(), &aps, &[], 1.0).is_none());
+    }
+
+    #[test]
+    fn plan_route_improves_monotonically_and_dedups() {
+        let aps = vec![Point::new(1.0, 1.0), Point::new(9.0, 1.0)];
+        let candidates = vec![
+            Point::new(5.0, 9.0),
+            Point::new(1.0, 9.0),
+            Point::new(9.0, 9.0),
+            Point::new(5.0, 5.0),
+        ];
+        let route = plan_route(&square(), &aps, &candidates, 3, 1.0);
+        assert_eq!(route.len(), 3);
+        // Distinct sites.
+        for i in 0..route.len() {
+            for j in (i + 1)..route.len() {
+                assert!(route[i].0.distance(route[j].0) > 1e-9);
+            }
+        }
+        // SLV after each greedy addition never gets worse than doing
+        // nothing at that step (greedy picks the minimum).
+        let base = analyze(&square(), &aps, 1.0).predicted_slv();
+        assert!(route[0].1 <= base + 1e-9);
+        // Asking for more sites than candidates clamps.
+        let all = plan_route(&square(), &aps, &candidates, 99, 1.0);
+        assert_eq!(all.len(), 4);
+        assert!(plan_route(&square(), &aps, &[], 3, 1.0).is_empty());
+    }
+
+    #[test]
+    fn nomadic_sites_reduce_predicted_slv_in_lab() {
+        // The analytical counterpart of Fig. 8.
+        let venue = crate::scenario::Venue::lab();
+        let static_sites = venue.static_deployment();
+        let static_map = analyze(venue.plan.boundary(), &static_sites, 0.5);
+        let mut nomadic_sites = static_sites;
+        nomadic_sites.extend_from_slice(&venue.nomadic_sites);
+        let nomadic_map = analyze(venue.plan.boundary(), &nomadic_sites, 0.5);
+        assert!(
+            nomadic_map.predicted_slv() < static_map.predicted_slv(),
+            "nomadic {} ≥ static {}",
+            nomadic_map.predicted_slv(),
+            static_map.predicted_slv()
+        );
+        assert!(nomadic_map.mean_predicted_error() < static_map.mean_predicted_error());
+    }
+
+    #[test]
+    fn l_shape_analysis_works() {
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 5.0),
+            Point::new(5.0, 5.0),
+            Point::new(5.0, 10.0),
+            Point::new(0.0, 10.0),
+        ])
+        .unwrap();
+        let map = analyze(&l, &[Point::new(1.0, 1.0), Point::new(9.0, 1.0)], 1.0);
+        assert!(!map.is_empty());
+        for c in map.cells() {
+            assert!(l.contains(c.point));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid pitch")]
+    fn rejects_zero_pitch() {
+        let _ = analyze(&square(), &corners(), 0.0);
+    }
+
+    #[test]
+    fn empty_ap_set_gives_whole_piece_cells() {
+        let map = analyze(&square(), &[], 2.0);
+        assert!(!map.is_empty());
+        for c in map.cells() {
+            assert!((c.cell_area - 100.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Evaluation metrics (§V-A): accuracy CDFs and spatial localizability
+//! variance.
+
+use nomloc_dsp::stats::{self, Ecdf};
+use nomloc_geometry::Point;
+
+/// Localization outcomes collected at one ground-truth site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteOutcome {
+    /// The ground-truth object position.
+    pub site: Point,
+    /// Localization errors of the individual trials, metres.
+    pub errors: Vec<f64>,
+}
+
+impl SiteOutcome {
+    /// Creates an outcome record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `errors` is empty or contains non-finite values.
+    pub fn new(site: Point, errors: Vec<f64>) -> Self {
+        assert!(!errors.is_empty(), "site outcome needs at least one trial");
+        assert!(
+            errors.iter().all(|e| e.is_finite() && *e >= 0.0),
+            "errors must be finite and non-negative"
+        );
+        SiteOutcome { site, errors }
+    }
+
+    /// Mean localization error at this site, metres (the paper's
+    /// `e(x, y)`).
+    pub fn mean_error(&self) -> f64 {
+        stats::mean(&self.errors).expect("non-empty by construction")
+    }
+
+    /// Number of trials.
+    pub fn n_trials(&self) -> usize {
+        self.errors.len()
+    }
+}
+
+/// Per-site mean errors of a campaign, in site order.
+pub fn site_mean_errors(outcomes: &[SiteOutcome]) -> Vec<f64> {
+    outcomes.iter().map(SiteOutcome::mean_error).collect()
+}
+
+/// Spatial localizability variance across sites (Eq. 22).
+///
+/// Returns `None` for empty input.
+pub fn slv(outcomes: &[SiteOutcome]) -> Option<f64> {
+    stats::slv(&site_mean_errors(outcomes))
+}
+
+/// Empirical CDF of per-site mean errors — the accuracy curves of
+/// Fig. 9/10. Returns `None` for empty input.
+pub fn error_cdf(outcomes: &[SiteOutcome]) -> Option<Ecdf> {
+    Ecdf::new(site_mean_errors(outcomes))
+}
+
+/// Overall mean error across sites (mean of per-site means, matching the
+/// paper's per-site aggregation). Returns `None` for empty input.
+pub fn mean_error(outcomes: &[SiteOutcome]) -> Option<f64> {
+    stats::mean(&site_mean_errors(outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(x: f64, errors: &[f64]) -> SiteOutcome {
+        SiteOutcome::new(Point::new(x, 0.0), errors.to_vec())
+    }
+
+    #[test]
+    fn mean_error_per_site() {
+        let o = outcome(0.0, &[1.0, 2.0, 3.0]);
+        assert_eq!(o.mean_error(), 2.0);
+        assert_eq!(o.n_trials(), 3);
+    }
+
+    #[test]
+    fn slv_matches_hand_computation() {
+        let outcomes = vec![
+            outcome(0.0, &[1.0]),
+            outcome(1.0, &[2.0]),
+            outcome(2.0, &[3.0]),
+        ];
+        // Means 1, 2, 3 → variance 2/3.
+        assert!((slv(&outcomes).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slv_zero_for_uniform_accuracy() {
+        let outcomes = vec![outcome(0.0, &[1.5, 1.5]), outcome(1.0, &[1.0, 2.0])];
+        // Both site means are 1.5 → zero spatial variance even though the
+        // per-trial errors differ.
+        assert_eq!(slv(&outcomes).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cdf_over_site_means() {
+        let outcomes = vec![
+            outcome(0.0, &[1.0]),
+            outcome(1.0, &[3.0]),
+            outcome(2.0, &[2.0]),
+        ];
+        let cdf = error_cdf(&outcomes).unwrap();
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf.eval(1.0), 1.0 / 3.0);
+        assert_eq!(cdf.eval(3.0), 1.0);
+        assert_eq!(mean_error(&outcomes), Some(2.0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(slv(&[]), None);
+        assert!(error_cdf(&[]).is_none());
+        assert_eq!(mean_error(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn outcome_rejects_empty() {
+        let _ = SiteOutcome::new(Point::ORIGIN, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn outcome_rejects_nan() {
+        let _ = SiteOutcome::new(Point::ORIGIN, vec![f64::NAN]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Power-of-direct-path estimation from CSI (§IV-A).
+//!
+//! The estimator transforms each frequency-domain CSI snapshot into the
+//! delay domain (IFFT with interpolating zero-padding) and takes the
+//! maximum tap power as the per-packet PDP; a burst of packets is
+//! aggregated by the median, which is robust to the occasional noise-blown
+//! packet.
+
+use nomloc_dsp::pdp::DelayProfile;
+use nomloc_dsp::{stats, Window};
+use nomloc_rfsim::CsiSnapshot;
+
+/// Configuration of the PDP estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdpEstimator {
+    /// Minimum delay-domain taps after zero-padding (power-of-two rounded).
+    ///
+    /// More taps reduce scalloping loss of off-grid delays; 256 keeps the
+    /// worst-case peak-power error under ~1 %.
+    pub min_taps: usize,
+    /// Spectral taper applied to the CSI before the IFFT. Rectangular by
+    /// default; Hann/Hamming/Blackman suppress Dirichlet sidelobes at the
+    /// cost of delay resolution (see the `repro_ablation_window` study).
+    pub window: Window,
+}
+
+impl Default for PdpEstimator {
+    fn default() -> Self {
+        PdpEstimator {
+            min_taps: 256,
+            window: Window::Rectangular,
+        }
+    }
+}
+
+impl PdpEstimator {
+    /// Creates an estimator with the default padding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the spectral window.
+    pub fn with_window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Per-packet PDP: maximum power of the delay profile of one snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot has no subcarriers (cannot happen for grids
+    /// built by `SubcarrierGrid`).
+    pub fn pdp_of_snapshot(&self, snapshot: &CsiSnapshot) -> f64 {
+        self.delay_profile(snapshot).peak().power
+    }
+
+    /// Burst PDP: median of per-packet PDPs.
+    ///
+    /// Returns `None` for an empty burst.
+    pub fn pdp_of_burst(&self, burst: &[CsiSnapshot]) -> Option<f64> {
+        let per_packet: Vec<f64> = burst.iter().map(|s| self.pdp_of_snapshot(s)).collect();
+        stats::median(&per_packet)
+    }
+
+    /// Array PDP with selection combining: the maximum per-antenna burst
+    /// PDP. Spatially separated elements fade independently, so the best
+    /// antenna tracks the true direct-path power more faithfully than any
+    /// single element.
+    ///
+    /// Returns `None` when every antenna's burst is empty.
+    pub fn pdp_of_array(&self, bursts_per_antenna: &[Vec<CsiSnapshot>]) -> Option<f64> {
+        bursts_per_antenna
+            .iter()
+            .filter_map(|burst| self.pdp_of_burst(burst))
+            .reduce(f64::max)
+    }
+
+    /// The full delay profile of a snapshot (Fig. 3 of the paper).
+    pub fn delay_profile(&self, snapshot: &CsiSnapshot) -> DelayProfile {
+        let n = snapshot.h.len();
+        // Treat the (possibly grouped) grid as uniform at its mean spacing;
+        // the effective bandwidth spans n such steps.
+        let bandwidth = snapshot.grid.mean_spacing_hz() * n as f64;
+        let tapered = self.window.apply(&snapshot.h);
+        DelayProfile::from_csi(&tapered, bandwidth, self.min_taps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomloc_geometry::{Point, Polygon, Segment};
+    use nomloc_rfsim::{Environment, FloorPlan, Material, RadioConfig, SubcarrierGrid};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn open_env() -> Environment {
+        let plan = FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 12.0),
+        ))
+        .build();
+        Environment::new(plan, RadioConfig::default())
+    }
+
+    fn walled_env() -> Environment {
+        let plan = FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 12.0),
+        ))
+        .wall(
+            Segment::new(Point::new(10.0, 0.0), Point::new(10.0, 12.0)),
+            Material::CONCRETE,
+        )
+        .build();
+        Environment::new(plan, RadioConfig::default())
+    }
+
+    #[test]
+    fn pdp_decreases_with_distance() {
+        let env = open_env();
+        let est = PdpEstimator::new();
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tx = Point::new(1.0, 6.0);
+        let near = env.sample_csi_burst(tx, Point::new(4.0, 6.0), &grid, 25, &mut rng);
+        let far = env.sample_csi_burst(tx, Point::new(18.0, 6.0), &grid, 25, &mut rng);
+        let p_near = est.pdp_of_burst(&near).unwrap();
+        let p_far = est.pdp_of_burst(&far).unwrap();
+        assert!(
+            p_near > p_far,
+            "near PDP {p_near} must exceed far PDP {p_far}"
+        );
+    }
+
+    #[test]
+    fn pdp_ordering_matches_proximity_in_los() {
+        // The core assumption of the method: PDP ordering ↔ distance
+        // ordering under LOS. Check across many site pairs.
+        let env = open_env();
+        let est = PdpEstimator::new();
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(2);
+        // Asymmetric object position: every AP pair has a clear distance
+        // winner (equidistant pairs are coin flips by design — that is the
+        // paper's own low-accuracy case in Fig. 7).
+        let obj = Point::new(5.0, 4.0);
+        let aps = [
+            Point::new(2.0, 2.0),
+            Point::new(18.0, 2.0),
+            Point::new(18.0, 10.0),
+            Point::new(2.0, 10.0),
+        ];
+        let pdps: Vec<f64> = aps
+            .iter()
+            .map(|&ap| {
+                let burst = env.sample_csi_burst(obj, ap, &grid, 30, &mut rng);
+                est.pdp_of_burst(&burst).unwrap()
+            })
+            .collect();
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..aps.len() {
+            for j in (i + 1)..aps.len() {
+                total += 1;
+                let closer_i = obj.distance(aps[i]) < obj.distance(aps[j]);
+                let stronger_i = pdps[i] > pdps[j];
+                if closer_i == stronger_i {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct >= total - 1, "only {correct}/{total} pairs ordered");
+    }
+
+    #[test]
+    fn nlos_suppresses_pdp() {
+        // Same geometric distance, but a concrete wall between: PDP drops
+        // sharply (the Fig. 3 dichotomy).
+        let est = PdpEstimator::new();
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tx = Point::new(7.0, 6.0);
+        let rx = Point::new(13.0, 6.0);
+        let los = open_env().sample_csi_burst(tx, rx, &grid, 25, &mut rng);
+        let nlos = walled_env().sample_csi_burst(tx, rx, &grid, 25, &mut rng);
+        let p_los = est.pdp_of_burst(&los).unwrap();
+        let p_nlos = est.pdp_of_burst(&nlos).unwrap();
+        // The wall costs 13 dB on every path, but at 20 MHz all indoor
+        // paths merge into one delay lobe whose coherent sum fluctuates a
+        // few dB either way — so require a clear gap, not the full 13 dB.
+        let gap_db = 10.0 * (p_los / p_nlos).log10();
+        assert!(gap_db > 3.0, "NLOS gap only {gap_db:.1} dB");
+    }
+
+    #[test]
+    fn burst_median_is_stable() {
+        // Two independent bursts from the same link agree within a couple
+        // of dB.
+        let env = open_env();
+        let est = PdpEstimator::new();
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(4);
+        let tx = Point::new(3.0, 3.0);
+        let rx = Point::new(15.0, 9.0);
+        let a = est
+            .pdp_of_burst(&env.sample_csi_burst(tx, rx, &grid, 40, &mut rng))
+            .unwrap();
+        let b = est
+            .pdp_of_burst(&env.sample_csi_burst(tx, rx, &grid, 40, &mut rng))
+            .unwrap();
+        let diff_db = (10.0 * (a / b).log10()).abs();
+        assert!(diff_db < 2.0, "burst-to-burst variation {diff_db:.2} dB");
+    }
+
+    #[test]
+    fn empty_burst_is_none() {
+        assert_eq!(PdpEstimator::new().pdp_of_burst(&[]), None);
+    }
+
+    #[test]
+    fn delay_profile_peak_matches_pdp() {
+        let env = open_env();
+        let est = PdpEstimator::new();
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(5);
+        let snap = env.sample_csi(Point::new(2.0, 2.0), Point::new(10.0, 8.0), &grid, &mut rng);
+        let profile = est.delay_profile(&snap);
+        assert_eq!(profile.peak().power, est.pdp_of_snapshot(&snap));
+    }
+
+    #[test]
+    fn delay_profile_peak_near_true_delay() {
+        let env = open_env();
+        let est = PdpEstimator::new();
+        // Dense grid and quiet radio for a precise check.
+        let grid = SubcarrierGrid::full_80211n_20mhz();
+        let config = RadioConfig {
+            noise_floor_dbm: -150.0,
+            sto_max_s: 0.0,
+            ..RadioConfig::default()
+        };
+        let tx = Point::new(1.0, 6.0);
+        let rx = Point::new(16.0, 6.0); // 15 m ⇒ 50 ns
+        let trace = env.trace(tx, rx);
+        let mut rng = StdRng::seed_from_u64(6);
+        let snap = trace.sample_csi(&config, &grid, &mut rng);
+        let profile = est.delay_profile(&snap);
+        let peak_delay = profile.peak().delay;
+        let true_delay = 15.0 / 299_792_458.0;
+        assert!(
+            (peak_delay - true_delay).abs() < 3.0 * profile.tap_spacing(),
+            "peak at {peak_delay:.2e}s, true {true_delay:.2e}s"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Relative-proximity determination from per-link PDPs (§IV-A).
+
+use crate::confidence::Confidence;
+use nomloc_geometry::Point;
+use std::fmt;
+
+/// Identifies one AP measurement site.
+///
+/// A static AP occupies exactly one site for its whole lifetime; a nomadic
+/// AP contributes one site per distinct position it reports measurements
+/// from (the paper's set `L = {L₁, …, L_S}`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApSite {
+    /// AP identifier (stable across a nomadic AP's sites).
+    pub ap: usize,
+    /// Index of this site within the AP's visit sequence (0 for static).
+    pub visit: usize,
+    /// The position the AP *reported* for this site — possibly offset from
+    /// ground truth by the ER error model.
+    pub position: Point,
+}
+
+impl ApSite {
+    /// Creates a static AP's (only) site.
+    pub fn fixed(ap: usize, position: Point) -> Self {
+        ApSite {
+            ap,
+            visit: 0,
+            position,
+        }
+    }
+
+    /// Creates the `visit`-th site of a nomadic AP.
+    pub fn nomadic(ap: usize, visit: usize, position: Point) -> Self {
+        ApSite {
+            ap,
+            visit,
+            position,
+        }
+    }
+}
+
+impl fmt::Display for ApSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AP{}#{}@{}", self.ap, self.visit, self.position)
+    }
+}
+
+/// The PDP measured on the link between the object and one AP site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdpReading {
+    /// The measuring AP site.
+    pub site: ApSite,
+    /// Estimated power of the direct path (linear).
+    pub pdp: f64,
+}
+
+impl PdpReading {
+    /// Creates a reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pdp` is not strictly positive and finite.
+    pub fn new(site: ApSite, pdp: f64) -> Self {
+        assert!(pdp > 0.0 && pdp.is_finite(), "PDP must be positive");
+        PdpReading { site, pdp }
+    }
+}
+
+/// One pairwise proximity judgement: the object is closer to `near` than to
+/// `far`, with confidence `weight ∈ [½, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProximityJudgement {
+    /// The site judged nearer.
+    pub near: ApSite,
+    /// The site judged farther.
+    pub far: ApSite,
+    /// Confidence factor of the judgement (Eq. 1).
+    pub weight: f64,
+}
+
+impl ProximityJudgement {
+    /// Returns `true` when the judgement agrees with the true object
+    /// position `q` and the sites' *true* positions.
+    ///
+    /// Used for the Fig. 7 accuracy statistic, where ground truth is known.
+    pub fn is_correct(&self, q: Point, true_near: Point, true_far: Point) -> bool {
+        let _ = self;
+        q.distance_sq(true_near) <= q.distance_sq(true_far)
+    }
+}
+
+/// Derives all pairwise judgements from a set of PDP readings.
+///
+/// Every unordered pair of sites produces one judgement (the paper's
+/// `N = n(n−1)/2`); the site with the larger PDP is deemed nearer and the
+/// confidence is `f(P_loser/P_winner)`.
+///
+/// Ties (exactly equal PDPs) are resolved in favour of the first site with
+/// weight ½, which the relaxation treats as maximally doubtful.
+pub fn judge_all_pairs<C: Confidence>(
+    readings: &[PdpReading],
+    confidence: &C,
+) -> Vec<ProximityJudgement> {
+    let mut out = Vec::with_capacity(readings.len() * readings.len().saturating_sub(1) / 2);
+    for i in 0..readings.len() {
+        for j in (i + 1)..readings.len() {
+            let (a, b) = (&readings[i], &readings[j]);
+            let (winner, loser) = if a.pdp >= b.pdp { (a, b) } else { (b, a) };
+            out.push(ProximityJudgement {
+                near: winner.site,
+                far: loser.site,
+                weight: confidence.judgement_weight(winner.pdp, loser.pdp),
+            });
+        }
+    }
+    out
+}
+
+/// Fraction of judgements consistent with ground truth (Fig. 7 metric).
+///
+/// `truth` maps a site to its *actual* position (undoing any reporting
+/// error); `q` is the object's true position. Returns `None` when there are
+/// no judgements.
+pub fn judgement_accuracy<F>(
+    judgements: &[ProximityJudgement],
+    q: Point,
+    truth: F,
+) -> Option<f64>
+where
+    F: Fn(&ApSite) -> Point,
+{
+    if judgements.is_empty() {
+        return None;
+    }
+    let correct = judgements
+        .iter()
+        .filter(|j| j.is_correct(q, truth(&j.near), truth(&j.far)))
+        .count();
+    Some(correct as f64 / judgements.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::PaperExp;
+
+    fn reading(ap: usize, x: f64, y: f64, pdp: f64) -> PdpReading {
+        PdpReading::new(ApSite::fixed(ap, Point::new(x, y)), pdp)
+    }
+
+    #[test]
+    fn pair_count_is_n_choose_2() {
+        let readings: Vec<PdpReading> = (0..5)
+            .map(|i| reading(i, i as f64, 0.0, 1.0 + i as f64))
+            .collect();
+        let js = judge_all_pairs(&readings, &PaperExp);
+        assert_eq!(js.len(), 10);
+    }
+
+    #[test]
+    fn stronger_pdp_wins() {
+        let readings = [reading(0, 0.0, 0.0, 4.0), reading(1, 10.0, 0.0, 1.0)];
+        let js = judge_all_pairs(&readings, &PaperExp);
+        assert_eq!(js.len(), 1);
+        assert_eq!(js[0].near.ap, 0);
+        assert_eq!(js[0].far.ap, 1);
+        // Ratio 1/4 → f(0.25) = 2^{-0.25} ≈ 0.8409.
+        assert!((js[0].weight - 2f64.powf(-0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_gets_half_weight() {
+        let readings = [reading(0, 0.0, 0.0, 2.0), reading(1, 10.0, 0.0, 2.0)];
+        let js = judge_all_pairs(&readings, &PaperExp);
+        assert!((js[0].weight - 0.5).abs() < 1e-12);
+        assert_eq!(js[0].near.ap, 0, "tie resolves to the first site");
+    }
+
+    #[test]
+    fn weights_always_in_half_one() {
+        let readings: Vec<PdpReading> = (0..6)
+            .map(|i| reading(i, i as f64, 1.0, 10f64.powi(i as i32 - 3)))
+            .collect();
+        for j in judge_all_pairs(&readings, &PaperExp) {
+            assert!((0.5..=1.0).contains(&j.weight), "weight {}", j.weight);
+        }
+    }
+
+    #[test]
+    fn correctness_check() {
+        let q = Point::new(0.0, 0.0);
+        let j = ProximityJudgement {
+            near: ApSite::fixed(0, Point::new(1.0, 0.0)),
+            far: ApSite::fixed(1, Point::new(5.0, 0.0)),
+            weight: 0.9,
+        };
+        assert!(j.is_correct(q, Point::new(1.0, 0.0), Point::new(5.0, 0.0)));
+        // Flipped ground truth: judgement is wrong.
+        assert!(!j.is_correct(q, Point::new(5.0, 0.0), Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn accuracy_statistic() {
+        let q = Point::ORIGIN;
+        let near = ApSite::fixed(0, Point::new(1.0, 0.0));
+        let far = ApSite::fixed(1, Point::new(5.0, 0.0));
+        let good = ProximityJudgement { near, far, weight: 0.8 };
+        let bad = ProximityJudgement { near: far, far: near, weight: 0.6 };
+        let acc = judgement_accuracy(&[good, bad], q, |s| s.position).unwrap();
+        assert!((acc - 0.5).abs() < 1e-12);
+        assert_eq!(judgement_accuracy(&[], q, |s| s.position), None);
+    }
+
+    #[test]
+    fn accuracy_uses_supplied_truth_not_reported() {
+        // The nomadic AP reported a wrong position; accuracy must be
+        // evaluated against the true one.
+        let q = Point::ORIGIN;
+        let near = ApSite::nomadic(0, 1, Point::new(50.0, 50.0)); // bogus report
+        let far = ApSite::fixed(1, Point::new(5.0, 0.0));
+        let j = ProximityJudgement { near, far, weight: 0.8 };
+        let truth = |s: &ApSite| {
+            if s.ap == 0 {
+                Point::new(1.0, 0.0)
+            } else {
+                s.position
+            }
+        };
+        assert_eq!(judgement_accuracy(&[j], q, truth), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "PDP must be positive")]
+    fn reading_rejects_zero_pdp() {
+        let _ = PdpReading::new(ApSite::fixed(0, Point::ORIGIN), 0.0);
+    }
+
+    #[test]
+    fn site_display() {
+        let s = ApSite::nomadic(2, 3, Point::new(1.0, 2.0));
+        assert!(format!("{s}").contains("AP2#3"));
+    }
+}

@@ -1,0 +1,375 @@
+//! The paper's experimental venues (Fig. 6).
+//!
+//! Two scenarios drive the whole evaluation:
+//!
+//! * **Lab** (Fig. 6(a)) — a cluttered academic laboratory "with
+//!   substantial equipments (i.e., PCs and servers) and office facilities":
+//!   modelled as a 12 × 8 m room with cubicle rows, desks, and metal racks.
+//!   Four APs; AP 1 is nomadic over sites {home, P1, P2, P3}. Ten test
+//!   sites.
+//! * **Lobby** (Fig. 6(b)) — a "larger, more open" L-shaped lobby:
+//!   modelled as an 18 × 14 m L with a few pillars and benches. Four APs
+//!   (sparser deployment); AP 1 nomadic over {home, P1, P2, P3}. Twelve
+//!   test sites.
+//!
+//! Exact coordinates are not published; these layouts reproduce the
+//! *structure* (venue shape, AP counts, site counts, clutter density,
+//! nomadic site sets), which is what the evaluation's trends depend on.
+
+use nomloc_geometry::{Point, Polygon, Segment};
+use nomloc_rfsim::{FloorPlan, Material, RadioConfig};
+
+/// One experimental venue: floor plan, AP deployment, and test sites.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_core::scenario::Venue;
+///
+/// let lab = Venue::lab();
+/// assert_eq!(lab.n_test_sites(), 10);
+/// // Four APs total: the nomadic AP's home plus three static ones.
+/// assert_eq!(lab.static_deployment().len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Venue {
+    /// Venue name ("Lab" / "Lobby").
+    pub name: &'static str,
+    /// Floor plan with clutter.
+    pub plan: FloorPlan,
+    /// Fixed positions of the static APs (AP 2…AP n).
+    pub static_aps: Vec<Point>,
+    /// The nomadic AP's home position (where it sits in the *static*
+    /// baseline deployment).
+    pub nomadic_home: Point,
+    /// The sites the nomadic AP random-walks among (the paper's
+    /// {P1, P2, P3}); its home is implicitly part of the walk.
+    pub nomadic_sites: Vec<Point>,
+    /// Ground-truth object test sites (the paper's measurement sites).
+    pub test_sites: Vec<Point>,
+    /// Radio parameters for the venue.
+    pub radio: RadioConfig,
+}
+
+impl Venue {
+    /// The cluttered laboratory of Fig. 6(a).
+    pub fn lab() -> Venue {
+        let boundary = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(12.0, 8.0));
+        let plan = FloorPlan::builder(boundary)
+            // Two cubicle rows in the west half.
+            .rect_obstacle(Point::new(2.5, 2.0), Point::new(5.0, 2.8), Material::CUBICLE)
+            .rect_obstacle(Point::new(2.5, 4.2), Point::new(5.0, 5.0), Material::CUBICLE)
+            // Desk cluster in the east half.
+            .rect_obstacle(Point::new(7.0, 4.5), Point::new(9.4, 5.3), Material::WOOD)
+            .rect_obstacle(Point::new(7.0, 6.4), Point::new(9.4, 7.2), Material::WOOD)
+            // Server racks: near-opaque metal.
+            .rect_obstacle(Point::new(5.8, 0.5), Point::new(6.6, 2.0), Material::METAL)
+            .rect_obstacle(Point::new(10.0, 4.0), Point::new(10.8, 5.5), Material::METAL)
+            // A drywall partition by the entrance.
+            .wall(
+                Segment::new(Point::new(0.0, 5.8), Point::new(2.0, 5.8)),
+                Material::DRYWALL,
+            )
+            .build();
+        Venue {
+            name: "Lab",
+            plan,
+            static_aps: vec![
+                Point::new(11.2, 0.8),
+                Point::new(11.2, 7.2),
+                Point::new(0.8, 7.2),
+            ],
+            nomadic_home: Point::new(0.8, 0.8),
+            nomadic_sites: vec![
+                Point::new(4.0, 3.5),
+                Point::new(6.5, 5.6),
+                Point::new(9.0, 2.5),
+            ],
+            test_sites: vec![
+                Point::new(2.0, 1.4),
+                Point::new(4.2, 1.4),
+                Point::new(8.2, 1.2),
+                Point::new(10.6, 2.6),
+                Point::new(1.4, 3.4),
+                Point::new(6.0, 3.5),
+                Point::new(9.2, 3.6),
+                Point::new(2.0, 6.6),
+                Point::new(6.0, 6.4),
+                Point::new(10.4, 6.6),
+            ],
+            radio: RadioConfig::default(),
+        }
+    }
+
+    /// The open L-shaped lobby of Fig. 6(b).
+    pub fn lobby() -> Venue {
+        let boundary = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(18.0, 0.0),
+            Point::new(18.0, 7.0),
+            Point::new(7.0, 7.0),
+            Point::new(7.0, 14.0),
+            Point::new(0.0, 14.0),
+        ])
+        .expect("lobby outline is a valid polygon");
+        let plan = FloorPlan::builder(boundary)
+            // Structural pillars.
+            .rect_obstacle(Point::new(8.0, 3.0), Point::new(8.6, 3.6), Material::CONCRETE)
+            .rect_obstacle(Point::new(12.6, 3.0), Point::new(13.2, 3.6), Material::CONCRETE)
+            // Benches.
+            .rect_obstacle(Point::new(2.0, 10.6), Point::new(4.0, 11.2), Material::WOOD)
+            .rect_obstacle(Point::new(14.8, 5.0), Point::new(16.8, 5.6), Material::WOOD)
+            .build();
+        Venue {
+            name: "Lobby",
+            plan,
+            static_aps: vec![
+                Point::new(17.2, 0.8),
+                Point::new(17.2, 6.2),
+                Point::new(0.8, 13.2),
+            ],
+            nomadic_home: Point::new(0.8, 0.8),
+            nomadic_sites: vec![
+                Point::new(5.0, 3.0),
+                Point::new(10.0, 5.0),
+                Point::new(3.0, 9.0),
+            ],
+            test_sites: vec![
+                Point::new(2.0, 2.0),
+                Point::new(5.0, 1.5),
+                Point::new(8.0, 1.5),
+                Point::new(11.0, 2.5),
+                Point::new(14.0, 1.5),
+                Point::new(16.4, 3.6),
+                Point::new(13.0, 5.8),
+                Point::new(9.5, 6.0),
+                Point::new(4.0, 5.0),
+                Point::new(1.5, 7.5),
+                Point::new(5.0, 9.5),
+                Point::new(3.0, 12.5),
+            ],
+            radio: RadioConfig {
+                // Long sight-lines in the open lobby: APs run at the usual
+                // "full power" setting of deployed hot-spot hardware.
+                tx_power_dbm: 18.0,
+                ..RadioConfig::default()
+            },
+        }
+    }
+
+    /// A marketplace-scale venue beyond the paper's testbed: a 30 × 22 m
+    /// cross-shaped mall wing with six APs and five public nomadic sites.
+    /// Used by the at-scale experiments to exercise the pipeline at
+    /// roughly 4× the Lab's area and C(6+5, 2) = 55 constraints per round.
+    pub fn mall() -> Venue {
+        let boundary = Polygon::new(vec![
+            Point::new(8.0, 0.0),
+            Point::new(22.0, 0.0),
+            Point::new(22.0, 7.0),
+            Point::new(30.0, 7.0),
+            Point::new(30.0, 15.0),
+            Point::new(22.0, 15.0),
+            Point::new(22.0, 22.0),
+            Point::new(8.0, 22.0),
+            Point::new(8.0, 15.0),
+            Point::new(0.0, 15.0),
+            Point::new(0.0, 7.0),
+            Point::new(8.0, 7.0),
+        ])
+        .expect("mall outline is a valid polygon");
+        let plan = FloorPlan::builder(boundary)
+            // Kiosks in the atrium.
+            .rect_obstacle(Point::new(13.5, 9.5), Point::new(16.5, 12.5), Material::WOOD)
+            // Pillars at the wing mouths.
+            .rect_obstacle(Point::new(9.0, 8.0), Point::new(9.7, 8.7), Material::CONCRETE)
+            .rect_obstacle(Point::new(20.3, 13.3), Point::new(21.0, 14.0), Material::CONCRETE)
+            // Vending machines.
+            .rect_obstacle(Point::new(27.0, 8.0), Point::new(28.2, 9.2), Material::METAL)
+            .rect_obstacle(Point::new(9.0, 19.0), Point::new(10.2, 20.2), Material::METAL)
+            .build();
+        Venue {
+            name: "Mall",
+            plan,
+            static_aps: vec![
+                Point::new(21.0, 1.0),
+                Point::new(29.0, 8.0),
+                Point::new(29.0, 14.0),
+                Point::new(21.0, 21.0),
+                Point::new(1.0, 8.0),
+            ],
+            nomadic_home: Point::new(9.0, 1.0),
+            nomadic_sites: vec![
+                Point::new(15.0, 4.0),
+                Point::new(15.0, 18.0),
+                Point::new(4.0, 11.0),
+                Point::new(25.0, 11.0),
+                Point::new(15.0, 8.2),
+            ],
+            test_sites: vec![
+                Point::new(10.0, 3.0),
+                Point::new(20.0, 3.0),
+                Point::new(15.0, 6.5),
+                Point::new(2.5, 9.0),
+                Point::new(5.5, 13.0),
+                Point::new(11.0, 11.0),
+                Point::new(19.0, 9.0),
+                Point::new(24.0, 8.5),
+                Point::new(27.5, 13.0),
+                Point::new(12.0, 16.0),
+                Point::new(18.5, 19.5),
+                Point::new(10.0, 20.8),
+                Point::new(20.0, 16.5),
+                Point::new(15.0, 13.5),
+            ],
+            radio: RadioConfig {
+                tx_power_dbm: 18.0,
+                ..RadioConfig::default()
+            },
+        }
+    }
+
+    /// All AP positions of the *static* baseline deployment: the nomadic
+    /// AP parked at home plus the static APs.
+    pub fn static_deployment(&self) -> Vec<Point> {
+        let mut v = vec![self.nomadic_home];
+        v.extend_from_slice(&self.static_aps);
+        v
+    }
+
+    /// The nomadic AP's full site set: home plus {P1…}.
+    pub fn nomadic_site_set(&self) -> Vec<Point> {
+        let mut v = vec![self.nomadic_home];
+        v.extend_from_slice(&self.nomadic_sites);
+        v
+    }
+
+    /// Number of test sites.
+    pub fn n_test_sites(&self) -> usize {
+        self.test_sites.len()
+    }
+
+    /// Copy of the venue scaled by `factor` about the boundary's
+    /// bounding-box corner — same layout, different physical size. Used by
+    /// the venue-scale ablation: calibration-free SP accuracy tracks the
+    /// partition-cell size, which grows linearly with the venue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not strictly positive and finite.
+    pub fn scaled(&self, factor: f64) -> Venue {
+        let (origin, _) = self.plan.boundary().bounding_box();
+        let s = |p: Point| origin + (p - origin) * factor;
+        Venue {
+            name: self.name,
+            plan: self.plan.scaled(origin, factor),
+            static_aps: self.static_aps.iter().map(|&p| s(p)).collect(),
+            nomadic_home: s(self.nomadic_home),
+            nomadic_sites: self.nomadic_sites.iter().map(|&p| s(p)).collect(),
+            test_sites: self.test_sites.iter().map(|&p| s(p)).collect(),
+            radio: self.radio.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_venue(v: &Venue) {
+        // Every AP, nomadic site and test site is placeable (inside the
+        // boundary, outside obstacles).
+        for p in v
+            .static_aps
+            .iter()
+            .chain(v.nomadic_sites.iter())
+            .chain(v.test_sites.iter())
+            .chain(std::iter::once(&v.nomadic_home))
+        {
+            assert!(v.plan.is_placeable(*p), "{} has unplaceable point {p}", v.name);
+        }
+        // Distinct test sites.
+        for i in 0..v.test_sites.len() {
+            for j in (i + 1)..v.test_sites.len() {
+                assert!(v.test_sites[i].distance(v.test_sites[j]) > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn lab_layout_sane() {
+        let v = Venue::lab();
+        check_venue(&v);
+        assert_eq!(v.n_test_sites(), 10, "paper uses 10 Lab sites");
+        assert_eq!(v.static_deployment().len(), 4, "paper uses 4 APs");
+        assert_eq!(v.nomadic_site_set().len(), 4, "home + P1..P3");
+        assert!(v.plan.boundary().is_convex());
+        assert!(!v.plan.obstacles().is_empty(), "the Lab is cluttered");
+    }
+
+    #[test]
+    fn lobby_layout_sane() {
+        let v = Venue::lobby();
+        check_venue(&v);
+        assert_eq!(v.n_test_sites(), 12, "paper uses 12 Lobby sites");
+        assert_eq!(v.static_deployment().len(), 4);
+        assert!(!v.plan.boundary().is_convex(), "the Lobby is L-shaped");
+        // Lobby is larger than the Lab.
+        assert!(v.plan.boundary().area() > Venue::lab().plan.boundary().area());
+        // And sparser: fewer obstacles per square metre.
+        let lab = Venue::lab();
+        let lab_density = lab.plan.obstacles().len() as f64 / lab.plan.boundary().area();
+        let lobby_density = v.plan.obstacles().len() as f64 / v.plan.boundary().area();
+        assert!(lobby_density < lab_density);
+    }
+
+    #[test]
+    fn mall_layout_sane() {
+        let v = Venue::mall();
+        check_venue(&v);
+        assert_eq!(v.static_deployment().len(), 6);
+        assert_eq!(v.nomadic_site_set().len(), 6);
+        assert_eq!(v.n_test_sites(), 14);
+        assert!(!v.plan.boundary().is_convex(), "cross shape is non-convex");
+        assert!(v.plan.boundary().area() > 3.0 * Venue::lab().plan.boundary().area());
+    }
+
+    #[test]
+    fn scaled_venue_preserves_structure() {
+        let big = Venue::lab().scaled(1.5);
+        check_venue(&big);
+        assert!((big.plan.boundary().area() - 96.0 * 2.25).abs() < 1e-6);
+        assert_eq!(big.n_test_sites(), 10);
+    }
+
+    #[test]
+    fn lab_has_nlos_sites() {
+        // The clutter must actually block some object–AP links, otherwise
+        // the venue cannot exhibit localizability variance.
+        let v = Venue::lab();
+        let aps = v.static_deployment();
+        let mut nlos = 0;
+        for s in &v.test_sites {
+            for ap in &aps {
+                if !v.plan.is_los(*s, *ap) {
+                    nlos += 1;
+                }
+            }
+        }
+        assert!(nlos >= 5, "only {nlos} NLOS links in the Lab");
+    }
+
+    #[test]
+    fn lobby_arm_sites_far_from_main_aps() {
+        // Sites in the north arm are the Lobby's blind spots for the three
+        // southern APs — the spatial-variance story needs them.
+        let v = Venue::lobby();
+        let arm_site = Point::new(3.0, 12.5);
+        assert!(v.test_sites.contains(&arm_site));
+        let near_static = v
+            .static_aps
+            .iter()
+            .filter(|ap| ap.distance(arm_site) < 8.0)
+            .count();
+        assert!(near_static <= 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! The NomLoc localization server (Fig. 2).
+//!
+//! The server is the third tier of the architecture: APs (static and
+//! nomadic) forward CSI bursts for the object's probe packets together with
+//! their own reported coordinates; the server extracts per-link PDPs, forms
+//! pairwise proximity judgements, and runs the SP estimator.
+
+use crate::confidence::{Confidence, PaperExp};
+use crate::estimator::{EstimateError, LocationEstimate, SpEstimator};
+use crate::pdp::PdpEstimator;
+use crate::proximity::{judge_all_pairs, ApSite, PdpReading, ProximityJudgement};
+use nomloc_geometry::Polygon;
+use nomloc_lp::center::CenterMethod;
+use nomloc_rfsim::CsiSnapshot;
+
+/// A CSI report from one AP site: the burst of snapshots it captured for
+/// the object's probe packets, tagged with the site's reported coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsiReport {
+    /// The reporting AP site (reported position, not necessarily truth).
+    pub site: ApSite,
+    /// CSI snapshots, one per captured packet.
+    pub burst: Vec<CsiSnapshot>,
+}
+
+/// The NomLoc localization server.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_core::{ApSite, LocalizationServer, PdpReading};
+/// use nomloc_geometry::{Point, Polygon};
+///
+/// let area = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+/// let server = LocalizationServer::new(area);
+/// let readings = vec![
+///     PdpReading::new(ApSite::fixed(1, Point::new(1.0, 1.0)), 1.0e-6),
+///     PdpReading::new(ApSite::fixed(2, Point::new(9.0, 1.0)), 2.0e-7),
+///     PdpReading::new(ApSite::fixed(3, Point::new(5.0, 9.0)), 4.0e-7),
+/// ];
+/// let estimate = server.localize(&readings)?;
+/// // Strongest PDP at AP 1 pulls the estimate into its corner.
+/// assert!(estimate.position.x < 5.0 && estimate.position.y < 6.0);
+/// # Ok::<(), nomloc_core::estimator::EstimateError>(())
+/// ```
+pub struct LocalizationServer {
+    area: Polygon,
+    pdp: PdpEstimator,
+    confidence: Box<dyn Confidence + Send + Sync>,
+    estimator: SpEstimator,
+}
+
+impl std::fmt::Debug for LocalizationServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalizationServer")
+            .field("area", &self.area)
+            .field("pdp", &self.pdp)
+            .field("estimator", &self.estimator)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LocalizationServer {
+    /// Creates a server for the given area of interest with default
+    /// components (paper confidence function, Chebyshev center).
+    pub fn new(area: Polygon) -> Self {
+        LocalizationServer {
+            area,
+            pdp: PdpEstimator::default(),
+            confidence: Box::new(PaperExp),
+            estimator: SpEstimator::default(),
+        }
+    }
+
+    /// Replaces the confidence function.
+    pub fn with_confidence<C>(mut self, confidence: C) -> Self
+    where
+        C: Confidence + Send + Sync + 'static,
+    {
+        self.confidence = Box::new(confidence);
+        self
+    }
+
+    /// Sets the center method of the SP estimator.
+    pub fn with_center_method(mut self, method: CenterMethod) -> Self {
+        self.estimator = self.estimator.with_center_method(method);
+        self
+    }
+
+    /// Replaces the PDP estimator configuration.
+    pub fn with_pdp_estimator(mut self, pdp: PdpEstimator) -> Self {
+        self.pdp = pdp;
+        self
+    }
+
+    /// The area of interest.
+    pub fn area(&self) -> &Polygon {
+        &self.area
+    }
+
+    /// Extracts PDP readings from raw CSI reports, skipping empty bursts.
+    pub fn extract_readings(&self, reports: &[CsiReport]) -> Vec<PdpReading> {
+        reports
+            .iter()
+            .filter_map(|r| {
+                let pdp = self.pdp.pdp_of_burst(&r.burst)?;
+                (pdp > 0.0 && pdp.is_finite()).then(|| PdpReading::new(r.site, pdp))
+            })
+            .collect()
+    }
+
+    /// Forms all pairwise proximity judgements from readings.
+    pub fn judge(&self, readings: &[PdpReading]) -> Vec<ProximityJudgement> {
+        judge_all_pairs(readings, &JudgeAdapter(self.confidence.as_ref()))
+    }
+
+    /// Localizes the object from PDP readings.
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`EstimateError`] from the SP estimator.
+    pub fn localize(&self, readings: &[PdpReading]) -> Result<LocationEstimate, EstimateError> {
+        let judgements = self.judge(readings);
+        self.estimator.estimate(&judgements, &self.area)
+    }
+
+    /// Full pipeline: CSI reports → PDPs → judgements → estimate.
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`EstimateError`] from the SP estimator.
+    pub fn process(&self, reports: &[CsiReport]) -> Result<LocationEstimate, EstimateError> {
+        let readings = self.extract_readings(reports);
+        self.localize(&readings)
+    }
+}
+
+/// Adapter so a `&dyn Confidence` can be passed where `impl Confidence` is
+/// expected.
+struct JudgeAdapter<'a>(&'a (dyn Confidence + Send + Sync));
+
+impl Confidence for JudgeAdapter<'_> {
+    fn confidence(&self, x: f64) -> f64 {
+        self.0.confidence(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::HardDecision;
+    use nomloc_geometry::Point;
+    use nomloc_rfsim::{Environment, FloorPlan, RadioConfig, SubcarrierGrid};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn square() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(12.0, 12.0))
+    }
+
+    fn reading(ap: usize, x: f64, y: f64, pdp: f64) -> PdpReading {
+        PdpReading::new(ApSite::fixed(ap, Point::new(x, y)), pdp)
+    }
+
+    #[test]
+    fn localize_pulls_toward_strong_pdp() {
+        let server = LocalizationServer::new(square());
+        let readings = vec![
+            reading(1, 1.0, 1.0, 1e-5),
+            reading(2, 11.0, 1.0, 1e-7),
+            reading(3, 11.0, 11.0, 1e-7),
+            reading(4, 1.0, 11.0, 1e-6),
+        ];
+        let est = server.localize(&readings).unwrap();
+        // AP1's corner.
+        assert!(est.position.x < 6.0 && est.position.y < 6.0, "{}", est.position);
+    }
+
+    #[test]
+    fn judgement_count() {
+        let server = LocalizationServer::new(square());
+        let readings: Vec<PdpReading> =
+            (0..4).map(|i| reading(i, i as f64, 0.0, 1e-6 * (i + 1) as f64)).collect();
+        assert_eq!(server.judge(&readings).len(), 6);
+    }
+
+    #[test]
+    fn empty_readings_give_area_center() {
+        let server = LocalizationServer::new(square());
+        let est = server.localize(&[]).unwrap();
+        assert!(est.position.distance(Point::new(6.0, 6.0)) < 1e-3);
+    }
+
+    #[test]
+    fn confidence_swap_changes_weights() {
+        let soft = LocalizationServer::new(square());
+        let hard = LocalizationServer::new(square()).with_confidence(HardDecision);
+        let readings = vec![reading(0, 1.0, 1.0, 2e-6), reading(1, 11.0, 11.0, 1e-6)];
+        let js_soft = soft.judge(&readings);
+        let js_hard = hard.judge(&readings);
+        assert!(js_soft[0].weight < 1.0);
+        assert_eq!(js_hard[0].weight, 1.0);
+    }
+
+    #[test]
+    fn process_end_to_end_with_simulated_csi() {
+        let plan = FloorPlan::builder(square()).build();
+        let env = Environment::new(plan, RadioConfig::default());
+        let server = LocalizationServer::new(square());
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(17);
+
+        let aps = [
+            Point::new(1.0, 1.0),
+            Point::new(11.0, 1.0),
+            Point::new(11.0, 11.0),
+            Point::new(1.0, 11.0),
+        ];
+        let object = Point::new(3.5, 4.0);
+        let reports: Vec<CsiReport> = aps
+            .iter()
+            .enumerate()
+            .map(|(i, &ap)| CsiReport {
+                site: ApSite::fixed(i + 1, ap),
+                burst: env.sample_csi_burst(object, ap, &grid, 30, &mut rng),
+            })
+            .collect();
+        let est = server.process(&reports).unwrap();
+        assert!(
+            est.position.distance(object) < 4.0,
+            "open-room estimate {} vs truth {object}",
+            est.position
+        );
+    }
+
+    #[test]
+    fn empty_bursts_are_skipped() {
+        let server = LocalizationServer::new(square());
+        let reports = vec![CsiReport {
+            site: ApSite::fixed(1, Point::new(1.0, 1.0)),
+            burst: vec![],
+        }];
+        assert!(server.extract_readings(&reports).is_empty());
+        // Degenerates to the area center rather than failing.
+        assert!(server.process(&reports).is_ok());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let server = LocalizationServer::new(square());
+        assert!(format!("{server:?}").contains("LocalizationServer"));
+    }
+}

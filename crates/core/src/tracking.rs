@@ -1,0 +1,300 @@
+//! Sequential tracking of a moving object.
+//!
+//! NomLoc localizes one snapshot at a time; real ILBS applications (the
+//! paper's advertising and patrol scenarios) follow a *moving* person, so
+//! consecutive estimates carry exploitable temporal structure. This module
+//! adds the post-processing layer a deployment would run on the server:
+//! smoothing filters over the per-round [`crate::LocationEstimate`]s, plus
+//! a physical-speed gate that rejects impossible jumps.
+
+use nomloc_geometry::{Point, Vec2};
+
+/// Smoothing strategy applied to the estimate stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Smoothing {
+    /// Pass estimates through unchanged.
+    Raw,
+    /// Exponential smoothing with factor `alpha ∈ (0, 1]` (1 = raw).
+    Exponential {
+        /// Weight of the newest estimate.
+        alpha: f64,
+    },
+    /// Alpha-beta filter tracking position and velocity.
+    AlphaBeta {
+        /// Position-correction gain, `(0, 1]`.
+        alpha: f64,
+        /// Velocity-correction gain, `(0, 1]`.
+        beta: f64,
+    },
+}
+
+/// A tracker consuming per-round location estimates.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_core::tracking::{Smoothing, Tracker};
+/// use nomloc_geometry::Point;
+///
+/// let mut tracker = Tracker::new(Smoothing::Exponential { alpha: 0.5 });
+/// tracker.push(Point::new(0.0, 0.0), 1.0);
+/// let smoothed = tracker.push(Point::new(2.0, 0.0), 1.0);
+/// assert!((smoothed.x - 1.0).abs() < 1e-12); // halfway toward the jump
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tracker {
+    smoothing: Smoothing,
+    max_speed: Option<f64>,
+    position: Option<Point>,
+    velocity: Vec2,
+    raw_history: Vec<Point>,
+    smooth_history: Vec<Point>,
+}
+
+impl Tracker {
+    /// Creates a tracker with the given smoothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a gain parameter lies outside `(0, 1]`.
+    pub fn new(smoothing: Smoothing) -> Self {
+        match smoothing {
+            Smoothing::Raw => {}
+            Smoothing::Exponential { alpha } => {
+                assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+            }
+            Smoothing::AlphaBeta { alpha, beta } => {
+                assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+                assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+            }
+        }
+        Tracker {
+            smoothing,
+            max_speed: None,
+            position: None,
+            velocity: Vec2::ZERO,
+            raw_history: Vec::new(),
+            smooth_history: Vec::new(),
+        }
+    }
+
+    /// Gates raw estimates to a maximum physical speed (m/s): a new
+    /// estimate implying a faster jump is pulled back onto the speed
+    /// circle before smoothing. Walking pace is ~1.4 m/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_speed` is not strictly positive.
+    pub fn with_max_speed(mut self, max_speed: f64) -> Self {
+        assert!(max_speed > 0.0, "max speed must be positive");
+        self.max_speed = Some(max_speed);
+        self
+    }
+
+    /// Feeds the next raw estimate taken `dt` seconds after the previous
+    /// one and returns the smoothed position.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dt` is not strictly positive.
+    pub fn push(&mut self, raw: Point, dt: f64) -> Point {
+        assert!(dt > 0.0, "time step must be positive");
+        self.raw_history.push(raw);
+
+        let gated = match (self.position, self.max_speed) {
+            (Some(prev), Some(vmax)) => {
+                let step = raw - prev;
+                let limit = vmax * dt;
+                if step.norm() > limit {
+                    prev + step.normalized().expect("non-zero step") * limit
+                } else {
+                    raw
+                }
+            }
+            _ => raw,
+        };
+
+        let smoothed = match (self.smoothing, self.position) {
+            (_, None) => gated,
+            (Smoothing::Raw, Some(_)) => gated,
+            (Smoothing::Exponential { alpha }, Some(prev)) => prev.lerp(gated, alpha),
+            (Smoothing::AlphaBeta { alpha, beta }, Some(prev)) => {
+                let predicted = prev + self.velocity * dt;
+                let residual = gated - predicted;
+                self.velocity += residual * (beta / dt);
+                predicted + residual * alpha
+            }
+        };
+        self.position = Some(smoothed);
+        self.smooth_history.push(smoothed);
+        smoothed
+    }
+
+    /// The latest smoothed position, if any estimate has been fed.
+    pub fn position(&self) -> Option<Point> {
+        self.position
+    }
+
+    /// Current velocity estimate (only meaningful for alpha-beta).
+    pub fn velocity(&self) -> Vec2 {
+        self.velocity
+    }
+
+    /// Raw estimates fed so far.
+    pub fn raw_history(&self) -> &[Point] {
+        &self.raw_history
+    }
+
+    /// Smoothed outputs so far (same length as the raw history).
+    pub fn smooth_history(&self) -> &[Point] {
+        &self.smooth_history
+    }
+
+    /// Total smoothed path length, metres.
+    pub fn path_length(&self) -> f64 {
+        self.smooth_history
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum()
+    }
+
+    /// Clears history and state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.position = None;
+        self.velocity = Vec2::ZERO;
+        self.raw_history.clear();
+        self.smooth_history.clear();
+    }
+}
+
+/// Mean error of a track against ground truth (pairs positions by index).
+///
+/// Returns `None` when the lengths differ or the track is empty.
+pub fn track_error(track: &[Point], truth: &[Point]) -> Option<f64> {
+    if track.is_empty() || track.len() != truth.len() {
+        return None;
+    }
+    Some(
+        track
+            .iter()
+            .zip(truth)
+            .map(|(a, b)| a.distance(*b))
+            .sum::<f64>()
+            / track.len() as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A noisy stationary target: deterministic ± zig noise.
+    fn noisy_stationary(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+                Point::new(5.0 + s * 0.8, 5.0 - s * 0.6)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_mode_passes_through() {
+        let mut t = Tracker::new(Smoothing::Raw);
+        for p in noisy_stationary(6) {
+            let out = t.push(p, 1.0);
+            assert_eq!(out, p);
+        }
+        assert_eq!(t.raw_history().len(), 6);
+        assert_eq!(t.smooth_history(), t.raw_history());
+    }
+
+    #[test]
+    fn exponential_reduces_jitter() {
+        let raw = noisy_stationary(40);
+        let mut t = Tracker::new(Smoothing::Exponential { alpha: 0.3 });
+        for &p in &raw {
+            t.push(p, 1.0);
+        }
+        let truth = vec![Point::new(5.0, 5.0); 40];
+        let raw_err = track_error(&raw, &truth).unwrap();
+        // Ignore the warm-up samples when scoring the smoothed track.
+        let smoothed = &t.smooth_history()[10..];
+        let smooth_err = track_error(smoothed, &truth[10..]).unwrap();
+        assert!(
+            smooth_err < raw_err * 0.6,
+            "smoothing didn't help: {smooth_err} vs {raw_err}"
+        );
+    }
+
+    #[test]
+    fn alpha_beta_tracks_linear_motion() {
+        // Target moves at 1 m/s along x; noiseless estimates.
+        let mut t = Tracker::new(Smoothing::AlphaBeta {
+            alpha: 0.85,
+            beta: 0.5,
+        });
+        let mut final_pos = Point::ORIGIN;
+        for i in 0..30 {
+            final_pos = t.push(Point::new(i as f64, 0.0), 1.0);
+        }
+        assert!(final_pos.distance(Point::new(29.0, 0.0)) < 0.5);
+        // Velocity estimate converges to 1 m/s east.
+        assert!((t.velocity().x - 1.0).abs() < 0.2, "vx = {}", t.velocity().x);
+        assert!(t.velocity().y.abs() < 0.1);
+    }
+
+    #[test]
+    fn speed_gate_rejects_teleports() {
+        let mut t = Tracker::new(Smoothing::Raw).with_max_speed(1.5);
+        t.push(Point::new(0.0, 0.0), 1.0);
+        // A 10 m jump in 1 s is impossible at 1.5 m/s.
+        let out = t.push(Point::new(10.0, 0.0), 1.0);
+        assert!((out.x - 1.5).abs() < 1e-9, "gated to {out}");
+        // A legal step passes through.
+        let out = t.push(Point::new(2.0, 0.0), 1.0);
+        assert!((out.x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_length_accumulates() {
+        let mut t = Tracker::new(Smoothing::Raw);
+        t.push(Point::new(0.0, 0.0), 1.0);
+        t.push(Point::new(3.0, 4.0), 1.0);
+        t.push(Point::new(3.0, 4.0), 1.0);
+        assert!((t.path_length() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut t = Tracker::new(Smoothing::Exponential { alpha: 0.5 });
+        t.push(Point::new(1.0, 1.0), 1.0);
+        t.reset();
+        assert!(t.position().is_none());
+        assert!(t.raw_history().is_empty());
+        // First estimate after reset is taken as-is.
+        let out = t.push(Point::new(9.0, 9.0), 1.0);
+        assert_eq!(out, Point::new(9.0, 9.0));
+    }
+
+    #[test]
+    fn track_error_checks_lengths() {
+        assert!(track_error(&[], &[]).is_none());
+        assert!(track_error(&[Point::ORIGIN], &[]).is_none());
+        let e = track_error(&[Point::new(0.0, 0.0)], &[Point::new(3.0, 4.0)]).unwrap();
+        assert!((e - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn rejects_bad_alpha() {
+        let _ = Tracker::new(Smoothing::Exponential { alpha: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "time step")]
+    fn rejects_zero_dt() {
+        let mut t = Tracker::new(Smoothing::Raw);
+        t.push(Point::ORIGIN, 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the NomLoc core.
+
+use nomloc_core::confidence::{Confidence, HardDecision, Logistic, PaperExp};
+use nomloc_core::constraints::{boundary_constraints, judgement_constraints};
+use nomloc_core::proximity::{judge_all_pairs, ApSite, PdpReading, ProximityJudgement};
+use nomloc_core::SpEstimator;
+use nomloc_geometry::{Point, Polygon};
+use proptest::prelude::*;
+
+const W: f64 = 12.0;
+const H: f64 = 10.0;
+
+fn area() -> Polygon {
+    Polygon::rectangle(Point::new(0.0, 0.0), Point::new(W, H))
+}
+
+fn interior_point() -> impl Strategy<Value = Point> {
+    (0.2..W - 0.2, 0.2..H - 0.2).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Truthful judgements for an object at `q` among `aps`.
+fn truthful(q: Point, aps: &[Point]) -> Vec<ProximityJudgement> {
+    let mut out = Vec::new();
+    for i in 0..aps.len() {
+        for j in (i + 1)..aps.len() {
+            let (near, far) = if q.distance_sq(aps[i]) <= q.distance_sq(aps[j]) {
+                (aps[i], aps[j])
+            } else {
+                (aps[j], aps[i])
+            };
+            out.push(ProximityJudgement {
+                near: ApSite::fixed(i, near),
+                far: ApSite::fixed(j, far),
+                weight: 0.9,
+            });
+        }
+    }
+    out
+}
+
+proptest! {
+    // Eq. 2–3 axioms hold for every provided confidence family at random
+    // ratios.
+    #[test]
+    fn confidence_axioms(x in 1e-4..1e4f64, k in 0.2..6.0f64) {
+        let fns: Vec<Box<dyn Confidence>> = vec![
+            Box::new(PaperExp),
+            Box::new(Logistic::new(k)),
+            Box::new(HardDecision),
+        ];
+        for f in &fns {
+            let s = f.confidence(x) + f.confidence(1.0 / x);
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(f.confidence(x) >= 0.0);
+        }
+    }
+
+    // Judgement weights always land in [½, 1] for positive PDPs.
+    #[test]
+    fn judgement_weights_in_range(pdps in prop::collection::vec(1e-9..1e-3f64, 2..8)) {
+        let readings: Vec<PdpReading> = pdps
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| PdpReading::new(ApSite::fixed(i, Point::new(i as f64, 0.0)), p))
+            .collect();
+        let js = judge_all_pairs(&readings, &PaperExp);
+        prop_assert_eq!(js.len(), readings.len() * (readings.len() - 1) / 2);
+        for j in &js {
+            prop_assert!((0.5..=1.0).contains(&j.weight));
+        }
+    }
+
+    // The winner of every judgement has the larger PDP.
+    #[test]
+    fn winner_has_larger_pdp(pdps in prop::collection::vec(1e-9..1e-3f64, 2..8)) {
+        let readings: Vec<PdpReading> = pdps
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| PdpReading::new(ApSite::fixed(i, Point::new(i as f64, 0.0)), p))
+            .collect();
+        for j in judge_all_pairs(&readings, &PaperExp) {
+            let near_pdp = readings.iter().find(|r| r.site.ap == j.near.ap).unwrap().pdp;
+            let far_pdp = readings.iter().find(|r| r.site.ap == j.far.ap).unwrap().pdp;
+            prop_assert!(near_pdp >= far_pdp);
+        }
+    }
+
+    // Truthful judgements admit the true position: zero relaxation cost
+    // and the truth satisfies every generated constraint.
+    #[test]
+    fn truthful_judgements_are_consistent(
+        q in interior_point(),
+        aps in prop::collection::vec(interior_point(), 2..6),
+    ) {
+        let js = truthful(q, &aps);
+        for c in judgement_constraints(&js) {
+            prop_assert!(c.halfplane.violation(q) <= 1e-9);
+        }
+        let est = SpEstimator::new().estimate(&js, &area()).unwrap();
+        prop_assert!(est.relaxation_cost < 1e-6);
+    }
+
+    // The estimate is always inside the area (or on its boundary), for
+    // arbitrary — even inconsistent — judgements.
+    #[test]
+    fn estimate_always_in_area(
+        q1 in interior_point(),
+        q2 in interior_point(),
+        aps in prop::collection::vec(interior_point(), 2..6),
+    ) {
+        // Mix judgements generated from two different "truths" to create
+        // inconsistency.
+        let mut js = truthful(q1, &aps);
+        js.extend(truthful(q2, &aps));
+        let est = SpEstimator::new().estimate(&js, &area()).unwrap();
+        let a = area();
+        prop_assert!(
+            a.contains(est.position) || a.distance_to_boundary(est.position) < 1e-6,
+            "estimate {} escaped", est.position
+        );
+        prop_assert!(est.region_area >= 0.0);
+    }
+
+    // With truthful judgements the estimate lands in the same partition
+    // cell as the truth: its distance to the truth is bounded by the cell
+    // diameter (crudely: the venue diagonal over √(constraints)).
+    #[test]
+    fn truthful_estimate_in_correct_cell(
+        q in interior_point(),
+        aps in prop::collection::vec(interior_point(), 3..7),
+    ) {
+        // Distinct APs only (coincident APs give degenerate bisectors).
+        for i in 0..aps.len() {
+            for j in (i + 1)..aps.len() {
+                prop_assume!(aps[i].distance(aps[j]) > 0.5);
+            }
+        }
+        let js = truthful(q, &aps);
+        let est = SpEstimator::new().estimate(&js, &area()).unwrap();
+        // The estimate satisfies every truthful constraint, hence shares
+        // q's cell.
+        for c in judgement_constraints(&js) {
+            prop_assert!(
+                c.halfplane.violation(est.position) <= 1e-6,
+                "estimate left the cell: {}", c.halfplane
+            );
+        }
+    }
+
+    // Boundary constraints from any interior reference reproduce area
+    // membership.
+    #[test]
+    fn boundary_constraints_reproduce_area(refp in interior_point(), probe in
+        (-2.0..W + 2.0, -2.0..H + 2.0).prop_map(|(x, y)| Point::new(x, y)))
+    {
+        let cs = boundary_constraints(&area(), refp);
+        let inside = area().contains(probe);
+        let satisfied = cs.iter().all(|c| c.halfplane.contains(probe));
+        // Tolerate the boundary itself.
+        if area().distance_to_boundary(probe) > 1e-6 {
+            prop_assert_eq!(inside, satisfied, "mismatch at {}", probe);
+        }
+    }
+
+    // Adding a truthful judgement never grows the feasible region.
+    #[test]
+    fn downscoping_shrinks_region(
+        q in interior_point(),
+        aps in prop::collection::vec(interior_point(), 3..6),
+        extra in interior_point(),
+    ) {
+        prop_assume!(extra.distance(q) > 0.5);
+        let js = truthful(q, &aps);
+        let before = SpEstimator::new().estimate(&js, &area()).unwrap();
+        let mut more_aps = aps.clone();
+        more_aps.push(extra);
+        let js2 = truthful(q, &more_aps);
+        let after = SpEstimator::new().estimate(&js2, &area()).unwrap();
+        prop_assert!(after.region_area <= before.region_area + 1e-6,
+            "region grew: {} → {}", before.region_area, after.region_area);
+    }
+}

@@ -1,0 +1,321 @@
+//! Descriptive statistics and empirical CDFs.
+//!
+//! The NomLoc evaluation reports two metrics (§V-A): localization
+//! **accuracy** as the empirical CDF of per-site mean error (Fig. 9/10), and
+//! **spatial localizability variance** — the variance of per-site mean error
+//! across the venue (Eq. 20–23, Fig. 8). Both are built from the summaries
+//! in this module.
+
+/// Arithmetic mean. Returns `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance (divides by `n`), per Eq. 22 of the paper.
+///
+/// Returns `None` for empty input.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (divides by `n − 1`). Returns `None` for `n < 2`.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population standard deviation. Returns `None` for empty input.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Median (midpoint of the two central order statistics for even `n`).
+///
+/// Returns `None` for empty input.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolation percentile, `p ∈ [0, 100]`.
+///
+/// Returns `None` for empty input or out-of-range `p`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Minimum of a slice. Returns `None` for empty input.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum of a slice. Returns `None` for empty input.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Empirical cumulative distribution function of a sample.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_dsp::stats::Ecdf;
+///
+/// let cdf = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(cdf.eval(0.5), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.5);
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// // 90th-percentile error, the paper's headline accuracy number:
+/// assert!((cdf.quantile(0.75) - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample. Returns `None` for an empty sample or
+    /// one containing non-finite values.
+    pub fn new(mut sample: Vec<f64>) -> Option<Self> {
+        if sample.is_empty() || sample.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        sample.sort_by(f64::total_cmp);
+        Some(Ecdf { sorted: sample })
+    }
+
+    /// Number of underlying observations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false` post-construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of observations `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements ≤ x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Smallest observation `v` with `eval(v) ≥ q`, `q ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile level must be in (0, 1]");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// The underlying sorted observations.
+    #[inline]
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evenly spaced `(value, probability)` pairs for plotting, one per
+    /// observation (the staircase's upper-left corners).
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Mean of the sample.
+    pub fn mean(&self) -> f64 {
+        mean(&self.sorted).expect("non-empty by construction")
+    }
+}
+
+/// Spatial localizability variance over per-site mean errors (Eq. 22).
+///
+/// `site_mean_errors[i]` is the mean localization error observed at sample
+/// site `i`; the SLV is their population variance. Returns `None` for empty
+/// input.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_dsp::stats::slv;
+///
+/// // Perfectly uniform accuracy: zero variance, ideal user experience.
+/// assert_eq!(slv(&[1.5, 1.5, 1.5]), Some(0.0));
+/// // One blind spot inflates the SLV.
+/// assert!(slv(&[1.0, 1.0, 5.0]).unwrap() > 3.0);
+/// ```
+pub fn slv(site_mean_errors: &[f64]) -> Option<f64> {
+    variance(site_mean_errors)
+}
+
+/// Simple fixed-width histogram over `[lo, hi)` with `bins` buckets.
+///
+/// Out-of-range values are clamped into the first/last bucket. Returns
+/// `None` when `bins == 0` or the range is empty/invalid.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Option<Vec<usize>> {
+    if bins == 0 || hi <= lo || !(hi - lo).is_finite() {
+        return None;
+    }
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        let idx = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    Some(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(variance(&xs), Some(4.0));
+        assert_eq!(std_dev(&xs), Some(2.0));
+        assert!((sample_variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(sample_variance(&[1.0]), None);
+        assert!(Ecdf::new(vec![]).is_none());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        assert!((percentile(&xs, 50.0).unwrap() - 25.0).abs() < 1e-12);
+        assert_eq!(percentile(&xs, 101.0), None);
+        assert_eq!(percentile(&xs, -1.0), None);
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 7.0];
+        assert_eq!(min(&xs), Some(-1.0));
+        assert_eq!(max(&xs), Some(7.0));
+    }
+
+    #[test]
+    fn ecdf_step_values() {
+        let cdf = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]).unwrap();
+        assert_eq!(cdf.eval(0.0), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(1.5), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(3.0), 1.0);
+        assert_eq!(cdf.eval(99.0), 1.0);
+        assert_eq!(cdf.len(), 4);
+    }
+
+    #[test]
+    fn ecdf_rejects_nan() {
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn ecdf_quantiles() {
+        let cdf = Ecdf::new((1..=10).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(cdf.quantile(0.1), 1.0);
+        assert_eq!(cdf.quantile(0.5), 5.0);
+        assert_eq!(cdf.quantile(0.9), 9.0);
+        assert_eq!(cdf.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn ecdf_quantile_rejects_zero() {
+        let cdf = Ecdf::new(vec![1.0]).unwrap();
+        let _ = cdf.quantile(0.0);
+    }
+
+    #[test]
+    fn ecdf_series_is_monotone_staircase() {
+        let cdf = Ecdf::new(vec![5.0, 1.0, 3.0]).unwrap();
+        let series = cdf.series();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0], (1.0, 1.0 / 3.0));
+        assert_eq!(series[2], (5.0, 1.0));
+        for w in series.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn ecdf_quantile_consistency_with_eval() {
+        let cdf = Ecdf::new(vec![0.5, 1.5, 2.5, 3.5, 4.5]).unwrap();
+        for q in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let v = cdf.quantile(q);
+            assert!(cdf.eval(v) >= q - 1e-12);
+        }
+    }
+
+    #[test]
+    fn slv_matches_paper_definition() {
+        // Hand-computed: errors 1, 2, 3 → mean 2 → variance 2/3.
+        let v = slv(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((v - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(slv(&[]), None);
+    }
+
+    #[test]
+    fn slv_is_translation_invariant() {
+        let a = slv(&[1.0, 2.0, 3.0]).unwrap();
+        let b = slv(&[11.0, 12.0, 13.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let xs = [0.1, 0.2, 1.5, 2.9, -5.0, 99.0];
+        let h = histogram(&xs, 0.0, 3.0, 3).unwrap();
+        // -5 clamps into bin 0, 99 into bin 2.
+        assert_eq!(h, vec![3, 1, 2]);
+        assert!(histogram(&xs, 0.0, 3.0, 0).is_none());
+        assert!(histogram(&xs, 3.0, 0.0, 2).is_none());
+    }
+}

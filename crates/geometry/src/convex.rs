@@ -1,0 +1,422 @@
+//! Convex hulls and convex decomposition of simple polygons.
+//!
+//! The SP-based estimator requires a *convex* area of interest: the paper
+//! notes (§IV-B-2) that a non-convex venue — such as the L-shaped lobby of
+//! the evaluation — is divided into convex pieces, the LP is solved per
+//! piece, and feasible pieces are merged. [`decompose`] provides that
+//! division via ear-clipping triangulation followed by Hertel–Mehlhorn
+//! greedy merging.
+
+use crate::{Point, Polygon, EPS};
+
+/// Convex hull of a point set (Andrew's monotone chain).
+///
+/// Returns `None` when the points are all (near-)collinear, since no polygon
+/// with positive area exists.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_geometry::{convex::hull, Point};
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 0.5), // interior
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+/// ];
+/// let h = hull(&pts).unwrap();
+/// assert_eq!(h.len(), 4);
+/// ```
+pub fn hull(points: &[Point]) -> Option<Polygon> {
+    if points.len() < 3 {
+        return None;
+    }
+    let mut pts = points.to_vec();
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+    pts.dedup_by(|a, b| a.distance(*b) < EPS);
+    if pts.len() < 3 {
+        return None;
+    }
+
+    let mut lower: Vec<Point> = Vec::new();
+    for &p in &pts {
+        while lower.len() >= 2 {
+            let a = lower[lower.len() - 2];
+            let b = lower[lower.len() - 1];
+            if (b - a).cross(p - b) <= EPS {
+                lower.pop();
+            } else {
+                break;
+            }
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::new();
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 {
+            let a = upper[upper.len() - 2];
+            let b = upper[upper.len() - 1];
+            if (b - a).cross(p - b) <= EPS {
+                upper.pop();
+            } else {
+                break;
+            }
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    Polygon::new(lower).ok()
+}
+
+/// Triangulates a simple polygon by ear clipping.
+///
+/// Returns index triples into `polygon.vertices()`. The polygon must be
+/// simple (non-self-intersecting); the counter-clockwise orientation is
+/// guaranteed by [`Polygon`]'s constructor.
+pub fn triangulate(polygon: &Polygon) -> Vec<[usize; 3]> {
+    let verts = polygon.vertices();
+    let n = verts.len();
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut triangles = Vec::with_capacity(n.saturating_sub(2));
+
+    // Guard against malformed input: at most n² iterations.
+    let mut guard = n * n + 16;
+    while indices.len() > 3 && guard > 0 {
+        guard -= 1;
+        let m = indices.len();
+        let mut clipped = false;
+        for i in 0..m {
+            let prev = indices[(i + m - 1) % m];
+            let cur = indices[i];
+            let next = indices[(i + 1) % m];
+            if is_ear(verts, &indices, prev, cur, next) {
+                triangles.push([prev, cur, next]);
+                indices.remove(i);
+                clipped = true;
+                break;
+            }
+        }
+        if !clipped {
+            // Numerically stuck (e.g. collinear runs): clip the first
+            // strictly convex vertex as a fallback.
+            for i in 0..indices.len() {
+                let m = indices.len();
+                let prev = indices[(i + m - 1) % m];
+                let cur = indices[i];
+                let next = indices[(i + 1) % m];
+                if convex_corner(verts[prev], verts[cur], verts[next]) {
+                    triangles.push([prev, cur, next]);
+                    indices.remove(i);
+                    break;
+                }
+            }
+        }
+    }
+    if indices.len() == 3 {
+        triangles.push([indices[0], indices[1], indices[2]]);
+    }
+    triangles
+}
+
+fn convex_corner(a: Point, b: Point, c: Point) -> bool {
+    (b - a).cross(c - b) > EPS
+}
+
+fn is_ear(verts: &[Point], active: &[usize], prev: usize, cur: usize, next: usize) -> bool {
+    let (a, b, c) = (verts[prev], verts[cur], verts[next]);
+    if !convex_corner(a, b, c) {
+        return false;
+    }
+    for &k in active {
+        if k == prev || k == cur || k == next {
+            continue;
+        }
+        if point_in_triangle(verts[k], a, b, c) {
+            return false;
+        }
+    }
+    true
+}
+
+fn point_in_triangle(p: Point, a: Point, b: Point, c: Point) -> bool {
+    let d1 = (b - a).cross(p - a);
+    let d2 = (c - b).cross(p - b);
+    let d3 = (a - c).cross(p - c);
+    let has_neg = d1 < -EPS || d2 < -EPS || d3 < -EPS;
+    let has_pos = d1 > EPS || d2 > EPS || d3 > EPS;
+    !(has_neg && has_pos)
+}
+
+/// Decomposes a simple polygon into convex pieces.
+///
+/// A convex input is returned as a single piece. Non-convex inputs are
+/// ear-clipped into triangles which are then greedily merged across shared
+/// diagonals while the union stays convex (Hertel–Mehlhorn), yielding at
+/// most four times the optimal number of pieces.
+///
+/// The returned pieces tile the input: their areas sum to the input area.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_geometry::{convex::decompose, Point, Polygon};
+///
+/// let l_shape = Polygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(4.0, 2.0),
+///     Point::new(2.0, 2.0),
+///     Point::new(2.0, 4.0),
+///     Point::new(0.0, 4.0),
+/// ])?;
+/// let pieces = decompose(&l_shape);
+/// assert!(pieces.len() >= 2);
+/// let total: f64 = pieces.iter().map(|p| p.area()).sum();
+/// assert!((total - l_shape.area()).abs() < 1e-9);
+/// # Ok::<(), nomloc_geometry::PolygonError>(())
+/// ```
+pub fn decompose(polygon: &Polygon) -> Vec<Polygon> {
+    if polygon.is_convex() {
+        return vec![polygon.clone()];
+    }
+    let verts = polygon.vertices();
+    let tris = triangulate(polygon);
+    // Pieces as index rings (CCW, since triangles come out CCW).
+    let mut pieces: Vec<Vec<usize>> = tris.into_iter().map(|t| t.to_vec()).collect();
+
+    // Greedy merge: repeatedly find two pieces sharing a diagonal whose
+    // union is convex.
+    let mut merged_any = true;
+    while merged_any {
+        merged_any = false;
+        'outer: for i in 0..pieces.len() {
+            for j in (i + 1)..pieces.len() {
+                if let Some(merged) = try_merge(verts, &pieces[i], &pieces[j]) {
+                    pieces[i] = merged;
+                    pieces.swap_remove(j);
+                    merged_any = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    pieces
+        .into_iter()
+        .filter_map(|ring| Polygon::new(ring.into_iter().map(|i| verts[i]).collect()).ok())
+        .collect()
+}
+
+/// Merges two index rings sharing exactly one directed edge when the result
+/// is convex. Rings are CCW, so a shared interior diagonal appears as
+/// `(u, v)` in one ring and `(v, u)` in the other.
+fn try_merge(verts: &[Point], a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let na = a.len();
+    let nb = b.len();
+    for i in 0..na {
+        let (u, v) = (a[i], a[(i + 1) % na]);
+        for j in 0..nb {
+            if b[j] == v && b[(j + 1) % nb] == u {
+                // Splice: a up to u, then b's path from u's successor
+                // around to v's predecessor, then continue a from v.
+                let mut ring = Vec::with_capacity(na + nb - 2);
+                // a: start at v (index i+1), walk all of a back to u.
+                for k in 0..na {
+                    ring.push(a[(i + 1 + k) % na]);
+                }
+                // ring currently ends at u == a[i]; insert b's interior
+                // path from u to v (exclusive of both).
+                let mut k = (j + 2) % nb; // successor of u in b
+                while b[k % nb] != v {
+                    ring.push(b[k % nb]);
+                    k = (k + 1) % nb;
+                }
+                if !ring_is_convex(verts, &ring) {
+                    return None;
+                }
+                return Some(ring);
+            }
+        }
+    }
+    None
+}
+
+fn ring_is_convex(verts: &[Point], ring: &[usize]) -> bool {
+    let n = ring.len();
+    if n < 3 {
+        return false;
+    }
+    for i in 0..n {
+        let a = verts[ring[i]];
+        let b = verts[ring[(i + 1) % n]];
+        let c = verts[ring[(i + 2) % n]];
+        if (b - a).cross(c - b) < -EPS {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap()
+    }
+
+    fn u_shape() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(6.0, 4.0),
+            Point::new(4.0, 4.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn hull_of_square_plus_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+        ];
+        let h = hull(&pts).unwrap();
+        assert_eq!(h.len(), 4);
+        assert!((h.area() - 16.0).abs() < 1e-9);
+        assert!(h.is_convex());
+    }
+
+    #[test]
+    fn hull_rejects_collinear_input() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ];
+        assert!(hull(&pts).is_none());
+        assert!(hull(&pts[..2]).is_none());
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        let pts: Vec<Point> = (0..25)
+            .map(|i| Point::new((i * 7 % 13) as f64, (i * 5 % 11) as f64))
+            .collect();
+        let h = hull(&pts).unwrap();
+        for p in &pts {
+            assert!(h.contains(*p), "{p} outside hull");
+        }
+    }
+
+    #[test]
+    fn triangulate_square() {
+        let sq = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let tris = triangulate(&sq);
+        assert_eq!(tris.len(), 2);
+        let area: f64 = tris
+            .iter()
+            .map(|t| {
+                let v = sq.vertices();
+                ((v[t[1]] - v[t[0]]).cross(v[t[2]] - v[t[0]]) / 2.0).abs()
+            })
+            .sum();
+        assert!((area - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangulate_l_shape_covers_area() {
+        let l = l_shape();
+        let tris = triangulate(&l);
+        assert_eq!(tris.len(), l.len() - 2);
+        let v = l.vertices();
+        let area: f64 = tris
+            .iter()
+            .map(|t| ((v[t[1]] - v[t[0]]).cross(v[t[2]] - v[t[0]]) / 2.0).abs())
+            .sum();
+        assert!((area - l.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decompose_convex_is_identity() {
+        let sq = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(3.0, 1.0));
+        let pieces = decompose(&sq);
+        assert_eq!(pieces.len(), 1);
+        assert!((pieces[0].area() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decompose_l_shape() {
+        let l = l_shape();
+        let pieces = decompose(&l);
+        assert!(
+            (2..=4).contains(&pieces.len()),
+            "L-shape should decompose into 2–4 convex pieces, got {}",
+            pieces.len()
+        );
+        let total: f64 = pieces.iter().map(|p| p.area()).sum();
+        assert!((total - l.area()).abs() < 1e-9);
+        for p in &pieces {
+            assert!(p.is_convex(), "piece {p} is not convex");
+        }
+    }
+
+    #[test]
+    fn decompose_u_shape() {
+        let u = u_shape();
+        let pieces = decompose(&u);
+        let total: f64 = pieces.iter().map(|p| p.area()).sum();
+        assert!((total - u.area()).abs() < 1e-9);
+        for p in &pieces {
+            assert!(p.is_convex());
+        }
+        assert!(pieces.len() >= 3, "U-shape needs ≥ 3 convex pieces");
+    }
+
+    #[test]
+    fn decompose_pieces_stay_inside_input() {
+        let l = l_shape();
+        for piece in decompose(&l) {
+            let c = piece.centroid();
+            assert!(l.contains(c), "piece centroid {c} escaped the polygon");
+        }
+    }
+
+    #[test]
+    fn decompose_interior_points_covered_exactly_once() {
+        let l = l_shape();
+        let pieces = decompose(&l);
+        // Sample strictly interior points away from piece boundaries.
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = Point::new(0.05 + i as f64 * 0.1, 0.05 + j as f64 * 0.1);
+                if !l.contains(p) {
+                    continue;
+                }
+                let hits = pieces.iter().filter(|q| q.contains(p)).count();
+                assert!(hits >= 1, "interior point {p} not covered");
+            }
+        }
+    }
+}

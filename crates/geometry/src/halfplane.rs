@@ -1,0 +1,279 @@
+//! Half-planes: the geometric form of one proximity constraint.
+
+use std::fmt;
+
+use crate::{Point, Polygon, Vec2, EPS};
+
+/// The closed half-plane `{ z : a · z ≤ b }`.
+///
+/// Every relative-proximity judgement in NomLoc is one half-plane: "the
+/// object is closer to AP *i* at `pᵢ` than to AP *j* at `pⱼ`" expands
+/// (Eq. 6–7 of the paper) to
+///
+/// ```text
+/// 2(pⱼ − pᵢ) · z  ≤  ‖pⱼ‖² − ‖pᵢ‖²
+/// ```
+///
+/// which is the perpendicular bisector half-plane containing `pᵢ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfPlane {
+    /// Constraint row `a`.
+    pub a: Vec2,
+    /// Right-hand side `b`.
+    pub b: f64,
+}
+
+impl HalfPlane {
+    /// Creates the half-plane `a · z ≤ b`.
+    #[inline]
+    pub const fn new(a: Vec2, b: f64) -> Self {
+        HalfPlane { a, b }
+    }
+
+    /// The proximity half-plane "closer to `near` than to `far`" (Eq. 7).
+    pub fn closer_to(near: Point, far: Point) -> Self {
+        HalfPlane {
+            a: (far - near) * 2.0,
+            b: far.to_vec().norm_sq() - near.to_vec().norm_sq(),
+        }
+    }
+
+    /// Violation margin of `z`: `a · z − b` (≤ 0 when satisfied).
+    #[inline]
+    pub fn violation(&self, z: Point) -> f64 {
+        self.a.dot(z.to_vec()) - self.b
+    }
+
+    /// Returns `true` when `z` satisfies the constraint (with tolerance).
+    #[inline]
+    pub fn contains(&self, z: Point) -> bool {
+        self.violation(z) <= EPS
+    }
+
+    /// Euclidean distance from `z` to the constraint boundary, signed so
+    /// that satisfied points are negative. Returns the raw violation when
+    /// the row is (near-)zero.
+    pub fn signed_distance(&self, z: Point) -> f64 {
+        let n = self.a.norm();
+        if n < EPS {
+            self.violation(z)
+        } else {
+            self.violation(z) / n
+        }
+    }
+
+    /// Relaxed copy with the right-hand side increased by `slack ≥ 0`.
+    ///
+    /// This is the geometric meaning of the LP relaxation variable `tᵢ`
+    /// (Eq. 19): the half-plane is pushed outward until it can be satisfied.
+    pub fn relaxed(&self, slack: f64) -> HalfPlane {
+        HalfPlane {
+            a: self.a,
+            b: self.b + slack,
+        }
+    }
+
+    /// Clips `polygon` by this half-plane (Sutherland–Hodgman step).
+    ///
+    /// Returns `None` when the intersection is empty or degenerate (area
+    /// below tolerance).
+    pub fn clip_polygon(&self, polygon: &Polygon) -> Option<Polygon> {
+        let input = polygon.vertices();
+        let mut output: Vec<Point> = Vec::with_capacity(input.len() + 1);
+        let n = input.len();
+        for i in 0..n {
+            let cur = input[i];
+            let next = input[(i + 1) % n];
+            let cur_in = self.violation(cur) <= EPS;
+            let next_in = self.violation(next) <= EPS;
+            if cur_in {
+                output.push(cur);
+            }
+            if cur_in != next_in {
+                if let Some(x) = self.edge_crossing(cur, next) {
+                    output.push(x);
+                }
+            }
+        }
+        dedup_ring(&mut output);
+        Polygon::new(output).ok()
+    }
+
+    /// Point where the segment `p → q` crosses the constraint boundary.
+    fn edge_crossing(&self, p: Point, q: Point) -> Option<Point> {
+        let vp = self.violation(p);
+        let vq = self.violation(q);
+        let denom = vp - vq;
+        if denom.abs() < EPS * EPS {
+            return None;
+        }
+        let t = (vp / denom).clamp(0.0, 1.0);
+        Some(p.lerp(q, t))
+    }
+}
+
+impl fmt::Display for HalfPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3}·x + {:.3}·y ≤ {:.3}",
+            self.a.x, self.a.y, self.b
+        )
+    }
+}
+
+/// Intersects a set of half-planes, starting from `bounds` (usually the
+/// floor-plan polygon or its bounding box).
+///
+/// Returns `None` when the intersection is empty — the over-constrained case
+/// that NomLoc's constraint relaxation (Eq. 19) exists to repair.
+pub fn intersect_halfplanes(bounds: &Polygon, halfplanes: &[HalfPlane]) -> Option<Polygon> {
+    let mut region = bounds.clone();
+    for hp in halfplanes {
+        region = hp.clip_polygon(&region)?;
+    }
+    Some(region)
+}
+
+/// Removes consecutive (near-)duplicate vertices, including wrap-around.
+fn dedup_ring(ring: &mut Vec<Point>) {
+    ring.dedup_by(|a, b| a.distance(*b) < 1e-9);
+    while ring.len() > 1 && ring[0].distance(*ring.last().unwrap()) < 1e-9 {
+        ring.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square10() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0))
+    }
+
+    #[test]
+    fn closer_to_is_perpendicular_bisector() {
+        let a = Point::new(2.0, 5.0);
+        let b = Point::new(8.0, 5.0);
+        let hp = HalfPlane::closer_to(a, b);
+        // Points nearer `a` satisfy it; nearer `b` violate it.
+        assert!(hp.contains(Point::new(3.0, 1.0)));
+        assert!(!hp.contains(Point::new(7.0, 9.0)));
+        // The midpoint is on the boundary.
+        assert!(hp.violation(a.midpoint(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closer_to_agrees_with_distances_everywhere() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(7.0, 4.5);
+        for i in 0..20 {
+            for j in 0..20 {
+                let z = Point::new(i as f64 * 0.5, j as f64 * 0.5);
+                let hp = HalfPlane::closer_to(a, b);
+                let closer_a = z.distance_sq(a) <= z.distance_sq(b) + 1e-12;
+                assert_eq!(hp.violation(z) <= 1e-9, closer_a, "at {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn clip_square_in_half() {
+        let hp = HalfPlane::new(Vec2::new(1.0, 0.0), 5.0); // x ≤ 5
+        let clipped = hp.clip_polygon(&square10()).unwrap();
+        assert!((clipped.area() - 50.0).abs() < 1e-9);
+        assert!(clipped.contains(Point::new(2.0, 2.0)));
+        assert!(!clipped.contains(Point::new(8.0, 2.0)));
+    }
+
+    #[test]
+    fn clip_that_keeps_everything() {
+        let hp = HalfPlane::new(Vec2::new(1.0, 0.0), 100.0);
+        let clipped = hp.clip_polygon(&square10()).unwrap();
+        assert!((clipped.area() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_that_removes_everything() {
+        let hp = HalfPlane::new(Vec2::new(1.0, 0.0), -1.0); // x ≤ −1
+        assert!(hp.clip_polygon(&square10()).is_none());
+    }
+
+    #[test]
+    fn clip_corner_triangle() {
+        // x + y ≤ 2 cuts a right triangle with legs 2 off the square.
+        let hp = HalfPlane::new(Vec2::new(1.0, 1.0), 2.0);
+        let clipped = hp.clip_polygon(&square10()).unwrap();
+        assert!((clipped.area() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipping_never_grows_area() {
+        let sq = square10();
+        let hps = [
+            HalfPlane::new(Vec2::new(1.0, 0.3), 7.0),
+            HalfPlane::new(Vec2::new(-0.5, 1.0), 3.0),
+            HalfPlane::new(Vec2::new(0.0, -1.0), -1.0),
+        ];
+        let mut area = sq.area();
+        let mut poly = sq;
+        for hp in hps {
+            poly = hp.clip_polygon(&poly).unwrap();
+            assert!(poly.area() <= area + 1e-9);
+            area = poly.area();
+        }
+    }
+
+    #[test]
+    fn intersect_halfplanes_voronoi_cell() {
+        // Four APs at the corners of the square; the cell of the SW AP is
+        // the SW quadrant.
+        let aps = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ];
+        let hps: Vec<HalfPlane> = aps[1..]
+            .iter()
+            .map(|&far| HalfPlane::closer_to(aps[0], far))
+            .collect();
+        let cell = intersect_halfplanes(&square10(), &hps).unwrap();
+        assert!((cell.area() - 25.0).abs() < 1e-9);
+        assert!(cell.contains(Point::new(1.0, 1.0)));
+        assert!(!cell.contains(Point::new(9.0, 9.0)));
+    }
+
+    #[test]
+    fn intersect_halfplanes_empty() {
+        let hps = [
+            HalfPlane::new(Vec2::new(1.0, 0.0), 2.0),  // x ≤ 2
+            HalfPlane::new(Vec2::new(-1.0, 0.0), -8.0), // x ≥ 8
+        ];
+        assert!(intersect_halfplanes(&square10(), &hps).is_none());
+    }
+
+    #[test]
+    fn relaxed_halfplane_recovers_feasibility() {
+        let hps = [
+            HalfPlane::new(Vec2::new(1.0, 0.0), 2.0),
+            HalfPlane::new(Vec2::new(-1.0, 0.0), -8.0),
+        ];
+        // Relax the second constraint by 6: x ≥ 2, now touching.
+        let relaxed = [hps[0], hps[1].relaxed(6.1)];
+        assert!(intersect_halfplanes(&square10(), &relaxed).is_some());
+    }
+
+    #[test]
+    fn signed_distance_normalizes() {
+        let hp = HalfPlane::new(Vec2::new(2.0, 0.0), 4.0); // x ≤ 2
+        assert!((hp.signed_distance(Point::new(5.0, 0.0)) - 3.0).abs() < 1e-12);
+        assert!((hp.signed_distance(Point::new(0.0, 7.0)) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let hp = HalfPlane::new(Vec2::new(1.0, 2.0), 3.0);
+        assert!(format!("{hp}").contains('≤'));
+    }
+}

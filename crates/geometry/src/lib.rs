@@ -1,0 +1,60 @@
+//! 2-D computational geometry primitives for the NomLoc indoor localization
+//! system.
+//!
+//! This crate provides the geometric substrate that the space-partition (SP)
+//! localization algorithm of NomLoc is built on:
+//!
+//! * [`Point`] / [`Vec2`] — positions and displacements in metres.
+//! * [`Segment`] and [`Line`] — walls, boundary edges, propagation paths,
+//!   and mirror reflections (used to place *virtual APs*).
+//! * [`Polygon`] — floor-plan boundaries and feasible regions, with area,
+//!   centroid, and containment predicates.
+//! * [`HalfPlane`] — one proximity constraint `a · z ≤ b`; sets of
+//!   half-planes are intersected by polygon clipping to recover the feasible
+//!   region of the LP.
+//! * [`convex`] — convex hulls and convex decomposition of simple polygons
+//!   (the paper handles non-convex venues, e.g. the L-shaped lobby, by
+//!   splitting them into convex pieces).
+//!
+//! # Example
+//!
+//! ```
+//! use nomloc_geometry::{HalfPlane, Point, Polygon};
+//!
+//! // A 10 m × 8 m room.
+//! let room = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 8.0));
+//! // The constraint "closer to (2,2) than to (8,2)" is the half-plane x ≤ 5.
+//! let hp = HalfPlane::closer_to(Point::new(2.0, 2.0), Point::new(8.0, 2.0));
+//! let region = hp.clip_polygon(&room).expect("non-empty");
+//! assert!((region.area() - 40.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convex;
+mod halfplane;
+mod line;
+mod point;
+mod polygon;
+mod segment;
+
+pub use halfplane::{intersect_halfplanes, HalfPlane};
+pub use line::Line;
+pub use point::{Point, Vec2};
+pub use polygon::{Polygon, PolygonError};
+pub use segment::Segment;
+
+/// Geometric tolerance used by predicates in this crate (metres).
+///
+/// Indoor-localization coordinates are on the order of 0.1–100 m, so an
+/// absolute epsilon of 1e-9 m (a nanometre) is far below any physically
+/// meaningful distance while staying well above `f64` noise for the
+/// magnitudes involved.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` differ by less than [`EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() < EPS
+}

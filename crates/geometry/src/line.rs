@@ -1,0 +1,189 @@
+//! Infinite lines and mirror reflections.
+
+use crate::{Point, Vec2, EPS};
+
+/// An infinite line in implicit form `n · p = c`, with `‖n‖ = 1`.
+///
+/// Lines are used for two jobs in NomLoc:
+///
+/// * supporting lines of floor-plan boundary edges, across which APs are
+///   *mirrored* to create the virtual APs of the area-boundary constraint
+///   (Fig. 4 / Eq. 9–11 of the paper), and
+/// * orientation tests when clipping feasible regions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    normal: Vec2,
+    offset: f64,
+}
+
+impl Line {
+    /// Line through two distinct points.
+    ///
+    /// Returns `None` when the points coincide (within [`EPS`]).
+    pub fn through(a: Point, b: Point) -> Option<Line> {
+        let dir = (b - a).normalized()?;
+        let normal = dir.perp();
+        Some(Line {
+            normal,
+            offset: normal.dot(a.to_vec()),
+        })
+    }
+
+    /// Line with the given (not necessarily unit) normal passing through
+    /// `point`. Returns `None` for a zero normal.
+    pub fn from_normal(normal: Vec2, point: Point) -> Option<Line> {
+        let normal = normal.normalized()?;
+        Some(Line {
+            normal,
+            offset: normal.dot(point.to_vec()),
+        })
+    }
+
+    /// Unit normal vector of the line.
+    #[inline]
+    pub fn normal(&self) -> Vec2 {
+        self.normal
+    }
+
+    /// Offset `c` such that the line is `{p : n · p = c}`.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Signed distance from `p` to the line; positive on the side the
+    /// normal points into.
+    #[inline]
+    pub fn signed_distance(&self, p: Point) -> f64 {
+        self.normal.dot(p.to_vec()) - self.offset
+    }
+
+    /// Absolute distance from `p` to the line.
+    #[inline]
+    pub fn distance(&self, p: Point) -> f64 {
+        self.signed_distance(p).abs()
+    }
+
+    /// Orthogonal projection of `p` onto the line.
+    pub fn project(&self, p: Point) -> Point {
+        p - self.normal * self.signed_distance(p)
+    }
+
+    /// Mirror image of `p` across the line.
+    ///
+    /// This is the operation that builds **virtual APs**: the paper mirrors
+    /// a reference AP across each boundary edge, and the constraint "closer
+    /// to the real AP than to its mirror image" is exactly "inside that
+    /// boundary edge".
+    ///
+    /// Reflection is an involution: `mirror(mirror(p)) == p`.
+    pub fn mirror(&self, p: Point) -> Point {
+        p - self.normal * (2.0 * self.signed_distance(p))
+    }
+
+    /// Returns `true` when `p` lies on the line (within [`EPS`]).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.distance(p) < EPS
+    }
+
+    /// Intersection point with another line, or `None` when (anti-)parallel.
+    pub fn intersection(&self, other: &Line) -> Option<Point> {
+        // Solve [n1; n2] p = [c1; c2] by Cramer's rule.
+        let det = self.normal.cross(other.normal);
+        if det.abs() < EPS {
+            return None;
+        }
+        let x = (self.offset * other.normal.y - other.offset * self.normal.y) / det;
+        let y = (self.normal.x * other.offset - other.normal.x * self.offset) / det;
+        Some(Point::new(x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn horizontal_y2() -> Line {
+        Line::through(Point::new(0.0, 2.0), Point::new(5.0, 2.0)).unwrap()
+    }
+
+    #[test]
+    fn through_rejects_coincident_points() {
+        assert!(Line::through(Point::new(1.0, 1.0), Point::new(1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn signed_distance_sides() {
+        let l = horizontal_y2();
+        let above = l.signed_distance(Point::new(0.0, 5.0));
+        let below = l.signed_distance(Point::new(0.0, 0.0));
+        assert!((above.abs() - 3.0).abs() < 1e-12);
+        assert!((below.abs() - 2.0).abs() < 1e-12);
+        assert!(above * below < 0.0, "opposite sides have opposite signs");
+    }
+
+    #[test]
+    fn project_lands_on_line() {
+        let l = Line::through(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+        let p = l.project(Point::new(2.0, 0.0));
+        assert!(l.contains(p));
+        assert!((p.x - 1.0).abs() < 1e-12 && (p.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        let l = Line::through(Point::new(0.0, 0.0), Point::new(3.0, 1.0)).unwrap();
+        let p = Point::new(-2.0, 5.0);
+        let m = l.mirror(p);
+        let back = l.mirror(m);
+        assert!(back.distance(p) < 1e-12);
+    }
+
+    #[test]
+    fn mirror_across_horizontal() {
+        let l = horizontal_y2();
+        let m = l.mirror(Point::new(3.0, 5.0));
+        assert!((m.x - 3.0).abs() < 1e-12);
+        assert!((m.y - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirror_preserves_distance_to_line() {
+        let l = Line::through(Point::new(1.0, 0.0), Point::new(0.0, 2.0)).unwrap();
+        let p = Point::new(4.0, 4.0);
+        assert!((l.distance(p) - l.distance(l.mirror(p))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_on_line_is_own_mirror() {
+        let l = horizontal_y2();
+        let p = Point::new(7.0, 2.0);
+        assert!(l.mirror(p).distance(p) < 1e-12);
+    }
+
+    #[test]
+    fn intersection_of_perpendicular_lines() {
+        let h = horizontal_y2();
+        let v = Line::through(Point::new(3.0, 0.0), Point::new(3.0, 1.0)).unwrap();
+        let p = h.intersection(&v).unwrap();
+        assert!(p.distance(Point::new(3.0, 2.0)) < 1e-12);
+    }
+
+    #[test]
+    fn parallel_lines_do_not_intersect() {
+        let a = horizontal_y2();
+        let b = Line::through(Point::new(0.0, 3.0), Point::new(5.0, 3.0)).unwrap();
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn from_normal_matches_through() {
+        let l1 = Line::from_normal(Vec2::new(0.0, 3.0), Point::new(1.0, 2.0)).unwrap();
+        let l2 = horizontal_y2();
+        // Same line up to normal sign.
+        assert!(l1.contains(Point::new(-4.0, 2.0)));
+        assert!(l2.contains(Point::new(-4.0, 2.0)));
+        assert!(Line::from_normal(Vec2::ZERO, Point::ORIGIN).is_none());
+    }
+}

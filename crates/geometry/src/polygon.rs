@@ -1,0 +1,442 @@
+//! Simple polygons: floor plans and feasible regions.
+
+use std::fmt;
+
+use crate::{Point, Segment, EPS};
+
+/// Error constructing a [`Polygon`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than three vertices were supplied.
+    TooFewVertices,
+    /// The vertex ring has (near-)zero area.
+    DegenerateArea,
+    /// A vertex coordinate was NaN or infinite.
+    NonFiniteVertex,
+}
+
+impl fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolygonError::TooFewVertices => write!(f, "polygon needs at least three vertices"),
+            PolygonError::DegenerateArea => write!(f, "polygon has zero area"),
+            PolygonError::NonFiniteVertex => write!(f, "polygon vertex is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+/// A simple polygon stored as a counter-clockwise vertex ring.
+///
+/// Polygons play two roles in NomLoc:
+///
+/// * **floor plans** — the area-of-interest boundary whose edges generate
+///   virtual-AP constraints, and
+/// * **feasible regions** — the intersection of proximity half-planes whose
+///   center is the location estimate.
+///
+/// Construction normalizes the orientation to counter-clockwise, so
+/// [`Polygon::area`] is always positive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from a vertex ring (either orientation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when fewer than three vertices are given, a vertex
+    /// is non-finite, or the ring encloses (near-)zero area.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, PolygonError> {
+        if vertices.len() < 3 {
+            return Err(PolygonError::TooFewVertices);
+        }
+        if vertices.iter().any(|v| !v.is_finite()) {
+            return Err(PolygonError::NonFiniteVertex);
+        }
+        let signed = signed_area(&vertices);
+        if signed.abs() < EPS {
+            return Err(PolygonError::DegenerateArea);
+        }
+        let mut vertices = vertices;
+        if signed < 0.0 {
+            vertices.reverse();
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// Axis-aligned rectangle spanned by two opposite corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corners coincide in either coordinate (zero area).
+    pub fn rectangle(min: Point, max: Point) -> Self {
+        let (x0, x1) = (min.x.min(max.x), min.x.max(max.x));
+        let (y0, y1) = (min.y.min(max.y), min.y.max(max.y));
+        Polygon::new(vec![
+            Point::new(x0, y0),
+            Point::new(x1, y0),
+            Point::new(x1, y1),
+            Point::new(x0, y1),
+        ])
+        .expect("rectangle corners must span a positive area")
+    }
+
+    /// The vertex ring, in counter-clockwise order.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices (equals the number of edges).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always `false`: a constructed polygon has at least three vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterator over the directed boundary edges.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Enclosed area (always positive).
+    pub fn area(&self) -> f64 {
+        signed_area(&self.vertices)
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Area centroid.
+    pub fn centroid(&self) -> Point {
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a = 0.0;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a += w;
+        }
+        a *= 0.5;
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Axis-aligned bounding box as `(min, max)` corners.
+    pub fn bounding_box(&self) -> (Point, Point) {
+        let mut min = self.vertices[0];
+        let mut max = self.vertices[0];
+        for v in &self.vertices[1..] {
+            min.x = min.x.min(v.x);
+            min.y = min.y.min(v.y);
+            max.x = max.x.max(v.x);
+            max.y = max.y.max(v.y);
+        }
+        (min, max)
+    }
+
+    /// Returns `true` when `p` is inside or on the boundary.
+    ///
+    /// Uses the even–odd ray-casting rule with boundary points treated as
+    /// contained (a localized object standing exactly on a wall is "inside").
+    pub fn contains(&self, p: Point) -> bool {
+        // Boundary check first so the crossing parity cannot misclassify it.
+        if self.edges().any(|e| e.contains(p)) {
+            return true;
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Returns `true` when every interior angle turns the same way
+    /// (i.e. the polygon is convex).
+    pub fn is_convex(&self) -> bool {
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let c = self.vertices[(i + 2) % n];
+            if (b - a).cross(c - b) < -EPS {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Distance from `p` to the polygon boundary (zero on the boundary).
+    pub fn distance_to_boundary(&self, p: Point) -> f64 {
+        self.edges()
+            .map(|e| e.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Closest point of the region to `p`: `p` itself when contained,
+    /// otherwise the nearest boundary point.
+    pub fn clamp_point(&self, p: Point) -> Point {
+        if self.contains(p) {
+            return p;
+        }
+        let mut best = self.vertices[0];
+        let mut best_d = f64::INFINITY;
+        for e in self.edges() {
+            let c = e.closest_point(p);
+            let d = c.distance(p);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Translated copy of the polygon.
+    pub fn translated(&self, dx: f64, dy: f64) -> Polygon {
+        Polygon {
+            vertices: self
+                .vertices
+                .iter()
+                .map(|v| Point::new(v.x + dx, v.y + dy))
+                .collect(),
+        }
+    }
+
+    /// Copy scaled by `factor` about `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not strictly positive and finite (zero or
+    /// negative factors would degenerate or reflect the ring).
+    pub fn scaled(&self, origin: Point, factor: f64) -> Polygon {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive"
+        );
+        Polygon {
+            vertices: self
+                .vertices
+                .iter()
+                .map(|v| origin + (*v - origin) * factor)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polygon[")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Signed area of a vertex ring (positive when counter-clockwise).
+pub(crate) fn signed_area(vertices: &[Point]) -> f64 {
+    let n = vertices.len();
+    let mut a = 0.0;
+    for i in 0..n {
+        let p = vertices[i];
+        let q = vertices[(i + 1) % n];
+        a += p.x * q.y - q.x * p.y;
+    }
+    a * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+    }
+
+    /// The L-shaped lobby outline used throughout the NomLoc tests.
+    fn l_shape() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]),
+            Err(PolygonError::TooFewVertices)
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(2.0, 2.0),
+            ]),
+            Err(PolygonError::DegenerateArea)
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(f64::NAN, 0.0),
+                Point::new(0.0, 1.0),
+            ]),
+            Err(PolygonError::NonFiniteVertex)
+        );
+    }
+
+    #[test]
+    fn orientation_is_normalized() {
+        let cw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ])
+        .unwrap();
+        assert!(signed_area(cw.vertices()) > 0.0);
+        assert!((cw.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangle_area_perimeter_centroid() {
+        let r = Polygon::rectangle(Point::new(1.0, 2.0), Point::new(4.0, 6.0));
+        assert!((r.area() - 12.0).abs() < 1e-12);
+        assert!((r.perimeter() - 14.0).abs() < 1e-12);
+        assert!(r.centroid().distance(Point::new(2.5, 4.0)) < 1e-12);
+    }
+
+    #[test]
+    fn rectangle_accepts_swapped_corners() {
+        let r = Polygon::rectangle(Point::new(4.0, 6.0), Point::new(1.0, 2.0));
+        assert!((r.area() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_shape_area_and_convexity() {
+        let l = l_shape();
+        assert!((l.area() - 12.0).abs() < 1e-12);
+        assert!(!l.is_convex());
+        assert!(unit_square().is_convex());
+    }
+
+    #[test]
+    fn containment() {
+        let l = l_shape();
+        assert!(l.contains(Point::new(1.0, 1.0)));
+        assert!(l.contains(Point::new(3.0, 1.0)));
+        assert!(l.contains(Point::new(1.0, 3.0)));
+        // The notch of the L is outside.
+        assert!(!l.contains(Point::new(3.0, 3.0)));
+        assert!(!l.contains(Point::new(-1.0, 1.0)));
+        // Boundary points count as inside.
+        assert!(l.contains(Point::new(0.0, 0.0)));
+        assert!(l.contains(Point::new(2.0, 3.0)));
+    }
+
+    #[test]
+    fn centroid_of_l_shape() {
+        // L = 4×2 rect (centroid (2,1), area 8) + 2×2 square (centroid (1,3), area 4).
+        let l = l_shape();
+        let expected = Point::new((2.0 * 8.0 + 1.0 * 4.0) / 12.0, (1.0 * 8.0 + 3.0 * 4.0) / 12.0);
+        assert!(l.centroid().distance(expected) < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let (min, max) = l_shape().bounding_box();
+        assert_eq!(min, Point::new(0.0, 0.0));
+        assert_eq!(max, Point::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn edges_count_and_closure() {
+        let l = l_shape();
+        let edges: Vec<_> = l.edges().collect();
+        assert_eq!(edges.len(), 6);
+        assert_eq!(edges[5].b, l.vertices()[0]);
+    }
+
+    #[test]
+    fn distance_to_boundary() {
+        let s = unit_square();
+        assert!((s.distance_to_boundary(Point::new(0.5, 0.5)) - 0.5).abs() < 1e-12);
+        assert!(s.distance_to_boundary(Point::new(0.0, 0.3)) < 1e-12);
+        assert!((s.distance_to_boundary(Point::new(2.0, 0.5)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_point() {
+        let s = unit_square();
+        let inside = Point::new(0.25, 0.75);
+        assert_eq!(s.clamp_point(inside), inside);
+        let clamped = s.clamp_point(Point::new(2.0, 0.5));
+        assert!(clamped.distance(Point::new(1.0, 0.5)) < 1e-12);
+        assert!(s.contains(clamped));
+    }
+
+    #[test]
+    fn translated_preserves_shape() {
+        let l = l_shape().translated(10.0, -5.0);
+        assert!((l.area() - 12.0).abs() < 1e-12);
+        assert!(l.contains(Point::new(11.0, -4.0)));
+        assert!(!l.contains(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(format!("{}", unit_square()).contains("Polygon"));
+    }
+
+    #[test]
+    fn scaled_area_grows_quadratically() {
+        let l = l_shape().scaled(Point::ORIGIN, 2.0);
+        assert!((l.area() - 48.0).abs() < 1e-9);
+        assert!(l.contains(Point::new(2.0, 2.0)));
+        // Scaling about the centroid keeps the centroid fixed.
+        let sq = unit_square();
+        let c = sq.centroid();
+        let scaled = sq.scaled(c, 3.0);
+        assert!(scaled.centroid().distance(c) < 1e-12);
+        assert!((scaled.area() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_rejects_zero() {
+        let _ = unit_square().scaled(Point::ORIGIN, 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Line segments: walls, boundary edges and propagation paths.
+
+use crate::{Line, Point, EPS};
+
+/// A directed line segment between two points.
+///
+/// Segments model walls and obstacle edges in the RF simulator (a radio path
+/// is *obstructed* when the TX–RX segment crosses a wall segment) and the
+/// edges of floor-plan polygons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from `a` to `b`.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// The supporting line, or `None` for a degenerate (zero-length) segment.
+    pub fn line(&self) -> Option<Line> {
+        Line::through(self.a, self.b)
+    }
+
+    /// The segment with endpoints swapped.
+    #[inline]
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+
+    /// Distance from `p` to the closest point of the segment.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        p.distance(self.closest_point(p))
+    }
+
+    /// Closest point of the segment to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        let d = self.b - self.a;
+        let len_sq = d.norm_sq();
+        if len_sq < EPS * EPS {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.at(t)
+    }
+
+    /// Returns `true` when the *open* interiors of the segments cross, or an
+    /// endpoint of one lies strictly inside the other.
+    ///
+    /// Sharing an endpoint exactly does **not** count as an intersection;
+    /// this is the convention the ray tracer wants (a ray grazing a wall
+    /// corner is not blocked by the wall).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        self.intersection(other).is_some()
+    }
+
+    /// Intersection point per the convention of [`Segment::intersects`].
+    pub fn intersection(&self, other: &Segment) -> Option<Point> {
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        let denom = r.cross(s);
+        let qp = other.a - self.a;
+        if denom.abs() < EPS {
+            // Parallel (possibly collinear): treat overlap as "no proper
+            // intersection"; collinear-overlap blocking is handled by the
+            // caller when needed (walls have thickness in the simulator).
+            return None;
+        }
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        let tol = 1e-12;
+        if t > tol && t < 1.0 - tol && u > tol && u < 1.0 - tol {
+            Some(self.at(t))
+        } else {
+            None
+        }
+    }
+
+    /// Like [`Segment::intersection`] but *inclusive* of endpoints.
+    pub fn intersection_inclusive(&self, other: &Segment) -> Option<Point> {
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        let denom = r.cross(s);
+        let qp = other.a - self.a;
+        if denom.abs() < EPS {
+            return None;
+        }
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        let tol = 1e-12;
+        if (-tol..=1.0 + tol).contains(&t) && (-tol..=1.0 + tol).contains(&u) {
+            Some(self.at(t.clamp(0.0, 1.0)))
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` when `p` lies on the segment (within [`EPS`]).
+    pub fn contains(&self, p: Point) -> bool {
+        self.distance_to_point(p) < EPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+        assert_eq!(s.at(0.0), s.a);
+        assert_eq!(s.at(1.0), s.b);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(0.0, 2.0, 2.0, 0.0);
+        let p = s1.intersection(&s2).unwrap();
+        assert!(p.distance(Point::new(1.0, 1.0)) < 1e-12);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn disjoint_segments_do_not_intersect() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn touching_at_endpoint_is_not_proper_intersection() {
+        let s1 = seg(0.0, 0.0, 1.0, 1.0);
+        let s2 = seg(1.0, 1.0, 2.0, 0.0);
+        assert!(!s1.intersects(&s2));
+        // ...but the inclusive variant sees it.
+        assert!(s1.intersection_inclusive(&s2).is_some());
+    }
+
+    #[test]
+    fn t_junction_counts_as_intersection() {
+        // s2 endpoint strictly inside s1: the wall blocks the ray.
+        let s1 = seg(0.0, 0.0, 4.0, 0.0);
+        let s2 = seg(2.0, -1.0, 2.0, 1.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn parallel_segments_never_intersect() {
+        let s1 = seg(0.0, 0.0, 4.0, 0.0);
+        let s2 = seg(1.0, 0.0, 5.0, 0.0); // collinear overlap
+        assert!(!s1.intersects(&s2));
+        let s3 = seg(0.0, 1.0, 4.0, 1.0);
+        assert!(!s1.intersects(&s3));
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        assert_eq!(s.closest_point(Point::new(-5.0, 3.0)), s.a);
+        assert_eq!(s.closest_point(Point::new(9.0, -1.0)), s.b);
+        assert_eq!(s.closest_point(Point::new(1.0, 7.0)), Point::new(1.0, 0.0));
+        assert_eq!(s.distance_to_point(Point::new(1.0, 7.0)), 7.0);
+    }
+
+    #[test]
+    fn degenerate_segment_behaves() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(s.length(), 0.0);
+        assert!(s.line().is_none());
+        assert_eq!(s.closest_point(Point::new(5.0, 5.0)), s.a);
+    }
+
+    #[test]
+    fn contains_points_on_segment() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        assert!(s.contains(Point::new(1.0, 1.0)));
+        assert!(s.contains(s.a));
+        assert!(!s.contains(Point::new(3.0, 3.0)));
+        assert!(!s.contains(Point::new(1.0, 1.5)));
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let s = seg(0.0, 0.0, 1.0, 2.0);
+        assert_eq!(s.reversed().a, s.b);
+        assert_eq!(s.reversed().b, s.a);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the geometry crate.
+
+use nomloc_geometry::{convex, HalfPlane, Line, Point, Polygon, Vec2};
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -100.0..100.0f64
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric(a in point(), b in point()) {
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(a in point(), b in point(), c in point()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn mirror_is_involution(p in point(), a in point(), b in point()) {
+        prop_assume!(a.distance(b) > 1e-6);
+        let line = Line::through(a, b).unwrap();
+        let back = line.mirror(line.mirror(p));
+        prop_assert!(back.distance(p) < 1e-6);
+    }
+
+    #[test]
+    fn mirror_preserves_distance_to_line(p in point(), a in point(), b in point()) {
+        prop_assume!(a.distance(b) > 1e-6);
+        let line = Line::through(a, b).unwrap();
+        prop_assert!((line.distance(p) - line.distance(line.mirror(p))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn projection_is_closest_line_point(p in point(), a in point(), b in point(), t in -2.0..3.0f64) {
+        prop_assume!(a.distance(b) > 1e-6);
+        let line = Line::through(a, b).unwrap();
+        let proj = line.project(p);
+        // Any other point of the line is at least as far from p.
+        let other = a.lerp(b, t);
+        prop_assert!(p.distance(proj) <= p.distance(other) + 1e-9);
+    }
+
+    #[test]
+    fn closer_to_halfplane_matches_distance_comparison(z in point(), a in point(), b in point()) {
+        prop_assume!(a.distance(b) > 1e-6);
+        let hp = HalfPlane::closer_to(a, b);
+        let closer_a = z.distance_sq(a) < z.distance_sq(b) - 1e-9;
+        let closer_b = z.distance_sq(b) < z.distance_sq(a) - 1e-9;
+        if closer_a {
+            prop_assert!(hp.contains(z));
+        }
+        if closer_b {
+            prop_assert!(!hp.contains(z));
+        }
+    }
+
+    #[test]
+    fn clipping_never_grows_area(
+        nx in -1.0..1.0f64,
+        ny in -1.0..1.0f64,
+        off in -50.0..50.0f64,
+    ) {
+        prop_assume!(nx.abs() + ny.abs() > 1e-6);
+        let square = Polygon::rectangle(Point::new(-10.0, -10.0), Point::new(10.0, 10.0));
+        let hp = HalfPlane::new(Vec2::new(nx, ny), off);
+        if let Some(clipped) = hp.clip_polygon(&square) {
+            prop_assert!(clipped.area() <= square.area() + 1e-9);
+            // Every vertex of the result satisfies the constraint.
+            for v in clipped.vertices() {
+                prop_assert!(hp.violation(*v) < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn hull_is_convex_and_contains_points(pts in prop::collection::vec(point(), 3..40)) {
+        if let Some(h) = convex::hull(&pts) {
+            prop_assert!(h.is_convex());
+            for p in &pts {
+                prop_assert!(h.contains(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn rectangle_centroid_is_center(
+        x0 in -50.0..50.0f64, y0 in -50.0..50.0f64,
+        w in 0.1..50.0f64, h in 0.1..50.0f64,
+    ) {
+        let r = Polygon::rectangle(Point::new(x0, y0), Point::new(x0 + w, y0 + h));
+        let c = r.centroid();
+        prop_assert!(c.distance(Point::new(x0 + w / 2.0, y0 + h / 2.0)) < 1e-6);
+        prop_assert!((r.area() - w * h).abs() < 1e-6);
+        prop_assert!(r.contains(c));
+    }
+
+    #[test]
+    fn clamp_point_result_is_inside(p in point()) {
+        let r = Polygon::rectangle(Point::new(-5.0, -5.0), Point::new(5.0, 5.0));
+        let c = r.clamp_point(p);
+        prop_assert!(r.contains(c));
+        if r.contains(p) {
+            prop_assert!(c.distance(p) < 1e-12);
+        }
+    }
+}

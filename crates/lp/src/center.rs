@@ -1,0 +1,333 @@
+//! Centers of a feasible region.
+//!
+//! After relaxation, NomLoc reports "the center point of the region as the
+//! approximation result for localization" (§IV-B-1); the original
+//! implementation obtains it from CVX's interior-point solver, whose
+//! logarithmic barrier converges to the *analytic center*. This module
+//! provides that plus two alternatives, selectable via [`CenterMethod`]:
+//!
+//! * [`chebyshev_center`] — center of the largest inscribed disc, found by
+//!   one auxiliary LP. Robust, and a natural "furthest from every wrong
+//!   wall" estimate.
+//! * [`analytic_center`] — minimizer of `−Σ log(bᵢ − aᵢ·z)` by damped
+//!   Newton, the log-barrier center CVX produces.
+//! * [`polygon_centroid`] — exact area centroid of the feasible polygon,
+//!   recovered by half-plane clipping. Only possible because NomLoc's
+//!   decision variable is 2-D.
+
+use crate::simplex::Program;
+use crate::LpError;
+use nomloc_geometry::{intersect_halfplanes, HalfPlane, Point, Polygon};
+
+/// Strategy for reducing a feasible region to a single location estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CenterMethod {
+    /// Center of the largest inscribed disc (one LP).
+    #[default]
+    Chebyshev,
+    /// Log-barrier analytic center (damped Newton), mirroring the paper's
+    /// CVX interior-point implementation.
+    Analytic,
+    /// Exact area centroid of the feasible polygon (2-D clipping).
+    Centroid,
+}
+
+/// Computes the chosen center of `{z : aᵢ·z ≤ bᵢ} ∩ bounds`.
+///
+/// `bounds` keeps the region bounded even when the half-planes alone do
+/// not (e.g. with very few APs); pass the floor-plan polygon or a bounding
+/// box.
+///
+/// # Errors
+///
+/// Returns [`LpError::Infeasible`] when the region is empty, or forwards
+/// solver errors.
+pub fn center(
+    method: CenterMethod,
+    halfplanes: &[HalfPlane],
+    bounds: &Polygon,
+) -> Result<Point, LpError> {
+    match method {
+        CenterMethod::Chebyshev => chebyshev_center(halfplanes, bounds),
+        CenterMethod::Analytic => analytic_center(halfplanes, bounds),
+        CenterMethod::Centroid => polygon_centroid(halfplanes, bounds),
+    }
+}
+
+/// Converts a convex polygon to its edge half-planes (interior side).
+pub fn polygon_halfplanes(polygon: &Polygon) -> Vec<HalfPlane> {
+    // CCW ring: interior is to the left of each edge, i.e. the outward
+    // normal is the right perpendicular of the edge direction.
+    polygon
+        .edges()
+        .filter_map(|e| {
+            let d = (e.b - e.a).normalized()?;
+            let outward = -d.perp(); // right perpendicular of CCW edge
+            Some(HalfPlane::new(outward, outward.dot(e.a.to_vec())))
+        })
+        .collect()
+}
+
+/// Chebyshev center: `max r s.t. aᵢ·z + ‖aᵢ‖·r ≤ bᵢ, r ≥ 0`.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`] when the region is empty; other variants are
+/// forwarded from the simplex solver.
+pub fn chebyshev_center(halfplanes: &[HalfPlane], bounds: &Polygon) -> Result<Point, LpError> {
+    let mut all = halfplanes.to_vec();
+    all.extend(polygon_halfplanes(bounds));
+
+    // Variables: x, y free; r ≥ 0. Maximize r ⇒ minimize −r.
+    let mut p = Program::new(3);
+    p.set_objective(2, -1.0);
+    p.set_nonneg(2);
+    for h in &all {
+        let norm = h.a.norm();
+        if norm < 1e-12 {
+            // Degenerate row: constant constraint, either trivially true
+            // or makes the problem infeasible.
+            if h.b < -1e-9 {
+                return Err(LpError::Infeasible);
+            }
+            continue;
+        }
+        p.add_le(vec![h.a.x, h.a.y, norm], h.b);
+    }
+    let s = p.solve()?;
+    if s.x[2] < -1e-9 {
+        return Err(LpError::Infeasible);
+    }
+    Ok(Point::new(s.x[0], s.x[1]))
+}
+
+/// Analytic center: minimizer of the log-barrier `−Σ log(bᵢ − aᵢ·z)`.
+///
+/// Seeds Newton's method with the Chebyshev center (guaranteed strictly
+/// interior when the region has positive inradius) and runs damped steps
+/// with backtracking until the Newton decrement is negligible.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`] when the region is empty or has empty interior;
+/// [`LpError::Numerical`] if Newton stalls (ill-conditioned Hessian).
+pub fn analytic_center(halfplanes: &[HalfPlane], bounds: &Polygon) -> Result<Point, LpError> {
+    let mut all = halfplanes.to_vec();
+    all.extend(polygon_halfplanes(bounds));
+    // Strictly interior start.
+    let start = chebyshev_center(halfplanes, bounds)?;
+    let slack_at = |z: Point| -> Vec<f64> { all.iter().map(|h| h.b - h.a.dot(z.to_vec())).collect() };
+    let s0 = slack_at(start);
+    if s0.iter().any(|&s| s <= 1e-12) {
+        // Zero inradius: fall back to the (boundary) Chebyshev point.
+        return Ok(start);
+    }
+
+    let barrier = |z: Point| -> f64 {
+        let mut v = 0.0;
+        for h in &all {
+            let s = h.b - h.a.dot(z.to_vec());
+            if s <= 0.0 {
+                return f64::INFINITY;
+            }
+            v -= s.ln();
+        }
+        v
+    };
+
+    let mut z = start;
+    for _ in 0..100 {
+        // Gradient and Hessian of the barrier.
+        let (mut gx, mut gy) = (0.0f64, 0.0f64);
+        let (mut hxx, mut hxy, mut hyy) = (0.0f64, 0.0f64, 0.0f64);
+        for h in &all {
+            let s = h.b - h.a.dot(z.to_vec());
+            let inv = 1.0 / s;
+            gx += h.a.x * inv;
+            gy += h.a.y * inv;
+            let inv2 = inv * inv;
+            hxx += h.a.x * h.a.x * inv2;
+            hxy += h.a.x * h.a.y * inv2;
+            hyy += h.a.y * h.a.y * inv2;
+        }
+        // Newton step: solve H d = −g (2×2).
+        let det = hxx * hyy - hxy * hxy;
+        if det.abs() < 1e-18 {
+            return Err(LpError::Numerical);
+        }
+        let dx = (-gx * hyy + gy * hxy) / det;
+        let dy = (-hxx * gy + hxy * gx) / det;
+        let decrement = -(gx * dx + gy * dy);
+        if decrement < 1e-12 {
+            break;
+        }
+        // Backtracking line search on the barrier value.
+        let f0 = barrier(z);
+        let mut t = 1.0;
+        let mut accepted = false;
+        for _ in 0..60 {
+            let cand = Point::new(z.x + t * dx, z.y + t * dy);
+            if barrier(cand) < f0 - 0.25 * t * decrement + 1e-15 {
+                z = cand;
+                accepted = true;
+                break;
+            }
+            t *= 0.5;
+        }
+        if !accepted {
+            break;
+        }
+    }
+    Ok(z)
+}
+
+/// Exact centroid of the feasible polygon `bounds ∩ {aᵢ·z ≤ bᵢ}`.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`] when the clipped region is empty.
+pub fn polygon_centroid(halfplanes: &[HalfPlane], bounds: &Polygon) -> Result<Point, LpError> {
+    let region = intersect_halfplanes(bounds, halfplanes).ok_or(LpError::Infeasible)?;
+    Ok(region.centroid())
+}
+
+/// The feasible polygon itself, when non-empty.
+///
+/// Useful for diagnostics and for the feasibility illustrations of Fig. 5.
+pub fn feasible_region(halfplanes: &[HalfPlane], bounds: &Polygon) -> Option<Polygon> {
+    intersect_halfplanes(bounds, halfplanes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomloc_geometry::Vec2;
+
+    fn square() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0))
+    }
+
+    fn hp(ax: f64, ay: f64, b: f64) -> HalfPlane {
+        HalfPlane::new(Vec2::new(ax, ay), b)
+    }
+
+    #[test]
+    fn polygon_halfplanes_describe_interior() {
+        let hps = polygon_halfplanes(&square());
+        assert_eq!(hps.len(), 4);
+        let inside = Point::new(5.0, 5.0);
+        let outside = Point::new(11.0, 5.0);
+        assert!(hps.iter().all(|h| h.contains(inside)));
+        assert!(hps.iter().any(|h| !h.contains(outside)));
+    }
+
+    #[test]
+    fn chebyshev_center_of_square() {
+        let c = chebyshev_center(&[], &square()).unwrap();
+        assert!(c.distance(Point::new(5.0, 5.0)) < 1e-6, "{c}");
+    }
+
+    #[test]
+    fn chebyshev_center_of_halved_square() {
+        let c = chebyshev_center(&[hp(1.0, 0.0, 4.0)], &square()).unwrap();
+        // Left 4×10 strip: inscribed circle center (2, y) with any
+        // y ∈ [2, 8]; x must be 2.
+        assert!((c.x - 2.0).abs() < 1e-6, "{c}");
+        assert!((2.0..=8.0).contains(&c.y));
+    }
+
+    #[test]
+    fn chebyshev_infeasible() {
+        let hps = [hp(1.0, 0.0, 2.0), hp(-1.0, 0.0, -8.0)];
+        assert_eq!(chebyshev_center(&hps, &square()), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn analytic_center_of_square_is_middle() {
+        let c = analytic_center(&[], &square()).unwrap();
+        assert!(c.distance(Point::new(5.0, 5.0)) < 1e-4, "{c}");
+    }
+
+    #[test]
+    fn analytic_center_strictly_interior() {
+        let hps = [hp(1.0, 0.0, 3.0), hp(0.0, 1.0, 7.0)];
+        let c = analytic_center(&hps, &square()).unwrap();
+        for h in hps.iter().chain(polygon_halfplanes(&square()).iter()) {
+            assert!(h.violation(c) < -1e-6, "{h} not strictly satisfied at {c}");
+        }
+    }
+
+    #[test]
+    fn analytic_center_matches_symmetry() {
+        // A symmetric triangle: x ≥ 0, y ≥ 0, x + y ≤ 3 has analytic
+        // center at (1, 1) (gradient of barrier vanishes by symmetry).
+        let tri = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 3.0),
+        ])
+        .unwrap();
+        let c = analytic_center(&[], &tri).unwrap();
+        assert!(c.distance(Point::new(1.0, 1.0)) < 1e-4, "{c}");
+    }
+
+    #[test]
+    fn centroid_method_matches_polygon_centroid() {
+        let c = polygon_centroid(&[hp(1.0, 0.0, 5.0)], &square()).unwrap();
+        assert!(c.distance(Point::new(2.5, 5.0)) < 1e-6);
+    }
+
+    #[test]
+    fn centroid_infeasible() {
+        let hps = [hp(1.0, 0.0, -1.0)];
+        assert_eq!(polygon_centroid(&hps, &square()), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn center_dispatch() {
+        for m in [
+            CenterMethod::Chebyshev,
+            CenterMethod::Analytic,
+            CenterMethod::Centroid,
+        ] {
+            let c = center(m, &[], &square()).unwrap();
+            assert!(c.distance(Point::new(5.0, 5.0)) < 1e-4, "{m:?} → {c}");
+        }
+    }
+
+    #[test]
+    fn all_methods_return_feasible_points() {
+        let hps = [hp(1.0, 1.0, 12.0), hp(-1.0, 2.0, 8.0), hp(0.3, -1.0, 1.0)];
+        let region = feasible_region(&hps, &square()).unwrap();
+        for m in [
+            CenterMethod::Chebyshev,
+            CenterMethod::Analytic,
+            CenterMethod::Centroid,
+        ] {
+            let c = center(m, &hps, &square()).unwrap();
+            assert!(region.contains(c), "{m:?} center {c} outside region");
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_row_handled() {
+        // 0·z ≤ 1 is trivially true; 0·z ≤ −1 is impossible.
+        let ok = chebyshev_center(&[hp(0.0, 0.0, 1.0)], &square());
+        assert!(ok.is_ok());
+        let bad = chebyshev_center(&[hp(0.0, 0.0, -1.0)], &square());
+        assert_eq!(bad, Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn feasible_region_area_shrinks_with_constraints() {
+        let r0 = feasible_region(&[], &square()).unwrap().area();
+        let r1 = feasible_region(&[hp(1.0, 0.0, 5.0)], &square())
+            .unwrap()
+            .area();
+        let r2 = feasible_region(&[hp(1.0, 0.0, 5.0), hp(0.0, 1.0, 5.0)], &square())
+            .unwrap()
+            .area();
+        assert!(r0 > r1 && r1 > r2);
+        assert!((r2 - 25.0).abs() < 1e-9);
+    }
+}

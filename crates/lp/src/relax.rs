@@ -1,0 +1,264 @@
+//! Weighted ℓ₁ constraint relaxation (Eq. 19 of the paper).
+//!
+//! Erroneous proximity judgements can make the space-partition constraint
+//! set `Āz ≤ b̄` empty. NomLoc repairs this by paying, per constraint, a
+//! slack `tᵢ ≥ 0` at cost `wᵢ·tᵢ` — the confidence factor `wᵢ` makes
+//! doubtful judgements cheap to sacrifice and confident ones expensive:
+//!
+//! ```text
+//! minimize  wᵀt    s.t.  Āz − t ≤ b̄,  t ≥ 0
+//! ```
+//!
+//! When the original system is feasible the optimum is `t = 0` and the
+//! relaxation is exact (the equivalence noted below Eq. 19).
+
+use crate::simplex::Program;
+use crate::LpError;
+use nomloc_geometry::{HalfPlane, Point};
+
+/// One half-plane constraint with its relaxation weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedConstraint {
+    /// The geometric constraint `a · z ≤ b`.
+    pub halfplane: HalfPlane,
+    /// Relaxation cost per unit of violation; must be positive.
+    pub weight: f64,
+}
+
+impl WeightedConstraint {
+    /// Creates a weighted constraint.
+    pub const fn new(halfplane: HalfPlane, weight: f64) -> Self {
+        WeightedConstraint { halfplane, weight }
+    }
+}
+
+/// Result of the relaxation LP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relaxation {
+    witness: Point,
+    slacks: Vec<f64>,
+    cost: f64,
+    relaxed: Vec<HalfPlane>,
+}
+
+impl Relaxation {
+    /// A point satisfying every *relaxed* constraint (the LP's `z`).
+    ///
+    /// This is a vertex of the relaxed region, not yet its center; feed
+    /// [`Relaxation::relaxed_halfplanes`] to [`crate::center`] for the
+    /// final location estimate.
+    pub fn witness(&self) -> Point {
+        self.witness
+    }
+
+    /// Optimal slack `tᵢ` per constraint, in input order.
+    pub fn slacks(&self) -> &[f64] {
+        &self.slacks
+    }
+
+    /// Total relaxation cost `wᵀt`. Zero iff the original system was
+    /// feasible (up to solver tolerance).
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// `true` when no constraint needed relaxing.
+    pub fn is_exact(&self) -> bool {
+        self.cost < 1e-7
+    }
+
+    /// The constraints with their optimal slacks applied: `āᵢ·z ≤ b̄ᵢ + tᵢ`.
+    ///
+    /// This system is guaranteed non-empty (it contains the witness).
+    pub fn relaxed_halfplanes(&self) -> &[HalfPlane] {
+        &self.relaxed
+    }
+}
+
+/// Solves the weighted relaxation (Eq. 19) for a set of constraints.
+///
+/// # Errors
+///
+/// * [`LpError::BadProblem`] — empty input or a non-positive/non-finite
+///   weight.
+/// * Other [`LpError`] variants are forwarded from the simplex solver;
+///   [`LpError::Unbounded`] in particular indicates the constraint set does
+///   not bound the plane (callers should always include the area-boundary
+///   constraints, which do).
+pub fn relax_constraints(constraints: &[WeightedConstraint]) -> Result<Relaxation, LpError> {
+    if constraints.is_empty() {
+        return Err(LpError::BadProblem);
+    }
+    if constraints
+        .iter()
+        .any(|c| c.weight <= 0.0 || c.weight.is_nan() || !c.weight.is_finite())
+    {
+        return Err(LpError::BadProblem);
+    }
+
+    let n = constraints.len();
+    // Variables: z = (x, y) free, then t₁…t_N ≥ 0.
+    let mut p = Program::new(2 + n);
+    for (i, c) in constraints.iter().enumerate() {
+        p.set_objective(2 + i, c.weight);
+        p.set_nonneg(2 + i);
+        // aᵢ·z − tᵢ ≤ bᵢ
+        let mut row = vec![0.0; 2 + n];
+        row[0] = c.halfplane.a.x;
+        row[1] = c.halfplane.a.y;
+        row[2 + i] = -1.0;
+        p.add_le(row, c.halfplane.b);
+    }
+    let s = p.solve()?;
+    let witness = Point::new(s.x[0], s.x[1]);
+    let slacks: Vec<f64> = s.x[2..].iter().map(|&t| t.max(0.0)).collect();
+    let relaxed: Vec<HalfPlane> = constraints
+        .iter()
+        .zip(&slacks)
+        .map(|(c, &t)| c.halfplane.relaxed(t + 1e-9))
+        .collect();
+    Ok(Relaxation {
+        witness,
+        slacks,
+        cost: s.objective,
+        relaxed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomloc_geometry::Vec2;
+
+    fn hp(ax: f64, ay: f64, b: f64) -> HalfPlane {
+        HalfPlane::new(Vec2::new(ax, ay), b)
+    }
+
+    /// A unit-square bounding box as high-weight constraints.
+    fn boxed(extra: Vec<WeightedConstraint>) -> Vec<WeightedConstraint> {
+        let mut v = vec![
+            WeightedConstraint::new(hp(1.0, 0.0, 10.0), 1000.0),
+            WeightedConstraint::new(hp(-1.0, 0.0, 0.0), 1000.0),
+            WeightedConstraint::new(hp(0.0, 1.0, 10.0), 1000.0),
+            WeightedConstraint::new(hp(0.0, -1.0, 0.0), 1000.0),
+        ];
+        v.extend(extra);
+        v
+    }
+
+    #[test]
+    fn feasible_system_has_zero_cost() {
+        let cs = boxed(vec![
+            WeightedConstraint::new(hp(1.0, 0.0, 5.0), 0.7),
+            WeightedConstraint::new(hp(0.0, 1.0, 5.0), 0.7),
+        ]);
+        let r = relax_constraints(&cs).unwrap();
+        assert!(r.is_exact(), "cost = {}", r.cost());
+        assert!(r.slacks().iter().all(|&t| t < 1e-6));
+        // Witness satisfies everything.
+        for c in &cs {
+            assert!(c.halfplane.violation(r.witness()) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn infeasible_system_relaxes_lowest_weight() {
+        // x ≤ 2 (w=0.9) vs x ≥ 6 (w=0.55): sacrifice the second.
+        let cs = boxed(vec![
+            WeightedConstraint::new(hp(1.0, 0.0, 2.0), 0.9),
+            WeightedConstraint::new(hp(-1.0, 0.0, -6.0), 0.55),
+        ]);
+        let r = relax_constraints(&cs).unwrap();
+        assert!(!r.is_exact());
+        assert!(r.slacks()[4] < 1e-6, "high-weight constraint was relaxed");
+        assert!(r.slacks()[5] >= 4.0 - 1e-6, "low-weight slack {}", r.slacks()[5]);
+        // Cost = w · violation = 0.55 · 4.
+        assert!((r.cost() - 2.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weight_order_flips_outcome() {
+        let cs = boxed(vec![
+            WeightedConstraint::new(hp(1.0, 0.0, 2.0), 0.5),
+            WeightedConstraint::new(hp(-1.0, 0.0, -6.0), 0.95),
+        ]);
+        let r = relax_constraints(&cs).unwrap();
+        assert!(r.slacks()[4] >= 4.0 - 1e-6);
+        assert!(r.slacks()[5] < 1e-6);
+    }
+
+    #[test]
+    fn relaxed_halfplanes_contain_witness() {
+        let cs = boxed(vec![
+            WeightedConstraint::new(hp(1.0, 1.0, 1.0), 0.8),
+            WeightedConstraint::new(hp(-1.0, -1.0, -5.0), 0.6),
+        ]);
+        let r = relax_constraints(&cs).unwrap();
+        for h in r.relaxed_halfplanes() {
+            assert!(h.contains(r.witness()), "{h} excludes witness");
+        }
+    }
+
+    #[test]
+    fn equivalence_with_strict_lp_when_feasible() {
+        // Property claimed below Eq. 19: relaxation ≡ original when the
+        // original is feasible.
+        let cs = boxed(vec![
+            WeightedConstraint::new(hp(1.0, 2.0, 8.0), 0.7),
+            WeightedConstraint::new(hp(-3.0, 1.0, 4.0), 0.9),
+        ]);
+        let r = relax_constraints(&cs).unwrap();
+        assert!(r.is_exact());
+        for (c, h) in cs.iter().zip(r.relaxed_halfplanes()) {
+            // Relaxed RHS ≈ original RHS.
+            assert!((h.b - c.halfplane.b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn boundary_priority_respected() {
+        // A confident judgement pushes the object outside the box; the
+        // huge boundary weight must win.
+        let cs = boxed(vec![WeightedConstraint::new(hp(-1.0, 0.0, -20.0), 0.99)]);
+        let r = relax_constraints(&cs).unwrap();
+        // Witness stays within the box; judgement absorbed the slack.
+        assert!(r.witness().x <= 10.0 + 1e-6);
+        assert!(r.slacks()[4] >= 10.0 - 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(relax_constraints(&[]), Err(LpError::BadProblem));
+        let c = WeightedConstraint::new(hp(1.0, 0.0, 1.0), 0.0);
+        assert_eq!(relax_constraints(&[c]), Err(LpError::BadProblem));
+        let c = WeightedConstraint::new(hp(1.0, 0.0, 1.0), f64::NAN);
+        assert_eq!(relax_constraints(&[c]), Err(LpError::BadProblem));
+    }
+
+    #[test]
+    fn unbounded_without_box() {
+        // A single half-plane leaves z unbounded, but the objective only
+        // involves t, so the LP itself is bounded (cost 0) — the solver
+        // must still return a witness satisfying the constraint.
+        let c = WeightedConstraint::new(hp(1.0, 0.0, 1.0), 0.5);
+        let r = relax_constraints(&[c]).unwrap();
+        assert!(r.is_exact());
+        assert!(r.witness().x <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn three_way_conflict_majority_wins() {
+        // Three constraints pin x near 1, one outlier wants x ≥ 8.
+        let cs = boxed(vec![
+            WeightedConstraint::new(hp(1.0, 0.0, 1.0), 0.8),
+            WeightedConstraint::new(hp(1.0, 0.0, 1.2), 0.75),
+            WeightedConstraint::new(hp(1.0, 0.0, 0.9), 0.7),
+            WeightedConstraint::new(hp(-1.0, 0.0, -8.0), 0.85),
+        ]);
+        let r = relax_constraints(&cs).unwrap();
+        // Sacrificing the single outlier costs 0.85·7.1 ≈ 6; sacrificing
+        // the three others costs (0.8+0.75+0.7)·7 ≈ 15.8 — outlier loses.
+        assert!(r.slacks()[7] > 6.0, "outlier slack {}", r.slacks()[7]);
+        assert!(r.witness().x <= 1.0 + 1e-6);
+    }
+}

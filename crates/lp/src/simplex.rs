@@ -1,0 +1,550 @@
+//! A two-phase dense simplex solver.
+//!
+//! Solves LPs in *inequality form*
+//!
+//! ```text
+//! minimize  cᵀx
+//! s.t.      Ax ≤ b
+//!           xⱼ ≥ 0  for j ∈ nonneg
+//! ```
+//!
+//! where variables not marked non-negative are free. Free variables are
+//! split internally (`x = x⁺ − x⁻`), slack variables turn the inequalities
+//! into equations, and a Phase-1 artificial-variable pass finds an initial
+//! basic feasible solution. Pivoting uses Dantzig's rule with an automatic
+//! switch to Bland's rule after a stall, guaranteeing termination.
+//!
+//! The paper relies on the fact that the relaxed SP program (Eq. 19) "can be
+//! solved ... within weakly polynomial time"; the simplex here is
+//! exponential in the worst case but in practice solves the small, dense
+//! programs of NomLoc (tens of rows, 2 + N variables) in microseconds — the
+//! `lp_scaling` bench quantifies this.
+
+use crate::LpError;
+
+/// Tolerance for reduced-cost and ratio tests.
+const TOL: f64 = 1e-9;
+
+/// An LP in inequality form. See the [module docs](self) for conventions.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_lp::simplex::Program;
+///
+/// // max x + y over the triangle x,y ≥ 0, x + y ≤ 4  ⇒  minimize −x − y.
+/// let mut p = Program::new(2);
+/// p.set_objective(0, -1.0).set_objective(1, -1.0);
+/// p.set_nonneg(0).set_nonneg(1);
+/// p.add_le(vec![1.0, 1.0], 4.0);
+/// let s = p.solve()?;
+/// assert!((s.objective + 4.0).abs() < 1e-6);
+/// # Ok::<(), nomloc_lp::LpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Objective coefficients (length = number of variables).
+    c: Vec<f64>,
+    /// Constraint matrix rows.
+    a: Vec<Vec<f64>>,
+    /// Right-hand sides (length = number of rows).
+    b: Vec<f64>,
+    /// `true` for variables constrained to be non-negative.
+    nonneg: Vec<bool>,
+}
+
+/// An optimal solution returned by [`Program::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal variable values, in the caller's variable order.
+    pub x: Vec<f64>,
+    /// Optimal objective value `cᵀx`.
+    pub objective: f64,
+}
+
+impl Program {
+    /// Creates a program with `n_vars` free variables and no constraints.
+    pub fn new(n_vars: usize) -> Self {
+        Program {
+            c: vec![0.0; n_vars],
+            a: Vec::new(),
+            b: Vec::new(),
+            nonneg: vec![false; n_vars],
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn n_rows(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Sets the objective coefficient of variable `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j` is out of range.
+    pub fn set_objective(&mut self, j: usize, coeff: f64) -> &mut Self {
+        self.c[j] = coeff;
+        self
+    }
+
+    /// Marks variable `j` as non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j` is out of range.
+    pub fn set_nonneg(&mut self, j: usize) -> &mut Self {
+        self.nonneg[j] = true;
+        self
+    }
+
+    /// Adds the constraint `row · x ≤ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row.len()` differs from the variable count.
+    pub fn add_le(&mut self, row: Vec<f64>, rhs: f64) -> &mut Self {
+        assert_eq!(row.len(), self.c.len(), "row length mismatch");
+        self.a.push(row);
+        self.b.push(rhs);
+        self
+    }
+
+    /// Adds the constraint `row · x ≥ rhs` (stored as `−row · x ≤ −rhs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row.len()` differs from the variable count.
+    pub fn add_ge(&mut self, row: Vec<f64>, rhs: f64) -> &mut Self {
+        let neg: Vec<f64> = row.iter().map(|v| -v).collect();
+        self.add_le(neg, -rhs)
+    }
+
+    /// Adds the equality `row · x = rhs` as a pair of inequalities.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row.len()` differs from the variable count.
+    pub fn add_eq(&mut self, row: Vec<f64>, rhs: f64) -> &mut Self {
+        self.add_le(row.clone(), rhs);
+        self.add_ge(row, rhs)
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::BadProblem`] — zero variables or non-finite data.
+    /// * [`LpError::Infeasible`] — no point satisfies the constraints.
+    /// * [`LpError::Unbounded`] — the objective decreases without bound.
+    /// * [`LpError::Numerical`] — the pivot loop exceeded its iteration
+    ///   budget (pathological degeneracy).
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        if self.c.is_empty() {
+            return Err(LpError::BadProblem);
+        }
+        let finite = self.c.iter().all(|v| v.is_finite())
+            && self.b.iter().all(|v| v.is_finite())
+            && self.a.iter().flatten().all(|v| v.is_finite());
+        if !finite {
+            return Err(LpError::BadProblem);
+        }
+
+        // --- Convert to standard form: min c̃ᵀy, Ãy = b̃, y ≥ 0. ---
+        // Column map: for each original variable, either one column
+        // (non-negative) or a (+,−) pair (free); then one slack per row.
+        let n = self.c.len();
+        let m = self.a.len();
+        let mut col_of_var: Vec<(usize, Option<usize>)> = Vec::with_capacity(n);
+        let mut c_std: Vec<f64> = Vec::new();
+        for j in 0..n {
+            if self.nonneg[j] {
+                col_of_var.push((c_std.len(), None));
+                c_std.push(self.c[j]);
+            } else {
+                col_of_var.push((c_std.len(), Some(c_std.len() + 1)));
+                c_std.push(self.c[j]);
+                c_std.push(-self.c[j]);
+            }
+        }
+        let slack_base = c_std.len();
+        c_std.resize(c_std.len() + m, 0.0);
+        let total_cols = c_std.len();
+
+        // Rows: Ãy + s = b̃, with each row flipped if b < 0 so b̃ ≥ 0.
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut rhs: Vec<f64> = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut row = vec![0.0; total_cols];
+            for (j, &(pos, neg)) in col_of_var.iter().enumerate() {
+                row[pos] = self.a[i][j];
+                if let Some(neg) = neg {
+                    row[neg] = -self.a[i][j];
+                }
+            }
+            row[slack_base + i] = 1.0;
+            let mut b = self.b[i];
+            if b < 0.0 {
+                for v in &mut row {
+                    *v = -*v;
+                }
+                b = -b;
+            }
+            rows.push(row);
+            rhs.push(b);
+        }
+
+        let y = solve_standard(&c_std, &rows, &rhs)?;
+
+        // Map back to the caller's variables.
+        let mut x = vec![0.0; n];
+        for j in 0..n {
+            let (pos, neg) = col_of_var[j];
+            x[j] = y[pos] - neg.map_or(0.0, |k| y[k]);
+        }
+        let objective = self.c.iter().zip(&x).map(|(c, x)| c * x).sum();
+        Ok(Solution { x, objective })
+    }
+}
+
+/// Solves `min cᵀy s.t. Ry = rhs, y ≥ 0` with `rhs ≥ 0` by two-phase
+/// simplex. Returns the optimal `y`.
+fn solve_standard(c: &[f64], rows: &[Vec<f64>], rhs: &[f64]) -> Result<Vec<f64>, LpError> {
+    let m = rows.len();
+    let n = c.len();
+    if m == 0 {
+        // No constraints: optimum is 0 unless some cost is negative
+        // (unbounded) — any variable with negative cost can grow forever.
+        if c.iter().any(|&ci| ci < -TOL) {
+            return Err(LpError::Unbounded);
+        }
+        return Ok(vec![0.0; n]);
+    }
+
+    // Tableau with artificial variables appended: columns
+    // [0..n) original+slack, [n..n+m) artificial, last column rhs.
+    let width = n + m + 1;
+    let mut t = vec![vec![0.0; width]; m];
+    let mut basis = vec![0usize; m];
+    for i in 0..m {
+        t[i][..n].copy_from_slice(&rows[i]);
+        t[i][n + i] = 1.0;
+        t[i][width - 1] = rhs[i];
+        basis[i] = n + i;
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    let mut phase1_cost = vec![0.0; width];
+    for c in &mut phase1_cost[n..n + m] {
+        *c = 1.0;
+    }
+    let opt1 = run_simplex(&mut t, &mut basis, &phase1_cost, n + m)?;
+    if opt1 > 1e-7 {
+        return Err(LpError::Infeasible);
+    }
+    // Drive any artificial still in the basis out (degenerate rows).
+    for i in 0..m {
+        if basis[i] >= n {
+            // Find a non-artificial column with a non-zero entry.
+            if let Some(j) = (0..n).find(|&j| t[i][j].abs() > TOL) {
+                pivot(&mut t, &mut basis, i, j);
+            }
+            // If none exists, the row is all-zero (redundant) — harmless.
+        }
+    }
+
+    // Phase 2: original costs; artificial columns are frozen out by
+    // restricting the entering-variable scan to the first n columns.
+    let mut phase2_cost = vec![0.0; width];
+    phase2_cost[..n].copy_from_slice(c);
+    run_simplex(&mut t, &mut basis, &phase2_cost, n)?;
+
+    let mut y = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            y[basis[i]] = t[i][width - 1];
+        }
+    }
+    Ok(y)
+}
+
+/// Runs the simplex pivot loop. `scan_cols` limits which columns may enter
+/// the basis. Returns the optimal objective for `cost`.
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    scan_cols: usize,
+) -> Result<f64, LpError> {
+    let m = t.len();
+    let width = t[0].len();
+    let max_iters = 2000 + 50 * (m + scan_cols);
+    let bland_after = max_iters / 2;
+
+    for iter in 0..max_iters {
+        // Reduced costs: c_j − c_Bᵀ B⁻¹ A_j, computed from the tableau.
+        let mut entering: Option<usize> = None;
+        let mut best = -TOL;
+        for j in 0..scan_cols {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut red = cost[j];
+            for i in 0..m {
+                red -= cost[basis[i]] * t[i][j];
+            }
+            if iter >= bland_after {
+                // Bland: first improving column.
+                if red < -TOL {
+                    entering = Some(j);
+                    break;
+                }
+            } else if red < best {
+                best = red;
+                entering = Some(j);
+            }
+        }
+        let Some(e) = entering else {
+            // Optimal: compute objective.
+            let obj = (0..m)
+                .map(|i| cost[basis[i]] * t[i][width - 1])
+                .sum::<f64>();
+            return Ok(obj);
+        };
+
+        // Ratio test (Bland ties: smallest basis index).
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][e] > TOL {
+                let ratio = t[i][width - 1] / t[i][e];
+                if ratio < best_ratio - TOL
+                    || (ratio < best_ratio + TOL
+                        && leaving.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        let Some(l) = leaving else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(t, basis, l, e);
+    }
+    Err(LpError::Numerical)
+}
+
+/// Pivots the tableau on `(row, col)`.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let p = t[row][col];
+    debug_assert!(p.abs() > 1e-14, "pivot on (near-)zero element");
+    for v in &mut t[row] {
+        *v /= p;
+    }
+    let pivot_row = t[row].clone();
+    for (i, r) in t.iter_mut().enumerate() {
+        if i != row {
+            let factor = r[col];
+            if factor != 0.0 {
+                for (v, &pv) in r.iter_mut().zip(&pivot_row) {
+                    *v -= factor * pv;
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0.
+        // Optimum (2, 6) with value 36 → minimize the negation.
+        let mut p = Program::new(2);
+        p.set_objective(0, -3.0).set_objective(1, -5.0);
+        p.set_nonneg(0).set_nonneg(1);
+        p.add_le(vec![1.0, 0.0], 4.0);
+        p.add_le(vec![0.0, 2.0], 12.0);
+        p.add_le(vec![3.0, 2.0], 18.0);
+        let s = p.solve().unwrap();
+        assert_near(s.x[0], 2.0);
+        assert_near(s.x[1], 6.0);
+        assert_near(s.objective, -36.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1, y ≥ 0 → (4, 0), value 8?
+        // Check: objective 2·4 = 8 at (4,0); (1,3) gives 11. Yes, (4,0).
+        let mut p = Program::new(2);
+        p.set_objective(0, 2.0).set_objective(1, 3.0);
+        p.set_nonneg(0).set_nonneg(1);
+        p.add_ge(vec![1.0, 1.0], 4.0);
+        p.add_ge(vec![1.0, 0.0], 1.0);
+        let s = p.solve().unwrap();
+        assert_near(s.objective, 8.0);
+        assert_near(s.x[0], 4.0);
+        assert_near(s.x[1], 0.0);
+    }
+
+    #[test]
+    fn free_variables() {
+        // min x s.t. x ≥ −5 (free x) → x = −5.
+        let mut p = Program::new(1);
+        p.set_objective(0, 1.0);
+        p.add_ge(vec![1.0], -5.0);
+        let s = p.solve().unwrap();
+        assert_near(s.x[0], -5.0);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + y s.t. x + y = 3, x − y ≤ 1, x, y ≥ 0.
+        let mut p = Program::new(2);
+        p.set_objective(0, 1.0).set_objective(1, 1.0);
+        p.set_nonneg(0).set_nonneg(1);
+        p.add_eq(vec![1.0, 1.0], 3.0);
+        p.add_le(vec![1.0, -1.0], 1.0);
+        let s = p.solve().unwrap();
+        assert_near(s.objective, 3.0);
+        assert_near(s.x[0] + s.x[1], 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Program::new(1);
+        p.set_nonneg(0);
+        p.add_le(vec![1.0], 1.0);
+        p.add_ge(vec![1.0], 3.0);
+        assert_eq!(p.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Program::new(1);
+        p.set_objective(0, -1.0); // min −x, x ≥ 0, no upper bound.
+        p.set_nonneg(0);
+        p.add_ge(vec![1.0], 0.0);
+        assert_eq!(p.solve(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn unbounded_free_variable_no_rows() {
+        let mut p = Program::new(1);
+        p.set_objective(0, 1.0);
+        assert_eq!(p.solve(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn zero_objective_feasibility_check() {
+        // Pure feasibility: minimize 0 over a triangle.
+        let mut p = Program::new(2);
+        p.add_le(vec![1.0, 0.0], 2.0);
+        p.add_le(vec![0.0, 1.0], 2.0);
+        p.add_ge(vec![1.0, 1.0], 1.0);
+        let s = p.solve().unwrap();
+        assert_near(s.objective, 0.0);
+        // The returned point must satisfy all constraints.
+        assert!(s.x[0] <= 2.0 + 1e-9);
+        assert!(s.x[1] <= 2.0 + 1e-9);
+        assert!(s.x[0] + s.x[1] >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn bad_problem_rejected() {
+        let p = Program::new(0);
+        assert_eq!(p.solve(), Err(LpError::BadProblem));
+        let mut p = Program::new(1);
+        p.add_le(vec![f64::NAN], 1.0);
+        assert_eq!(p.solve(), Err(LpError::BadProblem));
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // min y s.t. −x ≤ −2 (x ≥ 2), y ≥ x − 10, y free, x ≥ 0.
+        let mut p = Program::new(2);
+        p.set_objective(1, 1.0);
+        p.set_nonneg(0);
+        p.add_le(vec![-1.0, 0.0], -2.0);
+        p.add_le(vec![1.0, -1.0], 10.0);
+        let s = p.solve().unwrap();
+        assert!(s.x[0] >= 2.0 - 1e-9);
+        assert_near(s.objective, s.x[0] - 10.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degeneracy: many redundant constraints through one vertex.
+        let mut p = Program::new(2);
+        p.set_objective(0, -1.0).set_objective(1, -1.0);
+        p.set_nonneg(0).set_nonneg(1);
+        for k in 1..=12 {
+            let k = k as f64;
+            p.add_le(vec![1.0, k], k); // all pass through (0, 1)… varied slopes
+        }
+        p.add_le(vec![1.0, 0.0], 1.0);
+        let s = p.solve().unwrap();
+        // Optimal point satisfies every constraint.
+        for k in 1..=12 {
+            let k = k as f64;
+            assert!(s.x[0] + k * s.x[1] <= k + 1e-6);
+        }
+        assert!(s.x[0] <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn diet_problem() {
+        // min 0.6a + 0.35b s.t. 5a + 7b ≥ 8 (protein), 4a + 2b ≥ 15
+        // (iron), a, b ≥ 0. Known optimum at b = 0 intersection region.
+        let mut p = Program::new(2);
+        p.set_objective(0, 0.6).set_objective(1, 0.35);
+        p.set_nonneg(0).set_nonneg(1);
+        p.add_ge(vec![5.0, 7.0], 8.0);
+        p.add_ge(vec![4.0, 2.0], 15.0);
+        let s = p.solve().unwrap();
+        // Verify feasibility and optimality against a fine grid search.
+        assert!(5.0 * s.x[0] + 7.0 * s.x[1] >= 8.0 - 1e-6);
+        assert!(4.0 * s.x[0] + 2.0 * s.x[1] >= 15.0 - 1e-6);
+        let mut best = f64::INFINITY;
+        let mut i = 0.0;
+        while i <= 10.0 {
+            let mut j = 0.0;
+            while j <= 10.0 {
+                if 5.0 * i + 7.0 * j >= 8.0 && 4.0 * i + 2.0 * j >= 15.0 {
+                    best = best.min(0.6 * i + 0.35 * j);
+                }
+                j += 0.01;
+            }
+            i += 0.01;
+        }
+        assert!(s.objective <= best + 1e-3, "{} vs grid {}", s.objective, best);
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let mut p = Program::new(3);
+        p.add_le(vec![1.0, 0.0, 0.0], 1.0);
+        assert_eq!(p.n_vars(), 3);
+        assert_eq!(p.n_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn row_length_checked() {
+        let mut p = Program::new(2);
+        p.add_le(vec![1.0], 1.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Oracle tests: the simplex solver checked against an independent
+//! brute-force LP oracle (vertex enumeration), and the center routines
+//! against Monte-Carlo geometry.
+
+use nomloc_geometry::{HalfPlane, Point, Polygon, Vec2};
+use nomloc_lp::center;
+use nomloc_lp::relax::{relax_constraints, WeightedConstraint};
+use nomloc_lp::simplex::Program;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Brute-force 2-D LP oracle: enumerate all constraint-pair intersection
+/// vertices, keep feasible ones, return the best objective. Sound for
+/// bounded problems whose optimum is at a vertex (always, for bounded
+/// feasible LPs).
+fn oracle_min(c: (f64, f64), hps: &[HalfPlane]) -> Option<f64> {
+    let feasible = |p: Point| hps.iter().all(|h| h.violation(p) <= 1e-7);
+    let mut best: Option<f64> = None;
+    for i in 0..hps.len() {
+        for j in (i + 1)..hps.len() {
+            // Solve a_i·z = b_i, a_j·z = b_j.
+            let (a1, a2) = (hps[i].a, hps[j].a);
+            let det = a1.x * a2.y - a1.y * a2.x;
+            if det.abs() < 1e-12 {
+                continue;
+            }
+            let x = (hps[i].b * a2.y - hps[j].b * a1.y) / det;
+            let y = (a1.x * hps[j].b - a2.x * hps[i].b) / det;
+            let p = Point::new(x, y);
+            if feasible(p) {
+                let obj = c.0 * p.x + c.1 * p.y;
+                best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+            }
+        }
+    }
+    best
+}
+
+fn box_halfplanes(r: f64) -> Vec<HalfPlane> {
+    vec![
+        HalfPlane::new(Vec2::new(1.0, 0.0), r),
+        HalfPlane::new(Vec2::new(-1.0, 0.0), r),
+        HalfPlane::new(Vec2::new(0.0, 1.0), r),
+        HalfPlane::new(Vec2::new(0.0, -1.0), r),
+    ]
+}
+
+fn halfplane_strategy() -> impl Strategy<Value = HalfPlane> {
+    (-1.0..1.0f64, -1.0..1.0f64, -8.0..8.0f64)
+        .prop_filter("nondegenerate", |(a, b, _)| a.abs() + b.abs() > 0.1)
+        .prop_map(|(a, b, c)| HalfPlane::new(Vec2::new(a, b), c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    // Simplex optimum equals the vertex-enumeration oracle on random
+    // bounded 2-D LPs.
+    #[test]
+    fn simplex_matches_vertex_oracle(
+        hps in prop::collection::vec(halfplane_strategy(), 0..8),
+        cx in -1.0..1.0f64,
+        cy in -1.0..1.0f64,
+    ) {
+        let mut all = box_halfplanes(10.0);
+        all.extend(hps);
+        let mut p = Program::new(2);
+        p.set_objective(0, cx).set_objective(1, cy);
+        for h in &all {
+            p.add_le(vec![h.a.x, h.a.y], h.b);
+        }
+        match (p.solve(), oracle_min((cx, cy), &all)) {
+            (Ok(s), Some(oracle)) => {
+                prop_assert!(
+                    (s.objective - oracle).abs() < 1e-5 * (1.0 + oracle.abs()),
+                    "simplex {} vs oracle {}", s.objective, oracle
+                );
+            }
+            (Err(nomloc_lp::LpError::Infeasible), None) => {}
+            (Ok(s), None) => {
+                // Oracle found no feasible *vertex*; with a bounding box
+                // that means infeasible — simplex must not claim success
+                // with a feasible point.
+                let feasible = all.iter().all(|h| {
+                    h.a.x * s.x[0] + h.a.y * s.x[1] <= h.b + 1e-6
+                });
+                prop_assert!(!feasible, "simplex point feasible but oracle saw none");
+            }
+            (Err(e), Some(_)) => prop_assert!(false, "simplex failed ({e}) on feasible LP"),
+            (Err(nomloc_lp::LpError::Unbounded), None) => {
+                prop_assert!(false, "boxed LP cannot be unbounded");
+            }
+            (Err(e), None) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    // Relaxation cost is never larger than the cheapest single-constraint
+    // repair computed independently.
+    #[test]
+    fn relaxation_cost_bounded_by_single_repairs(
+        hps in prop::collection::vec(halfplane_strategy(), 1..6),
+    ) {
+        let mut cs: Vec<WeightedConstraint> = hps
+            .iter()
+            .map(|h| WeightedConstraint::new(*h, 0.7))
+            .collect();
+        for h in box_halfplanes(10.0) {
+            cs.push(WeightedConstraint::new(h, 1000.0));
+        }
+        let r = relax_constraints(&cs).unwrap();
+        // Upper bound: violating set measured at any feasible probe point
+        // of the box (e.g. the origin) — pay each violated constraint's
+        // violation at weight 0.7.
+        let origin = Point::ORIGIN;
+        let ub: f64 = hps.iter().map(|h| 0.7 * h.violation(origin).max(0.0)).sum();
+        prop_assert!(r.cost() <= ub + 1e-6, "cost {} exceeds origin bound {}", r.cost(), ub);
+    }
+}
+
+/// Monte-Carlo area oracle for the feasible region vs polygon clipping.
+#[test]
+fn clipped_region_area_matches_monte_carlo() {
+    let bounds = Polygon::rectangle(Point::new(-10.0, -10.0), Point::new(10.0, 10.0));
+    let mut rng = StdRng::seed_from_u64(12345);
+    for trial in 0..25 {
+        let n = 1 + (trial % 5);
+        let hps: Vec<HalfPlane> = (0..n)
+            .map(|_| {
+                HalfPlane::new(
+                    Vec2::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)),
+                    rng.gen_range(-5.0..8.0),
+                )
+            })
+            .filter(|h| h.a.norm() > 0.1)
+            .collect();
+        let clipped_area = center::feasible_region(&hps, &bounds)
+            .map(|p| p.area())
+            .unwrap_or(0.0);
+        // Monte-Carlo estimate.
+        let samples = 60_000;
+        let hits = (0..samples)
+            .filter(|_| {
+                let p = Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
+                hps.iter().all(|h| h.contains(p))
+            })
+            .count();
+        let mc_area = hits as f64 / samples as f64 * 400.0;
+        let tol = 3.0 * (mc_area.max(1.0)).sqrt() * (400.0 / samples as f64).sqrt() * 20.0;
+        assert!(
+            (clipped_area - mc_area).abs() < tol.max(1.5),
+            "trial {trial}: clipped {clipped_area:.2} vs MC {mc_area:.2}"
+        );
+    }
+}
+
+/// The Chebyshev radius from the LP equals the clearance measured
+/// geometrically at the returned center.
+#[test]
+fn chebyshev_radius_consistency() {
+    let bounds = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 6.0));
+    let hps = [
+        HalfPlane::new(Vec2::new(1.0, 0.2), 7.0),
+        HalfPlane::new(Vec2::new(-0.3, 1.0), 4.0),
+    ];
+    let c = center::chebyshev_center(&hps, &bounds).unwrap();
+    let all: Vec<HalfPlane> = hps
+        .iter()
+        .copied()
+        .chain(center::polygon_halfplanes(&bounds))
+        .collect();
+    let clearance = all
+        .iter()
+        .map(|h| -h.signed_distance(c))
+        .fold(f64::INFINITY, f64::min);
+    // The center's clearance must beat any grid probe's.
+    let mut best_probe: f64 = f64::NEG_INFINITY;
+    for i in 0..=50 {
+        for j in 0..=30 {
+            let p = Point::new(i as f64 * 0.2, j as f64 * 0.2);
+            let cl = all
+                .iter()
+                .map(|h| -h.signed_distance(p))
+                .fold(f64::INFINITY, f64::min);
+            best_probe = best_probe.max(cl);
+        }
+    }
+    assert!(
+        clearance >= best_probe - 1e-6,
+        "center clearance {clearance} below probe {best_probe}"
+    );
+}

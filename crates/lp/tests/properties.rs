@@ -1,0 +1,142 @@
+//! Property-based tests for the LP crate.
+
+use nomloc_geometry::{HalfPlane, Point, Polygon, Vec2};
+use nomloc_lp::center::{self, CenterMethod};
+use nomloc_lp::relax::{relax_constraints, WeightedConstraint};
+use nomloc_lp::simplex::Program;
+use proptest::prelude::*;
+
+fn bounds() -> Polygon {
+    Polygon::rectangle(Point::new(-20.0, -20.0), Point::new(20.0, 20.0))
+}
+
+fn halfplane() -> impl Strategy<Value = HalfPlane> {
+    (-1.0..1.0f64, -1.0..1.0f64, -10.0..10.0f64)
+        .prop_filter("non-degenerate normal", |(ax, ay, _)| {
+            ax.abs() + ay.abs() > 0.05
+        })
+        .prop_map(|(ax, ay, b)| HalfPlane::new(Vec2::new(ax, ay), b))
+}
+
+proptest! {
+    // The simplex solution of a random bounded feasibility problem must
+    // satisfy every constraint.
+    #[test]
+    fn simplex_solutions_are_feasible(hps in prop::collection::vec(halfplane(), 1..10)) {
+        let mut p = Program::new(2);
+        // Bounding box keeps it bounded.
+        p.add_le(vec![1.0, 0.0], 20.0);
+        p.add_le(vec![-1.0, 0.0], 20.0);
+        p.add_le(vec![0.0, 1.0], 20.0);
+        p.add_le(vec![0.0, -1.0], 20.0);
+        for h in &hps {
+            p.add_le(vec![h.a.x, h.a.y], h.b);
+        }
+        match p.solve() {
+            Ok(s) => {
+                for h in &hps {
+                    prop_assert!(
+                        h.a.x * s.x[0] + h.a.y * s.x[1] <= h.b + 1e-6,
+                        "constraint {h} violated at ({}, {})", s.x[0], s.x[1]
+                    );
+                }
+            }
+            Err(nomloc_lp::LpError::Infeasible) => {
+                // Cross-check with the geometric oracle: clipping must agree.
+                let region = center::feasible_region(&hps, &bounds());
+                prop_assert!(region.is_none(), "simplex said infeasible but clipping found {:?}", region);
+            }
+            Err(e) => prop_assert!(false, "unexpected solver error {e}"),
+        }
+    }
+
+    // LP optimality sanity: objective at solver optimum ≤ objective at any
+    // random feasible point (checked via rejection sampling of the box).
+    #[test]
+    fn simplex_beats_random_feasible_points(
+        hps in prop::collection::vec(halfplane(), 1..6),
+        cx in -1.0..1.0f64,
+        cy in -1.0..1.0f64,
+        probe_x in -20.0..20.0f64,
+        probe_y in -20.0..20.0f64,
+    ) {
+        let mut p = Program::new(2);
+        p.set_objective(0, cx).set_objective(1, cy);
+        p.add_le(vec![1.0, 0.0], 20.0);
+        p.add_le(vec![-1.0, 0.0], 20.0);
+        p.add_le(vec![0.0, 1.0], 20.0);
+        p.add_le(vec![0.0, -1.0], 20.0);
+        for h in &hps {
+            p.add_le(vec![h.a.x, h.a.y], h.b);
+        }
+        if let Ok(s) = p.solve() {
+            let probe_feasible = hps.iter().all(|h| h.a.x * probe_x + h.a.y * probe_y <= h.b)
+                && probe_x.abs() <= 20.0 && probe_y.abs() <= 20.0;
+            if probe_feasible {
+                let probe_obj = cx * probe_x + cy * probe_y;
+                prop_assert!(s.objective <= probe_obj + 1e-6,
+                    "solver {} worse than probe {}", s.objective, probe_obj);
+            }
+        }
+    }
+
+    // Relaxation always succeeds with a boundary box, and its witness
+    // satisfies every relaxed constraint.
+    #[test]
+    fn relaxation_always_repairable(hps in prop::collection::vec(halfplane(), 1..12)) {
+        let mut cs: Vec<WeightedConstraint> = hps
+            .iter()
+            .enumerate()
+            .map(|(i, h)| WeightedConstraint::new(*h, 0.5 + 0.04 * i as f64))
+            .collect();
+        for h in center::polygon_halfplanes(&bounds()) {
+            cs.push(WeightedConstraint::new(h, 1000.0));
+        }
+        let r = relax_constraints(&cs).unwrap();
+        prop_assert!(r.cost() >= -1e-9);
+        for h in r.relaxed_halfplanes() {
+            prop_assert!(h.violation(r.witness()) < 1e-6);
+        }
+        // Feasible original systems must not be charged.
+        if center::feasible_region(&hps, &bounds()).is_some() {
+            prop_assert!(r.cost() < 1e-5, "feasible system charged {}", r.cost());
+        }
+    }
+
+    // Every center method returns a point inside the (non-empty) region.
+    #[test]
+    fn centers_are_feasible(hps in prop::collection::vec(halfplane(), 0..8)) {
+        if let Some(region) = center::feasible_region(&hps, &bounds()) {
+            prop_assume!(region.area() > 1e-3);
+            for m in [CenterMethod::Chebyshev, CenterMethod::Analytic, CenterMethod::Centroid] {
+                let c = center::center(m, &hps, &bounds()).unwrap();
+                // Allow a hair of tolerance at the boundary.
+                prop_assert!(
+                    region.contains(c) || region.distance_to_boundary(c) < 1e-6,
+                    "{m:?} center {c} outside region of area {}", region.area()
+                );
+            }
+        }
+    }
+
+    // Chebyshev center maximizes clearance: no sampled point has a larger
+    // minimum distance to the constraint boundaries.
+    #[test]
+    fn chebyshev_maximizes_inradius(
+        hps in prop::collection::vec(halfplane(), 1..6),
+        sx in -20.0..20.0f64,
+        sy in -20.0..20.0f64,
+    ) {
+        let all: Vec<HalfPlane> = hps.iter().copied()
+            .chain(center::polygon_halfplanes(&bounds()))
+            .collect();
+        if let Ok(c) = center::chebyshev_center(&hps, &bounds()) {
+            let clearance = |p: Point| -> f64 {
+                all.iter().map(|h| -h.signed_distance(p)).fold(f64::INFINITY, f64::min)
+            };
+            let probe = Point::new(sx, sy);
+            prop_assert!(clearance(c) >= clearance(probe) - 1e-6,
+                "probe {probe} has better clearance than center {c}");
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Markov-chain mobility models for nomadic access points.
+//!
+//! The NomLoc evaluation (§V-A) characterizes nomadic-AP motion as a
+//! *random walk built on a Markov chain*: the AP moves among several
+//! discrete sites with preset transition probabilities, reporting CSI
+//! measurements (and its own coordinates) from each site it visits. The
+//! paper also injects artificial random error into the reported
+//! coordinates to study robustness (Fig. 10). This crate implements both:
+//!
+//! * [`MarkovChain`] — a validated transition matrix over named sites, with
+//!   simulation and stationary-distribution queries.
+//! * [`patterns`] — transition-matrix families (uniform, stay-biased,
+//!   sweep, clustered) for the moving-pattern ablation the paper lists as
+//!   future work.
+//! * [`PositionError`] — the error-range (ER) model that perturbs reported
+//!   nomadic-AP coordinates.
+//!
+//! # Example
+//!
+//! ```
+//! use nomloc_geometry::Point;
+//! use nomloc_mobility::{patterns, MarkovChain};
+//! use rand::SeedableRng;
+//!
+//! let sites = vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(5.0, 0.0),
+//!     Point::new(5.0, 5.0),
+//! ];
+//! let chain = MarkovChain::new(sites, patterns::uniform(3))?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let walk = chain.walk(0, 10, &mut rng);
+//! assert_eq!(walk.len(), 11); // start site + 10 steps
+//! # Ok::<(), nomloc_mobility::MobilityError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod patterns;
+
+use nomloc_geometry::Point;
+use rand::Rng;
+use std::fmt;
+
+/// Errors constructing mobility models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MobilityError {
+    /// The chain has no sites.
+    NoSites,
+    /// The transition matrix shape does not match the site count.
+    ShapeMismatch,
+    /// A row of the transition matrix does not sum to one, or contains a
+    /// negative/non-finite entry. Carries the offending row index.
+    InvalidRow(usize),
+}
+
+impl fmt::Display for MobilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobilityError::NoSites => write!(f, "mobility model needs at least one site"),
+            MobilityError::ShapeMismatch => {
+                write!(f, "transition matrix shape does not match site count")
+            }
+            MobilityError::InvalidRow(i) => {
+                write!(f, "transition matrix row {i} is not a probability distribution")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MobilityError {}
+
+/// A discrete-site Markov chain describing a nomadic AP's movement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovChain {
+    sites: Vec<Point>,
+    /// Row-stochastic transition matrix, `transition[i][j] = P(i → j)`.
+    transition: Vec<Vec<f64>>,
+}
+
+impl MarkovChain {
+    /// Creates a chain over `sites` with the given row-stochastic
+    /// `transition` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty site lists, shape mismatches, and rows that are not
+    /// probability distributions (within `1e-9`).
+    pub fn new(sites: Vec<Point>, transition: Vec<Vec<f64>>) -> Result<Self, MobilityError> {
+        if sites.is_empty() {
+            return Err(MobilityError::NoSites);
+        }
+        if transition.len() != sites.len() {
+            return Err(MobilityError::ShapeMismatch);
+        }
+        for (i, row) in transition.iter().enumerate() {
+            if row.len() != sites.len() {
+                return Err(MobilityError::ShapeMismatch);
+            }
+            let mut sum = 0.0;
+            for &p in row {
+                if !p.is_finite() || p < 0.0 {
+                    return Err(MobilityError::InvalidRow(i));
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(MobilityError::InvalidRow(i));
+            }
+        }
+        Ok(MarkovChain { sites, transition })
+    }
+
+    /// The measurement sites.
+    pub fn sites(&self) -> &[Point] {
+        &self.sites
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when the chain has no sites (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Transition probability from site `i` to site `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn probability(&self, i: usize, j: usize) -> f64 {
+        self.transition[i][j]
+    }
+
+    /// Samples the successor of site `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` is out of range.
+    pub fn step<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> usize {
+        let row = &self.transition[state];
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (j, &p) in row.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return j;
+            }
+        }
+        // Floating-point slack: fall back to the last non-zero entry.
+        row.iter().rposition(|&p| p > 0.0).unwrap_or(state)
+    }
+
+    /// Generates a walk of `steps` transitions starting at `start`,
+    /// returning the visited site indices (length `steps + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start` is out of range.
+    pub fn walk<R: Rng + ?Sized>(&self, start: usize, steps: usize, rng: &mut R) -> Vec<usize> {
+        assert!(start < self.len(), "start site out of range");
+        let mut path = Vec::with_capacity(steps + 1);
+        let mut state = start;
+        path.push(state);
+        for _ in 0..steps {
+            state = self.step(state, rng);
+            path.push(state);
+        }
+        path
+    }
+
+    /// The positions visited along a walk.
+    pub fn walk_positions<R: Rng + ?Sized>(
+        &self,
+        start: usize,
+        steps: usize,
+        rng: &mut R,
+    ) -> Vec<Point> {
+        self.walk(start, steps, rng)
+            .into_iter()
+            .map(|i| self.sites[i])
+            .collect()
+    }
+
+    /// Stationary distribution by power iteration.
+    ///
+    /// Converges for irreducible aperiodic chains; returns the iterate
+    /// after `iters` steps regardless, so callers can inspect slowly-mixing
+    /// chains too.
+    pub fn stationary(&self, iters: usize) -> Vec<f64> {
+        let n = self.len();
+        let mut pi = vec![1.0 / n as f64; n];
+        for _ in 0..iters {
+            let mut next = vec![0.0; n];
+            for (p, row) in pi.iter().zip(&self.transition) {
+                for (nx, &t) in next.iter_mut().zip(row) {
+                    *nx += p * t;
+                }
+            }
+            pi = next;
+        }
+        pi
+    }
+
+    /// Expected fraction of distinct sites visited in a walk of `steps`
+    /// transitions from `start`, estimated over `trials` simulations.
+    ///
+    /// The paper observes that "the further the nomadic AP moves, the more
+    /// CSI measurements will be collected … resulting in finer granularity
+    /// segmentation"; this estimates how quickly a pattern covers its sites.
+    pub fn coverage<R: Rng + ?Sized>(
+        &self,
+        start: usize,
+        steps: usize,
+        trials: usize,
+        rng: &mut R,
+    ) -> f64 {
+        let n = self.len();
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let mut seen = vec![false; n];
+            for i in self.walk(start, steps, rng) {
+                seen[i] = true;
+            }
+            total += seen.iter().filter(|&&s| s).count() as f64 / n as f64;
+        }
+        total / trials.max(1) as f64
+    }
+}
+
+/// The paper's error-range (ER) model for nomadic-AP coordinates.
+///
+/// "We intentionally add random errors to the position information of the
+/// nomadic AP with error range (ER) from 0 to 3 m" (§V-E). Each reported
+/// coordinate is displaced by a vector drawn uniformly from the disc of
+/// radius `range`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionError {
+    /// Maximum displacement in metres (the paper's ER).
+    range: f64,
+}
+
+impl PositionError {
+    /// Creates an error model with the given range (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` is negative or non-finite.
+    pub fn new(range: f64) -> Self {
+        assert!(range >= 0.0 && range.is_finite(), "error range must be ≥ 0");
+        PositionError { range }
+    }
+
+    /// The exact-reporting model (ER = 0).
+    pub fn none() -> Self {
+        PositionError { range: 0.0 }
+    }
+
+    /// The configured error range.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Perturbs `p` by a uniform-disc displacement.
+    pub fn apply<R: Rng + ?Sized>(&self, p: Point, rng: &mut R) -> Point {
+        if self.range == 0.0 {
+            return p;
+        }
+        // Uniform over the disc: radius ∝ √u.
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = self.range * rng.gen::<f64>().sqrt();
+        Point::new(p.x + r * theta.cos(), p.y + r * theta.sin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sites(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert_eq!(
+            MarkovChain::new(vec![], vec![]),
+            Err(MobilityError::NoSites)
+        );
+        assert_eq!(
+            MarkovChain::new(sites(2), vec![vec![1.0, 0.0]]),
+            Err(MobilityError::ShapeMismatch)
+        );
+        assert_eq!(
+            MarkovChain::new(sites(2), vec![vec![1.0], vec![1.0]]),
+            Err(MobilityError::ShapeMismatch)
+        );
+        assert_eq!(
+            MarkovChain::new(sites(2), vec![vec![0.6, 0.6], vec![0.5, 0.5]]),
+            Err(MobilityError::InvalidRow(0))
+        );
+        assert_eq!(
+            MarkovChain::new(sites(2), vec![vec![0.5, 0.5], vec![-0.1, 1.1]]),
+            Err(MobilityError::InvalidRow(1))
+        );
+        assert!(MarkovChain::new(sites(2), vec![vec![0.5, 0.5], vec![0.9, 0.1]]).is_ok());
+    }
+
+    #[test]
+    fn walk_length_and_start() {
+        let chain = MarkovChain::new(sites(3), patterns::uniform(3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = chain.walk(1, 25, &mut rng);
+        assert_eq!(w.len(), 26);
+        assert_eq!(w[0], 1);
+        assert!(w.iter().all(|&i| i < 3));
+    }
+
+    #[test]
+    fn walk_positions_match_indices() {
+        let chain = MarkovChain::new(sites(3), patterns::uniform(3)).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(5);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let idx = chain.walk(0, 10, &mut rng1);
+        let pos = chain.walk_positions(0, 10, &mut rng2);
+        for (i, p) in idx.iter().zip(&pos) {
+            assert_eq!(chain.sites()[*i], *p);
+        }
+    }
+
+    #[test]
+    fn deterministic_cycle_walk() {
+        // 0 → 1 → 2 → 0 …
+        let t = vec![
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+        ];
+        let chain = MarkovChain::new(sites(3), t).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(chain.walk(0, 6, &mut rng), vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn absorbing_state_stays() {
+        let t = vec![vec![0.0, 1.0], vec![0.0, 1.0]];
+        let chain = MarkovChain::new(sites(2), t).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = chain.walk(0, 5, &mut rng);
+        assert_eq!(w, vec![0, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn stationary_of_uniform_chain_is_uniform() {
+        let chain = MarkovChain::new(sites(4), patterns::uniform(4)).unwrap();
+        let pi = chain.stationary(100);
+        for p in pi {
+            assert!((p - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stationary_sums_to_one() {
+        let chain = MarkovChain::new(sites(3), patterns::stay_biased(3, 0.7)).unwrap();
+        let pi = chain.stationary(200);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn empirical_frequencies_match_transition_row() {
+        let t = vec![vec![0.2, 0.8], vec![0.5, 0.5]];
+        let chain = MarkovChain::new(sites(2), t).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut to1 = 0;
+        for _ in 0..n {
+            if chain.step(0, &mut rng) == 1 {
+                to1 += 1;
+            }
+        }
+        let freq = to1 as f64 / n as f64;
+        assert!((freq - 0.8).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn coverage_increases_with_steps() {
+        let chain = MarkovChain::new(sites(5), patterns::uniform(5)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let short = chain.coverage(0, 1, 200, &mut rng);
+        let long = chain.coverage(0, 20, 200, &mut rng);
+        assert!(long > short);
+        assert!(long > 0.9, "20 uniform steps over 5 sites covers most: {long}");
+    }
+
+    #[test]
+    fn position_error_zero_is_identity() {
+        let e = PositionError::none();
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Point::new(3.0, 4.0);
+        assert_eq!(e.apply(p, &mut rng), p);
+        assert_eq!(e.range(), 0.0);
+    }
+
+    #[test]
+    fn position_error_bounded_by_range() {
+        let e = PositionError::new(2.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = Point::new(-1.0, 2.0);
+        for _ in 0..2000 {
+            let q = e.apply(p, &mut rng);
+            assert!(p.distance(q) <= 2.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn position_error_mean_displacement_reasonable() {
+        // Uniform disc of radius R has E[r] = 2R/3.
+        let e = PositionError::new(3.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = Point::ORIGIN;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| e.apply(p, &mut rng).distance(p)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean displacement {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "error range")]
+    fn position_error_rejects_negative() {
+        let _ = PositionError::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "start site out of range")]
+    fn walk_rejects_bad_start() {
+        let chain = MarkovChain::new(sites(2), patterns::uniform(2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = chain.walk(5, 1, &mut rng);
+    }
+}

@@ -1,0 +1,222 @@
+//! Transition-matrix families: moving patterns for nomadic APs.
+//!
+//! The paper's concluding remarks name "the impact of moving patterns of
+//! nomadic APs on the overall performance" as an open extension; these
+//! builders provide the pattern families exercised by the
+//! `repro_ablation_patterns` experiment.
+
+/// Uniform random walk: every site equally likely next (including staying).
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn uniform(n: usize) -> Vec<Vec<f64>> {
+    assert!(n > 0, "need at least one site");
+    vec![vec![1.0 / n as f64; n]; n]
+}
+
+/// Stay-biased walk: remain at the current site with probability `stay`,
+/// otherwise move uniformly to one of the others.
+///
+/// Models a shop greeter who lingers. With `n == 1` the single site absorbs
+/// regardless of `stay`.
+///
+/// # Panics
+///
+/// Panics when `n == 0` or `stay` is outside `[0, 1]`.
+pub fn stay_biased(n: usize, stay: f64) -> Vec<Vec<f64>> {
+    assert!(n > 0, "need at least one site");
+    assert!((0.0..=1.0).contains(&stay), "stay probability in [0, 1]");
+    if n == 1 {
+        return vec![vec![1.0]];
+    }
+    let move_p = (1.0 - stay) / (n - 1) as f64;
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { stay } else { move_p })
+                .collect()
+        })
+        .collect()
+}
+
+/// Deterministic sweep: visit sites in cyclic order `0 → 1 → … → n−1 → 0`.
+///
+/// Models a security patrol on a fixed route.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn sweep(n: usize) -> Vec<Vec<f64>> {
+    assert!(n > 0, "need at least one site");
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if j == (i + 1) % n { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect()
+}
+
+/// Ping-pong between neighbours on a line: from site `i` move to `i−1` or
+/// `i+1` with equal probability (reflecting at the ends).
+///
+/// Models pacing along a corridor.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn corridor(n: usize) -> Vec<Vec<f64>> {
+    assert!(n > 0, "need at least one site");
+    if n == 1 {
+        return vec![vec![1.0]];
+    }
+    (0..n)
+        .map(|i| {
+            let mut row = vec![0.0; n];
+            if i == 0 {
+                row[1] = 1.0;
+            } else if i == n - 1 {
+                row[n - 2] = 1.0;
+            } else {
+                row[i - 1] = 0.5;
+                row[i + 1] = 0.5;
+            }
+            row
+        })
+        .collect()
+}
+
+/// Clustered walk: sites split into two halves; movement stays within the
+/// current half with probability `loyalty`, jumping across otherwise
+/// (uniform within the chosen half).
+///
+/// Models a greeter who works one wing of a venue at a time.
+///
+/// # Panics
+///
+/// Panics when `n < 2` or `loyalty` is outside `[0, 1]`.
+pub fn clustered(n: usize, loyalty: f64) -> Vec<Vec<f64>> {
+    assert!(n >= 2, "clusters need at least two sites");
+    assert!((0.0..=1.0).contains(&loyalty), "loyalty in [0, 1]");
+    let half = n / 2;
+    (0..n)
+        .map(|i| {
+            let in_first = i < half;
+            let (own, other) = if in_first {
+                (0..half, half..n)
+            } else {
+                (half..n, 0..half)
+            };
+            let own: Vec<usize> = own.collect();
+            let other: Vec<usize> = other.collect();
+            let mut row = vec![0.0; n];
+            for &j in &own {
+                row[j] = loyalty / own.len() as f64;
+            }
+            for &j in &other {
+                row[j] = (1.0 - loyalty) / other.len() as f64;
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_stochastic(t: &[Vec<f64>]) {
+        for (i, row) in t.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+            assert!(row.iter().all(|&p| p >= 0.0), "row {i} has negatives");
+        }
+    }
+
+    #[test]
+    fn all_patterns_are_stochastic() {
+        for n in [1usize, 2, 3, 5, 8] {
+            assert_stochastic(&uniform(n));
+            assert_stochastic(&stay_biased(n, 0.6));
+            assert_stochastic(&sweep(n));
+            assert_stochastic(&corridor(n));
+            if n >= 2 {
+                assert_stochastic(&clustered(n, 0.8));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_entries() {
+        let t = uniform(4);
+        assert!(t.iter().flatten().all(|&p| (p - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn stay_biased_diagonal() {
+        let t = stay_biased(3, 0.7);
+        for (i, row) in t.iter().enumerate() {
+            assert!((row[i] - 0.7).abs() < 1e-12);
+        }
+        assert!((t[0][1] - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stay_biased_single_site() {
+        assert_eq!(stay_biased(1, 0.3), vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn sweep_is_cyclic_permutation() {
+        let t = sweep(3);
+        assert_eq!(t[0], vec![0.0, 1.0, 0.0]);
+        assert_eq!(t[1], vec![0.0, 0.0, 1.0]);
+        assert_eq!(t[2], vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn corridor_reflects_at_ends() {
+        let t = corridor(4);
+        assert_eq!(t[0], vec![0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(t[3], vec![0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(t[1], vec![0.5, 0.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn clustered_prefers_own_half() {
+        let t = clustered(4, 0.9);
+        // From site 0 (first half {0,1}): own prob 0.45 each, other 0.05.
+        assert!((t[0][0] - 0.45).abs() < 1e-12);
+        assert!((t[0][1] - 0.45).abs() < 1e-12);
+        assert!((t[0][2] - 0.05).abs() < 1e-12);
+        assert!((t[0][3] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustered_odd_split() {
+        let t = clustered(5, 0.8);
+        assert_stochastic(&t);
+        // First half has 2 sites, second has 3.
+        assert!((t[0][0] - 0.4).abs() < 1e-12);
+        assert!((t[4][2] - 0.8 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn uniform_rejects_zero() {
+        let _ = uniform(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stay probability")]
+    fn stay_biased_rejects_bad_probability() {
+        let _ = stay_biased(2, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sites")]
+    fn clustered_rejects_one_site() {
+        let _ = clustered(1, 0.5);
+    }
+}

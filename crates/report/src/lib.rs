@@ -1,0 +1,432 @@
+//! SVG rendering of NomLoc scenes and evaluation curves.
+//!
+//! Pure-string SVG generation (no dependencies): floor plans with walls,
+//! obstacles, APs and estimates, plus CDF line charts — the visual
+//! counterparts of the paper's Fig. 6 layouts and Fig. 9/10 curves. The
+//! `repro_*` binaries write these next to their text output when the
+//! `NOMLOC_SVG_DIR` environment variable is set.
+//!
+//! # Example
+//!
+//! ```
+//! use nomloc_geometry::{Point, Polygon};
+//! use nomloc_report::SceneBuilder;
+//! use nomloc_rfsim::FloorPlan;
+//!
+//! let plan = FloorPlan::builder(Polygon::rectangle(
+//!     Point::new(0.0, 0.0),
+//!     Point::new(10.0, 8.0),
+//! ))
+//! .build();
+//! let svg = SceneBuilder::new(&plan)
+//!     .ap(Point::new(1.0, 1.0), "AP1")
+//!     .object(Point::new(5.0, 4.0), "truth")
+//!     .estimate(Point::new(5.4, 4.3), "estimate")
+//!     .render();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("AP1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nomloc_dsp::stats::Ecdf;
+use nomloc_geometry::{Point, Polygon};
+use nomloc_rfsim::FloorPlan;
+use std::fmt::Write as _;
+
+/// Pixels per metre in rendered scenes.
+const SCALE: f64 = 40.0;
+/// Canvas margin, pixels.
+const MARGIN: f64 = 20.0;
+
+/// Builds an SVG scene of a floor plan with annotated points.
+#[derive(Debug, Clone)]
+pub struct SceneBuilder<'a> {
+    plan: &'a FloorPlan,
+    aps: Vec<(Point, String)>,
+    objects: Vec<(Point, String)>,
+    estimates: Vec<(Point, String)>,
+    regions: Vec<Polygon>,
+}
+
+impl<'a> SceneBuilder<'a> {
+    /// Starts a scene over `plan`.
+    pub fn new(plan: &'a FloorPlan) -> Self {
+        SceneBuilder {
+            plan,
+            aps: Vec::new(),
+            objects: Vec::new(),
+            estimates: Vec::new(),
+            regions: Vec::new(),
+        }
+    }
+
+    /// Adds an AP marker (triangle).
+    pub fn ap(mut self, p: Point, label: impl Into<String>) -> Self {
+        self.aps.push((p, label.into()));
+        self
+    }
+
+    /// Adds a ground-truth object marker (filled circle).
+    pub fn object(mut self, p: Point, label: impl Into<String>) -> Self {
+        self.objects.push((p, label.into()));
+        self
+    }
+
+    /// Adds an estimate marker (cross).
+    pub fn estimate(mut self, p: Point, label: impl Into<String>) -> Self {
+        self.estimates.push((p, label.into()));
+        self
+    }
+
+    /// Adds a translucent region overlay (e.g. the feasible polygon).
+    pub fn region(mut self, polygon: Polygon) -> Self {
+        self.regions.push(polygon);
+        self
+    }
+
+    /// Renders the scene to an SVG document string.
+    pub fn render(&self) -> String {
+        let (min, max) = self.plan.boundary().bounding_box();
+        let w = (max.x - min.x) * SCALE + 2.0 * MARGIN;
+        let h = (max.y - min.y) * SCALE + 2.0 * MARGIN;
+        // SVG y grows downward; flip so the venue reads like the paper's
+        // plan view.
+        let tx = |p: Point| MARGIN + (p.x - min.x) * SCALE;
+        let ty = |p: Point| MARGIN + (max.y - p.y) * SCALE;
+
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+        );
+        s.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+        // Boundary.
+        s.push_str(&polygon_path(
+            self.plan.boundary(),
+            &tx,
+            &ty,
+            "none",
+            "#333",
+            2.0,
+        ));
+        // Obstacles.
+        for ob in self.plan.obstacles() {
+            s.push_str(&polygon_path(&ob.shape, &tx, &ty, "#ccc", "#888", 1.0));
+        }
+        // Walls.
+        for wall in self.plan.walls() {
+            let (a, b) = (wall.segment.a, wall.segment.b);
+            let _ = write!(
+                s,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#555" stroke-width="3"/>"##,
+                tx(a),
+                ty(a),
+                tx(b),
+                ty(b)
+            );
+        }
+        // Regions (under markers).
+        for region in &self.regions {
+            s.push_str(&polygon_path(region, &tx, &ty, "#9ecae144", "#3182bd", 1.0));
+        }
+        // APs.
+        for (p, label) in &self.aps {
+            let (x, y) = (tx(*p), ty(*p));
+            let _ = write!(
+                s,
+                r##"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="#d95f02"/>"##,
+                x,
+                y - 7.0,
+                x - 6.0,
+                y + 5.0,
+                x + 6.0,
+                y + 5.0
+            );
+            s.push_str(&text(x + 8.0, y, label));
+        }
+        // Objects.
+        for (p, label) in &self.objects {
+            let (x, y) = (tx(*p), ty(*p));
+            let _ = write!(
+                s,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="5" fill="#1b9e77"/>"##
+            );
+            s.push_str(&text(x + 8.0, y, label));
+        }
+        // Estimates.
+        for (p, label) in &self.estimates {
+            let (x, y) = (tx(*p), ty(*p));
+            let _ = write!(
+                s,
+                r##"<path d="M {x0:.1} {y0:.1} L {x1:.1} {y1:.1} M {x0:.1} {y1:.1} L {x1:.1} {y0:.1}" stroke="#7570b3" stroke-width="2.5" fill="none"/>"##,
+                x0 = x - 5.0,
+                y0 = y - 5.0,
+                x1 = x + 5.0,
+                y1 = y + 5.0,
+            );
+            s.push_str(&text(x + 8.0, y, label));
+        }
+        s.push_str("</svg>");
+        s
+    }
+}
+
+fn polygon_path(
+    polygon: &Polygon,
+    tx: &impl Fn(Point) -> f64,
+    ty: &impl Fn(Point) -> f64,
+    fill: &str,
+    stroke: &str,
+    width: f64,
+) -> String {
+    let mut d = String::new();
+    for (i, v) in polygon.vertices().iter().enumerate() {
+        let _ = write!(
+            d,
+            "{}{:.1},{:.1} ",
+            if i == 0 { "M " } else { "L " },
+            tx(*v),
+            ty(*v)
+        );
+    }
+    d.push('Z');
+    format!(r#"<path d="{d}" fill="{fill}" stroke="{stroke}" stroke-width="{width}"/>"#)
+}
+
+fn text(x: f64, y: f64, label: &str) -> String {
+    if label.is_empty() {
+        return String::new();
+    }
+    format!(
+        r##"<text x="{x:.1}" y="{y:.1}" font-family="sans-serif" font-size="11" fill="#222">{}</text>"##,
+        escape(label)
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders one or more labelled CDFs as an SVG line chart (the Fig. 9/10
+/// presentation).
+///
+/// Returns `None` when `curves` is empty.
+pub fn cdf_chart(title: &str, curves: &[(&str, &Ecdf)]) -> Option<String> {
+    if curves.is_empty() {
+        return None;
+    }
+    const W: f64 = 480.0;
+    const H: f64 = 320.0;
+    const L: f64 = 50.0; // left axis margin
+    const B: f64 = 40.0; // bottom axis margin
+    const T: f64 = 30.0;
+    const R: f64 = 20.0;
+    let palette = ["#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e", "#e6ab02"];
+
+    let x_max = curves
+        .iter()
+        .flat_map(|(_, c)| c.sorted_values().last().copied())
+        .fold(1.0f64, f64::max);
+
+    let px = |v: f64| L + v / x_max * (W - L - R);
+    let py = |q: f64| H - B - q * (H - B - T);
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W:.0}" height="{H:.0}" viewBox="0 0 {W:.0} {H:.0}">"#
+    );
+    s.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = write!(
+        s,
+        r##"<text x="{:.0}" y="18" font-family="sans-serif" font-size="13" fill="#111">{}</text>"##,
+        L,
+        escape(title)
+    );
+    // Axes.
+    let _ = write!(
+        s,
+        r##"<line x1="{L}" y1="{}" x2="{}" y2="{}" stroke="#333"/><line x1="{L}" y1="{T}" x2="{L}" y2="{}" stroke="#333"/>"##,
+        H - B,
+        W - R,
+        H - B,
+        H - B
+    );
+    // X ticks at quarters.
+    for k in 0..=4 {
+        let v = x_max * k as f64 / 4.0;
+        let x = px(v);
+        let _ = write!(
+            s,
+            r##"<line x1="{x:.1}" y1="{}" x2="{x:.1}" y2="{}" stroke="#333"/><text x="{x:.1}" y="{}" font-family="sans-serif" font-size="10" text-anchor="middle" fill="#333">{v:.1}</text>"##,
+            H - B,
+            H - B + 4.0,
+            H - B + 16.0
+        );
+    }
+    // Y ticks.
+    for k in 0..=4 {
+        let q = k as f64 / 4.0;
+        let y = py(q);
+        let _ = write!(
+            s,
+            r##"<line x1="{}" y1="{y:.1}" x2="{L}" y2="{y:.1}" stroke="#333"/><text x="{}" y="{y:.1}" font-family="sans-serif" font-size="10" text-anchor="end" fill="#333">{q:.2}</text>"##,
+            L - 4.0,
+            L - 7.0
+        );
+    }
+    // Curves: staircase polylines from (0, 0).
+    for (i, (label, cdf)) in curves.iter().enumerate() {
+        let color = palette[i % palette.len()];
+        let mut d = format!("M {:.1} {:.1} ", px(0.0), py(0.0));
+        let mut prev_q = 0.0;
+        for (v, q) in cdf.series() {
+            let _ = write!(d, "L {:.1} {:.1} ", px(v), py(prev_q));
+            let _ = write!(d, "L {:.1} {:.1} ", px(v), py(q));
+            prev_q = q;
+        }
+        let _ = write!(d, "L {:.1} {:.1}", px(x_max), py(prev_q));
+        let _ = write!(
+            s,
+            r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="2"/>"#
+        );
+        // Legend entry.
+        let ly = T + 14.0 * i as f64;
+        let _ = write!(
+            s,
+            r##"<line x1="{}" y1="{ly:.1}" x2="{}" y2="{ly:.1}" stroke="{color}" stroke-width="3"/><text x="{}" y="{:.1}" font-family="sans-serif" font-size="11" fill="#222">{}</text>"##,
+            W - R - 120.0,
+            W - R - 100.0,
+            W - R - 94.0,
+            ly + 4.0,
+            escape(label)
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        s,
+        r##"<text x="{:.0}" y="{:.0}" font-family="sans-serif" font-size="11" fill="#333">error (m)</text>"##,
+        (W - L) / 2.0,
+        H - 8.0
+    );
+    s.push_str("</svg>");
+    Some(s)
+}
+
+/// Writes `svg` to `<dir>/<name>.svg` when the directory exists.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_svg(dir: &std::path::Path, name: &str, svg: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{name}.svg")), svg)
+}
+
+/// The directory named by `NOMLOC_SVG_DIR`, when set and non-empty.
+pub fn svg_dir_from_env() -> Option<std::path::PathBuf> {
+    std::env::var("NOMLOC_SVG_DIR")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map(std::path::PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomloc_geometry::Segment;
+    use nomloc_rfsim::Material;
+
+    fn plan() -> FloorPlan {
+        FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(12.0, 8.0),
+        ))
+        .rect_obstacle(Point::new(2.0, 2.0), Point::new(3.0, 3.0), Material::WOOD)
+        .wall(
+            Segment::new(Point::new(6.0, 0.0), Point::new(6.0, 4.0)),
+            Material::DRYWALL,
+        )
+        .build()
+    }
+
+    #[test]
+    fn scene_contains_all_elements() {
+        let p = plan();
+        let svg = SceneBuilder::new(&p)
+            .ap(Point::new(1.0, 1.0), "AP1")
+            .ap(Point::new(11.0, 7.0), "AP2")
+            .object(Point::new(6.0, 6.0), "person")
+            .estimate(Point::new(6.5, 6.2), "est")
+            .region(Polygon::rectangle(Point::new(5.0, 5.0), Point::new(8.0, 7.0)))
+            .render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("AP1") && svg.contains("AP2"));
+        assert!(svg.contains("person") && svg.contains("est"));
+        assert_eq!(svg.matches("<polygon").count(), 2, "two AP triangles");
+        assert_eq!(svg.matches("<circle").count(), 1);
+        // boundary + obstacle + region paths + estimate cross.
+        assert!(svg.matches("<path").count() >= 4);
+        assert!(svg.contains("<line"), "wall rendered");
+    }
+
+    #[test]
+    fn scene_flips_y_axis() {
+        // A point at the venue's top edge must render *above* (smaller y
+        // than) a bottom-edge point.
+        let p = plan();
+        let svg_top = SceneBuilder::new(&p).object(Point::new(6.0, 8.0), "").render();
+        let svg_bottom = SceneBuilder::new(&p).object(Point::new(6.0, 0.0), "").render();
+        let cy = |s: &str| -> f64 {
+            let i = s.find("cy=\"").unwrap() + 4;
+            s[i..].split('"').next().unwrap().parse().unwrap()
+        };
+        assert!(cy(&svg_top) < cy(&svg_bottom));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let p = plan();
+        let svg = SceneBuilder::new(&p).object(Point::new(1.0, 1.0), "<&>").render();
+        assert!(svg.contains("&lt;&amp;&gt;"));
+        assert!(!svg.contains("<&>"));
+    }
+
+    #[test]
+    fn cdf_chart_structure() {
+        let a = Ecdf::new(vec![0.5, 1.0, 1.5, 2.5]).unwrap();
+        let b = Ecdf::new(vec![1.0, 2.0, 3.0, 4.5]).unwrap();
+        let svg = cdf_chart("Fig. 9(a) — Lab", &[("static", &b), ("nomadic", &a)]).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("static") && svg.contains("nomadic"));
+        assert!(svg.contains("Fig. 9(a)"));
+        // Two curve paths (plus no fill paths beyond curves).
+        assert!(svg.matches(r##"fill="none" stroke="#"##).count() >= 2);
+        assert!(cdf_chart("empty", &[]).is_none());
+    }
+
+    #[test]
+    fn write_svg_round_trip() {
+        let dir = std::env::temp_dir().join("nomloc_report_test");
+        write_svg(&dir, "scene", "<svg></svg>").unwrap();
+        let content = std::fs::read_to_string(dir.join("scene.svg")).unwrap();
+        assert_eq!(content, "<svg></svg>");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn env_dir_detection() {
+        std::env::remove_var("NOMLOC_SVG_DIR");
+        assert!(svg_dir_from_env().is_none());
+        std::env::set_var("NOMLOC_SVG_DIR", "/tmp/x");
+        assert_eq!(
+            svg_dir_from_env(),
+            Some(std::path::PathBuf::from("/tmp/x"))
+        );
+        std::env::remove_var("NOMLOC_SVG_DIR");
+    }
+}

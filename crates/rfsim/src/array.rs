@@ -1,0 +1,154 @@
+//! Receive antenna arrays.
+//!
+//! The Intel 5300 NIC of the paper's testbed reports CSI for up to three
+//! receive antennas; spatially separated elements see independently faded
+//! multipath, and selection combining across them stabilizes the PDP.
+//! [`AntennaArray`] models a uniform linear array around an AP's nominal
+//! position.
+
+use crate::pathloss::SPEED_OF_LIGHT;
+use nomloc_geometry::{Point, Vec2};
+
+/// A uniform linear antenna array centred on an AP position.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_geometry::Point;
+/// use nomloc_rfsim::AntennaArray;
+///
+/// // The Intel 5300's three λ/2-spaced receive chains at 2.437 GHz.
+/// let array = AntennaArray::half_wavelength(Point::new(3.0, 2.0), 3, 2.437e9);
+/// assert_eq!(array.positions().len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AntennaArray {
+    center: Point,
+    count: usize,
+    spacing: f64,
+    orientation: Vec2,
+}
+
+impl AntennaArray {
+    /// A single antenna at `center` (no array gain).
+    pub fn single(center: Point) -> Self {
+        AntennaArray {
+            center,
+            count: 1,
+            spacing: 0.0,
+            orientation: Vec2::new(1.0, 0.0),
+        }
+    }
+
+    /// A uniform linear array of `count` elements spaced `spacing` metres
+    /// along `orientation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count == 0`, `spacing` is negative/non-finite, or the
+    /// orientation is a (near-)zero vector.
+    pub fn linear(center: Point, count: usize, spacing: f64, orientation: Vec2) -> Self {
+        assert!(count >= 1, "array needs at least one element");
+        assert!(
+            spacing >= 0.0 && spacing.is_finite(),
+            "element spacing must be ≥ 0"
+        );
+        let orientation = orientation
+            .normalized()
+            .expect("array orientation must be non-zero");
+        AntennaArray {
+            center,
+            count,
+            spacing,
+            orientation,
+        }
+    }
+
+    /// The standard λ/2-spaced array at `carrier_hz` (three elements by
+    /// default, like the Intel 5300).
+    pub fn half_wavelength(center: Point, count: usize, carrier_hz: f64) -> Self {
+        let lambda = SPEED_OF_LIGHT / carrier_hz;
+        AntennaArray::linear(center, count, lambda / 2.0, Vec2::new(1.0, 0.0))
+    }
+
+    /// Nominal (center) position.
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` only for a zero-element array, which cannot be constructed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Element positions, centred on the array center.
+    pub fn positions(&self) -> Vec<Point> {
+        let half_span = (self.count - 1) as f64 * self.spacing / 2.0;
+        (0..self.count)
+            .map(|k| {
+                self.center + self.orientation * (k as f64 * self.spacing - half_span)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element_at_center() {
+        let a = AntennaArray::single(Point::new(3.0, 4.0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.positions(), vec![Point::new(3.0, 4.0)]);
+    }
+
+    #[test]
+    fn linear_array_is_centred_and_spaced() {
+        let a = AntennaArray::linear(Point::new(0.0, 0.0), 3, 0.06, Vec2::new(1.0, 0.0));
+        let p = a.positions();
+        assert_eq!(p.len(), 3);
+        assert!(p[0].distance(Point::new(-0.06, 0.0)) < 1e-12);
+        assert!(p[1].distance(Point::new(0.0, 0.0)) < 1e-12);
+        assert!(p[2].distance(Point::new(0.06, 0.0)) < 1e-12);
+        // Mean of elements is the center.
+        let mean = Point::new(
+            p.iter().map(|q| q.x).sum::<f64>() / 3.0,
+            p.iter().map(|q| q.y).sum::<f64>() / 3.0,
+        );
+        assert!(mean.distance(a.center()) < 1e-12);
+    }
+
+    #[test]
+    fn half_wavelength_spacing_at_2_4ghz() {
+        let a = AntennaArray::half_wavelength(Point::ORIGIN, 3, 2.437e9);
+        let p = a.positions();
+        let spacing = p[0].distance(p[1]);
+        assert!((spacing - 0.0615).abs() < 0.001, "spacing {spacing}");
+    }
+
+    #[test]
+    fn orientation_is_normalized() {
+        let a = AntennaArray::linear(Point::ORIGIN, 2, 1.0, Vec2::new(0.0, 5.0));
+        let p = a.positions();
+        assert!((p[1].y - p[0].y - 1.0).abs() < 1e-12);
+        assert!((p[1].x - p[0].x).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn rejects_empty_array() {
+        let _ = AntennaArray::linear(Point::ORIGIN, 0, 0.1, Vec2::new(1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "orientation")]
+    fn rejects_zero_orientation() {
+        let _ = AntennaArray::linear(Point::ORIGIN, 2, 0.1, Vec2::ZERO);
+    }
+}

@@ -1,0 +1,220 @@
+//! Channel state information: subcarrier grids and snapshots.
+
+use nomloc_dsp::Complex;
+
+/// The set of subcarrier frequency offsets a NIC reports CSI on.
+///
+/// Offsets are relative to the carrier, in Hz, ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubcarrierGrid {
+    offsets_hz: Vec<f64>,
+}
+
+/// 802.11n 20 MHz subcarrier spacing, Hz.
+pub const SUBCARRIER_SPACING_HZ: f64 = 312_500.0;
+
+impl SubcarrierGrid {
+    /// Grid from explicit offsets (must be ascending and finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offsets_hz` is empty, non-finite, or not strictly
+    /// ascending.
+    pub fn new(offsets_hz: Vec<f64>) -> Self {
+        assert!(!offsets_hz.is_empty(), "grid must have subcarriers");
+        assert!(
+            offsets_hz.iter().all(|f| f.is_finite()),
+            "offsets must be finite"
+        );
+        assert!(
+            offsets_hz.windows(2).all(|w| w[0] < w[1]),
+            "offsets must be strictly ascending"
+        );
+        SubcarrierGrid { offsets_hz }
+    }
+
+    /// The 30 grouped subcarriers the Intel 5300 CSI tool exports for a
+    /// 20 MHz channel (every other data subcarrier, plus the band edges).
+    pub fn intel5300() -> Self {
+        let indices: [i32; 30] = [
+            -28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1, 1, 3, 5, 7, 9,
+            11, 13, 15, 17, 19, 21, 23, 25, 27, 28,
+        ];
+        SubcarrierGrid::new(
+            indices
+                .iter()
+                .map(|&i| i as f64 * SUBCARRIER_SPACING_HZ)
+                .collect(),
+        )
+    }
+
+    /// All 56 occupied subcarriers of a 20 MHz 802.11n channel
+    /// (±1…±28, DC excluded).
+    pub fn full_80211n_20mhz() -> Self {
+        let mut idx: Vec<i32> = (-28..=28).filter(|&i| i != 0).collect();
+        idx.sort_unstable();
+        SubcarrierGrid::new(
+            idx.iter()
+                .map(|&i| i as f64 * SUBCARRIER_SPACING_HZ)
+                .collect(),
+        )
+    }
+
+    /// All 114 occupied subcarriers of a 40 MHz 802.11n channel
+    /// (±2…±58, DC region excluded) — doubles the delay resolution of the
+    /// CSI→CIR transform.
+    pub fn full_80211n_40mhz() -> Self {
+        let mut idx: Vec<i32> = (-58..=58).filter(|&i: &i32| i.abs() >= 2).collect();
+        idx.sort_unstable();
+        SubcarrierGrid::new(
+            idx.iter()
+                .map(|&i| i as f64 * SUBCARRIER_SPACING_HZ)
+                .collect(),
+        )
+    }
+
+    /// A coarse 8-subcarrier pilot-only grid over 20 MHz — what an
+    /// OFDM receiver could glean from pilots alone, for the granularity
+    /// ablation.
+    pub fn pilots_8() -> Self {
+        let idx: [i32; 8] = [-28, -20, -12, -4, 4, 12, 20, 28];
+        SubcarrierGrid::new(
+            idx.iter()
+                .map(|&i| i as f64 * SUBCARRIER_SPACING_HZ)
+                .collect(),
+        )
+    }
+
+    /// Subcarrier offsets from the carrier, Hz.
+    pub fn offsets_hz(&self) -> &[f64] {
+        &self.offsets_hz
+    }
+
+    /// Number of subcarriers.
+    pub fn len(&self) -> usize {
+        self.offsets_hz.len()
+    }
+
+    /// Always `false` post-construction.
+    pub fn is_empty(&self) -> bool {
+        self.offsets_hz.is_empty()
+    }
+
+    /// Occupied span from first to last subcarrier, Hz.
+    pub fn span_hz(&self) -> f64 {
+        self.offsets_hz[self.offsets_hz.len() - 1] - self.offsets_hz[0]
+    }
+
+    /// Mean spacing between adjacent subcarriers, Hz.
+    ///
+    /// The PDP estimator treats the grid as uniform at this spacing — the
+    /// same approximation CSI-based systems apply to the Intel 5300's
+    /// grouped subcarriers.
+    pub fn mean_spacing_hz(&self) -> f64 {
+        if self.offsets_hz.len() < 2 {
+            return SUBCARRIER_SPACING_HZ;
+        }
+        self.span_hz() / (self.offsets_hz.len() - 1) as f64
+    }
+}
+
+/// One CSI measurement: a complex channel coefficient per subcarrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsiSnapshot {
+    /// Channel coefficients, one per grid subcarrier.
+    pub h: Vec<Complex>,
+    /// The grid the coefficients were measured on.
+    pub grid: SubcarrierGrid,
+}
+
+impl CsiSnapshot {
+    /// Total measured power across subcarriers (Σ|h|²), linear.
+    pub fn total_power(&self) -> f64 {
+        self.h.iter().map(|z| z.norm_sq()).sum()
+    }
+
+    /// Mean per-subcarrier power, linear. The RSS a coarse receiver would
+    /// report for this packet.
+    pub fn mean_power(&self) -> f64 {
+        self.total_power() / self.h.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intel5300_has_30_subcarriers() {
+        let g = SubcarrierGrid::intel5300();
+        assert_eq!(g.len(), 30);
+        assert!((g.span_hz() - 56.0 * SUBCARRIER_SPACING_HZ).abs() < 1.0);
+        // The real Intel grouping is slightly asymmetric about DC
+        // (indices sum to +13).
+        let sum: f64 = g.offsets_hz().iter().sum();
+        assert!((sum - 13.0 * SUBCARRIER_SPACING_HZ).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_grid_has_56_subcarriers() {
+        let g = SubcarrierGrid::full_80211n_20mhz();
+        assert_eq!(g.len(), 56);
+        assert!(!g.offsets_hz().contains(&0.0));
+        assert!((g.mean_spacing_hz() - 56.0 * SUBCARRIER_SPACING_HZ / 55.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn offsets_strictly_ascending() {
+        for g in [
+            SubcarrierGrid::intel5300(),
+            SubcarrierGrid::full_80211n_20mhz(),
+            SubcarrierGrid::full_80211n_40mhz(),
+            SubcarrierGrid::pilots_8(),
+        ] {
+            assert!(g.offsets_hz().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn forty_mhz_grid_has_114_subcarriers() {
+        let g = SubcarrierGrid::full_80211n_40mhz();
+        assert_eq!(g.len(), 114);
+        assert!((g.span_hz() - 116.0 * SUBCARRIER_SPACING_HZ).abs() < 1.0);
+    }
+
+    #[test]
+    fn pilot_grid_is_sparse_but_spans_band() {
+        let g = SubcarrierGrid::pilots_8();
+        assert_eq!(g.len(), 8);
+        assert!((g.span_hz() - 56.0 * SUBCARRIER_SPACING_HZ).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_offsets() {
+        let _ = SubcarrierGrid::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have subcarriers")]
+    fn rejects_empty_grid() {
+        let _ = SubcarrierGrid::new(vec![]);
+    }
+
+    #[test]
+    fn snapshot_power() {
+        let grid = SubcarrierGrid::new(vec![0.0, 1.0]);
+        let snap = CsiSnapshot {
+            h: vec![Complex::new(3.0, 4.0), Complex::new(0.0, 2.0)],
+            grid,
+        };
+        assert!((snap.total_power() - 29.0).abs() < 1e-12);
+        assert!((snap.mean_power() - 14.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_subcarrier_spacing_fallback() {
+        let g = SubcarrierGrid::new(vec![0.0]);
+        assert_eq!(g.mean_spacing_hz(), SUBCARRIER_SPACING_HZ);
+    }
+}

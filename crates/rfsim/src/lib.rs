@@ -1,0 +1,279 @@
+//! Indoor RF propagation and 802.11n CSI simulation.
+//!
+//! The NomLoc paper evaluates on physical hardware: TL-WR941ND 802.11n
+//! routers as APs and an Intel 5300 NIC exporting per-subcarrier channel
+//! state information (CSI). Neither exists in a pure-Rust environment, so
+//! this crate is the substitution substrate: a physically grounded 2-D
+//! indoor propagation simulator producing the same artefact the NomLoc
+//! algorithms consume — a complex CSI vector per packet, shaped by
+//! line-of-sight, multipath reflections, and obstacle-induced NLOS.
+//!
+//! The model is an image-method ray tracer:
+//!
+//! * the **direct path** carries log-distance path loss plus the penetration
+//!   loss of every wall/obstacle it crosses (this is what makes a link
+//!   NLOS);
+//! * **specular reflections** up to second order are found by mirroring the
+//!   transmitter across wall segments (the same mirror operation NomLoc
+//!   itself uses for virtual APs);
+//! * **scattered paths** bounce off obstacle corners with a fixed
+//!   scattering penalty, supplying the dense low-power multipath tail of
+//!   real venues.
+//!
+//! Each path contributes `a·e^{jφ}·e^{−j2πfτ}` per subcarrier; per-packet
+//! noise, random common phase and sampling-time offset reproduce the
+//! measurement impairments of a real NIC.
+//!
+//! # Example
+//!
+//! ```
+//! use nomloc_geometry::{Point, Polygon};
+//! use nomloc_rfsim::{Environment, FloorPlan, RadioConfig, SubcarrierGrid};
+//! use rand::SeedableRng;
+//!
+//! let plan = FloorPlan::builder(Polygon::rectangle(
+//!     Point::new(0.0, 0.0),
+//!     Point::new(10.0, 8.0),
+//! ))
+//! .build();
+//! let env = Environment::new(plan, RadioConfig::default());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let csi = env.sample_csi(
+//!     Point::new(1.0, 1.0),
+//!     Point::new(9.0, 7.0),
+//!     &SubcarrierGrid::intel5300(),
+//!     &mut rng,
+//! );
+//! assert_eq!(csi.h.len(), 30);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod csi;
+mod material;
+mod pathloss;
+mod plan;
+mod trace;
+
+pub use array::AntennaArray;
+pub use csi::{CsiSnapshot, SubcarrierGrid};
+pub use material::Material;
+pub use pathloss::RadioConfig;
+pub use plan::{FloorPlan, FloorPlanBuilder, Obstacle, Wall};
+pub use trace::{LinkTrace, PropagationPath, PathKind};
+
+use nomloc_geometry::Point;
+use rand::Rng;
+
+/// A simulated radio environment: a floor plan plus radio parameters.
+///
+/// This is the top-level entry point; see the [crate docs](self) for the
+/// propagation model.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    plan: FloorPlan,
+    config: RadioConfig,
+}
+
+impl Environment {
+    /// Creates an environment from a floor plan and radio configuration.
+    pub fn new(plan: FloorPlan, config: RadioConfig) -> Self {
+        Environment { plan, config }
+    }
+
+    /// The floor plan.
+    pub fn plan(&self) -> &FloorPlan {
+        &self.plan
+    }
+
+    /// The radio configuration.
+    pub fn config(&self) -> &RadioConfig {
+        &self.config
+    }
+
+    /// Traces all propagation paths between `tx` and `rx`.
+    ///
+    /// Deterministic: all randomness lives in the per-packet sampling.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nomloc_geometry::{Point, Polygon};
+    /// use nomloc_rfsim::{Environment, FloorPlan, RadioConfig};
+    ///
+    /// let plan = FloorPlan::builder(Polygon::rectangle(
+    ///     Point::new(0.0, 0.0),
+    ///     Point::new(10.0, 6.0),
+    /// ))
+    /// .build();
+    /// let env = Environment::new(plan, RadioConfig::default());
+    /// let trace = env.trace(Point::new(1.0, 3.0), Point::new(9.0, 3.0));
+    /// assert!(trace.is_los());
+    /// assert!((trace.direct().unwrap().length - 8.0).abs() < 1e-9);
+    /// ```
+    pub fn trace(&self, tx: Point, rx: Point) -> LinkTrace {
+        trace::trace_link(&self.plan, &self.config, tx, rx)
+    }
+
+    /// Samples one noisy CSI snapshot for the `tx → rx` link.
+    pub fn sample_csi<R: Rng + ?Sized>(
+        &self,
+        tx: Point,
+        rx: Point,
+        grid: &SubcarrierGrid,
+        rng: &mut R,
+    ) -> CsiSnapshot {
+        self.trace(tx, rx).sample_csi(&self.config, grid, rng)
+    }
+
+    /// Samples `n` independent CSI snapshots (one per probe packet).
+    pub fn sample_csi_burst<R: Rng + ?Sized>(
+        &self,
+        tx: Point,
+        rx: Point,
+        grid: &SubcarrierGrid,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<CsiSnapshot> {
+        let trace = self.trace(tx, rx);
+        (0..n)
+            .map(|_| trace.sample_csi(&self.config, grid, rng))
+            .collect()
+    }
+
+    /// Samples a burst per receive-array element: `result[k]` holds the
+    /// `n` snapshots seen by antenna `k`. Each element gets its own ray
+    /// trace, so closely spaced antennas see correlated large-scale but
+    /// independently phased multipath — the spatial diversity the Intel
+    /// 5300's three receive chains provide.
+    pub fn sample_csi_array<R: Rng + ?Sized>(
+        &self,
+        tx: Point,
+        array: &AntennaArray,
+        grid: &SubcarrierGrid,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<CsiSnapshot>> {
+        array
+            .positions()
+            .into_iter()
+            .map(|rx| self.sample_csi_burst(tx, rx, grid, n, rng))
+            .collect()
+    }
+
+    /// Samples a noisy RSS measurement in dBm (log-normal shadowing plus
+    /// the deterministic multipath sum). This is what RSS-based baselines
+    /// see instead of CSI.
+    pub fn sample_rss_dbm<R: Rng + ?Sized>(&self, tx: Point, rx: Point, rng: &mut R) -> f64 {
+        let trace = self.trace(tx, rx);
+        trace.rss_dbm() + self.config.shadowing_sigma_db * gaussian(rng)
+    }
+
+    /// Returns `true` when the direct path is unobstructed.
+    pub fn is_los(&self, tx: Point, rx: Point) -> bool {
+        self.plan.obstruction_db(tx, rx) == 0.0
+    }
+}
+
+/// Standard-normal draw via Box–Muller (keeps `rand` the only RNG dep).
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomloc_geometry::Polygon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn open_room() -> Environment {
+        let plan = FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 10.0),
+        ))
+        .build();
+        Environment::new(plan, RadioConfig::default())
+    }
+
+    #[test]
+    fn closer_link_has_more_power() {
+        let env = open_room();
+        let tx = Point::new(1.0, 5.0);
+        let near = env.trace(tx, Point::new(3.0, 5.0)).rss_dbm();
+        let far = env.trace(tx, Point::new(18.0, 5.0)).rss_dbm();
+        assert!(near > far, "near {near} dBm vs far {far} dBm");
+    }
+
+    #[test]
+    fn los_in_empty_room() {
+        let env = open_room();
+        assert!(env.is_los(Point::new(1.0, 1.0), Point::new(19.0, 9.0)));
+    }
+
+    #[test]
+    fn wall_blocks_los() {
+        let plan = FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 10.0),
+        ))
+        .wall(
+            nomloc_geometry::Segment::new(Point::new(10.0, 0.0), Point::new(10.0, 10.0)),
+            Material::CONCRETE,
+        )
+        .build();
+        let env = Environment::new(plan, RadioConfig::default());
+        assert!(!env.is_los(Point::new(5.0, 5.0), Point::new(15.0, 5.0)));
+        assert!(env.is_los(Point::new(5.0, 5.0), Point::new(8.0, 5.0)));
+    }
+
+    #[test]
+    fn csi_burst_has_requested_size() {
+        let env = open_room();
+        let mut rng = StdRng::seed_from_u64(2);
+        let burst = env.sample_csi_burst(
+            Point::new(2.0, 2.0),
+            Point::new(12.0, 8.0),
+            &SubcarrierGrid::intel5300(),
+            5,
+            &mut rng,
+        );
+        assert_eq!(burst.len(), 5);
+        for snap in &burst {
+            assert_eq!(snap.h.len(), 30);
+            assert!(snap.h.iter().all(|z| z.is_finite()));
+        }
+    }
+
+    #[test]
+    fn rss_sampling_is_noisy_but_centered() {
+        let env = open_room();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tx = Point::new(2.0, 5.0);
+        let rx = Point::new(10.0, 5.0);
+        let clean = env.trace(tx, rx).rss_dbm();
+        let n = 4000;
+        let mean: f64 =
+            (0..n).map(|_| env.sample_rss_dbm(tx, rx, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - clean).abs() < 0.2, "mean {mean} vs clean {clean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

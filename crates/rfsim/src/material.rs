@@ -1,0 +1,127 @@
+//! Building materials and their RF properties.
+
+use std::fmt;
+
+/// RF properties of a wall or obstacle material.
+///
+/// Penetration values follow the commonly cited 2.4 GHz measurement
+/// literature (e.g. interior drywall ≈ 3 dB, brick/concrete ≈ 10–15 dB,
+/// metal ≈ 25+ dB); reflection losses are the complement — good penetrators
+/// reflect poorly and vice versa.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Attenuation applied to a ray crossing the material once, in dB.
+    pub penetration_db: f64,
+    /// Loss applied to a specular reflection off the material, in dB.
+    pub reflection_db: f64,
+}
+
+impl Material {
+    /// Poured concrete / brick structural wall.
+    pub const CONCRETE: Material = Material {
+        penetration_db: 13.0,
+        reflection_db: 8.0,
+    };
+
+    /// Interior drywall / plasterboard partition.
+    pub const DRYWALL: Material = Material {
+        penetration_db: 3.0,
+        reflection_db: 12.0,
+    };
+
+    /// Glass pane or glazed partition.
+    pub const GLASS: Material = Material {
+        penetration_db: 2.0,
+        reflection_db: 11.0,
+    };
+
+    /// Metal cabinet, server rack, or elevator door: near-opaque, highly
+    /// reflective.
+    pub const METAL: Material = Material {
+        penetration_db: 26.0,
+        reflection_db: 3.0,
+    };
+
+    /// Wooden furniture, doors, desks.
+    pub const WOOD: Material = Material {
+        penetration_db: 5.0,
+        reflection_db: 11.0,
+    };
+
+    /// Office cubicle partition (fabric over thin board).
+    pub const CUBICLE: Material = Material {
+        penetration_db: 4.0,
+        reflection_db: 14.0,
+    };
+
+    /// A human body (the nomadic-AP carrier, bystanders).
+    pub const HUMAN: Material = Material {
+        penetration_db: 8.0,
+        reflection_db: 7.0,
+    };
+
+    /// Creates a material from explicit penetration and reflection losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either loss is negative or non-finite.
+    pub fn new(penetration_db: f64, reflection_db: f64) -> Self {
+        assert!(
+            penetration_db >= 0.0 && penetration_db.is_finite(),
+            "penetration loss must be ≥ 0 dB"
+        );
+        assert!(
+            reflection_db >= 0.0 && reflection_db.is_finite(),
+            "reflection loss must be ≥ 0 dB"
+        );
+        Material {
+            penetration_db,
+            reflection_db,
+        }
+    }
+}
+
+impl fmt::Display for Material {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Material(pen {:.1} dB, refl {:.1} dB)",
+            self.penetration_db, self.reflection_db
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the orderings ARE the spec
+    fn presets_are_ordered_sensibly() {
+        // Metal blocks more than concrete, which blocks more than drywall.
+        assert!(Material::METAL.penetration_db > Material::CONCRETE.penetration_db);
+        assert!(Material::CONCRETE.penetration_db > Material::DRYWALL.penetration_db);
+        // Metal reflects better (loses less) than drywall.
+        assert!(Material::METAL.reflection_db < Material::DRYWALL.reflection_db);
+    }
+
+    #[test]
+    fn custom_material() {
+        let m = Material::new(7.5, 6.0);
+        assert_eq!(m.penetration_db, 7.5);
+        assert_eq!(m.reflection_db, 6.0);
+        assert!(format!("{m}").contains("7.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "penetration loss")]
+    fn rejects_negative_penetration() {
+        let _ = Material::new(-1.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reflection loss")]
+    fn rejects_nan_reflection() {
+        let _ = Material::new(1.0, f64::NAN);
+    }
+}

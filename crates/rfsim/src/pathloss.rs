@@ -1,0 +1,158 @@
+//! Radio parameters and large-scale path loss.
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Radio-layer configuration of the simulated 802.11n system.
+///
+/// Defaults model the paper's testbed: 2.4 GHz band (channel 6), 20 MHz
+/// bandwidth, consumer-router transmit power, and typical indoor clutter
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioConfig {
+    /// Carrier frequency, Hz.
+    pub carrier_hz: f64,
+    /// Channel bandwidth, Hz.
+    pub bandwidth_hz: f64,
+    /// Transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Total in-band noise power at the receiver, dBm (thermal + NF).
+    pub noise_floor_dbm: f64,
+    /// Log-distance path-loss exponent (2.0 = free space).
+    pub path_loss_exponent: f64,
+    /// Maximum specular reflection order traced (0, 1, or 2).
+    pub reflection_order: u8,
+    /// Extra loss applied to corner-scattered paths, dB.
+    pub scatter_loss_db: f64,
+    /// Log-normal shadowing standard deviation for RSS sampling, dB.
+    pub shadowing_sigma_db: f64,
+    /// Maximum sampling-time offset per packet, seconds (uniform draw).
+    pub sto_max_s: f64,
+    /// Per-packet Gaussian phase jitter applied to each *bounced* path,
+    /// radians per bounce. Models centimetre-scale motion of the device
+    /// carrier and ambient people between packets, which decorrelates the
+    /// reflection phases while leaving the direct path stable.
+    pub bounce_phase_jitter_rad: f64,
+    /// Paths weaker than the strongest by more than this are dropped, dB.
+    pub path_dynamic_range_db: f64,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            carrier_hz: 2.437e9, // 802.11 channel 6
+            bandwidth_hz: 20e6,
+            tx_power_dbm: 15.0,
+            noise_floor_dbm: -92.0,
+            path_loss_exponent: 2.0,
+            reflection_order: 2,
+            scatter_loss_db: 25.0,
+            shadowing_sigma_db: 2.5,
+            sto_max_s: 20e-9,
+            bounce_phase_jitter_rad: 1.2,
+            path_dynamic_range_db: 45.0,
+        }
+    }
+}
+
+impl RadioConfig {
+    /// Carrier wavelength, metres.
+    pub fn wavelength(&self) -> f64 {
+        SPEED_OF_LIGHT / self.carrier_hz
+    }
+
+    /// Log-distance path loss at `distance` metres, in dB.
+    ///
+    /// `PL(d) = PL(1 m) + 10·n·log₁₀(d)`, with the 1 m intercept taken from
+    /// free space (Friis). Distances below 10 cm are clamped to avoid the
+    /// near-field singularity.
+    pub fn path_loss_db(&self, distance: f64) -> f64 {
+        let d = distance.max(0.1);
+        let fspl_1m = 20.0 * (4.0 * std::f64::consts::PI / self.wavelength()).log10();
+        fspl_1m + 10.0 * self.path_loss_exponent * d.log10()
+    }
+
+    /// Linear field amplitude (√mW) of a path with `total_loss_db` of
+    /// path + penetration + reflection loss.
+    pub fn amplitude(&self, total_loss_db: f64) -> f64 {
+        10f64.powf((self.tx_power_dbm - total_loss_db) / 20.0)
+    }
+
+    /// Received SNR in dB for a given received power.
+    pub fn snr_db(&self, rx_power_dbm: f64) -> f64 {
+        rx_power_dbm - self.noise_floor_dbm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_at_2_4ghz() {
+        let c = RadioConfig::default();
+        assert!((c.wavelength() - 0.123).abs() < 0.001, "{}", c.wavelength());
+    }
+
+    #[test]
+    fn free_space_path_loss_reference_values() {
+        let c = RadioConfig::default();
+        // FSPL at 1 m / 2.437 GHz ≈ 40.2 dB.
+        assert!((c.path_loss_db(1.0) - 40.2).abs() < 0.3);
+        // +20 dB per decade at n = 2.
+        assert!((c.path_loss_db(10.0) - c.path_loss_db(1.0) - 20.0).abs() < 1e-9);
+        assert!((c.path_loss_db(100.0) - c.path_loss_db(10.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_loss_monotone_in_distance() {
+        let c = RadioConfig::default();
+        let mut prev = c.path_loss_db(0.5);
+        for d in [1.0, 2.0, 5.0, 10.0, 50.0] {
+            let pl = c.path_loss_db(d);
+            assert!(pl > prev);
+            prev = pl;
+        }
+    }
+
+    #[test]
+    fn near_field_clamped() {
+        let c = RadioConfig::default();
+        assert_eq!(c.path_loss_db(0.0), c.path_loss_db(0.1));
+        assert_eq!(c.path_loss_db(0.05), c.path_loss_db(0.1));
+    }
+
+    #[test]
+    fn higher_exponent_means_more_loss() {
+        let free = RadioConfig::default();
+        let cluttered = RadioConfig {
+            path_loss_exponent: 3.5,
+            ..RadioConfig::default()
+        };
+        assert!(cluttered.path_loss_db(10.0) > free.path_loss_db(10.0));
+        // Equal at the 1 m intercept.
+        assert!((cluttered.path_loss_db(1.0) - free.path_loss_db(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplitude_is_20db_per_decade() {
+        let c = RadioConfig::default();
+        let a = c.amplitude(60.0);
+        let b = c.amplitude(80.0);
+        assert!((a / b - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplitude_squared_is_power() {
+        let c = RadioConfig::default();
+        // 15 dBm TX − 55 dB loss = −40 dBm = 1e-4 mW.
+        let a = c.amplitude(55.0);
+        assert!((a * a - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snr_definition() {
+        let c = RadioConfig::default();
+        assert_eq!(c.snr_db(-62.0), 30.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Floor plans: boundaries, interior walls, and obstacles.
+
+use crate::Material;
+use nomloc_geometry::{Point, Polygon, Segment};
+
+/// An interior wall: a segment with a material.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wall {
+    /// Wall geometry.
+    pub segment: Segment,
+    /// Wall material (penetration + reflection losses).
+    pub material: Material,
+}
+
+/// A solid obstacle: a polygon with a material (desk clusters, racks,
+/// pillars, the "substantial equipments and office facilities" of the
+/// paper's Lab scenario).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Obstacle {
+    /// Obstacle footprint.
+    pub shape: Polygon,
+    /// Obstacle material.
+    pub material: Material,
+}
+
+/// A 2-D floor plan: the area-of-interest boundary plus interior clutter.
+///
+/// Construct via [`FloorPlan::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorPlan {
+    boundary: Polygon,
+    boundary_material: Material,
+    walls: Vec<Wall>,
+    obstacles: Vec<Obstacle>,
+}
+
+/// Builder for [`FloorPlan`].
+#[derive(Debug, Clone)]
+pub struct FloorPlanBuilder {
+    plan: FloorPlan,
+}
+
+impl FloorPlan {
+    /// Starts building a plan with the given boundary polygon.
+    ///
+    /// The boundary material defaults to [`Material::CONCRETE`].
+    pub fn builder(boundary: Polygon) -> FloorPlanBuilder {
+        FloorPlanBuilder {
+            plan: FloorPlan {
+                boundary,
+                boundary_material: Material::CONCRETE,
+                walls: Vec::new(),
+                obstacles: Vec::new(),
+            },
+        }
+    }
+
+    /// The area-of-interest boundary.
+    pub fn boundary(&self) -> &Polygon {
+        &self.boundary
+    }
+
+    /// Interior walls.
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// Obstacles.
+    pub fn obstacles(&self) -> &[Obstacle] {
+        &self.obstacles
+    }
+
+    /// All reflective surfaces: boundary edges, interior walls, and
+    /// obstacle edges, each with its material.
+    pub fn reflective_surfaces(&self) -> Vec<(Segment, Material)> {
+        let mut out: Vec<(Segment, Material)> = self
+            .boundary
+            .edges()
+            .map(|e| (e, self.boundary_material))
+            .collect();
+        out.extend(self.walls.iter().map(|w| (w.segment, w.material)));
+        for ob in &self.obstacles {
+            out.extend(ob.shape.edges().map(|e| (e, ob.material)));
+        }
+        out
+    }
+
+    /// Total penetration loss, in dB, accumulated by a ray from `a` to `b`
+    /// crossing interior walls and obstacle edges.
+    ///
+    /// Zero means the path is line-of-sight. The boundary itself does not
+    /// attenuate (both endpoints are assumed inside).
+    pub fn obstruction_db(&self, a: Point, b: Point) -> f64 {
+        let ray = Segment::new(a, b);
+        let mut loss = 0.0;
+        for w in &self.walls {
+            if ray.intersects(&w.segment) {
+                loss += w.material.penetration_db;
+            }
+        }
+        for ob in &self.obstacles {
+            // Each edge crossing is one air/material interface; a full
+            // traversal crosses two, so charge half the penetration loss
+            // per crossing. Rays ending inside the obstacle get one.
+            let crossings = ob.shape.edges().filter(|e| ray.intersects(e)).count();
+            loss += ob.material.penetration_db * crossings as f64 / 2.0;
+        }
+        loss
+    }
+
+    /// Returns `true` when the segment `a → b` has no obstruction.
+    pub fn is_los(&self, a: Point, b: Point) -> bool {
+        self.obstruction_db(a, b) == 0.0
+    }
+
+    /// Returns `true` when `p` lies inside the boundary and outside every
+    /// obstacle — a legal position for an AP or an object.
+    pub fn is_placeable(&self, p: Point) -> bool {
+        self.boundary.contains(p) && !self.obstacles.iter().any(|o| o.shape.contains(p))
+    }
+
+    /// A copy of the plan with one more obstacle — used for transient
+    /// clutter such as the human body carrying a nomadic AP.
+    pub fn with_obstacle(&self, shape: Polygon, material: Material) -> FloorPlan {
+        let mut plan = self.clone();
+        plan.obstacles.push(Obstacle { shape, material });
+        plan
+    }
+
+    /// Copy scaled by `factor` about `origin` — venue-size studies reuse a
+    /// layout at different physical scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not strictly positive and finite.
+    pub fn scaled(&self, origin: Point, factor: f64) -> FloorPlan {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive"
+        );
+        let scale_pt = |p: Point| origin + (p - origin) * factor;
+        FloorPlan {
+            boundary: self.boundary.scaled(origin, factor),
+            boundary_material: self.boundary_material,
+            walls: self
+                .walls
+                .iter()
+                .map(|w| Wall {
+                    segment: Segment::new(scale_pt(w.segment.a), scale_pt(w.segment.b)),
+                    material: w.material,
+                })
+                .collect(),
+            obstacles: self
+                .obstacles
+                .iter()
+                .map(|o| Obstacle {
+                    shape: o.shape.scaled(origin, factor),
+                    material: o.material,
+                })
+                .collect(),
+        }
+    }
+
+    /// Scatter points: obstacle corners, where diffuse multipath
+    /// originates.
+    pub fn scatterers(&self) -> Vec<Point> {
+        self.obstacles
+            .iter()
+            .flat_map(|o| o.shape.vertices().iter().copied())
+            .collect()
+    }
+}
+
+impl FloorPlanBuilder {
+    /// Sets the boundary wall material (default concrete).
+    pub fn boundary_material(mut self, material: Material) -> Self {
+        self.plan.boundary_material = material;
+        self
+    }
+
+    /// Adds an interior wall.
+    pub fn wall(mut self, segment: Segment, material: Material) -> Self {
+        self.plan.walls.push(Wall { segment, material });
+        self
+    }
+
+    /// Adds an obstacle.
+    pub fn obstacle(mut self, shape: Polygon, material: Material) -> Self {
+        self.plan.obstacles.push(Obstacle { shape, material });
+        self
+    }
+
+    /// Adds an axis-aligned rectangular obstacle.
+    pub fn rect_obstacle(self, min: Point, max: Point, material: Material) -> Self {
+        self.obstacle(Polygon::rectangle(min, max), material)
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> FloorPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn room() -> FloorPlan {
+        FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 10.0),
+        ))
+        .wall(
+            Segment::new(Point::new(5.0, 0.0), Point::new(5.0, 6.0)),
+            Material::DRYWALL,
+        )
+        .rect_obstacle(Point::new(7.0, 7.0), Point::new(9.0, 9.0), Material::METAL)
+        .build()
+    }
+
+    #[test]
+    fn obstruction_through_wall() {
+        let plan = room();
+        let loss = plan.obstruction_db(Point::new(2.0, 3.0), Point::new(8.0, 3.0));
+        assert_eq!(loss, Material::DRYWALL.penetration_db);
+    }
+
+    #[test]
+    fn obstruction_above_wall_is_clear() {
+        let plan = room();
+        assert!(plan.is_los(Point::new(2.0, 8.0), Point::new(4.0, 8.0)));
+        assert_eq!(plan.obstruction_db(Point::new(2.0, 8.0), Point::new(4.0, 8.0)), 0.0);
+    }
+
+    #[test]
+    fn obstruction_through_obstacle_charges_two_crossings() {
+        let plan = room();
+        // Straight through the metal cabinet: two edge crossings = full
+        // penetration loss.
+        let loss = plan.obstruction_db(Point::new(6.0, 8.0), Point::new(9.5, 8.0));
+        assert_eq!(loss, Material::METAL.penetration_db);
+    }
+
+    #[test]
+    fn ray_ending_inside_obstacle_charges_one_crossing() {
+        let plan = room();
+        let loss = plan.obstruction_db(Point::new(6.0, 8.0), Point::new(8.0, 8.0));
+        assert_eq!(loss, Material::METAL.penetration_db / 2.0);
+    }
+
+    #[test]
+    fn combined_obstruction_accumulates() {
+        let plan = FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 10.0),
+        ))
+        .wall(
+            Segment::new(Point::new(3.0, 0.0), Point::new(3.0, 10.0)),
+            Material::DRYWALL,
+        )
+        .wall(
+            Segment::new(Point::new(6.0, 0.0), Point::new(6.0, 10.0)),
+            Material::GLASS,
+        )
+        .build();
+        let loss = plan.obstruction_db(Point::new(1.0, 5.0), Point::new(9.0, 5.0));
+        assert_eq!(
+            loss,
+            Material::DRYWALL.penetration_db + Material::GLASS.penetration_db
+        );
+    }
+
+    #[test]
+    fn placeability() {
+        let plan = room();
+        assert!(plan.is_placeable(Point::new(1.0, 1.0)));
+        assert!(!plan.is_placeable(Point::new(8.0, 8.0))); // inside cabinet
+        assert!(!plan.is_placeable(Point::new(15.0, 5.0))); // outside room
+    }
+
+    #[test]
+    fn reflective_surfaces_cover_everything() {
+        let plan = room();
+        // 4 boundary edges + 1 wall + 4 obstacle edges.
+        assert_eq!(plan.reflective_surfaces().len(), 9);
+    }
+
+    #[test]
+    fn scatterers_are_obstacle_corners() {
+        let plan = room();
+        let sc = plan.scatterers();
+        assert_eq!(sc.len(), 4);
+        assert!(sc.contains(&Point::new(7.0, 7.0)));
+    }
+
+    #[test]
+    fn with_obstacle_adds_transient_clutter() {
+        let base = room();
+        let n = base.obstacles().len();
+        let more = base.with_obstacle(
+            Polygon::rectangle(Point::new(1.0, 1.0), Point::new(1.4, 1.4)),
+            Material::HUMAN,
+        );
+        assert_eq!(more.obstacles().len(), n + 1);
+        assert_eq!(base.obstacles().len(), n, "original untouched");
+        assert!(!more.is_placeable(Point::new(1.2, 1.2)));
+    }
+
+    #[test]
+    fn scaled_plan_scales_everything() {
+        let plan = room().scaled(Point::ORIGIN, 2.0);
+        assert!((plan.boundary().area() - 400.0).abs() < 1e-9);
+        assert_eq!(plan.walls().len(), 1);
+        assert!((plan.walls()[0].segment.length() - 12.0).abs() < 1e-9);
+        assert!(!plan.is_placeable(Point::new(16.0, 16.0)), "obstacle scaled too");
+    }
+
+    #[test]
+    fn builder_boundary_material() {
+        let plan = FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 4.0),
+        ))
+        .boundary_material(Material::GLASS)
+        .build();
+        let surfaces = plan.reflective_surfaces();
+        assert!(surfaces.iter().all(|(_, m)| *m == Material::GLASS));
+    }
+}

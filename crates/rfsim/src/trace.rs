@@ -1,0 +1,499 @@
+//! Image-method multipath ray tracing.
+
+use crate::csi::{CsiSnapshot, SubcarrierGrid};
+use crate::pathloss::{RadioConfig, SPEED_OF_LIGHT};
+use crate::plan::FloorPlan;
+use nomloc_geometry::{Point, Segment};
+use nomloc_dsp::Complex;
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// Hard cap on traced paths per link, strongest first.
+const MAX_PATHS: usize = 64;
+
+/// How a propagation path reached the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// The straight TX→RX path (possibly obstructed).
+    Direct,
+    /// One specular bounce off a wall/boundary/obstacle face.
+    Reflection1,
+    /// Two specular bounces.
+    Reflection2,
+    /// Diffuse scattering off an obstacle corner.
+    Scatter,
+}
+
+/// One propagation path of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PropagationPath {
+    /// Path classification.
+    pub kind: PathKind,
+    /// Geometric length, metres.
+    pub length: f64,
+    /// Propagation delay, seconds.
+    pub delay: f64,
+    /// Field amplitude at the receiver (√mW).
+    pub amplitude: f64,
+    /// Carrier phase at the receiver, radians.
+    pub phase: f64,
+    /// Penetration loss accumulated along the path, dB (0 ⇒ unobstructed).
+    pub obstruction_db: f64,
+}
+
+impl PropagationPath {
+    /// Received power of this path, mW.
+    pub fn power_mw(&self) -> f64 {
+        self.amplitude * self.amplitude
+    }
+}
+
+/// All traced paths of one TX→RX link, strongest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkTrace {
+    paths: Vec<PropagationPath>,
+}
+
+impl LinkTrace {
+    /// The traced paths, sorted by descending amplitude.
+    pub fn paths(&self) -> &[PropagationPath] {
+        &self.paths
+    }
+
+    /// The direct path (present even when heavily obstructed, unless it
+    /// fell below the dynamic-range cut).
+    pub fn direct(&self) -> Option<&PropagationPath> {
+        self.paths.iter().find(|p| p.kind == PathKind::Direct)
+    }
+
+    /// `true` when the direct path exists and is unobstructed.
+    pub fn is_los(&self) -> bool {
+        self.direct().is_some_and(|p| p.obstruction_db == 0.0)
+    }
+
+    /// Total received power, dBm (coherent path powers, no noise).
+    pub fn rss_dbm(&self) -> f64 {
+        let total: f64 = self.paths.iter().map(|p| p.power_mw()).sum();
+        if total <= 0.0 {
+            -200.0
+        } else {
+            10.0 * total.log10()
+        }
+    }
+
+    /// Noiseless CSI over `grid`: `H(f) = Σ_p a_p·e^{jφ_p}·e^{−j2πfτ_p}`.
+    pub fn csi(&self, grid: &SubcarrierGrid) -> Vec<Complex> {
+        grid.offsets_hz()
+            .iter()
+            .map(|&f| {
+                self.paths
+                    .iter()
+                    .map(|p| Complex::from_polar(p.amplitude, p.phase - TAU * f * p.delay))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// One noisy CSI snapshot: per-packet impairments on top of the traced
+    /// paths — common phase, sampling-time offset, per-subcarrier AWGN,
+    /// and per-bounce phase jitter (centimetre-scale channel dynamics; the
+    /// direct path stays phase-stable, reflections decorrelate between
+    /// packets).
+    pub fn sample_csi<R: Rng + ?Sized>(
+        &self,
+        config: &RadioConfig,
+        grid: &SubcarrierGrid,
+        rng: &mut R,
+    ) -> CsiSnapshot {
+        // Draw one phase offset per path for this packet.
+        let jitters: Vec<f64> = self
+            .paths
+            .iter()
+            .map(|p| {
+                let bounces = match p.kind {
+                    PathKind::Direct => 0.0,
+                    PathKind::Reflection1 | PathKind::Scatter => 1.0,
+                    PathKind::Reflection2 => 2.0,
+                };
+                config.bounce_phase_jitter_rad * bounces * crate::gaussian(rng)
+            })
+            .collect();
+        let common = Complex::cis(rng.gen_range(0.0..TAU));
+        let sto = rng.gen_range(0.0..=config.sto_max_s.max(f64::MIN_POSITIVE));
+        // Per-subcarrier channel-estimation noise: the configured noise
+        // floor is interpreted as the effective per-subcarrier estimation
+        // noise power.
+        let sigma = (10f64.powf(config.noise_floor_dbm / 10.0) / 2.0).sqrt();
+        let h = grid
+            .offsets_hz()
+            .iter()
+            .map(|&f| {
+                let sum: Complex = self
+                    .paths
+                    .iter()
+                    .zip(&jitters)
+                    .map(|(p, &jit)| {
+                        Complex::from_polar(p.amplitude, p.phase + jit - TAU * f * p.delay)
+                    })
+                    .sum();
+                let ramp = Complex::cis(-TAU * f * sto);
+                let noise = Complex::new(
+                    sigma * crate::gaussian(rng),
+                    sigma * crate::gaussian(rng),
+                );
+                sum * common * ramp + noise
+            })
+            .collect();
+        CsiSnapshot {
+            h,
+            grid: grid.clone(),
+        }
+    }
+}
+
+/// Traces every modelled path of the `tx → rx` link.
+pub fn trace_link(plan: &FloorPlan, config: &RadioConfig, tx: Point, rx: Point) -> LinkTrace {
+    let mut paths = Vec::new();
+    let lambda = config.wavelength();
+
+    let mut push = |kind: PathKind, length: f64, extra_loss_db: f64, obstruction_db: f64| {
+        if length <= 0.0 || !length.is_finite() {
+            return;
+        }
+        let loss = config.path_loss_db(length) + extra_loss_db + obstruction_db;
+        let amplitude = config.amplitude(loss);
+        // Reflections flip the field sign (π shift) once per bounce; the
+        // kind encodes bounce parity.
+        let bounce_phase = match kind {
+            PathKind::Direct => 0.0,
+            PathKind::Reflection1 | PathKind::Scatter => std::f64::consts::PI,
+            PathKind::Reflection2 => 0.0,
+        };
+        let phase = (-TAU * length / lambda + bounce_phase).rem_euclid(TAU);
+        paths.push(PropagationPath {
+            kind,
+            length,
+            delay: length / SPEED_OF_LIGHT,
+            amplitude,
+            phase,
+            obstruction_db,
+        });
+    };
+
+    // Direct path.
+    push(
+        PathKind::Direct,
+        tx.distance(rx),
+        0.0,
+        plan.obstruction_db(tx, rx),
+    );
+
+    let surfaces = plan.reflective_surfaces();
+
+    // First-order reflections.
+    if config.reflection_order >= 1 {
+        for (seg, mat) in &surfaces {
+            if let Some((r, len)) = reflect_once(seg, tx, rx) {
+                let obstruction = plan.obstruction_db(tx, r) + plan.obstruction_db(r, rx);
+                push(PathKind::Reflection1, len, mat.reflection_db, obstruction);
+            }
+        }
+    }
+
+    // Second-order reflections.
+    if config.reflection_order >= 2 {
+        for (i, (s1, m1)) in surfaces.iter().enumerate() {
+            let Some(l1) = s1.line() else { continue };
+            let img1 = l1.mirror(tx);
+            for (j, (s2, m2)) in surfaces.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let Some(l2) = s2.line() else { continue };
+                let img2 = l2.mirror(img1);
+                // Unfold backwards: RX ← R2 ← R1 ← TX.
+                let Some(r2) = Segment::new(img2, rx).intersection_inclusive(s2) else {
+                    continue;
+                };
+                let Some(r1) = Segment::new(img1, r2).intersection_inclusive(s1) else {
+                    continue;
+                };
+                let len = tx.distance(r1) + r1.distance(r2) + r2.distance(rx);
+                let obstruction = plan.obstruction_db(tx, r1)
+                    + plan.obstruction_db(r1, r2)
+                    + plan.obstruction_db(r2, rx);
+                push(
+                    PathKind::Reflection2,
+                    len,
+                    m1.reflection_db + m2.reflection_db,
+                    obstruction,
+                );
+            }
+        }
+    }
+
+    // Corner scattering.
+    for v in plan.scatterers() {
+        let d1 = tx.distance(v);
+        let d2 = v.distance(rx);
+        if d1 < 1e-6 || d2 < 1e-6 {
+            continue;
+        }
+        let obstruction = plan.obstruction_db(tx, v) + plan.obstruction_db(v, rx);
+        push(
+            PathKind::Scatter,
+            d1 + d2,
+            config.scatter_loss_db,
+            obstruction,
+        );
+    }
+
+    // Prune: sort by amplitude, apply dynamic range and count caps.
+    paths.sort_by(|a, b| b.amplitude.total_cmp(&a.amplitude));
+    if let Some(strongest) = paths.first().map(|p| p.amplitude) {
+        let floor = strongest * 10f64.powf(-config.path_dynamic_range_db / 20.0);
+        paths.retain(|p| p.amplitude >= floor);
+    }
+    paths.truncate(MAX_PATHS);
+    LinkTrace { paths }
+}
+
+/// Finds the first-order specular reflection of `tx → seg → rx`.
+///
+/// Returns the reflection point and the unfolded path length.
+fn reflect_once(seg: &Segment, tx: Point, rx: Point) -> Option<(Point, f64)> {
+    let line = seg.line()?;
+    // TX and RX must be on the same side for a specular bounce.
+    let st = line.signed_distance(tx);
+    let sr = line.signed_distance(rx);
+    if st * sr <= 0.0 {
+        return None;
+    }
+    let image = line.mirror(tx);
+    let r = Segment::new(image, rx).intersection_inclusive(seg)?;
+    Some((r, image.distance(rx)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Material;
+    use nomloc_geometry::Polygon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn open_plan() -> FloorPlan {
+        FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 10.0),
+        ))
+        .build()
+    }
+
+    fn config() -> RadioConfig {
+        RadioConfig::default()
+    }
+
+    #[test]
+    fn direct_path_length_and_delay() {
+        let t = trace_link(&open_plan(), &config(), Point::new(1.0, 1.0), Point::new(4.0, 5.0));
+        let d = t.direct().unwrap();
+        assert!((d.length - 5.0).abs() < 1e-12);
+        assert!((d.delay - 5.0 / SPEED_OF_LIGHT).abs() < 1e-20);
+        assert_eq!(d.obstruction_db, 0.0);
+        assert!(t.is_los());
+    }
+
+    #[test]
+    fn direct_path_is_strongest_in_open_room() {
+        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 5.0), Point::new(10.0, 5.0));
+        assert_eq!(t.paths()[0].kind, PathKind::Direct);
+        assert!(t.paths().len() > 1, "reflections expected off the walls");
+    }
+
+    #[test]
+    fn first_order_reflection_geometry() {
+        // TX (2,2), RX (6,2) reflecting off the floor wall y=0: specular
+        // point at (4,0), length = 2·√(2²+2²)= 5.657.
+        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 2.0), Point::new(6.0, 2.0));
+        let expected = 2.0 * (2.0f64 * 2.0 + 2.0 * 2.0).sqrt();
+        let found = t
+            .paths()
+            .iter()
+            .any(|p| p.kind == PathKind::Reflection1 && (p.length - expected).abs() < 1e-9);
+        assert!(found, "floor bounce of length {expected} not traced");
+    }
+
+    #[test]
+    fn reflection_count_grows_with_order() {
+        let plan = open_plan();
+        let mut c0 = config();
+        c0.reflection_order = 0;
+        let mut c1 = config();
+        c1.reflection_order = 1;
+        let mut c2 = config();
+        c2.reflection_order = 2;
+        // Widen dynamic range so pruning doesn't mask the comparison.
+        for c in [&mut c0, &mut c1, &mut c2] {
+            c.path_dynamic_range_db = 120.0;
+        }
+        let tx = Point::new(3.0, 3.0);
+        let rx = Point::new(15.0, 7.0);
+        let n0 = trace_link(&plan, &c0, tx, rx).paths().len();
+        let n1 = trace_link(&plan, &c1, tx, rx).paths().len();
+        let n2 = trace_link(&plan, &c2, tx, rx).paths().len();
+        assert!(n0 < n1 && n1 < n2, "{n0} {n1} {n2}");
+        assert_eq!(n0, 1);
+    }
+
+    #[test]
+    fn second_order_reflection_geometry() {
+        // TX and RX midway between the floor (y = 0) and ceiling (y = 10)
+        // of a 20 × 10 room, 8 m apart. The floor–ceiling double bounce
+        // unfolds to a straight line in the twice-mirrored room: image of
+        // TX over floor then ceiling sits at (tx.x, 2·10 + (−tx.y)) =
+        // (6, 25)... simpler check: expected length = √(dx² + (2h)²) with
+        // h = 10 m for the floor→ceiling bounce from mid-height.
+        let tx = Point::new(6.0, 5.0);
+        let rx = Point::new(14.0, 5.0);
+        let mut c = config();
+        c.path_dynamic_range_db = 120.0;
+        let t = trace_link(&open_plan(), &c, tx, rx);
+        let expected = (8.0f64 * 8.0 + 20.0 * 20.0).sqrt();
+        let found = t.paths().iter().any(|p| {
+            p.kind == PathKind::Reflection2 && (p.length - expected).abs() < 1e-6
+        });
+        assert!(found, "floor–ceiling double bounce of length {expected:.3} missing");
+        // Side-wall double bounce (x = 0 then x = 20), both endpoints at
+        // the same height: 6 m to the left wall + 20 m across + 6 m back
+        // to RX = 32 m (image of TX over x=0 is (−6,5), re-mirrored over
+        // x=20 is (46,5); |46 − 14| = 32).
+        let side = 32.0f64;
+        let found_side = t.paths().iter().any(|p| {
+            p.kind == PathKind::Reflection2 && (p.length - side).abs() < 1e-6
+        });
+        assert!(found_side, "wall–wall double bounce of length {side} missing");
+    }
+
+    #[test]
+    fn nlos_attenuates_direct_path() {
+        let plan = FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 10.0),
+        ))
+        .wall(
+            Segment::new(Point::new(10.0, 0.0), Point::new(10.0, 10.0)),
+            Material::CONCRETE,
+        )
+        .build();
+        let tx = Point::new(5.0, 5.0);
+        let rx = Point::new(15.0, 5.0);
+        let blocked = trace_link(&plan, &config(), tx, rx);
+        let open = trace_link(&open_plan(), &config(), tx, rx);
+        assert!(!blocked.is_los());
+        assert!(open.is_los());
+        let d_blocked = blocked.direct().unwrap();
+        let d_open = open.direct().unwrap();
+        assert!(d_blocked.amplitude < d_open.amplitude);
+        // Exactly the concrete penetration loss apart.
+        let db = 20.0 * (d_open.amplitude / d_blocked.amplitude).log10();
+        assert!((db - Material::CONCRETE.penetration_db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nlos_peak_may_be_reflection() {
+        // Heavy obstruction on the direct path, clean bounce available:
+        // the strongest path is no longer the direct one — the Fig. 3
+        // dichotomy.
+        let plan = FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 10.0),
+        ))
+        .rect_obstacle(Point::new(9.0, 4.0), Point::new(11.0, 6.0), Material::METAL)
+        .build();
+        let t = trace_link(&plan, &config(), Point::new(5.0, 5.0), Point::new(15.0, 5.0));
+        assert_ne!(t.paths()[0].kind, PathKind::Direct);
+        assert!(!t.is_los());
+    }
+
+    #[test]
+    fn rss_decays_with_distance() {
+        let plan = open_plan();
+        let tx = Point::new(1.0, 5.0);
+        let mut prev = f64::INFINITY;
+        for d in [2.0, 5.0, 10.0, 18.0] {
+            let rss = trace_link(&plan, &config(), tx, Point::new(1.0 + d, 5.0)).rss_dbm();
+            assert!(rss < prev, "rss {rss} at {d} m not below {prev}");
+            prev = rss;
+        }
+    }
+
+    #[test]
+    fn rss_in_sane_dbm_range() {
+        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 5.0), Point::new(12.0, 5.0));
+        let rss = t.rss_dbm();
+        assert!((-90.0..0.0).contains(&rss), "rss {rss} dBm");
+    }
+
+    #[test]
+    fn csi_subcarrier_count_matches_grid() {
+        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 2.0), Point::new(9.0, 7.0));
+        assert_eq!(t.csi(&SubcarrierGrid::intel5300()).len(), 30);
+        assert_eq!(t.csi(&SubcarrierGrid::full_80211n_20mhz()).len(), 56);
+    }
+
+    #[test]
+    fn csi_energy_matches_path_power_roughly() {
+        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 2.0), Point::new(9.0, 7.0));
+        let grid = SubcarrierGrid::full_80211n_20mhz();
+        let h = t.csi(&grid);
+        let mean_sq: f64 = h.iter().map(|z| z.norm_sq()).sum::<f64>() / h.len() as f64;
+        let total: f64 = t.paths().iter().map(|p| p.power_mw()).sum();
+        // Frequency-selective fading moves per-subcarrier power around but
+        // the band average stays within a few dB of the path-power sum.
+        let ratio_db = 10.0 * (mean_sq / total).log10();
+        assert!(ratio_db.abs() < 6.0, "ratio {ratio_db} dB");
+    }
+
+    #[test]
+    fn sampled_csi_differs_per_packet_but_same_magnitude_scale() {
+        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 2.0), Point::new(12.0, 7.0));
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = t.sample_csi(&config(), &grid, &mut rng);
+        let b = t.sample_csi(&config(), &grid, &mut rng);
+        assert_ne!(a.h, b.h, "per-packet noise/phase must differ");
+        let pa: f64 = a.h.iter().map(|z| z.norm_sq()).sum();
+        let pb: f64 = b.h.iter().map(|z| z.norm_sq()).sum();
+        assert!((10.0 * (pa / pb).log10()).abs() < 3.0);
+    }
+
+    #[test]
+    fn dynamic_range_prunes_weak_paths() {
+        let mut tight = config();
+        tight.path_dynamic_range_db = 3.0;
+        let mut loose = config();
+        loose.path_dynamic_range_db = 100.0;
+        let tx = Point::new(3.0, 3.0);
+        let rx = Point::new(16.0, 8.0);
+        let nt = trace_link(&open_plan(), &tight, tx, rx).paths().len();
+        let nl = trace_link(&open_plan(), &loose, tx, rx).paths().len();
+        assert!(nt < nl);
+    }
+
+    #[test]
+    fn reflect_once_rejects_opposite_sides() {
+        let seg = Segment::new(Point::new(0.0, 5.0), Point::new(10.0, 5.0));
+        // TX below, RX above the wall: no specular bounce.
+        assert!(reflect_once(&seg, Point::new(2.0, 2.0), Point::new(8.0, 8.0)).is_none());
+        // Both below: bounce exists.
+        assert!(reflect_once(&seg, Point::new(2.0, 2.0), Point::new(8.0, 2.0)).is_some());
+    }
+
+    #[test]
+    fn reflect_once_requires_hit_within_segment() {
+        let seg = Segment::new(Point::new(0.0, 5.0), Point::new(1.0, 5.0));
+        // Specular point would be at x = 5, beyond the short segment.
+        assert!(reflect_once(&seg, Point::new(2.0, 2.0), Point::new(8.0, 2.0)).is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the RF simulator.
+
+use nomloc_geometry::{Point, Polygon, Segment};
+use nomloc_rfsim::{Environment, FloorPlan, Material, PathKind, RadioConfig, SubcarrierGrid};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const W: f64 = 24.0;
+const H: f64 = 14.0;
+
+fn open_env() -> Environment {
+    let plan = FloorPlan::builder(Polygon::rectangle(
+        Point::new(0.0, 0.0),
+        Point::new(W, H),
+    ))
+    .build();
+    Environment::new(plan, RadioConfig::default())
+}
+
+fn interior_point() -> impl Strategy<Value = Point> {
+    (0.5..W - 0.5, 0.5..H - 0.5).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    // Path lengths are at least the straight-line distance; delays follow.
+    #[test]
+    fn path_lengths_bounded_below_by_distance(tx in interior_point(), rx in interior_point()) {
+        prop_assume!(tx.distance(rx) > 0.5);
+        let trace = open_env().trace(tx, rx);
+        let d = tx.distance(rx);
+        for p in trace.paths() {
+            prop_assert!(p.length >= d - 1e-9, "path shorter than LOS: {} < {}", p.length, d);
+            prop_assert!((p.delay - p.length / 299_792_458.0).abs() < 1e-18);
+            prop_assert!(p.amplitude.is_finite() && p.amplitude >= 0.0);
+        }
+        // Direct path exists in an open room and equals the distance.
+        let direct = trace.direct().unwrap();
+        prop_assert!((direct.length - d).abs() < 1e-9);
+        prop_assert!(trace.is_los());
+    }
+
+    // Paths arrive sorted by amplitude, and in an open room the direct
+    // path is the strongest.
+    #[test]
+    fn direct_path_strongest_in_open_room(tx in interior_point(), rx in interior_point()) {
+        prop_assume!(tx.distance(rx) > 1.0);
+        let trace = open_env().trace(tx, rx);
+        let paths = trace.paths();
+        for w in paths.windows(2) {
+            prop_assert!(w[0].amplitude >= w[1].amplitude);
+        }
+        prop_assert_eq!(paths[0].kind, PathKind::Direct);
+    }
+
+    // Reciprocity: swapping TX and RX preserves every path length (the
+    // image method is symmetric).
+    #[test]
+    fn link_reciprocity(tx in interior_point(), rx in interior_point()) {
+        prop_assume!(tx.distance(rx) > 1.0);
+        let env = open_env();
+        let fwd = env.trace(tx, rx);
+        let rev = env.trace(rx, tx);
+        prop_assert_eq!(fwd.paths().len(), rev.paths().len());
+        let mut fl: Vec<f64> = fwd.paths().iter().map(|p| p.length).collect();
+        let mut rl: Vec<f64> = rev.paths().iter().map(|p| p.length).collect();
+        fl.sort_by(f64::total_cmp);
+        rl.sort_by(f64::total_cmp);
+        for (a, b) in fl.iter().zip(&rl) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        prop_assert!((fwd.rss_dbm() - rev.rss_dbm()).abs() < 1e-6);
+    }
+
+    // RSS is finite and within a physically sane window for in-room links.
+    #[test]
+    fn rss_within_sane_window(tx in interior_point(), rx in interior_point()) {
+        prop_assume!(tx.distance(rx) > 0.5);
+        let rss = open_env().trace(tx, rx).rss_dbm();
+        prop_assert!((-95.0..10.0).contains(&rss), "rss {rss} dBm");
+    }
+
+    // Obstruction loss is symmetric and non-negative, and zero implies LOS.
+    #[test]
+    fn obstruction_symmetric(tx in interior_point(), rx in interior_point()) {
+        let plan = FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(W, H),
+        ))
+        .wall(
+            Segment::new(Point::new(12.0, 0.0), Point::new(12.0, 9.0)),
+            Material::CONCRETE,
+        )
+        .rect_obstacle(Point::new(4.0, 4.0), Point::new(6.0, 6.0), Material::WOOD)
+        .build();
+        let ab = plan.obstruction_db(tx, rx);
+        let ba = plan.obstruction_db(rx, tx);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+        prop_assert_eq!(ab == 0.0, plan.is_los(tx, rx));
+    }
+
+    // CSI snapshots are always finite, with the right dimensionality.
+    #[test]
+    fn csi_snapshots_finite(tx in interior_point(), rx in interior_point(), seed in 0u64..1000) {
+        prop_assume!(tx.distance(rx) > 0.5);
+        let env = open_env();
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let snap = env.sample_csi(tx, rx, &grid, &mut rng);
+        prop_assert_eq!(snap.h.len(), 30);
+        for h in &snap.h {
+            prop_assert!(h.is_finite());
+        }
+        prop_assert!(snap.total_power() >= 0.0);
+    }
+
+    // Adding an obstacle on the direct path never increases total received
+    // power for that link.
+    #[test]
+    fn clutter_never_amplifies(y in 2.0..H - 2.0) {
+        let tx = Point::new(2.0, y);
+        let rx = Point::new(W - 2.0, y);
+        let open = open_env().trace(tx, rx).rss_dbm();
+        let blocked_plan = FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(W, H),
+        ))
+        .wall(
+            Segment::new(Point::new(W / 2.0, 0.0), Point::new(W / 2.0, H)),
+            Material::CONCRETE,
+        )
+        .build();
+        let blocked = Environment::new(blocked_plan, RadioConfig::default())
+            .trace(tx, rx)
+            .rss_dbm();
+        prop_assert!(blocked <= open + 3.0, "wall amplified link: {blocked} > {open}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Security patrol: the paper's public-safety motivation.
+//!
+//! "Secure inspectors need to monitor every place of the region …
+//! the spatial localizability variance will result in miss detection at a
+//! blind area where the suspect can slip in." Here the guard's intercom is
+//! the nomadic AP patrolling the L-shaped lobby on a fixed sweep route;
+//! we measure how well each deployment watches every test site (detection
+//! = localized within a catch radius) and where the blind spots are.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example security_patrol
+//! ```
+
+use nomloc::core::experiment::{Campaign, Deployment, MobilityPattern};
+use nomloc::core::scenario::Venue;
+
+/// An intruder is "caught" when the location estimate lands within this
+/// distance of the truth.
+const CATCH_RADIUS_M: f64 = 3.0;
+
+fn detection_report(label: &str, result: &nomloc::core::experiment::CampaignResult, venue: &Venue) {
+    let mean_errors = result.site_mean_errors();
+    let caught = mean_errors.iter().filter(|&&e| e <= CATCH_RADIUS_M).count();
+    println!(
+        "{label}: {caught}/{} sites covered (catch radius {CATCH_RADIUS_M} m), \
+         mean error {:.2} m, SLV {:.2} m²",
+        venue.n_test_sites(),
+        result.mean_error(),
+        result.slv()
+    );
+    for (site, err) in venue.test_sites.iter().zip(&mean_errors) {
+        if *err > CATCH_RADIUS_M {
+            println!("    blind spot at {site}: mean error {err:.2} m");
+        }
+    }
+}
+
+fn main() {
+    let venue = Venue::lobby();
+    println!(
+        "patrolling the {} ({:.0} m², {} test sites)…",
+        venue.name,
+        venue.plan.boundary().area(),
+        venue.n_test_sites()
+    );
+    println!();
+
+    let static_result = Campaign::new(Venue::lobby(), Deployment::Static)
+        .packets_per_site(40)
+        .trials_per_site(5)
+        .seed(99)
+        .run();
+    detection_report("static deployment ", &static_result, &venue);
+    println!();
+
+    // The guard patrols a deterministic sweep route through the sites.
+    let patrol = Deployment::Nomadic {
+        steps: 8,
+        pattern: MobilityPattern::Sweep,
+    };
+    let patrol_result = Campaign::new(Venue::lobby(), patrol)
+        .packets_per_site(40)
+        .trials_per_site(5)
+        .seed(99)
+        .run();
+    detection_report("guard on patrol   ", &patrol_result, &venue);
+    println!();
+
+    let blind_static = static_result
+        .site_mean_errors()
+        .iter()
+        .filter(|&&e| e > CATCH_RADIUS_M)
+        .count();
+    let blind_patrol = patrol_result
+        .site_mean_errors()
+        .iter()
+        .filter(|&&e| e > CATCH_RADIUS_M)
+        .count();
+    println!(
+        "blind spots: {blind_static} (static) → {blind_patrol} (patrol); \
+         the patrolling intercom closes the gaps a suspect could slip through."
+    );
+}

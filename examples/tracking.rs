@@ -1,0 +1,129 @@
+//! Tracking a moving person through the Lab with NomLoc estimates and the
+//! tracking filters.
+//!
+//! A shopper walks a waypoint route; every second the system produces one
+//! NomLoc estimate (static APs + the nomadic AP's current site), which is
+//! fed to raw, exponential, and alpha-beta trackers with a walking-speed
+//! gate. Prints per-filter mean tracking error.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example tracking
+//! ```
+
+use nomloc::core::proximity::ApSite;
+use nomloc::core::scenario::Venue;
+use nomloc::core::server::{CsiReport, LocalizationServer};
+use nomloc::core::tracking::{track_error, Smoothing, Tracker};
+use nomloc::geometry::Point;
+use nomloc::rfsim::{Environment, SubcarrierGrid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Walking route through the Lab (waypoints).
+const ROUTE: [(f64, f64); 5] = [
+    (1.5, 1.5),
+    (5.2, 1.5),
+    (6.9, 3.5),
+    (6.0, 6.0),
+    (10.4, 6.6),
+];
+
+/// Interpolates the route into per-second ground-truth positions.
+fn ground_truth(speed: f64) -> Vec<Point> {
+    let mut out = Vec::new();
+    for w in ROUTE.windows(2) {
+        let a = Point::new(w[0].0, w[0].1);
+        let b = Point::new(w[1].0, w[1].1);
+        let steps = (a.distance(b) / speed).ceil() as usize;
+        for s in 0..steps {
+            out.push(a.lerp(b, s as f64 / steps as f64));
+        }
+    }
+    out.push(Point::new(ROUTE[4].0, ROUTE[4].1));
+    out
+}
+
+fn main() {
+    let venue = Venue::lab();
+    let env = Environment::new(venue.plan.clone(), venue.radio.clone());
+    let server = LocalizationServer::new(venue.plan.boundary().clone());
+    let grid = SubcarrierGrid::intel5300();
+    let mut rng = StdRng::seed_from_u64(31);
+
+    let truth = ground_truth(0.5);
+    println!(
+        "tracking a {}-step walk through the {} (0.5 m/s, 1 Hz localization)…",
+        truth.len(),
+        venue.name
+    );
+
+    // One NomLoc estimate per second. The nomadic AP cycles its sites.
+    let nomadic_sites = venue.nomadic_site_set();
+    let mut raw_estimates = Vec::with_capacity(truth.len());
+    for (t, &pos) in truth.iter().enumerate() {
+        let mut reports: Vec<CsiReport> = venue
+            .static_deployment()
+            .iter()
+            .enumerate()
+            .map(|(i, &ap)| CsiReport {
+                site: ApSite::fixed(i + 1, ap),
+                burst: env.sample_csi_burst(pos, ap, &grid, 20, &mut rng),
+            })
+            .collect();
+        // The nomadic AP measures from wherever it currently stands.
+        let site = nomadic_sites[t % nomadic_sites.len()];
+        reports.push(CsiReport {
+            site: ApSite::nomadic(1, 1, site),
+            burst: env.sample_csi_burst(pos, site, &grid, 20, &mut rng),
+        });
+        let est = server.process(&reports).expect("estimate");
+        raw_estimates.push(est.position);
+    }
+
+    let mut results = Vec::new();
+    for (label, smoothing) in [
+        ("raw estimates", Smoothing::Raw),
+        ("exponential α=0.5", Smoothing::Exponential { alpha: 0.5 }),
+        (
+            "alpha-beta (gated 2 m/s)",
+            Smoothing::AlphaBeta {
+                alpha: 0.7,
+                beta: 0.3,
+            },
+        ),
+    ] {
+        let mut tracker = Tracker::new(smoothing);
+        if matches!(smoothing, Smoothing::AlphaBeta { .. }) {
+            tracker = tracker.with_max_speed(2.0);
+        }
+        for &e in &raw_estimates {
+            tracker.push(e, 1.0);
+        }
+        let err = track_error(tracker.smooth_history(), &truth).unwrap();
+        println!(
+            "  {label:<26} mean error {err:.2} m, path length {:.1} m (truth ≈ {:.1} m)",
+            tracker.path_length(),
+            truth
+                .windows(2)
+                .map(|w| w[0].distance(w[1]))
+                .sum::<f64>()
+        );
+        results.push((label, err));
+    }
+
+    let raw = results[0].1;
+    let best = results
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    println!();
+    println!(
+        "best filter: {} ({:.2} m vs {:.2} m raw, {:.0} % better)",
+        best.0,
+        best.1,
+        raw,
+        100.0 * (1.0 - best.1 / raw)
+    );
+}

@@ -1,0 +1,52 @@
+//! **nomloc** — calibration-free indoor localization with nomadic access
+//! points.
+//!
+//! This is the umbrella crate of the NomLoc workspace, a from-scratch Rust
+//! reproduction of *"NomLoc: Calibration-free Indoor Localization With
+//! Nomadic Access Points"* (Xiao et al., IEEE ICDCS 2014). It re-exports
+//! the member crates under stable paths:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `nomloc-core` | PDP proximity, SP estimation, venues, campaigns |
+//! | [`geometry`] | `nomloc-geometry` | points, polygons, half-planes, convex decomposition |
+//! | [`dsp`] | `nomloc-dsp` | FFT, power delay profiles, statistics |
+//! | [`rfsim`] | `nomloc-rfsim` | indoor multipath + 802.11n CSI simulator |
+//! | [`mobility`] | `nomloc-mobility` | Markov-chain walks, position-error model |
+//! | [`lp`] | `nomloc-lp` | simplex, constraint relaxation, region centers |
+//! | [`baselines`] | `nomloc-baselines` | RSS trilateration / centroid / fingerprinting |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nomloc::core::experiment::{Campaign, Deployment};
+//! use nomloc::core::scenario::Venue;
+//!
+//! // Reproduce a miniature Fig. 9(a): static vs nomadic in the Lab.
+//! let static_result = Campaign::new(Venue::lab(), Deployment::Static)
+//!     .packets_per_site(15)
+//!     .trials_per_site(1)
+//!     .seed(1)
+//!     .run();
+//! let nomadic_result = Campaign::new(Venue::lab(), Deployment::nomadic(6))
+//!     .packets_per_site(15)
+//!     .trials_per_site(1)
+//!     .seed(1)
+//!     .run();
+//! assert!(static_result.mean_error().is_finite());
+//! assert!(nomadic_result.mean_error().is_finite());
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the paper-figure reproductions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nomloc_baselines as baselines;
+pub use nomloc_core as core;
+pub use nomloc_dsp as dsp;
+pub use nomloc_geometry as geometry;
+pub use nomloc_lp as lp;
+pub use nomloc_mobility as mobility;
+pub use nomloc_rfsim as rfsim;

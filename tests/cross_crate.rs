@@ -1,0 +1,115 @@
+//! Cross-crate consistency tests: interfaces between the substrates.
+
+use nomloc::core::constraints::{boundary_constraints, virtual_aps};
+use nomloc::core::pdp::PdpEstimator;
+use nomloc::geometry::{Point, Polygon};
+use nomloc::lp::center::polygon_halfplanes;
+use nomloc::mobility::{patterns, MarkovChain};
+use nomloc::rfsim::{Environment, FloorPlan, RadioConfig, SubcarrierGrid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's mirror-based virtual-AP construction (core) must describe
+/// the same region as the direct polygon half-planes (lp).
+#[test]
+fn vap_constraints_equal_polygon_halfplanes() {
+    let shapes = [
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(12.0, 8.0)),
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(3.0, 5.0),
+        ])
+        .unwrap(),
+    ];
+    for shape in shapes {
+        let mirror_based = boundary_constraints(&shape, shape.centroid());
+        let direct = polygon_halfplanes(&shape);
+        assert_eq!(mirror_based.len(), direct.len());
+        // Same membership decision on a probe grid.
+        let (min, max) = shape.bounding_box();
+        for i in 0..20 {
+            for j in 0..20 {
+                let p = Point::new(
+                    min.x - 1.0 + (max.x - min.x + 2.0) * i as f64 / 19.0,
+                    min.y - 1.0 + (max.y - min.y + 2.0) * j as f64 / 19.0,
+                );
+                let via_mirror = mirror_based.iter().all(|c| c.halfplane.contains(p));
+                let via_edges = direct.iter().all(|h| h.contains(p));
+                assert_eq!(via_mirror, via_edges, "disagreement at {p}");
+            }
+        }
+    }
+}
+
+/// Virtual APs land outside the region, mirrored across each edge.
+#[test]
+fn virtual_aps_outside_region() {
+    let region = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 6.0));
+    let reference = Point::new(4.0, 3.0);
+    let vaps = virtual_aps(&region, reference);
+    assert_eq!(vaps.len(), 4);
+    for vap in vaps {
+        assert!(!region.contains(vap), "virtual AP {vap} inside the region");
+    }
+}
+
+/// rfsim CSI + dsp IFFT: the PDP of a longer link must be weaker across a
+/// sweep of distances (monotone on burst medians in an open room).
+#[test]
+fn pdp_monotone_with_distance_in_open_room() {
+    let plan = FloorPlan::builder(Polygon::rectangle(
+        Point::new(0.0, 0.0),
+        Point::new(40.0, 20.0),
+    ))
+    .build();
+    let env = Environment::new(plan, RadioConfig::default());
+    let grid = SubcarrierGrid::intel5300();
+    let est = PdpEstimator::new();
+    let mut rng = StdRng::seed_from_u64(6);
+    let tx = Point::new(2.0, 10.0);
+    let mut prev = f64::INFINITY;
+    for d in [3.0, 8.0, 16.0, 30.0] {
+        let burst = env.sample_csi_burst(tx, Point::new(2.0 + d, 10.0), &grid, 30, &mut rng);
+        let pdp = est.pdp_of_burst(&burst).unwrap();
+        assert!(
+            pdp < prev,
+            "PDP at {d} m ({pdp:.3e}) not below previous ({prev:.3e})"
+        );
+        prev = pdp;
+    }
+}
+
+/// mobility + core: the sweep pattern visits every site within n steps.
+#[test]
+fn sweep_pattern_covers_all_sites() {
+    let sites: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+    let chain = MarkovChain::new(sites, patterns::sweep(5)).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let walk = chain.walk(0, 4, &mut rng);
+    let mut seen = [false; 5];
+    for i in walk {
+        seen[i] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "sweep missed a site: {seen:?}");
+}
+
+/// rfsim grids and dsp profiles agree on dimensionality end to end.
+#[test]
+fn grid_sizes_flow_through_pipeline() {
+    let plan = FloorPlan::builder(Polygon::rectangle(
+        Point::new(0.0, 0.0),
+        Point::new(10.0, 10.0),
+    ))
+    .build();
+    let env = Environment::new(plan, RadioConfig::default());
+    let est = PdpEstimator::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    for grid in [SubcarrierGrid::intel5300(), SubcarrierGrid::full_80211n_20mhz()] {
+        let snap = env.sample_csi(Point::new(1.0, 1.0), Point::new(8.0, 8.0), &grid, &mut rng);
+        assert_eq!(snap.h.len(), grid.len());
+        let profile = est.delay_profile(&snap);
+        assert!(profile.len() >= 256, "padding to at least min_taps");
+        assert!(profile.peak().power > 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end integration tests: the full pipeline across every crate.
+
+use nomloc::core::experiment::{Campaign, Deployment};
+use nomloc::core::proximity::ApSite;
+use nomloc::core::scenario::Venue;
+use nomloc::core::server::{CsiReport, LocalizationServer};
+use nomloc::rfsim::{Environment, SubcarrierGrid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_campaign(venue: Venue, deployment: Deployment, seed: u64) -> Campaign {
+    Campaign::new(venue, deployment)
+        .packets_per_site(15)
+        .trials_per_site(2)
+        .seed(seed)
+}
+
+#[test]
+fn lab_campaign_is_deterministic_and_bounded() {
+    let a = small_campaign(Venue::lab(), Deployment::nomadic(6), 5).run();
+    let b = small_campaign(Venue::lab(), Deployment::nomadic(6), 5).run();
+    assert_eq!(a.site_mean_errors(), b.site_mean_errors());
+    let (min, max) = Venue::lab().plan.boundary().bounding_box();
+    let diameter = min.distance(max);
+    for e in a.site_mean_errors() {
+        assert!(e >= 0.0 && e <= diameter);
+    }
+}
+
+#[test]
+fn lobby_campaign_produces_all_sites() {
+    let r = small_campaign(Venue::lobby(), Deployment::Static, 3).run();
+    assert_eq!(r.outcomes.len(), 12);
+    assert_eq!(r.proximity_accuracy.len(), 12);
+    assert!(r.error_cdf().len() == 12);
+}
+
+#[test]
+fn estimates_always_inside_the_venue() {
+    // Run the raw server pipeline at several truths and check containment;
+    // the SP boundary constraints must keep every estimate in the polygon.
+    for venue in [Venue::lab(), Venue::lobby()] {
+        let env = Environment::new(venue.plan.clone(), venue.radio.clone());
+        let server = LocalizationServer::new(venue.plan.boundary().clone());
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(11);
+        for &object in venue.test_sites.iter().take(4) {
+            let reports: Vec<CsiReport> = venue
+                .static_deployment()
+                .iter()
+                .enumerate()
+                .map(|(i, &ap)| CsiReport {
+                    site: ApSite::fixed(i + 1, ap),
+                    burst: env.sample_csi_burst(object, ap, &grid, 10, &mut rng),
+                })
+                .collect();
+            let est = server.process(&reports).expect("pipeline succeeds");
+            let boundary = venue.plan.boundary();
+            assert!(
+                boundary.contains(est.position)
+                    || boundary.distance_to_boundary(est.position) < 1e-6,
+                "{}: estimate {} escaped the boundary",
+                venue.name,
+                est.position
+            );
+        }
+    }
+}
+
+#[test]
+fn nomadic_measurements_shrink_the_feasible_region() {
+    let venue = Venue::lab();
+    let env = Environment::new(venue.plan.clone(), venue.radio.clone());
+    let server = LocalizationServer::new(venue.plan.boundary().clone());
+    let grid = SubcarrierGrid::intel5300();
+    let mut rng = StdRng::seed_from_u64(21);
+    let object = venue.test_sites[0];
+
+    let mut reports: Vec<CsiReport> = venue
+        .static_deployment()
+        .iter()
+        .enumerate()
+        .map(|(i, &ap)| CsiReport {
+            site: ApSite::fixed(i + 1, ap),
+            burst: env.sample_csi_burst(object, ap, &grid, 15, &mut rng),
+        })
+        .collect();
+    let before = server.process(&reports).unwrap();
+
+    for (v, &p) in venue.nomadic_sites.iter().enumerate() {
+        reports.push(CsiReport {
+            site: ApSite::nomadic(1, v + 1, p),
+            burst: env.sample_csi_burst(object, p, &grid, 15, &mut rng),
+        });
+    }
+    let after = server.process(&reports).unwrap();
+    assert!(after.n_constraints > before.n_constraints);
+    assert!(
+        after.region_area <= before.region_area + 1e-9,
+        "downscoping must not grow the region: {} → {}",
+        before.region_area,
+        after.region_area
+    );
+}
+
+#[test]
+fn ten_packets_suffice_for_finite_results() {
+    let r = small_campaign(Venue::lab(), Deployment::Static, 8)
+        .packets_per_site(10)
+        .trials_per_site(1)
+        .run();
+    assert!(r.mean_error().is_finite());
+    assert!(r.slv().is_finite());
+    assert!(r.mean_proximity_accuracy().is_finite());
+}
+
+#[test]
+fn campaign_with_position_error_still_valid() {
+    let r = small_campaign(Venue::lobby(), Deployment::nomadic(6), 13)
+        .position_error(3.0)
+        .run();
+    assert!(r.mean_error().is_finite());
+    let (min, max) = Venue::lobby().plan.boundary().bounding_box();
+    assert!(r.mean_error() <= min.distance(max));
+}

@@ -1,0 +1,119 @@
+//! Trend-level assertions of the paper's claims, at reduced scale.
+//!
+//! The full-scale reproductions live in `crates/bench/src/bin/repro_*`;
+//! these tests pin the *directions* of the headline results so regressions
+//! in any crate show up in `cargo test`. Scales are kept small enough for
+//! debug-mode test runs.
+
+use nomloc::core::experiment::{Campaign, Deployment};
+use nomloc::core::scenario::Venue;
+
+const PACKETS: usize = 20;
+const TRIALS: usize = 3;
+
+fn run(venue: Venue, deployment: Deployment, seed: u64) -> nomloc::core::experiment::CampaignResult {
+    Campaign::new(venue, deployment)
+        .packets_per_site(PACKETS)
+        .trials_per_site(TRIALS)
+        .seed(seed)
+        .run()
+}
+
+#[test]
+fn fig8_nomadic_reduces_slv_in_both_venues() {
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let st = run(venue_fn(), Deployment::Static, 2014);
+        let no = run(venue_fn(), Deployment::nomadic(8), 2014);
+        assert!(
+            no.slv() < st.slv(),
+            "{}: nomadic SLV {} ≥ static {}",
+            venue_fn().name,
+            no.slv(),
+            st.slv()
+        );
+    }
+}
+
+#[test]
+fn fig8_static_slv_larger_in_lobby_than_lab() {
+    let lab = run(Venue::lab(), Deployment::Static, 2014);
+    let lobby = run(Venue::lobby(), Deployment::Static, 2014);
+    assert!(
+        lobby.slv() > lab.slv(),
+        "lobby static SLV {} should exceed lab {}",
+        lobby.slv(),
+        lab.slv()
+    );
+}
+
+#[test]
+fn fig9_nomadic_beats_static_accuracy() {
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let st = run(venue_fn(), Deployment::Static, 2014);
+        let no = run(venue_fn(), Deployment::nomadic(8), 2014);
+        assert!(
+            no.mean_error() < st.mean_error(),
+            "{}: nomadic {} ≥ static {}",
+            venue_fn().name,
+            no.mean_error(),
+            st.mean_error()
+        );
+    }
+}
+
+#[test]
+fn fig9a_lab_reaches_meter_scale_accuracy() {
+    let no = run(Venue::lab(), Deployment::nomadic(8), 2014);
+    assert!(
+        no.mean_error() < 2.5,
+        "lab nomadic mean error {} not meter-scale",
+        no.mean_error()
+    );
+}
+
+#[test]
+fn fig7_proximity_accuracy_beats_chance_decisively() {
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let r = run(venue_fn(), Deployment::nomadic(8), 2014);
+        assert!(
+            r.mean_proximity_accuracy() > 0.8,
+            "{}: proximity accuracy {}",
+            venue_fn().name,
+            r.mean_proximity_accuracy()
+        );
+    }
+}
+
+#[test]
+fn fig10_robust_to_nomadic_position_error() {
+    // ER 0 → 3 m degrades gracefully: less than 1 m of mean-error growth.
+    for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
+        let exact = run(venue_fn(), Deployment::nomadic(8), 2014);
+        let noisy = Campaign::new(venue_fn(), Deployment::nomadic(8))
+            .packets_per_site(PACKETS)
+            .trials_per_site(TRIALS)
+            .seed(2014)
+            .position_error(3.0)
+            .run();
+        let degradation = noisy.mean_error() - exact.mean_error();
+        assert!(
+            degradation < 1.0,
+            "{}: ER=3 m degraded accuracy by {degradation} m",
+            venue_fn().name
+        );
+    }
+}
+
+#[test]
+fn downscoping_more_steps_no_worse() {
+    // §IV-B-3: longer walks (more distinct measurement sites) should not
+    // hurt on average.
+    let short = run(Venue::lab(), Deployment::nomadic(1), 2014);
+    let long = run(Venue::lab(), Deployment::nomadic(12), 2014);
+    assert!(
+        long.mean_error() <= short.mean_error() + 0.25,
+        "long walk {} much worse than short {}",
+        long.mean_error(),
+        short.mean_error()
+    );
+}

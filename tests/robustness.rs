@@ -1,0 +1,191 @@
+//! Failure-injection and edge-case robustness tests across the stack.
+
+use nomloc::core::experiment::{Campaign, Deployment};
+use nomloc::core::proximity::{ApSite, PdpReading};
+use nomloc::core::scenario::Venue;
+use nomloc::core::server::{CsiReport, LocalizationServer};
+use nomloc::dsp::Complex;
+use nomloc::geometry::{Point, Polygon};
+use nomloc::rfsim::{
+    CsiSnapshot, Environment, FloorPlan, Material, RadioConfig, SubcarrierGrid,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn square_server(side: f64) -> LocalizationServer {
+    LocalizationServer::new(Polygon::rectangle(
+        Point::new(0.0, 0.0),
+        Point::new(side, side),
+    ))
+}
+
+/// A report whose CSI is pure noise at the noise floor: the pipeline must
+/// stay finite and keep the estimate in-bounds.
+#[test]
+fn noise_only_csi_does_not_break_pipeline() {
+    let server = square_server(10.0);
+    let grid = SubcarrierGrid::intel5300();
+    let mut rng = StdRng::seed_from_u64(1);
+    // Fabricate a silent environment: TX power so low the signal is
+    // orders of magnitude under the estimation noise.
+    let plan = FloorPlan::builder(Polygon::rectangle(
+        Point::new(0.0, 0.0),
+        Point::new(10.0, 10.0),
+    ))
+    .build();
+    let radio = RadioConfig {
+        tx_power_dbm: -150.0,
+        ..RadioConfig::default()
+    };
+    let env = Environment::new(plan, radio);
+    let aps = [
+        Point::new(1.0, 1.0),
+        Point::new(9.0, 1.0),
+        Point::new(5.0, 9.0),
+    ];
+    let reports: Vec<CsiReport> = aps
+        .iter()
+        .enumerate()
+        .map(|(i, &ap)| CsiReport {
+            site: ApSite::fixed(i + 1, ap),
+            burst: env.sample_csi_burst(Point::new(5.0, 5.0), ap, &grid, 10, &mut rng),
+        })
+        .collect();
+    let est = server.process(&reports).expect("noise-only pipeline runs");
+    assert!(est.position.is_finite());
+    assert!(server.area().contains(est.position) || server.area().distance_to_boundary(est.position) < 1e-6);
+}
+
+/// Zero-magnitude CSI snapshots are dropped rather than panicking.
+#[test]
+fn zero_csi_snapshots_are_skipped() {
+    let server = square_server(10.0);
+    let grid = SubcarrierGrid::intel5300();
+    let dead = CsiSnapshot {
+        h: vec![Complex::ZERO; 30],
+        grid: grid.clone(),
+    };
+    let reports = vec![CsiReport {
+        site: ApSite::fixed(1, Point::new(1.0, 1.0)),
+        burst: vec![dead],
+    }];
+    let readings = server.extract_readings(&reports);
+    assert!(readings.is_empty(), "zero-power PDP must be filtered");
+    assert!(server.process(&reports).is_ok());
+}
+
+/// Duplicate AP identities (two sites claiming AP 1 visit 0) still produce
+/// a well-defined estimate — the pipeline treats them as distinct sites.
+#[test]
+fn duplicate_site_identities_tolerated() {
+    let server = square_server(10.0);
+    let readings = vec![
+        PdpReading::new(ApSite::fixed(1, Point::new(1.0, 1.0)), 1e-5),
+        PdpReading::new(ApSite::fixed(1, Point::new(9.0, 9.0)), 1e-7),
+        PdpReading::new(ApSite::fixed(2, Point::new(9.0, 1.0)), 1e-6),
+    ];
+    let est = server.localize(&readings).expect("duplicates tolerated");
+    assert!(est.position.is_finite());
+}
+
+/// Two readings at exactly the same position give a degenerate bisector;
+/// the constraint builder must skip-or-survive it.
+#[test]
+fn coincident_ap_positions_survive() {
+    let server = square_server(10.0);
+    let p = Point::new(4.0, 4.0);
+    let readings = vec![
+        PdpReading::new(ApSite::fixed(1, p), 2e-6),
+        PdpReading::new(ApSite::fixed(2, p), 1e-6),
+        PdpReading::new(ApSite::fixed(3, Point::new(8.0, 8.0)), 5e-7),
+    ];
+    let est = server.localize(&readings).expect("coincident APs survive");
+    assert!(est.position.is_finite());
+    assert!(server.area().contains(est.position) || server.area().distance_to_boundary(est.position) < 1e-6);
+}
+
+/// A single reading cannot partition space: the estimate degenerates to
+/// the area's center but must not fail.
+#[test]
+fn single_reading_degenerates_gracefully() {
+    let server = square_server(10.0);
+    let readings = vec![PdpReading::new(ApSite::fixed(1, Point::new(1.0, 1.0)), 1e-6)];
+    let est = server.localize(&readings).unwrap();
+    assert!(est.position.distance(Point::new(5.0, 5.0)) < 1e-3);
+}
+
+/// A custom venue built from public fields runs a full campaign.
+#[test]
+fn custom_venue_campaign_runs() {
+    let boundary = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(9.0, 6.0));
+    let plan = FloorPlan::builder(boundary)
+        .rect_obstacle(Point::new(4.0, 2.5), Point::new(5.0, 3.5), Material::METAL)
+        .build();
+    let venue = Venue {
+        name: "Studio",
+        plan,
+        static_aps: vec![Point::new(8.5, 0.5), Point::new(8.5, 5.5)],
+        nomadic_home: Point::new(0.5, 0.5),
+        nomadic_sites: vec![Point::new(3.0, 1.0), Point::new(3.0, 5.0)],
+        test_sites: vec![
+            Point::new(2.0, 3.0),
+            Point::new(6.5, 1.0),
+            Point::new(6.5, 5.0),
+        ],
+        radio: RadioConfig::default(),
+    };
+    let result = Campaign::new(venue, Deployment::nomadic(5))
+        .packets_per_site(10)
+        .trials_per_site(2)
+        .seed(3)
+        .run();
+    assert_eq!(result.outcomes.len(), 3);
+    assert!(result.mean_error().is_finite());
+    assert_eq!(result.venue_name, "Studio");
+}
+
+/// Extreme ER (larger than the venue) still yields bounded, in-venue
+/// estimates — the boundary constraints dominate runaway reports.
+#[test]
+fn huge_position_error_stays_bounded() {
+    let result = Campaign::new(Venue::lab(), Deployment::nomadic(6))
+        .packets_per_site(10)
+        .trials_per_site(2)
+        .position_error(50.0)
+        .seed(4)
+        .run();
+    let (min, max) = Venue::lab().plan.boundary().bounding_box();
+    let diameter = min.distance(max);
+    for e in result.site_mean_errors() {
+        assert!(e <= diameter, "error {e} exceeds venue diameter");
+    }
+}
+
+/// Campaigns with one packet per site and one trial run end to end.
+#[test]
+fn minimal_sampling_campaign() {
+    let result = Campaign::new(Venue::lobby(), Deployment::Static)
+        .packets_per_site(1)
+        .trials_per_site(1)
+        .seed(5)
+        .run();
+    assert_eq!(result.outcomes.len(), 12);
+    assert!(result.mean_error().is_finite());
+}
+
+/// All knobs at once: antennas + window + carrier + ER + fleet.
+#[test]
+fn everything_enabled_at_once() {
+    let result = Campaign::new(Venue::lab(), Deployment::Fleet { nomads: 2, steps: 4 })
+        .packets_per_site(8)
+        .trials_per_site(1)
+        .position_error(1.0)
+        .rx_antennas(2)
+        .pdp_window(nomloc::dsp::Window::Hann)
+        .carrier_blocking(true)
+        .center_method(nomloc::lp::center::CenterMethod::Analytic)
+        .seed(6)
+        .run();
+    assert!(result.mean_error().is_finite());
+    assert!(result.slv().is_finite());
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the tracking layer.
+
+use nomloc::core::tracking::{Smoothing, Tracker};
+use nomloc::geometry::Point;
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = Point> {
+    (-50.0..50.0f64, -50.0..50.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    // The speed gate never lets consecutive outputs exceed vmax·dt.
+    #[test]
+    fn speed_gate_limits_every_step(
+        estimates in prop::collection::vec(point(), 2..30),
+        vmax in 0.5..5.0f64,
+        dt in 0.2..2.0f64,
+    ) {
+        let mut t = Tracker::new(Smoothing::Raw).with_max_speed(vmax);
+        for &e in &estimates {
+            t.push(e, dt);
+        }
+        for w in t.smooth_history().windows(2) {
+            prop_assert!(
+                w[0].distance(w[1]) <= vmax * dt + 1e-9,
+                "step {} exceeds limit {}", w[0].distance(w[1]), vmax * dt
+            );
+        }
+    }
+
+    // Exponential smoothing output always lies on the segment between the
+    // previous output and the new (gated) estimate — so it can never
+    // overshoot either.
+    #[test]
+    fn exponential_output_is_convex_combination(
+        estimates in prop::collection::vec(point(), 2..30),
+        alpha in 0.05..1.0f64,
+    ) {
+        let mut t = Tracker::new(Smoothing::Exponential { alpha });
+        let mut prev: Option<Point> = None;
+        for &e in &estimates {
+            let out = t.push(e, 1.0);
+            if let Some(p) = prev {
+                let seg_len = p.distance(e);
+                let via = p.distance(out) + out.distance(e);
+                prop_assert!(via <= seg_len + 1e-6, "output off the segment");
+            }
+            prev = Some(out);
+        }
+    }
+
+    // Raw tracking is the identity on the input stream.
+    #[test]
+    fn raw_is_identity(estimates in prop::collection::vec(point(), 1..30)) {
+        let mut t = Tracker::new(Smoothing::Raw);
+        for &e in &estimates {
+            t.push(e, 1.0);
+        }
+        prop_assert_eq!(t.smooth_history(), &estimates[..]);
+        prop_assert_eq!(t.raw_history(), &estimates[..]);
+    }
+
+    // Path length is invariant under translation of the whole track.
+    #[test]
+    fn path_length_translation_invariant(
+        estimates in prop::collection::vec(point(), 2..20),
+        dx in -10.0..10.0f64,
+        dy in -10.0..10.0f64,
+    ) {
+        let mut a = Tracker::new(Smoothing::Exponential { alpha: 0.4 });
+        let mut b = Tracker::new(Smoothing::Exponential { alpha: 0.4 });
+        for &e in &estimates {
+            a.push(e, 1.0);
+            b.push(Point::new(e.x + dx, e.y + dy), 1.0);
+        }
+        prop_assert!((a.path_length() - b.path_length()).abs() < 1e-6);
+    }
+
+    // Alpha-beta with stationary input converges to the input point.
+    #[test]
+    fn alpha_beta_settles_on_stationary_target(p in point()) {
+        let mut t = Tracker::new(Smoothing::AlphaBeta { alpha: 0.6, beta: 0.3 });
+        let mut last = Point::ORIGIN;
+        for _ in 0..60 {
+            last = t.push(p, 1.0);
+        }
+        prop_assert!(last.distance(p) < 1e-3, "settled at {last}, target {p}");
+        prop_assert!(t.velocity().norm() < 1e-3);
+    }
+}
