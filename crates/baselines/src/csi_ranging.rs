@@ -90,10 +90,7 @@ impl CsiRangeModel {
 /// geometry.
 pub fn locate(observations: &[PdpObservation], model: &CsiRangeModel) -> Option<Point> {
     // Reuse the RSS lateration back end by mapping PDPs to dB.
-    let rss_model = rss_ranging::PathLossModel::new(
-        10.0 * model.p0.log10(),
-        model.exponent,
-    );
+    let rss_model = rss_ranging::PathLossModel::new(10.0 * model.p0.log10(), model.exponent);
     let rss_obs: Vec<RssObservation> = observations
         .iter()
         .map(|o| RssObservation::new(o.ap, 10.0 * o.pdp.log10()))
@@ -132,8 +129,7 @@ mod tests {
             Point::new(12.0, 12.0),
             Point::new(0.0, 12.0),
         ];
-        let observations: Vec<PdpObservation> =
-            aps.iter().map(|&ap| obs(ap, truth, &m)).collect();
+        let observations: Vec<PdpObservation> = aps.iter().map(|&ap| obs(ap, truth, &m)).collect();
         let p = locate(&observations, &m).unwrap();
         assert!(p.distance(truth) < 1e-6, "{p}");
     }
@@ -141,8 +137,10 @@ mod tests {
     #[test]
     fn fit_recovers_model() {
         let m = CsiRangeModel::new(3.3e-5, 2.4);
-        let samples: Vec<(f64, f64)> =
-            [0.8, 1.5, 3.0, 6.0, 12.0].iter().map(|&d| (d, m.predict(d))).collect();
+        let samples: Vec<(f64, f64)> = [0.8, 1.5, 3.0, 6.0, 12.0]
+            .iter()
+            .map(|&d| (d, m.predict(d)))
+            .collect();
         let fitted = CsiRangeModel::fit(&samples).unwrap();
         assert!((fitted.p0 / m.p0 - 1.0).abs() < 1e-9);
         assert!((fitted.exponent - m.exponent).abs() < 1e-9);

@@ -189,7 +189,9 @@ mod tests {
     fn degenerate_queries() {
         let db = surveyed_db(&aps());
         assert!(db.locate(&[-50.0], 3).is_none(), "dimension mismatch");
-        assert!(db.locate(&rss_vector(Point::new(1.0, 1.0), &aps()), 0).is_none());
+        assert!(db
+            .locate(&rss_vector(Point::new(1.0, 1.0), &aps()), 0)
+            .is_none());
         assert!(FingerprintDb::new().locate(&[-50.0], 1).is_none());
     }
 

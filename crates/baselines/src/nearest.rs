@@ -45,10 +45,7 @@ mod tests {
     fn tie_returns_one_of_the_tied() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(9.0, 9.0);
-        let obs = [
-            RssObservation::new(a, -50.0),
-            RssObservation::new(b, -50.0),
-        ];
+        let obs = [RssObservation::new(a, -50.0), RssObservation::new(b, -50.0)];
         let p = locate(&obs).unwrap();
         assert!(p == a || p == b);
     }

@@ -96,8 +96,7 @@ pub fn locate(observations: &[RssObservation], model: &PathLossModel) -> Option<
         let pi = observations[i].ap;
         let a0 = 2.0 * (pn.x - pi.x);
         let a1 = 2.0 * (pn.y - pi.y);
-        let b = ranges[i] * ranges[i] - rn * rn - pi.to_vec().norm_sq()
-            + pn.to_vec().norm_sq();
+        let b = ranges[i] * ranges[i] - rn * rn - pi.to_vec().norm_sq() + pn.to_vec().norm_sq();
         ata[0][0] += a0 * a0;
         ata[0][1] += a0 * a1;
         ata[1][1] += a1 * a1;
@@ -146,8 +145,7 @@ mod tests {
             Point::new(10.0, 10.0),
             Point::new(0.0, 10.0),
         ];
-        let observations: Vec<RssObservation> =
-            aps.iter().map(|&ap| obs(ap, truth, &m)).collect();
+        let observations: Vec<RssObservation> = aps.iter().map(|&ap| obs(ap, truth, &m)).collect();
         let p = locate(&observations, &m).unwrap();
         assert!(p.distance(truth) < 1e-6, "{p}");
     }
@@ -192,7 +190,10 @@ mod tests {
         let good = locate(&observations, &true_model).unwrap();
         let bad = locate(&observations, &wrong_model).unwrap();
         assert!(good.distance(truth) < 1e-6);
-        assert!(bad.distance(truth) > 1.0, "miscalibration barely hurt: {bad}");
+        assert!(
+            bad.distance(truth) > 1.0,
+            "miscalibration barely hurt: {bad}"
+        );
     }
 
     #[test]
@@ -214,16 +215,17 @@ mod tests {
             Point::new(5.0, 0.0),
             Point::new(10.0, 0.0),
         ];
-        let observations: Vec<RssObservation> =
-            aps.iter().map(|&ap| obs(ap, truth, &m)).collect();
+        let observations: Vec<RssObservation> = aps.iter().map(|&ap| obs(ap, truth, &m)).collect();
         assert!(locate(&observations, &m).is_none());
     }
 
     #[test]
     fn fit_recovers_model() {
         let m = PathLossModel::new(-38.5, 2.7);
-        let samples: Vec<(f64, f64)> =
-            [1.0, 2.0, 4.0, 8.0, 16.0].iter().map(|&d| (d, m.predict(d))).collect();
+        let samples: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0, 16.0]
+            .iter()
+            .map(|&d| (d, m.predict(d)))
+            .collect();
         let fitted = PathLossModel::fit(&samples).unwrap();
         assert!((fitted.rss_at_1m_dbm - m.rss_at_1m_dbm).abs() < 1e-9);
         assert!((fitted.exponent - m.exponent).abs() < 1e-9);

@@ -66,5 +66,10 @@ fn bench_localizability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_clipping, bench_decomposition, bench_localizability);
+criterion_group!(
+    benches,
+    bench_clipping,
+    bench_decomposition,
+    bench_localizability
+);
 criterion_main!(benches);

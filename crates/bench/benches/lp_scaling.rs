@@ -44,11 +44,9 @@ fn bench_relaxation(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for n_sites in [4usize, 6, 8, 12, 16, 24] {
         let (cs, _) = constraint_set(n_sites);
-        group.bench_with_input(
-            BenchmarkId::new("constraints", cs.len()),
-            &cs,
-            |b, cs| b.iter(|| relax_constraints(std::hint::black_box(cs)).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("constraints", cs.len()), &cs, |b, cs| {
+            b.iter(|| relax_constraints(std::hint::black_box(cs)).unwrap())
+        });
     }
     group.finish();
 }

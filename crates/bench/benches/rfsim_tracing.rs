@@ -62,5 +62,10 @@ fn bench_csi_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trace, bench_reflection_orders, bench_csi_sampling);
+criterion_group!(
+    benches,
+    bench_trace,
+    bench_reflection_orders,
+    bench_csi_sampling
+);
 criterion_main!(benches);

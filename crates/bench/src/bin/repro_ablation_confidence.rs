@@ -16,14 +16,31 @@ fn main() {
             "{:>14}  {:>12}  {:>12}  {:>12}",
             "f", "mean_err_m", "slv_m2", "err_90th_m"
         );
-        let campaign =
-            |c| standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run_with_confidence(c);
+        let campaign = |c| {
+            standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run_with_confidence(c)
+        };
         let rows: Vec<(&str, nomloc_core::experiment::CampaignResult)> = vec![
             ("paper-exp", campaign(PaperExp)),
-            ("logistic-k05", standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run_with_confidence(Logistic::new(0.5))),
-            ("logistic-k1", standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run_with_confidence(Logistic::new(1.0))),
-            ("logistic-k4", standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run_with_confidence(Logistic::new(4.0))),
-            ("hard-0/1", standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run_with_confidence(HardDecision)),
+            (
+                "logistic-k05",
+                standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS))
+                    .run_with_confidence(Logistic::new(0.5)),
+            ),
+            (
+                "logistic-k1",
+                standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS))
+                    .run_with_confidence(Logistic::new(1.0)),
+            ),
+            (
+                "logistic-k4",
+                standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS))
+                    .run_with_confidence(Logistic::new(4.0)),
+            ),
+            (
+                "hard-0/1",
+                standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS))
+                    .run_with_confidence(HardDecision),
+            ),
         ];
         for (label, result) in rows {
             println!(

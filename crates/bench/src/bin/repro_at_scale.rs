@@ -29,7 +29,11 @@ fn main() {
         "{:>22}  {:>12}  {:>12}  {:>12}",
         "deployment", "mean_err_m", "slv_m2", "err_90th_m"
     );
-    for (label, r) in [("static (6 APs)", &st), ("1 nomadic", &no), ("3-nomad fleet", &fleet)] {
+    for (label, r) in [
+        ("static (6 APs)", &st),
+        ("1 nomadic", &no),
+        ("3-nomad fleet", &fleet),
+    ] {
         println!(
             "{label:>22}  {:>12.3}  {:>12.3}  {:>12.3}",
             r.mean_error(),

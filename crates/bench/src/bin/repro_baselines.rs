@@ -7,13 +7,13 @@ use nomloc_baselines::csi_ranging::{self, CsiRangeModel, PdpObservation};
 use nomloc_baselines::fingerprint::{Fingerprint, FingerprintDb};
 use nomloc_baselines::rss_ranging::PathLossModel;
 use nomloc_baselines::{centroid, nearest, rss_ranging, RssObservation};
-use nomloc_core::pdp::PdpEstimator;
-use nomloc_rfsim::SubcarrierGrid;
 use nomloc_bench::{header, print_row, standard_campaign, NOMADIC_STEPS, SEED, TRIALS};
 use nomloc_core::experiment::Deployment;
+use nomloc_core::pdp::PdpEstimator;
 use nomloc_core::scenario::Venue;
 use nomloc_geometry::Point;
 use nomloc_rfsim::Environment;
+use nomloc_rfsim::SubcarrierGrid;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -155,8 +155,14 @@ fn main() {
         let nomloc_static = standard_campaign(venue_fn(), Deployment::Static).run();
         let nomloc_nomadic =
             standard_campaign(venue_fn(), Deployment::nomadic(NOMADIC_STEPS)).run();
-        print_row("NomLoc (nomadic, calibration-free)", nomloc_nomadic.mean_error());
-        print_row("NomLoc SP (static, calibration-free)", nomloc_static.mean_error());
+        print_row(
+            "NomLoc (nomadic, calibration-free)",
+            nomloc_nomadic.mean_error(),
+        );
+        print_row(
+            "NomLoc SP (static, calibration-free)",
+            nomloc_static.mean_error(),
+        );
 
         let model = calibrate(&venue, &mut rng);
         print_row(
@@ -176,7 +182,10 @@ fn main() {
             "Nearest AP",
             rss_baseline(&venue, nearest::locate, &mut rng),
         );
-        print_row("Fingerprint 3-NN (surveyed)", fingerprint_baseline(&venue, &mut rng));
+        print_row(
+            "Fingerprint 3-NN (surveyed)",
+            fingerprint_baseline(&venue, &mut rng),
+        );
         print_row(
             "FILA-style CSI ranging (calibrated)",
             fila_baseline(&venue, &mut rng),

@@ -11,7 +11,10 @@ use nomloc_core::experiment::Deployment;
 use nomloc_core::scenario::Venue;
 
 fn main() {
-    for (fig, venue_fn) in [("10(a)", Venue::lab as fn() -> Venue), ("10(b)", Venue::lobby)] {
+    for (fig, venue_fn) in [
+        ("10(a)", Venue::lab as fn() -> Venue),
+        ("10(b)", Venue::lobby),
+    ] {
         let name = venue_fn().name;
         header(&format!("Fig. {fig} — Effect of ER, {name}"));
         let mut means = Vec::new();
@@ -28,8 +31,6 @@ fn main() {
             println!("  ER = {er} m → {m:.2} m");
         }
         let degradation = means.last().unwrap().1 - means[0].1;
-        println!(
-            "degradation from ER 0 → 3 m: {degradation:+.2} m (paper: robust / graceful)"
-        );
+        println!("degradation from ER 0 → 3 m: {degradation:+.2} m (paper: robust / graceful)");
     }
 }

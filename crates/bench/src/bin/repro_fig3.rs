@@ -44,10 +44,18 @@ fn main() {
     );
 
     header("Fig. 3 — Channel response delay profile, LOS");
-    print_series("delay_us", "amplitude", &profile_series(&los_env, tx, rx, 3));
+    print_series(
+        "delay_us",
+        "amplitude",
+        &profile_series(&los_env, tx, rx, 3),
+    );
 
     header("Fig. 3 — Channel response delay profile, NLOS");
-    print_series("delay_us", "amplitude", &profile_series(&nlos_env, tx, rx, 3));
+    print_series(
+        "delay_us",
+        "amplitude",
+        &profile_series(&nlos_env, tx, rx, 3),
+    );
 
     // Quantify the dichotomy the figure illustrates.
     let grid = SubcarrierGrid::intel5300();

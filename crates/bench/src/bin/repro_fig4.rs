@@ -19,7 +19,11 @@ fn main() {
     let ap1 = venue.nomadic_home;
 
     let vaps = virtual_aps(&boundary, ap1);
-    println!("AP1 at {ap1}; {} boundary edges ⇒ {} virtual APs:", boundary.len(), vaps.len());
+    println!(
+        "AP1 at {ap1}; {} boundary edges ⇒ {} virtual APs:",
+        boundary.len(),
+        vaps.len()
+    );
     for (i, v) in vaps.iter().enumerate() {
         println!("  VAP{}: {v} (outside: {})", i + 1, !boundary.contains(*v));
     }

@@ -32,8 +32,7 @@ fn main() {
         }
 
         if let Some(dir) = nomloc_report::svg_dir_from_env() {
-            let mut scene = SceneBuilder::new(&venue.plan)
-                .ap(venue.nomadic_home, "AP1");
+            let mut scene = SceneBuilder::new(&venue.plan).ap(venue.nomadic_home, "AP1");
             for (i, &ap) in venue.static_aps.iter().enumerate() {
                 scene = scene.ap(ap, format!("AP{}", i + 2));
             }

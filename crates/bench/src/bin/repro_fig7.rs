@@ -5,7 +5,7 @@
 //! positions near the midpoint of AP pairs dip (similar PDPs → coin
 //! flips); the sparser Lobby deployment does at least as well as the Lab.
 
-use nomloc_bench::{header, standard_campaign, print_row};
+use nomloc_bench::{header, print_row, standard_campaign};
 use nomloc_core::experiment::Deployment;
 use nomloc_core::scenario::Venue;
 

@@ -15,7 +15,9 @@ fn main() {
     for venue_fn in [Venue::lab as fn() -> Venue, Venue::lobby] {
         let venue = venue_fn();
         let name = venue.name;
-        let static_slv = standard_campaign(venue_fn(), Deployment::Static).run().slv();
+        let static_slv = standard_campaign(venue_fn(), Deployment::Static)
+            .run()
+            .slv();
         let nomadic_slv = standard_campaign(venue, Deployment::nomadic(NOMADIC_STEPS))
             .run()
             .slv();

@@ -11,7 +11,10 @@ use nomloc_core::experiment::Deployment;
 use nomloc_core::scenario::Venue;
 
 fn main() {
-    for (fig, venue_fn) in [("9(a)", Venue::lab as fn() -> Venue), ("9(b)", Venue::lobby)] {
+    for (fig, venue_fn) in [
+        ("9(a)", Venue::lab as fn() -> Venue),
+        ("9(b)", Venue::lobby),
+    ] {
         let name = venue_fn().name;
         header(&format!("Fig. {fig} — Error CDF, {name}"));
         let static_result = standard_campaign(venue_fn(), Deployment::Static).run();

@@ -47,7 +47,10 @@ fn render(venue: &Venue, sites: &[Point]) {
     }
     print_row("mean predicted error (m)", map.mean_predicted_error());
     print_row("predicted SLV (m²)", map.predicted_slv());
-    print_row("blind points (err > 3 m)", map.blind_spots(3.0).len() as f64);
+    print_row(
+        "blind points (err > 3 m)",
+        map.blind_spots(3.0).len() as f64,
+    );
 }
 
 fn main() {
@@ -71,7 +74,10 @@ fn main() {
             .collect();
         let route = plan_route(venue.plan.boundary(), &static_sites, &candidates, 3, 1.0);
         println!();
-        println!("greedy nomadic route for {} (site → predicted SLV after visit):", venue.name);
+        println!(
+            "greedy nomadic route for {} (site → predicted SLV after visit):",
+            venue.name
+        );
         for (i, (site, slv)) in route.iter().enumerate() {
             println!("  {}. {site} → {slv:.3}", i + 1);
         }

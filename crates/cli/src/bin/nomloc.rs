@@ -1,7 +1,7 @@
 //! The `nomloc` command-line tool. Parsing and rendering live in
 //! `nomloc_cli`; this binary only dispatches.
 
-use nomloc_cli::{parse, run_campaign, run_map, run_venues, Command, USAGE};
+use nomloc_cli::{parse, run_campaign, run_map, run_serve, run_venues, Command, USAGE};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -21,6 +21,10 @@ fn main() -> ExitCode {
         }
         Ok(Command::Map(spec)) => {
             print!("{}", run_map(&spec));
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Serve(spec)) => {
+            print!("{}", run_serve(&spec));
             ExitCode::SUCCESS
         }
         Err(e) => {

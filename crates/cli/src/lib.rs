@@ -19,9 +19,14 @@
 use nomloc_core::experiment::{Campaign, Deployment};
 use nomloc_core::localizability;
 use nomloc_core::scenario::Venue;
+use nomloc_core::server::CsiReport;
+use nomloc_core::{ApSite, LocalizationServer};
 use nomloc_dsp::Window;
 use nomloc_geometry::Point;
 use nomloc_lp::center::CenterMethod;
+use nomloc_rfsim::{Environment, RadioConfig, SubcarrierGrid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fmt;
 
 /// A parsed CLI invocation.
@@ -31,6 +36,9 @@ pub enum Command {
     Campaign(CampaignSpec),
     /// Print the analytical localizability map of a venue.
     Map(MapSpec),
+    /// Serve a synthetic batch of localization requests and print
+    /// pipeline statistics.
+    Serve(ServeSpec),
     /// List the built-in venues.
     Venues,
     /// Print usage.
@@ -96,6 +104,33 @@ impl Default for MapSpec {
             venue: VenueName::Lab,
             nomadic: false,
             pitch: 0.5,
+        }
+    }
+}
+
+/// Parameters of a `serve` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSpec {
+    /// Venue name.
+    pub venue: VenueName,
+    /// Number of localization requests in the batch.
+    pub requests: usize,
+    /// Probe packets per AP per request.
+    pub packets: usize,
+    /// Worker threads (`0` = one per available CPU).
+    pub workers: usize,
+    /// RNG seed for the synthetic CSI workload.
+    pub seed: u64,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            venue: VenueName::Lab,
+            requests: 40,
+            packets: 20,
+            workers: 0,
+            seed: 2014,
         }
     }
 }
@@ -176,6 +211,7 @@ nomloc — calibration-free indoor localization with nomadic access points
 USAGE:
     nomloc campaign [OPTIONS]     run a measurement campaign
     nomloc map [OPTIONS]          print a localizability heat map
+    nomloc serve [OPTIONS]        serve a synthetic request batch + stats
     nomloc venues                 list built-in venues
     nomloc help                   show this message
 
@@ -198,6 +234,13 @@ MAP OPTIONS:
     --venue lab|lobby|mall        venue (default lab)
     --nomadic                     include the nomadic AP's sites
     --pitch METERS                grid pitch (default 0.5)
+
+SERVE OPTIONS:
+    --venue lab|lobby|mall        venue (default lab)
+    --requests N                  requests in the batch (default 40)
+    --packets N                   probe packets per AP per request (default 20)
+    --workers N                   worker threads, 0 = all CPUs (default 0)
+    --seed N                      workload RNG seed (default 2014)
 ";
 
 /// Parses a full argument list (excluding the program name).
@@ -213,6 +256,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         Some("venues") => Ok(Command::Venues),
         Some("campaign") => parse_campaign(it.as_slice()).map(Command::Campaign),
         Some("map") => parse_map(it.as_slice()).map(Command::Map),
+        Some("serve") => parse_serve(it.as_slice()).map(Command::Serve),
         Some(other) => Err(err(format!("unknown command `{other}`; try `nomloc help`"))),
     }
 }
@@ -227,8 +271,11 @@ fn take_value<'a>(
 }
 
 fn parse_usize(flag: &str, v: &str) -> Result<usize, ParseError> {
-    v.parse()
-        .map_err(|_| err(format!("flag `{flag}`: `{v}` is not a non-negative integer")))
+    v.parse().map_err(|_| {
+        err(format!(
+            "flag `{flag}`: `{v}` is not a non-negative integer"
+        ))
+    })
 }
 
 fn parse_f64(flag: &str, v: &str) -> Result<f64, ParseError> {
@@ -275,9 +322,7 @@ fn parse_campaign(args: &[String]) -> Result<CampaignSpec, ParseError> {
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--venue" => spec.venue = parse_venue(take_value(flag, &mut it)?)?,
-            "--deployment" => {
-                spec.deployment = parse_deployment(take_value(flag, &mut it)?)?
-            }
+            "--deployment" => spec.deployment = parse_deployment(take_value(flag, &mut it)?)?,
             "--packets" => spec.packets = parse_usize(flag, take_value(flag, &mut it)?)?,
             "--trials" => spec.trials = parse_usize(flag, take_value(flag, &mut it)?)?,
             "--er" => spec.er = parse_f64(flag, take_value(flag, &mut it)?)?,
@@ -338,6 +383,26 @@ fn parse_map(args: &[String]) -> Result<MapSpec, ParseError> {
     Ok(spec)
 }
 
+fn parse_serve(args: &[String]) -> Result<ServeSpec, ParseError> {
+    let mut spec = ServeSpec::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--venue" => spec.venue = parse_venue(take_value(flag, &mut it)?)?,
+            "--requests" => spec.requests = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--packets" => spec.packets = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--workers" => spec.workers = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--seed" => {
+                spec.seed = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("flag `--seed`: not an integer"))?
+            }
+            other => return Err(err(format!("unknown serve flag `{other}`"))),
+        }
+    }
+    Ok(spec)
+}
+
 /// Runs a campaign per spec and renders its report to a string.
 pub fn run_campaign(spec: &CampaignSpec) -> String {
     let venue = spec.venue.venue();
@@ -357,7 +422,10 @@ pub fn run_campaign(spec: &CampaignSpec) -> String {
         "campaign: {} / {:?} (packets {}, trials {}, ER {} m, seed {})\n\n",
         venue.name, spec.deployment, spec.packets, spec.trials, spec.er, spec.seed
     ));
-    out.push_str(&format!("{:>6} {:>12} {:>12} {:>10}\n", "site", "truth", "mean_err_m", "prox_acc"));
+    out.push_str(&format!(
+        "{:>6} {:>12} {:>12} {:>10}\n",
+        "site", "truth", "mean_err_m", "prox_acc"
+    ));
     for ((i, o), acc) in result
         .outcomes
         .iter()
@@ -435,6 +503,95 @@ pub fn run_map(spec: &MapSpec) -> String {
         map.predicted_slv(),
         map.blind_spots(3.0).len()
     ));
+    out
+}
+
+/// Splitmix-derived per-request RNG: the same index-keyed seed-derivation
+/// discipline `Campaign::parallel` uses per site, so the workload is
+/// identical no matter how the batch is scheduled.
+fn request_rng(seed: u64, request: usize) -> StdRng {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(request as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Serves a synthetic batch of localization requests (one per venue test
+/// site, round-robin) through `LocalizationServer::process_batch` and
+/// renders the outcome plus the pipeline-stats snapshot.
+pub fn run_serve(spec: &ServeSpec) -> String {
+    let venue = spec.venue.venue();
+    let env = Environment::new(venue.plan.clone(), RadioConfig::default());
+    let mut server = LocalizationServer::new(venue.plan.boundary().clone());
+    if spec.workers > 0 {
+        server = server.with_workers(spec.workers);
+    }
+    let aps = venue.static_deployment();
+    let grid = SubcarrierGrid::intel5300();
+
+    let truths: Vec<Point> = (0..spec.requests)
+        .map(|r| venue.test_sites[r % venue.test_sites.len()])
+        .collect();
+    let batch: Vec<Vec<CsiReport>> = truths
+        .iter()
+        .enumerate()
+        .map(|(r, &object)| {
+            let mut rng = request_rng(spec.seed, r);
+            aps.iter()
+                .enumerate()
+                .map(|(i, &ap)| CsiReport {
+                    site: ApSite::fixed(i + 1, ap),
+                    burst: env.sample_csi_burst(object, ap, &grid, spec.packets, &mut rng),
+                })
+                .collect()
+        })
+        .collect();
+
+    let start = std::time::Instant::now();
+    let results = server.process_batch(&batch);
+    let elapsed = start.elapsed();
+
+    let mut errors: Vec<f64> = Vec::new();
+    let mut failures = 0usize;
+    for (result, &truth) in results.iter().zip(&truths) {
+        match result {
+            Ok(est) => errors.push(est.position.distance(truth)),
+            Err(_) => failures += 1,
+        }
+    }
+    errors.sort_by(|a, b| a.total_cmp(b));
+    let mean = if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    };
+    let median = errors.get(errors.len() / 2).copied().unwrap_or(0.0);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "serve: {} — {} requests × {} APs × {} packets (seed {})\n",
+        venue.name,
+        spec.requests,
+        aps.len(),
+        spec.packets,
+        spec.seed
+    ));
+    let per_req_ms = if spec.requests > 0 {
+        elapsed.as_secs_f64() * 1e3 / spec.requests as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "batch took {:.1} ms ({:.2} ms/request) | mean error {:.2} m | median {:.2} m | failures {}\n\n",
+        elapsed.as_secs_f64() * 1e3,
+        per_req_ms,
+        mean,
+        median,
+        failures
+    ));
+    out.push_str(&server.stats_snapshot().to_string());
     out
 }
 
@@ -583,6 +740,70 @@ mod tests {
     }
 
     #[test]
+    fn serve_flags() {
+        let cmd = parse(&args(
+            "serve --venue lobby --requests 12 --packets 5 --workers 2 --seed 9",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeSpec {
+                venue: VenueName::Lobby,
+                requests: 12,
+                packets: 5,
+                workers: 2,
+                seed: 9,
+            })
+        );
+        assert_eq!(
+            parse(&args("serve")).unwrap(),
+            Command::Serve(ServeSpec::default())
+        );
+        assert!(parse(&args("serve --bogus 1")).is_err());
+        assert!(parse(&args("serve --requests many")).is_err());
+    }
+
+    #[test]
+    fn run_serve_smoke() {
+        let out = run_serve(&ServeSpec {
+            venue: VenueName::Lab,
+            requests: 6,
+            packets: 5,
+            workers: 2,
+            seed: 3,
+        });
+        assert!(out.contains("6 requests"));
+        assert!(out.contains("pipeline stats"));
+        assert!(out.contains("simplex iterations"));
+        assert!(out.contains("failures 0"), "unexpected failures:\n{out}");
+    }
+
+    #[test]
+    fn run_serve_is_deterministic_across_worker_counts() {
+        let serial = run_serve(&ServeSpec {
+            workers: 1,
+            requests: 5,
+            packets: 4,
+            ..ServeSpec::default()
+        });
+        let parallel = run_serve(&ServeSpec {
+            workers: 4,
+            requests: 5,
+            packets: 4,
+            ..ServeSpec::default()
+        });
+        // Error figures (lines with "mean error") must match exactly;
+        // timing lines differ, so compare the error metrics only.
+        let metric = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("mean error"))
+                .map(|l| l.split('|').skip(1).take(3).collect::<Vec<_>>().join("|"))
+                .unwrap()
+        };
+        assert_eq!(metric(&serial), metric(&parallel));
+    }
+
+    #[test]
     fn run_campaign_smoke() {
         let spec = CampaignSpec {
             packets: 8,
@@ -593,6 +814,11 @@ mod tests {
         assert!(out.contains("mean error"));
         assert!(out.contains("SLV"));
         // One row per Lab test site.
-        assert_eq!(out.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 10);
+        assert_eq!(
+            out.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count(),
+            10
+        );
     }
 }

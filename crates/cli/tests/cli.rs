@@ -73,7 +73,11 @@ fn tiny_campaign_runs() {
         "--deployment",
         "static",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("mean error"));
     assert!(text.contains("SLV"));

@@ -1,0 +1,154 @@
+//! Per-venue precomputed geometry for serving (`VenueCache`).
+//!
+//! The boundary virtual-AP constraints of Eq. 9–11 and the convex
+//! decomposition of the area of interest depend only on the venue polygon,
+//! never on the readings of a query. A [`VenueCache`] computes both once so
+//! that per-query work in [`crate::SpEstimator::estimate_cached`] touches
+//! only the reading-dependent judgement constraints.
+//!
+//! Bit-identity guarantee: for every convex piece the cache stores exactly
+//! [`crate::constraints::boundary_constraints`]`(piece, piece.centroid())`,
+//! and the cached estimator concatenates judgement constraints first and
+//! boundary constraints second — the same floats in the same order as
+//! [`crate::constraints::assemble`], so cached and uncached estimates are
+//! bit-for-bit equal (the `cached_geometry_equivalence` property test pins
+//! this down).
+
+use crate::constraints;
+use nomloc_geometry::{convex, Polygon};
+use nomloc_lp::relax::WeightedConstraint;
+
+/// One convex piece of the venue with its precomputed boundary constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedPiece {
+    polygon: Polygon,
+    boundary: Vec<WeightedConstraint>,
+}
+
+impl CachedPiece {
+    /// The convex piece itself.
+    pub fn polygon(&self) -> &Polygon {
+        &self.polygon
+    }
+
+    /// The piece's boundary (virtual-AP) constraints, Eq. 9–11, referenced
+    /// from the piece centroid.
+    pub fn boundary_constraints(&self) -> &[WeightedConstraint] {
+        &self.boundary
+    }
+}
+
+/// Precomputed venue-static geometry: convex decomposition plus per-piece
+/// boundary constraints.
+///
+/// Build one per area of interest and reuse it for every query — the
+/// [`crate::LocalizationServer`] does this internally.
+///
+/// # Example
+///
+/// ```
+/// use nomloc_core::cache::VenueCache;
+/// use nomloc_geometry::{Point, Polygon};
+///
+/// let area = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 8.0));
+/// let cache = VenueCache::new(area);
+/// assert_eq!(cache.pieces().len(), 1); // already convex
+/// assert_eq!(cache.n_boundary_constraints(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VenueCache {
+    area: Polygon,
+    pieces: Vec<CachedPiece>,
+}
+
+impl VenueCache {
+    /// Decomposes `area` and precomputes every piece's boundary
+    /// constraints.
+    pub fn new(area: Polygon) -> Self {
+        let pieces = convex::decompose(&area)
+            .into_iter()
+            .map(|polygon| {
+                let boundary = constraints::boundary_constraints(&polygon, polygon.centroid());
+                CachedPiece { polygon, boundary }
+            })
+            .collect();
+        VenueCache { area, pieces }
+    }
+
+    /// The venue polygon this cache was built from.
+    pub fn area(&self) -> &Polygon {
+        &self.area
+    }
+
+    /// The convex pieces with their cached constraints. Empty only for a
+    /// degenerate polygon that decomposed into nothing.
+    pub fn pieces(&self) -> &[CachedPiece] {
+        &self.pieces
+    }
+
+    /// Total number of cached boundary constraints across all pieces —
+    /// the venue-static share of each query's LP rows.
+    pub fn n_boundary_constraints(&self) -> usize {
+        self.pieces.iter().map(|p| p.boundary.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BOUNDARY_WEIGHT;
+    use nomloc_geometry::Point;
+
+    fn square() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0))
+    }
+
+    fn l_shape() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(20.0, 8.0),
+            Point::new(8.0, 8.0),
+            Point::new(8.0, 15.0),
+            Point::new(0.0, 15.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn convex_area_is_one_piece() {
+        let cache = VenueCache::new(square());
+        assert_eq!(cache.pieces().len(), 1);
+        assert_eq!(cache.pieces()[0].boundary_constraints().len(), 4);
+        assert!(cache.pieces()[0]
+            .boundary_constraints()
+            .iter()
+            .all(|c| c.weight == BOUNDARY_WEIGHT));
+    }
+
+    #[test]
+    fn nonconvex_area_decomposes() {
+        let cache = VenueCache::new(l_shape());
+        assert!(cache.pieces().len() >= 2, "L-shape must split");
+        let total_area: f64 = cache.pieces().iter().map(|p| p.polygon().area()).sum();
+        assert!((total_area - l_shape().area()).abs() < 1e-6);
+        assert!(cache.n_boundary_constraints() >= 6);
+    }
+
+    #[test]
+    fn cached_constraints_match_direct_computation() {
+        let cache = VenueCache::new(l_shape());
+        for piece in cache.pieces() {
+            let direct =
+                constraints::boundary_constraints(piece.polygon(), piece.polygon().centroid());
+            // Bit-identical, not just approximately equal.
+            assert_eq!(piece.boundary_constraints(), direct.as_slice());
+        }
+    }
+
+    #[test]
+    fn area_is_retained() {
+        let cache = VenueCache::new(square());
+        assert_eq!(cache.area(), &square());
+    }
+}

@@ -169,7 +169,11 @@ mod tests {
 
     #[test]
     fn confidence_is_decreasing() {
-        for f in [&PaperExp as &dyn Confidence, &Logistic::new(2.0), &HardDecision] {
+        for f in [
+            &PaperExp as &dyn Confidence,
+            &Logistic::new(2.0),
+            &HardDecision,
+        ] {
             let mut prev = f.confidence(0.01);
             for i in 1..200 {
                 let x = 0.01 + i as f64 * 0.05;

@@ -69,10 +69,7 @@ pub fn boundary_constraints(region: &Polygon, reference: Point) -> Vec<WeightedC
 }
 
 /// Full constraint set for one convex region: judgements plus boundary.
-pub fn assemble(
-    judgements: &[ProximityJudgement],
-    region: &Polygon,
-) -> Vec<WeightedConstraint> {
+pub fn assemble(judgements: &[ProximityJudgement], region: &Polygon) -> Vec<WeightedConstraint> {
     let mut out = judgement_constraints(judgements);
     out.extend(boundary_constraints(region, region.centroid()));
     out
@@ -111,10 +108,18 @@ mod tests {
         let vaps = virtual_aps(&square(), Point::new(3.0, 4.0));
         assert_eq!(vaps.len(), 4);
         // Mirror across y=0 is (3, −4); across x=10 is (17, 4); etc.
-        assert!(vaps.iter().any(|p| p.distance(Point::new(3.0, -4.0)) < 1e-9));
-        assert!(vaps.iter().any(|p| p.distance(Point::new(17.0, 4.0)) < 1e-9));
-        assert!(vaps.iter().any(|p| p.distance(Point::new(3.0, 16.0)) < 1e-9));
-        assert!(vaps.iter().any(|p| p.distance(Point::new(-3.0, 4.0)) < 1e-9));
+        assert!(vaps
+            .iter()
+            .any(|p| p.distance(Point::new(3.0, -4.0)) < 1e-9));
+        assert!(vaps
+            .iter()
+            .any(|p| p.distance(Point::new(17.0, 4.0)) < 1e-9));
+        assert!(vaps
+            .iter()
+            .any(|p| p.distance(Point::new(3.0, 16.0)) < 1e-9));
+        assert!(vaps
+            .iter()
+            .any(|p| p.distance(Point::new(-3.0, 4.0)) < 1e-9));
         // All virtual APs are outside the region.
         assert!(vaps.iter().all(|p| !square().contains(*p)));
     }
@@ -166,8 +171,12 @@ mod tests {
         .unwrap();
         let cs = boundary_constraints(&tri, tri.centroid());
         assert_eq!(cs.len(), 3);
-        assert!(cs.iter().all(|c| c.halfplane.contains(Point::new(1.0, 1.0))));
-        assert!(cs.iter().any(|c| !c.halfplane.contains(Point::new(4.0, 4.0))));
+        assert!(cs
+            .iter()
+            .all(|c| c.halfplane.contains(Point::new(1.0, 1.0))));
+        assert!(cs
+            .iter()
+            .any(|c| !c.halfplane.contains(Point::new(4.0, 4.0))));
     }
 
     #[test]
@@ -192,8 +201,14 @@ mod tests {
             PdpReading::new(ApSite::fixed(2, Point::new(10.0, 0.0)), 0.8),
             PdpReading::new(ApSite::fixed(3, Point::new(0.0, 10.0)), 0.6),
         ];
-        readings.push(PdpReading::new(ApSite::nomadic(0, 0, Point::new(5.0, 5.0)), 2.0));
-        readings.push(PdpReading::new(ApSite::nomadic(0, 1, Point::new(6.0, 4.0)), 2.5));
+        readings.push(PdpReading::new(
+            ApSite::nomadic(0, 0, Point::new(5.0, 5.0)),
+            2.0,
+        ));
+        readings.push(PdpReading::new(
+            ApSite::nomadic(0, 1, Point::new(6.0, 4.0)),
+            2.5,
+        ));
         let js = judge_all_pairs(&readings, &PaperExp);
         assert_eq!(js.len(), 10);
         let nomadic_static = js

@@ -254,9 +254,7 @@ impl Campaign {
         let grid = self.grid.clone();
         let server = LocalizationServer::new(self.venue.plan.boundary().clone())
             .with_center_method(self.center_method)
-            .with_pdp_estimator(
-                crate::pdp::PdpEstimator::new().with_window(self.pdp_window),
-            )
+            .with_pdp_estimator(crate::pdp::PdpEstimator::new().with_window(self.pdp_window))
             .with_confidence(confidence);
         let err_model = PositionError::new(self.position_error);
 
@@ -468,7 +466,8 @@ impl Campaign {
             Point::new(body_center.x + half, body_center.y + half),
         );
         Environment::new(
-            base.plan().with_obstacle(body, nomloc_rfsim::Material::HUMAN),
+            base.plan()
+                .with_obstacle(body, nomloc_rfsim::Material::HUMAN),
             self.venue.radio.clone(),
         )
     }
@@ -538,7 +537,11 @@ mod tests {
         let a = c.run();
         let b = c.run();
         assert_eq!(a.outcomes.len(), 10);
-        assert_eq!(a.site_mean_errors(), b.site_mean_errors(), "same seed, same result");
+        assert_eq!(
+            a.site_mean_errors(),
+            b.site_mean_errors(),
+            "same seed, same result"
+        );
         assert!(a.mean_error().is_finite());
         assert!(a.slv() >= 0.0);
     }
@@ -609,7 +612,13 @@ mod tests {
 
     #[test]
     fn fleet_zero_equals_static_site_count() {
-        let c = quick(Venue::lab(), Deployment::Fleet { nomads: 0, steps: 5 });
+        let c = quick(
+            Venue::lab(),
+            Deployment::Fleet {
+                nomads: 0,
+                steps: 5,
+            },
+        );
         let err = PositionError::none();
         let mut rng = StdRng::seed_from_u64(1);
         let sites = c.measurement_sites(&err, &mut rng);
@@ -624,11 +633,7 @@ mod tests {
             MobilityPattern::Sweep,
             MobilityPattern::Corridor,
         ] {
-            let r = quick(
-                Venue::lab(),
-                Deployment::Nomadic { steps: 4, pattern },
-            )
-            .run();
+            let r = quick(Venue::lab(), Deployment::Nomadic { steps: 4, pattern }).run();
             assert!(r.mean_error().is_finite(), "{pattern:?}");
         }
     }

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod confidence;
 pub mod constraints;
 pub mod estimator;
@@ -57,12 +58,15 @@ pub mod pdp;
 pub mod proximity;
 pub mod scenario;
 pub mod server;
+pub mod stats;
 pub mod tracking;
 
+pub use cache::VenueCache;
 pub use confidence::{Confidence, HardDecision, Logistic, PaperExp};
 pub use estimator::{LocationEstimate, SpEstimator};
 pub use proximity::{ApSite, PdpReading, ProximityJudgement};
 pub use server::LocalizationServer;
+pub use stats::{PipelineStats, StatsSnapshot};
 
 /// Relaxation weight assigned to area-boundary (virtual-AP) constraints.
 ///

@@ -157,8 +157,8 @@ fn cell_info(p: Point, ap_sites: &[Point], pieces: &[Polygon]) -> Option<CellInf
         }
     }
     let region = center::feasible_region(&hps, piece)?;
-    let c = center::center(CenterMethod::Chebyshev, &hps, piece)
-        .unwrap_or_else(|_| region.centroid());
+    let c =
+        center::center(CenterMethod::Chebyshev, &hps, piece).unwrap_or_else(|_| region.centroid());
     Some(CellInfo {
         point: p,
         cell_area: region.area(),
@@ -274,7 +274,11 @@ mod tests {
     fn blind_spots_far_from_clumped_aps() {
         let clumped = analyze(
             &square(),
-            &[Point::new(0.5, 0.5), Point::new(1.5, 0.5), Point::new(0.5, 1.5)],
+            &[
+                Point::new(0.5, 0.5),
+                Point::new(1.5, 0.5),
+                Point::new(0.5, 1.5),
+            ],
             1.0,
         );
         let blind = clumped.blind_spots(2.5);

@@ -122,11 +122,7 @@ pub fn judge_all_pairs<C: Confidence>(
 /// `truth` maps a site to its *actual* position (undoing any reporting
 /// error); `q` is the object's true position. Returns `None` when there are
 /// no judgements.
-pub fn judgement_accuracy<F>(
-    judgements: &[ProximityJudgement],
-    q: Point,
-    truth: F,
-) -> Option<f64>
+pub fn judgement_accuracy<F>(judgements: &[ProximityJudgement], q: Point, truth: F) -> Option<f64>
 where
     F: Fn(&ApSite) -> Point,
 {
@@ -205,8 +201,16 @@ mod tests {
         let q = Point::ORIGIN;
         let near = ApSite::fixed(0, Point::new(1.0, 0.0));
         let far = ApSite::fixed(1, Point::new(5.0, 0.0));
-        let good = ProximityJudgement { near, far, weight: 0.8 };
-        let bad = ProximityJudgement { near: far, far: near, weight: 0.6 };
+        let good = ProximityJudgement {
+            near,
+            far,
+            weight: 0.8,
+        };
+        let bad = ProximityJudgement {
+            near: far,
+            far: near,
+            weight: 0.6,
+        };
         let acc = judgement_accuracy(&[good, bad], q, |s| s.position).unwrap();
         assert!((acc - 0.5).abs() < 1e-12);
         assert_eq!(judgement_accuracy(&[], q, |s| s.position), None);
@@ -219,7 +223,11 @@ mod tests {
         let q = Point::ORIGIN;
         let near = ApSite::nomadic(0, 1, Point::new(50.0, 50.0)); // bogus report
         let far = ApSite::fixed(1, Point::new(5.0, 0.0));
-        let j = ProximityJudgement { near, far, weight: 0.8 };
+        let j = ProximityJudgement {
+            near,
+            far,
+            weight: 0.8,
+        };
         let truth = |s: &ApSite| {
             if s.ap == 0 {
                 Point::new(1.0, 0.0)

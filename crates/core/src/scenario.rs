@@ -57,14 +57,26 @@ impl Venue {
         let boundary = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(12.0, 8.0));
         let plan = FloorPlan::builder(boundary)
             // Two cubicle rows in the west half.
-            .rect_obstacle(Point::new(2.5, 2.0), Point::new(5.0, 2.8), Material::CUBICLE)
-            .rect_obstacle(Point::new(2.5, 4.2), Point::new(5.0, 5.0), Material::CUBICLE)
+            .rect_obstacle(
+                Point::new(2.5, 2.0),
+                Point::new(5.0, 2.8),
+                Material::CUBICLE,
+            )
+            .rect_obstacle(
+                Point::new(2.5, 4.2),
+                Point::new(5.0, 5.0),
+                Material::CUBICLE,
+            )
             // Desk cluster in the east half.
             .rect_obstacle(Point::new(7.0, 4.5), Point::new(9.4, 5.3), Material::WOOD)
             .rect_obstacle(Point::new(7.0, 6.4), Point::new(9.4, 7.2), Material::WOOD)
             // Server racks: near-opaque metal.
             .rect_obstacle(Point::new(5.8, 0.5), Point::new(6.6, 2.0), Material::METAL)
-            .rect_obstacle(Point::new(10.0, 4.0), Point::new(10.8, 5.5), Material::METAL)
+            .rect_obstacle(
+                Point::new(10.0, 4.0),
+                Point::new(10.8, 5.5),
+                Material::METAL,
+            )
             // A drywall partition by the entrance.
             .wall(
                 Segment::new(Point::new(0.0, 5.8), Point::new(2.0, 5.8)),
@@ -114,8 +126,16 @@ impl Venue {
         .expect("lobby outline is a valid polygon");
         let plan = FloorPlan::builder(boundary)
             // Structural pillars.
-            .rect_obstacle(Point::new(8.0, 3.0), Point::new(8.6, 3.6), Material::CONCRETE)
-            .rect_obstacle(Point::new(12.6, 3.0), Point::new(13.2, 3.6), Material::CONCRETE)
+            .rect_obstacle(
+                Point::new(8.0, 3.0),
+                Point::new(8.6, 3.6),
+                Material::CONCRETE,
+            )
+            .rect_obstacle(
+                Point::new(12.6, 3.0),
+                Point::new(13.2, 3.6),
+                Material::CONCRETE,
+            )
             // Benches.
             .rect_obstacle(Point::new(2.0, 10.6), Point::new(4.0, 11.2), Material::WOOD)
             .rect_obstacle(Point::new(14.8, 5.0), Point::new(16.8, 5.6), Material::WOOD)
@@ -179,13 +199,33 @@ impl Venue {
         .expect("mall outline is a valid polygon");
         let plan = FloorPlan::builder(boundary)
             // Kiosks in the atrium.
-            .rect_obstacle(Point::new(13.5, 9.5), Point::new(16.5, 12.5), Material::WOOD)
+            .rect_obstacle(
+                Point::new(13.5, 9.5),
+                Point::new(16.5, 12.5),
+                Material::WOOD,
+            )
             // Pillars at the wing mouths.
-            .rect_obstacle(Point::new(9.0, 8.0), Point::new(9.7, 8.7), Material::CONCRETE)
-            .rect_obstacle(Point::new(20.3, 13.3), Point::new(21.0, 14.0), Material::CONCRETE)
+            .rect_obstacle(
+                Point::new(9.0, 8.0),
+                Point::new(9.7, 8.7),
+                Material::CONCRETE,
+            )
+            .rect_obstacle(
+                Point::new(20.3, 13.3),
+                Point::new(21.0, 14.0),
+                Material::CONCRETE,
+            )
             // Vending machines.
-            .rect_obstacle(Point::new(27.0, 8.0), Point::new(28.2, 9.2), Material::METAL)
-            .rect_obstacle(Point::new(9.0, 19.0), Point::new(10.2, 20.2), Material::METAL)
+            .rect_obstacle(
+                Point::new(27.0, 8.0),
+                Point::new(28.2, 9.2),
+                Material::METAL,
+            )
+            .rect_obstacle(
+                Point::new(9.0, 19.0),
+                Point::new(10.2, 20.2),
+                Material::METAL,
+            )
             .build();
         Venue {
             name: "Mall",
@@ -285,7 +325,11 @@ mod tests {
             .chain(v.test_sites.iter())
             .chain(std::iter::once(&v.nomadic_home))
         {
-            assert!(v.plan.is_placeable(*p), "{} has unplaceable point {p}", v.name);
+            assert!(
+                v.plan.is_placeable(*p),
+                "{} has unplaceable point {p}",
+                v.name
+            );
         }
         // Distinct test sites.
         for i in 0..v.test_sites.len() {

@@ -4,14 +4,29 @@
 //! nomadic) forward CSI bursts for the object's probe packets together with
 //! their own reported coordinates; the server extracts per-link PDPs, forms
 //! pairwise proximity judgements, and runs the SP estimator.
+//!
+//! Serving-scale features on top of the paper pipeline:
+//!
+//! * the venue geometry (convex decomposition + boundary constraints) is
+//!   precomputed once into a [`VenueCache`] at construction, so per-query
+//!   work touches only the reading-dependent constraints;
+//! * [`LocalizationServer::localize_batch`] / `process_batch` fan request
+//!   slices across scoped worker threads with index-ordered result slots —
+//!   the same deterministic fan-out discipline as `Campaign::parallel` —
+//!   so serial and parallel runs return bit-identical estimates;
+//! * a [`PipelineStats`] layer counts stage work and latency, exposed via
+//!   [`LocalizationServer::stats_snapshot`].
 
+use crate::cache::VenueCache;
 use crate::confidence::{Confidence, PaperExp};
 use crate::estimator::{EstimateError, LocationEstimate, SpEstimator};
 use crate::pdp::PdpEstimator;
 use crate::proximity::{judge_all_pairs, ApSite, PdpReading, ProximityJudgement};
+use crate::stats::{PipelineStats, StatsSnapshot};
 use nomloc_geometry::Polygon;
 use nomloc_lp::center::CenterMethod;
 use nomloc_rfsim::CsiSnapshot;
+use std::time::Instant;
 
 /// A CSI report from one AP site: the burst of snapshots it captured for
 /// the object's probe packets, tagged with the site's reported coordinates.
@@ -44,31 +59,40 @@ pub struct CsiReport {
 /// # Ok::<(), nomloc_core::estimator::EstimateError>(())
 /// ```
 pub struct LocalizationServer {
-    area: Polygon,
+    cache: VenueCache,
     pdp: PdpEstimator,
     confidence: Box<dyn Confidence + Send + Sync>,
     estimator: SpEstimator,
+    workers: usize,
+    stats: PipelineStats,
 }
 
 impl std::fmt::Debug for LocalizationServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LocalizationServer")
-            .field("area", &self.area)
+            .field("area", self.cache.area())
             .field("pdp", &self.pdp)
             .field("estimator", &self.estimator)
+            .field("workers", &self.workers)
             .finish_non_exhaustive()
     }
 }
 
 impl LocalizationServer {
     /// Creates a server for the given area of interest with default
-    /// components (paper confidence function, Chebyshev center).
+    /// components (paper confidence function, Chebyshev center) and one
+    /// batch worker per available CPU.
+    ///
+    /// The venue geometry is decomposed and its boundary constraints
+    /// precomputed here, once.
     pub fn new(area: Polygon) -> Self {
         LocalizationServer {
-            area,
+            cache: VenueCache::new(area),
             pdp: PdpEstimator::default(),
             confidence: Box::new(PaperExp),
             estimator: SpEstimator::default(),
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            stats: PipelineStats::new(),
         }
     }
 
@@ -93,25 +117,61 @@ impl LocalizationServer {
         self
     }
 
+    /// Sets the number of worker threads used by the batch entry points.
+    /// `0` or `1` means fully serial batches.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
     /// The area of interest.
     pub fn area(&self) -> &Polygon {
-        &self.area
+        self.cache.area()
+    }
+
+    /// The precomputed venue geometry.
+    pub fn venue_cache(&self) -> &VenueCache {
+        &self.cache
+    }
+
+    /// The live pipeline counters.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Plain-data copy of the current pipeline counters and latency
+    /// histograms.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the pipeline counters and histograms.
+    pub fn reset_stats(&self) {
+        self.stats.reset()
     }
 
     /// Extracts PDP readings from raw CSI reports, skipping empty bursts.
     pub fn extract_readings(&self, reports: &[CsiReport]) -> Vec<PdpReading> {
-        reports
+        let start = Instant::now();
+        let readings: Vec<PdpReading> = reports
             .iter()
             .filter_map(|r| {
                 let pdp = self.pdp.pdp_of_burst(&r.burst)?;
                 (pdp > 0.0 && pdp.is_finite()).then(|| PdpReading::new(r.site, pdp))
             })
-            .collect()
+            .collect();
+        self.stats
+            .record_extract(reports.len() as u64, readings.len() as u64, start.elapsed());
+        readings
     }
 
     /// Forms all pairwise proximity judgements from readings.
     pub fn judge(&self, readings: &[PdpReading]) -> Vec<ProximityJudgement> {
-        judge_all_pairs(readings, &JudgeAdapter(self.confidence.as_ref()))
+        let start = Instant::now();
+        let judgements = judge_all_pairs(readings, &JudgeAdapter(self.confidence.as_ref()));
+        self.stats
+            .record_judge(judgements.len() as u64, start.elapsed());
+        judgements
     }
 
     /// Localizes the object from PDP readings.
@@ -121,7 +181,24 @@ impl LocalizationServer {
     /// Forwards [`EstimateError`] from the SP estimator.
     pub fn localize(&self, readings: &[PdpReading]) -> Result<LocationEstimate, EstimateError> {
         let judgements = self.judge(readings);
-        self.estimator.estimate(&judgements, &self.area)
+        let start = Instant::now();
+        let result = self.estimator.estimate_cached(&judgements, &self.cache);
+        match &result {
+            Ok(est) => {
+                // LP rows built for this query: per convex piece, every
+                // judgement constraint plus the piece's cached boundary.
+                let constraints = self.cache.pieces().len() as u64 * judgements.len() as u64
+                    + self.cache.n_boundary_constraints() as u64;
+                self.stats.record_solve(
+                    constraints,
+                    est.lp_iterations,
+                    est.relaxation_cost > 1e-9,
+                    start.elapsed(),
+                );
+            }
+            Err(_) => self.stats.record_failure(start.elapsed()),
+        }
+        result
     }
 
     /// Full pipeline: CSI reports → PDPs → judgements → estimate.
@@ -132,6 +209,61 @@ impl LocalizationServer {
     pub fn process(&self, reports: &[CsiReport]) -> Result<LocationEstimate, EstimateError> {
         let readings = self.extract_readings(reports);
         self.localize(&readings)
+    }
+
+    /// Localizes a batch of independent requests, fanning them across the
+    /// configured worker threads.
+    ///
+    /// Determinism: requests are assigned to index-ordered result slots —
+    /// request `i` always produces `results[i]` — and the pipeline is
+    /// RNG-free, so serial (`workers ≤ 1`) and parallel runs are
+    /// bit-identical. This mirrors the per-index fan-out discipline of
+    /// `Campaign::parallel`, where each unit of work is keyed by its index
+    /// (there, a splitmix-derived per-site seed) rather than by the thread
+    /// that happens to run it.
+    pub fn localize_batch(
+        &self,
+        requests: &[Vec<PdpReading>],
+    ) -> Vec<Result<LocationEstimate, EstimateError>> {
+        self.run_batch(requests.len(), |i| self.localize(&requests[i]))
+    }
+
+    /// Runs the full pipeline over a batch of raw CSI report sets. Same
+    /// determinism contract as [`LocalizationServer::localize_batch`].
+    pub fn process_batch(
+        &self,
+        requests: &[Vec<CsiReport>],
+    ) -> Vec<Result<LocationEstimate, EstimateError>> {
+        self.run_batch(requests.len(), |i| self.process(&requests[i]))
+    }
+
+    /// Fans `n` index-keyed jobs across scoped threads in contiguous
+    /// chunks, writing each result into its own slot.
+    fn run_batch<T, F>(&self, n: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.workers.clamp(1, n.max(1));
+        if workers <= 1 {
+            return (0..n).map(job).collect();
+        }
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let job = &job;
+            for (w, slots) in results.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    for (k, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(job(w * chunk + k));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("batch worker filled every slot"))
+            .collect()
     }
 }
 
@@ -173,14 +305,19 @@ mod tests {
         ];
         let est = server.localize(&readings).unwrap();
         // AP1's corner.
-        assert!(est.position.x < 6.0 && est.position.y < 6.0, "{}", est.position);
+        assert!(
+            est.position.x < 6.0 && est.position.y < 6.0,
+            "{}",
+            est.position
+        );
     }
 
     #[test]
     fn judgement_count() {
         let server = LocalizationServer::new(square());
-        let readings: Vec<PdpReading> =
-            (0..4).map(|i| reading(i, i as f64, 0.0, 1e-6 * (i + 1) as f64)).collect();
+        let readings: Vec<PdpReading> = (0..4)
+            .map(|i| reading(i, i as f64, 0.0, 1e-6 * (i + 1) as f64))
+            .collect();
         assert_eq!(server.judge(&readings).len(), 6);
     }
 
@@ -249,5 +386,64 @@ mod tests {
     fn debug_is_nonempty() {
         let server = LocalizationServer::new(square());
         assert!(format!("{server:?}").contains("LocalizationServer"));
+    }
+
+    fn request(seed: u64) -> Vec<PdpReading> {
+        // Deterministic pseudo-PDPs spread over four corner APs.
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..4)
+            .map(|i| {
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+                let frac = (x >> 11) as f64 / (1u64 << 53) as f64;
+                let corner = [(1.0, 1.0), (11.0, 1.0), (11.0, 11.0), (1.0, 11.0)][i];
+                reading(i, corner.0, corner.1, 1e-7 + 1e-5 * frac)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_loop() {
+        let requests: Vec<Vec<PdpReading>> = (0..17).map(request).collect();
+        let server = LocalizationServer::new(square()).with_workers(4);
+        let batch = server.localize_batch(&requests);
+        let serial: Vec<_> = requests.iter().map(|r| server.localize(r)).collect();
+        assert_eq!(batch, serial);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let server = LocalizationServer::new(square()).with_workers(8);
+        assert!(server.localize_batch(&[]).is_empty());
+        assert!(server.process_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_requests() {
+        let requests: Vec<Vec<PdpReading>> = (0..3).map(request).collect();
+        let server = LocalizationServer::new(square()).with_workers(64);
+        assert_eq!(server.localize_batch(&requests).len(), 3);
+    }
+
+    #[test]
+    fn stats_count_requests_and_stages() {
+        let server = LocalizationServer::new(square()).with_workers(2);
+        let requests: Vec<Vec<PdpReading>> = (0..6).map(request).collect();
+        let results = server.localize_batch(&requests);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let c = server.stats_snapshot().counters;
+        assert_eq!(c.requests, 6);
+        assert_eq!(c.judgements_formed, 6 * 6); // C(4,2) judgements each
+        assert!(c.simplex_iterations > 0);
+        assert_eq!(c.estimate_failures, 0);
+        server.reset_stats();
+        assert_eq!(server.stats_snapshot().counters.requests, 0);
+    }
+
+    #[test]
+    fn venue_cache_is_exposed() {
+        let server = LocalizationServer::new(square());
+        assert_eq!(server.venue_cache().pieces().len(), 1);
+        assert_eq!(server.venue_cache().n_boundary_constraints(), 4);
     }
 }

@@ -1,0 +1,411 @@
+//! Dependency-free serving observability (`PipelineStats`).
+//!
+//! The localization server counts work done at every stage of the pipeline
+//! (reports in, readings extracted, judgements formed, constraints built,
+//! simplex iterations, relaxations that had to pay) and tracks per-stage
+//! latency in power-of-two histograms. Everything is an [`AtomicU64`] with
+//! relaxed ordering: recording from the `localize_batch` worker threads is
+//! wait-free and the *totals* are exact regardless of interleaving — only
+//! the wall-clock histograms vary run to run.
+//!
+//! [`PipelineStats::snapshot`] returns a plain-data [`StatsSnapshot`] whose
+//! [`CounterTotals`] half is deterministic for a deterministic workload; the
+//! batch-determinism integration test relies on that split.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^{i+1})` nanoseconds, with the last bucket absorbing everything
+/// ≥ 2³⁰ ns (~1 s) — far beyond any single pipeline stage here.
+pub const LATENCY_BUCKETS: usize = 31;
+
+/// Wait-free power-of-two latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    total_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Index of the bucket covering `ns` (0 ns maps to bucket 0).
+    fn bucket_index(ns: u64) -> usize {
+        (63 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Copies the current bucket counts out.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.total_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Bucket `i` counts samples in `[2^i, 2^{i+1})` ns.
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Sum of all recorded samples, ns.
+    pub total_ns: u64,
+}
+
+impl LatencySnapshot {
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean sample, ns (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / n as f64
+        }
+    }
+
+    /// Upper edge (ns) of the bucket containing quantile `q ∈ [0, 1]`.
+    ///
+    /// Power-of-two buckets make this an upper *bound* with at most 2×
+    /// resolution error — plenty for spotting stage regressions.
+    pub fn quantile_upper_bound_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Deterministic counter totals of a [`StatsSnapshot`].
+///
+/// For a fixed request stream these are identical whether the server ran
+/// serially or across `localize_batch` workers — the counters are pure
+/// sums of per-request quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterTotals {
+    /// Localization requests served (one per `localize`/`process` call).
+    pub requests: u64,
+    /// Raw CSI reports offered to PDP extraction.
+    pub reports_in: u64,
+    /// PDP readings that survived extraction.
+    pub readings_extracted: u64,
+    /// Pairwise proximity judgements formed.
+    pub judgements_formed: u64,
+    /// Half-plane constraints assembled (judgement + boundary).
+    pub constraints_generated: u64,
+    /// Simplex pivot iterations across every relaxation LP.
+    pub simplex_iterations: u64,
+    /// Requests whose winning piece paid a non-zero relaxation cost.
+    pub relaxations_triggered: u64,
+    /// Requests that returned an [`crate::estimator::EstimateError`].
+    pub estimate_failures: u64,
+}
+
+/// Plain-data copy of a [`PipelineStats`], taken by
+/// [`PipelineStats::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// The deterministic counters.
+    pub counters: CounterTotals,
+    /// PDP-extraction stage latency.
+    pub extract_latency: LatencySnapshot,
+    /// Judgement-formation stage latency.
+    pub judge_latency: LatencySnapshot,
+    /// Constraint-generation + LP stage latency (the estimator call).
+    pub solve_latency: LatencySnapshot,
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.counters;
+        writeln!(f, "pipeline stats")?;
+        writeln!(f, "  requests              {}", c.requests)?;
+        writeln!(f, "  reports in            {}", c.reports_in)?;
+        writeln!(f, "  readings extracted    {}", c.readings_extracted)?;
+        writeln!(f, "  judgements formed     {}", c.judgements_formed)?;
+        writeln!(f, "  constraints generated {}", c.constraints_generated)?;
+        writeln!(f, "  simplex iterations    {}", c.simplex_iterations)?;
+        writeln!(f, "  relaxations triggered {}", c.relaxations_triggered)?;
+        writeln!(f, "  estimate failures     {}", c.estimate_failures)?;
+        for (name, h) in [
+            ("extract", &self.extract_latency),
+            ("judge", &self.judge_latency),
+            ("solve", &self.solve_latency),
+        ] {
+            if h.count() > 0 {
+                writeln!(
+                    f,
+                    "  {name:<8} latency     mean {}, p50 ≤ {}, p99 ≤ {} ({} samples)",
+                    fmt_ns(h.mean_ns()),
+                    fmt_ns(h.quantile_upper_bound_ns(0.50) as f64),
+                    fmt_ns(h.quantile_upper_bound_ns(0.99) as f64),
+                    h.count()
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wait-free counters + histograms for the serving pipeline.
+///
+/// Shared by reference across batch workers; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    requests: AtomicU64,
+    reports_in: AtomicU64,
+    readings_extracted: AtomicU64,
+    judgements_formed: AtomicU64,
+    constraints_generated: AtomicU64,
+    simplex_iterations: AtomicU64,
+    relaxations_triggered: AtomicU64,
+    estimate_failures: AtomicU64,
+    extract_latency: LatencyHistogram,
+    judge_latency: LatencyHistogram,
+    solve_latency: LatencyHistogram,
+}
+
+impl PipelineStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one PDP-extraction stage: `reports` offered, `readings`
+    /// kept.
+    pub fn record_extract(&self, reports: u64, readings: u64, elapsed: Duration) {
+        self.reports_in.fetch_add(reports, Ordering::Relaxed);
+        self.readings_extracted
+            .fetch_add(readings, Ordering::Relaxed);
+        self.extract_latency.record(elapsed);
+    }
+
+    /// Records one judgement-formation stage producing `judgements`.
+    pub fn record_judge(&self, judgements: u64, elapsed: Duration) {
+        self.judgements_formed
+            .fetch_add(judgements, Ordering::Relaxed);
+        self.judge_latency.record(elapsed);
+    }
+
+    /// Records one successful estimator call.
+    pub fn record_solve(
+        &self,
+        constraints: u64,
+        simplex_iterations: u64,
+        relaxed: bool,
+        elapsed: Duration,
+    ) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.constraints_generated
+            .fetch_add(constraints, Ordering::Relaxed);
+        self.simplex_iterations
+            .fetch_add(simplex_iterations, Ordering::Relaxed);
+        if relaxed {
+            self.relaxations_triggered.fetch_add(1, Ordering::Relaxed);
+        }
+        self.solve_latency.record(elapsed);
+    }
+
+    /// Records one estimator call that returned an error.
+    pub fn record_failure(&self, elapsed: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.estimate_failures.fetch_add(1, Ordering::Relaxed);
+        self.solve_latency.record(elapsed);
+    }
+
+    /// Copies the current state out as plain data.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            counters: CounterTotals {
+                requests: self.requests.load(Ordering::Relaxed),
+                reports_in: self.reports_in.load(Ordering::Relaxed),
+                readings_extracted: self.readings_extracted.load(Ordering::Relaxed),
+                judgements_formed: self.judgements_formed.load(Ordering::Relaxed),
+                constraints_generated: self.constraints_generated.load(Ordering::Relaxed),
+                simplex_iterations: self.simplex_iterations.load(Ordering::Relaxed),
+                relaxations_triggered: self.relaxations_triggered.load(Ordering::Relaxed),
+                estimate_failures: self.estimate_failures.load(Ordering::Relaxed),
+            },
+            extract_latency: self.extract_latency.snapshot(),
+            judge_latency: self.judge_latency.snapshot(),
+            solve_latency: self.solve_latency.snapshot(),
+        }
+    }
+
+    /// Zeroes every counter and histogram.
+    pub fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.reports_in.store(0, Ordering::Relaxed);
+        self.readings_extracted.store(0, Ordering::Relaxed);
+        self.judgements_formed.store(0, Ordering::Relaxed);
+        self.constraints_generated.store(0, Ordering::Relaxed);
+        self.simplex_iterations.store(0, Ordering::Relaxed);
+        self.relaxations_triggered.store(0, Ordering::Relaxed);
+        self.estimate_failures.store(0, Ordering::Relaxed);
+        self.extract_latency.reset();
+        self.judge_latency.reset();
+        self.solve_latency.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(LatencyHistogram::bucket_index(1024), 10);
+        assert_eq!(
+            LatencyHistogram::bucket_index(u64::MAX),
+            LATENCY_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(300));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.total_ns, 400);
+        assert!((s.mean_ns() - 200.0).abs() < 1e-9);
+        // 100 ns → bucket 6 ([64, 128)); 300 ns → bucket 8 ([256, 512)).
+        assert_eq!(s.buckets[6], 1);
+        assert_eq!(s.buckets[8], 1);
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100));
+        }
+        h.record(Duration::from_micros(100));
+        let s = h.snapshot();
+        assert!(s.quantile_upper_bound_ns(0.5) <= 128);
+        assert!(s.quantile_upper_bound_ns(1.0) >= 100_000);
+        assert_eq!(
+            LatencySnapshot {
+                buckets: [0; LATENCY_BUCKETS],
+                total_ns: 0,
+            }
+            .quantile_upper_bound_ns(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = PipelineStats::new();
+        stats.record_extract(4, 3, Duration::from_micros(5));
+        stats.record_judge(3, Duration::from_micros(2));
+        stats.record_solve(9, 17, true, Duration::from_micros(40));
+        stats.record_solve(9, 11, false, Duration::from_micros(35));
+        stats.record_failure(Duration::from_micros(1));
+        let c = stats.snapshot().counters;
+        assert_eq!(c.requests, 3);
+        assert_eq!(c.reports_in, 4);
+        assert_eq!(c.readings_extracted, 3);
+        assert_eq!(c.judgements_formed, 3);
+        assert_eq!(c.constraints_generated, 18);
+        assert_eq!(c.simplex_iterations, 28);
+        assert_eq!(c.relaxations_triggered, 1);
+        assert_eq!(c.estimate_failures, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let stats = PipelineStats::new();
+        stats.record_extract(4, 3, Duration::from_micros(5));
+        stats.record_solve(9, 17, true, Duration::from_micros(40));
+        stats.reset();
+        let s = stats.snapshot();
+        assert_eq!(s.counters, CounterTotals::default());
+        assert_eq!(s.extract_latency.count(), 0);
+        assert_eq!(s.solve_latency.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_sums_exactly() {
+        let stats = PipelineStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        stats.record_solve(5, 3, false, Duration::from_nanos(10));
+                    }
+                });
+            }
+        });
+        let c = stats.snapshot().counters;
+        assert_eq!(c.requests, 8000);
+        assert_eq!(c.constraints_generated, 40_000);
+        assert_eq!(c.simplex_iterations, 24_000);
+    }
+
+    #[test]
+    fn display_renders() {
+        let stats = PipelineStats::new();
+        stats.record_extract(2, 2, Duration::from_micros(3));
+        stats.record_judge(1, Duration::from_micros(1));
+        stats.record_solve(5, 7, false, Duration::from_micros(20));
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("requests"));
+        assert!(text.contains("simplex iterations    7"));
+        assert!(text.contains("solve"));
+    }
+}

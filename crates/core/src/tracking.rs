@@ -240,7 +240,11 @@ mod tests {
         }
         assert!(final_pos.distance(Point::new(29.0, 0.0)) < 0.5);
         // Velocity estimate converges to 1 m/s east.
-        assert!((t.velocity().x - 1.0).abs() < 0.2, "vx = {}", t.velocity().x);
+        assert!(
+            (t.velocity().x - 1.0).abs() < 0.2,
+            "vx = {}",
+            t.velocity().x
+        );
         assert!(t.velocity().y.abs() < 0.1);
     }
 

@@ -1,0 +1,102 @@
+//! Serial / parallel equivalence of the batched serving path.
+//!
+//! `LocalizationServer::localize_batch` fans request slices across scoped
+//! worker threads. The localization pipeline is RNG-free, so the worker
+//! count must never change a single bit of any estimate, and the
+//! `PipelineStats` counter totals (exact sums of per-request increments)
+//! must agree too. Latency histograms are deliberately excluded: wall-clock
+//! timings are the one thing that legitimately varies run to run.
+
+use nomloc_core::proximity::{ApSite, PdpReading};
+use nomloc_core::scenario::Venue;
+use nomloc_core::LocalizationServer;
+
+/// Deterministic pseudo-random requests from a splitmix stream seeded per
+/// request index, so every worker count sees the identical batch.
+fn batch_for(venue: &Venue, n: usize) -> Vec<Vec<PdpReading>> {
+    let aps = venue.static_deployment();
+    (0..n as u64)
+        .map(|req| {
+            aps.iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let mut z = (req + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64 + 1);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    let frac = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+                    PdpReading::new(ApSite::fixed(i + 1, p), 1e-8 + 1e-5 * frac)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn batch_estimates_identical_across_worker_counts() {
+    for venue in [Venue::lab(), Venue::lobby()] {
+        let area = venue.plan.boundary().clone();
+        let requests = batch_for(&venue, 23);
+
+        let serial = LocalizationServer::new(area.clone()).with_workers(1);
+        let reference = serial.localize_batch(&requests);
+        assert_eq!(reference.len(), requests.len());
+        assert!(
+            reference.iter().all(|r| r.is_ok()),
+            "{}: reference batch should localize every request",
+            venue.name
+        );
+
+        for workers in [2, 3, 8, 64] {
+            let parallel = LocalizationServer::new(area.clone()).with_workers(workers);
+            let got = parallel.localize_batch(&requests);
+            assert_eq!(
+                reference, got,
+                "{}: {workers}-worker batch diverged from serial",
+                venue.name
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_counter_totals_identical_across_worker_counts() {
+    let venue = Venue::lab();
+    let area = venue.plan.boundary().clone();
+    let requests = batch_for(&venue, 17);
+
+    let serial = LocalizationServer::new(area.clone()).with_workers(1);
+    serial.localize_batch(&requests);
+    let reference = serial.stats_snapshot().counters;
+    assert_eq!(reference.requests, requests.len() as u64);
+    assert!(reference.simplex_iterations > 0);
+
+    for workers in [2, 5, 16] {
+        let parallel = LocalizationServer::new(area.clone()).with_workers(workers);
+        parallel.localize_batch(&requests);
+        assert_eq!(
+            reference,
+            parallel.stats_snapshot().counters,
+            "{workers}-worker counter totals diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn repeated_batches_accumulate_counters_exactly() {
+    let venue = Venue::lab();
+    let server = LocalizationServer::new(venue.plan.boundary().clone()).with_workers(4);
+    let requests = batch_for(&venue, 9);
+
+    server.localize_batch(&requests);
+    let once = server.stats_snapshot().counters;
+    server.localize_batch(&requests);
+    let twice = server.stats_snapshot().counters;
+
+    assert_eq!(twice.requests, 2 * once.requests);
+    assert_eq!(twice.judgements_formed, 2 * once.judgements_formed);
+    assert_eq!(twice.constraints_generated, 2 * once.constraints_generated);
+    assert_eq!(twice.simplex_iterations, 2 * once.simplex_iterations);
+
+    server.reset_stats();
+    assert_eq!(server.stats_snapshot().counters.requests, 0);
+}

@@ -3,7 +3,7 @@
 use nomloc_core::confidence::{Confidence, HardDecision, Logistic, PaperExp};
 use nomloc_core::constraints::{boundary_constraints, judgement_constraints};
 use nomloc_core::proximity::{judge_all_pairs, ApSite, PdpReading, ProximityJudgement};
-use nomloc_core::SpEstimator;
+use nomloc_core::{SpEstimator, VenueCache};
 use nomloc_geometry::{Point, Polygon};
 use proptest::prelude::*;
 
@@ -160,6 +160,46 @@ proptest! {
         if area().distance_to_boundary(probe) > 1e-6 {
             prop_assert_eq!(inside, satisfied, "mismatch at {}", probe);
         }
+    }
+
+    // Estimating against a precomputed `VenueCache` is bit-identical to the
+    // uncached path, over random convex areas (points on a random ellipse,
+    // ordered by angle, are always in convex position) and random reading
+    // sets — including inconsistent ones that trigger relaxation.
+    #[test]
+    fn cached_estimate_matches_uncached(
+        raw_angles in prop::collection::vec(0.0..std::f64::consts::TAU, 4..9),
+        semi_axes in (2.0..6.0f64, 1.5..5.0f64),
+        center in (-3.0..3.0f64, -3.0..3.0f64),
+        aps in prop::collection::vec(((-4.0..8.0f64, -4.0..8.0f64), 1e-9..1e-3f64), 3..7),
+    ) {
+        let (sa, sb) = semi_axes;
+        let (cx, cy) = center;
+        let mut angles = raw_angles;
+        angles.sort_by(f64::total_cmp);
+        angles.dedup_by(|cur, prev| (*cur - *prev).abs() < 0.3);
+        prop_assume!(angles.len() >= 3);
+        prop_assume!(angles[angles.len() - 1] - angles[0] < std::f64::consts::TAU - 0.3);
+        let vertices: Vec<Point> = angles
+            .iter()
+            .map(|&t| Point::new(cx + sa * t.cos(), cy + sb * t.sin()))
+            .collect();
+        let area = match Polygon::new(vertices) {
+            Ok(p) => p,
+            Err(_) => { prop_assume!(false); unreachable!() }
+        };
+        prop_assume!(area.area() > 1.0);
+
+        let readings: Vec<PdpReading> = aps
+            .iter()
+            .enumerate()
+            .map(|(i, &((x, y), pdp))| PdpReading::new(ApSite::fixed(i, Point::new(x, y)), pdp))
+            .collect();
+        let js = judge_all_pairs(&readings, &PaperExp);
+
+        let est = SpEstimator::new();
+        let cache = VenueCache::new(area.clone());
+        prop_assert_eq!(est.estimate(&js, &area), est.estimate_cached(&js, &cache));
     }
 
     // Adding a truthful judgement never grows the feasible region.

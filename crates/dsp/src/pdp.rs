@@ -352,12 +352,13 @@ mod tests {
 
     #[test]
     fn k_factor_orders_los_vs_nlos() {
-        let los = DelayProfile::from_cir(
-            &[Complex::new(3.0, 0.0), Complex::new(0.5, 0.0)],
-            50e-9,
-        );
+        let los = DelayProfile::from_cir(&[Complex::new(3.0, 0.0), Complex::new(0.5, 0.0)], 50e-9);
         let nlos = DelayProfile::from_cir(
-            &[Complex::new(1.0, 0.0), Complex::new(0.9, 0.0), Complex::new(0.8, 0.0)],
+            &[
+                Complex::new(1.0, 0.0),
+                Complex::new(0.9, 0.0),
+                Complex::new(0.8, 0.0),
+            ],
             50e-9,
         );
         assert!(los.k_factor() > nlos.k_factor());

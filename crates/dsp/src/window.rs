@@ -56,9 +56,7 @@ impl Window {
             Window::Rectangular => 1.0,
             Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
             Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
         }
     }
 
@@ -105,7 +103,10 @@ mod tests {
     fn rectangular_is_identity() {
         let x = vec![Complex::new(1.0, 2.0); 8];
         assert_eq!(Window::Rectangular.apply(&x), x);
-        assert!(Window::Rectangular.coefficients(5).iter().all(|&c| c == 1.0));
+        assert!(Window::Rectangular
+            .coefficients(5)
+            .iter()
+            .all(|&c| c == 1.0));
         assert!((Window::Rectangular.enbw(64) - 1.0).abs() < 1e-12);
     }
 

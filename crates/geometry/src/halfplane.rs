@@ -114,11 +114,7 @@ impl HalfPlane {
 
 impl fmt::Display for HalfPlane {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{:.3}·x + {:.3}·y ≤ {:.3}",
-            self.a.x, self.a.y, self.b
-        )
+        write!(f, "{:.3}·x + {:.3}·y ≤ {:.3}", self.a.x, self.a.y, self.b)
     }
 }
 
@@ -247,7 +243,7 @@ mod tests {
     #[test]
     fn intersect_halfplanes_empty() {
         let hps = [
-            HalfPlane::new(Vec2::new(1.0, 0.0), 2.0),  // x ≤ 2
+            HalfPlane::new(Vec2::new(1.0, 0.0), 2.0),   // x ≤ 2
             HalfPlane::new(Vec2::new(-1.0, 0.0), -8.0), // x ≥ 8
         ];
         assert!(intersect_halfplanes(&square10(), &hps).is_none());

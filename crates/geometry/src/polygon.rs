@@ -371,7 +371,10 @@ mod tests {
     fn centroid_of_l_shape() {
         // L = 4×2 rect (centroid (2,1), area 8) + 2×2 square (centroid (1,3), area 4).
         let l = l_shape();
-        let expected = Point::new((2.0 * 8.0 + 1.0 * 4.0) / 12.0, (1.0 * 8.0 + 3.0 * 4.0) / 12.0);
+        let expected = Point::new(
+            (2.0 * 8.0 + 1.0 * 4.0) / 12.0,
+            (1.0 * 8.0 + 3.0 * 4.0) / 12.0,
+        );
         assert!(l.centroid().distance(expected) < 1e-12);
     }
 

@@ -116,7 +116,8 @@ pub fn analytic_center(halfplanes: &[HalfPlane], bounds: &Polygon) -> Result<Poi
     all.extend(polygon_halfplanes(bounds));
     // Strictly interior start.
     let start = chebyshev_center(halfplanes, bounds)?;
-    let slack_at = |z: Point| -> Vec<f64> { all.iter().map(|h| h.b - h.a.dot(z.to_vec())).collect() };
+    let slack_at =
+        |z: Point| -> Vec<f64> { all.iter().map(|h| h.b - h.a.dot(z.to_vec())).collect() };
     let s0 = slack_at(start);
     if s0.iter().any(|&s| s <= 1e-12) {
         // Zero inradius: fall back to the (boundary) Chebyshev point.

@@ -39,6 +39,7 @@ pub struct Relaxation {
     slacks: Vec<f64>,
     cost: f64,
     relaxed: Vec<HalfPlane>,
+    iterations: u64,
 }
 
 impl Relaxation {
@@ -72,6 +73,12 @@ impl Relaxation {
     /// This system is guaranteed non-empty (it contains the witness).
     pub fn relaxed_halfplanes(&self) -> &[HalfPlane] {
         &self.relaxed
+    }
+
+    /// Simplex iterations the underlying LP spent — feeds the
+    /// `simplex_iterations` counter of the serving stats layer.
+    pub fn lp_iterations(&self) -> u64 {
+        self.iterations
     }
 }
 
@@ -122,6 +129,7 @@ pub fn relax_constraints(constraints: &[WeightedConstraint]) -> Result<Relaxatio
         slacks,
         cost: s.objective,
         relaxed,
+        iterations: s.iterations,
     })
 }
 
@@ -171,7 +179,11 @@ mod tests {
         let r = relax_constraints(&cs).unwrap();
         assert!(!r.is_exact());
         assert!(r.slacks()[4] < 1e-6, "high-weight constraint was relaxed");
-        assert!(r.slacks()[5] >= 4.0 - 1e-6, "low-weight slack {}", r.slacks()[5]);
+        assert!(
+            r.slacks()[5] >= 4.0 - 1e-6,
+            "low-weight slack {}",
+            r.slacks()[5]
+        );
         // Cost = w · violation = 0.55 · 4.
         assert!((r.cost() - 2.2).abs() < 1e-5);
     }
@@ -224,6 +236,16 @@ mod tests {
         // Witness stays within the box; judgement absorbed the slack.
         assert!(r.witness().x <= 10.0 + 1e-6);
         assert!(r.slacks()[4] >= 10.0 - 1e-6);
+    }
+
+    #[test]
+    fn lp_iterations_surface() {
+        let cs = boxed(vec![
+            WeightedConstraint::new(hp(1.0, 0.0, 2.0), 0.9),
+            WeightedConstraint::new(hp(-1.0, 0.0, -6.0), 0.55),
+        ]);
+        let r = relax_constraints(&cs).unwrap();
+        assert!(r.lp_iterations() > 0);
     }
 
     #[test]

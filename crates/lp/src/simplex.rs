@@ -60,6 +60,9 @@ pub struct Solution {
     pub x: Vec<f64>,
     /// Optimal objective value `cᵀx`.
     pub objective: f64,
+    /// Simplex pivot-loop iterations spent across both phases — the
+    /// solver-effort figure surfaced by the serving stats layer.
+    pub iterations: u64,
 }
 
 impl Program {
@@ -199,7 +202,7 @@ impl Program {
             rhs.push(b);
         }
 
-        let y = solve_standard(&c_std, &rows, &rhs)?;
+        let (y, iterations) = solve_standard(&c_std, &rows, &rhs)?;
 
         // Map back to the caller's variables.
         let mut x = vec![0.0; n];
@@ -208,13 +211,17 @@ impl Program {
             x[j] = y[pos] - neg.map_or(0.0, |k| y[k]);
         }
         let objective = self.c.iter().zip(&x).map(|(c, x)| c * x).sum();
-        Ok(Solution { x, objective })
+        Ok(Solution {
+            x,
+            objective,
+            iterations,
+        })
     }
 }
 
 /// Solves `min cᵀy s.t. Ry = rhs, y ≥ 0` with `rhs ≥ 0` by two-phase
-/// simplex. Returns the optimal `y`.
-fn solve_standard(c: &[f64], rows: &[Vec<f64>], rhs: &[f64]) -> Result<Vec<f64>, LpError> {
+/// simplex. Returns the optimal `y` and the total pivot-loop iterations.
+fn solve_standard(c: &[f64], rows: &[Vec<f64>], rhs: &[f64]) -> Result<(Vec<f64>, u64), LpError> {
     let m = rows.len();
     let n = c.len();
     if m == 0 {
@@ -223,7 +230,7 @@ fn solve_standard(c: &[f64], rows: &[Vec<f64>], rhs: &[f64]) -> Result<Vec<f64>,
         if c.iter().any(|&ci| ci < -TOL) {
             return Err(LpError::Unbounded);
         }
-        return Ok(vec![0.0; n]);
+        return Ok((vec![0.0; n], 0));
     }
 
     // Tableau with artificial variables appended: columns
@@ -243,7 +250,7 @@ fn solve_standard(c: &[f64], rows: &[Vec<f64>], rhs: &[f64]) -> Result<Vec<f64>,
     for c in &mut phase1_cost[n..n + m] {
         *c = 1.0;
     }
-    let opt1 = run_simplex(&mut t, &mut basis, &phase1_cost, n + m)?;
+    let (opt1, iters1) = run_simplex(&mut t, &mut basis, &phase1_cost, n + m)?;
     if opt1 > 1e-7 {
         return Err(LpError::Infeasible);
     }
@@ -262,7 +269,7 @@ fn solve_standard(c: &[f64], rows: &[Vec<f64>], rhs: &[f64]) -> Result<Vec<f64>,
     // restricting the entering-variable scan to the first n columns.
     let mut phase2_cost = vec![0.0; width];
     phase2_cost[..n].copy_from_slice(c);
-    run_simplex(&mut t, &mut basis, &phase2_cost, n)?;
+    let (_, iters2) = run_simplex(&mut t, &mut basis, &phase2_cost, n)?;
 
     let mut y = vec![0.0; n];
     for i in 0..m {
@@ -270,17 +277,18 @@ fn solve_standard(c: &[f64], rows: &[Vec<f64>], rhs: &[f64]) -> Result<Vec<f64>,
             y[basis[i]] = t[i][width - 1];
         }
     }
-    Ok(y)
+    Ok((y, iters1 + iters2))
 }
 
 /// Runs the simplex pivot loop. `scan_cols` limits which columns may enter
-/// the basis. Returns the optimal objective for `cost`.
+/// the basis. Returns the optimal objective for `cost` and the number of
+/// loop iterations spent reaching it.
 fn run_simplex(
     t: &mut [Vec<f64>],
     basis: &mut [usize],
     cost: &[f64],
     scan_cols: usize,
-) -> Result<f64, LpError> {
+) -> Result<(f64, u64), LpError> {
     let m = t.len();
     let width = t[0].len();
     let max_iters = 2000 + 50 * (m + scan_cols);
@@ -314,7 +322,7 @@ fn run_simplex(
             let obj = (0..m)
                 .map(|i| cost[basis[i]] * t[i][width - 1])
                 .sum::<f64>();
-            return Ok(obj);
+            return Ok((obj, iter as u64));
         };
 
         // Ratio test (Bland ties: smallest basis index).
@@ -324,8 +332,7 @@ fn run_simplex(
             if t[i][e] > TOL {
                 let ratio = t[i][width - 1] / t[i][e];
                 if ratio < best_ratio - TOL
-                    || (ratio < best_ratio + TOL
-                        && leaving.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best_ratio + TOL && leaving.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leaving = Some(i);
@@ -530,7 +537,25 @@ mod tests {
             }
             i += 0.01;
         }
-        assert!(s.objective <= best + 1e-3, "{} vs grid {}", s.objective, best);
+        assert!(
+            s.objective <= best + 1e-3,
+            "{} vs grid {}",
+            s.objective,
+            best
+        );
+    }
+
+    #[test]
+    fn iterations_reported() {
+        let mut p = Program::new(2);
+        p.set_objective(0, -3.0).set_objective(1, -5.0);
+        p.set_nonneg(0).set_nonneg(1);
+        p.add_le(vec![1.0, 0.0], 4.0);
+        p.add_le(vec![0.0, 2.0], 12.0);
+        p.add_le(vec![3.0, 2.0], 18.0);
+        let s = p.solve().unwrap();
+        // Reaching (2, 6) needs real pivot work in at least one phase.
+        assert!(s.iterations > 0, "iterations = {}", s.iterations);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Simplex and relaxation edge cases: degenerate ties, unbounded
+//! directions, and relaxation when the judgement system is wholly
+//! infeasible.
+
+use nomloc_geometry::{HalfPlane, Vec2};
+use nomloc_lp::relax::{relax_constraints, WeightedConstraint};
+use nomloc_lp::simplex::Program;
+use nomloc_lp::LpError;
+
+/// Three constraints meet at the degenerate vertex (1, 1): the optimal
+/// basis is not unique and Dantzig pivoting can stall on zero-length
+/// steps. The Bland fallback must still reach the optimum.
+#[test]
+fn degenerate_vertex_tie_is_solved() {
+    let mut p = Program::new(2);
+    p.set_objective(0, -1.0).set_objective(1, -1.0);
+    p.set_nonneg(0).set_nonneg(1);
+    p.add_le(vec![1.0, 0.0], 1.0);
+    p.add_le(vec![0.0, 1.0], 1.0);
+    p.add_le(vec![1.0, 1.0], 2.0); // redundant: active at the same vertex
+    let s = p.solve().expect("degenerate LP solves");
+    assert!((s.objective + 2.0).abs() < 1e-7);
+    assert!((s.x[0] - 1.0).abs() < 1e-7 && (s.x[1] - 1.0).abs() < 1e-7);
+}
+
+/// Duplicated rows are the harshest degeneracy: every basis containing one
+/// copy ties with the basis containing the other.
+#[test]
+fn duplicated_constraints_are_harmless() {
+    let mut p = Program::new(2);
+    p.set_objective(0, -3.0).set_objective(1, -2.0);
+    p.set_nonneg(0).set_nonneg(1);
+    for _ in 0..4 {
+        p.add_le(vec![1.0, 1.0], 5.0);
+    }
+    p.add_le(vec![1.0, 0.0], 3.0);
+    let s = p.solve().expect("duplicated rows solve");
+    // Optimum at (3, 2): objective −13.
+    assert!((s.objective + 13.0).abs() < 1e-7);
+}
+
+/// Degenerate ties must break deterministically: the same program solved
+/// twice returns bit-identical solutions (the serving batch path relies on
+/// this).
+#[test]
+fn degenerate_ties_break_deterministically() {
+    let build = || {
+        let mut p = Program::new(2);
+        p.set_objective(0, -1.0).set_objective(1, -1.0);
+        p.set_nonneg(0).set_nonneg(1);
+        p.add_le(vec![1.0, 0.0], 1.0);
+        p.add_le(vec![0.0, 1.0], 1.0);
+        p.add_le(vec![1.0, 1.0], 2.0);
+        p.add_le(vec![2.0, 2.0], 4.0);
+        p.solve().expect("solves")
+    };
+    assert_eq!(build(), build());
+}
+
+/// An objective that can ride a feasible ray to −∞ must be rejected as
+/// `Unbounded`, not looped on or "solved".
+#[test]
+fn unbounded_direction_is_rejected() {
+    let mut p = Program::new(2);
+    p.set_objective(0, -1.0); // maximize x, which is unconstrained above
+    p.set_nonneg(0).set_nonneg(1);
+    p.add_le(vec![0.0, 1.0], 1.0);
+    assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+}
+
+/// A free variable (no non-negativity) with no constraint at all is the
+/// minimal unbounded program.
+#[test]
+fn free_variable_unbounded_is_rejected() {
+    let mut p = Program::new(1);
+    p.set_objective(0, 1.0);
+    assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+}
+
+/// Relaxation over a wholly infeasible system — every constraint
+/// contradicts the others — still returns a witness, pays a positive
+/// cost, and the relaxed half-planes contain the witness.
+#[test]
+fn relaxation_repairs_all_infeasible_system() {
+    // x ≤ −1  and  x ≥ 2 (written −x ≤ −2): empty intersection.
+    let cs = vec![
+        WeightedConstraint::new(HalfPlane::new(Vec2::new(1.0, 0.0), -1.0), 1.0),
+        WeightedConstraint::new(HalfPlane::new(Vec2::new(-1.0, 0.0), -2.0), 1.0),
+        // Keep y bounded so the LP has a finite optimum.
+        WeightedConstraint::new(HalfPlane::new(Vec2::new(0.0, 1.0), 1.0), 1.0),
+        WeightedConstraint::new(HalfPlane::new(Vec2::new(0.0, -1.0), 1.0), 1.0),
+    ];
+    let r = relax_constraints(&cs).expect("relaxation always succeeds");
+    assert!(!r.is_exact());
+    assert!(r.cost() >= 3.0 - 1e-7, "must pay the full 3-unit gap");
+    let w = r.witness();
+    for h in r.relaxed_halfplanes() {
+        assert!(h.violation(w) <= 1e-7, "witness violates relaxed {h:?}");
+    }
+}
+
+/// The ℓ₁ objective sacrifices the cheap constraint: with one low-weight
+/// and one high-weight side of a contradiction, all slack lands on the
+/// low-weight row.
+#[test]
+fn relaxation_sacrifices_cheapest_constraint() {
+    let cs = vec![
+        WeightedConstraint::new(HalfPlane::new(Vec2::new(1.0, 0.0), -1.0), 0.1),
+        WeightedConstraint::new(HalfPlane::new(Vec2::new(-1.0, 0.0), -2.0), 100.0),
+        WeightedConstraint::new(HalfPlane::new(Vec2::new(0.0, 1.0), 1.0), 1.0),
+        WeightedConstraint::new(HalfPlane::new(Vec2::new(0.0, -1.0), 1.0), 1.0),
+    ];
+    let r = relax_constraints(&cs).expect("relaxation succeeds");
+    assert!(r.slacks()[0] >= 3.0 - 1e-7, "cheap row takes the slack");
+    assert!(r.slacks()[1] <= 1e-7, "expensive row stays tight");
+    assert!(
+        r.witness().x >= 2.0 - 1e-7,
+        "witness obeys the expensive side"
+    );
+}
+
+/// Zero judgement constraints is a valid (trivially feasible) relaxation
+/// input when the caller supplies only boundary rows elsewhere.
+#[test]
+fn relaxation_of_single_constraint_is_exact() {
+    let cs = vec![WeightedConstraint::new(
+        HalfPlane::new(Vec2::new(1.0, 1.0), 4.0),
+        2.5,
+    )];
+    let r = relax_constraints(&cs).expect("single constraint");
+    assert!(r.is_exact());
+    assert_eq!(r.slacks().len(), 1);
+    assert!(r.slacks()[0].abs() <= 1e-9);
+}
+
+/// Iteration accounting: a degenerate program still reports a positive,
+/// finite pivot count, and identical programs report identical counts.
+#[test]
+fn iteration_counts_are_deterministic() {
+    let solve = || {
+        let mut p = Program::new(2);
+        p.set_objective(0, -1.0).set_objective(1, -2.0);
+        p.set_nonneg(0).set_nonneg(1);
+        p.add_le(vec![1.0, 1.0], 3.0);
+        p.add_le(vec![1.0, 1.0], 3.0);
+        p.add_le(vec![1.0, 0.0], 2.0);
+        p.solve().expect("solves")
+    };
+    let (a, b) = (solve(), solve());
+    assert!(a.iterations > 0);
+    assert_eq!(a.iterations, b.iterations);
+}

@@ -63,7 +63,10 @@ impl fmt::Display for MobilityError {
                 write!(f, "transition matrix shape does not match site count")
             }
             MobilityError::InvalidRow(i) => {
-                write!(f, "transition matrix row {i} is not a probability distribution")
+                write!(
+                    f,
+                    "transition matrix row {i} is not a probability distribution"
+                )
             }
         }
     }
@@ -396,7 +399,10 @@ mod tests {
         let short = chain.coverage(0, 1, 200, &mut rng);
         let long = chain.coverage(0, 20, 200, &mut rng);
         assert!(long > short);
-        assert!(long > 0.9, "20 uniform steps over 5 sites covers most: {long}");
+        assert!(
+            long > 0.9,
+            "20 uniform steps over 5 sites covers most: {long}"
+        );
     }
 
     #[test]
@@ -426,7 +432,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let p = Point::ORIGIN;
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| e.apply(p, &mut rng).distance(p)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| e.apply(p, &mut rng).distance(p))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 2.0).abs() < 0.05, "mean displacement {mean}");
     }
 

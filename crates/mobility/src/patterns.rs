@@ -32,11 +32,7 @@ pub fn stay_biased(n: usize, stay: f64) -> Vec<Vec<f64>> {
     }
     let move_p = (1.0 - stay) / (n - 1) as f64;
     (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|j| if i == j { stay } else { move_p })
-                .collect()
-        })
+        .map(|i| (0..n).map(|j| if i == j { stay } else { move_p }).collect())
         .collect()
 }
 

@@ -207,7 +207,9 @@ fn text(x: f64, y: f64, label: &str) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders one or more labelled CDFs as an SVG line chart (the Fig. 9/10
@@ -224,7 +226,9 @@ pub fn cdf_chart(title: &str, curves: &[(&str, &Ecdf)]) -> Option<String> {
     const B: f64 = 40.0; // bottom axis margin
     const T: f64 = 30.0;
     const R: f64 = 20.0;
-    let palette = ["#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e", "#e6ab02"];
+    let palette = [
+        "#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e", "#e6ab02",
+    ];
 
     let x_max = curves
         .iter()
@@ -361,7 +365,10 @@ mod tests {
             .ap(Point::new(11.0, 7.0), "AP2")
             .object(Point::new(6.0, 6.0), "person")
             .estimate(Point::new(6.5, 6.2), "est")
-            .region(Polygon::rectangle(Point::new(5.0, 5.0), Point::new(8.0, 7.0)))
+            .region(Polygon::rectangle(
+                Point::new(5.0, 5.0),
+                Point::new(8.0, 7.0),
+            ))
             .render();
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
@@ -379,8 +386,12 @@ mod tests {
         // A point at the venue's top edge must render *above* (smaller y
         // than) a bottom-edge point.
         let p = plan();
-        let svg_top = SceneBuilder::new(&p).object(Point::new(6.0, 8.0), "").render();
-        let svg_bottom = SceneBuilder::new(&p).object(Point::new(6.0, 0.0), "").render();
+        let svg_top = SceneBuilder::new(&p)
+            .object(Point::new(6.0, 8.0), "")
+            .render();
+        let svg_bottom = SceneBuilder::new(&p)
+            .object(Point::new(6.0, 0.0), "")
+            .render();
         let cy = |s: &str| -> f64 {
             let i = s.find("cy=\"").unwrap() + 4;
             s[i..].split('"').next().unwrap().parse().unwrap()
@@ -391,7 +402,9 @@ mod tests {
     #[test]
     fn labels_are_escaped() {
         let p = plan();
-        let svg = SceneBuilder::new(&p).object(Point::new(1.0, 1.0), "<&>").render();
+        let svg = SceneBuilder::new(&p)
+            .object(Point::new(1.0, 1.0), "<&>")
+            .render();
         assert!(svg.contains("&lt;&amp;&gt;"));
         assert!(!svg.contains("<&>"));
     }
@@ -423,10 +436,7 @@ mod tests {
         std::env::remove_var("NOMLOC_SVG_DIR");
         assert!(svg_dir_from_env().is_none());
         std::env::set_var("NOMLOC_SVG_DIR", "/tmp/x");
-        assert_eq!(
-            svg_dir_from_env(),
-            Some(std::path::PathBuf::from("/tmp/x"))
-        );
+        assert_eq!(svg_dir_from_env(), Some(std::path::PathBuf::from("/tmp/x")));
         std::env::remove_var("NOMLOC_SVG_DIR");
     }
 }

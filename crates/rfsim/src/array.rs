@@ -90,9 +90,7 @@ impl AntennaArray {
     pub fn positions(&self) -> Vec<Point> {
         let half_span = (self.count - 1) as f64 * self.spacing / 2.0;
         (0..self.count)
-            .map(|k| {
-                self.center + self.orientation * (k as f64 * self.spacing - half_span)
-            })
+            .map(|k| self.center + self.orientation * (k as f64 * self.spacing - half_span))
             .collect()
     }
 }

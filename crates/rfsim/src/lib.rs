@@ -62,12 +62,19 @@ pub use csi::{CsiSnapshot, SubcarrierGrid};
 pub use material::Material;
 pub use pathloss::RadioConfig;
 pub use plan::{FloorPlan, FloorPlanBuilder, Obstacle, Wall};
-pub use trace::{LinkTrace, PropagationPath, PathKind};
+pub use trace::{
+    trace_link, trace_link_cached, LinkTrace, PathKind, PropagationPath, TraceGeometry,
+};
 
 use nomloc_geometry::Point;
 use rand::Rng;
 
 /// A simulated radio environment: a floor plan plus radio parameters.
+///
+/// Construction precomputes the plan's [`TraceGeometry`] (reflective
+/// surfaces, their supporting lines, scatter corners) so every
+/// [`Environment::trace`] call reuses it instead of rebuilding it per
+/// link.
 ///
 /// This is the top-level entry point; see the [crate docs](self) for the
 /// propagation model.
@@ -75,12 +82,19 @@ use rand::Rng;
 pub struct Environment {
     plan: FloorPlan,
     config: RadioConfig,
+    geometry: TraceGeometry,
 }
 
 impl Environment {
-    /// Creates an environment from a floor plan and radio configuration.
+    /// Creates an environment from a floor plan and radio configuration,
+    /// precomputing the plan's ray-tracing geometry.
     pub fn new(plan: FloorPlan, config: RadioConfig) -> Self {
-        Environment { plan, config }
+        let geometry = TraceGeometry::new(&plan);
+        Environment {
+            plan,
+            config,
+            geometry,
+        }
     }
 
     /// The floor plan.
@@ -91,6 +105,11 @@ impl Environment {
     /// The radio configuration.
     pub fn config(&self) -> &RadioConfig {
         &self.config
+    }
+
+    /// The precomputed ray-tracing geometry of the floor plan.
+    pub fn trace_geometry(&self) -> &TraceGeometry {
+        &self.geometry
     }
 
     /// Traces all propagation paths between `tx` and `rx`.
@@ -114,7 +133,7 @@ impl Environment {
     /// assert!((trace.direct().unwrap().length - 8.0).abs() < 1e-9);
     /// ```
     pub fn trace(&self, tx: Point, rx: Point) -> LinkTrace {
-        trace::trace_link(&self.plan, &self.config, tx, rx)
+        trace::trace_link_cached(&self.plan, &self.config, &self.geometry, tx, rx)
     }
 
     /// Samples one noisy CSI snapshot for the `tx → rx` link.
@@ -261,8 +280,10 @@ mod tests {
         let rx = Point::new(10.0, 5.0);
         let clean = env.trace(tx, rx).rss_dbm();
         let n = 4000;
-        let mean: f64 =
-            (0..n).map(|_| env.sample_rss_dbm(tx, rx, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| env.sample_rss_dbm(tx, rx, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - clean).abs() < 0.2, "mean {mean} vs clean {clean}");
     }
 

@@ -229,7 +229,10 @@ mod tests {
     fn obstruction_above_wall_is_clear() {
         let plan = room();
         assert!(plan.is_los(Point::new(2.0, 8.0), Point::new(4.0, 8.0)));
-        assert_eq!(plan.obstruction_db(Point::new(2.0, 8.0), Point::new(4.0, 8.0)), 0.0);
+        assert_eq!(
+            plan.obstruction_db(Point::new(2.0, 8.0), Point::new(4.0, 8.0)),
+            0.0
+        );
     }
 
     #[test]
@@ -312,7 +315,10 @@ mod tests {
         assert!((plan.boundary().area() - 400.0).abs() < 1e-9);
         assert_eq!(plan.walls().len(), 1);
         assert!((plan.walls()[0].segment.length() - 12.0).abs() < 1e-9);
-        assert!(!plan.is_placeable(Point::new(16.0, 16.0)), "obstacle scaled too");
+        assert!(
+            !plan.is_placeable(Point::new(16.0, 16.0)),
+            "obstacle scaled too"
+        );
     }
 
     #[test]

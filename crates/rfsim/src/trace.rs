@@ -1,10 +1,11 @@
 //! Image-method multipath ray tracing.
 
 use crate::csi::{CsiSnapshot, SubcarrierGrid};
+use crate::material::Material;
 use crate::pathloss::{RadioConfig, SPEED_OF_LIGHT};
 use crate::plan::FloorPlan;
-use nomloc_geometry::{Point, Segment};
 use nomloc_dsp::Complex;
+use nomloc_geometry::{Line, Point, Segment};
 use rand::Rng;
 use std::f64::consts::TAU;
 
@@ -137,10 +138,8 @@ impl LinkTrace {
                     })
                     .sum();
                 let ramp = Complex::cis(-TAU * f * sto);
-                let noise = Complex::new(
-                    sigma * crate::gaussian(rng),
-                    sigma * crate::gaussian(rng),
-                );
+                let noise =
+                    Complex::new(sigma * crate::gaussian(rng), sigma * crate::gaussian(rng));
                 sum * common * ramp + noise
             })
             .collect();
@@ -151,8 +150,64 @@ impl LinkTrace {
     }
 }
 
-/// Traces every modelled path of the `tx → rx` link.
+/// Venue-static ray-tracing geometry, precomputed once per floor plan.
+///
+/// `trace_link` needs the plan's reflective surfaces, their supporting
+/// lines (the "image tables" the mirror method folds TX across for first-
+/// and second-order bounces), and the scatter corners. None of these
+/// depend on the link endpoints, so a serving loop tracing many links
+/// against one plan should build a `TraceGeometry` once and call
+/// [`trace_link_cached`] — [`crate::Environment`] does this internally.
+///
+/// The cached values are the same floats the per-link path recomputes, so
+/// cached and uncached traces are bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceGeometry {
+    surfaces: Vec<(Segment, Material)>,
+    lines: Vec<Option<Line>>,
+    scatterers: Vec<Point>,
+}
+
+impl TraceGeometry {
+    /// Precomputes the reflective surfaces, supporting lines, and scatter
+    /// corners of `plan`.
+    pub fn new(plan: &FloorPlan) -> Self {
+        let surfaces = plan.reflective_surfaces();
+        let lines = surfaces.iter().map(|(seg, _)| seg.line()).collect();
+        TraceGeometry {
+            surfaces,
+            lines,
+            scatterers: plan.scatterers(),
+        }
+    }
+
+    /// The reflective surfaces (boundary edges, walls, obstacle faces).
+    pub fn surfaces(&self) -> &[(Segment, Material)] {
+        &self.surfaces
+    }
+
+    /// The scatter corners.
+    pub fn scatterers(&self) -> &[Point] {
+        &self.scatterers
+    }
+}
+
+/// Traces every modelled path of the `tx → rx` link, recomputing the
+/// venue geometry on the fly. Prefer [`trace_link_cached`] in loops.
 pub fn trace_link(plan: &FloorPlan, config: &RadioConfig, tx: Point, rx: Point) -> LinkTrace {
+    trace_link_cached(plan, config, &TraceGeometry::new(plan), tx, rx)
+}
+
+/// Traces every modelled path of the `tx → rx` link using precomputed
+/// venue geometry. `geom` must have been built from `plan` (the plan is
+/// still needed for obstruction tests).
+pub fn trace_link_cached(
+    plan: &FloorPlan,
+    config: &RadioConfig,
+    geom: &TraceGeometry,
+    tx: Point,
+    rx: Point,
+) -> LinkTrace {
     let mut paths = Vec::new();
     let lambda = config.wavelength();
 
@@ -188,12 +243,11 @@ pub fn trace_link(plan: &FloorPlan, config: &RadioConfig, tx: Point, rx: Point) 
         plan.obstruction_db(tx, rx),
     );
 
-    let surfaces = plan.reflective_surfaces();
-
     // First-order reflections.
     if config.reflection_order >= 1 {
-        for (seg, mat) in &surfaces {
-            if let Some((r, len)) = reflect_once(seg, tx, rx) {
+        for ((seg, mat), line) in geom.surfaces.iter().zip(&geom.lines) {
+            let Some(line) = line else { continue };
+            if let Some((r, len)) = reflect_with_line(line, seg, tx, rx) {
                 let obstruction = plan.obstruction_db(tx, r) + plan.obstruction_db(r, rx);
                 push(PathKind::Reflection1, len, mat.reflection_db, obstruction);
             }
@@ -202,14 +256,14 @@ pub fn trace_link(plan: &FloorPlan, config: &RadioConfig, tx: Point, rx: Point) 
 
     // Second-order reflections.
     if config.reflection_order >= 2 {
-        for (i, (s1, m1)) in surfaces.iter().enumerate() {
-            let Some(l1) = s1.line() else { continue };
+        for (i, ((s1, m1), l1)) in geom.surfaces.iter().zip(&geom.lines).enumerate() {
+            let Some(l1) = l1 else { continue };
             let img1 = l1.mirror(tx);
-            for (j, (s2, m2)) in surfaces.iter().enumerate() {
+            for (j, ((s2, m2), l2)) in geom.surfaces.iter().zip(&geom.lines).enumerate() {
                 if i == j {
                     continue;
                 }
-                let Some(l2) = s2.line() else { continue };
+                let Some(l2) = l2 else { continue };
                 let img2 = l2.mirror(img1);
                 // Unfold backwards: RX ← R2 ← R1 ← TX.
                 let Some(r2) = Segment::new(img2, rx).intersection_inclusive(s2) else {
@@ -233,7 +287,7 @@ pub fn trace_link(plan: &FloorPlan, config: &RadioConfig, tx: Point, rx: Point) 
     }
 
     // Corner scattering.
-    for v in plan.scatterers() {
+    for &v in &geom.scatterers {
         let d1 = tx.distance(v);
         let d2 = v.distance(rx);
         if d1 < 1e-6 || d2 < 1e-6 {
@@ -261,8 +315,14 @@ pub fn trace_link(plan: &FloorPlan, config: &RadioConfig, tx: Point, rx: Point) 
 /// Finds the first-order specular reflection of `tx → seg → rx`.
 ///
 /// Returns the reflection point and the unfolded path length.
+#[cfg(test)]
 fn reflect_once(seg: &Segment, tx: Point, rx: Point) -> Option<(Point, f64)> {
     let line = seg.line()?;
+    reflect_with_line(&line, seg, tx, rx)
+}
+
+/// [`reflect_once`] with the segment's supporting line already computed.
+fn reflect_with_line(line: &Line, seg: &Segment, tx: Point, rx: Point) -> Option<(Point, f64)> {
     // TX and RX must be on the same side for a specular bounce.
     let st = line.signed_distance(tx);
     let sr = line.signed_distance(rx);
@@ -296,7 +356,12 @@ mod tests {
 
     #[test]
     fn direct_path_length_and_delay() {
-        let t = trace_link(&open_plan(), &config(), Point::new(1.0, 1.0), Point::new(4.0, 5.0));
+        let t = trace_link(
+            &open_plan(),
+            &config(),
+            Point::new(1.0, 1.0),
+            Point::new(4.0, 5.0),
+        );
         let d = t.direct().unwrap();
         assert!((d.length - 5.0).abs() < 1e-12);
         assert!((d.delay - 5.0 / SPEED_OF_LIGHT).abs() < 1e-20);
@@ -306,7 +371,12 @@ mod tests {
 
     #[test]
     fn direct_path_is_strongest_in_open_room() {
-        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 5.0), Point::new(10.0, 5.0));
+        let t = trace_link(
+            &open_plan(),
+            &config(),
+            Point::new(2.0, 5.0),
+            Point::new(10.0, 5.0),
+        );
         assert_eq!(t.paths()[0].kind, PathKind::Direct);
         assert!(t.paths().len() > 1, "reflections expected off the walls");
     }
@@ -315,7 +385,12 @@ mod tests {
     fn first_order_reflection_geometry() {
         // TX (2,2), RX (6,2) reflecting off the floor wall y=0: specular
         // point at (4,0), length = 2·√(2²+2²)= 5.657.
-        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 2.0), Point::new(6.0, 2.0));
+        let t = trace_link(
+            &open_plan(),
+            &config(),
+            Point::new(2.0, 2.0),
+            Point::new(6.0, 2.0),
+        );
         let expected = 2.0 * (2.0f64 * 2.0 + 2.0 * 2.0).sqrt();
         let found = t
             .paths()
@@ -360,19 +435,27 @@ mod tests {
         c.path_dynamic_range_db = 120.0;
         let t = trace_link(&open_plan(), &c, tx, rx);
         let expected = (8.0f64 * 8.0 + 20.0 * 20.0).sqrt();
-        let found = t.paths().iter().any(|p| {
-            p.kind == PathKind::Reflection2 && (p.length - expected).abs() < 1e-6
-        });
-        assert!(found, "floor–ceiling double bounce of length {expected:.3} missing");
+        let found = t
+            .paths()
+            .iter()
+            .any(|p| p.kind == PathKind::Reflection2 && (p.length - expected).abs() < 1e-6);
+        assert!(
+            found,
+            "floor–ceiling double bounce of length {expected:.3} missing"
+        );
         // Side-wall double bounce (x = 0 then x = 20), both endpoints at
         // the same height: 6 m to the left wall + 20 m across + 6 m back
         // to RX = 32 m (image of TX over x=0 is (−6,5), re-mirrored over
         // x=20 is (46,5); |46 − 14| = 32).
         let side = 32.0f64;
-        let found_side = t.paths().iter().any(|p| {
-            p.kind == PathKind::Reflection2 && (p.length - side).abs() < 1e-6
-        });
-        assert!(found_side, "wall–wall double bounce of length {side} missing");
+        let found_side = t
+            .paths()
+            .iter()
+            .any(|p| p.kind == PathKind::Reflection2 && (p.length - side).abs() < 1e-6);
+        assert!(
+            found_side,
+            "wall–wall double bounce of length {side} missing"
+        );
     }
 
     #[test]
@@ -411,7 +494,12 @@ mod tests {
         ))
         .rect_obstacle(Point::new(9.0, 4.0), Point::new(11.0, 6.0), Material::METAL)
         .build();
-        let t = trace_link(&plan, &config(), Point::new(5.0, 5.0), Point::new(15.0, 5.0));
+        let t = trace_link(
+            &plan,
+            &config(),
+            Point::new(5.0, 5.0),
+            Point::new(15.0, 5.0),
+        );
         assert_ne!(t.paths()[0].kind, PathKind::Direct);
         assert!(!t.is_los());
     }
@@ -430,21 +518,36 @@ mod tests {
 
     #[test]
     fn rss_in_sane_dbm_range() {
-        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 5.0), Point::new(12.0, 5.0));
+        let t = trace_link(
+            &open_plan(),
+            &config(),
+            Point::new(2.0, 5.0),
+            Point::new(12.0, 5.0),
+        );
         let rss = t.rss_dbm();
         assert!((-90.0..0.0).contains(&rss), "rss {rss} dBm");
     }
 
     #[test]
     fn csi_subcarrier_count_matches_grid() {
-        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 2.0), Point::new(9.0, 7.0));
+        let t = trace_link(
+            &open_plan(),
+            &config(),
+            Point::new(2.0, 2.0),
+            Point::new(9.0, 7.0),
+        );
         assert_eq!(t.csi(&SubcarrierGrid::intel5300()).len(), 30);
         assert_eq!(t.csi(&SubcarrierGrid::full_80211n_20mhz()).len(), 56);
     }
 
     #[test]
     fn csi_energy_matches_path_power_roughly() {
-        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 2.0), Point::new(9.0, 7.0));
+        let t = trace_link(
+            &open_plan(),
+            &config(),
+            Point::new(2.0, 2.0),
+            Point::new(9.0, 7.0),
+        );
         let grid = SubcarrierGrid::full_80211n_20mhz();
         let h = t.csi(&grid);
         let mean_sq: f64 = h.iter().map(|z| z.norm_sq()).sum::<f64>() / h.len() as f64;
@@ -457,7 +560,12 @@ mod tests {
 
     #[test]
     fn sampled_csi_differs_per_packet_but_same_magnitude_scale() {
-        let t = trace_link(&open_plan(), &config(), Point::new(2.0, 2.0), Point::new(12.0, 7.0));
+        let t = trace_link(
+            &open_plan(),
+            &config(),
+            Point::new(2.0, 2.0),
+            Point::new(12.0, 7.0),
+        );
         let grid = SubcarrierGrid::intel5300();
         let mut rng = StdRng::seed_from_u64(8);
         let a = t.sample_csi(&config(), &grid, &mut rng);
@@ -479,6 +587,41 @@ mod tests {
         let nt = trace_link(&open_plan(), &tight, tx, rx).paths().len();
         let nl = trace_link(&open_plan(), &loose, tx, rx).paths().len();
         assert!(nt < nl);
+    }
+
+    #[test]
+    fn cached_trace_is_bit_identical() {
+        let plan = FloorPlan::builder(Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 10.0),
+        ))
+        .wall(
+            Segment::new(Point::new(10.0, 0.0), Point::new(10.0, 6.0)),
+            Material::CONCRETE,
+        )
+        .rect_obstacle(Point::new(4.0, 7.0), Point::new(6.0, 9.0), Material::METAL)
+        .build();
+        let geom = TraceGeometry::new(&plan);
+        let mut c = config();
+        c.path_dynamic_range_db = 120.0;
+        for (tx, rx) in [
+            (Point::new(1.0, 1.0), Point::new(18.0, 8.0)),
+            (Point::new(5.0, 5.0), Point::new(15.0, 5.0)),
+            (Point::new(2.0, 8.0), Point::new(8.0, 2.0)),
+        ] {
+            let fresh = trace_link(&plan, &c, tx, rx);
+            let cached = trace_link_cached(&plan, &c, &geom, tx, rx);
+            // Full struct equality, no tolerance: same floats, same order.
+            assert_eq!(fresh, cached);
+        }
+    }
+
+    #[test]
+    fn trace_geometry_accessors() {
+        let plan = open_plan();
+        let geom = TraceGeometry::new(&plan);
+        assert_eq!(geom.surfaces().len(), 4, "four boundary edges");
+        assert!(geom.scatterers().is_empty());
     }
 
     #[test]

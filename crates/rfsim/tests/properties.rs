@@ -10,11 +10,8 @@ const W: f64 = 24.0;
 const H: f64 = 14.0;
 
 fn open_env() -> Environment {
-    let plan = FloorPlan::builder(Polygon::rectangle(
-        Point::new(0.0, 0.0),
-        Point::new(W, H),
-    ))
-    .build();
+    let plan =
+        FloorPlan::builder(Polygon::rectangle(Point::new(0.0, 0.0), Point::new(W, H))).build();
     Environment::new(plan, RadioConfig::default())
 }
 

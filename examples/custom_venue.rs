@@ -42,7 +42,11 @@ fn main() {
             Material::GLASS,
         )
         // A copier and a bookshelf.
-        .rect_obstacle(Point::new(13.0, 1.0), Point::new(14.2, 2.2), Material::METAL)
+        .rect_obstacle(
+            Point::new(13.0, 1.0),
+            Point::new(14.2, 2.2),
+            Material::METAL,
+        )
         .rect_obstacle(Point::new(6.0, 8.0), Point::new(9.8, 8.8), Material::WOOD)
         .build();
 
@@ -55,8 +59,8 @@ fn main() {
 
     // ---- 3. Server with the exact analytic-center backend the paper's
     //         CVX implementation used.
-    let server = LocalizationServer::new(plan.boundary().clone())
-        .with_center_method(CenterMethod::Analytic);
+    let server =
+        LocalizationServer::new(plan.boundary().clone()).with_center_method(CenterMethod::Analytic);
 
     // ---- 4. Deployment: three wall-mounted APs + one roaming tablet.
     let static_aps = [

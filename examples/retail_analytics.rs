@@ -96,7 +96,10 @@ fn main() {
 
     let total: usize = true_counts.iter().sum();
     println!("dwell-share heat map over {total} shopper-steps:");
-    println!("{:<26} {:>8} {:>8} {:>8}", "zone", "truth", "static", "nomadic");
+    println!(
+        "{:<26} {:>8} {:>8} {:>8}",
+        "zone", "truth", "static", "nomadic"
+    );
     let mut static_skew = 0.0;
     let mut nomadic_skew = 0.0;
     for z in 0..4 {

@@ -22,13 +22,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Walking route through the Lab (waypoints).
-const ROUTE: [(f64, f64); 5] = [
-    (1.5, 1.5),
-    (5.2, 1.5),
-    (6.9, 3.5),
-    (6.0, 6.0),
-    (10.4, 6.6),
-];
+const ROUTE: [(f64, f64); 5] = [(1.5, 1.5), (5.2, 1.5), (6.9, 3.5), (6.0, 6.0), (10.4, 6.6)];
 
 /// Interpolates the route into per-second ground-truth positions.
 fn ground_truth(speed: f64) -> Vec<Point> {
@@ -105,10 +99,7 @@ fn main() {
         println!(
             "  {label:<26} mean error {err:.2} m, path length {:.1} m (truth ≈ {:.1} m)",
             tracker.path_length(),
-            truth
-                .windows(2)
-                .map(|w| w[0].distance(w[1]))
-                .sum::<f64>()
+            truth.windows(2).map(|w| w[0].distance(w[1])).sum::<f64>()
         );
         results.push((label, err));
     }

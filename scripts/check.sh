@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, then the tier-1 build + test pass.
+# Everything runs --offline; the workspace has no network dependencies
+# (rand/proptest/criterion are vendored path crates under shims/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1 gate: cargo build --release && cargo test -q"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "==> full workspace tests"
+cargo test -q --workspace --offline
+
+echo "All checks passed."

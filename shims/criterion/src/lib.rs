@@ -1,0 +1,330 @@
+//! Offline drop-in replacement for the subset of `criterion` 0.5 that the
+//! nomloc workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim as a path dependency under the real crate name. It
+//! keeps criterion's bench-authoring surface — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `BenchmarkGroup`
+//! configuration, `Bencher::iter`, `BenchmarkId` — while replacing the
+//! statistics engine with a simple wall-clock sampler:
+//!
+//! * `Bencher::iter` warms up for the configured warm-up time, sizes the
+//!   per-sample iteration count to fit the measurement budget, then takes
+//!   `sample_size` samples and reports min / median / max ns-per-iteration;
+//! * a substring filter passed on the command line (as `cargo bench -- foo`
+//!   does) restricts which benchmark IDs run; `--bench` and other harness
+//!   flags are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        let function_name = function_name.into();
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for groups benching one function over inputs.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `bench_function`-style methods: either a `&str` or a
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SamplingConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    config: SamplingConfig,
+    /// Per-iteration nanoseconds: (min, median, max), filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost so samples can be
+        // sized to fit the measurement budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let samples = self.config.sample_size.max(5);
+        let budget = self.config.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter.max(1e-9)).floor() as u64).clamp(1, 1 << 24);
+
+        let mut ns_per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            ns_per_iter.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        ns_per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = ns_per_iter[0];
+        let max = ns_per_iter[ns_per_iter.len() - 1];
+        let median = ns_per_iter[ns_per_iter.len() / 2];
+        self.result = Some((min, median, max));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(id: &str, filter: Option<&str>, config: SamplingConfig, f: impl FnOnce(&mut Bencher)) {
+    if let Some(needle) = filter {
+        if !id.contains(needle) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((min, median, max)) => println!(
+            "{id:<50} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max)
+        ),
+        None => println!("{id:<50} (no measurement taken)"),
+    }
+}
+
+/// A named set of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    config: SamplingConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut f = f;
+        run_one(&full, self.criterion.filter.as_deref(), self.config, |b| {
+            f(b)
+        });
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        f: impl FnMut(&mut Bencher, &T),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut f = f;
+        run_one(&full, self.criterion.filter.as_deref(), self.config, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is already done per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` (and possibly harness flags); the
+        // first non-flag argument is treated as a substring filter, matching
+        // `cargo bench -- <filter>` usage.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "benches");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// No-op in the shim; real criterion re-reads CLI flags here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: SamplingConfig::default(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark with default sampling settings.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let full = id.into_id();
+        let mut f = f;
+        run_one(
+            &full,
+            self.filter.as_deref(),
+            SamplingConfig::default(),
+            |b| f(b),
+        );
+    }
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let config = SamplingConfig {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+        };
+        let mut b = Bencher {
+            config,
+            result: None,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc
+        });
+        let (min, median, max) = b.result.expect("iter records a result");
+        assert!(min > 0.0 && min <= median && median <= max);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("lab", 42).into_id(), "lab/42");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn units_format() {
+        assert_eq!(format_ns(12.3), "12.30 ns");
+        assert_eq!(format_ns(12_300.0), "12.30 µs");
+        assert_eq!(format_ns(12_300_000.0), "12.30 ms");
+    }
+}

@@ -1,0 +1,460 @@
+//! Offline drop-in replacement for the subset of `proptest` 1.x that the
+//! nomloc workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim as a path dependency under the real crate name. It
+//! keeps proptest's *shape* — `proptest!`, `prop_assert*!`, `prop_assume!`,
+//! `Strategy` with `prop_map`/`prop_filter`, `prop::collection::vec`,
+//! `ProptestConfig::with_cases` — while replacing the engine with a plain
+//! seeded-random case loop:
+//!
+//! * cases are generated from a per-test deterministic seed (FNV-1a of the
+//!   fully-qualified test name mixed with the attempt index), so failures
+//!   reproduce across runs;
+//! * rejection (`prop_assume!` or `prop_filter`) discards the case and
+//!   draws a fresh one, up to a global rejection budget;
+//! * there is **no shrinking** — a failing case reports the values it can
+//!   (via the assertion message) and the seed.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+// The `proptest!` macro needs `rand` from the consumer's crate root; test
+// crates only depend on `proptest`, so route the path through `$crate`.
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// A generator of random values of type [`Strategy::Value`].
+///
+/// `generate` returns `None` when the drawn value is rejected (e.g. by a
+/// [`Strategy::prop_filter`] predicate); the runner then retries with a
+/// fresh seed.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value, or `None` on rejection.
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values for which `pred` returns `false`.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            _reason: reason,
+            pred,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    _reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<f64> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+macro_rules! int_strategy_impl {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+int_strategy_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy_impl {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy_impl!(A.0);
+tuple_strategy_impl!(A.0, B.1);
+tuple_strategy_impl!(A.0, B.1, C.2);
+tuple_strategy_impl!(A.0, B.1, C.2, D.3);
+tuple_strategy_impl!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy_impl!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy_impl!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy_impl!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec<S::Value>` with `len ∈ size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Runner configuration and failure plumbing.
+pub mod test_runner {
+    /// How a single generated case ended, when not successful.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case was rejected (`prop_assume!` / filter): retry.
+        Reject,
+        /// An assertion failed with this message: abort the test.
+        Fail(String),
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Reject => write!(f, "rejected"),
+                TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            }
+        }
+    }
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases each test must pass.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config identical to the default but running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic base seed from a test's fully-qualified name (FNV-1a).
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// The `prop::` path alias used by `proptest::prelude::*` consumers
+/// (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {{
+        // Bind first: `!` on a raw comparison trips clippy's
+        // neg_cmp_op_on_partial_ord at every float-comparison call site.
+        let cond: bool = $cond;
+        if !cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case unless `cond` holds; a fresh case is drawn.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {{
+        let cond: bool = $cond;
+        if !cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let base = $crate::test_runner::name_seed(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let strategy = ($($strat,)+);
+            let mut accepted: u32 = 0;
+            let mut attempt: u64 = 0;
+            // Rejection budget: filters/assumes in this workspace reject a
+            // small fraction of draws, so this bound is never reached in
+            // practice; it guards against a pathological strategy.
+            let max_attempts = config.cases as u64 * 512 + 4096;
+            while accepted < config.cases {
+                assert!(
+                    attempt < max_attempts,
+                    "proptest shim: {} exceeded the rejection budget ({} attempts for {} cases)",
+                    stringify!($name), attempt, config.cases,
+                );
+                let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                attempt += 1;
+                let mut rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        seed,
+                    );
+                let ($($arg,)+) = match $crate::Strategy::generate(&strategy, &mut rng) {
+                    ::std::option::Option::Some(v) => v,
+                    ::std::option::Option::None => continue,
+                };
+                let outcome = (move || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed for {} (attempt {}, seed {:#x}):\n{}",
+                            stringify!($name), attempt - 1, seed, msg,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_body!(($cfg); $($rest)*);
+    };
+}
+
+/// Declares property tests. Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(200))]
+///     #[test]
+///     fn it_holds(x in 0.0..1.0f64, v in prop::collection::vec(0u64..10, 1..5)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_and_vecs(
+            x in -2.0..3.0f64,
+            n in 1u64..100,
+            v in prop::collection::vec(0.0..1.0f64, 2..6),
+        ) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..100).contains(&n));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for e in &v {
+                prop_assert!((0.0..1.0).contains(e));
+            }
+        }
+
+        #[test]
+        fn map_filter_assume(
+            p in (0.0..1.0f64, 0.0..1.0f64)
+                .prop_filter("nonzero", |(a, b)| a + b > 1e-3)
+                .prop_map(|(a, b)| a + b),
+        ) {
+            prop_assume!(p < 1.9);
+            prop_assert!(p > 1e-3);
+            prop_assert_ne!(p, 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_seed() {
+        proptest! {
+            fn always_fails(x in 0.0..1.0f64) {
+                prop_assert!(x < 0.0, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn collect() -> Vec<u64> {
+            let strat = 0u64..1_000_000;
+            let base = crate::test_runner::name_seed("det");
+            (0..16u64)
+                .map(|i| {
+                    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                        base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    crate::Strategy::generate(&strat, &mut rng).unwrap()
+                })
+                .collect()
+        }
+        assert_eq!(collect(), collect());
+    }
+}

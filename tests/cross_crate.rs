@@ -105,7 +105,10 @@ fn grid_sizes_flow_through_pipeline() {
     let env = Environment::new(plan, RadioConfig::default());
     let est = PdpEstimator::new();
     let mut rng = StdRng::seed_from_u64(9);
-    for grid in [SubcarrierGrid::intel5300(), SubcarrierGrid::full_80211n_20mhz()] {
+    for grid in [
+        SubcarrierGrid::intel5300(),
+        SubcarrierGrid::full_80211n_20mhz(),
+    ] {
         let snap = env.sample_csi(Point::new(1.0, 1.0), Point::new(8.0, 8.0), &grid, &mut rng);
         assert_eq!(snap.h.len(), grid.len());
         let profile = est.delay_profile(&snap);

@@ -11,7 +11,11 @@ use nomloc::core::scenario::Venue;
 const PACKETS: usize = 20;
 const TRIALS: usize = 3;
 
-fn run(venue: Venue, deployment: Deployment, seed: u64) -> nomloc::core::experiment::CampaignResult {
+fn run(
+    venue: Venue,
+    deployment: Deployment,
+    seed: u64,
+) -> nomloc::core::experiment::CampaignResult {
     Campaign::new(venue, deployment)
         .packets_per_site(PACKETS)
         .trials_per_site(TRIALS)

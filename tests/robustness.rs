@@ -6,9 +6,7 @@ use nomloc::core::scenario::Venue;
 use nomloc::core::server::{CsiReport, LocalizationServer};
 use nomloc::dsp::Complex;
 use nomloc::geometry::{Point, Polygon};
-use nomloc::rfsim::{
-    CsiSnapshot, Environment, FloorPlan, Material, RadioConfig, SubcarrierGrid,
-};
+use nomloc::rfsim::{CsiSnapshot, Environment, FloorPlan, Material, RadioConfig, SubcarrierGrid};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -53,7 +51,10 @@ fn noise_only_csi_does_not_break_pipeline() {
         .collect();
     let est = server.process(&reports).expect("noise-only pipeline runs");
     assert!(est.position.is_finite());
-    assert!(server.area().contains(est.position) || server.area().distance_to_boundary(est.position) < 1e-6);
+    assert!(
+        server.area().contains(est.position)
+            || server.area().distance_to_boundary(est.position) < 1e-6
+    );
 }
 
 /// Zero-magnitude CSI snapshots are dropped rather than panicking.
@@ -101,7 +102,10 @@ fn coincident_ap_positions_survive() {
     ];
     let est = server.localize(&readings).expect("coincident APs survive");
     assert!(est.position.is_finite());
-    assert!(server.area().contains(est.position) || server.area().distance_to_boundary(est.position) < 1e-6);
+    assert!(
+        server.area().contains(est.position)
+            || server.area().distance_to_boundary(est.position) < 1e-6
+    );
 }
 
 /// A single reading cannot partition space: the estimate degenerates to
@@ -109,9 +113,44 @@ fn coincident_ap_positions_survive() {
 #[test]
 fn single_reading_degenerates_gracefully() {
     let server = square_server(10.0);
-    let readings = vec![PdpReading::new(ApSite::fixed(1, Point::new(1.0, 1.0)), 1e-6)];
+    let readings = vec![PdpReading::new(
+        ApSite::fixed(1, Point::new(1.0, 1.0)),
+        1e-6,
+    )];
     let est = server.localize(&readings).unwrap();
     assert!(est.position.distance(Point::new(5.0, 5.0)) < 1e-3);
+}
+
+/// Readings whose implied half-planes all miss the venue entirely: every
+/// judgement contradicts the boundary, so the judgement system is wholly
+/// infeasible inside the area. Relaxation must sacrifice the judgements
+/// (boundary rows carry weight 1000) and still return an in-area estimate.
+#[test]
+fn all_infeasible_judgements_are_relaxed_away() {
+    let server = square_server(10.0);
+    // AP 1 sits far east of the venue but reports the strongest PDP: the
+    // bisector against each in-venue AP demands x ≥ 20-ish, which no point
+    // of the 10×10 square satisfies.
+    let readings = vec![
+        PdpReading::new(ApSite::fixed(1, Point::new(30.0, 5.0)), 1e-4),
+        PdpReading::new(ApSite::fixed(2, Point::new(9.0, 5.0)), 1e-6),
+        PdpReading::new(ApSite::fixed(3, Point::new(9.0, 9.0)), 1e-7),
+    ];
+    let est = server.localize(&readings).expect("relaxation repairs it");
+    assert!(
+        est.relaxation_cost > 0.0,
+        "some judgement must be sacrificed"
+    );
+    assert!(
+        server.area().contains(est.position)
+            || server.area().distance_to_boundary(est.position) < 1e-6,
+        "estimate {} escaped the venue",
+        est.position
+    );
+    // The failure is visible in the serving stats.
+    let snap = server.stats_snapshot();
+    assert_eq!(snap.counters.relaxations_triggered, 1);
+    assert_eq!(snap.counters.estimate_failures, 0);
 }
 
 /// A custom venue built from public fields runs a full campaign.
@@ -176,16 +215,22 @@ fn minimal_sampling_campaign() {
 /// All knobs at once: antennas + window + carrier + ER + fleet.
 #[test]
 fn everything_enabled_at_once() {
-    let result = Campaign::new(Venue::lab(), Deployment::Fleet { nomads: 2, steps: 4 })
-        .packets_per_site(8)
-        .trials_per_site(1)
-        .position_error(1.0)
-        .rx_antennas(2)
-        .pdp_window(nomloc::dsp::Window::Hann)
-        .carrier_blocking(true)
-        .center_method(nomloc::lp::center::CenterMethod::Analytic)
-        .seed(6)
-        .run();
+    let result = Campaign::new(
+        Venue::lab(),
+        Deployment::Fleet {
+            nomads: 2,
+            steps: 4,
+        },
+    )
+    .packets_per_site(8)
+    .trials_per_site(1)
+    .position_error(1.0)
+    .rx_antennas(2)
+    .pdp_window(nomloc::dsp::Window::Hann)
+    .carrier_blocking(true)
+    .center_method(nomloc::lp::center::CenterMethod::Analytic)
+    .seed(6)
+    .run();
     assert!(result.mean_error().is_finite());
     assert!(result.slv().is_finite());
 }
