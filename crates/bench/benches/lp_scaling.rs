@@ -1,41 +1,16 @@
 //! Solver scalability (the §IV-B-4 polynomial-time claim): relaxation-LP
-//! wall time as the constraint count grows with APs × nomadic sites.
+//! wall time as the constraint count grows with APs × nomadic sites, plus
+//! the flat-tableau workspace solver against the retained dense reference
+//! (`Program::solve_reference`) — the acceptance figure for the solver
+//! rewrite is the paired min-of-rounds speedup on tens-of-rows programs,
+//! also emitted as `BENCH_lp.json` by the `bench_json` binary.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nomloc_geometry::{HalfPlane, Point, Polygon};
+use nomloc_bench::lpcmp;
+use nomloc_geometry::HalfPlane;
 use nomloc_lp::center::{self, CenterMethod};
-use nomloc_lp::relax::{relax_constraints, WeightedConstraint};
-
-/// Builds the constraint set a venue with `n_sites` AP sites would
-/// generate: all pairwise bisectors around a ring, plus the boundary.
-fn constraint_set(n_sites: usize) -> (Vec<WeightedConstraint>, Polygon) {
-    let bounds = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(20.0, 20.0));
-    let sites: Vec<Point> = (0..n_sites)
-        .map(|i| {
-            let a = i as f64 / n_sites as f64 * std::f64::consts::TAU;
-            Point::new(10.0 + 8.0 * a.cos(), 10.0 + 8.0 * a.sin())
-        })
-        .collect();
-    let object = Point::new(6.0, 9.0);
-    let mut cs = Vec::new();
-    for i in 0..sites.len() {
-        for j in (i + 1)..sites.len() {
-            let (near, far) = if object.distance_sq(sites[i]) <= object.distance_sq(sites[j]) {
-                (sites[i], sites[j])
-            } else {
-                (sites[j], sites[i])
-            };
-            cs.push(WeightedConstraint::new(
-                HalfPlane::closer_to(near, far),
-                0.8,
-            ));
-        }
-    }
-    for h in center::polygon_halfplanes(&bounds) {
-        cs.push(WeightedConstraint::new(h, 1000.0));
-    }
-    (cs, bounds)
-}
+use nomloc_lp::relax::relax_constraints;
+use nomloc_lp::simplex::SimplexWorkspace;
 
 fn bench_relaxation(c: &mut Criterion) {
     let mut group = c.benchmark_group("relaxation_lp");
@@ -43,7 +18,7 @@ fn bench_relaxation(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for n_sites in [4usize, 6, 8, 12, 16, 24] {
-        let (cs, _) = constraint_set(n_sites);
+        let (cs, _, _) = lpcmp::constraint_set(n_sites);
         group.bench_with_input(BenchmarkId::new("constraints", cs.len()), &cs, |b, cs| {
             b.iter(|| relax_constraints(std::hint::black_box(cs)).unwrap())
         });
@@ -51,12 +26,98 @@ fn bench_relaxation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Workspace solver vs the dense reference on the same relaxation LPs.
+/// Both sides solve the identical program; only the solver path differs.
+fn bench_solver_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_path");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n_sites in [6usize, 8, 12] {
+        let (cs, _, _) = lpcmp::constraint_set(n_sites);
+        let rows = cs.len();
+        group.bench_with_input(BenchmarkId::new("reference", rows), &cs, |b, cs| {
+            b.iter(|| lpcmp::relax_reference(std::hint::black_box(cs)))
+        });
+        group.bench_with_input(BenchmarkId::new("workspace", rows), &cs, |b, cs| {
+            let mut ws = SimplexWorkspace::new();
+            b.iter(|| {
+                nomloc_lp::relax::relax_constraints_in(&mut ws, std::hint::black_box(cs)).unwrap()
+            })
+        });
+    }
+    group.finish();
+    paired_solver_ratio();
+}
+
+/// Paired min-of-rounds comparison on tens-of-rows programs — the rewrite's
+/// acceptance figure (target: ≥ 1.5× on these sizes).
+fn paired_solver_ratio() {
+    for n_sites in [6usize, 8, 12] {
+        let (cs, candidates, bounds) = lpcmp::constraint_set(n_sites);
+        let edges = center::polygon_halfplanes(&bounds);
+        let mut ws = SimplexWorkspace::new();
+
+        let (ref_ns, ws_ns) = lpcmp::paired_min_ns(
+            nomloc_bench::rounds(300),
+            8,
+            || {
+                std::hint::black_box(lpcmp::relax_reference(std::hint::black_box(&cs)));
+            },
+            || {
+                std::hint::black_box(
+                    nomloc_lp::relax::relax_constraints_in(&mut ws, std::hint::black_box(&cs))
+                        .unwrap(),
+                );
+            },
+        );
+        println!(
+            "solver_path/paired_min/{:<3} rows                   reference {:.1} µs, workspace {:.1} µs, speedup {:.3}x",
+            cs.len(),
+            ref_ns / 1e3,
+            ws_ns / 1e3,
+            ref_ns / ws_ns,
+        );
+
+        // Full relax→center pipeline: two cold reference LPs vs the
+        // warm-started workspace pair.
+        let mut ws = SimplexWorkspace::new();
+        let (ref_ns, ws_ns) = lpcmp::paired_min_ns(
+            nomloc_bench::rounds(300),
+            8,
+            || {
+                std::hint::black_box(lpcmp::relax_then_center_reference(
+                    std::hint::black_box(&cs),
+                    candidates,
+                    &edges,
+                ));
+            },
+            || {
+                std::hint::black_box(lpcmp::relax_then_center_workspace(
+                    &mut ws,
+                    std::hint::black_box(&cs),
+                    candidates,
+                    &bounds,
+                    &edges,
+                ));
+            },
+        );
+        println!(
+            "relax_then_center/paired_min/{:<3} rows            reference {:.1} µs, workspace {:.1} µs, speedup {:.3}x",
+            cs.len(),
+            ref_ns / 1e3,
+            ws_ns / 1e3,
+            ref_ns / ws_ns,
+        );
+    }
+}
+
 fn bench_centers(c: &mut Criterion) {
     let mut group = c.benchmark_group("center_methods");
     group.sample_size(20);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    let (cs, bounds) = constraint_set(8);
+    let (cs, _, bounds) = lpcmp::constraint_set(8);
     let hps: Vec<HalfPlane> = cs.iter().map(|c| c.halfplane).collect();
     for (name, method) in [
         ("chebyshev", CenterMethod::Chebyshev),
@@ -70,5 +131,5 @@ fn bench_centers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_relaxation, bench_centers);
+criterion_group!(benches, bench_relaxation, bench_solver_paths, bench_centers);
 criterion_main!(benches);

@@ -68,6 +68,15 @@ fn bench_stages(c: &mut Criterion) {
         b.iter(|| server.localize(std::hint::black_box(&readings)).unwrap())
     });
     group.finish();
+
+    // One clean request so the counters reflect a single query: how often
+    // the center LP reuses the relaxation witness in this workload.
+    server.reset_stats();
+    let est = server.localize(&readings).unwrap();
+    println!(
+        "pipeline_stages/warm_starts                        {} hits, {} phase-1 pivots saved, {} LP iterations",
+        est.warm_start_hits, est.phase1_pivots_saved, est.lp_iterations,
+    );
 }
 
 criterion_group!(benches, bench_full_pipeline, bench_stages);

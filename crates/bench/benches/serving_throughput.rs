@@ -11,29 +11,9 @@
 //! thread-spawn overhead.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nomloc_core::proximity::{ApSite, PdpReading};
+use nomloc_bench::serving::requests_for;
 use nomloc_core::scenario::Venue;
 use nomloc_core::{LocalizationServer, SpEstimator};
-
-/// Deterministic synthetic PDP requests over the venue's static APs: the
-/// reading magnitudes vary per request via a splitmix stream, so every
-/// request solves a slightly different LP.
-fn requests_for(venue: &Venue, n: usize) -> Vec<Vec<PdpReading>> {
-    let aps = venue.static_deployment();
-    let mut z = 0x2014_u64;
-    (0..n)
-        .map(|_| {
-            aps.iter()
-                .enumerate()
-                .map(|(i, &p)| {
-                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                    let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
-                    PdpReading::new(ApSite::fixed(i + 1, p), 1e-7 + 1e-5 * frac)
-                })
-                .collect()
-        })
-        .collect()
-}
 
 fn bench_serving(c: &mut Criterion) {
     for venue in [Venue::lab(), Venue::lobby()] {
@@ -96,7 +76,7 @@ fn paired_ratio(venue: &Venue) {
     let serial = LocalizationServer::new(area.clone()).with_workers(1);
     let estimator = SpEstimator::new();
 
-    let rounds = 400;
+    let rounds = nomloc_bench::rounds(400);
     let mut best_uncached = f64::INFINITY;
     let mut best_cached = f64::INFINITY;
     for _ in 0..rounds {
@@ -121,6 +101,14 @@ fn paired_ratio(venue: &Venue) {
         best_uncached * 1e6,
         best_cached * 1e6,
         best_uncached / best_cached,
+    );
+    let counters = serial.stats_snapshot().counters;
+    println!(
+        "serving_throughput/{}/warm_starts                {} hits over {} requests ({} phase-1 pivots saved)",
+        venue.name,
+        counters.warm_start_hits,
+        counters.requests,
+        counters.phase1_pivots_saved,
     );
 }
 

@@ -584,14 +584,19 @@ pub fn run_serve(spec: &ServeSpec) -> String {
         0.0
     };
     out.push_str(&format!(
-        "batch took {:.1} ms ({:.2} ms/request) | mean error {:.2} m | median {:.2} m | failures {}\n\n",
+        "batch took {:.1} ms ({:.2} ms/request) | mean error {:.2} m | median {:.2} m | failures {}\n",
         elapsed.as_secs_f64() * 1e3,
         per_req_ms,
         mean,
         median,
         failures
     ));
-    out.push_str(&server.stats_snapshot().to_string());
+    let snapshot = server.stats_snapshot();
+    out.push_str(&format!(
+        "warm-started center LPs: {} (phase-1 pivots saved: {})\n\n",
+        snapshot.counters.warm_start_hits, snapshot.counters.phase1_pivots_saved
+    ));
+    out.push_str(&snapshot.to_string());
     out
 }
 
@@ -775,6 +780,8 @@ mod tests {
         assert!(out.contains("6 requests"));
         assert!(out.contains("pipeline stats"));
         assert!(out.contains("simplex iterations"));
+        assert!(out.contains("warm-started center LPs"));
+        assert!(out.contains("warm-start hits"));
         assert!(out.contains("failures 0"), "unexpected failures:\n{out}");
     }
 

@@ -15,7 +15,8 @@
 //! this down).
 
 use crate::constraints;
-use nomloc_geometry::{convex, Polygon};
+use nomloc_geometry::{convex, HalfPlane, Polygon};
+use nomloc_lp::center::polygon_halfplanes;
 use nomloc_lp::relax::WeightedConstraint;
 
 /// One convex piece of the venue with its precomputed boundary constraints.
@@ -23,6 +24,7 @@ use nomloc_lp::relax::WeightedConstraint;
 pub struct CachedPiece {
     polygon: Polygon,
     boundary: Vec<WeightedConstraint>,
+    edges: Vec<HalfPlane>,
 }
 
 impl CachedPiece {
@@ -35,6 +37,13 @@ impl CachedPiece {
     /// from the piece centroid.
     pub fn boundary_constraints(&self) -> &[WeightedConstraint] {
         &self.boundary
+    }
+
+    /// The piece's interior edge half-planes —
+    /// [`polygon_halfplanes`]`(polygon)` precomputed once, consumed by the
+    /// per-query center solve.
+    pub fn edge_halfplanes(&self) -> &[HalfPlane] {
+        &self.edges
     }
 }
 
@@ -69,7 +78,12 @@ impl VenueCache {
             .into_iter()
             .map(|polygon| {
                 let boundary = constraints::boundary_constraints(&polygon, polygon.centroid());
-                CachedPiece { polygon, boundary }
+                let edges = polygon_halfplanes(&polygon);
+                CachedPiece {
+                    polygon,
+                    boundary,
+                    edges,
+                }
             })
             .collect();
         VenueCache { area, pieces }
@@ -143,6 +157,16 @@ mod tests {
                 constraints::boundary_constraints(piece.polygon(), piece.polygon().centroid());
             // Bit-identical, not just approximately equal.
             assert_eq!(piece.boundary_constraints(), direct.as_slice());
+        }
+    }
+
+    #[test]
+    fn cached_edges_match_direct_computation() {
+        let cache = VenueCache::new(l_shape());
+        for piece in cache.pieces() {
+            let direct = nomloc_lp::center::polygon_halfplanes(piece.polygon());
+            // Bit-identical, not just approximately equal.
+            assert_eq!(piece.edge_halfplanes(), direct.as_slice());
         }
     }
 

@@ -12,9 +12,10 @@
 use crate::cache::VenueCache;
 use crate::constraints;
 use crate::proximity::ProximityJudgement;
-use nomloc_geometry::{HalfPlane, Point, Polygon};
+use nomloc_geometry::{Point, Polygon};
 use nomloc_lp::center::{self, CenterMethod};
-use nomloc_lp::relax::relax_constraints;
+use nomloc_lp::relax::{relax_then_center, WeightedConstraint};
+use nomloc_lp::simplex::SimplexWorkspace;
 use nomloc_lp::LpError;
 use std::fmt;
 
@@ -54,9 +55,16 @@ pub struct LocationEstimate {
     /// Number of convex pieces that tied for the minimal relaxation cost.
     pub n_winning_pieces: usize,
     /// Total simplex iterations spent across every convex piece's
-    /// relaxation LP (winners and losers alike) — solver effort for this
-    /// query, aggregated by [`crate::stats::PipelineStats`].
+    /// relaxation *and* center LPs (winners and losers alike) — solver
+    /// effort for this query, aggregated by
+    /// [`crate::stats::PipelineStats`].
     pub lp_iterations: u64,
+    /// Center solves (one per piece) that reused the relaxation witness as
+    /// a warm start and skipped simplex Phase-1.
+    pub warm_start_hits: u64,
+    /// Phase-1 pivots those warm starts avoided (lower-bound estimate, see
+    /// [`SimplexWorkspace::phase1_pivots_saved`]).
+    pub phase1_pivots_saved: u64,
 }
 
 /// The space-partition estimator.
@@ -132,6 +140,23 @@ impl SpEstimator {
         judgements: &[ProximityJudgement],
         cache: &VenueCache,
     ) -> Result<LocationEstimate, EstimateError> {
+        SimplexWorkspace::with(|ws| self.estimate_in(ws, judgements, cache))
+    }
+
+    /// [`SpEstimator::estimate_cached`] against an explicit
+    /// [`SimplexWorkspace`] — the batched serving path passes each worker
+    /// thread's pooled workspace so consecutive queries reuse the same
+    /// tableau allocations. Workspace state never influences results.
+    ///
+    /// # Errors
+    ///
+    /// See [`EstimateError`].
+    pub fn estimate_in(
+        &self,
+        ws: &mut SimplexWorkspace,
+        judgements: &[ProximityJudgement],
+        cache: &VenueCache,
+    ) -> Result<LocationEstimate, EstimateError> {
         let pieces = cache.pieces();
         if pieces.is_empty() {
             return Err(EstimateError::EmptyArea);
@@ -145,49 +170,55 @@ impl SpEstimator {
         }
 
         // Judgement constraints are venue-independent: build them once and
-        // share across pieces.
+        // share across pieces; `cs` is reused as the per-piece scratch.
         let judgement_cs = constraints::judgement_constraints(judgements);
+        let mut cs: Vec<WeightedConstraint> = Vec::new();
 
         let mut solutions: Vec<PieceSolution> = Vec::with_capacity(pieces.len());
         let mut last_err = LpError::Infeasible;
         let mut lp_iterations: u64 = 0;
+        let mut warm_start_hits: u64 = 0;
+        let mut phase1_pivots_saved: u64 = 0;
         for cached_piece in pieces {
             let piece = cached_piece.polygon();
-            let mut cs = judgement_cs.clone();
+            cs.clear();
+            cs.extend_from_slice(&judgement_cs);
             cs.extend_from_slice(cached_piece.boundary_constraints());
             let n_constraints = cs.len();
-            let relaxed = match relax_constraints(&cs) {
-                Ok(r) => r,
+            // Relax, then center the kept system — per the paper's reading
+            // of Eq. 19: constraints with tᵢ = 0 are *retained*,
+            // constraints with tᵢ > 0 were judged wrong and are
+            // *sacrificed* (dropped), leaving a non-degenerate cell whose
+            // center is the estimate. The center LP is warm-started at the
+            // relaxation witness over the piece's cached edge half-planes.
+            let rc = match relax_then_center(
+                ws,
+                &cs,
+                judgements.len(),
+                piece,
+                cached_piece.edge_halfplanes(),
+                self.center_method,
+            ) {
+                Ok(rc) => rc,
                 Err(e) => {
                     last_err = e;
                     continue;
                 }
             };
-            lp_iterations += relaxed.lp_iterations();
-            // Geometry of the post-relaxation region, per the paper's
-            // reading of Eq. 19: constraints with tᵢ = 0 are *retained*,
-            // constraints with tᵢ > 0 were judged wrong and are
-            // *sacrificed* (dropped), leaving a non-degenerate cell whose
-            // center is the estimate.
-            let n_judgements = judgements.len();
-            let kept_judgements: Vec<HalfPlane> = judgements
-                .iter()
-                .zip(&relaxed.slacks()[..n_judgements])
-                .filter(|(_, &t)| t <= 1e-6)
-                .map(|(j, _)| crate::constraints::judgement_constraint(j).halfplane)
-                .collect();
-            let (center, region_area) = match center::feasible_region(&kept_judgements, piece) {
+            lp_iterations += rc.relaxation.lp_iterations() + rc.center_iterations;
+            warm_start_hits += u64::from(rc.warm_start_hit);
+            phase1_pivots_saved += rc.phase1_pivots_saved;
+            let (center, region_area) = match center::feasible_region(&rc.kept, piece) {
                 Some(region) => {
-                    let c = center::center(self.center_method, &kept_judgements, piece)
-                        .unwrap_or_else(|_| region.centroid());
+                    let c = rc.center.unwrap_or_else(|| region.centroid());
                     (c, region.area())
                 }
                 // Degenerate (zero-area) region: fall back to the LP
                 // witness clamped into the piece.
-                None => (piece.clamp_point(relaxed.witness()), 0.0),
+                None => (piece.clamp_point(rc.relaxation.witness()), 0.0),
             };
             solutions.push(PieceSolution {
-                cost: relaxed.cost(),
+                cost: rc.relaxation.cost(),
                 center,
                 region_area,
                 n_constraints,
@@ -233,6 +264,8 @@ impl SpEstimator {
             n_constraints: winners.iter().map(|s| s.n_constraints).max().unwrap_or(0),
             n_winning_pieces: winners.len(),
             lp_iterations,
+            warm_start_hits,
+            phase1_pivots_saved,
         })
     }
 }

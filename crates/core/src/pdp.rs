@@ -7,7 +7,7 @@
 //! packet.
 
 use nomloc_dsp::pdp::DelayProfile;
-use nomloc_dsp::{stats, Window};
+use nomloc_dsp::{stats, Complex, Window};
 use nomloc_rfsim::CsiSnapshot;
 
 /// Configuration of the PDP estimator.
@@ -57,9 +57,16 @@ impl PdpEstimator {
 
     /// Burst PDP: median of per-packet PDPs.
     ///
+    /// The delay-domain IFFT buffer is reused across the packets of the
+    /// burst, so only the first packet allocates it.
+    ///
     /// Returns `None` for an empty burst.
     pub fn pdp_of_burst(&self, burst: &[CsiSnapshot]) -> Option<f64> {
-        let per_packet: Vec<f64> = burst.iter().map(|s| self.pdp_of_snapshot(s)).collect();
+        let mut scratch = Vec::new();
+        let per_packet: Vec<f64> = burst
+            .iter()
+            .map(|s| self.delay_profile_with(s, &mut scratch).peak().power)
+            .collect();
         stats::median(&per_packet)
     }
 
@@ -78,12 +85,23 @@ impl PdpEstimator {
 
     /// The full delay profile of a snapshot (Fig. 3 of the paper).
     pub fn delay_profile(&self, snapshot: &CsiSnapshot) -> DelayProfile {
+        self.delay_profile_with(snapshot, &mut Vec::new())
+    }
+
+    /// [`PdpEstimator::delay_profile`] with a caller-provided IFFT scratch
+    /// buffer (see [`DelayProfile::from_csi_with`]). Bit-identical to the
+    /// allocating variant.
+    pub fn delay_profile_with(
+        &self,
+        snapshot: &CsiSnapshot,
+        scratch: &mut Vec<Complex>,
+    ) -> DelayProfile {
         let n = snapshot.h.len();
         // Treat the (possibly grouped) grid as uniform at its mean spacing;
         // the effective bandwidth spans n such steps.
         let bandwidth = snapshot.grid.mean_spacing_hz() * n as f64;
         let tapered = self.window.apply(&snapshot.h);
-        DelayProfile::from_csi(&tapered, bandwidth, self.min_taps)
+        DelayProfile::from_csi_with(&tapered, bandwidth, self.min_taps, scratch)
     }
 }
 

@@ -192,6 +192,8 @@ impl LocalizationServer {
                 self.stats.record_solve(
                     constraints,
                     est.lp_iterations,
+                    est.warm_start_hits,
+                    est.phase1_pivots_saved,
                     est.relaxation_cost > 1e-9,
                     start.elapsed(),
                 );
@@ -435,6 +437,10 @@ mod tests {
         assert_eq!(c.requests, 6);
         assert_eq!(c.judgements_formed, 6 * 6); // C(4,2) judgements each
         assert!(c.simplex_iterations > 0);
+        assert!(
+            c.warm_start_hits > 0,
+            "center LPs should warm-start from the relaxation witness"
+        );
         assert_eq!(c.estimate_failures, 0);
         server.reset_stats();
         assert_eq!(server.stats_snapshot().counters.requests, 0);

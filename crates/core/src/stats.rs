@@ -141,8 +141,13 @@ pub struct CounterTotals {
     pub judgements_formed: u64,
     /// Half-plane constraints assembled (judgement + boundary).
     pub constraints_generated: u64,
-    /// Simplex pivot iterations across every relaxation LP.
+    /// Simplex pivot iterations across every relaxation and center LP.
     pub simplex_iterations: u64,
+    /// Center LPs that reused the relaxation witness as a warm start and
+    /// skipped simplex Phase-1 (one candidate per venue piece per request).
+    pub warm_start_hits: u64,
+    /// Phase-1 pivots those warm starts avoided (lower-bound estimate).
+    pub phase1_pivots_saved: u64,
     /// Requests whose winning piece paid a non-zero relaxation cost.
     pub relaxations_triggered: u64,
     /// Requests that returned an [`crate::estimator::EstimateError`].
@@ -173,6 +178,8 @@ impl fmt::Display for StatsSnapshot {
         writeln!(f, "  judgements formed     {}", c.judgements_formed)?;
         writeln!(f, "  constraints generated {}", c.constraints_generated)?;
         writeln!(f, "  simplex iterations    {}", c.simplex_iterations)?;
+        writeln!(f, "  warm-start hits       {}", c.warm_start_hits)?;
+        writeln!(f, "  phase-1 pivots saved  {}", c.phase1_pivots_saved)?;
         writeln!(f, "  relaxations triggered {}", c.relaxations_triggered)?;
         writeln!(f, "  estimate failures     {}", c.estimate_failures)?;
         for (name, h) in [
@@ -206,6 +213,8 @@ pub struct PipelineStats {
     judgements_formed: AtomicU64,
     constraints_generated: AtomicU64,
     simplex_iterations: AtomicU64,
+    warm_start_hits: AtomicU64,
+    phase1_pivots_saved: AtomicU64,
     relaxations_triggered: AtomicU64,
     estimate_failures: AtomicU64,
     extract_latency: LatencyHistogram,
@@ -235,11 +244,15 @@ impl PipelineStats {
         self.judge_latency.record(elapsed);
     }
 
-    /// Records one successful estimator call.
+    /// Records one successful estimator call. `warm_start_hits` and
+    /// `phase1_pivots_saved` carry the estimator's per-query warm-start
+    /// diagnostics ([`crate::estimator::LocationEstimate`]).
     pub fn record_solve(
         &self,
         constraints: u64,
         simplex_iterations: u64,
+        warm_start_hits: u64,
+        phase1_pivots_saved: u64,
         relaxed: bool,
         elapsed: Duration,
     ) {
@@ -248,6 +261,10 @@ impl PipelineStats {
             .fetch_add(constraints, Ordering::Relaxed);
         self.simplex_iterations
             .fetch_add(simplex_iterations, Ordering::Relaxed);
+        self.warm_start_hits
+            .fetch_add(warm_start_hits, Ordering::Relaxed);
+        self.phase1_pivots_saved
+            .fetch_add(phase1_pivots_saved, Ordering::Relaxed);
         if relaxed {
             self.relaxations_triggered.fetch_add(1, Ordering::Relaxed);
         }
@@ -271,6 +288,8 @@ impl PipelineStats {
                 judgements_formed: self.judgements_formed.load(Ordering::Relaxed),
                 constraints_generated: self.constraints_generated.load(Ordering::Relaxed),
                 simplex_iterations: self.simplex_iterations.load(Ordering::Relaxed),
+                warm_start_hits: self.warm_start_hits.load(Ordering::Relaxed),
+                phase1_pivots_saved: self.phase1_pivots_saved.load(Ordering::Relaxed),
                 relaxations_triggered: self.relaxations_triggered.load(Ordering::Relaxed),
                 estimate_failures: self.estimate_failures.load(Ordering::Relaxed),
             },
@@ -288,6 +307,8 @@ impl PipelineStats {
         self.judgements_formed.store(0, Ordering::Relaxed);
         self.constraints_generated.store(0, Ordering::Relaxed);
         self.simplex_iterations.store(0, Ordering::Relaxed);
+        self.warm_start_hits.store(0, Ordering::Relaxed);
+        self.phase1_pivots_saved.store(0, Ordering::Relaxed);
         self.relaxations_triggered.store(0, Ordering::Relaxed);
         self.estimate_failures.store(0, Ordering::Relaxed);
         self.extract_latency.reset();
@@ -353,8 +374,8 @@ mod tests {
         let stats = PipelineStats::new();
         stats.record_extract(4, 3, Duration::from_micros(5));
         stats.record_judge(3, Duration::from_micros(2));
-        stats.record_solve(9, 17, true, Duration::from_micros(40));
-        stats.record_solve(9, 11, false, Duration::from_micros(35));
+        stats.record_solve(9, 17, 1, 2, true, Duration::from_micros(40));
+        stats.record_solve(9, 11, 0, 0, false, Duration::from_micros(35));
         stats.record_failure(Duration::from_micros(1));
         let c = stats.snapshot().counters;
         assert_eq!(c.requests, 3);
@@ -363,6 +384,8 @@ mod tests {
         assert_eq!(c.judgements_formed, 3);
         assert_eq!(c.constraints_generated, 18);
         assert_eq!(c.simplex_iterations, 28);
+        assert_eq!(c.warm_start_hits, 1);
+        assert_eq!(c.phase1_pivots_saved, 2);
         assert_eq!(c.relaxations_triggered, 1);
         assert_eq!(c.estimate_failures, 1);
     }
@@ -371,7 +394,7 @@ mod tests {
     fn reset_zeroes_everything() {
         let stats = PipelineStats::new();
         stats.record_extract(4, 3, Duration::from_micros(5));
-        stats.record_solve(9, 17, true, Duration::from_micros(40));
+        stats.record_solve(9, 17, 1, 2, true, Duration::from_micros(40));
         stats.reset();
         let s = stats.snapshot();
         assert_eq!(s.counters, CounterTotals::default());
@@ -386,7 +409,7 @@ mod tests {
             for _ in 0..8 {
                 scope.spawn(|| {
                     for _ in 0..1000 {
-                        stats.record_solve(5, 3, false, Duration::from_nanos(10));
+                        stats.record_solve(5, 3, 1, 1, false, Duration::from_nanos(10));
                     }
                 });
             }
@@ -395,6 +418,8 @@ mod tests {
         assert_eq!(c.requests, 8000);
         assert_eq!(c.constraints_generated, 40_000);
         assert_eq!(c.simplex_iterations, 24_000);
+        assert_eq!(c.warm_start_hits, 8000);
+        assert_eq!(c.phase1_pivots_saved, 8000);
     }
 
     #[test]
@@ -402,10 +427,12 @@ mod tests {
         let stats = PipelineStats::new();
         stats.record_extract(2, 2, Duration::from_micros(3));
         stats.record_judge(1, Duration::from_micros(1));
-        stats.record_solve(5, 7, false, Duration::from_micros(20));
+        stats.record_solve(5, 7, 2, 3, false, Duration::from_micros(20));
         let text = stats.snapshot().to_string();
         assert!(text.contains("requests"));
         assert!(text.contains("simplex iterations    7"));
+        assert!(text.contains("warm-start hits       2"));
+        assert!(text.contains("phase-1 pivots saved  3"));
         assert!(text.contains("solve"));
     }
 }

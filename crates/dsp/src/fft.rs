@@ -156,10 +156,28 @@ fn bluestein(x: &[Complex], inverse: bool) -> Vec<Complex> {
 /// Zero-padding the frequency-domain CSI before the IFFT interpolates the
 /// delay-domain profile, giving the PDP estimator sub-tap resolution.
 pub fn ifft_padded(x: &[Complex], min_len: usize) -> Vec<Complex> {
+    let mut out = Vec::new();
+    ifft_padded_into(x, min_len, &mut out);
+    out
+}
+
+/// [`ifft_padded`] into a caller-provided buffer: `out` is overwritten with
+/// the padded inverse FFT and keeps its capacity across calls, so a loop
+/// over many same-sized CSI snapshots allocates only on the first one.
+///
+/// Bit-identical to `ifft_padded` — the padded length is always a power of
+/// two, so both run the same radix-2 kernel and `1/N` scaling in the same
+/// order.
+pub fn ifft_padded_into(x: &[Complex], min_len: usize, out: &mut Vec<Complex>) {
     let target = min_len.max(x.len()).next_power_of_two();
-    let mut padded = x.to_vec();
-    padded.resize(target, Complex::ZERO);
-    ifft(&padded)
+    out.clear();
+    out.extend_from_slice(x);
+    out.resize(target, Complex::ZERO);
+    fft_radix2(out, true);
+    let scale = 1.0 / target as f64;
+    for v in out.iter_mut() {
+        *v = v.scale(scale);
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +311,28 @@ mod tests {
         assert_eq!(y.len(), 64);
         let z = ifft_padded(&x, 10);
         assert_eq!(z.len(), 32);
+    }
+
+    #[test]
+    fn ifft_padded_into_matches_allocating_variant() {
+        // One dirty scratch reused across shrinking and growing targets —
+        // results must stay bit-identical to the allocating call.
+        let mut scratch = vec![Complex::new(9.9, -9.9); 7];
+        for (n, min_len) in [(30usize, 256usize), (30, 64), (8, 8), (5, 0), (56, 128)] {
+            let x = signal(n);
+            let expect = ifft_padded(&x, min_len);
+            ifft_padded_into(&x, min_len, &mut scratch);
+            assert_eq!(scratch, expect, "n={n} min_len={min_len}");
+        }
+    }
+
+    #[test]
+    fn ifft_padded_into_empty_input() {
+        // 0.next_power_of_two() == 1: an empty CSI still yields one zero tap.
+        let mut scratch = vec![Complex::ONE; 3];
+        ifft_padded_into(&[], 0, &mut scratch);
+        assert_eq!(scratch, vec![Complex::ZERO]);
+        assert_eq!(ifft_padded(&[], 0), vec![Complex::ZERO]);
     }
 
     #[test]

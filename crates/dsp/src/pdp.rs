@@ -68,18 +68,36 @@ impl DelayProfile {
     ///
     /// Panics when `csi` is empty or `bandwidth` is not positive.
     pub fn from_csi(csi: &[Complex], bandwidth: f64, min_taps: usize) -> Self {
+        Self::from_csi_with(csi, bandwidth, min_taps, &mut Vec::new())
+    }
+
+    /// [`DelayProfile::from_csi`] with a caller-provided IFFT scratch
+    /// buffer. `scratch` is overwritten and keeps its capacity, so a loop
+    /// over a burst of same-sized snapshots performs the delay-domain
+    /// transform without per-packet allocation. Bit-identical to
+    /// `from_csi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `csi` is empty or `bandwidth` is not positive.
+    pub fn from_csi_with(
+        csi: &[Complex],
+        bandwidth: f64,
+        min_taps: usize,
+        scratch: &mut Vec<Complex>,
+    ) -> Self {
         assert!(!csi.is_empty(), "CSI must not be empty");
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        let cir = fft::ifft_padded(csi, min_taps);
+        fft::ifft_padded_into(csi, min_taps, scratch);
         // The n-point unpadded IFFT has tap spacing 1/bandwidth and window
         // n/bandwidth; padding to m taps subdivides the same window.
         let window = csi.len() as f64 / bandwidth;
-        let spacing = window / cir.len() as f64;
+        let spacing = window / scratch.len() as f64;
         // Undo the extra 1/pad scaling relative to the unpadded IFFT so
         // that tap powers are comparable across pad sizes.
-        let gain = cir.len() as f64 / csi.len() as f64;
+        let gain = scratch.len() as f64 / csi.len() as f64;
         DelayProfile {
-            powers: cir.iter().map(|h| (*h * gain).norm_sq()).collect(),
+            powers: scratch.iter().map(|h| (*h * gain).norm_sq()).collect(),
             tap_spacing: spacing,
         }
     }
@@ -221,6 +239,19 @@ mod tests {
                     + Complex::cis(-2.0 * PI * f * d2).scale(a2)
             })
             .collect()
+    }
+
+    #[test]
+    fn from_csi_with_matches_from_csi() {
+        let bw = 20e6;
+        let mut scratch = vec![Complex::new(7.0, -7.0); 5]; // dirty, wrong size
+        for (n, min_taps) in [(30usize, 256usize), (30, 64), (16, 16), (56, 128)] {
+            let csi = two_path_csi(n, bw, 80e-9, 1.0, 350e-9, 0.5);
+            let direct = DelayProfile::from_csi(&csi, bw, min_taps);
+            let reused = DelayProfile::from_csi_with(&csi, bw, min_taps, &mut scratch);
+            // Bit-identical, not just approximately equal.
+            assert_eq!(reused, direct, "n={n} min_taps={min_taps}");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   recovered by half-plane clipping. Only possible because NomLoc's
 //!   decision variable is 2-D.
 
-use crate::simplex::Program;
+use crate::simplex::SimplexWorkspace;
 use crate::LpError;
 use nomloc_geometry::{intersect_halfplanes, HalfPlane, Point, Polygon};
 
@@ -68,6 +68,21 @@ pub fn polygon_halfplanes(polygon: &Polygon) -> Vec<HalfPlane> {
         .collect()
 }
 
+/// Outcome of a workspace-based center solve, carrying the warm-start
+/// diagnostics the serving stats layer aggregates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CenterSolve {
+    /// The computed center.
+    pub point: Point,
+    /// Simplex pivots spent by the underlying LP (zero for LP-free paths).
+    pub iterations: u64,
+    /// Whether the LP accepted its warm-start point and skipped Phase-1.
+    pub warm_start_hit: bool,
+    /// Phase-1 pivots the warm start avoided (see
+    /// [`SimplexWorkspace::phase1_pivots_saved`]).
+    pub phase1_pivots_saved: u64,
+}
+
 /// Chebyshev center: `max r s.t. aᵢ·z + ‖aᵢ‖·r ≤ bᵢ, r ≥ 0`.
 ///
 /// # Errors
@@ -75,14 +90,36 @@ pub fn polygon_halfplanes(polygon: &Polygon) -> Vec<HalfPlane> {
 /// [`LpError::Infeasible`] when the region is empty; other variants are
 /// forwarded from the simplex solver.
 pub fn chebyshev_center(halfplanes: &[HalfPlane], bounds: &Polygon) -> Result<Point, LpError> {
-    let mut all = halfplanes.to_vec();
-    all.extend(polygon_halfplanes(bounds));
+    let edges = polygon_halfplanes(bounds);
+    SimplexWorkspace::with(|ws| chebyshev_center_in(ws, halfplanes, &edges, None))
+        .map(|cs| cs.point)
+}
 
+/// Workspace form of [`chebyshev_center`] over an explicit half-plane
+/// split: `halfplanes` (typically kept judgement constraints) followed by
+/// `edges` (the bounding polygon's interior half-planes, usually
+/// precomputed once per venue piece).
+///
+/// `warm`, when given, seeds the LP at a point believed feasible — the
+/// relaxation witness in the serving pipeline — shifting the disc-center
+/// variables so Phase-1 is skipped when the point checks out. An
+/// infeasible seed silently degrades to a cold solve with an identical
+/// result.
+///
+/// # Errors
+///
+/// Same contract as [`chebyshev_center`].
+pub fn chebyshev_center_in(
+    ws: &mut SimplexWorkspace,
+    halfplanes: &[HalfPlane],
+    edges: &[HalfPlane],
+    warm: Option<Point>,
+) -> Result<CenterSolve, LpError> {
     // Variables: x, y free; r ≥ 0. Maximize r ⇒ minimize −r.
-    let mut p = Program::new(3);
-    p.set_objective(2, -1.0);
-    p.set_nonneg(2);
-    for h in &all {
+    ws.begin(3);
+    ws.set_objective(2, -1.0);
+    ws.set_nonneg(2);
+    for h in halfplanes.iter().chain(edges) {
         let norm = h.a.norm();
         if norm < 1e-12 {
             // Degenerate row: constant constraint, either trivially true
@@ -92,13 +129,24 @@ pub fn chebyshev_center(halfplanes: &[HalfPlane], bounds: &Polygon) -> Result<Po
             }
             continue;
         }
-        p.add_le(vec![h.a.x, h.a.y, norm], h.b);
+        ws.push_row(h.b);
+        ws.set_coeff(0, h.a.x);
+        ws.set_coeff(1, h.a.y);
+        ws.set_coeff(2, norm);
     }
-    let s = p.solve()?;
+    let s = match warm {
+        Some(w) => ws.solve_from(&[w.x, w.y, 0.0])?,
+        None => ws.solve()?,
+    };
     if s.x[2] < -1e-9 {
         return Err(LpError::Infeasible);
     }
-    Ok(Point::new(s.x[0], s.x[1]))
+    Ok(CenterSolve {
+        point: Point::new(s.x[0], s.x[1]),
+        iterations: s.iterations,
+        warm_start_hit: ws.last_warm_start_hit(),
+        phase1_pivots_saved: ws.last_phase1_pivots_saved(),
+    })
 }
 
 /// Analytic center: minimizer of the log-barrier `−Σ log(bᵢ − aᵢ·z)`.
@@ -112,10 +160,36 @@ pub fn chebyshev_center(halfplanes: &[HalfPlane], bounds: &Polygon) -> Result<Po
 /// [`LpError::Infeasible`] when the region is empty or has empty interior;
 /// [`LpError::Numerical`] if Newton stalls (ill-conditioned Hessian).
 pub fn analytic_center(halfplanes: &[HalfPlane], bounds: &Polygon) -> Result<Point, LpError> {
-    let mut all = halfplanes.to_vec();
-    all.extend(polygon_halfplanes(bounds));
-    // Strictly interior start.
-    let start = chebyshev_center(halfplanes, bounds)?;
+    let edges = polygon_halfplanes(bounds);
+    SimplexWorkspace::with(|ws| analytic_center_in(ws, halfplanes, &edges, None)).map(|cs| cs.point)
+}
+
+/// Workspace form of [`analytic_center`]: the Newton seed comes from
+/// [`chebyshev_center_in`] (optionally warm-started at `warm`), so the
+/// serving pipeline's relaxation witness accelerates this method too.
+///
+/// # Errors
+///
+/// Same contract as [`analytic_center`].
+pub fn analytic_center_in(
+    ws: &mut SimplexWorkspace,
+    halfplanes: &[HalfPlane],
+    edges: &[HalfPlane],
+    warm: Option<Point>,
+) -> Result<CenterSolve, LpError> {
+    let seed = chebyshev_center_in(ws, halfplanes, edges, warm)?;
+    let point = newton_log_barrier(halfplanes, edges, seed.point)?;
+    Ok(CenterSolve { point, ..seed })
+}
+
+/// Damped-Newton minimization of the log barrier over
+/// `halfplanes ∪ edges`, from a strictly interior `start`.
+fn newton_log_barrier(
+    halfplanes: &[HalfPlane],
+    edges: &[HalfPlane],
+    start: Point,
+) -> Result<Point, LpError> {
+    let all: Vec<HalfPlane> = halfplanes.iter().chain(edges).copied().collect();
     let slack_at =
         |z: Point| -> Vec<f64> { all.iter().map(|h| h.b - h.a.dot(z.to_vec())).collect() };
     let s0 = slack_at(start);
@@ -317,6 +391,43 @@ mod tests {
         assert!(ok.is_ok());
         let bad = chebyshev_center(&[hp(0.0, 0.0, -1.0)], &square());
         assert_eq!(bad, Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn chebyshev_warm_start_matches_cold() {
+        let edges = polygon_halfplanes(&square());
+        let hps = [hp(1.0, 0.0, 4.0)];
+        let mut ws = SimplexWorkspace::new();
+        let cold = chebyshev_center_in(&mut ws, &hps, &edges, None).unwrap();
+        assert!(!cold.warm_start_hit);
+        let warm = chebyshev_center_in(&mut ws, &hps, &edges, Some(Point::new(1.0, 1.0))).unwrap();
+        assert!(warm.warm_start_hit);
+        // Left 4×10 strip: the inscribed-disc x is pinned at 2 for both.
+        assert!((cold.point.x - 2.0).abs() < 1e-6, "{}", cold.point);
+        assert!((warm.point.x - 2.0).abs() < 1e-6, "{}", warm.point);
+    }
+
+    #[test]
+    fn chebyshev_infeasible_warm_seed_degrades_to_cold() {
+        let edges = polygon_halfplanes(&square());
+        let mut ws = SimplexWorkspace::new();
+        let cold = chebyshev_center_in(&mut ws, &[], &edges, None).unwrap();
+        // A seed outside the square cannot be accepted, but must not
+        // change the result.
+        let miss = chebyshev_center_in(&mut ws, &[], &edges, Some(Point::new(-50.0, 3.0))).unwrap();
+        assert!(!miss.warm_start_hit);
+        assert_eq!(cold.point, miss.point);
+        assert_eq!(cold.iterations, miss.iterations);
+    }
+
+    #[test]
+    fn analytic_center_in_matches_wrapper() {
+        let edges = polygon_halfplanes(&square());
+        let hps = [hp(1.0, 0.0, 3.0), hp(0.0, 1.0, 7.0)];
+        let via_wrapper = analytic_center(&hps, &square()).unwrap();
+        let mut ws = SimplexWorkspace::new();
+        let direct = analytic_center_in(&mut ws, &hps, &edges, None).unwrap();
+        assert!(via_wrapper.distance(direct.point) < 1e-9);
     }
 
     #[test]

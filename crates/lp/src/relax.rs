@@ -12,9 +12,10 @@
 //! When the original system is feasible the optimum is `t = 0` and the
 //! relaxation is exact (the equivalence noted below Eq. 19).
 
-use crate::simplex::Program;
+use crate::center::{self, CenterMethod};
+use crate::simplex::SimplexWorkspace;
 use crate::LpError;
-use nomloc_geometry::{HalfPlane, Point};
+use nomloc_geometry::{HalfPlane, Point, Polygon};
 
 /// One half-plane constraint with its relaxation weight.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +94,20 @@ impl Relaxation {
 ///   not bound the plane (callers should always include the area-boundary
 ///   constraints, which do).
 pub fn relax_constraints(constraints: &[WeightedConstraint]) -> Result<Relaxation, LpError> {
+    SimplexWorkspace::with(|ws| relax_constraints_in(ws, constraints))
+}
+
+/// Workspace form of [`relax_constraints`]: the LP is staged directly into
+/// `ws`'s flat tableau, so repeated calls (one per venue piece per query)
+/// perform no per-solve allocation beyond the returned [`Relaxation`].
+///
+/// # Errors
+///
+/// Same contract as [`relax_constraints`].
+pub fn relax_constraints_in(
+    ws: &mut SimplexWorkspace,
+    constraints: &[WeightedConstraint],
+) -> Result<Relaxation, LpError> {
     if constraints.is_empty() {
         return Err(LpError::BadProblem);
     }
@@ -105,18 +120,17 @@ pub fn relax_constraints(constraints: &[WeightedConstraint]) -> Result<Relaxatio
 
     let n = constraints.len();
     // Variables: z = (x, y) free, then t₁…t_N ≥ 0.
-    let mut p = Program::new(2 + n);
+    ws.begin(2 + n);
     for (i, c) in constraints.iter().enumerate() {
-        p.set_objective(2 + i, c.weight);
-        p.set_nonneg(2 + i);
+        ws.set_objective(2 + i, c.weight);
+        ws.set_nonneg(2 + i);
         // aᵢ·z − tᵢ ≤ bᵢ
-        let mut row = vec![0.0; 2 + n];
-        row[0] = c.halfplane.a.x;
-        row[1] = c.halfplane.a.y;
-        row[2 + i] = -1.0;
-        p.add_le(row, c.halfplane.b);
+        ws.push_row(c.halfplane.b);
+        ws.set_coeff(0, c.halfplane.a.x);
+        ws.set_coeff(1, c.halfplane.a.y);
+        ws.set_coeff(2 + i, -1.0);
     }
-    let s = p.solve()?;
+    let s = ws.solve()?;
     let witness = Point::new(s.x[0], s.x[1]);
     let slacks: Vec<f64> = s.x[2..].iter().map(|&t| t.max(0.0)).collect();
     let relaxed: Vec<HalfPlane> = constraints
@@ -130,6 +144,94 @@ pub fn relax_constraints(constraints: &[WeightedConstraint]) -> Result<Relaxatio
         cost: s.objective,
         relaxed,
         iterations: s.iterations,
+    })
+}
+
+/// Slack threshold under which a constraint counts as *kept* (satisfied by
+/// the relaxation, so the center solve should honor it).
+pub const KEPT_SLACK_TOL: f64 = 1e-6;
+
+/// Combined result of [`relax_then_center`].
+#[derive(Debug, Clone)]
+pub struct RelaxedCenter {
+    /// The relaxation solve's full result.
+    pub relaxation: Relaxation,
+    /// Half-planes of the kept candidate constraints (slack ≤
+    /// [`KEPT_SLACK_TOL`]), in input order.
+    pub kept: Vec<HalfPlane>,
+    /// The center of the kept region clipped to the bounds, or `None` when
+    /// the center solve failed (callers fall back geometrically).
+    pub center: Option<Point>,
+    /// Simplex pivots the center solve spent.
+    pub center_iterations: u64,
+    /// Whether the center solve reused the relaxation witness and skipped
+    /// Phase-1.
+    pub warm_start_hit: bool,
+    /// Phase-1 pivots the warm start avoided.
+    pub phase1_pivots_saved: u64,
+}
+
+/// The serving pipeline's combined LP entry point: solves the weighted
+/// relaxation over `constraints`, keeps the first `candidates` constraints
+/// whose optimal slack is ≤ [`KEPT_SLACK_TOL`] (the judgement constraints;
+/// trailing boundary constraints are handled by `edges`), then solves the
+/// chosen center over `kept ∪ edges` **warm-started at the relaxation
+/// witness** — when the witness satisfies the kept system, the center LP
+/// skips Phase-1 entirely.
+///
+/// `edges` must be the interior half-planes of `bounds`
+/// ([`center::polygon_halfplanes`]), precomputed once per venue piece.
+///
+/// # Errors
+///
+/// Forwards [`relax_constraints_in`] errors. A failing *center* solve is
+/// not an error: `center` is simply `None`.
+pub fn relax_then_center(
+    ws: &mut SimplexWorkspace,
+    constraints: &[WeightedConstraint],
+    candidates: usize,
+    bounds: &Polygon,
+    edges: &[HalfPlane],
+    method: CenterMethod,
+) -> Result<RelaxedCenter, LpError> {
+    let relaxation = relax_constraints_in(ws, constraints)?;
+    let kept: Vec<HalfPlane> = constraints[..candidates.min(constraints.len())]
+        .iter()
+        .zip(relaxation.slacks())
+        .filter(|&(_, &t)| t <= KEPT_SLACK_TOL)
+        .map(|(c, _)| c.halfplane)
+        .collect();
+    let witness = relaxation.witness();
+    let lp_center = match method {
+        CenterMethod::Chebyshev => center::chebyshev_center_in(ws, &kept, edges, Some(witness)),
+        CenterMethod::Analytic => center::analytic_center_in(ws, &kept, edges, Some(witness)),
+        CenterMethod::Centroid => {
+            return Ok(RelaxedCenter {
+                center: center::polygon_centroid(&kept, bounds).ok(),
+                relaxation,
+                kept,
+                center_iterations: 0,
+                warm_start_hit: false,
+                phase1_pivots_saved: 0,
+            });
+        }
+    };
+    let (center, center_iterations, warm_start_hit, phase1_pivots_saved) = match lp_center {
+        Ok(cs) => (
+            Some(cs.point),
+            cs.iterations,
+            cs.warm_start_hit,
+            cs.phase1_pivots_saved,
+        ),
+        Err(_) => (None, 0, false, 0),
+    };
+    Ok(RelaxedCenter {
+        relaxation,
+        kept,
+        center,
+        center_iterations,
+        warm_start_hit,
+        phase1_pivots_saved,
     })
 }
 
@@ -266,6 +368,69 @@ mod tests {
         let r = relax_constraints(&[c]).unwrap();
         assert!(r.is_exact());
         assert!(r.witness().x <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn relax_then_center_warm_starts_the_center_lp() {
+        let bounds = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let edges = center::polygon_halfplanes(&bounds);
+        // Two feasible judgements plus boxed high-weight boundary rows, as
+        // the estimator stages them; only the judgements are candidates.
+        let cs = boxed(vec![
+            WeightedConstraint::new(hp(1.0, 0.0, 6.0), 0.8),
+            WeightedConstraint::new(hp(0.0, 1.0, 7.0), 0.7),
+        ]);
+        let judgements = &cs[4..];
+        let mut reordered: Vec<WeightedConstraint> = judgements.to_vec();
+        reordered.extend_from_slice(&cs[..4]);
+        let mut ws = SimplexWorkspace::new();
+        let rc = relax_then_center(
+            &mut ws,
+            &reordered,
+            2,
+            &bounds,
+            &edges,
+            CenterMethod::Chebyshev,
+        )
+        .unwrap();
+        assert_eq!(rc.kept.len(), 2, "feasible judgements are both kept");
+        assert!(rc.warm_start_hit, "witness satisfies the kept system");
+        let c = rc.center.expect("center solve succeeds");
+        assert!(c.x <= 6.0 + 1e-6 && c.y <= 7.0 + 1e-6, "{c}");
+        assert!(rc.center_iterations > 0);
+        assert_eq!(ws.warm_start_hits(), 1);
+    }
+
+    #[test]
+    fn relax_then_center_drops_sacrificed_constraints() {
+        let bounds = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let edges = center::polygon_halfplanes(&bounds);
+        // Contradictory pair: the low-weight x ≥ 6 is sacrificed, so only
+        // x ≤ 2 is kept and the center stays in the left strip.
+        let cs = vec![
+            WeightedConstraint::new(hp(1.0, 0.0, 2.0), 0.9),
+            WeightedConstraint::new(hp(-1.0, 0.0, -6.0), 0.55),
+        ];
+        let mut ws = SimplexWorkspace::new();
+        let rc =
+            relax_then_center(&mut ws, &cs, 2, &bounds, &edges, CenterMethod::Chebyshev).unwrap();
+        assert_eq!(rc.kept.len(), 1);
+        let c = rc.center.expect("kept system is feasible");
+        assert!(c.x <= 2.0 + 1e-6, "{c}");
+    }
+
+    #[test]
+    fn relax_then_center_centroid_method_is_lp_free() {
+        let bounds = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let edges = center::polygon_halfplanes(&bounds);
+        let cs = vec![WeightedConstraint::new(hp(1.0, 0.0, 5.0), 0.8)];
+        let mut ws = SimplexWorkspace::new();
+        let rc =
+            relax_then_center(&mut ws, &cs, 1, &bounds, &edges, CenterMethod::Centroid).unwrap();
+        let c = rc.center.expect("clipped region is non-empty");
+        assert!(c.distance(Point::new(2.5, 5.0)) < 1e-6, "{c}");
+        assert_eq!(rc.center_iterations, 0);
+        assert!(!rc.warm_start_hit);
     }
 
     #[test]

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Quick benchmark pass: runs the LP-scaling and serving-throughput benches
+# in quick mode (NOMLOC_BENCH_QUICK clamps the criterion shim's sampling
+# budget and shrinks the paired min-of-rounds loops), then regenerates the
+# machine-readable BENCH_lp.json via the bench_json binary.
+#
+# Usage: scripts/bench.sh [--full]
+#   --full   drop the quick clamp and run the complete sampling budget
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--full" ]]; then
+  unset NOMLOC_BENCH_QUICK || true
+else
+  export NOMLOC_BENCH_QUICK=1
+fi
+
+echo "==> cargo bench lp_scaling${NOMLOC_BENCH_QUICK:+ (quick)}"
+cargo bench -p nomloc-bench --bench lp_scaling --offline
+
+echo "==> cargo bench serving_throughput${NOMLOC_BENCH_QUICK:+ (quick)}"
+cargo bench -p nomloc-bench --bench serving_throughput --offline
+
+echo "==> bench_json -> BENCH_lp.json"
+cargo run --release -p nomloc-bench --bin bench_json --offline
+
+echo "Benchmarks done."

@@ -11,6 +11,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> benches compile: cargo bench --no-run"
+cargo bench --workspace --no-run --offline
+
 echo "==> tier-1 gate: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --offline

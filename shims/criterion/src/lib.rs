@@ -85,6 +85,23 @@ impl Default for SamplingConfig {
     }
 }
 
+impl SamplingConfig {
+    /// Clamps the sampling budget for quick smoke runs: `quick` (driven by
+    /// the `NOMLOC_BENCH_QUICK` environment variable) caps samples at 10,
+    /// measurement at 200 ms and warm-up at 50 ms per benchmark, so a full
+    /// bench binary finishes in seconds instead of minutes.
+    fn clamped_for_quick(self, quick: bool) -> Self {
+        if !quick {
+            return self;
+        }
+        SamplingConfig {
+            sample_size: self.sample_size.min(10),
+            measurement_time: self.measurement_time.min(Duration::from_millis(200)),
+            warm_up_time: self.warm_up_time.min(Duration::from_millis(50)),
+        }
+    }
+}
+
 /// The timing loop handed to each benchmark closure.
 pub struct Bencher {
     config: SamplingConfig,
@@ -148,7 +165,7 @@ fn run_one(id: &str, filter: Option<&str>, config: SamplingConfig, f: impl FnOnc
         }
     }
     let mut bencher = Bencher {
-        config,
+        config: config.clamped_for_quick(std::env::var_os("NOMLOC_BENCH_QUICK").is_some()),
         result: None,
     };
     f(&mut bencher);
@@ -319,6 +336,28 @@ mod tests {
     fn benchmark_id_renders() {
         assert_eq!(BenchmarkId::new("lab", 42).into_id(), "lab/42");
         assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn quick_clamp_caps_the_budget() {
+        let full = SamplingConfig::default();
+        let quick = full.clamped_for_quick(true);
+        assert_eq!(quick.sample_size, 10);
+        assert_eq!(quick.measurement_time, Duration::from_millis(200));
+        assert_eq!(quick.warm_up_time, Duration::from_millis(50));
+        // Budgets already below the cap are left alone.
+        let tiny = SamplingConfig {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(5),
+        };
+        let clamped = tiny.clamped_for_quick(true);
+        assert_eq!(clamped.sample_size, 3);
+        assert_eq!(clamped.measurement_time, Duration::from_millis(10));
+        // And `quick = false` is the identity.
+        let same = full.clamped_for_quick(false);
+        assert_eq!(same.sample_size, full.sample_size);
+        assert_eq!(same.measurement_time, full.measurement_time);
     }
 
     #[test]
