@@ -1,8 +1,11 @@
 //! The `nomloc` command-line tool. Parsing and rendering live in
 //! `nomloc_cli`; this binary only dispatches.
 
-use nomloc_cli::{parse, run_campaign, run_map, run_serve, run_venues, Command, USAGE};
+use nomloc_cli::{
+    parse, run_campaign, run_loadgen, run_map, run_serve, run_venues, start_daemon, Command, USAGE,
+};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,10 +26,42 @@ fn main() -> ExitCode {
             print!("{}", run_map(&spec));
             ExitCode::SUCCESS
         }
+        Ok(Command::Serve(spec)) if spec.listen.is_some() => match start_daemon(&spec) {
+            Ok(handle) => {
+                println!("nomloc-net daemon listening on {}", handle.local_addr());
+                // Serve until the response budget is spent (--max-requests),
+                // or forever when the budget is 0; the drain-time health
+                // summary prints either way if we do exit.
+                loop {
+                    std::thread::sleep(Duration::from_millis(50));
+                    if spec.max_requests > 0 && handle.responses_sent() >= spec.max_requests as u64
+                    {
+                        break;
+                    }
+                }
+                let health = handle.shutdown();
+                print!("{health}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Ok(Command::Serve(spec)) => {
             print!("{}", run_serve(&spec));
             ExitCode::SUCCESS
         }
+        Ok(Command::Loadgen(spec)) => match run_loadgen(&spec) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("run `nomloc help` for usage");

@@ -37,8 +37,11 @@ pub enum Command {
     /// Print the analytical localizability map of a venue.
     Map(MapSpec),
     /// Serve a synthetic batch of localization requests and print
-    /// pipeline statistics.
+    /// pipeline statistics — or, with `--listen`, run the network daemon.
     Serve(ServeSpec),
+    /// Drive a running (or freshly spawned loopback) daemon with
+    /// concurrent connections and print throughput + latency quantiles.
+    Loadgen(LoadgenSpec),
     /// List the built-in venues.
     Venues,
     /// Print usage.
@@ -113,14 +116,28 @@ impl Default for MapSpec {
 pub struct ServeSpec {
     /// Venue name.
     pub venue: VenueName,
-    /// Number of localization requests in the batch.
+    /// Number of localization requests in the batch (synthetic mode).
     pub requests: usize,
-    /// Probe packets per AP per request.
+    /// Probe packets per AP per request (synthetic mode).
     pub packets: usize,
     /// Worker threads (`0` = one per available CPU).
     pub workers: usize,
     /// RNG seed for the synthetic CSI workload.
     pub seed: u64,
+    /// Daemon mode: the address to listen on (e.g. `127.0.0.1:4455`).
+    pub listen: Option<String>,
+    /// Daemon: flush a micro-batch at this many requests.
+    pub max_batch: usize,
+    /// Daemon: …or this many microseconds after its first request.
+    pub max_wait_us: u64,
+    /// Daemon: admission-queue capacity (`Overloaded` beyond it).
+    pub queue_cap: usize,
+    /// Daemon: acceptor threads sharing the listening socket.
+    pub acceptors: usize,
+    /// Daemon: batcher threads forming micro-batches.
+    pub batchers: usize,
+    /// Daemon: exit after this many responses (0 = run until killed).
+    pub max_requests: usize,
 }
 
 impl Default for ServeSpec {
@@ -131,6 +148,49 @@ impl Default for ServeSpec {
             packets: 20,
             workers: 0,
             seed: 2014,
+            listen: None,
+            max_batch: 32,
+            max_wait_us: 500,
+            queue_cap: 1024,
+            acceptors: 2,
+            batchers: 2,
+            max_requests: 0,
+        }
+    }
+}
+
+/// Parameters of a `loadgen` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenSpec {
+    /// Venue used to synthesise the CSI workload.
+    pub venue: VenueName,
+    /// Daemon address to connect to; `None` spawns a loopback daemon.
+    pub connect: Option<String>,
+    /// Parallel TCP connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Probe packets per AP per request.
+    pub packets: usize,
+    /// RNG seed for the synthetic CSI workload.
+    pub seed: u64,
+    /// Per-request deadline, µs (0 = none).
+    pub deadline_us: u32,
+    /// Loopback daemon: worker threads (`0` = one per available CPU).
+    pub workers: usize,
+}
+
+impl Default for LoadgenSpec {
+    fn default() -> Self {
+        LoadgenSpec {
+            venue: VenueName::Lab,
+            connect: None,
+            connections: 4,
+            requests: 1000,
+            packets: 4,
+            seed: 2014,
+            deadline_us: 0,
+            workers: 0,
         }
     }
 }
@@ -212,6 +272,8 @@ USAGE:
     nomloc campaign [OPTIONS]     run a measurement campaign
     nomloc map [OPTIONS]          print a localizability heat map
     nomloc serve [OPTIONS]        serve a synthetic request batch + stats
+                                  (with --listen ADDR: run the TCP daemon)
+    nomloc loadgen [OPTIONS]      drive a daemon with concurrent clients
     nomloc venues                 list built-in venues
     nomloc help                   show this message
 
@@ -241,6 +303,26 @@ SERVE OPTIONS:
     --packets N                   probe packets per AP per request (default 20)
     --workers N                   worker threads, 0 = all CPUs (default 0)
     --seed N                      workload RNG seed (default 2014)
+    --listen ADDR                 run the nomloc-net daemon on ADDR
+                                  (e.g. 127.0.0.1:4455; port 0 = ephemeral)
+    --max-batch N                 daemon: micro-batch size cap (default 32)
+    --max-wait-us N               daemon: micro-batch max wait (default 500)
+    --queue-cap N                 daemon: admission queue cap (default 1024)
+    --acceptors N                 daemon: acceptor threads (default 2)
+    --batchers N                  daemon: batcher threads (default 2)
+    --max-requests N              daemon: exit after N responses (default 0
+                                  = run until killed)
+
+LOADGEN OPTIONS:
+    --connect ADDR                daemon to drive (default: spawn a loopback
+                                  daemon in-process on 127.0.0.1:0)
+    --venue lab|lobby|mall        workload venue (default lab)
+    --connections N               parallel connections (default 4)
+    --requests N                  total requests (default 1000)
+    --packets N                   probe packets per AP per request (default 4)
+    --seed N                      workload RNG seed (default 2014)
+    --deadline-us N               per-request deadline, 0 = none (default 0)
+    --workers N                   loopback daemon worker threads (default 0)
 ";
 
 /// Parses a full argument list (excluding the program name).
@@ -257,6 +339,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         Some("campaign") => parse_campaign(it.as_slice()).map(Command::Campaign),
         Some("map") => parse_map(it.as_slice()).map(Command::Map),
         Some("serve") => parse_serve(it.as_slice()).map(Command::Serve),
+        Some("loadgen") => parse_loadgen(it.as_slice()).map(Command::Loadgen),
         Some(other) => Err(err(format!("unknown command `{other}`; try `nomloc help`"))),
     }
 }
@@ -397,7 +480,70 @@ fn parse_serve(args: &[String]) -> Result<ServeSpec, ParseError> {
                     .parse()
                     .map_err(|_| err("flag `--seed`: not an integer"))?
             }
+            "--listen" => spec.listen = Some(take_value(flag, &mut it)?.to_string()),
+            "--max-batch" => {
+                spec.max_batch = parse_usize(flag, take_value(flag, &mut it)?)?;
+                if spec.max_batch == 0 {
+                    return Err(err("flag `--max-batch`: must be positive"));
+                }
+            }
+            "--max-wait-us" => {
+                spec.max_wait_us = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("flag `--max-wait-us`: not an integer"))?
+            }
+            "--queue-cap" => {
+                spec.queue_cap = parse_usize(flag, take_value(flag, &mut it)?)?;
+                if spec.queue_cap == 0 {
+                    return Err(err("flag `--queue-cap`: must be positive"));
+                }
+            }
+            "--acceptors" => {
+                spec.acceptors = parse_usize(flag, take_value(flag, &mut it)?)?;
+                if spec.acceptors == 0 {
+                    return Err(err("flag `--acceptors`: must be positive"));
+                }
+            }
+            "--batchers" => {
+                spec.batchers = parse_usize(flag, take_value(flag, &mut it)?)?;
+                if spec.batchers == 0 {
+                    return Err(err("flag `--batchers`: must be positive"));
+                }
+            }
+            "--max-requests" => spec.max_requests = parse_usize(flag, take_value(flag, &mut it)?)?,
             other => return Err(err(format!("unknown serve flag `{other}`"))),
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_loadgen(args: &[String]) -> Result<LoadgenSpec, ParseError> {
+    let mut spec = LoadgenSpec::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--connect" => spec.connect = Some(take_value(flag, &mut it)?.to_string()),
+            "--venue" => spec.venue = parse_venue(take_value(flag, &mut it)?)?,
+            "--connections" => {
+                spec.connections = parse_usize(flag, take_value(flag, &mut it)?)?;
+                if spec.connections == 0 {
+                    return Err(err("flag `--connections`: must be positive"));
+                }
+            }
+            "--requests" => spec.requests = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--packets" => spec.packets = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--seed" => {
+                spec.seed = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("flag `--seed`: not an integer"))?
+            }
+            "--deadline-us" => {
+                spec.deadline_us = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("flag `--deadline-us`: not an integer"))?
+            }
+            "--workers" => spec.workers = parse_usize(flag, take_value(flag, &mut it)?)?,
+            other => return Err(err(format!("unknown loadgen flag `{other}`"))),
         }
     }
     Ok(spec)
@@ -518,36 +664,60 @@ fn request_rng(seed: u64, request: usize) -> StdRng {
     StdRng::seed_from_u64(z ^ (z >> 31))
 }
 
-/// Serves a synthetic batch of localization requests (one per venue test
-/// site, round-robin) through `LocalizationServer::process_batch` and
-/// renders the outcome plus the pipeline-stats snapshot.
-pub fn run_serve(spec: &ServeSpec) -> String {
-    let venue = spec.venue.venue();
+/// Builds the synthetic request workload `serve` and `loadgen` share: one
+/// request per venue test site (round-robin), each carrying one CSI report
+/// per static AP. Returns the ground-truth positions alongside the batch.
+///
+/// Deterministic in `(venue, requests, packets, seed)`: every request
+/// derives its own RNG via [`request_rng`], so the workload is identical
+/// no matter which process — or which side of a socket — generates it.
+pub fn synthetic_workload(
+    venue: &Venue,
+    requests: usize,
+    packets: usize,
+    seed: u64,
+) -> (Vec<Point>, Vec<Vec<CsiReport>>) {
     let env = Environment::new(venue.plan.clone(), RadioConfig::default());
-    let mut server = LocalizationServer::new(venue.plan.boundary().clone());
-    if spec.workers > 0 {
-        server = server.with_workers(spec.workers);
-    }
     let aps = venue.static_deployment();
     let grid = SubcarrierGrid::intel5300();
-
-    let truths: Vec<Point> = (0..spec.requests)
+    let truths: Vec<Point> = (0..requests)
         .map(|r| venue.test_sites[r % venue.test_sites.len()])
         .collect();
     let batch: Vec<Vec<CsiReport>> = truths
         .iter()
         .enumerate()
         .map(|(r, &object)| {
-            let mut rng = request_rng(spec.seed, r);
+            let mut rng = request_rng(seed, r);
             aps.iter()
                 .enumerate()
                 .map(|(i, &ap)| CsiReport {
                     site: ApSite::fixed(i + 1, ap),
-                    burst: env.sample_csi_burst(object, ap, &grid, spec.packets, &mut rng),
+                    burst: env.sample_csi_burst(object, ap, &grid, packets, &mut rng),
                 })
                 .collect()
         })
         .collect();
+    (truths, batch)
+}
+
+/// Builds the `LocalizationServer` a `serve` invocation (either mode)
+/// localizes with.
+fn serve_server(spec: &ServeSpec, venue: &Venue) -> LocalizationServer {
+    let mut server = LocalizationServer::new(venue.plan.boundary().clone());
+    if spec.workers > 0 {
+        server = server.with_workers(spec.workers);
+    }
+    server
+}
+
+/// Serves a synthetic batch of localization requests (one per venue test
+/// site, round-robin) through `LocalizationServer::process_batch` and
+/// renders the outcome plus the pipeline-stats snapshot.
+pub fn run_serve(spec: &ServeSpec) -> String {
+    let venue = spec.venue.venue();
+    let server = serve_server(spec, &venue);
+    let aps = venue.static_deployment();
+    let (truths, batch) = synthetic_workload(&venue, spec.requests, spec.packets, spec.seed);
 
     let start = std::time::Instant::now();
     let results = server.process_batch(&batch);
@@ -598,6 +768,83 @@ pub fn run_serve(spec: &ServeSpec) -> String {
     ));
     out.push_str(&snapshot.to_string());
     out
+}
+
+/// Spawns the `nomloc-net` daemon per a `serve --listen` spec.
+///
+/// # Errors
+///
+/// Returns a user-facing message if the listen address is missing,
+/// malformed, or cannot be bound.
+pub fn start_daemon(spec: &ServeSpec) -> Result<nomloc_net::DaemonHandle, String> {
+    let addr = spec
+        .listen
+        .as_deref()
+        .ok_or("serve: daemon mode needs --listen ADDR")?;
+    let venue = spec.venue.venue();
+    let server = serve_server(spec, &venue);
+    let config = nomloc_net::DaemonConfig {
+        acceptors: spec.acceptors,
+        batchers: spec.batchers,
+        max_batch: spec.max_batch,
+        max_wait: std::time::Duration::from_micros(spec.max_wait_us),
+        queue_capacity: spec.queue_cap,
+        ..nomloc_net::DaemonConfig::default()
+    };
+    nomloc_net::spawn(server, config, addr)
+        .map_err(|e| format!("serve: cannot listen on `{addr}`: {e}"))
+}
+
+/// Runs the load generator: spawns a loopback daemon when `--connect` is
+/// absent, drives it with the synthetic workload, and renders throughput,
+/// latency quantiles, and (loopback only) the server's drain-time health.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bind/connect/protocol failures.
+pub fn run_loadgen(spec: &LoadgenSpec) -> Result<String, String> {
+    let venue = spec.venue.venue();
+    let (_, batch) = synthetic_workload(&venue, spec.requests, spec.packets, spec.seed);
+
+    // Loopback mode: host the daemon ourselves on an ephemeral port.
+    let loopback = if spec.connect.is_none() {
+        let serve_spec = ServeSpec {
+            venue: spec.venue,
+            workers: spec.workers,
+            listen: Some("127.0.0.1:0".to_string()),
+            ..ServeSpec::default()
+        };
+        Some(start_daemon(&serve_spec)?)
+    } else {
+        None
+    };
+    let addr = match (&loopback, spec.connect.as_deref()) {
+        (Some(handle), _) => handle.local_addr(),
+        (None, Some(addr)) => addr
+            .parse()
+            .map_err(|e| format!("loadgen: bad --connect address `{addr}`: {e}"))?,
+        (None, None) => unreachable!("loopback covers the None connect case"),
+    };
+
+    let config = nomloc_net::LoadgenConfig {
+        connections: spec.connections,
+        deadline_us: spec.deadline_us,
+        ..nomloc_net::LoadgenConfig::default()
+    };
+    let report =
+        nomloc_net::loadgen::run(addr, &config, &batch).map_err(|e| format!("loadgen: {e}"))?;
+
+    let mut out = format!(
+        "loadgen: {} — {} connections × {} requests ({} packets/AP, seed {})\n",
+        venue.name, config.connections, spec.requests, spec.packets, spec.seed
+    );
+    out.push_str(&report.render());
+    if let Some(handle) = loopback {
+        let health = handle.shutdown();
+        out.push('\n');
+        out.push_str(&health.to_string());
+    }
+    Ok(out)
 }
 
 /// Renders the venue listing.
@@ -758,6 +1005,7 @@ mod tests {
                 packets: 5,
                 workers: 2,
                 seed: 9,
+                ..ServeSpec::default()
             })
         );
         assert_eq!(
@@ -769,6 +1017,91 @@ mod tests {
     }
 
     #[test]
+    fn serve_daemon_flags() {
+        let cmd = parse(&args(
+            "serve --listen 127.0.0.1:4455 --max-batch 8 --max-wait-us 250 \
+             --queue-cap 64 --acceptors 1 --batchers 3 --max-requests 500",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeSpec {
+                listen: Some("127.0.0.1:4455".to_string()),
+                max_batch: 8,
+                max_wait_us: 250,
+                queue_cap: 64,
+                acceptors: 1,
+                batchers: 3,
+                max_requests: 500,
+                ..ServeSpec::default()
+            })
+        );
+        // Zero is nonsense for sizing knobs and rejected at parse time.
+        assert!(parse(&args("serve --max-batch 0")).is_err());
+        assert!(parse(&args("serve --queue-cap 0")).is_err());
+        assert!(parse(&args("serve --acceptors 0")).is_err());
+        assert!(parse(&args("serve --batchers 0")).is_err());
+    }
+
+    #[test]
+    fn loadgen_flags() {
+        let cmd = parse(&args(
+            "loadgen --connect 10.0.0.7:4455 --venue mall --connections 8 \
+             --requests 2000 --packets 2 --seed 7 --deadline-us 1500 --workers 3",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Loadgen(LoadgenSpec {
+                venue: VenueName::Mall,
+                connect: Some("10.0.0.7:4455".to_string()),
+                connections: 8,
+                requests: 2000,
+                packets: 2,
+                seed: 7,
+                deadline_us: 1500,
+                workers: 3,
+            })
+        );
+        assert_eq!(
+            parse(&args("loadgen")).unwrap(),
+            Command::Loadgen(LoadgenSpec::default())
+        );
+        assert!(parse(&args("loadgen --connections 0")).is_err());
+        assert!(parse(&args("loadgen --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn start_daemon_requires_listen() {
+        let msg = start_daemon(&ServeSpec::default()).map(|_| ()).unwrap_err();
+        assert!(msg.contains("--listen"), "unexpected message: {msg}");
+        let msg = start_daemon(&ServeSpec {
+            listen: Some("not-an-address".to_string()),
+            ..ServeSpec::default()
+        })
+        .map(|_| ())
+        .unwrap_err();
+        assert!(msg.contains("not-an-address"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn run_loadgen_loopback_smoke() {
+        let out = run_loadgen(&LoadgenSpec {
+            requests: 12,
+            packets: 2,
+            connections: 2,
+            workers: 2,
+            ..LoadgenSpec::default()
+        })
+        .unwrap();
+        assert!(out.contains("12 requests"), "missing totals:\n{out}");
+        assert!(out.contains("latency p50"), "missing quantiles:\n{out}");
+        assert!(out.contains("ok 12"), "requests failed:\n{out}");
+        // The loopback daemon's drain-time health summary rides along.
+        assert!(out.contains("nomloc-net health"), "missing health:\n{out}");
+    }
+
+    #[test]
     fn run_serve_smoke() {
         let out = run_serve(&ServeSpec {
             venue: VenueName::Lab,
@@ -776,6 +1109,7 @@ mod tests {
             packets: 5,
             workers: 2,
             seed: 3,
+            ..ServeSpec::default()
         });
         assert!(out.contains("6 requests"));
         assert!(out.contains("pipeline stats"));

@@ -246,6 +246,9 @@ impl LocalizationServer {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        if n > 0 {
+            self.stats.record_batch(n as u64);
+        }
         let workers = self.workers.clamp(1, n.max(1));
         if workers <= 1 {
             return (0..n).map(job).collect();

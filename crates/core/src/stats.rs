@@ -112,6 +112,99 @@ impl LatencySnapshot {
     }
 }
 
+/// Number of power-of-two size buckets: bucket `i` counts values in
+/// `[2^i, 2^{i+1})`, with the last bucket absorbing everything ≥ 2¹⁶ —
+/// far beyond any sane micro-batch.
+pub const SIZE_BUCKETS: usize = 17;
+
+/// Wait-free power-of-two histogram for small counts (micro-batch sizes).
+#[derive(Debug)]
+pub struct SizeHistogram {
+    buckets: [AtomicU64; SIZE_BUCKETS],
+    total: AtomicU64,
+}
+
+impl Default for SizeHistogram {
+    fn default() -> Self {
+        SizeHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SizeHistogram {
+    fn bucket_index(v: u64) -> usize {
+        (63 - v.max(1).leading_zeros() as usize).min(SIZE_BUCKETS - 1)
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copies the current bucket counts out.
+    pub fn snapshot(&self) -> SizeSnapshot {
+        SizeSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            total: self.total.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.total.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data copy of a [`SizeHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeSnapshot {
+    /// Bucket `i` counts values in `[2^i, 2^{i+1})`.
+    pub buckets: [u64; SIZE_BUCKETS],
+    /// Sum of all recorded values.
+    pub total: u64,
+}
+
+impl SizeSnapshot {
+    /// Total number of values recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total as f64 / n as f64
+        }
+    }
+
+    /// Upper edge of the bucket containing quantile `q ∈ [0, 1]` — an
+    /// upper bound with at most 2× resolution error, like
+    /// [`LatencySnapshot::quantile_upper_bound_ns`].
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << SIZE_BUCKETS
+    }
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns < 1e3 {
         format!("{ns:.0} ns")
@@ -152,6 +245,16 @@ pub struct CounterTotals {
     pub relaxations_triggered: u64,
     /// Requests that returned an [`crate::estimator::EstimateError`].
     pub estimate_failures: u64,
+    /// Batches dispatched through the batch entry points (in-process
+    /// `localize_batch`/`process_batch` calls and serving micro-batches).
+    pub batches_dispatched: u64,
+    /// Requests rejected by admission control (serving queue full).
+    pub queue_rejected: u64,
+    /// Requests dropped because they aged past their deadline before
+    /// being solved.
+    pub deadline_missed: u64,
+    /// High-water mark of the serving admission queue depth.
+    pub queue_depth_peak: u64,
 }
 
 /// Plain-data copy of a [`PipelineStats`], taken by
@@ -166,6 +269,8 @@ pub struct StatsSnapshot {
     pub judge_latency: LatencySnapshot,
     /// Constraint-generation + LP stage latency (the estimator call).
     pub solve_latency: LatencySnapshot,
+    /// Distribution of dispatched batch sizes (requests per batch).
+    pub batch_sizes: SizeSnapshot,
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -182,6 +287,21 @@ impl fmt::Display for StatsSnapshot {
         writeln!(f, "  phase-1 pivots saved  {}", c.phase1_pivots_saved)?;
         writeln!(f, "  relaxations triggered {}", c.relaxations_triggered)?;
         writeln!(f, "  estimate failures     {}", c.estimate_failures)?;
+        if c.batches_dispatched > 0 {
+            writeln!(
+                f,
+                "  batches dispatched    {} (mean size {:.1}, p50 ≤ {}, max ≤ {})",
+                c.batches_dispatched,
+                self.batch_sizes.mean(),
+                self.batch_sizes.quantile_upper_bound(0.50),
+                self.batch_sizes.quantile_upper_bound(1.0),
+            )?;
+        }
+        if c.queue_rejected > 0 || c.deadline_missed > 0 || c.queue_depth_peak > 0 {
+            writeln!(f, "  queue depth peak      {}", c.queue_depth_peak)?;
+            writeln!(f, "  overload rejections   {}", c.queue_rejected)?;
+            writeln!(f, "  deadline misses       {}", c.deadline_missed)?;
+        }
         for (name, h) in [
             ("extract", &self.extract_latency),
             ("judge", &self.judge_latency),
@@ -190,9 +310,10 @@ impl fmt::Display for StatsSnapshot {
             if h.count() > 0 {
                 writeln!(
                     f,
-                    "  {name:<8} latency     mean {}, p50 ≤ {}, p99 ≤ {} ({} samples)",
+                    "  {name:<8} latency     mean {}, p50 ≤ {}, p95 ≤ {}, p99 ≤ {} ({} samples)",
                     fmt_ns(h.mean_ns()),
                     fmt_ns(h.quantile_upper_bound_ns(0.50) as f64),
+                    fmt_ns(h.quantile_upper_bound_ns(0.95) as f64),
                     fmt_ns(h.quantile_upper_bound_ns(0.99) as f64),
                     h.count()
                 )?;
@@ -217,9 +338,14 @@ pub struct PipelineStats {
     phase1_pivots_saved: AtomicU64,
     relaxations_triggered: AtomicU64,
     estimate_failures: AtomicU64,
+    batches_dispatched: AtomicU64,
+    queue_rejected: AtomicU64,
+    deadline_missed: AtomicU64,
+    queue_depth_peak: AtomicU64,
     extract_latency: LatencyHistogram,
     judge_latency: LatencyHistogram,
     solve_latency: LatencyHistogram,
+    batch_sizes: SizeHistogram,
 }
 
 impl PipelineStats {
@@ -278,6 +404,27 @@ impl PipelineStats {
         self.solve_latency.record(elapsed);
     }
 
+    /// Records one dispatched batch of `size` requests.
+    pub fn record_batch(&self, size: u64) {
+        self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        self.batch_sizes.record(size);
+    }
+
+    /// Records one request rejected by admission control (queue full).
+    pub fn record_overload(&self) {
+        self.queue_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request that aged past its deadline before solving.
+    pub fn record_deadline_miss(&self) {
+        self.deadline_missed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the admission-queue high-water mark to at least `depth`.
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Copies the current state out as plain data.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -292,10 +439,15 @@ impl PipelineStats {
                 phase1_pivots_saved: self.phase1_pivots_saved.load(Ordering::Relaxed),
                 relaxations_triggered: self.relaxations_triggered.load(Ordering::Relaxed),
                 estimate_failures: self.estimate_failures.load(Ordering::Relaxed),
+                batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+                queue_rejected: self.queue_rejected.load(Ordering::Relaxed),
+                deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+                queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
             },
             extract_latency: self.extract_latency.snapshot(),
             judge_latency: self.judge_latency.snapshot(),
             solve_latency: self.solve_latency.snapshot(),
+            batch_sizes: self.batch_sizes.snapshot(),
         }
     }
 
@@ -311,9 +463,14 @@ impl PipelineStats {
         self.phase1_pivots_saved.store(0, Ordering::Relaxed);
         self.relaxations_triggered.store(0, Ordering::Relaxed);
         self.estimate_failures.store(0, Ordering::Relaxed);
+        self.batches_dispatched.store(0, Ordering::Relaxed);
+        self.queue_rejected.store(0, Ordering::Relaxed);
+        self.deadline_missed.store(0, Ordering::Relaxed);
+        self.queue_depth_peak.store(0, Ordering::Relaxed);
         self.extract_latency.reset();
         self.judge_latency.reset();
         self.solve_latency.reset();
+        self.batch_sizes.reset();
     }
 }
 
@@ -420,6 +577,67 @@ mod tests {
         assert_eq!(c.simplex_iterations, 24_000);
         assert_eq!(c.warm_start_hits, 8000);
         assert_eq!(c.phase1_pivots_saved, 8000);
+    }
+
+    #[test]
+    fn size_histogram_quantiles() {
+        let h = SizeHistogram::default();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(32);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.total, 90 + 320);
+        assert!((s.mean() - 4.1).abs() < 1e-9);
+        assert_eq!(s.quantile_upper_bound(0.5), 2);
+        assert_eq!(s.quantile_upper_bound(1.0), 64);
+        assert_eq!(
+            SizeSnapshot {
+                buckets: [0; SIZE_BUCKETS],
+                total: 0,
+            }
+            .quantile_upper_bound(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn serving_counters_accumulate_and_reset() {
+        let stats = PipelineStats::new();
+        stats.record_batch(8);
+        stats.record_batch(2);
+        stats.record_overload();
+        stats.record_deadline_miss();
+        stats.note_queue_depth(5);
+        stats.note_queue_depth(3); // lower than peak: no effect
+        let s = stats.snapshot();
+        assert_eq!(s.counters.batches_dispatched, 2);
+        assert_eq!(s.counters.queue_rejected, 1);
+        assert_eq!(s.counters.deadline_missed, 1);
+        assert_eq!(s.counters.queue_depth_peak, 5);
+        assert_eq!(s.batch_sizes.count(), 2);
+        let text = s.to_string();
+        assert!(text.contains("batches dispatched    2"));
+        assert!(text.contains("queue depth peak      5"));
+        assert!(text.contains("overload rejections   1"));
+        assert!(text.contains("deadline misses       1"));
+        stats.reset();
+        let s = stats.snapshot();
+        assert_eq!(s.counters, CounterTotals::default());
+        assert_eq!(s.batch_sizes.count(), 0);
+    }
+
+    #[test]
+    fn display_renders_latency_percentiles() {
+        let stats = PipelineStats::new();
+        stats.record_solve(5, 7, 2, 3, false, Duration::from_micros(20));
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("p50 ≤"));
+        assert!(text.contains("p95 ≤"));
+        assert!(text.contains("p99 ≤"));
     }
 
     #[test]

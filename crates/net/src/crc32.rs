@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+//!
+//! Every wire frame carries a CRC over its payload so that corruption —
+//! a flipped bit on a flaky link, a desynchronised stream — is detected
+//! before the payload is interpreted. The table is built at compile time;
+//! the per-byte loop is the classic reflected table-driven form.
+
+/// Reflected CRC-32 lookup table, one entry per byte value.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `data`: init `0xFFFFFFFF`, final XOR `0xFFFFFFFF`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // The standard CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let base = crc32(b"nomloc wire frame payload");
+        let mut corrupted = *b"nomloc wire frame payload";
+        for i in 0..corrupted.len() {
+            for bit in 0..8 {
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at byte {i} bit {bit}");
+                corrupted[i] ^= 1 << bit;
+            }
+        }
+    }
+}

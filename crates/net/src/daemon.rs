@@ -1,0 +1,541 @@
+//! The `nomloc-net` serving daemon: sharded TCP accept, cross-connection
+//! micro-batching, admission control, deadlines, and graceful drain.
+//!
+//! Threading model (all `std`, no async runtime):
+//!
+//! ```text
+//!  acceptor 0 ┐                       ┌ batcher 0 ┐
+//!  acceptor 1 ┼─▶ conn reader ──┐     │           ├─▶ process_batch ─▶ reply
+//!      …      ┘   conn reader ──┼─▶ bounded ──────┤   (scoped worker
+//!                 conn reader ──┘   queue   ▲     └    fan-out in core)
+//!                                           │
+//!                                 Condvar + Mutex<VecDeque>
+//! ```
+//!
+//! * **Sharded accept**: `acceptors` threads each own a clone of the
+//!   listener and block in `accept`; the kernel load-balances them.
+//! * **Per-connection readers** parse frames incrementally with
+//!   [`crate::wire::decode_frame`]; a protocol violation (bad magic, CRC,
+//!   version…) answers with a `Malformed` reply for request id 0 and
+//!   closes the connection.
+//! * **Cross-connection micro-batching**: readers push decoded requests
+//!   into one bounded queue; `batchers` threads pop the head and then
+//!   coalesce up to `max_batch` requests, waiting at most `max_wait` —
+//!   requests from *different* connections land in the same
+//!   `LocalizationServer::process_batch` call.
+//! * **Admission control**: when the queue holds `queue_capacity`
+//!   requests, new arrivals are answered `Overloaded` immediately instead
+//!   of buffering without bound.
+//! * **Deadlines**: a request carrying `deadline_us > 0` that ages past
+//!   it while queued is answered `DeadlineExceeded` and never solved.
+//! * **Graceful drain**: [`DaemonHandle::shutdown`] stops the acceptors
+//!   and readers, then lets the batchers empty the queue — every admitted
+//!   request is answered — before joining all threads.
+
+use crate::wire::{
+    self, ErrorCode, ErrorReply, Frame, LocateResponse, ServerHealth, WireError, WireEstimate,
+};
+use nomloc_core::server::CsiReport;
+use nomloc_core::stats::StatsSnapshot;
+use nomloc_core::LocalizationServer;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long blocked reads and condvar waits sleep between checks of the
+/// shutdown flag — bounds shutdown latency, not throughput.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Acceptor threads sharing the listening socket.
+    pub acceptors: usize,
+    /// Batcher threads popping micro-batches off the admission queue.
+    pub batchers: usize,
+    /// Flush a micro-batch as soon as it reaches this many requests.
+    pub max_batch: usize,
+    /// …or once this much time has passed since its first request.
+    pub max_wait: Duration,
+    /// Admission-queue capacity; arrivals beyond it get `Overloaded`.
+    pub queue_capacity: usize,
+    /// Artificial pause before each batch solve. Zero in production; the
+    /// overload tests use it to throttle the drain rate deterministically.
+    pub batch_pause: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            acceptors: 2,
+            batchers: 2,
+            max_batch: 32,
+            max_wait: Duration::from_micros(500),
+            queue_capacity: 1024,
+            batch_pause: Duration::ZERO,
+        }
+    }
+}
+
+/// Network-layer counters (the pipeline-layer ones live in
+/// `nomloc_core::stats::PipelineStats`, shared via the wrapped server).
+#[derive(Debug, Default)]
+struct NetCounters {
+    connections_accepted: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    protocol_errors: AtomicU64,
+    requests_enqueued: AtomicU64,
+    requests_ok: AtomicU64,
+    requests_failed: AtomicU64,
+    /// Every `LocateResponse` sent, regardless of outcome — the daemon's
+    /// progress meter for `--max-requests` style run bounds.
+    responses_sent: AtomicU64,
+}
+
+/// One admitted request waiting for a batcher.
+struct Pending {
+    request_id: u64,
+    reports: Vec<CsiReport>,
+    admitted_at: Instant,
+    deadline: Option<Duration>,
+    writer: Arc<ConnWriter>,
+}
+
+/// The write half of a connection; batch workers lock it per frame, so
+/// concurrent replies interleave as whole frames.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+struct Shared {
+    server: LocalizationServer,
+    config: DaemonConfig,
+    queue: Mutex<VecDeque<Pending>>,
+    queue_cv: Condvar,
+    shutting_down: AtomicBool,
+    net: NetCounters,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Handle to a running daemon: address, live stats, graceful shutdown.
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptors: Vec<JoinHandle<()>>,
+    batchers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for DaemonHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonHandle")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Spawns the daemon around `server`, listening on `addr`
+/// (e.g. `"127.0.0.1:0"` for an ephemeral port).
+///
+/// # Errors
+///
+/// Forwards socket errors from binding or cloning the listener.
+pub fn spawn<A: ToSocketAddrs>(
+    server: LocalizationServer,
+    config: DaemonConfig,
+    addr: A,
+) -> io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        server,
+        config: config.clone(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutting_down: AtomicBool::new(false),
+        net: NetCounters::default(),
+        conn_threads: Mutex::new(Vec::new()),
+    });
+
+    let mut acceptors = Vec::with_capacity(config.acceptors.max(1));
+    for _ in 0..config.acceptors.max(1) {
+        let listener = listener.try_clone()?;
+        let shared = Arc::clone(&shared);
+        acceptors.push(std::thread::spawn(move || accept_loop(&shared, &listener)));
+    }
+
+    let mut batchers = Vec::with_capacity(config.batchers.max(1));
+    for _ in 0..config.batchers.max(1) {
+        let shared = Arc::clone(&shared);
+        batchers.push(std::thread::spawn(move || batcher_loop(&shared)));
+    }
+
+    Ok(DaemonHandle {
+        shared,
+        local_addr,
+        acceptors,
+        batchers,
+    })
+}
+
+impl DaemonHandle {
+    /// The address the daemon is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Total `LocateResponse` frames sent so far (any outcome).
+    pub fn responses_sent(&self) -> u64 {
+        self.shared.net.responses_sent.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the wrapped server's pipeline stats.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.shared.server.stats_snapshot()
+    }
+
+    /// Combined network + pipeline health snapshot (the payload of a
+    /// `StatsResponse` frame).
+    pub fn health(&self) -> ServerHealth {
+        health_of(&self.shared)
+    }
+
+    /// Graceful drain: stop accepting, let readers wind down, answer every
+    /// admitted request, then join all threads. Returns the final health.
+    pub fn shutdown(self) -> ServerHealth {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        // Unblock acceptors parked in accept(2) with dummy connections.
+        for _ in &self.acceptors {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        for h in self.acceptors {
+            let _ = h.join();
+        }
+        // No new connection threads can start now; readers notice the
+        // flag within one poll interval.
+        let conns: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.shared.conn_threads.lock().unwrap());
+        for h in conns {
+            let _ = h.join();
+        }
+        // Batchers drain the queue, then exit on (empty && shutting_down).
+        self.shared.queue_cv.notify_all();
+        for h in self.batchers {
+            let _ = h.join();
+        }
+        health_of(&self.shared)
+    }
+}
+
+fn health_of(shared: &Shared) -> ServerHealth {
+    let net = &shared.net;
+    let snap = shared.server.stats_snapshot();
+    ServerHealth {
+        connections_accepted: net.connections_accepted.load(Ordering::Relaxed),
+        frames_in: net.frames_in.load(Ordering::Relaxed),
+        frames_out: net.frames_out.load(Ordering::Relaxed),
+        protocol_errors: net.protocol_errors.load(Ordering::Relaxed),
+        requests_enqueued: net.requests_enqueued.load(Ordering::Relaxed),
+        rejected_overload: snap.counters.queue_rejected,
+        deadline_missed: snap.counters.deadline_missed,
+        batches_formed: snap.counters.batches_dispatched,
+        queue_depth_peak: snap.counters.queue_depth_peak,
+        batch_size_p50: snap.batch_sizes.quantile_upper_bound(0.50),
+        batch_size_max: snap.batch_sizes.quantile_upper_bound(1.0),
+        requests_ok: net.requests_ok.load(Ordering::Relaxed),
+        requests_failed: net.requests_failed.load(Ordering::Relaxed),
+        solve_p50_ns: snap.solve_latency.quantile_upper_bound_ns(0.50),
+        solve_p95_ns: snap.solve_latency.quantile_upper_bound_ns(0.95),
+        solve_p99_ns: snap.solve_latency.quantile_upper_bound_ns(0.99),
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    return; // the wake-up connection from shutdown()
+                }
+                shared
+                    .net
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                let shared_conn = Arc::clone(shared);
+                let handle = std::thread::spawn(move || conn_loop(&shared_conn, stream));
+                shared.conn_threads.lock().unwrap().push(handle);
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                // Transient accept error (e.g. EMFILE): back off briefly.
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+/// Sends one reply frame, bumping the response counters. Write errors are
+/// swallowed: the client hung up, which is its prerogative.
+fn reply(shared: &Shared, writer: &ConnWriter, response: LocateResponse) {
+    let ok = response.outcome.is_ok();
+    let frame = Frame::LocateResponse(response);
+    let bytes = wire::frame_to_vec(&frame);
+    let sent = {
+        let mut stream = writer.stream.lock().unwrap();
+        stream.write_all(&bytes).is_ok()
+    };
+    if sent {
+        shared.net.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.net.responses_sent.fetch_add(1, Ordering::Relaxed);
+    if ok {
+        shared.net.requests_ok.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn error_reply(request_id: u64, code: ErrorCode, message: impl Into<String>) -> LocateResponse {
+    LocateResponse {
+        request_id,
+        outcome: Err(ErrorReply {
+            code,
+            message: message.into(),
+        }),
+    }
+}
+
+fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(ConnWriter {
+            stream: Mutex::new(w),
+        }),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 64 * 1024];
+    loop {
+        // Drain every complete frame currently buffered.
+        loop {
+            match wire::decode_frame(&buf) {
+                Ok((frame, consumed)) => {
+                    buf.drain(..consumed);
+                    if handle_frame(shared, &writer, frame).is_err() {
+                        return;
+                    }
+                }
+                Err(WireError::Incomplete { .. }) => break,
+                Err(e) => {
+                    // Protocol violation: tell the client why, then close.
+                    shared.net.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    reply(
+                        shared,
+                        &writer,
+                        error_reply(0, ErrorCode::Malformed, e.to_string()),
+                    );
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return, // client closed cleanly
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one decoded frame. `Err(())` closes the connection.
+fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) -> Result<(), ()> {
+    shared.net.frames_in.fetch_add(1, Ordering::Relaxed);
+    match frame {
+        Frame::LocateRequest(req) => {
+            let request_id = req.request_id;
+            let reports = match req.to_core_reports() {
+                Ok(reports) => reports,
+                Err(msg) => {
+                    // Semantic failure: an error for THIS request only.
+                    reply(
+                        shared,
+                        writer,
+                        error_reply(request_id, ErrorCode::Malformed, msg),
+                    );
+                    return Ok(());
+                }
+            };
+            let deadline =
+                (req.deadline_us > 0).then(|| Duration::from_micros(req.deadline_us as u64));
+            let pending = Pending {
+                request_id,
+                reports,
+                admitted_at: Instant::now(),
+                deadline,
+                writer: Arc::clone(writer),
+            };
+            let admitted = {
+                let mut q = shared.queue.lock().unwrap();
+                if shared.shutting_down.load(Ordering::Acquire)
+                    || q.len() >= shared.config.queue_capacity
+                {
+                    false
+                } else {
+                    q.push_back(pending);
+                    shared.server.stats().note_queue_depth(q.len() as u64);
+                    true
+                }
+            };
+            if admitted {
+                shared.net.requests_enqueued.fetch_add(1, Ordering::Relaxed);
+                shared.queue_cv.notify_one();
+            } else {
+                shared.server.stats().record_overload();
+                reply(
+                    shared,
+                    writer,
+                    error_reply(request_id, ErrorCode::Overloaded, "admission queue full"),
+                );
+            }
+            Ok(())
+        }
+        Frame::StatsRequest => {
+            let health = health_of(shared);
+            let bytes = wire::frame_to_vec(&Frame::StatsResponse(health));
+            let sent = writer.stream.lock().unwrap().write_all(&bytes).is_ok();
+            if sent {
+                shared.net.frames_out.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        }
+        // Clients must not send response frames; treat as protocol error.
+        Frame::LocateResponse(_) | Frame::StatsResponse(_) => {
+            shared.net.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            reply(
+                shared,
+                writer,
+                error_reply(
+                    0,
+                    ErrorCode::Malformed,
+                    "unexpected response frame from client",
+                ),
+            );
+            Err(())
+        }
+    }
+}
+
+fn batcher_loop(shared: &Arc<Shared>) {
+    loop {
+        let Some(batch) = next_batch(shared) else {
+            return; // drained and shutting down
+        };
+        if !shared.config.batch_pause.is_zero() {
+            std::thread::sleep(shared.config.batch_pause);
+        }
+        solve_and_reply(shared, batch);
+    }
+}
+
+/// Blocks for the next micro-batch: pops the queue head, then coalesces
+/// until `max_batch` requests or `max_wait` elapsed since the head popped.
+/// Returns `None` when the queue is empty and the daemon is shutting down.
+fn next_batch(shared: &Shared) -> Option<Vec<Pending>> {
+    let mut batch: Vec<Pending> = Vec::new();
+    let mut q = shared.queue.lock().unwrap();
+    loop {
+        if let Some(p) = q.pop_front() {
+            batch.push(p);
+            break;
+        }
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return None;
+        }
+        let (guard, _) = shared.queue_cv.wait_timeout(q, POLL_INTERVAL).unwrap();
+        q = guard;
+    }
+    let flush_by = Instant::now() + shared.config.max_wait;
+    while batch.len() < shared.config.max_batch {
+        if let Some(p) = q.pop_front() {
+            batch.push(p);
+            continue;
+        }
+        if shared.shutting_down.load(Ordering::Acquire) {
+            break; // drain mode: flush immediately
+        }
+        let now = Instant::now();
+        if now >= flush_by {
+            break;
+        }
+        let (guard, timeout) = shared.queue_cv.wait_timeout(q, flush_by - now).unwrap();
+        q = guard;
+        if timeout.timed_out() {
+            // Re-check the queue once more, then flush what we have.
+            if let Some(p) = q.pop_front() {
+                batch.push(p);
+            }
+            break;
+        }
+    }
+    drop(q);
+    Some(batch)
+}
+
+fn solve_and_reply(shared: &Shared, batch: Vec<Pending>) {
+    // Expire requests that aged past their deadline while queued — they
+    // get an error each; the rest of the batch is unaffected.
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    for p in batch {
+        let expired = p.deadline.is_some_and(|d| p.admitted_at.elapsed() > d);
+        if expired {
+            shared.server.stats().record_deadline_miss();
+            reply(
+                shared,
+                &p.writer,
+                error_reply(
+                    p.request_id,
+                    ErrorCode::DeadlineExceeded,
+                    "request aged past its deadline in the queue",
+                ),
+            );
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let inputs: Vec<Vec<CsiReport>> = live
+        .iter_mut()
+        .map(|p| std::mem::take(&mut p.reports))
+        .collect();
+    let results = shared.server.process_batch(&inputs);
+    for (p, result) in live.iter().zip(results) {
+        let response = match result {
+            Ok(est) => LocateResponse {
+                request_id: p.request_id,
+                outcome: Ok(WireEstimate::from_core(&est)),
+            },
+            Err(e) => {
+                shared.net.requests_failed.fetch_add(1, Ordering::Relaxed);
+                error_reply(p.request_id, ErrorCode::EstimateFailed, e.to_string())
+            }
+        };
+        reply(shared, &p.writer, response);
+    }
+}

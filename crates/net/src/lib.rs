@@ -1,0 +1,36 @@
+//! `nomloc-net`: the network serving tier of NomLoc.
+//!
+//! Everything before this crate runs in one process: `nomloc-core`'s
+//! [`LocalizationServer`](nomloc_core::LocalizationServer) turns CSI
+//! reports into position estimates, batched and cached. Real deployments,
+//! though, ingest CSI reports from *remote* clients — phones and APs
+//! forwarding measurements over the network — so this crate adds:
+//!
+//! * [`wire`]: a versioned, length-prefixed, CRC-protected binary frame
+//!   format with explicit encode/decode for CSI-report requests, location
+//!   estimates, per-request error codes, and a stats/health frame;
+//! * [`daemon`]: a std-only TCP daemon (no async runtime) that accepts
+//!   connections on sharded acceptor threads, coalesces requests *across
+//!   connections* into adaptive micro-batches feeding
+//!   `LocalizationServer::process_batch`, and applies admission control
+//!   (bounded queue → explicit `Overloaded` replies), per-request
+//!   deadlines, and graceful drain-on-shutdown;
+//! * [`loadgen`]: a pipelining multi-connection load generator reporting
+//!   throughput and exact p50/p95/p99 latency.
+//!
+//! The wire codec is bit-exact for `f64`s, so a request decoded by the
+//! daemon is *identical* to the in-process value and the pipeline —
+//! deterministic by construction — returns byte-identical estimates over
+//! the network and in process. The loopback integration test pins that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod daemon;
+pub mod loadgen;
+pub mod wire;
+
+pub use daemon::{spawn, DaemonConfig, DaemonHandle};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use wire::{ErrorCode, Frame, ServerHealth, WireError};

@@ -1,0 +1,278 @@
+//! A multi-connection load generator for the `nomloc-net` daemon.
+//!
+//! Drives a pre-generated request workload over `connections` parallel
+//! TCP connections with full pipelining (every request is written without
+//! waiting for its response), which is exactly the traffic shape the
+//! daemon's cross-connection micro-batcher is built for. Per-request
+//! latency is measured from the moment the frame is written to the moment
+//! its response frame is decoded; quantiles are exact (computed from the
+//! sorted sample set, not a histogram).
+
+use crate::wire::{self, ErrorCode, ErrorReply, Frame, LocateRequest, WireEstimate, WireReport};
+use nomloc_core::server::CsiReport;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Parallel TCP connections (requests are strided across them).
+    pub connections: usize,
+    /// Per-request deadline forwarded to the server, µs (0 = none).
+    pub deadline_us: u32,
+    /// Client-side read timeout per connection — a stuck server surfaces
+    /// as an I/O error instead of a hang.
+    pub read_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            connections: 4,
+            deadline_us: 0,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The reply to one request, with its measured round-trip latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// Round-trip latency (write of the request → decode of the reply).
+    pub latency: Duration,
+    /// The estimate, or the per-request error the server returned.
+    pub reply: Result<WireEstimate, ErrorReply>,
+}
+
+/// The result of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// One outcome per request, indexed like the input slice.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Wall-clock time from first connect to last response.
+    pub elapsed: Duration,
+}
+
+impl LoadgenReport {
+    /// Requests answered with an estimate.
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.reply.is_ok()).count()
+    }
+
+    /// Requests answered with the given error code.
+    pub fn error_count(&self, code: ErrorCode) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(&o.reply, Err(e) if e.code == code))
+            .count()
+    }
+
+    /// Completed requests per second of wall-clock time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Exact latency quantile `q ∈ [0, 1]` over all responses.
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        if self.outcomes.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut lat: Vec<Duration> = self.outcomes.iter().map(|o| o.latency).collect();
+        lat.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0) * lat.len() as f64).ceil() as usize).max(1);
+        lat[rank - 1]
+    }
+
+    /// Renders throughput plus p50/p95/p99 latency and outcome counts.
+    pub fn render(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        format!(
+            "loadgen: {} requests in {:.1} ms — {:.0} req/s\n\
+             latency p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms\n\
+             ok {} | estimate-failed {} | malformed {} | overloaded {} | deadline {}\n",
+            self.outcomes.len(),
+            ms(self.elapsed),
+            self.throughput_rps(),
+            ms(self.latency_quantile(0.50)),
+            ms(self.latency_quantile(0.95)),
+            ms(self.latency_quantile(0.99)),
+            self.ok_count(),
+            self.error_count(ErrorCode::EstimateFailed),
+            self.error_count(ErrorCode::Malformed),
+            self.error_count(ErrorCode::Overloaded),
+            self.error_count(ErrorCode::DeadlineExceeded),
+        )
+    }
+}
+
+/// Runs the workload against a daemon at `addr`.
+///
+/// Request `i` travels on connection `i % connections` with
+/// `request_id = i`; the returned outcomes are indexed the same way, so
+/// `outcomes[i]` answers `requests[i]` and can be compared directly
+/// against an in-process `process_batch` run over the same slice.
+///
+/// # Errors
+///
+/// Forwards connect/read/write errors and surfaces protocol violations
+/// from the server as [`io::ErrorKind::InvalidData`].
+pub fn run(
+    addr: SocketAddr,
+    config: &LoadgenConfig,
+    requests: &[Vec<CsiReport>],
+) -> io::Result<LoadgenReport> {
+    let n = requests.len();
+    let connections = config.connections.clamp(1, n.max(1));
+    let outcomes: Vec<Mutex<Option<RequestOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let start = Instant::now();
+    let errors: Mutex<Vec<io::Error>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for c in 0..connections {
+            let outcomes = &outcomes;
+            let errors = &errors;
+            scope.spawn(move || {
+                if let Err(e) = drive_connection(addr, config, requests, c, connections, outcomes) {
+                    errors.lock().unwrap().push(e);
+                }
+            });
+        }
+    });
+    if let Some(e) = errors.into_inner().unwrap().into_iter().next() {
+        return Err(e);
+    }
+    let elapsed = start.elapsed();
+    let outcomes = outcomes
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every request received a response")
+        })
+        .collect();
+    Ok(LoadgenReport { outcomes, elapsed })
+}
+
+/// Drives the requests with `index % connections == conn` over one
+/// pipelined connection: a sender thread writes every frame while this
+/// thread decodes responses until all are in.
+fn drive_connection(
+    addr: SocketAddr,
+    config: &LoadgenConfig,
+    requests: &[Vec<CsiReport>],
+    conn: usize,
+    connections: usize,
+    outcomes: &[Mutex<Option<RequestOutcome>>],
+) -> io::Result<()> {
+    let indices: Vec<usize> = (conn..requests.len()).step_by(connections).collect();
+    if indices.is_empty() {
+        return Ok(());
+    }
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    let mut write_half = stream.try_clone()?;
+
+    // Send stamps, indexed by position in `indices`; stamped just before
+    // the frame bytes hit the socket.
+    let sent_at: Vec<Mutex<Option<Instant>>> =
+        (0..indices.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| -> io::Result<()> {
+        let sender_indices = &indices;
+        let sender_stamps = &sent_at;
+        let sender: std::thread::ScopedJoinHandle<'_, io::Result<()>> = scope.spawn(move || {
+            for (slot, &i) in sender_indices.iter().enumerate() {
+                let frame = Frame::LocateRequest(LocateRequest {
+                    request_id: i as u64,
+                    deadline_us: config.deadline_us,
+                    reports: requests[i].iter().map(WireReport::from_core).collect(),
+                });
+                let bytes = wire::frame_to_vec(&frame);
+                *sender_stamps[slot].lock().unwrap() = Some(Instant::now());
+                write_half.write_all(&bytes)?;
+            }
+            Ok(())
+        });
+
+        let mut reader = ResponseReader::new(stream);
+        let mut received = 0usize;
+        while received < indices.len() {
+            let response = reader.next_response()?;
+            let now = Instant::now();
+            let id = response.request_id as usize;
+            let slot = indices.binary_search(&id).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for unknown request id {id}"),
+                )
+            })?;
+            let sent = sent_at[slot].lock().unwrap().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for request {id} before it was sent"),
+                )
+            })?;
+            let previous = outcomes[id].lock().unwrap().replace(RequestOutcome {
+                latency: now.duration_since(sent),
+                reply: response.outcome,
+            });
+            if previous.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("duplicate response for request id {id}"),
+                ));
+            }
+            received += 1;
+        }
+        sender.join().expect("loadgen sender thread panicked")
+    })
+}
+
+/// Incremental frame reader over the connection's read half.
+struct ResponseReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl ResponseReader {
+    fn new(stream: TcpStream) -> Self {
+        ResponseReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn next_response(&mut self) -> io::Result<wire::LocateResponse> {
+        use std::io::Read;
+        let mut tmp = [0u8; 64 * 1024];
+        loop {
+            match wire::decode_frame(&self.buf) {
+                Ok((Frame::LocateResponse(resp), consumed)) => {
+                    self.buf.drain(..consumed);
+                    return Ok(resp);
+                }
+                Ok((other, _)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected frame from server: {other:?}"),
+                    ));
+                }
+                Err(wire::WireError::Incomplete { .. }) => {}
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            }
+            let n = self.stream.read(&mut tmp)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-run",
+                ));
+            }
+            self.buf.extend_from_slice(&tmp[..n]);
+        }
+    }
+}

@@ -1,0 +1,1067 @@
+//! The NomLoc wire protocol: versioned, length-prefixed, CRC-protected
+//! binary frames.
+//!
+//! Every frame is a fixed 16-byte header followed by a payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  "NMLC"
+//!      4     1  protocol version (currently 1)
+//!      5     1  frame type (1 = LocateRequest, 2 = LocateResponse,
+//!                           3 = StatsRequest,  4 = StatsResponse)
+//!      6     2  reserved, must be zero
+//!      8     4  payload length, little-endian
+//!     12     4  CRC-32 (IEEE) over the payload, little-endian
+//!     16     …  payload
+//! ```
+//!
+//! All integers are little-endian; `f64`s travel as their IEEE-754 bit
+//! patterns (`to_bits`/`from_bits`), so a round trip is *bit-exact* — the
+//! loopback test relies on a decoded [`crate::wire::WireReport`] feeding
+//! `LocalizationServer::process_batch` with inputs identical to the
+//! in-process path.
+//!
+//! Decoding is split in two layers:
+//!
+//! * **structural** ([`decode_frame`]): header validation, CRC check,
+//!   field-by-field parsing with allocation guards. Any corruption —
+//!   truncated frame, flipped bit, bad version, trailing bytes — yields a
+//!   [`WireError`], never a panic and never an absurd allocation;
+//! * **semantic** ([`WireReport::to_core`]): values that parsed but cannot
+//!   enter the pipeline (non-finite AP position, a subcarrier grid that is
+//!   empty or not strictly ascending) are rejected per *request*, so one
+//!   malformed report in a batch never poisons its micro-batch.
+
+use crate::crc32::crc32;
+use nomloc_core::estimator::LocationEstimate;
+use nomloc_core::server::CsiReport;
+use nomloc_core::ApSite;
+use nomloc_dsp::Complex;
+use nomloc_geometry::Point;
+use nomloc_rfsim::{CsiSnapshot, SubcarrierGrid};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first four bytes of every NomLoc frame.
+pub const MAGIC: [u8; 4] = *b"NMLC";
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Maximum accepted payload length (guards allocation on hostile input).
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Frame type tags (byte 5 of the header).
+mod tag {
+    pub const LOCATE_REQUEST: u8 = 1;
+    pub const LOCATE_RESPONSE: u8 = 2;
+    pub const STATS_REQUEST: u8 = 3;
+    pub const STATS_RESPONSE: u8 = 4;
+}
+
+/// A structural decoding failure. Every variant is a clean error — the
+/// decoder never panics on corrupt input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// More bytes are needed before the frame can be decoded (streaming).
+    Incomplete {
+        /// Additional bytes required for the next decode attempt.
+        needed: usize,
+    },
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic {
+        /// The bytes actually read.
+        got: [u8; 4],
+    },
+    /// Unsupported protocol version.
+    BadVersion {
+        /// The version byte actually read.
+        got: u8,
+    },
+    /// The reserved header field was non-zero.
+    BadReserved {
+        /// The reserved value actually read.
+        got: u16,
+    },
+    /// Payload length exceeds [`MAX_PAYLOAD`].
+    Oversize {
+        /// The declared payload length.
+        len: u32,
+    },
+    /// CRC-32 over the payload did not match the header.
+    BadCrc {
+        /// CRC declared in the header.
+        expected: u32,
+        /// CRC computed over the received payload.
+        got: u32,
+    },
+    /// Unknown frame type tag.
+    UnknownFrameType {
+        /// The tag byte actually read.
+        got: u8,
+    },
+    /// The payload ended in the middle of a field.
+    Truncated,
+    /// The payload had bytes left over after the last field.
+    TrailingBytes {
+        /// Number of unconsumed payload bytes.
+        extra: usize,
+    },
+    /// A field held a value the schema forbids (bad enum tag, bad UTF-8).
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Incomplete { needed } => write!(f, "incomplete frame: {needed} more bytes"),
+            WireError::BadMagic { got } => write!(f, "bad magic {got:02X?}"),
+            WireError::BadVersion { got } => write!(f, "unsupported protocol version {got}"),
+            WireError::BadReserved { got } => write!(f, "reserved header field non-zero ({got})"),
+            WireError::Oversize { len } => write!(f, "payload length {len} exceeds {MAX_PAYLOAD}"),
+            WireError::BadCrc { expected, got } => {
+                write!(
+                    f,
+                    "payload CRC mismatch: header {expected:#010X}, computed {got:#010X}"
+                )
+            }
+            WireError::UnknownFrameType { got } => write!(f, "unknown frame type {got}"),
+            WireError::Truncated => write!(f, "payload truncated mid-field"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing payload bytes after last field")
+            }
+            WireError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Per-request error codes carried by [`LocateResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The estimator failed (e.g. every convex piece was infeasible).
+    EstimateFailed = 1,
+    /// The request parsed structurally but held unusable values.
+    Malformed = 2,
+    /// The admission queue was full; retry later.
+    Overloaded = 3,
+    /// The request aged past its deadline before being solved.
+    DeadlineExceeded = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            1 => Ok(ErrorCode::EstimateFailed),
+            2 => Ok(ErrorCode::Malformed),
+            3 => Ok(ErrorCode::Overloaded),
+            4 => Ok(ErrorCode::DeadlineExceeded),
+            other => Err(WireError::Malformed(format!("unknown error code {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCode::EstimateFailed => write!(f, "estimate-failed"),
+            ErrorCode::Malformed => write!(f, "malformed"),
+            ErrorCode::Overloaded => write!(f, "overloaded"),
+            ErrorCode::DeadlineExceeded => write!(f, "deadline-exceeded"),
+        }
+    }
+}
+
+/// One CSI snapshot on the wire: the subcarrier grid offsets plus one
+/// complex channel coefficient per subcarrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSnapshot {
+    /// Subcarrier frequency offsets, Hz.
+    pub offsets_hz: Vec<f64>,
+    /// Channel coefficients as `(re, im)` pairs.
+    pub h: Vec<(f64, f64)>,
+}
+
+/// One AP's CSI report on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReport {
+    /// AP identifier.
+    pub ap: u64,
+    /// Visit index of a nomadic AP's site (0 for static APs).
+    pub visit: u64,
+    /// Reported site x-coordinate, metres.
+    pub x: f64,
+    /// Reported site y-coordinate, metres.
+    pub y: f64,
+    /// CSI snapshots, one per captured probe packet.
+    pub burst: Vec<WireSnapshot>,
+}
+
+impl WireReport {
+    /// Converts a core report for transmission (bit-exact).
+    pub fn from_core(report: &CsiReport) -> Self {
+        WireReport {
+            ap: report.site.ap as u64,
+            visit: report.site.visit as u64,
+            x: report.site.position.x,
+            y: report.site.position.y,
+            burst: report
+                .burst
+                .iter()
+                .map(|s| WireSnapshot {
+                    offsets_hz: s.grid.offsets_hz().to_vec(),
+                    h: s.h.iter().map(|z| (z.re, z.im)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Semantic validation + conversion into the pipeline's type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the report cannot enter the pipeline: a
+    /// non-finite position, or a snapshot grid that is empty, non-finite,
+    /// or not strictly ascending (`SubcarrierGrid`'s construction
+    /// invariants, checked here so corrupt input cannot panic the server).
+    pub fn to_core(&self) -> Result<CsiReport, String> {
+        if !(self.x.is_finite() && self.y.is_finite()) {
+            return Err(format!("AP {} position is not finite", self.ap));
+        }
+        let mut burst = Vec::with_capacity(self.burst.len());
+        for (i, snap) in self.burst.iter().enumerate() {
+            if snap.offsets_hz.is_empty() {
+                return Err(format!(
+                    "AP {} snapshot {i}: empty subcarrier grid",
+                    self.ap
+                ));
+            }
+            if !snap.offsets_hz.iter().all(|f| f.is_finite()) {
+                return Err(format!(
+                    "AP {} snapshot {i}: non-finite subcarrier offset",
+                    self.ap
+                ));
+            }
+            if !snap.offsets_hz.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!(
+                    "AP {} snapshot {i}: subcarrier offsets not strictly ascending",
+                    self.ap
+                ));
+            }
+            burst.push(CsiSnapshot {
+                h: snap
+                    .h
+                    .iter()
+                    .map(|&(re, im)| Complex::new(re, im))
+                    .collect(),
+                grid: SubcarrierGrid::new(snap.offsets_hz.clone()),
+            });
+        }
+        Ok(CsiReport {
+            site: ApSite {
+                ap: self.ap as usize,
+                visit: self.visit as usize,
+                position: Point::new(self.x, self.y),
+            },
+            burst,
+        })
+    }
+}
+
+/// A localization request: one object's CSI reports from every AP site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocateRequest {
+    /// Client-chosen identifier echoed in the response.
+    pub request_id: u64,
+    /// Deadline in microseconds from server admission; 0 means none.
+    pub deadline_us: u32,
+    /// The CSI reports for this request.
+    pub reports: Vec<WireReport>,
+}
+
+impl LocateRequest {
+    /// Validates and converts every report ([`WireReport::to_core`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-report validation message.
+    pub fn to_core_reports(&self) -> Result<Vec<CsiReport>, String> {
+        self.reports.iter().map(WireReport::to_core).collect()
+    }
+}
+
+/// A location estimate on the wire — mirrors
+/// [`nomloc_core::estimator::LocationEstimate`] field for field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEstimate {
+    /// Estimated x, metres.
+    pub x: f64,
+    /// Estimated y, metres.
+    pub y: f64,
+    /// Total relaxation cost of the winning piece.
+    pub relaxation_cost: f64,
+    /// Relaxed feasible-region area, m².
+    pub region_area: f64,
+    /// Constraints in the LP.
+    pub n_constraints: u64,
+    /// Convex pieces tied for minimal relaxation cost.
+    pub n_winning_pieces: u64,
+    /// Simplex iterations spent on this query.
+    pub lp_iterations: u64,
+    /// Warm-started center solves.
+    pub warm_start_hits: u64,
+    /// Phase-1 pivots those warm starts avoided.
+    pub phase1_pivots_saved: u64,
+}
+
+impl WireEstimate {
+    /// Converts a core estimate for transmission (bit-exact).
+    pub fn from_core(est: &LocationEstimate) -> Self {
+        WireEstimate {
+            x: est.position.x,
+            y: est.position.y,
+            relaxation_cost: est.relaxation_cost,
+            region_area: est.region_area,
+            n_constraints: est.n_constraints as u64,
+            n_winning_pieces: est.n_winning_pieces as u64,
+            lp_iterations: est.lp_iterations,
+            warm_start_hits: est.warm_start_hits,
+            phase1_pivots_saved: est.phase1_pivots_saved,
+        }
+    }
+
+    /// Reconstructs the core estimate (bit-exact inverse of `from_core`).
+    pub fn to_core(&self) -> LocationEstimate {
+        LocationEstimate {
+            position: Point::new(self.x, self.y),
+            relaxation_cost: self.relaxation_cost,
+            region_area: self.region_area,
+            n_constraints: self.n_constraints as usize,
+            n_winning_pieces: self.n_winning_pieces as usize,
+            lp_iterations: self.lp_iterations,
+            warm_start_hits: self.warm_start_hits,
+            phase1_pivots_saved: self.phase1_pivots_saved,
+        }
+    }
+}
+
+/// A per-request error reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// Machine-readable error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// The response to one [`LocateRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocateResponse {
+    /// Echo of the request's identifier.
+    pub request_id: u64,
+    /// The estimate, or a per-request error.
+    pub outcome: Result<WireEstimate, ErrorReply>,
+}
+
+/// A stats/health snapshot frame: serving counters plus latency and
+/// batch-size quantiles, all `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerHealth {
+    /// TCP connections accepted since start.
+    pub connections_accepted: u64,
+    /// Frames received from clients.
+    pub frames_in: u64,
+    /// Frames written to clients.
+    pub frames_out: u64,
+    /// Connections dropped for protocol violations.
+    pub protocol_errors: u64,
+    /// Requests admitted into the micro-batch queue.
+    pub requests_enqueued: u64,
+    /// Requests rejected with `Overloaded` (queue full).
+    pub rejected_overload: u64,
+    /// Requests expired past their deadline before solving.
+    pub deadline_missed: u64,
+    /// Micro-batches formed.
+    pub batches_formed: u64,
+    /// High-water mark of the admission queue depth.
+    pub queue_depth_peak: u64,
+    /// Batch-size p50 upper bound (requests).
+    pub batch_size_p50: u64,
+    /// Batch-size max upper bound (requests).
+    pub batch_size_max: u64,
+    /// Requests answered with an estimate.
+    pub requests_ok: u64,
+    /// Requests answered with `EstimateFailed`.
+    pub requests_failed: u64,
+    /// Solve-stage latency p50 upper bound, ns.
+    pub solve_p50_ns: u64,
+    /// Solve-stage latency p95 upper bound, ns.
+    pub solve_p95_ns: u64,
+    /// Solve-stage latency p99 upper bound, ns.
+    pub solve_p99_ns: u64,
+}
+
+impl fmt::Display for ServerHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nomloc-net health")?;
+        writeln!(f, "  connections accepted  {}", self.connections_accepted)?;
+        writeln!(
+            f,
+            "  frames in / out       {} / {}",
+            self.frames_in, self.frames_out
+        )?;
+        writeln!(f, "  protocol errors       {}", self.protocol_errors)?;
+        writeln!(f, "  requests enqueued     {}", self.requests_enqueued)?;
+        writeln!(
+            f,
+            "  ok / failed           {} / {}",
+            self.requests_ok, self.requests_failed
+        )?;
+        writeln!(f, "  overload rejections   {}", self.rejected_overload)?;
+        writeln!(f, "  deadline misses       {}", self.deadline_missed)?;
+        writeln!(
+            f,
+            "  batches formed        {} (size p50 ≤ {}, max ≤ {})",
+            self.batches_formed, self.batch_size_p50, self.batch_size_max
+        )?;
+        writeln!(f, "  queue depth peak      {}", self.queue_depth_peak)?;
+        writeln!(
+            f,
+            "  solve latency         p50 ≤ {} ns, p95 ≤ {} ns, p99 ≤ {} ns",
+            self.solve_p50_ns, self.solve_p95_ns, self.solve_p99_ns
+        )
+    }
+}
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A localization request.
+    LocateRequest(LocateRequest),
+    /// A localization response.
+    LocateResponse(LocateResponse),
+    /// A request for the server's health snapshot (empty payload).
+    StatsRequest,
+    /// The server's health snapshot.
+    StatsResponse(ServerHealth),
+}
+
+impl Frame {
+    fn type_tag(&self) -> u8 {
+        match self {
+            Frame::LocateRequest(_) => tag::LOCATE_REQUEST,
+            Frame::LocateResponse(_) => tag::LOCATE_RESPONSE,
+            Frame::StatsRequest => tag::STATS_REQUEST,
+            Frame::StatsResponse(_) => tag::STATS_RESPONSE,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload primitives.
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len().min(u32::MAX as usize) as u32);
+    out.extend_from_slice(&s.as_bytes()[..s.len().min(u32::MAX as usize)]);
+}
+
+/// Bounds-checked payload reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32` element count and rejects counts whose minimal
+    /// encoding could not fit in the remaining payload — corrupt lengths
+    /// fail *before* any allocation happens.
+    fn len(&mut self, min_elem_size: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_size) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-frame payload encode/decode.
+
+fn encode_locate_request(req: &LocateRequest, out: &mut Vec<u8>) {
+    put_u64(out, req.request_id);
+    put_u32(out, req.deadline_us);
+    put_u32(out, req.reports.len() as u32);
+    for r in &req.reports {
+        put_u64(out, r.ap);
+        put_u64(out, r.visit);
+        put_f64(out, r.x);
+        put_f64(out, r.y);
+        put_u32(out, r.burst.len() as u32);
+        for s in &r.burst {
+            put_u32(out, s.offsets_hz.len() as u32);
+            for &f in &s.offsets_hz {
+                put_f64(out, f);
+            }
+            put_u32(out, s.h.len() as u32);
+            for &(re, im) in &s.h {
+                put_f64(out, re);
+                put_f64(out, im);
+            }
+        }
+    }
+}
+
+fn decode_locate_request(c: &mut Cursor<'_>) -> Result<LocateRequest, WireError> {
+    let request_id = c.u64()?;
+    let deadline_us = c.u32()?;
+    let n_reports = c.len(32)?; // ap + visit + x + y at minimum
+    let mut reports = Vec::with_capacity(n_reports);
+    for _ in 0..n_reports {
+        let ap = c.u64()?;
+        let visit = c.u64()?;
+        let x = c.f64()?;
+        let y = c.f64()?;
+        let n_snaps = c.len(8)?; // two u32 length prefixes at minimum
+        let mut burst = Vec::with_capacity(n_snaps);
+        for _ in 0..n_snaps {
+            let n_sub = c.len(8)?;
+            let mut offsets_hz = Vec::with_capacity(n_sub);
+            for _ in 0..n_sub {
+                offsets_hz.push(c.f64()?);
+            }
+            let n_h = c.len(16)?;
+            let mut h = Vec::with_capacity(n_h);
+            for _ in 0..n_h {
+                h.push((c.f64()?, c.f64()?));
+            }
+            burst.push(WireSnapshot { offsets_hz, h });
+        }
+        reports.push(WireReport {
+            ap,
+            visit,
+            x,
+            y,
+            burst,
+        });
+    }
+    Ok(LocateRequest {
+        request_id,
+        deadline_us,
+        reports,
+    })
+}
+
+fn encode_locate_response(resp: &LocateResponse, out: &mut Vec<u8>) {
+    put_u64(out, resp.request_id);
+    match &resp.outcome {
+        Ok(est) => {
+            out.push(0);
+            put_f64(out, est.x);
+            put_f64(out, est.y);
+            put_f64(out, est.relaxation_cost);
+            put_f64(out, est.region_area);
+            put_u64(out, est.n_constraints);
+            put_u64(out, est.n_winning_pieces);
+            put_u64(out, est.lp_iterations);
+            put_u64(out, est.warm_start_hits);
+            put_u64(out, est.phase1_pivots_saved);
+        }
+        Err(e) => {
+            out.push(e.code as u8);
+            put_str(out, &e.message);
+        }
+    }
+}
+
+fn decode_locate_response(c: &mut Cursor<'_>) -> Result<LocateResponse, WireError> {
+    let request_id = c.u64()?;
+    let status = c.u8()?;
+    let outcome = if status == 0 {
+        Ok(WireEstimate {
+            x: c.f64()?,
+            y: c.f64()?,
+            relaxation_cost: c.f64()?,
+            region_area: c.f64()?,
+            n_constraints: c.u64()?,
+            n_winning_pieces: c.u64()?,
+            lp_iterations: c.u64()?,
+            warm_start_hits: c.u64()?,
+            phase1_pivots_saved: c.u64()?,
+        })
+    } else {
+        let code = ErrorCode::from_u8(status)?;
+        let n = c.len(1)?;
+        let message = std::str::from_utf8(c.bytes(n)?)
+            .map_err(|_| WireError::Malformed("error message is not UTF-8".into()))?
+            .to_owned();
+        Err(ErrorReply { code, message })
+    };
+    Ok(LocateResponse {
+        request_id,
+        outcome,
+    })
+}
+
+fn encode_health(h: &ServerHealth, out: &mut Vec<u8>) {
+    for v in health_fields(h) {
+        put_u64(out, v);
+    }
+}
+
+fn decode_health(c: &mut Cursor<'_>) -> Result<ServerHealth, WireError> {
+    let mut h = ServerHealth::default();
+    for slot in health_fields_mut(&mut h) {
+        *slot = c.u64()?;
+    }
+    Ok(h)
+}
+
+fn health_fields(h: &ServerHealth) -> [u64; 16] {
+    [
+        h.connections_accepted,
+        h.frames_in,
+        h.frames_out,
+        h.protocol_errors,
+        h.requests_enqueued,
+        h.rejected_overload,
+        h.deadline_missed,
+        h.batches_formed,
+        h.queue_depth_peak,
+        h.batch_size_p50,
+        h.batch_size_max,
+        h.requests_ok,
+        h.requests_failed,
+        h.solve_p50_ns,
+        h.solve_p95_ns,
+        h.solve_p99_ns,
+    ]
+}
+
+fn health_fields_mut(h: &mut ServerHealth) -> [&mut u64; 16] {
+    [
+        &mut h.connections_accepted,
+        &mut h.frames_in,
+        &mut h.frames_out,
+        &mut h.protocol_errors,
+        &mut h.requests_enqueued,
+        &mut h.rejected_overload,
+        &mut h.deadline_missed,
+        &mut h.batches_formed,
+        &mut h.queue_depth_peak,
+        &mut h.batch_size_p50,
+        &mut h.batch_size_max,
+        &mut h.requests_ok,
+        &mut h.requests_failed,
+        &mut h.solve_p50_ns,
+        &mut h.solve_p95_ns,
+        &mut h.solve_p99_ns,
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Frame-level encode/decode.
+
+/// Encodes `frame` (header + payload) onto the end of `out`.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::LocateRequest(req) => encode_locate_request(req, &mut payload),
+        Frame::LocateResponse(resp) => encode_locate_response(resp, &mut payload),
+        Frame::StatsRequest => {}
+        Frame::StatsResponse(h) => encode_health(h, &mut payload),
+    }
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.type_tag());
+    put_u16(out, 0); // reserved
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32(&payload));
+    out.extend_from_slice(&payload);
+}
+
+/// Encodes `frame` into a fresh buffer.
+pub fn frame_to_vec(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_frame(frame, &mut out);
+    out
+}
+
+/// Decodes one frame from the front of `buf`.
+///
+/// Returns the frame and the number of bytes it consumed, so a streaming
+/// caller can `drain(..n)` and try again.
+///
+/// # Errors
+///
+/// [`WireError::Incomplete`] when `buf` holds a valid prefix that needs
+/// more bytes; any other variant is a protocol violation.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Incomplete {
+            needed: HEADER_LEN - buf.len(),
+        });
+    }
+    let magic: [u8; 4] = buf[0..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { got: magic });
+    }
+    if buf[4] != VERSION {
+        return Err(WireError::BadVersion { got: buf[4] });
+    }
+    let frame_type = buf[5];
+    if !(tag::LOCATE_REQUEST..=tag::STATS_RESPONSE).contains(&frame_type) {
+        return Err(WireError::UnknownFrameType { got: frame_type });
+    }
+    let reserved = u16::from_le_bytes(buf[6..8].try_into().unwrap());
+    if reserved != 0 {
+        return Err(WireError::BadReserved { got: reserved });
+    }
+    let payload_len = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Oversize { len: payload_len });
+    }
+    let total = HEADER_LEN + payload_len as usize;
+    if buf.len() < total {
+        return Err(WireError::Incomplete {
+            needed: total - buf.len(),
+        });
+    }
+    let declared_crc = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+    let payload = &buf[HEADER_LEN..total];
+    let got_crc = crc32(payload);
+    if got_crc != declared_crc {
+        return Err(WireError::BadCrc {
+            expected: declared_crc,
+            got: got_crc,
+        });
+    }
+    let mut c = Cursor::new(payload);
+    let frame = match frame_type {
+        tag::LOCATE_REQUEST => Frame::LocateRequest(decode_locate_request(&mut c)?),
+        tag::LOCATE_RESPONSE => Frame::LocateResponse(decode_locate_response(&mut c)?),
+        tag::STATS_REQUEST => Frame::StatsRequest,
+        tag::STATS_RESPONSE => Frame::StatsResponse(decode_health(&mut c)?),
+        _ => unreachable!("tag range checked above"),
+    };
+    c.done()?;
+    Ok((frame, total))
+}
+
+/// Writes one frame to `w` (single `write_all`, so concurrent writers
+/// serialised by a lock interleave whole frames, never fragments).
+///
+/// # Errors
+///
+/// Forwards the underlying I/O error.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame_to_vec(frame))
+}
+
+/// Reads exactly one frame from `r`, blocking as needed.
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// I/O errors are forwarded; protocol violations surface as
+/// [`io::ErrorKind::InvalidData`] wrapping the [`WireError`].
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF mid-header",
+            ));
+        }
+        filled += n;
+    }
+    // Validate the header alone first, then read the payload.
+    let mut buf = header.to_vec();
+    match decode_frame(&buf) {
+        Ok((frame, _)) => return Ok(Some(frame)),
+        Err(WireError::Incomplete { needed }) => {
+            let start = buf.len();
+            buf.resize(start + needed, 0);
+            r.read_exact(&mut buf[start..])?;
+        }
+        Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+    }
+    match decode_frame(&buf) {
+        Ok((frame, _)) => Ok(Some(frame)),
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Frame {
+        Frame::LocateRequest(LocateRequest {
+            request_id: 42,
+            deadline_us: 1500,
+            reports: vec![WireReport {
+                ap: 7,
+                visit: 2,
+                x: 3.25,
+                y: -1.5,
+                burst: vec![WireSnapshot {
+                    offsets_hz: vec![-312_500.0, 0.0, 312_500.0],
+                    h: vec![(1.0, 0.5), (0.0, -0.25), (2.0, 2.0)],
+                }],
+            }],
+        })
+    }
+
+    #[test]
+    fn round_trip_request() {
+        let frame = sample_request();
+        let bytes = frame_to_vec(&frame);
+        let (decoded, n) = decode_frame(&bytes).unwrap();
+        assert_eq!(n, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn round_trip_response_ok_and_err() {
+        for frame in [
+            Frame::LocateResponse(LocateResponse {
+                request_id: 9,
+                outcome: Ok(WireEstimate {
+                    x: 1.0,
+                    y: 2.0,
+                    relaxation_cost: 0.5,
+                    region_area: 3.75,
+                    n_constraints: 12,
+                    n_winning_pieces: 1,
+                    lp_iterations: 40,
+                    warm_start_hits: 2,
+                    phase1_pivots_saved: 8,
+                }),
+            }),
+            Frame::LocateResponse(LocateResponse {
+                request_id: 10,
+                outcome: Err(ErrorReply {
+                    code: ErrorCode::Overloaded,
+                    message: "queue full".into(),
+                }),
+            }),
+        ] {
+            let bytes = frame_to_vec(&frame);
+            assert_eq!(decode_frame(&bytes).unwrap().0, frame);
+        }
+    }
+
+    #[test]
+    fn round_trip_stats_frames() {
+        let bytes = frame_to_vec(&Frame::StatsRequest);
+        assert_eq!(decode_frame(&bytes).unwrap().0, Frame::StatsRequest);
+
+        let health = ServerHealth {
+            connections_accepted: 4,
+            frames_in: 100,
+            frames_out: 99,
+            requests_ok: 90,
+            solve_p99_ns: 1 << 20,
+            ..ServerHealth::default()
+        };
+        let bytes = frame_to_vec(&Frame::StatsResponse(health));
+        assert_eq!(
+            decode_frame(&bytes).unwrap().0,
+            Frame::StatsResponse(health)
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = frame_to_vec(&sample_request());
+        for k in 0..bytes.len() {
+            match decode_frame(&bytes[..k]) {
+                Err(WireError::Incomplete { needed }) => assert!(needed > 0),
+                other => panic!("prefix of {k} bytes decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_reserved_type_crc() {
+        let bytes = frame_to_vec(&sample_request());
+        let mut m = bytes.clone();
+        m[0] = b'X';
+        assert!(matches!(decode_frame(&m), Err(WireError::BadMagic { .. })));
+        let mut v = bytes.clone();
+        v[4] = 9;
+        assert!(matches!(
+            decode_frame(&v),
+            Err(WireError::BadVersion { got: 9 })
+        ));
+        let mut t = bytes.clone();
+        t[5] = 200;
+        assert!(matches!(
+            decode_frame(&t),
+            Err(WireError::UnknownFrameType { got: 200 })
+        ));
+        let mut r = bytes.clone();
+        r[6] = 1;
+        assert!(matches!(
+            decode_frame(&r),
+            Err(WireError::BadReserved { got: 1 })
+        ));
+        let mut c = bytes.clone();
+        *c.last_mut().unwrap() ^= 0x40;
+        assert!(matches!(decode_frame(&c), Err(WireError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn oversize_payload_rejected_before_allocation() {
+        let mut bytes = frame_to_vec(&Frame::StatsRequest);
+        bytes[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        // A StatsRequest with a non-empty (CRC-correct) payload.
+        let payload = [1u8, 2, 3];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(tag::STATS_REQUEST);
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::TrailingBytes { extra: 3 })
+        ));
+    }
+
+    #[test]
+    fn read_frame_round_trips_over_a_stream() {
+        let frame = sample_request();
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &frame).unwrap();
+        write_frame(&mut stream, &Frame::StatsRequest).unwrap();
+        let mut r = &stream[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(frame));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Frame::StatsRequest));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn semantic_validation_rejects_bad_reports() {
+        let good = WireReport {
+            ap: 1,
+            visit: 0,
+            x: 1.0,
+            y: 2.0,
+            burst: vec![WireSnapshot {
+                offsets_hz: vec![0.0, 1.0],
+                h: vec![(1.0, 0.0), (0.5, 0.5)],
+            }],
+        };
+        assert!(good.to_core().is_ok());
+
+        let mut nan_pos = good.clone();
+        nan_pos.x = f64::NAN;
+        assert!(nan_pos.to_core().is_err());
+
+        let mut empty_grid = good.clone();
+        empty_grid.burst[0].offsets_hz.clear();
+        assert!(empty_grid.to_core().is_err());
+
+        let mut descending = good.clone();
+        descending.burst[0].offsets_hz = vec![1.0, 0.0];
+        assert!(descending.to_core().is_err());
+
+        let mut inf_grid = good.clone();
+        inf_grid.burst[0].offsets_hz = vec![0.0, f64::INFINITY];
+        assert!(inf_grid.to_core().is_err());
+    }
+
+    #[test]
+    fn core_report_round_trip_is_bit_exact() {
+        let report = CsiReport {
+            site: ApSite::nomadic(3, 5, Point::new(0.1 + 0.2, -7.5)),
+            burst: vec![CsiSnapshot {
+                h: vec![Complex::new(1.0e-3, -2.0e-9)],
+                grid: SubcarrierGrid::new(vec![-1.0, 312_500.0]),
+            }],
+        };
+        let round = WireReport::from_core(&report).to_core().unwrap();
+        assert_eq!(round, report);
+        assert_eq!(
+            round.site.position.x.to_bits(),
+            report.site.position.x.to_bits()
+        );
+    }
+}

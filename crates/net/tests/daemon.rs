@@ -1,0 +1,342 @@
+//! Behavioral tests for the serving daemon: admission control under
+//! overload, queued-deadline expiry, per-request error isolation inside a
+//! micro-batch, protocol-error handling, stats frames, and graceful drain.
+//!
+//! All tests run against a real daemon on `127.0.0.1:0` and speak the wire
+//! protocol over actual sockets. Overload/deadline tests use
+//! `DaemonConfig::batch_pause` as a deterministic throttle so they don't
+//! depend on machine speed.
+
+use nomloc_core::scenario::Venue;
+use nomloc_core::server::CsiReport;
+use nomloc_core::{ApSite, LocalizationServer};
+use nomloc_net::wire::{
+    decode_frame, frame_to_vec, LocateRequest, LocateResponse, WireReport, WireSnapshot,
+};
+use nomloc_net::{spawn, DaemonConfig, ErrorCode, Frame};
+use nomloc_rfsim::{Environment, RadioConfig, SubcarrierGrid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn lab_server() -> LocalizationServer {
+    LocalizationServer::new(Venue::lab().plan.boundary().clone()).with_workers(1)
+}
+
+/// A structurally and semantically valid request whose reports carry empty
+/// bursts: the pipeline skips them and solves a boundary-only region, so
+/// it is the cheapest possible admissible request — ideal for flooding.
+fn cheap_request(request_id: u64, deadline_us: u32) -> Vec<u8> {
+    let venue = Venue::lab();
+    let ap = venue.static_deployment()[0];
+    frame_to_vec(&Frame::LocateRequest(LocateRequest {
+        request_id,
+        deadline_us,
+        reports: vec![WireReport {
+            ap: 1,
+            visit: 0,
+            x: ap.x,
+            y: ap.y,
+            burst: Vec::new(),
+        }],
+    }))
+}
+
+/// A realistic request: one CSI report per static AP in the lab venue.
+fn real_reports(venue: &Venue, seed: u64) -> Vec<CsiReport> {
+    let env = Environment::new(venue.plan.clone(), RadioConfig::default());
+    let grid = SubcarrierGrid::intel5300();
+    let object = venue.test_sites[seed as usize % venue.test_sites.len()];
+    let mut rng = StdRng::seed_from_u64(seed);
+    venue
+        .static_deployment()
+        .iter()
+        .enumerate()
+        .map(|(i, &ap)| CsiReport {
+            site: ApSite::fixed(i + 1, ap),
+            burst: env.sample_csi_burst(object, ap, &grid, 2, &mut rng),
+        })
+        .collect()
+}
+
+/// Reads `LocateResponse` frames off `stream` until `n` have arrived.
+fn read_responses(stream: &mut TcpStream, n: usize) -> Vec<LocateResponse> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 64 * 1024];
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        match decode_frame(&buf) {
+            Ok((Frame::LocateResponse(resp), consumed)) => {
+                buf.drain(..consumed);
+                out.push(resp);
+                continue;
+            }
+            Ok((other, _)) => panic!("unexpected frame from daemon: {other:?}"),
+            Err(nomloc_net::WireError::Incomplete { .. }) => {}
+            Err(e) => panic!("daemon sent a malformed frame: {e}"),
+        }
+        let got = stream.read(&mut tmp).expect("read from daemon");
+        assert!(got > 0, "daemon closed with {} of {n} responses", out.len());
+        buf.extend_from_slice(&tmp[..got]);
+    }
+    out
+}
+
+/// Flooding a throttled daemon past its queue capacity yields explicit
+/// `Overloaded` replies — every request is answered, nothing buffers
+/// without bound, and the recorded queue depth respects the cap.
+#[test]
+fn overload_answers_with_bounded_queue() {
+    let handle = spawn(
+        lab_server(),
+        DaemonConfig {
+            acceptors: 1,
+            batchers: 1,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 4,
+            batch_pause: Duration::from_millis(25),
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn daemon");
+
+    const FLOOD: usize = 48;
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut blob = Vec::new();
+    for id in 0..FLOOD as u64 {
+        blob.extend_from_slice(&cheap_request(id, 0));
+    }
+    stream.write_all(&blob).expect("flood the daemon");
+
+    let responses = read_responses(&mut stream, FLOOD);
+    let overloaded = responses
+        .iter()
+        .filter(|r| matches!(&r.outcome, Err(e) if e.code == ErrorCode::Overloaded))
+        .count();
+    let solved = responses.iter().filter(|r| r.outcome.is_ok()).count();
+    // The throttle guarantees the flood outruns the drain: with a 25 ms
+    // pause per single-request batch, at most a handful of the 48 requests
+    // can be admitted before the 4-slot queue fills.
+    assert!(overloaded > 0, "no Overloaded replies in {responses:?}");
+    assert!(solved > 0, "no request was solved at all");
+    assert_eq!(overloaded + solved, FLOOD, "every request gets an answer");
+
+    let health = handle.shutdown();
+    assert_eq!(health.rejected_overload, overloaded as u64);
+    assert!(
+        health.queue_depth_peak <= 4,
+        "queue depth {} exceeded the capacity of 4",
+        health.queue_depth_peak
+    );
+}
+
+/// A request whose deadline expires while it waits in the queue is
+/// answered `DeadlineExceeded` and never solved.
+#[test]
+fn queued_deadline_expiry_is_reported() {
+    let handle = spawn(
+        lab_server(),
+        DaemonConfig {
+            acceptors: 1,
+            batchers: 1,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 64,
+            // Every batch waits 30 ms before solving, so a 1 ms deadline
+            // is always stale by solve time.
+            batch_pause: Duration::from_millis(30),
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn daemon");
+
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.write_all(&cheap_request(9, 1_000)).unwrap();
+    let responses = read_responses(&mut stream, 1);
+    match &responses[0].outcome {
+        Err(e) if e.code == ErrorCode::DeadlineExceeded => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(responses[0].request_id, 9);
+
+    let health = handle.shutdown();
+    assert_eq!(health.deadline_missed, 1);
+}
+
+/// A semantically malformed request inside a pipelined burst errors only
+/// itself: its neighbors in the same micro-batch still get estimates, and
+/// the connection stays open.
+#[test]
+fn malformed_request_does_not_poison_the_batch() {
+    let venue = Venue::lab();
+    let handle = spawn(
+        lab_server(),
+        DaemonConfig {
+            acceptors: 1,
+            batchers: 1,
+            max_batch: 16,
+            max_wait: Duration::from_millis(20),
+            ..DaemonConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn daemon");
+
+    let good = |id: u64| {
+        frame_to_vec(&Frame::LocateRequest(LocateRequest {
+            request_id: id,
+            deadline_us: 0,
+            reports: real_reports(&venue, id)
+                .iter()
+                .map(WireReport::from_core)
+                .collect(),
+        }))
+    };
+    // Structurally valid, semantically broken: a NaN AP position.
+    let bad = frame_to_vec(&Frame::LocateRequest(LocateRequest {
+        request_id: 1,
+        deadline_us: 0,
+        reports: vec![WireReport {
+            ap: 1,
+            visit: 0,
+            x: f64::NAN,
+            y: 0.0,
+            burst: vec![WireSnapshot {
+                offsets_hz: vec![0.0],
+                h: vec![(1.0, 0.0)],
+            }],
+        }],
+    }));
+
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut blob = good(0);
+    blob.extend_from_slice(&bad);
+    blob.extend_from_slice(&good(2));
+    stream.write_all(&blob).unwrap();
+
+    let mut responses = read_responses(&mut stream, 3);
+    responses.sort_by_key(|r| r.request_id);
+    assert!(
+        responses[0].outcome.is_ok(),
+        "request 0 should localize: {:?}",
+        responses[0].outcome
+    );
+    match &responses[1].outcome {
+        Err(e) if e.code == ErrorCode::Malformed => {}
+        other => panic!("expected Malformed for request 1, got {other:?}"),
+    }
+    assert!(
+        responses[2].outcome.is_ok(),
+        "request 2 should localize: {:?}",
+        responses[2].outcome
+    );
+    handle.shutdown();
+}
+
+/// A frame-level protocol violation (garbage on the socket) is answered
+/// with a `Malformed` reply for request id 0 and the connection closes;
+/// other connections are untouched.
+#[test]
+fn protocol_error_closes_only_that_connection() {
+    let handle = spawn(lab_server(), DaemonConfig::default(), "127.0.0.1:0").expect("spawn daemon");
+
+    let mut bad = TcpStream::connect(handle.local_addr()).expect("connect");
+    bad.write_all(b"this is not a NMLC frame at all............")
+        .unwrap();
+    let responses = read_responses(&mut bad, 1);
+    assert_eq!(responses[0].request_id, 0);
+    match &responses[0].outcome {
+        Err(e) if e.code == ErrorCode::Malformed => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    // The daemon closes its side after the error reply.
+    let mut tail = Vec::new();
+    bad.read_to_end(&mut tail).expect("read until close");
+    assert!(tail.is_empty(), "unexpected bytes after protocol error");
+
+    // A healthy connection still works afterwards.
+    let mut good = TcpStream::connect(handle.local_addr()).expect("connect");
+    good.write_all(&cheap_request(5, 0)).unwrap();
+    let ok = read_responses(&mut good, 1);
+    assert_eq!(ok[0].request_id, 5);
+
+    let health = handle.shutdown();
+    assert_eq!(health.protocol_errors, 1);
+}
+
+/// A `StatsRequest` frame answers with the daemon's health snapshot.
+#[test]
+fn stats_frame_reports_health() {
+    let handle = spawn(lab_server(), DaemonConfig::default(), "127.0.0.1:0").expect("spawn daemon");
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.write_all(&cheap_request(1, 0)).unwrap();
+    let _ = read_responses(&mut stream, 1);
+
+    stream
+        .write_all(&frame_to_vec(&Frame::StatsRequest))
+        .unwrap();
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 4096];
+    let health = loop {
+        match decode_frame(&buf) {
+            Ok((Frame::StatsResponse(h), _)) => break h,
+            Ok((other, _)) => panic!("unexpected frame: {other:?}"),
+            Err(nomloc_net::WireError::Incomplete { .. }) => {
+                let n = stream.read(&mut tmp).expect("read");
+                assert!(n > 0, "daemon closed before answering StatsRequest");
+                buf.extend_from_slice(&tmp[..n]);
+            }
+            Err(e) => panic!("malformed stats frame: {e}"),
+        }
+    };
+    assert!(health.connections_accepted >= 1);
+    assert!(health.requests_enqueued >= 1);
+    assert!(health.frames_in >= 2);
+    handle.shutdown();
+}
+
+/// Shutdown drains: every admitted request is answered before the daemon
+/// exits, even when a throttle keeps the queue deep at shutdown time.
+#[test]
+fn shutdown_drains_admitted_requests() {
+    let handle = spawn(
+        lab_server(),
+        DaemonConfig {
+            acceptors: 1,
+            batchers: 1,
+            max_batch: 4,
+            max_wait: Duration::ZERO,
+            queue_capacity: 64,
+            batch_pause: Duration::from_millis(10),
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn daemon");
+
+    const N: usize = 20;
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut blob = Vec::new();
+    for id in 0..N as u64 {
+        blob.extend_from_slice(&cheap_request(id, 0));
+    }
+    stream.write_all(&blob).unwrap();
+
+    // Wait until the daemon has admitted all N (they queue behind the
+    // throttle), then shut down mid-drain.
+    while handle.health().requests_enqueued < N as u64 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let health = handle.shutdown();
+    assert_eq!(
+        health.requests_ok + health.requests_failed + health.rejected_overload,
+        N as u64,
+        "shutdown lost admitted requests: {health}"
+    );
+    // The socket still holds every reply.
+    let responses = read_responses(&mut stream, N);
+    assert_eq!(responses.len(), N);
+}

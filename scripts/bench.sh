@@ -24,4 +24,8 @@ cargo bench -p nomloc-bench --bench serving_throughput --offline
 echo "==> bench_json -> BENCH_lp.json"
 cargo run --release -p nomloc-bench --bin bench_json --offline
 
+echo "==> loadgen quick throughput (loopback daemon, 4 connections)"
+cargo run --release -p nomloc-cli --bin nomloc --offline -- \
+  loadgen --requests 1000 --packets 2 --connections 4
+
 echo "Benchmarks done."

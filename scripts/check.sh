@@ -14,11 +14,17 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> benches compile: cargo bench --no-run"
 cargo bench --workspace --no-run --offline
 
+echo "==> nomloc-net builds"
+cargo build --offline -p nomloc-net
+
 echo "==> tier-1 gate: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --offline
 
 echo "==> full workspace tests"
 cargo test -q --workspace --offline
+
+echo "==> loopback serving smoke test (daemon + loadgen over 127.0.0.1)"
+cargo test -q --offline --test net_loopback
 
 echo "All checks passed."
