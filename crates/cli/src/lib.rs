@@ -22,8 +22,10 @@ use nomloc_core::scenario::Venue;
 use nomloc_core::server::CsiReport;
 use nomloc_core::{ApSite, LocalizationServer};
 use nomloc_dsp::Window;
+use nomloc_faults::FaultPlan;
 use nomloc_geometry::Point;
 use nomloc_lp::center::CenterMethod;
+use nomloc_net::wire::{ErrorReply, WireEstimate};
 use nomloc_rfsim::{Environment, RadioConfig, SubcarrierGrid};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,6 +44,9 @@ pub enum Command {
     /// Drive a running (or freshly spawned loopback) daemon with
     /// concurrent connections and print throughput + latency quantiles.
     Loadgen(LoadgenSpec),
+    /// Spawn a loopback daemon, replay a workload through seeded fault
+    /// injection, and verify the per-fault-class serving contract.
+    Chaos(ChaosSpec),
     /// List the built-in venues.
     Venues,
     /// Print usage.
@@ -195,6 +200,41 @@ impl Default for LoadgenSpec {
     }
 }
 
+/// Parameters of a `chaos` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSpec {
+    /// Venue used to synthesise the CSI workload.
+    pub venue: VenueName,
+    /// Total requests driven through the fault plan.
+    pub requests: usize,
+    /// Probe packets per AP per request.
+    pub packets: usize,
+    /// Seed shared by the workload and the fault plan.
+    pub seed: u64,
+    /// Per-fault-class injection rate (eight classes, so the faulted
+    /// fraction is roughly eight times this).
+    pub rate: f64,
+    /// Loopback daemon: worker threads (`0` = one per available CPU).
+    pub workers: usize,
+    /// Kill a batcher thread after every Nth batch (0 = never), proving
+    /// the watchdog respawns them without losing requests.
+    pub kill_every: usize,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            venue: VenueName::Lab,
+            requests: 200,
+            packets: 4,
+            seed: 2014,
+            rate: 0.03,
+            workers: 0,
+            kill_every: 0,
+        }
+    }
+}
+
 /// A built-in venue selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VenueName {
@@ -274,6 +314,8 @@ USAGE:
     nomloc serve [OPTIONS]        serve a synthetic request batch + stats
                                   (with --listen ADDR: run the TCP daemon)
     nomloc loadgen [OPTIONS]      drive a daemon with concurrent clients
+    nomloc chaos [OPTIONS]        fault-inject a loopback daemon and verify
+                                  the graceful-degradation contract
     nomloc venues                 list built-in venues
     nomloc help                   show this message
 
@@ -323,6 +365,17 @@ LOADGEN OPTIONS:
     --seed N                      workload RNG seed (default 2014)
     --deadline-us N               per-request deadline, 0 = none (default 0)
     --workers N                   loopback daemon worker threads (default 0)
+
+CHAOS OPTIONS:
+    --venue lab|lobby|mall        workload venue (default lab)
+    --requests N                  requests driven (default 200)
+    --packets N                   probe packets per AP per request (default 4)
+    --seed N                      workload + fault-plan seed (default 2014)
+    --rate R                      per-fault-class rate in [0, 0.125]
+                                  (default 0.03; 8 classes ≈ 24 % faulted)
+    --kill-every N                kill a batcher after every Nth batch,
+                                  0 = never (default 0; watchdog respawns)
+    --workers N                   loopback daemon worker threads (default 0)
 ";
 
 /// Parses a full argument list (excluding the program name).
@@ -340,6 +393,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         Some("map") => parse_map(it.as_slice()).map(Command::Map),
         Some("serve") => parse_serve(it.as_slice()).map(Command::Serve),
         Some("loadgen") => parse_loadgen(it.as_slice()).map(Command::Loadgen),
+        Some("chaos") => parse_chaos(it.as_slice()).map(Command::Chaos),
         Some(other) => Err(err(format!("unknown command `{other}`; try `nomloc help`"))),
     }
 }
@@ -544,6 +598,35 @@ fn parse_loadgen(args: &[String]) -> Result<LoadgenSpec, ParseError> {
             }
             "--workers" => spec.workers = parse_usize(flag, take_value(flag, &mut it)?)?,
             other => return Err(err(format!("unknown loadgen flag `{other}`"))),
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_chaos(args: &[String]) -> Result<ChaosSpec, ParseError> {
+    let mut spec = ChaosSpec::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--venue" => spec.venue = parse_venue(take_value(flag, &mut it)?)?,
+            "--requests" => spec.requests = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--packets" => spec.packets = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--seed" => {
+                spec.seed = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("flag `--seed`: not an integer"))?
+            }
+            "--rate" => {
+                spec.rate = parse_f64(flag, take_value(flag, &mut it)?)?;
+                if spec.rate > 0.125 {
+                    return Err(err(
+                        "flag `--rate`: per-class rate above 1/8 would exceed probability 1",
+                    ));
+                }
+            }
+            "--kill-every" => spec.kill_every = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--workers" => spec.workers = parse_usize(flag, take_value(flag, &mut it)?)?,
+            other => return Err(err(format!("unknown chaos flag `{other}`"))),
         }
     }
     Ok(spec)
@@ -847,6 +930,87 @@ pub fn run_loadgen(spec: &LoadgenSpec) -> Result<String, String> {
     Ok(out)
 }
 
+/// Builds the `LocalizationServer` a `chaos` invocation uses — one for
+/// the in-process baseline and an identical one inside the daemon, so
+/// bit-identity between the two is meaningful.
+fn chaos_server(spec: &ChaosSpec, venue: &Venue) -> LocalizationServer {
+    let mut server = LocalizationServer::new(venue.plan.boundary().clone());
+    if spec.workers > 0 {
+        server = server.with_workers(spec.workers);
+    }
+    server
+}
+
+/// Runs a chaos campaign: spawns a loopback daemon carrying the fault
+/// plan, replays the synthetic workload through client-side fault
+/// injection, and verifies every reply against the per-fault-class
+/// contract (non-faulted ⇒ bit-identical to an in-process fault-free
+/// run; faulted ⇒ the typed error or degraded tier its class demands).
+///
+/// # Errors
+///
+/// Returns a user-facing message on bind/transport failures or — the
+/// point of the exercise — on any contract violation.
+pub fn run_chaos(spec: &ChaosSpec) -> Result<String, String> {
+    let venue = spec.venue.venue();
+    let (_, batch) = synthetic_workload(&venue, spec.requests, spec.packets, spec.seed);
+    let plan = FaultPlan::uniform(spec.seed, spec.rate);
+    plan.validate().map_err(|e| format!("chaos: {e}"))?;
+
+    let baseline_server = chaos_server(spec, &venue);
+    let baseline: Vec<Result<WireEstimate, ErrorReply>> = batch
+        .iter()
+        .map(|reports| match baseline_server.process(reports) {
+            Ok(est) => Ok(WireEstimate::from_core(&est)),
+            Err(e) => Err(ErrorReply {
+                code: nomloc_net::ErrorCode::from_estimate_error(&e),
+                message: e.to_string(),
+            }),
+        })
+        .collect();
+
+    let config = nomloc_net::DaemonConfig {
+        fault_plan: Some(plan),
+        kill_batcher_every: spec.kill_every as u64,
+        ..nomloc_net::DaemonConfig::default()
+    };
+    let handle = nomloc_net::spawn(chaos_server(spec, &venue), config, "127.0.0.1:0")
+        .map_err(|e| format!("chaos: cannot bind loopback daemon: {e}"))?;
+    let chaos_config = nomloc_net::ChaosConfig::new(plan);
+    let report = nomloc_net::chaos::run(handle.local_addr(), &chaos_config, &batch)
+        .map_err(|e| format!("chaos: {e}"))?;
+    let health = handle.shutdown();
+
+    match report.verify(&plan, &baseline) {
+        Ok(summary) => {
+            let mut out = format!(
+                "chaos: {} — {} requests (seed {}, per-class rate {}, ≈{:.0} % faulted)\n",
+                venue.name,
+                spec.requests,
+                spec.seed,
+                spec.rate,
+                100.0 * plan.total_rate()
+            );
+            out.push_str(&summary.render());
+            out.push_str(&format!(
+                "  transport: {} reconnects | {} corrupt frames rejected by the server\n",
+                report.reconnects, report.rejections_observed
+            ));
+            out.push('\n');
+            out.push_str(&health.to_string());
+            Ok(out)
+        }
+        Err(violations) => {
+            let shown: Vec<&str> = violations.iter().take(5).map(String::as_str).collect();
+            Err(format!(
+                "chaos: contract violated on {} request(s):\n  {}",
+                violations.len(),
+                shown.join("\n  ")
+            ))
+        }
+    }
+}
+
 /// Renders the venue listing.
 pub fn run_venues() -> String {
     let mut out = String::new();
@@ -1069,6 +1233,58 @@ mod tests {
         );
         assert!(parse(&args("loadgen --connections 0")).is_err());
         assert!(parse(&args("loadgen --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn chaos_flags() {
+        let cmd = parse(&args(
+            "chaos --venue lobby --requests 80 --packets 2 --seed 7 --rate 0.05 \
+             --kill-every 6 --workers 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos(ChaosSpec {
+                venue: VenueName::Lobby,
+                requests: 80,
+                packets: 2,
+                seed: 7,
+                rate: 0.05,
+                workers: 2,
+                kill_every: 6,
+            })
+        );
+        assert_eq!(
+            parse(&args("chaos")).unwrap(),
+            Command::Chaos(ChaosSpec::default())
+        );
+        // A per-class rate above 1/8 would push the total past 1.
+        assert!(parse(&args("chaos --rate 0.2")).is_err());
+        assert!(parse(&args("chaos --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn run_chaos_smoke_verifies_the_contract() {
+        let out = run_chaos(&ChaosSpec {
+            requests: 40,
+            packets: 2,
+            seed: 7,
+            workers: 2,
+            kill_every: 5,
+            ..ChaosSpec::default()
+        })
+        .expect("chaos contract holds");
+        assert!(out.contains("40 requests"), "missing totals:\n{out}");
+        assert!(
+            out.contains("bit-identical"),
+            "missing verification:\n{out}"
+        );
+        assert!(out.contains("batchers respawned"), "missing health:\n{out}");
+        // kill-every 5 over 40 requests guarantees observable respawns.
+        assert!(
+            !out.contains("batchers respawned    0"),
+            "watchdog never fired:\n{out}"
+        );
     }
 
     #[test]

@@ -67,14 +67,32 @@ pub struct Logistic {
 }
 
 impl Logistic {
+    /// Creates a logistic confidence function, rejecting invalid steepness.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidSteepness`] when `k` is not strictly positive and finite —
+    /// the validation untrusted configuration goes through instead of
+    /// panicking.
+    pub fn try_new(k: f64) -> Result<Self, InvalidSteepness> {
+        if k > 0.0 && k.is_finite() {
+            Ok(Logistic { k })
+        } else {
+            Err(InvalidSteepness { k })
+        }
+    }
+
     /// Creates a logistic confidence function with steepness `k`.
     ///
     /// # Panics
     ///
-    /// Panics when `k` is not strictly positive and finite.
+    /// Panics when `k` is not strictly positive and finite (thin wrapper
+    /// over [`Logistic::try_new`]).
     pub fn new(k: f64) -> Self {
-        assert!(k > 0.0 && k.is_finite(), "steepness must be positive");
-        Logistic { k }
+        match Self::try_new(k) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The steepness parameter.
@@ -88,6 +106,21 @@ impl Default for Logistic {
         Logistic { k: 1.0 }
     }
 }
+
+/// Error from [`Logistic::try_new`]: the steepness was not usable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidSteepness {
+    /// The offending steepness value.
+    pub k: f64,
+}
+
+impl std::fmt::Display for InvalidSteepness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "steepness must be positive and finite (got {})", self.k)
+    }
+}
+
+impl std::error::Error for InvalidSteepness {}
 
 impl Confidence for Logistic {
     fn confidence(&self, x: f64) -> f64 {
@@ -214,6 +247,15 @@ mod tests {
     #[should_panic(expected = "steepness")]
     fn logistic_rejects_zero_k() {
         let _ = Logistic::new(0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_hostile_steepness_without_panicking() {
+        for bad in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let err = Logistic::try_new(bad).unwrap_err();
+            assert!(err.to_string().contains("steepness"));
+        }
+        assert_eq!(Logistic::try_new(2.0).unwrap().k(), 2.0);
     }
 
     #[test]

@@ -26,6 +26,24 @@ pub enum EstimateError {
     EmptyArea,
     /// Every convex piece failed in the LP layer (carries the last error).
     Solver(LpError),
+    /// Fewer than two usable readings, so no pairwise proximity judgement
+    /// can be formed (strict-mode servers refuse rather than degrade).
+    InsufficientJudgements,
+}
+
+impl EstimateError {
+    /// Classifies this error into the serving failure taxonomy — the
+    /// 1:1 mapping used by per-cause [`crate::stats`] counters and the
+    /// wire protocol's error codes.
+    pub fn cause(&self) -> FailureCause {
+        match self {
+            EstimateError::EmptyArea => FailureCause::InvalidInput,
+            EstimateError::InsufficientJudgements => FailureCause::InsufficientJudgements,
+            EstimateError::Solver(LpError::Numerical) => FailureCause::LpNumerical,
+            EstimateError::Solver(LpError::BadProblem) => FailureCause::InvalidInput,
+            EstimateError::Solver(_) => FailureCause::LpInfeasible,
+        }
+    }
 }
 
 impl fmt::Display for EstimateError {
@@ -33,11 +51,93 @@ impl fmt::Display for EstimateError {
         match self {
             EstimateError::EmptyArea => write!(f, "area of interest has no convex pieces"),
             EstimateError::Solver(e) => write!(f, "all convex pieces failed to solve: {e}"),
+            EstimateError::InsufficientJudgements => {
+                write!(f, "fewer than two usable readings: no judgements to solve")
+            }
         }
     }
 }
 
 impl std::error::Error for EstimateError {}
+
+/// The serving failure taxonomy: why a localization request could not be
+/// answered at full quality. Each cause maps 1:1 onto a wire error code
+/// and a per-cause [`crate::stats::CounterTotals`] counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureCause {
+    /// Fewer than two usable readings — no pairwise judgement possible.
+    InsufficientJudgements,
+    /// The relaxed LP was infeasible (or unbounded) on every piece.
+    LpInfeasible,
+    /// The LP solver failed numerically on every piece.
+    LpNumerical,
+    /// The request (or venue) input was invalid.
+    InvalidInput,
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureCause::InsufficientJudgements => "insufficient-judgements",
+            FailureCause::LpInfeasible => "lp-infeasible",
+            FailureCause::LpNumerical => "lp-numerical",
+            FailureCause::InvalidInput => "invalid-input",
+        })
+    }
+}
+
+/// Quality tier of a served estimate — which rung of the degradation
+/// ladder produced it.
+///
+/// Ordered best-first: `Full < Region < Centroid` under `Ord`, so
+/// "worst quality in a batch" is a plain `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EstimateQuality {
+    /// Full SP estimate from proximity judgements (the paper pipeline).
+    Full,
+    /// Site-constraints-only region: no judgement constraints survived,
+    /// the estimate is the center of the venue boundary region.
+    Region,
+    /// Weighted centroid of the visited AP sites — the last rung, used
+    /// when even the boundary LP is unusable or judgements cannot form.
+    Centroid,
+}
+
+impl EstimateQuality {
+    /// Wire encoding of the tier.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            EstimateQuality::Full => 0,
+            EstimateQuality::Region => 1,
+            EstimateQuality::Centroid => 2,
+        }
+    }
+
+    /// Decodes a wire tier; `None` for unknown values.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(EstimateQuality::Full),
+            1 => Some(EstimateQuality::Region),
+            2 => Some(EstimateQuality::Centroid),
+            _ => None,
+        }
+    }
+
+    /// `true` for any tier below [`EstimateQuality::Full`].
+    pub fn is_degraded(self) -> bool {
+        self != EstimateQuality::Full
+    }
+}
+
+impl fmt::Display for EstimateQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EstimateQuality::Full => "full",
+            EstimateQuality::Region => "region",
+            EstimateQuality::Centroid => "centroid",
+        })
+    }
+}
 
 /// A location estimate with its diagnostics.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +165,8 @@ pub struct LocationEstimate {
     /// Phase-1 pivots those warm starts avoided (lower-bound estimate, see
     /// [`SimplexWorkspace::phase1_pivots_saved`]).
     pub phase1_pivots_saved: u64,
+    /// Which rung of the degradation ladder produced this estimate.
+    pub quality: EstimateQuality,
 }
 
 /// The space-partition estimator.
@@ -266,6 +368,11 @@ impl SpEstimator {
             lp_iterations,
             warm_start_hits,
             phase1_pivots_saved,
+            quality: if judgements.is_empty() {
+                EstimateQuality::Region
+            } else {
+                EstimateQuality::Full
+            },
         })
     }
 }
@@ -524,6 +631,57 @@ mod tests {
                 assert_eq!(direct, cached);
             }
         }
+    }
+
+    #[test]
+    fn quality_tracks_judgement_presence() {
+        let est = SpEstimator::new().estimate(&[], &square()).unwrap();
+        assert_eq!(est.quality, EstimateQuality::Region);
+        assert!(est.quality.is_degraded());
+        let j = judgement(Point::new(1.0, 5.0), Point::new(9.0, 5.0), 0.9);
+        let est = SpEstimator::new().estimate(&[j], &square()).unwrap();
+        assert_eq!(est.quality, EstimateQuality::Full);
+        assert!(!est.quality.is_degraded());
+    }
+
+    #[test]
+    fn quality_wire_round_trip() {
+        for q in [
+            EstimateQuality::Full,
+            EstimateQuality::Region,
+            EstimateQuality::Centroid,
+        ] {
+            assert_eq!(EstimateQuality::from_u8(q.as_u8()), Some(q));
+        }
+        assert_eq!(EstimateQuality::from_u8(3), None);
+        assert!(EstimateQuality::Full < EstimateQuality::Region);
+        assert!(EstimateQuality::Region < EstimateQuality::Centroid);
+    }
+
+    #[test]
+    fn error_causes_classify_one_to_one() {
+        use crate::estimator::FailureCause as C;
+        assert_eq!(EstimateError::EmptyArea.cause(), C::InvalidInput);
+        assert_eq!(
+            EstimateError::InsufficientJudgements.cause(),
+            C::InsufficientJudgements
+        );
+        assert_eq!(
+            EstimateError::Solver(LpError::Infeasible).cause(),
+            C::LpInfeasible
+        );
+        assert_eq!(
+            EstimateError::Solver(LpError::Unbounded).cause(),
+            C::LpInfeasible
+        );
+        assert_eq!(
+            EstimateError::Solver(LpError::Numerical).cause(),
+            C::LpNumerical
+        );
+        assert_eq!(
+            EstimateError::Solver(LpError::BadProblem).cause(),
+            C::InvalidInput
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod tracking;
 
 pub use cache::VenueCache;
 pub use confidence::{Confidence, HardDecision, Logistic, PaperExp};
-pub use estimator::{LocationEstimate, SpEstimator};
+pub use estimator::{EstimateError, EstimateQuality, FailureCause, LocationEstimate, SpEstimator};
 pub use proximity::{ApSite, PdpReading, ProximityJudgement};
 pub use server::LocalizationServer;
 pub use stats::{PipelineStats, StatsSnapshot};

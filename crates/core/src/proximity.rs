@@ -56,16 +56,59 @@ pub struct PdpReading {
 }
 
 impl PdpReading {
+    /// Creates a reading, rejecting invalid power values.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidPdp`] when `pdp` is not strictly positive and finite, or
+    /// the site's reported position has a non-finite coordinate — the
+    /// validation hostile serving input goes through instead of panicking
+    /// a worker thread.
+    pub fn try_new(site: ApSite, pdp: f64) -> Result<Self, InvalidPdp> {
+        if pdp > 0.0
+            && pdp.is_finite()
+            && site.position.x.is_finite()
+            && site.position.y.is_finite()
+        {
+            Ok(PdpReading { site, pdp })
+        } else {
+            Err(InvalidPdp { pdp })
+        }
+    }
+
     /// Creates a reading.
     ///
     /// # Panics
     ///
-    /// Panics when `pdp` is not strictly positive and finite.
+    /// Panics when `pdp` is not strictly positive and finite (thin wrapper
+    /// over [`PdpReading::try_new`] for internal callers with trusted
+    /// input).
     pub fn new(site: ApSite, pdp: f64) -> Self {
-        assert!(pdp > 0.0 && pdp.is_finite(), "PDP must be positive");
-        PdpReading { site, pdp }
+        match Self::try_new(site, pdp) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
+
+/// Error from [`PdpReading::try_new`]: the reading was not usable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidPdp {
+    /// The offending power value.
+    pub pdp: f64,
+}
+
+impl fmt::Display for InvalidPdp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PDP must be positive and finite at a finite site (got {})",
+            self.pdp
+        )
+    }
+}
+
+impl std::error::Error for InvalidPdp {}
 
 /// One pairwise proximity judgement: the object is closer to `near` than to
 /// `far`, with confidence `weight ∈ [½, 1]`.
@@ -242,6 +285,18 @@ mod tests {
     #[should_panic(expected = "PDP must be positive")]
     fn reading_rejects_zero_pdp() {
         let _ = PdpReading::new(ApSite::fixed(0, Point::ORIGIN), 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_hostile_values_without_panicking() {
+        let site = ApSite::fixed(0, Point::ORIGIN);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = PdpReading::try_new(site, bad).unwrap_err();
+            assert!(err.to_string().contains("PDP must be positive"));
+        }
+        let bad_site = ApSite::fixed(0, Point::new(f64::NAN, 1.0));
+        assert!(PdpReading::try_new(bad_site, 1.0).is_err());
+        assert_eq!(PdpReading::try_new(site, 2.5).unwrap().pdp, 2.5);
     }
 
     #[test]

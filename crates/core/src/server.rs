@@ -19,11 +19,13 @@
 
 use crate::cache::VenueCache;
 use crate::confidence::{Confidence, PaperExp};
-use crate::estimator::{EstimateError, LocationEstimate, SpEstimator};
+use crate::estimator::{
+    EstimateError, EstimateQuality, FailureCause, LocationEstimate, SpEstimator,
+};
 use crate::pdp::PdpEstimator;
 use crate::proximity::{judge_all_pairs, ApSite, PdpReading, ProximityJudgement};
 use crate::stats::{PipelineStats, StatsSnapshot};
-use nomloc_geometry::Polygon;
+use nomloc_geometry::{Point, Polygon};
 use nomloc_lp::center::CenterMethod;
 use nomloc_rfsim::CsiSnapshot;
 use std::time::Instant;
@@ -64,6 +66,7 @@ pub struct LocalizationServer {
     confidence: Box<dyn Confidence + Send + Sync>,
     estimator: SpEstimator,
     workers: usize,
+    degrade: bool,
     stats: PipelineStats,
 }
 
@@ -92,6 +95,7 @@ impl LocalizationServer {
             confidence: Box::new(PaperExp),
             estimator: SpEstimator::default(),
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            degrade: true,
             stats: PipelineStats::new(),
         }
     }
@@ -121,6 +125,15 @@ impl LocalizationServer {
     /// `0` or `1` means fully serial batches.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Enables or disables the graceful-degradation ladder (on by
+    /// default). With degradation off the server is *strict*: requests the
+    /// full pipeline cannot answer return a typed [`EstimateError`] instead
+    /// of a lower-[`EstimateQuality`] estimate.
+    pub fn with_degradation(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
         self
     }
 
@@ -157,7 +170,9 @@ impl LocalizationServer {
             .iter()
             .filter_map(|r| {
                 let pdp = self.pdp.pdp_of_burst(&r.burst)?;
-                (pdp > 0.0 && pdp.is_finite()).then(|| PdpReading::new(r.site, pdp))
+                // try_new (not new): a non-finite PDP or site position from
+                // a hostile report must drop the reading, never panic.
+                PdpReading::try_new(r.site, pdp).ok()
             })
             .collect();
         self.stats
@@ -176,13 +191,53 @@ impl LocalizationServer {
 
     /// Localizes the object from PDP readings.
     ///
+    /// Non-finite readings (NaN/Inf PDP or site position — possible when
+    /// callers build [`PdpReading`] structs directly from untrusted input)
+    /// are filtered out and counted, never solved. When the remaining
+    /// pipeline cannot produce a full SP estimate the degradation ladder
+    /// steps down — full estimate → site-constraints-only region →
+    /// weighted centroid of visited sites — and the rung is reported in
+    /// [`LocationEstimate::quality`]. Strict servers
+    /// ([`LocalizationServer::with_degradation`]`(false)`) return the
+    /// typed error instead.
+    ///
     /// # Errors
     ///
     /// Forwards [`EstimateError`] from the SP estimator.
     pub fn localize(&self, readings: &[PdpReading]) -> Result<LocationEstimate, EstimateError> {
-        let judgements = self.judge(readings);
+        let filtered: Vec<PdpReading>;
+        let valid: &[PdpReading] = if readings.iter().all(reading_is_valid) {
+            readings
+        } else {
+            filtered = readings.iter().copied().filter(reading_is_valid).collect();
+            self.stats
+                .record_invalid_readings((readings.len() - filtered.len()) as u64);
+            self.stats.record_cause(FailureCause::InvalidInput);
+            &filtered
+        };
+        let judgements = self.judge(valid);
         let start = Instant::now();
-        let result = self.estimator.estimate_cached(&judgements, &self.cache);
+        let result = if valid.len() == 1 {
+            // One reading forms no pairwise judgement: the full pipeline
+            // has nothing to solve. Degrade straight to the centroid rung
+            // (here, the single visited site) or refuse in strict mode.
+            if self.degrade {
+                self.stats
+                    .record_cause(FailureCause::InsufficientJudgements);
+                Ok(self.centroid_estimate(valid))
+            } else {
+                Err(EstimateError::InsufficientJudgements)
+            }
+        } else {
+            match self.estimator.estimate_cached(&judgements, &self.cache) {
+                Ok(est) => Ok(est),
+                Err(err) if self.degrade => {
+                    self.stats.record_cause(err.cause());
+                    self.degrade_after_estimate_failure(valid, err)
+                }
+                Err(err) => Err(err),
+            }
+        };
         match &result {
             Ok(est) => {
                 // LP rows built for this query: per convex piece, every
@@ -195,12 +250,61 @@ impl LocalizationServer {
                     est.warm_start_hits,
                     est.phase1_pivots_saved,
                     est.relaxation_cost > 1e-9,
+                    est.quality,
                     start.elapsed(),
                 );
             }
-            Err(_) => self.stats.record_failure(start.elapsed()),
+            Err(err) => self.stats.record_failure(err.cause(), start.elapsed()),
         }
         result
+    }
+
+    /// The ladder below a failed full-quality solve: re-solve with the
+    /// venue boundary constraints only (the [`EstimateQuality::Region`]
+    /// rung), and if even that fails fall to the weighted centroid of the
+    /// visited sites. The original error is returned only when no rung is
+    /// usable.
+    fn degrade_after_estimate_failure(
+        &self,
+        valid: &[PdpReading],
+        err: EstimateError,
+    ) -> Result<LocationEstimate, EstimateError> {
+        if let Ok(region) = self.estimator.estimate_cached(&[], &self.cache) {
+            return Ok(region);
+        }
+        if !valid.is_empty() {
+            return Ok(self.centroid_estimate(valid));
+        }
+        Err(err)
+    }
+
+    /// The last rung: PDP-weighted centroid of the visited AP sites,
+    /// clamped into the area. Well-defined for any non-empty set of valid
+    /// readings (PDPs are strictly positive) and LP-free, so it cannot
+    /// fail.
+    fn centroid_estimate(&self, valid: &[PdpReading]) -> LocationEstimate {
+        let total: f64 = valid.iter().map(|r| r.pdp).sum();
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for r in valid {
+            x += r.site.position.x * r.pdp;
+            y += r.site.position.y * r.pdp;
+        }
+        let position = self
+            .cache
+            .area()
+            .clamp_point(Point::new(x / total, y / total));
+        LocationEstimate {
+            position,
+            relaxation_cost: 0.0,
+            region_area: 0.0,
+            n_constraints: 0,
+            n_winning_pieces: 0,
+            lp_iterations: 0,
+            warm_start_hits: 0,
+            phase1_pivots_saved: 0,
+            quality: EstimateQuality::Centroid,
+        }
     }
 
     /// Full pipeline: CSI reports → PDPs → judgements → estimate.
@@ -270,6 +374,15 @@ impl LocalizationServer {
             .map(|r| r.expect("batch worker filled every slot"))
             .collect()
     }
+}
+
+/// A reading the pipeline can safely solve: finite positive PDP at a
+/// finite site position.
+fn reading_is_valid(r: &PdpReading) -> bool {
+    r.pdp > 0.0
+        && r.pdp.is_finite()
+        && r.site.position.x.is_finite()
+        && r.site.position.y.is_finite()
 }
 
 /// Adapter so a `&dyn Confidence` can be passed where `impl Confidence` is
@@ -447,6 +560,100 @@ mod tests {
         assert_eq!(c.estimate_failures, 0);
         server.reset_stats();
         assert_eq!(server.stats_snapshot().counters.requests, 0);
+    }
+
+    #[test]
+    fn full_quality_on_the_happy_path() {
+        let server = LocalizationServer::new(square());
+        let est = server.localize(&request(3)).unwrap();
+        assert_eq!(est.quality, EstimateQuality::Full);
+        let c = server.stats_snapshot().counters;
+        assert_eq!(c.quality_full, 1);
+        assert_eq!(c.quality_region + c.quality_centroid, 0);
+    }
+
+    #[test]
+    fn empty_request_serves_the_region_rung() {
+        let server = LocalizationServer::new(square());
+        let est = server.localize(&[]).unwrap();
+        assert_eq!(est.quality, EstimateQuality::Region);
+        assert_eq!(server.stats_snapshot().counters.quality_region, 1);
+    }
+
+    #[test]
+    fn single_reading_degrades_to_centroid() {
+        let server = LocalizationServer::new(square());
+        let est = server.localize(&[reading(1, 3.0, 4.0, 1e-6)]).unwrap();
+        assert_eq!(est.quality, EstimateQuality::Centroid);
+        // One site: the centroid is that site's position.
+        assert!(est.position.distance(Point::new(3.0, 4.0)) < 1e-9);
+        let c = server.stats_snapshot().counters;
+        assert_eq!(c.quality_centroid, 1);
+        assert_eq!(c.cause_insufficient_judgements, 1);
+        assert_eq!(c.estimate_failures, 0, "degraded, not failed");
+    }
+
+    #[test]
+    fn centroid_is_clamped_into_the_area() {
+        // A nomadic site reporting coordinates outside the venue cannot
+        // drag the centroid rung out of the area polygon.
+        let server = LocalizationServer::new(square());
+        let est = server.localize(&[reading(1, 40.0, -5.0, 1e-6)]).unwrap();
+        assert_eq!(est.quality, EstimateQuality::Centroid);
+        let area = square();
+        assert!(
+            area.contains(est.position) || area.distance_to_boundary(est.position) < 1e-6,
+            "{} escaped",
+            est.position
+        );
+    }
+
+    #[test]
+    fn strict_mode_returns_typed_errors() {
+        let server = LocalizationServer::new(square()).with_degradation(false);
+        let err = server.localize(&[reading(1, 3.0, 4.0, 1e-6)]).unwrap_err();
+        assert_eq!(err, EstimateError::InsufficientJudgements);
+        let c = server.stats_snapshot().counters;
+        assert_eq!(c.estimate_failures, 1);
+        assert_eq!(c.cause_insufficient_judgements, 1);
+    }
+
+    #[test]
+    fn invalid_readings_are_filtered_not_panicked() {
+        let server = LocalizationServer::new(square());
+        // Struct-literal readings bypass try_new — exactly what hostile
+        // in-process callers could do. The server must filter, count, and
+        // still answer from the valid remainder.
+        let mut readings = request(5);
+        readings.push(PdpReading {
+            site: ApSite::fixed(9, Point::new(f64::NAN, 2.0)),
+            pdp: 1e-6,
+        });
+        readings.push(PdpReading {
+            site: ApSite::fixed(10, Point::new(1.0, 2.0)),
+            pdp: f64::INFINITY,
+        });
+        let est = server.localize(&readings).unwrap();
+        assert_eq!(est.quality, EstimateQuality::Full);
+        let c = server.stats_snapshot().counters;
+        assert_eq!(c.invalid_readings, 2);
+        assert_eq!(c.cause_invalid_input, 1);
+        // The valid four readings alone decide the estimate.
+        let clean = server.localize(&request(5)).unwrap();
+        assert_eq!(est, clean);
+    }
+
+    #[test]
+    fn all_invalid_readings_degrade_to_region() {
+        let server = LocalizationServer::new(square());
+        let readings = vec![PdpReading {
+            site: ApSite::fixed(1, Point::new(2.0, 2.0)),
+            pdp: f64::NAN,
+        }];
+        let est = server.localize(&readings).unwrap();
+        // Nothing valid survives: boundary-only region estimate.
+        assert_eq!(est.quality, EstimateQuality::Region);
+        assert!(est.position.distance(Point::new(6.0, 6.0)) < 1e-3);
     }
 
     #[test]

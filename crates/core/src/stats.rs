@@ -12,6 +12,7 @@
 //! [`CounterTotals`] half is deterministic for a deterministic workload; the
 //! batch-determinism integration test relies on that split.
 
+use crate::estimator::{EstimateQuality, FailureCause};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -245,6 +246,24 @@ pub struct CounterTotals {
     pub relaxations_triggered: u64,
     /// Requests that returned an [`crate::estimator::EstimateError`].
     pub estimate_failures: u64,
+    /// Estimates served at [`EstimateQuality::Full`].
+    pub quality_full: u64,
+    /// Estimates degraded to [`EstimateQuality::Region`].
+    pub quality_region: u64,
+    /// Estimates degraded to [`EstimateQuality::Centroid`].
+    pub quality_centroid: u64,
+    /// Requests that hit [`FailureCause::InsufficientJudgements`]
+    /// (degraded or failed).
+    pub cause_insufficient_judgements: u64,
+    /// Requests that hit [`FailureCause::LpInfeasible`].
+    pub cause_lp_infeasible: u64,
+    /// Requests that hit [`FailureCause::LpNumerical`].
+    pub cause_lp_numerical: u64,
+    /// Requests that hit [`FailureCause::InvalidInput`].
+    pub cause_invalid_input: u64,
+    /// Individual readings rejected at the `localize` input boundary
+    /// (non-finite PDP or site position).
+    pub invalid_readings: u64,
     /// Batches dispatched through the batch entry points (in-process
     /// `localize_batch`/`process_batch` calls and serving micro-batches).
     pub batches_dispatched: u64,
@@ -287,6 +306,27 @@ impl fmt::Display for StatsSnapshot {
         writeln!(f, "  phase-1 pivots saved  {}", c.phase1_pivots_saved)?;
         writeln!(f, "  relaxations triggered {}", c.relaxations_triggered)?;
         writeln!(f, "  estimate failures     {}", c.estimate_failures)?;
+        writeln!(
+            f,
+            "  quality tiers         full {} / region {} / centroid {}",
+            c.quality_full, c.quality_region, c.quality_centroid
+        )?;
+        let causes = [
+            ("insufficient judgements", c.cause_insufficient_judgements),
+            ("lp infeasible", c.cause_lp_infeasible),
+            ("lp numerical", c.cause_lp_numerical),
+            ("invalid input", c.cause_invalid_input),
+        ];
+        if causes.iter().any(|&(_, n)| n > 0) {
+            for (name, n) in causes {
+                if n > 0 {
+                    writeln!(f, "    cause: {name:<19} {n}")?;
+                }
+            }
+        }
+        if c.invalid_readings > 0 {
+            writeln!(f, "  invalid readings      {}", c.invalid_readings)?;
+        }
         if c.batches_dispatched > 0 {
             writeln!(
                 f,
@@ -338,6 +378,14 @@ pub struct PipelineStats {
     phase1_pivots_saved: AtomicU64,
     relaxations_triggered: AtomicU64,
     estimate_failures: AtomicU64,
+    quality_full: AtomicU64,
+    quality_region: AtomicU64,
+    quality_centroid: AtomicU64,
+    cause_insufficient_judgements: AtomicU64,
+    cause_lp_infeasible: AtomicU64,
+    cause_lp_numerical: AtomicU64,
+    cause_invalid_input: AtomicU64,
+    invalid_readings: AtomicU64,
     batches_dispatched: AtomicU64,
     queue_rejected: AtomicU64,
     deadline_missed: AtomicU64,
@@ -372,7 +420,9 @@ impl PipelineStats {
 
     /// Records one successful estimator call. `warm_start_hits` and
     /// `phase1_pivots_saved` carry the estimator's per-query warm-start
-    /// diagnostics ([`crate::estimator::LocationEstimate`]).
+    /// diagnostics ([`crate::estimator::LocationEstimate`]); `quality` is
+    /// the degradation-ladder tier the estimate was served at.
+    #[allow(clippy::too_many_arguments)]
     pub fn record_solve(
         &self,
         constraints: u64,
@@ -380,6 +430,7 @@ impl PipelineStats {
         warm_start_hits: u64,
         phase1_pivots_saved: u64,
         relaxed: bool,
+        quality: EstimateQuality,
         elapsed: Duration,
     ) {
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -394,14 +445,39 @@ impl PipelineStats {
         if relaxed {
             self.relaxations_triggered.fetch_add(1, Ordering::Relaxed);
         }
+        let tier = match quality {
+            EstimateQuality::Full => &self.quality_full,
+            EstimateQuality::Region => &self.quality_region,
+            EstimateQuality::Centroid => &self.quality_centroid,
+        };
+        tier.fetch_add(1, Ordering::Relaxed);
         self.solve_latency.record(elapsed);
     }
 
-    /// Records one estimator call that returned an error.
-    pub fn record_failure(&self, elapsed: Duration) {
+    /// Records one estimator call that returned an error, by cause.
+    pub fn record_failure(&self, cause: FailureCause, elapsed: Duration) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.estimate_failures.fetch_add(1, Ordering::Relaxed);
+        self.record_cause(cause);
         self.solve_latency.record(elapsed);
+    }
+
+    /// Counts one occurrence of a failure cause — on hard failures *and*
+    /// on requests the degradation ladder recovered, so the counters tell
+    /// why quality was lost even when an estimate was still served.
+    pub fn record_cause(&self, cause: FailureCause) {
+        let counter = match cause {
+            FailureCause::InsufficientJudgements => &self.cause_insufficient_judgements,
+            FailureCause::LpInfeasible => &self.cause_lp_infeasible,
+            FailureCause::LpNumerical => &self.cause_lp_numerical,
+            FailureCause::InvalidInput => &self.cause_invalid_input,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` readings rejected at the `localize` input boundary.
+    pub fn record_invalid_readings(&self, n: u64) {
+        self.invalid_readings.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one dispatched batch of `size` requests.
@@ -439,6 +515,16 @@ impl PipelineStats {
                 phase1_pivots_saved: self.phase1_pivots_saved.load(Ordering::Relaxed),
                 relaxations_triggered: self.relaxations_triggered.load(Ordering::Relaxed),
                 estimate_failures: self.estimate_failures.load(Ordering::Relaxed),
+                quality_full: self.quality_full.load(Ordering::Relaxed),
+                quality_region: self.quality_region.load(Ordering::Relaxed),
+                quality_centroid: self.quality_centroid.load(Ordering::Relaxed),
+                cause_insufficient_judgements: self
+                    .cause_insufficient_judgements
+                    .load(Ordering::Relaxed),
+                cause_lp_infeasible: self.cause_lp_infeasible.load(Ordering::Relaxed),
+                cause_lp_numerical: self.cause_lp_numerical.load(Ordering::Relaxed),
+                cause_invalid_input: self.cause_invalid_input.load(Ordering::Relaxed),
+                invalid_readings: self.invalid_readings.load(Ordering::Relaxed),
                 batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
                 queue_rejected: self.queue_rejected.load(Ordering::Relaxed),
                 deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
@@ -463,6 +549,15 @@ impl PipelineStats {
         self.phase1_pivots_saved.store(0, Ordering::Relaxed);
         self.relaxations_triggered.store(0, Ordering::Relaxed);
         self.estimate_failures.store(0, Ordering::Relaxed);
+        self.quality_full.store(0, Ordering::Relaxed);
+        self.quality_region.store(0, Ordering::Relaxed);
+        self.quality_centroid.store(0, Ordering::Relaxed);
+        self.cause_insufficient_judgements
+            .store(0, Ordering::Relaxed);
+        self.cause_lp_infeasible.store(0, Ordering::Relaxed);
+        self.cause_lp_numerical.store(0, Ordering::Relaxed);
+        self.cause_invalid_input.store(0, Ordering::Relaxed);
+        self.invalid_readings.store(0, Ordering::Relaxed);
         self.batches_dispatched.store(0, Ordering::Relaxed);
         self.queue_rejected.store(0, Ordering::Relaxed);
         self.deadline_missed.store(0, Ordering::Relaxed);
@@ -531,9 +626,25 @@ mod tests {
         let stats = PipelineStats::new();
         stats.record_extract(4, 3, Duration::from_micros(5));
         stats.record_judge(3, Duration::from_micros(2));
-        stats.record_solve(9, 17, 1, 2, true, Duration::from_micros(40));
-        stats.record_solve(9, 11, 0, 0, false, Duration::from_micros(35));
-        stats.record_failure(Duration::from_micros(1));
+        stats.record_solve(
+            9,
+            17,
+            1,
+            2,
+            true,
+            EstimateQuality::Full,
+            Duration::from_micros(40),
+        );
+        stats.record_solve(
+            9,
+            11,
+            0,
+            0,
+            false,
+            EstimateQuality::Region,
+            Duration::from_micros(35),
+        );
+        stats.record_failure(FailureCause::LpInfeasible, Duration::from_micros(1));
         let c = stats.snapshot().counters;
         assert_eq!(c.requests, 3);
         assert_eq!(c.reports_in, 4);
@@ -545,13 +656,49 @@ mod tests {
         assert_eq!(c.phase1_pivots_saved, 2);
         assert_eq!(c.relaxations_triggered, 1);
         assert_eq!(c.estimate_failures, 1);
+        assert_eq!(c.quality_full, 1);
+        assert_eq!(c.quality_region, 1);
+        assert_eq!(c.quality_centroid, 0);
+        assert_eq!(c.cause_lp_infeasible, 1);
+    }
+
+    #[test]
+    fn cause_counters_cover_every_variant() {
+        let stats = PipelineStats::new();
+        stats.record_cause(FailureCause::InsufficientJudgements);
+        stats.record_cause(FailureCause::LpInfeasible);
+        stats.record_cause(FailureCause::LpNumerical);
+        stats.record_cause(FailureCause::InvalidInput);
+        stats.record_invalid_readings(3);
+        let c = stats.snapshot().counters;
+        assert_eq!(c.cause_insufficient_judgements, 1);
+        assert_eq!(c.cause_lp_infeasible, 1);
+        assert_eq!(c.cause_lp_numerical, 1);
+        assert_eq!(c.cause_invalid_input, 1);
+        assert_eq!(c.invalid_readings, 3);
+        // Causes alone are not requests or failures.
+        assert_eq!(c.requests, 0);
+        assert_eq!(c.estimate_failures, 0);
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("cause: insufficient judgements"));
+        assert!(text.contains("invalid readings      3"));
     }
 
     #[test]
     fn reset_zeroes_everything() {
         let stats = PipelineStats::new();
         stats.record_extract(4, 3, Duration::from_micros(5));
-        stats.record_solve(9, 17, 1, 2, true, Duration::from_micros(40));
+        stats.record_solve(
+            9,
+            17,
+            1,
+            2,
+            true,
+            EstimateQuality::Centroid,
+            Duration::from_micros(40),
+        );
+        stats.record_failure(FailureCause::InvalidInput, Duration::from_micros(1));
+        stats.record_invalid_readings(2);
         stats.reset();
         let s = stats.snapshot();
         assert_eq!(s.counters, CounterTotals::default());
@@ -566,7 +713,15 @@ mod tests {
             for _ in 0..8 {
                 scope.spawn(|| {
                     for _ in 0..1000 {
-                        stats.record_solve(5, 3, 1, 1, false, Duration::from_nanos(10));
+                        stats.record_solve(
+                            5,
+                            3,
+                            1,
+                            1,
+                            false,
+                            EstimateQuality::Full,
+                            Duration::from_nanos(10),
+                        );
                     }
                 });
             }
@@ -577,6 +732,7 @@ mod tests {
         assert_eq!(c.simplex_iterations, 24_000);
         assert_eq!(c.warm_start_hits, 8000);
         assert_eq!(c.phase1_pivots_saved, 8000);
+        assert_eq!(c.quality_full, 8000);
     }
 
     #[test]
@@ -633,7 +789,15 @@ mod tests {
     #[test]
     fn display_renders_latency_percentiles() {
         let stats = PipelineStats::new();
-        stats.record_solve(5, 7, 2, 3, false, Duration::from_micros(20));
+        stats.record_solve(
+            5,
+            7,
+            2,
+            3,
+            false,
+            EstimateQuality::Full,
+            Duration::from_micros(20),
+        );
         let text = stats.snapshot().to_string();
         assert!(text.contains("p50 ≤"));
         assert!(text.contains("p95 ≤"));
@@ -645,7 +809,15 @@ mod tests {
         let stats = PipelineStats::new();
         stats.record_extract(2, 2, Duration::from_micros(3));
         stats.record_judge(1, Duration::from_micros(1));
-        stats.record_solve(5, 7, 2, 3, false, Duration::from_micros(20));
+        stats.record_solve(
+            5,
+            7,
+            2,
+            3,
+            false,
+            EstimateQuality::Full,
+            Duration::from_micros(20),
+        );
         let text = stats.snapshot().to_string();
         assert!(text.contains("requests"));
         assert!(text.contains("simplex iterations    7"));

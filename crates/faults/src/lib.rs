@@ -1,0 +1,468 @@
+//! Deterministic, seedable fault injection for the NomLoc serving stack.
+//!
+//! A [`FaultPlan`] holds one seed and a per-fault-class rate. Every fault
+//! decision is a *pure function* of `(seed, stage, request_id)` — there is
+//! no mutable RNG state — so any two parties holding the same plan agree on
+//! exactly which requests are faulted and how. The chaos driver uses this
+//! to corrupt a request on the client side while the verifier (and the
+//! daemon's panic injector) independently predict the same fault from the
+//! request id alone.
+//!
+//! Fault classes span the whole stack:
+//!
+//! * **measurement layer** — corrupt CSI payloads ([`CsiCorruption`]:
+//!   NaN/Inf values, zeroed subcarriers, empty or length-mismatched
+//!   coefficient vectors) and dropped per-site readings ([`DropMode`]);
+//! * **wire layer** — truncated, bit-flipped, duplicated, or delayed
+//!   frames, and connections killed mid-exchange;
+//! * **compute layer** — panics injected into batch processing
+//!   ([`FaultClass::InjectPanic`]), exercising the daemon's `catch_unwind`
+//!   isolation and batcher watchdog.
+//!
+//! At most one class fires per request ([`FaultPlan::classify`] draws once
+//! against the cumulative rates), which keeps chaos-run verification crisp:
+//! each request has a single expected outcome.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Duration;
+
+/// The fault class assigned to one request (at most one per request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// No fault: the request must be answered bit-identically to a
+    /// fault-free run.
+    None,
+    /// One CSI report is corrupted ([`CsiCorruption`] picks how); the
+    /// server must answer a typed `Malformed` error.
+    CorruptCsi,
+    /// Per-site readings are dropped ([`DropMode`] picks how many); the
+    /// server must answer with a degraded-quality estimate.
+    DropReadings,
+    /// The request frame is cut short and the connection closed; the
+    /// client retries the intact frame on a fresh connection.
+    TruncateFrame,
+    /// One payload byte of the request frame is flipped; the server
+    /// answers a protocol-level `Malformed` and closes, and the client
+    /// retries intact.
+    CorruptFrame,
+    /// The request frame is sent twice; the server answers twice and the
+    /// client keeps the first reply.
+    DuplicateFrame,
+    /// The request frame is written in two chunks with a pause between
+    /// them, exercising the server's incremental decoder.
+    DelayFrame,
+    /// The connection is closed right after the request is written, losing
+    /// the reply; the client retries on a fresh connection.
+    KillConnection,
+    /// The daemon panics while solving the batch containing this request;
+    /// the request must be answered with a typed `Internal` error and its
+    /// batch-mates must be unaffected.
+    InjectPanic,
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultClass::None => "none",
+            FaultClass::CorruptCsi => "corrupt-csi",
+            FaultClass::DropReadings => "drop-readings",
+            FaultClass::TruncateFrame => "truncate-frame",
+            FaultClass::CorruptFrame => "corrupt-frame",
+            FaultClass::DuplicateFrame => "duplicate-frame",
+            FaultClass::DelayFrame => "delay-frame",
+            FaultClass::KillConnection => "kill-connection",
+            FaultClass::InjectPanic => "inject-panic",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// All non-`None` fault classes, in the order `classify` walks them.
+pub const FAULT_CLASSES: [FaultClass; 8] = [
+    FaultClass::CorruptCsi,
+    FaultClass::DropReadings,
+    FaultClass::TruncateFrame,
+    FaultClass::CorruptFrame,
+    FaultClass::DuplicateFrame,
+    FaultClass::DelayFrame,
+    FaultClass::KillConnection,
+    FaultClass::InjectPanic,
+];
+
+/// How a `CorruptCsi` fault mangles the request.
+///
+/// Every mode produces a request the server must *reject with a typed
+/// error* — never panic on, never answer as if it were clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsiCorruption {
+    /// The AP's reported position becomes NaN.
+    NanPosition,
+    /// One subcarrier offset becomes +∞.
+    InfOffset,
+    /// The subcarrier offsets are reversed (not strictly ascending).
+    DescendingOffsets,
+    /// The channel-coefficient vector is emptied while the grid stays.
+    EmptyH,
+    /// One coefficient is removed, so `h` and the grid disagree in length.
+    MismatchedH,
+    /// Every channel coefficient is zeroed *and* one offset becomes NaN —
+    /// the "dead radio with a corrupt header" case.
+    ZeroedSubcarriers,
+}
+
+const CSI_CORRUPTIONS: [CsiCorruption; 6] = [
+    CsiCorruption::NanPosition,
+    CsiCorruption::InfOffset,
+    CsiCorruption::DescendingOffsets,
+    CsiCorruption::EmptyH,
+    CsiCorruption::MismatchedH,
+    CsiCorruption::ZeroedSubcarriers,
+];
+
+/// How a `DropReadings` fault thins the request's reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropMode {
+    /// Keep only the first report — too few for any pairwise judgement,
+    /// forcing the weighted-centroid fallback tier.
+    KeepOne,
+    /// Drop every report — the estimate degenerates to the
+    /// site-constraints-only (area) region tier.
+    DropAll,
+}
+
+/// SplitMix64 finalizer: the avalanche permutation the whole workspace
+/// uses for index-keyed determinism (`Campaign::parallel`, the synthetic
+/// workload, and now fault decisions).
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes two words into one well-distributed word (two SplitMix64 rounds).
+#[must_use]
+pub fn mix64(a: u64, b: u64) -> u64 {
+    splitmix64(splitmix64(a).wrapping_add(b))
+}
+
+/// Maps a mixed word to the unit interval `[0, 1)`.
+fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Per-decision stream tags, so the classification draw and each
+/// parameter draw (which byte to flip, where to truncate…) are
+/// independent functions of the request id.
+mod stream {
+    pub const CLASSIFY: u64 = 1;
+    pub const CSI_MODE: u64 = 2;
+    pub const DROP_MODE: u64 = 3;
+    pub const TRUNCATE: u64 = 4;
+    pub const FLIP_INDEX: u64 = 5;
+    pub const FLIP_MASK: u64 = 6;
+    pub const DELAY_SPLIT: u64 = 7;
+    pub const REPORT_INDEX: u64 = 8;
+}
+
+/// A seeded fault-injection plan: one rate per fault class.
+///
+/// Rates are probabilities in `[0, 1]`; their sum must not exceed 1 (each
+/// request draws a single uniform variate against the cumulative rates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed every decision derives from.
+    pub seed: u64,
+    /// Rate of [`FaultClass::CorruptCsi`].
+    pub corrupt_csi: f64,
+    /// Rate of [`FaultClass::DropReadings`].
+    pub drop_readings: f64,
+    /// Rate of [`FaultClass::TruncateFrame`].
+    pub truncate_frame: f64,
+    /// Rate of [`FaultClass::CorruptFrame`].
+    pub corrupt_frame: f64,
+    /// Rate of [`FaultClass::DuplicateFrame`].
+    pub duplicate_frame: f64,
+    /// Rate of [`FaultClass::DelayFrame`].
+    pub delay_frame: f64,
+    /// Rate of [`FaultClass::KillConnection`].
+    pub kill_connection: f64,
+    /// Rate of [`FaultClass::InjectPanic`].
+    pub inject_panic: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (every rate zero).
+    #[must_use]
+    pub fn disabled(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            corrupt_csi: 0.0,
+            drop_readings: 0.0,
+            truncate_frame: 0.0,
+            corrupt_frame: 0.0,
+            duplicate_frame: 0.0,
+            delay_frame: 0.0,
+            kill_connection: 0.0,
+            inject_panic: 0.0,
+        }
+    }
+
+    /// A plan giving every fault class the same `rate`.
+    ///
+    /// `rate` is clamped so the eight classes sum to at most 1.
+    #[must_use]
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        let r = rate.clamp(0.0, 1.0 / FAULT_CLASSES.len() as f64);
+        FaultPlan {
+            seed,
+            corrupt_csi: r,
+            drop_readings: r,
+            truncate_frame: r,
+            corrupt_frame: r,
+            duplicate_frame: r,
+            delay_frame: r,
+            kill_connection: r,
+            inject_panic: r,
+        }
+    }
+
+    /// The per-class rates in [`FAULT_CLASSES`] order.
+    #[must_use]
+    pub fn rates(&self) -> [f64; 8] {
+        [
+            self.corrupt_csi,
+            self.drop_readings,
+            self.truncate_frame,
+            self.corrupt_frame,
+            self.duplicate_frame,
+            self.delay_frame,
+            self.kill_connection,
+            self.inject_panic,
+        ]
+    }
+
+    /// Sum of all rates (the probability any fault fires per request).
+    #[must_use]
+    pub fn total_rate(&self) -> f64 {
+        self.rates().iter().sum()
+    }
+
+    /// Checks every rate is a probability and the total does not exceed 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message naming the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (class, r) in FAULT_CLASSES.iter().zip(self.rates()) {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("fault rate for {class} is {r}, not in [0, 1]"));
+            }
+        }
+        let total = self.total_rate();
+        if total > 1.0 + 1e-12 {
+            return Err(format!("fault rates sum to {total}, which exceeds 1"));
+        }
+        Ok(())
+    }
+
+    fn draw(&self, stream: u64, request_id: u64) -> u64 {
+        mix64(mix64(self.seed, stream), request_id)
+    }
+
+    /// The fault class assigned to `request_id` — a pure function of
+    /// `(seed, request_id)`, so every holder of the plan agrees.
+    #[must_use]
+    pub fn classify(&self, request_id: u64) -> FaultClass {
+        let u = unit(self.draw(stream::CLASSIFY, request_id));
+        let mut cum = 0.0;
+        for (class, rate) in FAULT_CLASSES.iter().zip(self.rates()) {
+            cum += rate.clamp(0.0, 1.0);
+            if u < cum {
+                return *class;
+            }
+        }
+        FaultClass::None
+    }
+
+    /// The corruption mode a `CorruptCsi` fault applies to `request_id`.
+    #[must_use]
+    pub fn csi_corruption(&self, request_id: u64) -> CsiCorruption {
+        let d = self.draw(stream::CSI_MODE, request_id);
+        CSI_CORRUPTIONS[(d % CSI_CORRUPTIONS.len() as u64) as usize]
+    }
+
+    /// Which of the request's `n_reports` reports the corruption targets.
+    #[must_use]
+    pub fn target_report(&self, request_id: u64, n_reports: usize) -> usize {
+        if n_reports == 0 {
+            return 0;
+        }
+        (self.draw(stream::REPORT_INDEX, request_id) % n_reports as u64) as usize
+    }
+
+    /// The drop mode a `DropReadings` fault applies to `request_id`.
+    #[must_use]
+    pub fn drop_mode(&self, request_id: u64) -> DropMode {
+        if self.draw(stream::DROP_MODE, request_id) & 1 == 0 {
+            DropMode::KeepOne
+        } else {
+            DropMode::DropAll
+        }
+    }
+
+    /// How many leading bytes of a `frame_len`-byte frame survive a
+    /// `TruncateFrame` fault (at least 1, strictly less than the frame).
+    #[must_use]
+    pub fn truncate_len(&self, request_id: u64, frame_len: usize) -> usize {
+        if frame_len <= 1 {
+            return 0;
+        }
+        1 + (self.draw(stream::TRUNCATE, request_id) % (frame_len as u64 - 1)) as usize
+    }
+
+    /// The `(byte index, XOR mask)` a `CorruptFrame` fault applies.
+    /// The mask is never zero, so the frame always actually changes and
+    /// the CRC (or a header invariant) must catch it.
+    #[must_use]
+    pub fn corrupt_byte(&self, request_id: u64, frame_len: usize) -> (usize, u8) {
+        let idx = (self.draw(stream::FLIP_INDEX, request_id) % frame_len.max(1) as u64) as usize;
+        let mask = (self.draw(stream::FLIP_MASK, request_id) % 255 + 1) as u8;
+        (idx, mask)
+    }
+
+    /// Where a `DelayFrame` fault splits the frame and how long it pauses
+    /// between the two writes.
+    #[must_use]
+    pub fn delay_split(&self, request_id: u64, frame_len: usize) -> (usize, Duration) {
+        let d = self.draw(stream::DELAY_SPLIT, request_id);
+        let split = if frame_len <= 1 {
+            0
+        } else {
+            1 + (d % (frame_len as u64 - 1)) as usize
+        };
+        // 1–5 ms: long enough to force two reads server-side, short
+        // enough to keep chaos runs fast.
+        let millis = 1 + (d >> 32) % 5;
+        (split, Duration::from_millis(millis))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::uniform(7, 0.02)
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let a = plan();
+        let b = plan();
+        for id in 0..10_000u64 {
+            assert_eq!(a.classify(id), b.classify(id));
+            assert_eq!(a.csi_corruption(id), b.csi_corruption(id));
+            assert_eq!(a.drop_mode(id), b.drop_mode(id));
+            assert_eq!(a.truncate_len(id, 64), b.truncate_len(id, 64));
+            assert_eq!(a.corrupt_byte(id, 64), b.corrupt_byte(id, 64));
+            assert_eq!(a.delay_split(id, 64), b.delay_split(id, 64));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::uniform(1, 0.1);
+        let b = FaultPlan::uniform(2, 0.1);
+        let disagreements = (0..10_000u64)
+            .filter(|&id| a.classify(id) != b.classify(id))
+            .count();
+        assert!(disagreements > 0, "seeds 1 and 2 produced identical plans");
+    }
+
+    #[test]
+    fn disabled_plan_never_faults() {
+        let p = FaultPlan::disabled(99);
+        assert_eq!(p.total_rate(), 0.0);
+        for id in 0..5_000u64 {
+            assert_eq!(p.classify(id), FaultClass::None);
+        }
+    }
+
+    #[test]
+    fn rates_land_near_expectation() {
+        let p = FaultPlan::uniform(42, 0.05);
+        let n = 40_000u64;
+        let faulted = (0..n)
+            .filter(|&id| p.classify(id) != FaultClass::None)
+            .count() as f64;
+        let expect = p.total_rate() * n as f64;
+        assert!(
+            (faulted - expect).abs() < 0.15 * expect,
+            "observed {faulted}, expected ≈{expect}"
+        );
+        // Every class actually fires at this rate and sample size.
+        for class in FAULT_CLASSES {
+            assert!(
+                (0..n).any(|id| p.classify(id) == class),
+                "{class} never fired"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_clamps_to_a_valid_plan() {
+        let p = FaultPlan::uniform(3, 0.9);
+        p.validate().unwrap();
+        assert!(p.total_rate() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        let mut p = FaultPlan::disabled(1);
+        p.corrupt_csi = -0.1;
+        assert!(p.validate().is_err());
+        p.corrupt_csi = 0.8;
+        p.inject_panic = 0.7;
+        assert!(p.validate().is_err(), "sum exceeds 1");
+    }
+
+    #[test]
+    fn frame_fault_parameters_stay_in_bounds() {
+        let p = FaultPlan::uniform(11, 0.125);
+        for id in 0..2_000u64 {
+            let len = 16 + (id as usize % 200);
+            let t = p.truncate_len(id, len);
+            assert!((1..len).contains(&t), "truncate_len {t} of {len}");
+            let (idx, mask) = p.corrupt_byte(id, len);
+            assert!(idx < len);
+            assert_ne!(mask, 0);
+            let (split, delay) = p.delay_split(id, len);
+            assert!((1..len).contains(&split));
+            assert!(delay >= Duration::from_millis(1));
+            assert!(delay <= Duration::from_millis(5));
+            assert!(p.target_report(id, 5) < 5);
+        }
+    }
+
+    #[test]
+    fn classification_is_single_draw() {
+        // classify assigns at most one class; the cumulative walk means
+        // raising one rate to 1 captures every request.
+        let mut p = FaultPlan::disabled(5);
+        p.corrupt_csi = 1.0;
+        for id in 0..100u64 {
+            assert_eq!(p.classify(id), FaultClass::CorruptCsi);
+        }
+    }
+
+    #[test]
+    fn display_names_are_kebab() {
+        assert_eq!(FaultClass::InjectPanic.to_string(), "inject-panic");
+        assert_eq!(FaultClass::None.to_string(), "none");
+    }
+}

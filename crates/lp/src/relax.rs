@@ -87,8 +87,8 @@ impl Relaxation {
 ///
 /// # Errors
 ///
-/// * [`LpError::BadProblem`] — empty input or a non-positive/non-finite
-///   weight.
+/// * [`LpError::BadProblem`] — empty input, a non-positive/non-finite
+///   weight, or a non-finite constraint coefficient.
 /// * Other [`LpError`] variants are forwarded from the simplex solver;
 ///   [`LpError::Unbounded`] in particular indicates the constraint set does
 ///   not bound the plane (callers should always include the area-boundary
@@ -115,6 +115,14 @@ pub fn relax_constraints_in(
         .iter()
         .any(|c| c.weight <= 0.0 || c.weight.is_nan() || !c.weight.is_finite())
     {
+        return Err(LpError::BadProblem);
+    }
+    // Non-finite constraint coefficients would otherwise flow into the
+    // tableau and surface later as a confusing Numerical/Unbounded error
+    // (or a NaN witness); reject them up front as a malformed problem.
+    if constraints.iter().any(|c| {
+        !c.halfplane.a.x.is_finite() || !c.halfplane.a.y.is_finite() || !c.halfplane.b.is_finite()
+    }) {
         return Err(LpError::BadProblem);
     }
 
@@ -357,6 +365,17 @@ mod tests {
         assert_eq!(relax_constraints(&[c]), Err(LpError::BadProblem));
         let c = WeightedConstraint::new(hp(1.0, 0.0, 1.0), f64::NAN);
         assert_eq!(relax_constraints(&[c]), Err(LpError::BadProblem));
+    }
+
+    #[test]
+    fn rejects_non_finite_coefficients() {
+        for c in [
+            WeightedConstraint::new(hp(f64::NAN, 0.0, 1.0), 0.7),
+            WeightedConstraint::new(hp(1.0, f64::INFINITY, 1.0), 0.7),
+            WeightedConstraint::new(hp(1.0, 0.0, f64::NEG_INFINITY), 0.7),
+        ] {
+            assert_eq!(relax_constraints(&boxed(vec![c])), Err(LpError::BadProblem));
+        }
     }
 
     #[test]

@@ -1,0 +1,480 @@
+//! The chaos driver: replays a workload against a live daemon while
+//! injecting every [`FaultClass`] from a shared [`FaultPlan`], then
+//! verifies the per-class serving contract against a fault-free baseline.
+//!
+//! The client, the daemon, and the verifier all hold the *same* plan, and
+//! every fault decision is a pure function of `(seed, request_id)` — so
+//! the client knows which frame to mangle, the daemon knows which solve
+//! to panic, and the verifier independently predicts the expected outcome
+//! of every request:
+//!
+//! | class | injected by | expected reply |
+//! |---|---|---|
+//! | `None` | — | `Ok`, bit-identical to the baseline |
+//! | `CorruptCsi` | client (payload) | typed `Malformed` error |
+//! | `DropReadings` | client (payload) | `Ok`, degraded quality tier |
+//! | `TruncateFrame` | client (transport) | baseline `Ok` after clean retry |
+//! | `CorruptFrame` | client (transport) | baseline `Ok` after clean retry |
+//! | `DuplicateFrame` | client (transport) | baseline `Ok`, twice, identical |
+//! | `DelayFrame` | client (transport) | baseline `Ok` (split write) |
+//! | `KillConnection` | client (transport) | baseline `Ok` after resend |
+//! | `InjectPanic` | daemon (compute) | typed `Internal` error |
+//!
+//! Requests are driven sequentially over one connection (reconnecting as
+//! the faults demand), so each reply is unambiguously paired with its
+//! request and the daemon's determinism makes the bit-identity assertion
+//! meaningful.
+
+use crate::loadgen::ResponseReader;
+use crate::wire::{
+    self, ErrorCode, ErrorReply, Frame, LocateRequest, LocateResponse, WireEstimate, WireReport,
+};
+use nomloc_core::server::CsiReport;
+use nomloc_faults::{CsiCorruption, DropMode, FaultClass, FaultPlan, FAULT_CLASSES};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Chaos-driver configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The shared fault plan (also hand it to the daemon via
+    /// [`crate::DaemonConfig::fault_plan`] so `InjectPanic` fires).
+    pub plan: FaultPlan,
+    /// Read timeout for normal replies.
+    pub read_timeout: Duration,
+    /// How long to wait for the server's `Malformed` rejection of a
+    /// corrupted frame before giving up on observing it (a flip that hits
+    /// the length field leaves the server waiting for bytes instead).
+    pub reject_probe: Duration,
+}
+
+impl ChaosConfig {
+    /// Default timeouts around `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosConfig {
+            plan,
+            read_timeout: Duration::from_secs(10),
+            reject_probe: Duration::from_millis(250),
+        }
+    }
+}
+
+/// The reply one chaos-driven request ended up with.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The fault class the plan assigned to this request.
+    pub class: FaultClass,
+    /// The final reply (after any clean retry the class calls for).
+    pub reply: Result<WireEstimate, ErrorReply>,
+}
+
+/// The result of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// One outcome per request, indexed like the input workload.
+    pub outcomes: Vec<ChaosOutcome>,
+    /// Fresh connections opened after a transport fault burned one.
+    pub reconnects: u64,
+    /// Corrupted frames the server was *observed* rejecting with a
+    /// protocol-level `Malformed` before the clean retry.
+    pub rejections_observed: u64,
+}
+
+/// Aggregate counts from a verified chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosSummary {
+    /// Requests driven.
+    pub total: usize,
+    /// Requests the plan faulted (class != `None`).
+    pub faulted: usize,
+    /// Replies required — and verified — to be bit-identical to the
+    /// fault-free baseline.
+    pub bit_identical: usize,
+    /// Requests answered with the typed error their fault class demands.
+    pub typed_errors: usize,
+    /// Requests answered with a degraded-quality estimate as demanded.
+    pub degraded: usize,
+    /// Request count per fault class, in [`FAULT_CLASSES`] order with
+    /// `None` appended last.
+    pub per_class: Vec<(FaultClass, usize)>,
+}
+
+impl ChaosSummary {
+    /// Renders the summary for terminal output.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "chaos: {} requests, {} faulted — bit-identical {} | typed errors {} | degraded {}\n",
+            self.total, self.faulted, self.bit_identical, self.typed_errors, self.degraded
+        );
+        out.push_str("  per class:");
+        for (class, n) in &self.per_class {
+            out.push_str(&format!(" {class} {n}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl ChaosReport {
+    /// Checks every outcome against the per-class contract (table in the
+    /// module docs), using `baseline[i]` as the fault-free reply to
+    /// request `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns one message per violated request.
+    pub fn verify(
+        &self,
+        plan: &FaultPlan,
+        baseline: &[Result<WireEstimate, ErrorReply>],
+    ) -> Result<ChaosSummary, Vec<String>> {
+        let mut violations = Vec::new();
+        let mut summary = ChaosSummary {
+            total: self.outcomes.len(),
+            faulted: 0,
+            bit_identical: 0,
+            typed_errors: 0,
+            degraded: 0,
+            per_class: FAULT_CLASSES
+                .iter()
+                .copied()
+                .chain(std::iter::once(FaultClass::None))
+                .map(|c| (c, 0))
+                .collect(),
+        };
+        for (i, outcome) in self.outcomes.iter().enumerate() {
+            let class = outcome.class;
+            if let Some(slot) = summary.per_class.iter_mut().find(|(c, _)| *c == class) {
+                slot.1 += 1;
+            }
+            if class != FaultClass::None {
+                summary.faulted += 1;
+            }
+            match class {
+                FaultClass::None
+                | FaultClass::TruncateFrame
+                | FaultClass::CorruptFrame
+                | FaultClass::DuplicateFrame
+                | FaultClass::DelayFrame
+                | FaultClass::KillConnection => {
+                    match check_bit_identical(&outcome.reply, &baseline[i]) {
+                        Ok(()) => summary.bit_identical += 1,
+                        Err(why) => violations.push(format!("request {i} ({class}): {why}")),
+                    }
+                }
+                FaultClass::CorruptCsi => match &outcome.reply {
+                    Err(e) if e.code == ErrorCode::Malformed => summary.typed_errors += 1,
+                    other => violations.push(format!(
+                        "request {i} (corrupt-csi): expected a Malformed error, got {other:?}"
+                    )),
+                },
+                FaultClass::InjectPanic => match &outcome.reply {
+                    Err(e) if e.code == ErrorCode::Internal => summary.typed_errors += 1,
+                    other => violations.push(format!(
+                        "request {i} (inject-panic): expected an Internal error, got {other:?}"
+                    )),
+                },
+                FaultClass::DropReadings => {
+                    let want = match plan.drop_mode(i as u64) {
+                        DropMode::KeepOne => 2, // weighted-centroid tier
+                        DropMode::DropAll => 1, // area-region tier
+                    };
+                    match &outcome.reply {
+                        Ok(est) if est.quality == want => summary.degraded += 1,
+                        other => violations.push(format!(
+                            "request {i} (drop-readings): expected quality tier {want}, \
+                             got {other:?}"
+                        )),
+                    }
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(summary)
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+fn check_bit_identical(
+    got: &Result<WireEstimate, ErrorReply>,
+    want: &Result<WireEstimate, ErrorReply>,
+) -> Result<(), String> {
+    match (got, want) {
+        (Ok(g), Ok(w)) => {
+            if estimates_bit_identical(g, w) {
+                Ok(())
+            } else {
+                Err(format!("estimate diverged from baseline: {g:?} vs {w:?}"))
+            }
+        }
+        (Err(g), Err(w)) if g.code == w.code => Ok(()),
+        (g, w) => Err(format!("reply {g:?} does not match baseline {w:?}")),
+    }
+}
+
+/// Field-by-field bit equality (`to_bits` on floats, so `-0.0 != 0.0` and
+/// NaN payloads would be caught — stronger than `PartialEq`).
+fn estimates_bit_identical(a: &WireEstimate, b: &WireEstimate) -> bool {
+    a.x.to_bits() == b.x.to_bits()
+        && a.y.to_bits() == b.y.to_bits()
+        && a.relaxation_cost.to_bits() == b.relaxation_cost.to_bits()
+        && a.region_area.to_bits() == b.region_area.to_bits()
+        && a.n_constraints == b.n_constraints
+        && a.n_winning_pieces == b.n_winning_pieces
+        && a.lp_iterations == b.lp_iterations
+        && a.warm_start_hits == b.warm_start_hits
+        && a.phase1_pivots_saved == b.phase1_pivots_saved
+        && a.quality == b.quality
+}
+
+/// Drives `requests` against the daemon at `addr`, injecting the faults
+/// `config.plan` assigns (request `i` gets `request_id = i`).
+///
+/// # Errors
+///
+/// Forwards connect/read/write errors that are not part of an injected
+/// fault, and surfaces protocol violations (a reply for the wrong
+/// request, diverging duplicate replies) as
+/// [`io::ErrorKind::InvalidData`].
+pub fn run(
+    addr: SocketAddr,
+    config: &ChaosConfig,
+    requests: &[Vec<CsiReport>],
+) -> io::Result<ChaosReport> {
+    let plan = &config.plan;
+    let mut conn: Option<Conn> = None;
+    let mut outcomes = Vec::with_capacity(requests.len());
+    let mut reconnects = 0u64;
+    let mut rejections_observed = 0u64;
+    for (i, reports) in requests.iter().enumerate() {
+        let id = i as u64;
+        let class = plan.classify(id);
+        let mut wire_reports: Vec<WireReport> = reports.iter().map(WireReport::from_core).collect();
+        match class {
+            FaultClass::CorruptCsi => corrupt_csi(&mut wire_reports, plan, id),
+            FaultClass::DropReadings => match plan.drop_mode(id) {
+                DropMode::KeepOne => {
+                    let keep = plan.target_report(id, wire_reports.len());
+                    if !wire_reports.is_empty() {
+                        let kept = wire_reports.swap_remove(keep);
+                        wire_reports = vec![kept];
+                    }
+                }
+                DropMode::DropAll => wire_reports.clear(),
+            },
+            _ => {}
+        }
+        let frame = Frame::LocateRequest(LocateRequest {
+            request_id: id,
+            deadline_us: 0,
+            reports: wire_reports,
+        });
+        let bytes = wire::frame_to_vec(&frame);
+
+        let response = match class {
+            FaultClass::TruncateFrame => {
+                // Cut the frame short and close mid-frame; the server
+                // must discard the partial frame without replying.
+                let cut = plan.truncate_len(id, bytes.len());
+                let c = ensure(&mut conn, addr, config)?;
+                let _ = c.write.write_all(&bytes[..cut]);
+                conn = None;
+                reconnects += 1;
+                send_and_read(&mut conn, addr, config, &bytes, id)?
+            }
+            FaultClass::KillConnection => {
+                // Full frame, then the connection dies before the reply
+                // can land; resend on a fresh connection.
+                let c = ensure(&mut conn, addr, config)?;
+                let _ = c.write.write_all(&bytes);
+                conn = None;
+                reconnects += 1;
+                send_and_read(&mut conn, addr, config, &bytes, id)?
+            }
+            FaultClass::CorruptFrame => {
+                let (idx, mask) = plan.corrupt_byte(id, bytes.len());
+                let mut corrupted = bytes.clone();
+                corrupted[idx] ^= mask;
+                let c = ensure(&mut conn, addr, config)?;
+                let _ = c.write.write_all(&corrupted);
+                // Most flips draw an immediate `Malformed` for id 0 and a
+                // close; a flip in the length field instead leaves the
+                // server waiting for more bytes. Probe briefly, then burn
+                // the connection either way.
+                c.reader.set_read_timeout(config.reject_probe)?;
+                if let Ok(resp) = c.reader.next_response() {
+                    if resp.request_id == 0
+                        && matches!(&resp.outcome, Err(e) if e.code == ErrorCode::Malformed)
+                    {
+                        rejections_observed += 1;
+                    }
+                }
+                conn = None;
+                reconnects += 1;
+                send_and_read(&mut conn, addr, config, &bytes, id)?
+            }
+            FaultClass::DelayFrame => {
+                let (split, pause) = plan.delay_split(id, bytes.len());
+                let c = ensure(&mut conn, addr, config)?;
+                c.write.write_all(&bytes[..split])?;
+                c.write.flush()?;
+                std::thread::sleep(pause);
+                c.write.write_all(&bytes[split..])?;
+                read_reply(c, id)?
+            }
+            FaultClass::DuplicateFrame => {
+                let c = ensure(&mut conn, addr, config)?;
+                c.write.write_all(&bytes)?;
+                c.write.write_all(&bytes)?;
+                let first = read_reply(c, id)?;
+                let second = read_reply(c, id)?;
+                if !replies_agree(&first, &second) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("duplicate replies for request {id} diverged"),
+                    ));
+                }
+                first
+            }
+            // Payload-level or server-side faults travel on a clean frame.
+            FaultClass::None
+            | FaultClass::CorruptCsi
+            | FaultClass::DropReadings
+            | FaultClass::InjectPanic => send_and_read(&mut conn, addr, config, &bytes, id)?,
+        };
+        outcomes.push(ChaosOutcome {
+            class,
+            reply: response,
+        });
+    }
+    Ok(ChaosReport {
+        outcomes,
+        reconnects,
+        rejections_observed,
+    })
+}
+
+/// One sequential connection: a write half plus an incremental reader.
+struct Conn {
+    write: TcpStream,
+    reader: ResponseReader,
+}
+
+impl Conn {
+    fn connect(addr: SocketAddr, config: &ChaosConfig) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(config.read_timeout))?;
+        let write = stream.try_clone()?;
+        Ok(Conn {
+            write,
+            reader: ResponseReader::new(stream),
+        })
+    }
+}
+
+fn ensure<'a>(
+    conn: &'a mut Option<Conn>,
+    addr: SocketAddr,
+    config: &ChaosConfig,
+) -> io::Result<&'a mut Conn> {
+    if conn.is_none() {
+        *conn = Some(Conn::connect(addr, config)?);
+    }
+    Ok(conn.as_mut().expect("just connected"))
+}
+
+/// Sends the intact frame (connecting first if needed) and reads its reply.
+fn send_and_read(
+    conn: &mut Option<Conn>,
+    addr: SocketAddr,
+    config: &ChaosConfig,
+    bytes: &[u8],
+    id: u64,
+) -> io::Result<Result<WireEstimate, ErrorReply>> {
+    let c = ensure(conn, addr, config)?;
+    c.reader.set_read_timeout(config.read_timeout)?;
+    c.write.write_all(bytes)?;
+    read_reply(c, id)
+}
+
+fn read_reply(c: &mut Conn, id: u64) -> io::Result<Result<WireEstimate, ErrorReply>> {
+    let resp: LocateResponse = c.reader.next_response()?;
+    if resp.request_id != id {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "reply for request {} while waiting on {id}",
+                resp.request_id
+            ),
+        ));
+    }
+    Ok(resp.outcome)
+}
+
+fn replies_agree(
+    a: &Result<WireEstimate, ErrorReply>,
+    b: &Result<WireEstimate, ErrorReply>,
+) -> bool {
+    match (a, b) {
+        (Ok(x), Ok(y)) => estimates_bit_identical(x, y),
+        (Err(x), Err(y)) => x.code == y.code,
+        _ => false,
+    }
+}
+
+/// Applies the plan's [`CsiCorruption`] to the targeted report. Every
+/// mode yields a request the wire layer's semantic validation rejects;
+/// modes that would be a no-op on degenerate shapes (a single-subcarrier
+/// grid cannot "descend") fall back to the NaN-position corruption so the
+/// contract stays unambiguous.
+fn corrupt_csi(reports: &mut [WireReport], plan: &FaultPlan, id: u64) {
+    if reports.is_empty() {
+        return;
+    }
+    let t = plan.target_report(id, reports.len());
+    let r = &mut reports[t];
+    let mode = plan.csi_corruption(id);
+    let nan_position = |r: &mut WireReport| r.x = f64::NAN;
+    match mode {
+        CsiCorruption::NanPosition => nan_position(r),
+        CsiCorruption::InfOffset => match r.burst.first_mut() {
+            Some(s) if !s.offsets_hz.is_empty() => {
+                *s.offsets_hz.last_mut().expect("non-empty") = f64::INFINITY;
+            }
+            _ => nan_position(r),
+        },
+        CsiCorruption::DescendingOffsets => match r.burst.first_mut() {
+            Some(s) if s.offsets_hz.len() >= 2 => s.offsets_hz.reverse(),
+            _ => nan_position(r),
+        },
+        CsiCorruption::EmptyH => match r.burst.first_mut() {
+            Some(s) => s.h.clear(),
+            None => nan_position(r),
+        },
+        CsiCorruption::MismatchedH => match r.burst.first_mut() {
+            Some(s) if !s.h.is_empty() => {
+                s.h.pop();
+            }
+            _ => nan_position(r),
+        },
+        CsiCorruption::ZeroedSubcarriers => {
+            if r.burst.is_empty() {
+                nan_position(r);
+            }
+            for s in &mut r.burst {
+                for c in &mut s.h {
+                    *c = (0.0, 0.0);
+                }
+                if let Some(o) = s.offsets_hz.first_mut() {
+                    *o = f64::NAN;
+                }
+            }
+        }
+    }
+}

@@ -38,9 +38,11 @@ use crate::wire::{
 use nomloc_core::server::CsiReport;
 use nomloc_core::stats::StatsSnapshot;
 use nomloc_core::LocalizationServer;
+use nomloc_faults::{FaultClass, FaultPlan};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -66,6 +68,15 @@ pub struct DaemonConfig {
     /// Artificial pause before each batch solve. Zero in production; the
     /// overload tests use it to throttle the drain rate deterministically.
     pub batch_pause: Duration,
+    /// Server-side fault plan. Only the `InjectPanic` class acts here: a
+    /// request the plan classifies as `InjectPanic` panics inside the
+    /// batch solve, exercising the `catch_unwind` isolation path.
+    pub fault_plan: Option<FaultPlan>,
+    /// Chaos knob: kill a batcher thread after it pops every Nth batch
+    /// (globally counted); 0 = never. The dying batcher requeues its
+    /// batch at the queue front, so no admitted request is lost, and the
+    /// watchdog respawns a replacement (counted in `batchers_respawned`).
+    pub kill_batcher_every: u64,
 }
 
 impl Default for DaemonConfig {
@@ -77,6 +88,8 @@ impl Default for DaemonConfig {
             max_wait: Duration::from_micros(500),
             queue_capacity: 1024,
             batch_pause: Duration::ZERO,
+            fault_plan: None,
+            kill_batcher_every: 0,
         }
     }
 }
@@ -95,6 +108,14 @@ struct NetCounters {
     /// Every `LocateResponse` sent, regardless of outcome — the daemon's
     /// progress meter for `--max-requests` style run bounds.
     responses_sent: AtomicU64,
+    /// Requests answered `Internal` because their solve panicked.
+    requests_internal: AtomicU64,
+    /// Batch solves that panicked and fell back to per-request isolation.
+    batch_panics: AtomicU64,
+    /// Batcher threads the watchdog found dead and replaced.
+    batchers_respawned: AtomicU64,
+    /// Batches popped across all batchers — drives `kill_batcher_every`.
+    batches_popped: AtomicU64,
 }
 
 /// One admitted request waiting for a batcher.
@@ -127,7 +148,9 @@ pub struct DaemonHandle {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     acceptors: Vec<JoinHandle<()>>,
-    batchers: Vec<JoinHandle<()>>,
+    /// Owns the batcher handles; respawns dead batchers until shutdown,
+    /// then drains the queue and joins them.
+    watchdog: JoinHandle<()>,
 }
 
 impl std::fmt::Debug for DaemonHandle {
@@ -151,6 +174,9 @@ pub fn spawn<A: ToSocketAddrs>(
 ) -> io::Result<DaemonHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
+    if config.fault_plan.is_some() {
+        install_quiet_panic_hook();
+    }
     let shared = Arc::new(Shared {
         server,
         config: config.clone(),
@@ -170,16 +196,73 @@ pub fn spawn<A: ToSocketAddrs>(
 
     let mut batchers = Vec::with_capacity(config.batchers.max(1));
     for _ in 0..config.batchers.max(1) {
-        let shared = Arc::clone(&shared);
-        batchers.push(std::thread::spawn(move || batcher_loop(&shared)));
+        batchers.push(spawn_batcher(&shared));
     }
+    let watchdog = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || watchdog_loop(&shared, batchers))
+    };
 
     Ok(DaemonHandle {
         shared,
         local_addr,
         acceptors,
-        batchers,
+        watchdog,
     })
+}
+
+fn spawn_batcher(shared: &Arc<Shared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || batcher_loop(&shared))
+}
+
+/// Supervises the batcher pool: any batcher that dies (the
+/// `kill_batcher_every` chaos knob, or a panic that escapes the batch
+/// guard) is joined and replaced, so the pool never shrinks permanently.
+/// At shutdown it joins the pool and then drains whatever a dying batcher
+/// requeued, preserving the every-admitted-request-is-answered contract.
+fn watchdog_loop(shared: &Arc<Shared>, mut batchers: Vec<JoinHandle<()>>) {
+    while !shared.shutting_down.load(Ordering::Acquire) {
+        for slot in batchers.iter_mut() {
+            if slot.is_finished() && !shared.shutting_down.load(Ordering::Acquire) {
+                let dead = std::mem::replace(slot, spawn_batcher(shared));
+                let _ = dead.join();
+                shared
+                    .net
+                    .batchers_respawned
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        std::thread::sleep(POLL_INTERVAL);
+    }
+    shared.queue_cv.notify_all();
+    for h in batchers {
+        let _ = h.join();
+    }
+    // A batcher that killed itself after the shutdown flag was set leaves
+    // its requeued batch behind with nobody to respawn for it — answer it
+    // here. `next_batch` returns `None` once the queue is truly empty.
+    while let Some(batch) = next_batch(shared) {
+        solve_and_reply(shared, batch);
+    }
+}
+
+/// Payload type for deliberately injected panics, so the process-global
+/// panic hook can stay silent about them (they are always caught by the
+/// batch guard) while real panics keep their usual report.
+struct InjectedPanic(#[allow(dead_code)] u64);
+
+fn install_quiet_panic_hook() {
+    static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+    QUIET_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<InjectedPanic>() {
+                return;
+            }
+            previous(info);
+        }));
+    });
 }
 
 impl DaemonHandle {
@@ -222,11 +305,10 @@ impl DaemonHandle {
         for h in conns {
             let _ = h.join();
         }
-        // Batchers drain the queue, then exit on (empty && shutting_down).
+        // The watchdog joins the batchers, which drain the queue and exit
+        // on (empty && shutting_down), then drains any kill-requeued tail.
         self.shared.queue_cv.notify_all();
-        for h in self.batchers {
-            let _ = h.join();
-        }
+        let _ = self.watchdog.join();
         health_of(&self.shared)
     }
 }
@@ -251,6 +333,12 @@ fn health_of(shared: &Shared) -> ServerHealth {
         solve_p50_ns: snap.solve_latency.quantile_upper_bound_ns(0.50),
         solve_p95_ns: snap.solve_latency.quantile_upper_bound_ns(0.95),
         solve_p99_ns: snap.solve_latency.quantile_upper_bound_ns(0.99),
+        requests_internal: net.requests_internal.load(Ordering::Relaxed),
+        batch_panics: net.batch_panics.load(Ordering::Relaxed),
+        batchers_respawned: net.batchers_respawned.load(Ordering::Relaxed),
+        quality_full: snap.counters.quality_full,
+        quality_region: snap.counters.quality_region,
+        quality_centroid: snap.counters.quality_centroid,
     }
 }
 
@@ -445,6 +533,22 @@ fn batcher_loop(shared: &Arc<Shared>) {
         let Some(batch) = next_batch(shared) else {
             return; // drained and shutting down
         };
+        let popped = shared.net.batches_popped.fetch_add(1, Ordering::Relaxed) + 1;
+        let kill = shared.config.kill_batcher_every;
+        if kill > 1 && popped.is_multiple_of(kill) {
+            // Simulated batcher death: requeue the batch at the queue
+            // front — no admitted request is lost — and exit the thread.
+            // The watchdog notices and respawns within one poll interval.
+            // (`kill == 1` would livelock every batcher, so it is treated
+            // as disabled along with 0.)
+            let mut q = shared.queue.lock().unwrap();
+            for p in batch.into_iter().rev() {
+                q.push_front(p);
+            }
+            drop(q);
+            shared.queue_cv.notify_all();
+            return;
+        }
         if !shared.config.batch_pause.is_zero() {
             std::thread::sleep(shared.config.batch_pause);
         }
@@ -524,18 +628,84 @@ fn solve_and_reply(shared: &Shared, batch: Vec<Pending>) {
         .iter_mut()
         .map(|p| std::mem::take(&mut p.reports))
         .collect();
-    let results = shared.server.process_batch(&inputs);
-    for (p, result) in live.iter().zip(results) {
-        let response = match result {
-            Ok(est) => LocateResponse {
-                request_id: p.request_id,
-                outcome: Ok(WireEstimate::from_core(&est)),
-            },
-            Err(e) => {
-                shared.net.requests_failed.fetch_add(1, Ordering::Relaxed);
-                error_reply(p.request_id, ErrorCode::EstimateFailed, e.to_string())
+    let plan = shared.config.fault_plan.as_ref();
+    // Injected panics fire BEFORE the solve touches any core state, so the
+    // unwind can never poison a lock inside the server — which is what
+    // makes `AssertUnwindSafe` an honest assertion here.
+    let batch_result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        panic_if_injected(plan, live.iter().map(|p| p.request_id));
+        shared.server.process_batch(&inputs)
+    }));
+    match batch_result {
+        Ok(results) => {
+            for (p, result) in live.iter().zip(results) {
+                reply_result(shared, p, result);
             }
-        };
-        reply(shared, &p.writer, response);
+        }
+        Err(_) => {
+            shared.net.batch_panics.fetch_add(1, Ordering::Relaxed);
+            // Per-request isolation: re-solve each request alone, each
+            // under its own guard, so only the poison request answers
+            // `Internal`. `process` is bit-identical to a single-element
+            // `process_batch`, so the batch-mates' replies match the
+            // panic-free run exactly.
+            for (p, input) in live.iter().zip(&inputs) {
+                let one = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    panic_if_injected(plan, std::iter::once(p.request_id));
+                    shared.server.process(input)
+                }));
+                match one {
+                    Ok(result) => reply_result(shared, p, result),
+                    Err(_) => {
+                        shared.net.requests_internal.fetch_add(1, Ordering::Relaxed);
+                        shared.net.requests_failed.fetch_add(1, Ordering::Relaxed);
+                        reply(
+                            shared,
+                            &p.writer,
+                            error_reply(
+                                p.request_id,
+                                ErrorCode::Internal,
+                                "request panicked during solve; batch-mates unaffected",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
     }
+}
+
+/// Panics (with the quiet [`InjectedPanic`] payload) if the fault plan
+/// classifies any of `ids` as [`FaultClass::InjectPanic`].
+fn panic_if_injected(plan: Option<&FaultPlan>, ids: impl Iterator<Item = u64>) {
+    let Some(plan) = plan else { return };
+    for id in ids {
+        if plan.classify(id) == FaultClass::InjectPanic {
+            std::panic::panic_any(InjectedPanic(id));
+        }
+    }
+}
+
+/// Sends the reply for one solved request, mapping a typed estimate
+/// failure onto its wire error code.
+fn reply_result(
+    shared: &Shared,
+    p: &Pending,
+    result: Result<nomloc_core::LocationEstimate, nomloc_core::EstimateError>,
+) {
+    let response = match result {
+        Ok(est) => LocateResponse {
+            request_id: p.request_id,
+            outcome: Ok(WireEstimate::from_core(&est)),
+        },
+        Err(e) => {
+            shared.net.requests_failed.fetch_add(1, Ordering::Relaxed);
+            error_reply(
+                p.request_id,
+                ErrorCode::from_estimate_error(&e),
+                e.to_string(),
+            )
+        }
+    };
+    reply(shared, &p.writer, response);
 }

@@ -16,7 +16,12 @@
 //!   (bounded queue → explicit `Overloaded` replies), per-request
 //!   deadlines, and graceful drain-on-shutdown;
 //! * [`loadgen`]: a pipelining multi-connection load generator reporting
-//!   throughput and exact p50/p95/p99 latency.
+//!   throughput and exact p50/p95/p99 latency, with reconnect-and-resend
+//!   on transport failures (capped exponential backoff plus jitter);
+//! * [`chaos`]: a fault-injecting replay driver that mangles requests
+//!   according to a seeded [`nomloc_faults::FaultPlan`] and verifies the
+//!   daemon's per-fault-class serving contract against a fault-free
+//!   baseline.
 //!
 //! The wire codec is bit-exact for `f64`s, so a request decoded by the
 //! daemon is *identical* to the in-process value and the pipeline —
@@ -26,11 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod crc32;
 pub mod daemon;
 pub mod loadgen;
 pub mod wire;
 
+pub use chaos::{ChaosConfig, ChaosReport, ChaosSummary};
 pub use daemon::{spawn, DaemonConfig, DaemonHandle};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use wire::{ErrorCode, Frame, ServerHealth, WireError};

@@ -10,8 +10,10 @@
 
 use crate::wire::{self, ErrorCode, ErrorReply, Frame, LocateRequest, WireEstimate, WireReport};
 use nomloc_core::server::CsiReport;
+use nomloc_faults::mix64;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -25,6 +27,14 @@ pub struct LoadgenConfig {
     /// Client-side read timeout per connection — a stuck server surfaces
     /// as an I/O error instead of a hang.
     pub read_timeout: Duration,
+    /// How many times each connection may reconnect after a transport
+    /// failure (reset, EOF, refused…) before giving up. Only requests
+    /// still unanswered are resent on the fresh connection.
+    pub max_reconnects: usize,
+    /// Base delay of the capped exponential reconnect backoff; attempt
+    /// `k` sleeps `base · 2^min(k-1, 5)` plus a deterministic jitter in
+    /// `[0, base)` keyed on the connection index and attempt number.
+    pub reconnect_backoff: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -33,8 +43,41 @@ impl Default for LoadgenConfig {
             connections: 4,
             deadline_us: 0,
             read_timeout: Duration::from_secs(30),
+            max_reconnects: 5,
+            reconnect_backoff: Duration::from_millis(10),
         }
     }
+}
+
+/// Transport failures worth a reconnect; anything else (a protocol
+/// violation, an unexpected frame) stays fatal so bugs are not retried
+/// into silence.
+fn is_reconnectable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// The backoff before reconnect `attempt` (1-based) on connection `conn`:
+/// capped exponential growth plus a deterministic sub-`base` jitter so
+/// many clients reconnecting at once do not stampede in lockstep.
+fn reconnect_delay(base: Duration, conn: u64, attempt: u64) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(5) as u32);
+    let base_ns = base.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let jitter_ns = if base_ns == 0 {
+        0
+    } else {
+        mix64(conn, attempt) % base_ns
+    };
+    exp + Duration::from_nanos(jitter_ns)
 }
 
 /// The reply to one request, with its measured round-trip latency.
@@ -53,6 +96,8 @@ pub struct LoadgenReport {
     pub outcomes: Vec<RequestOutcome>,
     /// Wall-clock time from first connect to last response.
     pub elapsed: Duration,
+    /// Reconnects performed across all connections.
+    pub reconnects: u64,
 }
 
 impl LoadgenReport {
@@ -66,6 +111,15 @@ impl LoadgenReport {
         self.outcomes
             .iter()
             .filter(|o| matches!(&o.reply, Err(e) if e.code == code))
+            .count()
+    }
+
+    /// Requests answered with an estimate of the given quality tier
+    /// (the wire encoding of [`nomloc_core::EstimateQuality`]).
+    pub fn quality_count(&self, tier: u8) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(&o.reply, Ok(e) if e.quality == tier))
             .count()
     }
 
@@ -91,21 +145,31 @@ impl LoadgenReport {
     /// Renders throughput plus p50/p95/p99 latency and outcome counts.
     pub fn render(&self) -> String {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let typed_failures = self.error_count(ErrorCode::EstimateFailed)
+            + self.error_count(ErrorCode::InsufficientJudgements)
+            + self.error_count(ErrorCode::LpInfeasible)
+            + self.error_count(ErrorCode::LpNumerical);
         format!(
-            "loadgen: {} requests in {:.1} ms — {:.0} req/s\n\
+            "loadgen: {} requests in {:.1} ms — {:.0} req/s ({} reconnects)\n\
              latency p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms\n\
-             ok {} | estimate-failed {} | malformed {} | overloaded {} | deadline {}\n",
+             ok {} | estimate-failed {} | malformed {} | overloaded {} | deadline {} | internal {}\n\
+             quality full {} | region {} | centroid {}\n",
             self.outcomes.len(),
             ms(self.elapsed),
             self.throughput_rps(),
+            self.reconnects,
             ms(self.latency_quantile(0.50)),
             ms(self.latency_quantile(0.95)),
             ms(self.latency_quantile(0.99)),
             self.ok_count(),
-            self.error_count(ErrorCode::EstimateFailed),
+            typed_failures,
             self.error_count(ErrorCode::Malformed),
             self.error_count(ErrorCode::Overloaded),
             self.error_count(ErrorCode::DeadlineExceeded),
+            self.error_count(ErrorCode::Internal),
+            self.quality_count(0),
+            self.quality_count(1),
+            self.quality_count(2),
         )
     }
 }
@@ -129,14 +193,18 @@ pub fn run(
     let n = requests.len();
     let connections = config.connections.clamp(1, n.max(1));
     let outcomes: Vec<Mutex<Option<RequestOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let reconnects = AtomicU64::new(0);
     let start = Instant::now();
     let errors: Mutex<Vec<io::Error>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for c in 0..connections {
             let outcomes = &outcomes;
             let errors = &errors;
+            let reconnects = &reconnects;
             scope.spawn(move || {
-                if let Err(e) = drive_connection(addr, config, requests, c, connections, outcomes) {
+                if let Err(e) =
+                    drive_connection(addr, config, requests, c, connections, outcomes, reconnects)
+                {
                     errors.lock().unwrap().push(e);
                 }
             });
@@ -154,12 +222,17 @@ pub fn run(
                 .expect("every request received a response")
         })
         .collect();
-    Ok(LoadgenReport { outcomes, elapsed })
+    Ok(LoadgenReport {
+        outcomes,
+        elapsed,
+        reconnects: reconnects.into_inner(),
+    })
 }
 
-/// Drives the requests with `index % connections == conn` over one
-/// pipelined connection: a sender thread writes every frame while this
-/// thread decodes responses until all are in.
+/// Drives the requests with `index % connections == conn`, reconnecting
+/// (with capped exponential backoff) after transport failures and
+/// resending only the requests still unanswered.
+#[allow(clippy::too_many_arguments)]
 fn drive_connection(
     addr: SocketAddr,
     config: &LoadgenConfig,
@@ -167,11 +240,50 @@ fn drive_connection(
     conn: usize,
     connections: usize,
     outcomes: &[Mutex<Option<RequestOutcome>>],
+    reconnects: &AtomicU64,
 ) -> io::Result<()> {
-    let indices: Vec<usize> = (conn..requests.len()).step_by(connections).collect();
-    if indices.is_empty() {
+    let all: Vec<usize> = (conn..requests.len()).step_by(connections).collect();
+    if all.is_empty() {
         return Ok(());
     }
+    let mut attempt = 0u64;
+    loop {
+        // `all` is ascending, so the filtered view stays sorted and the
+        // reader's binary search keeps working across attempts.
+        let unanswered: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| outcomes[i].lock().unwrap().is_none())
+            .collect();
+        if unanswered.is_empty() {
+            return Ok(());
+        }
+        match drive_once(addr, config, requests, &unanswered, outcomes) {
+            Ok(()) => return Ok(()),
+            Err(e) if is_reconnectable(&e) && (attempt as usize) < config.max_reconnects => {
+                attempt += 1;
+                reconnects.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(reconnect_delay(
+                    config.reconnect_backoff,
+                    conn as u64,
+                    attempt,
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One pipelined pass over `indices` on a fresh connection: a sender
+/// thread writes every frame while this thread decodes responses until
+/// all are in.
+fn drive_once(
+    addr: SocketAddr,
+    config: &LoadgenConfig,
+    requests: &[Vec<CsiReport>],
+    indices: &[usize],
+    outcomes: &[Mutex<Option<RequestOutcome>>],
+) -> io::Result<()> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(config.read_timeout))?;
@@ -233,21 +345,27 @@ fn drive_connection(
     })
 }
 
-/// Incremental frame reader over the connection's read half.
-struct ResponseReader {
+/// Incremental frame reader over the connection's read half (shared with
+/// the chaos driver in [`crate::chaos`]).
+pub(crate) struct ResponseReader {
     stream: TcpStream,
     buf: Vec<u8>,
 }
 
 impl ResponseReader {
-    fn new(stream: TcpStream) -> Self {
+    pub(crate) fn new(stream: TcpStream) -> Self {
         ResponseReader {
             stream,
             buf: Vec::new(),
         }
     }
 
-    fn next_response(&mut self) -> io::Result<wire::LocateResponse> {
+    /// Adjusts the read timeout on the underlying stream.
+    pub(crate) fn set_read_timeout(&self, timeout: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    pub(crate) fn next_response(&mut self) -> io::Result<wire::LocateResponse> {
         use std::io::Read;
         let mut tmp = [0u8; 64 * 1024];
         loop {

@@ -6,7 +6,10 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  "NMLC"
-//!      4     1  protocol version (currently 1)
+//!      4     1  protocol version (currently 2; v2 added the estimate
+//!                                 quality tier and per-cause error codes —
+//!                                 v1 decoders reject v2 frames cleanly
+//!                                 with `BadVersion`)
 //!      5     1  frame type (1 = LocateRequest, 2 = LocateResponse,
 //!                           3 = StatsRequest,  4 = StatsResponse)
 //!      6     2  reserved, must be zero
@@ -33,7 +36,7 @@
 //!   malformed report in a batch never poisons its micro-batch.
 
 use crate::crc32::crc32;
-use nomloc_core::estimator::LocationEstimate;
+use nomloc_core::estimator::{EstimateError, EstimateQuality, FailureCause, LocationEstimate};
 use nomloc_core::server::CsiReport;
 use nomloc_core::ApSite;
 use nomloc_dsp::Complex;
@@ -44,8 +47,10 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: the first four bytes of every NomLoc frame.
 pub const MAGIC: [u8; 4] = *b"NMLC";
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version. v2 extended [`WireEstimate`] with the
+/// [`EstimateQuality`] tier and [`ServerHealth`] with fault-tolerance
+/// counters; v1 decoders reject v2 frames with [`WireError::BadVersion`].
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 16;
 /// Maximum accepted payload length (guards allocation on hostile input).
@@ -140,7 +145,8 @@ impl std::error::Error for WireError {}
 /// Per-request error codes carried by [`LocateResponse`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
-    /// The estimator failed (e.g. every convex piece was infeasible).
+    /// The estimator failed for an unclassified reason (legacy v1 code —
+    /// v2 servers send the per-cause codes below instead).
     EstimateFailed = 1,
     /// The request parsed structurally but held unusable values.
     Malformed = 2,
@@ -148,6 +154,16 @@ pub enum ErrorCode {
     Overloaded = 3,
     /// The request aged past its deadline before being solved.
     DeadlineExceeded = 4,
+    /// The server hit an internal fault (e.g. a panic isolated to this
+    /// request); the request itself may be fine — retrying is reasonable.
+    Internal = 5,
+    /// Too few usable readings to form any proximity judgement (strict
+    /// servers only; degrading servers answer with a centroid estimate).
+    InsufficientJudgements = 6,
+    /// The relaxed LP was infeasible or unbounded on every venue piece.
+    LpInfeasible = 7,
+    /// The LP solver failed numerically on every venue piece.
+    LpNumerical = 8,
 }
 
 impl ErrorCode {
@@ -157,7 +173,23 @@ impl ErrorCode {
             2 => Ok(ErrorCode::Malformed),
             3 => Ok(ErrorCode::Overloaded),
             4 => Ok(ErrorCode::DeadlineExceeded),
+            5 => Ok(ErrorCode::Internal),
+            6 => Ok(ErrorCode::InsufficientJudgements),
+            7 => Ok(ErrorCode::LpInfeasible),
+            8 => Ok(ErrorCode::LpNumerical),
             other => Err(WireError::Malformed(format!("unknown error code {other}"))),
+        }
+    }
+
+    /// The 1:1 mapping from the core failure taxonomy onto wire codes —
+    /// every [`FailureCause`] has exactly one code, so clients can count
+    /// causes without parsing error messages.
+    pub fn from_estimate_error(e: &EstimateError) -> Self {
+        match e.cause() {
+            FailureCause::InsufficientJudgements => ErrorCode::InsufficientJudgements,
+            FailureCause::LpInfeasible => ErrorCode::LpInfeasible,
+            FailureCause::LpNumerical => ErrorCode::LpNumerical,
+            FailureCause::InvalidInput => ErrorCode::Malformed,
         }
     }
 }
@@ -169,6 +201,10 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Malformed => write!(f, "malformed"),
             ErrorCode::Overloaded => write!(f, "overloaded"),
             ErrorCode::DeadlineExceeded => write!(f, "deadline-exceeded"),
+            ErrorCode::Internal => write!(f, "internal"),
+            ErrorCode::InsufficientJudgements => write!(f, "insufficient-judgements"),
+            ErrorCode::LpInfeasible => write!(f, "lp-infeasible"),
+            ErrorCode::LpNumerical => write!(f, "lp-numerical"),
         }
     }
 }
@@ -222,9 +258,11 @@ impl WireReport {
     /// # Errors
     ///
     /// Returns a message when the report cannot enter the pipeline: a
-    /// non-finite position, or a snapshot grid that is empty, non-finite,
-    /// or not strictly ascending (`SubcarrierGrid`'s construction
-    /// invariants, checked here so corrupt input cannot panic the server).
+    /// non-finite position, a snapshot grid that is empty, non-finite, or
+    /// not strictly ascending (`SubcarrierGrid`'s construction invariants),
+    /// or a channel vector that is empty or disagrees with the grid length
+    /// (which would panic the PDP IFFT). Checked here so corrupt input can
+    /// never panic the server.
     pub fn to_core(&self) -> Result<CsiReport, String> {
         if !(self.x.is_finite() && self.y.is_finite()) {
             return Err(format!("AP {} position is not finite", self.ap));
@@ -235,6 +273,17 @@ impl WireReport {
                 return Err(format!(
                     "AP {} snapshot {i}: empty subcarrier grid",
                     self.ap
+                ));
+            }
+            if snap.h.is_empty() {
+                return Err(format!("AP {} snapshot {i}: empty channel vector", self.ap));
+            }
+            if snap.h.len() != snap.offsets_hz.len() {
+                return Err(format!(
+                    "AP {} snapshot {i}: {} channel coefficients for {} subcarriers",
+                    self.ap,
+                    snap.h.len(),
+                    snap.offsets_hz.len()
                 ));
             }
             if !snap.offsets_hz.iter().all(|f| f.is_finite()) {
@@ -313,6 +362,9 @@ pub struct WireEstimate {
     pub warm_start_hits: u64,
     /// Phase-1 pivots those warm starts avoided.
     pub phase1_pivots_saved: u64,
+    /// Degradation-ladder tier ([`EstimateQuality::as_u8`] encoding).
+    /// New in protocol v2; the decoder rejects values above 2.
+    pub quality: u8,
 }
 
 impl WireEstimate {
@@ -328,10 +380,14 @@ impl WireEstimate {
             lp_iterations: est.lp_iterations,
             warm_start_hits: est.warm_start_hits,
             phase1_pivots_saved: est.phase1_pivots_saved,
+            quality: est.quality.as_u8(),
         }
     }
 
     /// Reconstructs the core estimate (bit-exact inverse of `from_core`).
+    ///
+    /// An out-of-range `quality` byte (impossible via [`decode_frame`],
+    /// which validates it) falls back to [`EstimateQuality::Full`].
     pub fn to_core(&self) -> LocationEstimate {
         LocationEstimate {
             position: Point::new(self.x, self.y),
@@ -342,6 +398,7 @@ impl WireEstimate {
             lp_iterations: self.lp_iterations,
             warm_start_hits: self.warm_start_hits,
             phase1_pivots_saved: self.phase1_pivots_saved,
+            quality: EstimateQuality::from_u8(self.quality).unwrap_or(EstimateQuality::Full),
         }
     }
 }
@@ -400,6 +457,18 @@ pub struct ServerHealth {
     pub solve_p95_ns: u64,
     /// Solve-stage latency p99 upper bound, ns.
     pub solve_p99_ns: u64,
+    /// Requests answered with `Internal` after an isolated batch panic.
+    pub requests_internal: u64,
+    /// Micro-batches whose processing panicked (isolated, then bisected).
+    pub batch_panics: u64,
+    /// Dead batcher threads detected and respawned by the watchdog.
+    pub batchers_respawned: u64,
+    /// Estimates served at full quality.
+    pub quality_full: u64,
+    /// Estimates degraded to the site-constraints-only region.
+    pub quality_region: u64,
+    /// Estimates degraded to the weighted site centroid.
+    pub quality_centroid: u64,
 }
 
 impl fmt::Display for ServerHealth {
@@ -426,6 +495,17 @@ impl fmt::Display for ServerHealth {
             self.batches_formed, self.batch_size_p50, self.batch_size_max
         )?;
         writeln!(f, "  queue depth peak      {}", self.queue_depth_peak)?;
+        writeln!(
+            f,
+            "  quality tiers         full {} / region {} / centroid {}",
+            self.quality_full, self.quality_region, self.quality_centroid
+        )?;
+        writeln!(
+            f,
+            "  batch panics          {} ({} internal replies)",
+            self.batch_panics, self.requests_internal
+        )?;
+        writeln!(f, "  batchers respawned    {}", self.batchers_respawned)?;
         writeln!(
             f,
             "  solve latency         p50 ≤ {} ns, p95 ≤ {} ns, p99 ≤ {} ns",
@@ -624,6 +704,7 @@ fn encode_locate_response(resp: &LocateResponse, out: &mut Vec<u8>) {
             put_u64(out, est.lp_iterations);
             put_u64(out, est.warm_start_hits);
             put_u64(out, est.phase1_pivots_saved);
+            out.push(est.quality);
         }
         Err(e) => {
             out.push(e.code as u8);
@@ -636,7 +717,7 @@ fn decode_locate_response(c: &mut Cursor<'_>) -> Result<LocateResponse, WireErro
     let request_id = c.u64()?;
     let status = c.u8()?;
     let outcome = if status == 0 {
-        Ok(WireEstimate {
+        let est = WireEstimate {
             x: c.f64()?,
             y: c.f64()?,
             relaxation_cost: c.f64()?,
@@ -646,7 +727,15 @@ fn decode_locate_response(c: &mut Cursor<'_>) -> Result<LocateResponse, WireErro
             lp_iterations: c.u64()?,
             warm_start_hits: c.u64()?,
             phase1_pivots_saved: c.u64()?,
-        })
+            quality: c.u8()?,
+        };
+        if EstimateQuality::from_u8(est.quality).is_none() {
+            return Err(WireError::Malformed(format!(
+                "unknown estimate quality tier {}",
+                est.quality
+            )));
+        }
+        Ok(est)
     } else {
         let code = ErrorCode::from_u8(status)?;
         let n = c.len(1)?;
@@ -675,7 +764,7 @@ fn decode_health(c: &mut Cursor<'_>) -> Result<ServerHealth, WireError> {
     Ok(h)
 }
 
-fn health_fields(h: &ServerHealth) -> [u64; 16] {
+fn health_fields(h: &ServerHealth) -> [u64; 22] {
     [
         h.connections_accepted,
         h.frames_in,
@@ -693,10 +782,16 @@ fn health_fields(h: &ServerHealth) -> [u64; 16] {
         h.solve_p50_ns,
         h.solve_p95_ns,
         h.solve_p99_ns,
+        h.requests_internal,
+        h.batch_panics,
+        h.batchers_respawned,
+        h.quality_full,
+        h.quality_region,
+        h.quality_centroid,
     ]
 }
 
-fn health_fields_mut(h: &mut ServerHealth) -> [&mut u64; 16] {
+fn health_fields_mut(h: &mut ServerHealth) -> [&mut u64; 22] {
     [
         &mut h.connections_accepted,
         &mut h.frames_in,
@@ -714,6 +809,12 @@ fn health_fields_mut(h: &mut ServerHealth) -> [&mut u64; 16] {
         &mut h.solve_p50_ns,
         &mut h.solve_p95_ns,
         &mut h.solve_p99_ns,
+        &mut h.requests_internal,
+        &mut h.batch_panics,
+        &mut h.batchers_respawned,
+        &mut h.quality_full,
+        &mut h.quality_region,
+        &mut h.quality_centroid,
     ]
 }
 
@@ -902,6 +1003,7 @@ mod tests {
                     lp_iterations: 40,
                     warm_start_hits: 2,
                     phase1_pivots_saved: 8,
+                    quality: 1,
                 }),
             }),
             Frame::LocateResponse(LocateResponse {
@@ -918,6 +1020,108 @@ mod tests {
     }
 
     #[test]
+    fn every_error_code_round_trips() {
+        for code in [
+            ErrorCode::EstimateFailed,
+            ErrorCode::Malformed,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Internal,
+            ErrorCode::InsufficientJudgements,
+            ErrorCode::LpInfeasible,
+            ErrorCode::LpNumerical,
+        ] {
+            let frame = Frame::LocateResponse(LocateResponse {
+                request_id: 1,
+                outcome: Err(ErrorReply {
+                    code,
+                    message: code.to_string(),
+                }),
+            });
+            let bytes = frame_to_vec(&frame);
+            assert_eq!(decode_frame(&bytes).unwrap().0, frame);
+        }
+        // Unknown status bytes are rejected, not misread as some code.
+        let frame = Frame::LocateResponse(LocateResponse {
+            request_id: 1,
+            outcome: Err(ErrorReply {
+                code: ErrorCode::Internal,
+                message: String::new(),
+            }),
+        });
+        let mut bytes = frame_to_vec(&frame);
+        let status_at = HEADER_LEN + 8;
+        bytes[status_at] = 9;
+        let payload = bytes[HEADER_LEN..].to_vec();
+        bytes[12..16].copy_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn unknown_quality_tier_is_rejected() {
+        let frame = Frame::LocateResponse(LocateResponse {
+            request_id: 1,
+            outcome: Ok(WireEstimate {
+                x: 1.0,
+                y: 2.0,
+                relaxation_cost: 0.0,
+                region_area: 1.0,
+                n_constraints: 4,
+                n_winning_pieces: 1,
+                lp_iterations: 7,
+                warm_start_hits: 1,
+                phase1_pivots_saved: 0,
+                quality: 0,
+            }),
+        });
+        let mut bytes = frame_to_vec(&frame);
+        // The quality byte is the last payload byte of an Ok response.
+        *bytes.last_mut().unwrap() = 3;
+        let payload = bytes[HEADER_LEN..].to_vec();
+        bytes[12..16].copy_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn v1_decoders_reject_v2_frames_cleanly() {
+        // A v1 decoder checked `buf[4] != 1`; our v2 frames carry 2 there,
+        // so the old check fires BadVersion before any payload is touched.
+        // Symmetrically, a v1 frame presented to this decoder is rejected.
+        let mut bytes = frame_to_vec(&Frame::StatsRequest);
+        assert_eq!(bytes[4], 2, "frames are emitted at protocol v2");
+        bytes[4] = 1;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::BadVersion { got: 1 })
+        ));
+    }
+
+    #[test]
+    fn quality_survives_the_core_round_trip() {
+        use nomloc_core::EstimateQuality;
+        for (tier, byte) in [
+            (EstimateQuality::Full, 0u8),
+            (EstimateQuality::Region, 1),
+            (EstimateQuality::Centroid, 2),
+        ] {
+            let est = LocationEstimate {
+                position: Point::new(1.0, 2.0),
+                relaxation_cost: 0.0,
+                region_area: 5.0,
+                n_constraints: 4,
+                n_winning_pieces: 1,
+                lp_iterations: 3,
+                warm_start_hits: 1,
+                phase1_pivots_saved: 0,
+                quality: tier,
+            };
+            let wire = WireEstimate::from_core(&est);
+            assert_eq!(wire.quality, byte);
+            assert_eq!(wire.to_core(), est);
+        }
+    }
+
+    #[test]
     fn round_trip_stats_frames() {
         let bytes = frame_to_vec(&Frame::StatsRequest);
         assert_eq!(decode_frame(&bytes).unwrap().0, Frame::StatsRequest);
@@ -928,6 +1132,12 @@ mod tests {
             frames_out: 99,
             requests_ok: 90,
             solve_p99_ns: 1 << 20,
+            requests_internal: 2,
+            batch_panics: 1,
+            batchers_respawned: 1,
+            quality_full: 80,
+            quality_region: 7,
+            quality_centroid: 3,
             ..ServerHealth::default()
         };
         let bytes = frame_to_vec(&Frame::StatsResponse(health));
@@ -1046,6 +1256,16 @@ mod tests {
         let mut inf_grid = good.clone();
         inf_grid.burst[0].offsets_hz = vec![0.0, f64::INFINITY];
         assert!(inf_grid.to_core().is_err());
+
+        // v2 hardening: the channel vector itself is validated — an empty
+        // or length-mismatched `h` used to sail through to a dsp assert.
+        let mut empty_h = good.clone();
+        empty_h.burst[0].h.clear();
+        assert!(empty_h.to_core().is_err());
+
+        let mut short_h = good.clone();
+        short_h.burst[0].h.truncate(1);
+        assert!(short_h.to_core().is_err());
     }
 
     #[test]
@@ -1053,7 +1273,7 @@ mod tests {
         let report = CsiReport {
             site: ApSite::nomadic(3, 5, Point::new(0.1 + 0.2, -7.5)),
             burst: vec![CsiSnapshot {
-                h: vec![Complex::new(1.0e-3, -2.0e-9)],
+                h: vec![Complex::new(1.0e-3, -2.0e-9), Complex::new(-0.25, 0.75)],
                 grid: SubcarrierGrid::new(vec![-1.0, 312_500.0]),
             }],
         };

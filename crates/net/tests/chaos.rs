@@ -1,0 +1,343 @@
+//! Chaos tests: the daemon keeps serving under every fault class, answers
+//! every non-faulted request bit-identically to a fault-free in-process
+//! run, answers every faulted request with the typed error or degraded
+//! tier its class demands, and never permanently loses a batcher thread.
+//!
+//! All tests speak the real wire protocol against a real daemon on
+//! `127.0.0.1:0`, with the same seeded [`FaultPlan`] held by the client,
+//! the daemon, and the verifier.
+
+use nomloc_core::scenario::Venue;
+use nomloc_core::server::CsiReport;
+use nomloc_core::{ApSite, LocalizationServer};
+use nomloc_faults::{FaultClass, FaultPlan};
+use nomloc_net::chaos::{self, ChaosConfig};
+use nomloc_net::wire::{
+    decode_frame, frame_to_vec, ErrorReply, LocateRequest, WireEstimate, WireReport, WireSnapshot,
+};
+use nomloc_net::{spawn, DaemonConfig, DaemonHandle, ErrorCode, Frame};
+use nomloc_rfsim::{Environment, RadioConfig, SubcarrierGrid};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+fn lab_server() -> LocalizationServer {
+    LocalizationServer::new(Venue::lab().plan.boundary().clone()).with_workers(1)
+}
+
+/// A realistic workload: each request carries one CSI report per static
+/// AP, for a different test site per request.
+fn workload(n: usize) -> Vec<Vec<CsiReport>> {
+    let venue = Venue::lab();
+    let env = Environment::new(venue.plan.clone(), RadioConfig::default());
+    let grid = SubcarrierGrid::intel5300();
+    (0..n)
+        .map(|r| {
+            let object = venue.test_sites[r % venue.test_sites.len()];
+            let mut rng = StdRng::seed_from_u64(r as u64);
+            venue
+                .static_deployment()
+                .iter()
+                .enumerate()
+                .map(|(i, &ap)| CsiReport {
+                    site: ApSite::fixed(i + 1, ap),
+                    burst: env.sample_csi_burst(object, ap, &grid, 2, &mut rng),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The fault-free replies an identically configured in-process server
+/// gives — the bit-identity reference.
+fn baseline(requests: &[Vec<CsiReport>]) -> Vec<Result<WireEstimate, ErrorReply>> {
+    let server = lab_server();
+    requests
+        .iter()
+        .map(|r| match server.process(r) {
+            Ok(est) => Ok(WireEstimate::from_core(&est)),
+            Err(e) => Err(ErrorReply {
+                code: ErrorCode::from_estimate_error(&e),
+                message: e.to_string(),
+            }),
+        })
+        .collect()
+}
+
+fn spawn_daemon(plan: Option<FaultPlan>, kill_batcher_every: u64) -> DaemonHandle {
+    spawn(
+        lab_server(),
+        DaemonConfig {
+            acceptors: 1,
+            batchers: 2,
+            fault_plan: plan,
+            kill_batcher_every,
+            ..DaemonConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn daemon")
+}
+
+/// A plan that assigns `class` to every request (rate 1 on that class).
+fn single_class_plan(seed: u64, class: FaultClass) -> FaultPlan {
+    let mut plan = FaultPlan::disabled(seed);
+    match class {
+        FaultClass::CorruptCsi => plan.corrupt_csi = 1.0,
+        FaultClass::DropReadings => plan.drop_readings = 1.0,
+        FaultClass::TruncateFrame => plan.truncate_frame = 1.0,
+        FaultClass::CorruptFrame => plan.corrupt_frame = 1.0,
+        FaultClass::DuplicateFrame => plan.duplicate_frame = 1.0,
+        FaultClass::DelayFrame => plan.delay_frame = 1.0,
+        FaultClass::KillConnection => plan.kill_connection = 1.0,
+        FaultClass::InjectPanic => plan.inject_panic = 1.0,
+        FaultClass::None => {}
+    }
+    plan
+}
+
+/// Every fault class, injected at rate 1 so each request in the run hits
+/// it: the daemon must uphold that class's contract on all of them.
+#[test]
+fn every_fault_class_upholds_its_contract() {
+    const N: usize = 8;
+    let requests = workload(N);
+    let reference = baseline(&requests);
+    for class in nomloc_faults::FAULT_CLASSES {
+        let plan = single_class_plan(42, class);
+        let handle = spawn_daemon(Some(plan), 0);
+        let report = chaos::run(handle.local_addr(), &ChaosConfig::new(plan), &requests)
+            .unwrap_or_else(|e| panic!("chaos run failed under {class}: {e}"));
+        let health = handle.shutdown();
+        let summary = report
+            .verify(&plan, &reference)
+            .unwrap_or_else(|v| panic!("contract violated under {class}: {v:?}"));
+        assert_eq!(summary.total, N);
+        assert_eq!(summary.faulted, N, "rate-1 plan must fault everything");
+        assert_eq!(
+            health.batchers_respawned, 0,
+            "no batcher may die under {class} (panics are caught in place)"
+        );
+        if class == FaultClass::InjectPanic {
+            assert!(health.batch_panics >= N as u64, "panic guard never fired");
+            assert_eq!(health.requests_internal, N as u64);
+        }
+    }
+}
+
+/// A mixed-rate plan over a bigger run: every request is answered, the
+/// non-faulted majority bit-identically, and the summary accounts for
+/// every request.
+#[test]
+fn mixed_chaos_run_answers_every_request() {
+    const N: usize = 64;
+    let requests = workload(N);
+    let reference = baseline(&requests);
+    let plan = FaultPlan::uniform(7, 0.04);
+    let handle = spawn_daemon(Some(plan), 0);
+    let report = chaos::run(handle.local_addr(), &ChaosConfig::new(plan), &requests)
+        .expect("chaos run completes");
+    let health = handle.shutdown();
+    assert_eq!(report.outcomes.len(), N, "every request got a reply");
+    let summary = report
+        .verify(&plan, &reference)
+        .unwrap_or_else(|v| panic!("contract violated: {v:?}"));
+    assert!(summary.faulted > 0, "seed 7 at 4 %/class faults something");
+    assert_eq!(
+        summary.bit_identical + summary.typed_errors + summary.degraded,
+        N,
+        "every request is accounted for exactly once"
+    );
+    assert_eq!(health.batchers_respawned, 0);
+}
+
+/// The kill knob murders batchers mid-run; the watchdog respawns every
+/// one of them, the dying batcher's requeued requests are still answered,
+/// and all replies stay bit-identical to the fault-free baseline.
+#[test]
+fn killed_batchers_are_respawned_without_losing_requests() {
+    const N: usize = 24;
+    let requests = workload(N);
+    let reference = baseline(&requests);
+    let plan = FaultPlan::disabled(3);
+    let handle = spawn_daemon(None, 3);
+    let report = chaos::run(handle.local_addr(), &ChaosConfig::new(plan), &requests)
+        .expect("every request answered despite batcher deaths");
+    let health = handle.shutdown();
+    let summary = report
+        .verify(&plan, &reference)
+        .unwrap_or_else(|v| panic!("kill knob broke replies: {v:?}"));
+    assert_eq!(summary.bit_identical, N, "all replies bit-identical");
+    assert!(
+        health.batchers_respawned > 0,
+        "kill-every-3 over {N} batches must kill at least one batcher"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Hostile-CSI property tests: no request payload — however malformed or
+// numerically pathological — may crash the daemon or go unanswered.
+// ---------------------------------------------------------------------
+
+/// One daemon shared by all proptest cases; never shut down (the process
+/// exits at test end). Reusing one address also proves the daemon
+/// survived every previous hostile case.
+fn hostile_daemon_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let handle = spawn_daemon(None, 0);
+        let addr = handle.local_addr();
+        std::mem::forget(handle);
+        addr
+    })
+}
+
+fn next_request_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Interprets raw bits as an `f64` — covers NaNs, infinities, subnormals.
+fn bits(v: u64) -> f64 {
+    f64::from_bits(v)
+}
+
+/// A report whose every float is a raw bit pattern — mostly rejected at
+/// the wire layer as `Malformed`.
+fn raw_report(seed: u64, subcarriers: usize) -> WireReport {
+    let mix = |i: u64| nomloc_faults::mix64(seed, i);
+    WireReport {
+        ap: seed,
+        visit: seed >> 9,
+        x: bits(mix(1)),
+        y: bits(mix(2)),
+        burst: vec![WireSnapshot {
+            offsets_hz: (0..subcarriers).map(|i| bits(mix(10 + i as u64))).collect(),
+            h: (0..subcarriers)
+                .map(|i| (bits(mix(100 + i as u64)), bits(mix(200 + i as u64))))
+                .collect(),
+        }],
+    }
+}
+
+/// A report that *passes* wire validation (finite position, strictly
+/// ascending finite offsets, matching `h` length) but carries raw-bit
+/// channel coefficients — NaN/∞/subnormal values that flow all the way
+/// into the PDP and estimator stages.
+fn shaped_hostile_report(seed: u64, subcarriers: usize) -> WireReport {
+    let mix = |i: u64| nomloc_faults::mix64(seed, i);
+    let magnitudes = [0.0, 1.0e-308, 1.0, 1.0e300, -1.0e300, 5.5];
+    WireReport {
+        ap: seed % 7,
+        visit: 0,
+        x: magnitudes[(mix(1) % 6) as usize],
+        y: magnitudes[(mix(2) % 6) as usize],
+        burst: vec![WireSnapshot {
+            offsets_hz: (0..subcarriers).map(|i| i as f64 * 312_500.0).collect(),
+            h: (0..subcarriers)
+                .map(|i| (bits(mix(100 + i as u64)), bits(mix(200 + i as u64))))
+                .collect(),
+        }],
+    }
+}
+
+/// Sends one request and insists on exactly one well-formed reply with
+/// the matching id. Any hang, crash, or mismatched reply fails the test.
+fn expect_reply(addr: SocketAddr, reports: Vec<WireReport>) -> Result<(), TestCaseError> {
+    let request_id = next_request_id();
+    let frame = Frame::LocateRequest(LocateRequest {
+        request_id,
+        deadline_us: 0,
+        reports,
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect to hostile daemon");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set read timeout");
+    stream
+        .write_all(&frame_to_vec(&frame))
+        .expect("send request");
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    loop {
+        match decode_frame(&buf) {
+            Ok((Frame::LocateResponse(resp), _)) => {
+                prop_assert_eq!(resp.request_id, request_id, "reply for the wrong request");
+                return Ok(());
+            }
+            Ok((other, _)) => {
+                return Err(TestCaseError::Fail(format!("unexpected frame: {other:?}")))
+            }
+            Err(nomloc_net::WireError::Incomplete { .. }) => {}
+            Err(e) => return Err(TestCaseError::Fail(format!("malformed reply: {e}"))),
+        }
+        let got = stream.read(&mut tmp).expect("read reply (daemon alive?)");
+        prop_assert!(got > 0, "daemon closed the connection without replying");
+        buf.extend_from_slice(&tmp[..got]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Raw-bit reports — NaN positions, descending offsets, the lot —
+    /// always draw a reply (typically a typed `Malformed` error) and
+    /// never take the daemon down.
+    #[test]
+    fn hostile_raw_reports_are_always_answered(
+        seeds in prop::collection::vec(0u64..u64::MAX, 0..4),
+        subcarriers in 0usize..5,
+    ) {
+        let addr = hostile_daemon_addr();
+        let reports = seeds.iter().map(|&s| raw_report(s, subcarriers)).collect();
+        expect_reply(addr, reports)?;
+    }
+
+    /// Wire-valid reports with pathological channel coefficients reach
+    /// the DSP and estimator stages; the daemon still answers every one
+    /// (degraded estimate or typed error) and never panics.
+    #[test]
+    fn hostile_but_wire_valid_reports_are_always_answered(
+        seeds in prop::collection::vec(0u64..u64::MAX, 1..5),
+        subcarriers in 1usize..6,
+    ) {
+        let addr = hostile_daemon_addr();
+        let reports = seeds.iter().map(|&s| shaped_hostile_report(s, subcarriers)).collect();
+        expect_reply(addr, reports)?;
+    }
+}
+
+/// Same seed ⇒ the same requests are faulted the same way and every reply
+/// is identical across two independent daemon instances — the property
+/// that makes chaos failures reproducible from a seed alone.
+#[test]
+fn chaos_runs_are_deterministic_in_the_seed() {
+    const N: usize = 32;
+    let requests = workload(N);
+    let plan = FaultPlan::uniform(99, 0.05);
+    let run = || {
+        let handle = spawn_daemon(Some(plan), 0);
+        let report = chaos::run(handle.local_addr(), &ChaosConfig::new(plan), &requests)
+            .expect("chaos run completes");
+        handle.shutdown();
+        report
+    };
+    let a = run();
+    let b = run();
+    for (i, (x, y)) in a.outcomes.iter().zip(&b.outcomes).enumerate() {
+        assert_eq!(x.class, y.class, "request {i} classified differently");
+        match (&x.reply, &y.reply) {
+            (Ok(p), Ok(q)) => {
+                assert_eq!(p.x.to_bits(), q.x.to_bits(), "request {i} x diverged");
+                assert_eq!(p.y.to_bits(), q.y.to_bits(), "request {i} y diverged");
+                assert_eq!(p.quality, q.quality, "request {i} quality diverged");
+            }
+            (Err(p), Err(q)) => assert_eq!(p.code, q.code, "request {i} error diverged"),
+            (p, q) => panic!("request {i}: {p:?} vs {q:?}"),
+        }
+    }
+}

@@ -98,6 +98,7 @@ fn overload_answers_with_bounded_queue() {
             max_wait: Duration::ZERO,
             queue_capacity: 4,
             batch_pause: Duration::from_millis(25),
+            ..DaemonConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -149,6 +150,7 @@ fn queued_deadline_expiry_is_reported() {
             // Every batch waits 30 ms before solving, so a 1 ms deadline
             // is always stale by solve time.
             batch_pause: Duration::from_millis(30),
+            ..DaemonConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -312,6 +314,7 @@ fn shutdown_drains_admitted_requests() {
             max_wait: Duration::ZERO,
             queue_capacity: 64,
             batch_pause: Duration::from_millis(10),
+            ..DaemonConfig::default()
         },
         "127.0.0.1:0",
     )

@@ -18,11 +18,15 @@ fn bits(v: u64) -> f64 {
 }
 
 fn error_code(tag: u8) -> ErrorCode {
-    match tag % 4 {
+    match tag % 8 {
         0 => ErrorCode::EstimateFailed,
         1 => ErrorCode::Malformed,
         2 => ErrorCode::Overloaded,
-        _ => ErrorCode::DeadlineExceeded,
+        3 => ErrorCode::DeadlineExceeded,
+        4 => ErrorCode::Internal,
+        5 => ErrorCode::InsufficientJudgements,
+        6 => ErrorCode::LpInfeasible,
+        _ => ErrorCode::LpNumerical,
     }
 }
 
@@ -102,6 +106,7 @@ proptest! {
                 lp_iterations: fields[7],
                 warm_start_hits: fields[8],
                 phase1_pivots_saved: fields[0].rotate_left(17),
+                quality: (fields[0] % 3) as u8,
             }),
         });
         assert_roundtrip(&frame)?;
@@ -124,7 +129,7 @@ proptest! {
     }
 
     #[test]
-    fn stats_response_roundtrip(fields in prop::collection::vec(0u64..u64::MAX, 16..17)) {
+    fn stats_response_roundtrip(fields in prop::collection::vec(0u64..u64::MAX, 22..23)) {
         let frame = Frame::StatsResponse(ServerHealth {
             connections_accepted: fields[0],
             frames_in: fields[1],
@@ -142,6 +147,12 @@ proptest! {
             solve_p50_ns: fields[13],
             solve_p95_ns: fields[14],
             solve_p99_ns: fields[15],
+            requests_internal: fields[16],
+            batch_panics: fields[17],
+            batchers_respawned: fields[18],
+            quality_full: fields[19],
+            quality_region: fields[20],
+            quality_centroid: fields[21],
         });
         assert_roundtrip(&frame)?;
     }
@@ -248,6 +259,10 @@ fn error_code_tags_are_stable() {
     assert_eq!(ErrorCode::Malformed as u8, 2);
     assert_eq!(ErrorCode::Overloaded as u8, 3);
     assert_eq!(ErrorCode::DeadlineExceeded as u8, 4);
+    assert_eq!(ErrorCode::Internal as u8, 5);
+    assert_eq!(ErrorCode::InsufficientJudgements as u8, 6);
+    assert_eq!(ErrorCode::LpInfeasible as u8, 7);
+    assert_eq!(ErrorCode::LpNumerical as u8, 8);
 }
 
 /// A StatsRequest is a bare header; its round trip is a plain unit check.

@@ -28,4 +28,18 @@ echo "==> loadgen quick throughput (loopback daemon, 4 connections)"
 cargo run --release -p nomloc-cli --bin nomloc --offline -- \
   loadgen --requests 1000 --packets 2 --connections 4
 
+# Fault-injection overhead: time the chaos driver (sequential, loopback)
+# at a 0 % and a 1 % per-class fault rate, same seed and workload, so the
+# cost of the degradation ladder + retry machinery stays visible.
+echo "==> chaos throughput: 0 % vs 1 % per-class fault rate"
+chaos_reqs=400
+for rate in 0.0 0.01; do
+  start_ns=$(date +%s%N)
+  cargo run --release -p nomloc-cli --bin nomloc --offline -- \
+    chaos --seed 7 --requests "$chaos_reqs" --rate "$rate" >/dev/null
+  elapsed_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
+  echo "  rate $rate: $chaos_reqs requests in ${elapsed_ms} ms" \
+       "($(( chaos_reqs * 1000 / (elapsed_ms > 0 ? elapsed_ms : 1) )) req/s incl. daemon spawn + verify)"
+done
+
 echo "Benchmarks done."

@@ -14,8 +14,8 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> benches compile: cargo bench --no-run"
 cargo bench --workspace --no-run --offline
 
-echo "==> nomloc-net builds"
-cargo build --offline -p nomloc-net
+echo "==> nomloc-net and nomloc-faults build"
+cargo build --offline -p nomloc-net -p nomloc-faults
 
 echo "==> tier-1 gate: cargo build --release && cargo test -q"
 cargo build --release --offline
@@ -26,5 +26,9 @@ cargo test -q --workspace --offline
 
 echo "==> loopback serving smoke test (daemon + loadgen over 127.0.0.1)"
 cargo test -q --offline --test net_loopback
+
+echo "==> chaos smoke: fault-injected serving contract over 127.0.0.1"
+cargo run --release -p nomloc-cli --bin nomloc --offline -- \
+  chaos --seed 7 --requests 200
 
 echo "All checks passed."

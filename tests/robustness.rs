@@ -108,8 +108,9 @@ fn coincident_ap_positions_survive() {
     );
 }
 
-/// A single reading cannot partition space: the estimate degenerates to
-/// the area's center but must not fail.
+/// A single reading cannot partition space: the estimate degrades to the
+/// weighted-centroid tier — anchored at the only reporting site, which
+/// beats the bare area center — and must not fail.
 #[test]
 fn single_reading_degenerates_gracefully() {
     let server = square_server(10.0);
@@ -118,7 +119,12 @@ fn single_reading_degenerates_gracefully() {
         1e-6,
     )];
     let est = server.localize(&readings).unwrap();
-    assert!(est.position.distance(Point::new(5.0, 5.0)) < 1e-3);
+    assert_eq!(
+        est.quality,
+        nomloc::core::estimator::EstimateQuality::Centroid
+    );
+    assert!(est.position.distance(Point::new(1.0, 1.0)) < 1e-3);
+    assert!(server.area().contains(est.position));
 }
 
 /// Readings whose implied half-planes all miss the venue entirely: every
