@@ -1,0 +1,327 @@
+//! Machine-readable end-to-end serving benchmark: stage-attributed
+//! ns-per-request through the full daemon pipeline (decode → PDP →
+//! constraints → LP → encode), plus paired comparisons of the planned FFT
+//! against the retained iterative kernel, pooled against fresh encode
+//! buffers, and the zero-allocation pipeline against a faithful replica
+//! of the pre-plan allocating path. Written as `BENCH_serving.json` (in
+//! the current directory, or `$NOMLOC_BENCH_SERVING_JSON`).
+//!
+//! Every comparison is a min-of-rounds over alternating passes — see
+//! `nomloc_bench::lpcmp::paired_min_ns` — so slow drift (thermal,
+//! scheduler) hits both sides equally and the minimum approximates the
+//! noise-free cost. The "naive" side reconstructs the pre-optimization
+//! hot path exactly: the iterative twiddle-accumulating FFT kernel
+//! (`fft_radix2_unplanned`), a fresh allocation for every windowed CSI
+//! vector, IFFT output, per-packet PDP list, and reply frame.
+
+use nomloc_bench::{lpcmp, quick_mode, rounds};
+use nomloc_core::scenario::Venue;
+use nomloc_core::server::CsiReport;
+use nomloc_core::{ApSite, LocalizationServer, PdpEstimator, PdpScratch, SpEstimator};
+use nomloc_dsp::{fft, Complex};
+use nomloc_net::wire::{
+    self, ErrorCode, ErrorReply, Frame, LocateRequest, LocateResponse, WireEstimate, WireReport,
+};
+use nomloc_net::BufferPool;
+use nomloc_rfsim::{CsiSnapshot, Environment, RadioConfig, SubcarrierGrid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The loadgen-shaped loopback workload: each request carries one CSI
+/// report per static AP of the Lab venue, for a different test site.
+fn workload(n: usize, packets: usize) -> Vec<Vec<CsiReport>> {
+    let venue = Venue::lab();
+    let env = Environment::new(venue.plan.clone(), RadioConfig::default());
+    let grid = SubcarrierGrid::intel5300();
+    (0..n)
+        .map(|r| {
+            let object = venue.test_sites[r % venue.test_sites.len()];
+            let mut rng = StdRng::seed_from_u64(r as u64);
+            venue
+                .static_deployment()
+                .iter()
+                .enumerate()
+                .map(|(i, &ap)| CsiReport {
+                    site: ApSite::fixed(i + 1, ap),
+                    burst: env.sample_csi_burst(object, ap, &grid, packets, &mut rng),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Minimum wall-clock ns of `f` over `rounds` passes.
+fn min_ns(rounds: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds.max(1) {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// The pre-optimization burst PDP, replicated stage for stage: a fresh
+/// windowed-CSI vector per packet, the iterative (unplanned) IFFT kernel
+/// into a per-burst scratch, a materialized per-packet tap-power vector
+/// (the old path built a full `DelayProfile` and then asked for its
+/// peak), a fresh per-packet list, and a median over a sorted copy.
+fn pdp_burst_naive(est: &PdpEstimator, burst: &[CsiSnapshot]) -> Option<f64> {
+    let mut scratch: Vec<Complex> = Vec::new();
+    let per_packet: Vec<f64> = burst
+        .iter()
+        .map(|s| {
+            let n = s.h.len();
+            let tapered = est.window.apply(&s.h);
+            fft::ifft_padded_into_unplanned(&tapered, est.min_taps, &mut scratch);
+            let gain = scratch.len() as f64 / n as f64;
+            let powers: Vec<f64> = scratch.iter().map(|h| (*h * gain).norm_sq()).collect();
+            // `DelayProfile::peak`'s scan: max_by over total_cmp.
+            powers
+                .iter()
+                .copied()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(_, p)| p)
+                .expect("padded IFFT output is never empty")
+        })
+        .collect();
+    nomloc_dsp::stats::median(&per_packet)
+}
+
+/// Builds the reply frame a request's solve outcome encodes to.
+fn response_of(
+    request_id: u64,
+    result: Result<nomloc_core::LocationEstimate, nomloc_core::EstimateError>,
+) -> LocateResponse {
+    match result {
+        Ok(est) => LocateResponse {
+            request_id,
+            outcome: Ok(WireEstimate::from_core(&est)),
+        },
+        Err(e) => LocateResponse {
+            request_id,
+            outcome: Err(ErrorReply {
+                code: ErrorCode::from_estimate_error(&e),
+                message: e.to_string(),
+            }),
+        },
+    }
+}
+
+fn main() {
+    let n_requests = if quick_mode() { 32 } else { 64 };
+    let requests = workload(n_requests, 2);
+    let n = requests.len() as f64;
+
+    let venue = Venue::lab();
+    let area = venue.plan.boundary().clone();
+    let server = LocalizationServer::new(area.clone()).with_workers(1);
+    let estimator = SpEstimator::new();
+    let pdp = PdpEstimator::new();
+
+    // Pre-encoded request frames: the bytes a loadgen connection writes.
+    let frames: Vec<Vec<u8>> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, reports)| {
+            wire::frame_to_vec(&Frame::LocateRequest(LocateRequest {
+                request_id: i as u64,
+                deadline_us: 0,
+                reports: reports.iter().map(WireReport::from_core).collect(),
+            }))
+        })
+        .collect();
+
+    // Intermediate products for the per-stage rows, computed once.
+    let readings_all: Vec<_> = requests
+        .iter()
+        .map(|r| server.extract_readings(r))
+        .collect();
+    let judgements_all: Vec<_> = readings_all.iter().map(|r| server.judge(r)).collect();
+    let response_frames: Vec<Frame> = judgements_all
+        .iter()
+        .enumerate()
+        .map(|(i, j)| Frame::LocateResponse(response_of(i as u64, estimator.estimate(j, &area))))
+        .collect();
+
+    // --- Stage attribution: ns per request through each pipeline stage.
+    let stage_rounds = rounds(100);
+    let decode_ns = min_ns(stage_rounds, || {
+        for bytes in &frames {
+            let (frame, _) = wire::decode_frame(bytes).expect("benchmark frame decodes");
+            if let Frame::LocateRequest(req) = frame {
+                black_box(req.to_core_reports().expect("benchmark reports are valid"));
+            }
+        }
+    }) / n;
+    let pdp_ns = min_ns(stage_rounds, || {
+        for reports in &requests {
+            black_box(server.extract_readings(reports));
+        }
+    }) / n;
+    let constraints_ns = min_ns(stage_rounds, || {
+        for readings in &readings_all {
+            black_box(server.judge(readings));
+        }
+    }) / n;
+    let lp_ns = min_ns(stage_rounds, || {
+        for judgements in &judgements_all {
+            black_box(estimator.estimate(judgements, &area).ok());
+        }
+    }) / n;
+    let pool = BufferPool::new(8);
+    let encode_ns = min_ns(stage_rounds, || {
+        for frame in &response_frames {
+            let (mut buf, _) = pool.get();
+            wire::encode_frame(frame, &mut buf);
+            black_box(buf.len());
+            pool.put(buf);
+        }
+    }) / n;
+
+    // --- Planned vs iterative FFT kernel, 256-point (the default
+    // serving transform size for Intel 5300 CSI padded to 256 taps).
+    let template: Vec<Complex> = (0..256)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.113).cos()))
+        .collect();
+    let mut planned_buf = template.clone();
+    let mut naive_buf = template.clone();
+    let (fft_planned_ns, fft_naive_ns) = lpcmp::paired_min_ns(
+        rounds(300),
+        128,
+        || {
+            planned_buf.copy_from_slice(&template);
+            fft::fft_radix2(black_box(&mut planned_buf), false);
+        },
+        || {
+            naive_buf.copy_from_slice(&template);
+            fft::fft_radix2_unplanned(black_box(&mut naive_buf), false);
+        },
+    );
+
+    // --- PDP extraction at 64-point transforms: planned + scratch
+    // against the pre-plan allocating path, per burst.
+    let est64 = PdpEstimator {
+        min_taps: 64,
+        ..PdpEstimator::default()
+    };
+    let all_reports: Vec<&CsiReport> = requests.iter().flatten().collect();
+    let mut scratch = PdpScratch::new();
+    let (pdp64_planned_ns, pdp64_naive_ns) = lpcmp::paired_min_ns(
+        rounds(200),
+        1,
+        || {
+            for r in &all_reports {
+                black_box(est64.pdp_of_burst_with(&r.burst, &mut scratch));
+            }
+        },
+        || {
+            for r in &all_reports {
+                black_box(pdp_burst_naive(&est64, &r.burst));
+            }
+        },
+    );
+    let bursts = all_reports.len() as f64;
+    let (pdp64_planned_ns, pdp64_naive_ns) = (pdp64_planned_ns / bursts, pdp64_naive_ns / bursts);
+
+    // --- Pooled vs fresh reply encode, per frame.
+    let (encode_pooled_ns, encode_fresh_ns) = lpcmp::paired_min_ns(
+        rounds(300),
+        1,
+        || {
+            for frame in &response_frames {
+                let (mut buf, _) = pool.get();
+                wire::encode_frame(frame, &mut buf);
+                black_box(buf.len());
+                pool.put(buf);
+            }
+        },
+        || {
+            for frame in &response_frames {
+                black_box(wire::frame_to_vec(frame));
+            }
+        },
+    );
+    let (encode_pooled_ns, encode_fresh_ns) = (encode_pooled_ns / n, encode_fresh_ns / n);
+
+    // --- End to end: decode → PDP → constraints → LP → encode, the
+    // optimized pipeline against the pre-optimization replica.
+    let e2e_rounds = rounds(100);
+    let (e2e_optimized_ns, e2e_naive_ns) = lpcmp::paired_min_ns(
+        e2e_rounds,
+        1,
+        || {
+            for bytes in &frames {
+                let (frame, _) = wire::decode_frame(bytes).expect("benchmark frame decodes");
+                let Frame::LocateRequest(req) = frame else {
+                    unreachable!("workload frames are requests");
+                };
+                let reports = req.to_core_reports().expect("benchmark reports are valid");
+                let readings = server.extract_readings(&reports);
+                let judgements = server.judge(&readings);
+                let response = response_of(req.request_id, estimator.estimate(&judgements, &area));
+                let (mut buf, _) = pool.get();
+                wire::encode_frame(&Frame::LocateResponse(response), &mut buf);
+                black_box(buf.len());
+                pool.put(buf);
+            }
+        },
+        || {
+            for bytes in &frames {
+                let (frame, _) = wire::decode_frame(bytes).expect("benchmark frame decodes");
+                let Frame::LocateRequest(req) = frame else {
+                    unreachable!("workload frames are requests");
+                };
+                let reports = req.to_core_reports().expect("benchmark reports are valid");
+                let readings: Vec<_> = reports
+                    .iter()
+                    .filter_map(|r| {
+                        let value = pdp_burst_naive(&pdp, &r.burst)?;
+                        nomloc_core::PdpReading::try_new(r.site, value).ok()
+                    })
+                    .collect();
+                let judgements = server.judge(&readings);
+                let response = response_of(req.request_id, estimator.estimate(&judgements, &area));
+                black_box(wire::frame_to_vec(&Frame::LocateResponse(response)));
+            }
+        },
+    );
+    let (e2e_optimized_ns, e2e_naive_ns) = (e2e_optimized_ns / n, e2e_naive_ns / n);
+
+    let fft_speedup = fft_naive_ns / fft_planned_ns;
+    let pdp64_speedup = pdp64_naive_ns / pdp64_planned_ns;
+    let encode_speedup = encode_fresh_ns / encode_pooled_ns;
+    let e2e_speedup = e2e_naive_ns / e2e_optimized_ns;
+
+    let json = format!(
+        "{{\n  \"requests\": {n_requests},\n  \"stages\": {{\"decode_ns_per_request\": {decode_ns:.1}, \"pdp_ns_per_request\": {pdp_ns:.1}, \"constraints_ns_per_request\": {constraints_ns:.1}, \"lp_ns_per_request\": {lp_ns:.1}, \"encode_ns_per_request\": {encode_ns:.1}}},\n  \"fft\": {{\"points\": 256, \"planned_ns\": {fft_planned_ns:.1}, \"naive_ns\": {fft_naive_ns:.1}, \"speedup\": {fft_speedup:.4}}},\n  \"pdp_64\": {{\"planned_ns_per_burst\": {pdp64_planned_ns:.1}, \"unplanned_ns_per_burst\": {pdp64_naive_ns:.1}, \"speedup\": {pdp64_speedup:.4}}},\n  \"encode\": {{\"pooled_ns_per_reply\": {encode_pooled_ns:.1}, \"fresh_ns_per_reply\": {encode_fresh_ns:.1}, \"speedup\": {encode_speedup:.4}}},\n  \"end_to_end\": {{\"optimized_ns_per_request\": {e2e_optimized_ns:.1}, \"naive_ns_per_request\": {e2e_naive_ns:.1}, \"speedup\": {e2e_speedup:.4}}}\n}}\n"
+    );
+
+    println!(
+        "serving stages (ns/request): decode {decode_ns:.0} | pdp {pdp_ns:.0} | \
+         constraints {constraints_ns:.0} | lp {lp_ns:.0} | encode {encode_ns:.0}"
+    );
+    println!(
+        "fft 256-pt: planned {fft_planned_ns:.1} ns, naive {fft_naive_ns:.1} ns — \
+         speedup {fft_speedup:.3}x"
+    );
+    println!(
+        "pdp 64-pt: planned {pdp64_planned_ns:.0} ns/burst, unplanned {pdp64_naive_ns:.0} \
+         ns/burst — speedup {pdp64_speedup:.3}x"
+    );
+    println!(
+        "encode: pooled {encode_pooled_ns:.0} ns/reply, fresh {encode_fresh_ns:.0} ns/reply — \
+         speedup {encode_speedup:.3}x"
+    );
+    println!(
+        "end-to-end: optimized {e2e_optimized_ns:.0} ns/req, naive {e2e_naive_ns:.0} ns/req — \
+         speedup {e2e_speedup:.3}x"
+    );
+
+    let path = std::env::var("NOMLOC_BENCH_SERVING_JSON")
+        .unwrap_or_else(|_| "BENCH_serving.json".to_string());
+    std::fs::write(&path, &json).expect("write BENCH_serving.json");
+    println!("wrote {path}");
+}

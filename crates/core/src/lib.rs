@@ -64,6 +64,7 @@ pub mod tracking;
 pub use cache::VenueCache;
 pub use confidence::{Confidence, HardDecision, Logistic, PaperExp};
 pub use estimator::{EstimateError, EstimateQuality, FailureCause, LocationEstimate, SpEstimator};
+pub use pdp::{PdpEstimator, PdpScratch};
 pub use proximity::{ApSite, PdpReading, ProximityJudgement};
 pub use server::LocalizationServer;
 pub use stats::{PipelineStats, StatsSnapshot};

@@ -33,6 +33,31 @@ impl Default for PdpEstimator {
     }
 }
 
+/// Reusable scratch buffers for PDP extraction.
+///
+/// Holds every intermediate the estimator needs — the windowed CSI, the
+/// delay-domain IFFT output, and the per-packet PDPs of a burst — so that
+/// after the first burst of a given shape the `_with` variants below run
+/// with zero steady-state allocation. One scratch per thread; the serving
+/// path keeps one in a thread-local on each batcher thread.
+#[derive(Debug, Default)]
+pub struct PdpScratch {
+    /// Delay-domain IFFT buffer (see [`DelayProfile::from_csi_with`]).
+    ifft: Vec<Complex>,
+    /// Windowed CSI ahead of the IFFT.
+    tapered: Vec<Complex>,
+    /// Per-packet PDPs of the burst currently being aggregated.
+    per_packet: Vec<f64>,
+}
+
+impl PdpScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl PdpEstimator {
     /// Creates an estimator with the default padding.
     pub fn new() -> Self {
@@ -52,22 +77,51 @@ impl PdpEstimator {
     /// Panics when the snapshot has no subcarriers (cannot happen for grids
     /// built by `SubcarrierGrid`).
     pub fn pdp_of_snapshot(&self, snapshot: &CsiSnapshot) -> f64 {
-        self.delay_profile(snapshot).peak().power
+        self.pdp_of_snapshot_with(snapshot, &mut PdpScratch::new())
+    }
+
+    /// [`PdpEstimator::pdp_of_snapshot`] against caller-provided scratch.
+    ///
+    /// Value-identical to the allocating variant: the taper is bit-identical
+    /// ([`Window::apply_into`]) and the peak fold matches
+    /// `DelayProfile::peak` including tie-break order.
+    pub fn pdp_of_snapshot_with(&self, snapshot: &CsiSnapshot, scratch: &mut PdpScratch) -> f64 {
+        let n = snapshot.h.len();
+        let bandwidth = snapshot.grid.mean_spacing_hz() * n as f64;
+        self.window.apply_into(&snapshot.h, &mut scratch.tapered);
+        DelayProfile::peak_power_from_csi_with(
+            &scratch.tapered,
+            bandwidth,
+            self.min_taps,
+            &mut scratch.ifft,
+        )
     }
 
     /// Burst PDP: median of per-packet PDPs.
     ///
-    /// The delay-domain IFFT buffer is reused across the packets of the
-    /// burst, so only the first packet allocates it.
-    ///
-    /// Returns `None` for an empty burst.
+    /// Returns `None` for an empty burst. Allocates one [`PdpScratch`] per
+    /// call; loops over many bursts should use
+    /// [`PdpEstimator::pdp_of_burst_with`].
     pub fn pdp_of_burst(&self, burst: &[CsiSnapshot]) -> Option<f64> {
-        let mut scratch = Vec::new();
-        let per_packet: Vec<f64> = burst
-            .iter()
-            .map(|s| self.delay_profile_with(s, &mut scratch).peak().power)
-            .collect();
-        stats::median(&per_packet)
+        self.pdp_of_burst_with(burst, &mut PdpScratch::new())
+    }
+
+    /// [`PdpEstimator::pdp_of_burst`] against caller-provided scratch:
+    /// zero steady-state allocation across bursts. Value-identical to the
+    /// allocating variant (`median_in_place` replicates `median` exactly).
+    pub fn pdp_of_burst_with(
+        &self,
+        burst: &[CsiSnapshot],
+        scratch: &mut PdpScratch,
+    ) -> Option<f64> {
+        // Detach the per-packet buffer so `scratch` stays borrowable for
+        // the per-snapshot calls; reattach before returning.
+        let mut per_packet = std::mem::take(&mut scratch.per_packet);
+        per_packet.clear();
+        per_packet.extend(burst.iter().map(|s| self.pdp_of_snapshot_with(s, scratch)));
+        let result = stats::median_in_place(&mut per_packet);
+        scratch.per_packet = per_packet;
+        result
     }
 
     /// Array PDP with selection combining: the maximum per-antenna burst
@@ -77,31 +131,45 @@ impl PdpEstimator {
     ///
     /// Returns `None` when every antenna's burst is empty.
     pub fn pdp_of_array(&self, bursts_per_antenna: &[Vec<CsiSnapshot>]) -> Option<f64> {
+        self.pdp_of_array_with(bursts_per_antenna, &mut PdpScratch::new())
+    }
+
+    /// [`PdpEstimator::pdp_of_array`] against caller-provided scratch.
+    pub fn pdp_of_array_with(
+        &self,
+        bursts_per_antenna: &[Vec<CsiSnapshot>],
+        scratch: &mut PdpScratch,
+    ) -> Option<f64> {
         bursts_per_antenna
             .iter()
-            .filter_map(|burst| self.pdp_of_burst(burst))
+            .filter_map(|burst| self.pdp_of_burst_with(burst, scratch))
             .reduce(f64::max)
     }
 
     /// The full delay profile of a snapshot (Fig. 3 of the paper).
     pub fn delay_profile(&self, snapshot: &CsiSnapshot) -> DelayProfile {
-        self.delay_profile_with(snapshot, &mut Vec::new())
+        self.delay_profile_with(snapshot, &mut PdpScratch::new())
     }
 
-    /// [`PdpEstimator::delay_profile`] with a caller-provided IFFT scratch
-    /// buffer (see [`DelayProfile::from_csi_with`]). Bit-identical to the
+    /// [`PdpEstimator::delay_profile`] against caller-provided scratch
+    /// (see [`DelayProfile::from_csi_with`]). Bit-identical to the
     /// allocating variant.
     pub fn delay_profile_with(
         &self,
         snapshot: &CsiSnapshot,
-        scratch: &mut Vec<Complex>,
+        scratch: &mut PdpScratch,
     ) -> DelayProfile {
         let n = snapshot.h.len();
         // Treat the (possibly grouped) grid as uniform at its mean spacing;
         // the effective bandwidth spans n such steps.
         let bandwidth = snapshot.grid.mean_spacing_hz() * n as f64;
-        let tapered = self.window.apply(&snapshot.h);
-        DelayProfile::from_csi_with(&tapered, bandwidth, self.min_taps, scratch)
+        self.window.apply_into(&snapshot.h, &mut scratch.tapered);
+        DelayProfile::from_csi_with(
+            &scratch.tapered,
+            bandwidth,
+            self.min_taps,
+            &mut scratch.ifft,
+        )
     }
 }
 
@@ -235,6 +303,43 @@ mod tests {
     #[test]
     fn empty_burst_is_none() {
         assert_eq!(PdpEstimator::new().pdp_of_burst(&[]), None);
+        assert_eq!(
+            PdpEstimator::new().pdp_of_burst_with(&[], &mut PdpScratch::new()),
+            None
+        );
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating() {
+        // One scratch reused across snapshots, bursts, and arrays of
+        // different shapes — every result must equal the allocating call
+        // exactly.
+        let env = open_env();
+        let est = PdpEstimator::new().with_window(Window::Hann);
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut scratch = PdpScratch::new();
+        let tx = Point::new(2.0, 3.0);
+        for (i, n_packets) in [(0usize, 3usize), (1, 7), (2, 1), (3, 4)] {
+            let rx = Point::new(4.0 + 3.0 * i as f64, 6.0);
+            let burst = env.sample_csi_burst(tx, rx, &grid, n_packets, &mut rng);
+            assert_eq!(
+                est.pdp_of_snapshot_with(&burst[0], &mut scratch),
+                est.pdp_of_snapshot(&burst[0]),
+                "snapshot {i}"
+            );
+            assert_eq!(
+                est.pdp_of_burst_with(&burst, &mut scratch),
+                est.pdp_of_burst(&burst),
+                "burst {i}"
+            );
+            let array = vec![burst.clone(), Vec::new(), burst];
+            assert_eq!(
+                est.pdp_of_array_with(&array, &mut scratch),
+                est.pdp_of_array(&array),
+                "array {i}"
+            );
+        }
     }
 
     #[test]

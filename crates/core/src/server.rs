@@ -22,12 +22,13 @@ use crate::confidence::{Confidence, PaperExp};
 use crate::estimator::{
     EstimateError, EstimateQuality, FailureCause, LocationEstimate, SpEstimator,
 };
-use crate::pdp::PdpEstimator;
+use crate::pdp::{PdpEstimator, PdpScratch};
 use crate::proximity::{judge_all_pairs, ApSite, PdpReading, ProximityJudgement};
 use crate::stats::{PipelineStats, StatsSnapshot};
 use nomloc_geometry::{Point, Polygon};
 use nomloc_lp::center::CenterMethod;
 use nomloc_rfsim::CsiSnapshot;
+use std::cell::RefCell;
 use std::time::Instant;
 
 /// A CSI report from one AP site: the burst of snapshots it captured for
@@ -164,17 +165,29 @@ impl LocalizationServer {
     }
 
     /// Extracts PDP readings from raw CSI reports, skipping empty bursts.
+    ///
+    /// PDP extraction runs against a thread-local [`PdpScratch`], so a
+    /// long-lived serving thread (a daemon batcher, or the caller itself
+    /// when `workers <= 1` keeps batches inline) processes request after
+    /// request with zero steady-state allocation in the DSP front-end.
     pub fn extract_readings(&self, reports: &[CsiReport]) -> Vec<PdpReading> {
+        thread_local! {
+            static PDP_SCRATCH: RefCell<PdpScratch> = RefCell::new(PdpScratch::new());
+        }
         let start = Instant::now();
-        let readings: Vec<PdpReading> = reports
-            .iter()
-            .filter_map(|r| {
-                let pdp = self.pdp.pdp_of_burst(&r.burst)?;
-                // try_new (not new): a non-finite PDP or site position from
-                // a hostile report must drop the reading, never panic.
-                PdpReading::try_new(r.site, pdp).ok()
-            })
-            .collect();
+        let readings: Vec<PdpReading> = PDP_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            reports
+                .iter()
+                .filter_map(|r| {
+                    let pdp = self.pdp.pdp_of_burst_with(&r.burst, scratch)?;
+                    // try_new (not new): a non-finite PDP or site position
+                    // from a hostile report must drop the reading, never
+                    // panic.
+                    PdpReading::try_new(r.site, pdp).ok()
+                })
+                .collect()
+        });
         self.stats
             .record_extract(reports.len() as u64, readings.len() as u64, start.elapsed());
         readings

@@ -274,6 +274,15 @@ pub struct CounterTotals {
     pub deadline_missed: u64,
     /// High-water mark of the serving admission queue depth.
     pub queue_depth_peak: u64,
+    /// Reply-frame bytes encoded by the serving layer.
+    pub reply_bytes_encoded: u64,
+    /// Reply-frame bytes encoded into a pooled (reused) buffer rather than
+    /// a fresh allocation.
+    pub reply_bytes_pooled: u64,
+    /// Encode-buffer pool checkouts that reused an existing backing store.
+    pub pool_hits: u64,
+    /// Encode-buffer pool checkouts that had to allocate (pool empty).
+    pub pool_misses: u64,
 }
 
 /// Plain-data copy of a [`PipelineStats`], taken by
@@ -342,6 +351,16 @@ impl fmt::Display for StatsSnapshot {
             writeln!(f, "  overload rejections   {}", c.queue_rejected)?;
             writeln!(f, "  deadline misses       {}", c.deadline_missed)?;
         }
+        if c.pool_hits > 0 || c.pool_misses > 0 {
+            let checkouts = c.pool_hits + c.pool_misses;
+            writeln!(
+                f,
+                "  reply bytes encoded   {} ({} pooled, pool hit-rate {:.1}%)",
+                c.reply_bytes_encoded,
+                c.reply_bytes_pooled,
+                100.0 * c.pool_hits as f64 / checkouts as f64,
+            )?;
+        }
         for (name, h) in [
             ("extract", &self.extract_latency),
             ("judge", &self.judge_latency),
@@ -390,6 +409,10 @@ pub struct PipelineStats {
     queue_rejected: AtomicU64,
     deadline_missed: AtomicU64,
     queue_depth_peak: AtomicU64,
+    reply_bytes_encoded: AtomicU64,
+    reply_bytes_pooled: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
     extract_latency: LatencyHistogram,
     judge_latency: LatencyHistogram,
     solve_latency: LatencyHistogram,
@@ -501,6 +524,22 @@ impl PipelineStats {
         self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Records one reply-frame encode of `bytes` into a pool checkout that
+    /// either `reused` an existing backing store or had to allocate.
+    ///
+    /// Serving-layer only (the daemon's reply path); in-process batch runs
+    /// never touch these counters, so [`CounterTotals`] determinism across
+    /// worker counts is unaffected.
+    pub fn record_reply_encode(&self, bytes: u64, reused: bool) {
+        self.reply_bytes_encoded.fetch_add(bytes, Ordering::Relaxed);
+        if reused {
+            self.reply_bytes_pooled.fetch_add(bytes, Ordering::Relaxed);
+            self.pool_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.pool_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Copies the current state out as plain data.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -529,6 +568,10 @@ impl PipelineStats {
                 queue_rejected: self.queue_rejected.load(Ordering::Relaxed),
                 deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
                 queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+                reply_bytes_encoded: self.reply_bytes_encoded.load(Ordering::Relaxed),
+                reply_bytes_pooled: self.reply_bytes_pooled.load(Ordering::Relaxed),
+                pool_hits: self.pool_hits.load(Ordering::Relaxed),
+                pool_misses: self.pool_misses.load(Ordering::Relaxed),
             },
             extract_latency: self.extract_latency.snapshot(),
             judge_latency: self.judge_latency.snapshot(),
@@ -562,6 +605,10 @@ impl PipelineStats {
         self.queue_rejected.store(0, Ordering::Relaxed);
         self.deadline_missed.store(0, Ordering::Relaxed);
         self.queue_depth_peak.store(0, Ordering::Relaxed);
+        self.reply_bytes_encoded.store(0, Ordering::Relaxed);
+        self.reply_bytes_pooled.store(0, Ordering::Relaxed);
+        self.pool_hits.store(0, Ordering::Relaxed);
+        self.pool_misses.store(0, Ordering::Relaxed);
         self.extract_latency.reset();
         self.judge_latency.reset();
         self.solve_latency.reset();
@@ -784,6 +831,26 @@ mod tests {
         let s = stats.snapshot();
         assert_eq!(s.counters, CounterTotals::default());
         assert_eq!(s.batch_sizes.count(), 0);
+    }
+
+    #[test]
+    fn reply_encode_counters_accumulate_and_reset() {
+        let stats = PipelineStats::new();
+        stats.record_reply_encode(100, false);
+        stats.record_reply_encode(60, true);
+        stats.record_reply_encode(40, true);
+        let c = stats.snapshot().counters;
+        assert_eq!(c.reply_bytes_encoded, 200);
+        assert_eq!(c.reply_bytes_pooled, 100);
+        assert_eq!(c.pool_hits, 2);
+        assert_eq!(c.pool_misses, 1);
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("reply bytes encoded   200 (100 pooled, pool hit-rate 66.7%)"));
+        stats.reset();
+        let c = stats.snapshot().counters;
+        assert_eq!(c, CounterTotals::default());
+        // No pool activity: the reuse line disappears entirely.
+        assert!(!stats.snapshot().to_string().contains("reply bytes"));
     }
 
     #[test]

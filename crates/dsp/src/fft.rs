@@ -78,7 +78,31 @@ fn dft(x: &[Complex], inverse: bool) -> Vec<Complex> {
 }
 
 /// In-place radix-2 Cooley–Tukey, *without* inverse normalization.
-fn fft_radix2(buf: &mut [Complex], inverse: bool) {
+///
+/// Routes through the per-thread [`crate::plan::PlanCache`], so the
+/// bit-reversal permutation and twiddle tables are computed once per size
+/// per thread instead of on every call.
+///
+/// # Panics
+///
+/// Panics when `buf.len()` is not a power of two (plan construction
+/// rejects other sizes).
+pub fn fft_radix2(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+    crate::plan::with_thread_plan(n, |plan| plan.process(buf, inverse));
+}
+
+/// The pre-plan iterative radix-2 kernel, kept as a benchmark baseline and
+/// accuracy reference: it recomputes the bit-reversal permutation per call
+/// and accumulates twiddles by repeated multiplication (`w *= wlen`),
+/// which drifts by one rounding error per butterfly.
+///
+/// Semantics match the planned kernel: in-place, no inverse normalization.
+pub fn fft_radix2_unplanned(buf: &mut [Complex], inverse: bool) {
     let n = buf.len();
     debug_assert!(n.is_power_of_two());
     if n <= 1 {
@@ -174,6 +198,20 @@ pub fn ifft_padded_into(x: &[Complex], min_len: usize, out: &mut Vec<Complex>) {
     out.extend_from_slice(x);
     out.resize(target, Complex::ZERO);
     fft_radix2(out, true);
+    let scale = 1.0 / target as f64;
+    for v in out.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+/// [`ifft_padded_into`] running the unplanned kernel. Benchmark baseline for
+/// the planned path; not used on the serving hot path.
+pub fn ifft_padded_into_unplanned(x: &[Complex], min_len: usize, out: &mut Vec<Complex>) {
+    let target = min_len.max(x.len()).next_power_of_two();
+    out.clear();
+    out.extend_from_slice(x);
+    out.resize(target, Complex::ZERO);
+    fft_radix2_unplanned(out, true);
     let scale = 1.0 / target as f64;
     for v in out.iter_mut() {
         *v = v.scale(scale);
@@ -333,6 +371,60 @@ mod tests {
         ifft_padded_into(&[], 0, &mut scratch);
         assert_eq!(scratch, vec![Complex::ZERO]);
         assert_eq!(ifft_padded(&[], 0), vec![Complex::ZERO]);
+    }
+
+    #[test]
+    fn planned_twiddles_no_worse_than_iterative_on_adversarial_input() {
+        // Regression for the twiddle rounding drift: the old kernel
+        // accumulated w *= wlen per butterfly, so late butterflies in a long
+        // stage used twiddles carrying hundreds of rounding errors. A
+        // 1024-point shifted impulse is adversarial for exactly that: its
+        // spectrum is a pure twiddle per bin, the O(N²) oracle reduces to a
+        // single exact term, so the measured error is the kernel's twiddle
+        // error and nothing else.
+        let n = 1024usize;
+        let mut x = vec![Complex::ZERO; n];
+        x[1] = Complex::ONE;
+        let oracle = dft_naive(&x, false);
+
+        let mut planned = x.clone();
+        fft_radix2(&mut planned, false);
+        let mut iterative = x.clone();
+        fft_radix2_unplanned(&mut iterative, false);
+
+        let err = |got: &[Complex]| -> f64 {
+            got.iter()
+                .zip(&oracle)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max)
+        };
+        let planned_err = err(&planned);
+        let iterative_err = err(&iterative);
+        assert!(
+            planned_err <= iterative_err,
+            "planned max error {planned_err:e} exceeds iterative {iterative_err:e}"
+        );
+        // And the planned kernel must be accurate in absolute terms: every
+        // output has unit magnitude, so a few ulps is the right scale.
+        assert!(planned_err < 1e-13, "planned error {planned_err:e}");
+    }
+
+    #[test]
+    fn unplanned_kernel_matches_planned_within_tolerance() {
+        for n in [2usize, 8, 64, 256] {
+            let x = signal(n);
+            let mut a = x.clone();
+            fft_radix2(&mut a, false);
+            let mut b = x.clone();
+            fft_radix2_unplanned(&mut b, false);
+            assert_close(&a, &b, 1e-8 * n as f64);
+        }
+        let x = signal(30);
+        let mut planned = Vec::new();
+        ifft_padded_into(&x, 256, &mut planned);
+        let mut unplanned = Vec::new();
+        ifft_padded_into_unplanned(&x, 256, &mut unplanned);
+        assert_close(&planned, &unplanned, 1e-10);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`Complex`] — minimal complex arithmetic (no external deps).
 //! * [`fft`] — radix-2 FFT/IFFT and a Bluestein fallback for arbitrary
 //!   lengths (Intel 5300 CSI has 30 grouped subcarriers, not a power of 2).
+//! * [`plan`] — precomputed FFT plans (bit-reversal indices + per-stage
+//!   twiddle tables) and the per-thread [`plan::PlanCache`] the radix-2
+//!   kernel runs through.
 //! * [`pdp`] — power delay profiles and their summary taps.
 //! * [`stats`] — mean/variance/percentiles and empirical CDFs (the paper's
 //!   accuracy metric) plus the spatial-localizability-variance helper.
@@ -42,10 +45,12 @@
 mod complex;
 pub mod fft;
 pub mod pdp;
+pub mod plan;
 pub mod stats;
 mod window;
 
 pub use complex::Complex;
+pub use plan::{FftPlan, PlanCache};
 pub use window::Window;
 
 /// Converts a linear power ratio to decibels.

@@ -102,6 +102,41 @@ impl DelayProfile {
         }
     }
 
+    /// The peak tap power of [`DelayProfile::from_csi_with`] without
+    /// materializing the profile: the tap powers are folded into a running
+    /// maximum as they are computed, so the per-packet hot path performs no
+    /// allocation beyond the reused IFFT scratch.
+    ///
+    /// Value-identical to `from_csi_with(..).peak().power` — each power is
+    /// the same `(h · gain)` norm and the fold uses the same `total_cmp`
+    /// order with later ties winning, exactly like
+    /// [`DelayProfile::peak`]'s `max_by`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `csi` is empty or `bandwidth` is not positive.
+    pub fn peak_power_from_csi_with(
+        csi: &[Complex],
+        bandwidth: f64,
+        min_taps: usize,
+        scratch: &mut Vec<Complex>,
+    ) -> f64 {
+        assert!(!csi.is_empty(), "CSI must not be empty");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        fft::ifft_padded_into(csi, min_taps, scratch);
+        let gain = scratch.len() as f64 / csi.len() as f64;
+        let mut taps = scratch.iter();
+        let first = taps.next().expect("padded IFFT output is never empty");
+        let mut best = (*first * gain).norm_sq();
+        for h in taps {
+            let power = (*h * gain).norm_sq();
+            if power.total_cmp(&best) != std::cmp::Ordering::Less {
+                best = power;
+            }
+        }
+        best
+    }
+
     /// Number of delay taps.
     #[inline]
     pub fn len(&self) -> usize {
@@ -251,6 +286,19 @@ mod tests {
             let reused = DelayProfile::from_csi_with(&csi, bw, min_taps, &mut scratch);
             // Bit-identical, not just approximately equal.
             assert_eq!(reused, direct, "n={n} min_taps={min_taps}");
+        }
+    }
+
+    #[test]
+    fn peak_power_from_csi_with_matches_profile_peak() {
+        let bw = 20e6;
+        let mut scratch = vec![Complex::new(3.0, 3.0); 9]; // dirty, wrong size
+        for (n, min_taps) in [(30usize, 256usize), (30, 64), (16, 16), (56, 128), (1, 1)] {
+            let csi = two_path_csi(n, bw, 80e-9, 1.0, 350e-9, 0.5);
+            let profile = DelayProfile::from_csi(&csi, bw, min_taps);
+            let fused = DelayProfile::peak_power_from_csi_with(&csi, bw, min_taps, &mut scratch);
+            // Value-identical: same powers, same tie-break order.
+            assert_eq!(fused, profile.peak().power, "n={n} min_taps={min_taps}");
         }
     }
 

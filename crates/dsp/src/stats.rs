@@ -60,6 +60,23 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 
+/// [`median`] computed by sorting the caller's buffer in place instead of
+/// cloning it — the zero-allocation variant for the per-burst hot path.
+///
+/// Value-identical to `median`: same `total_cmp` sort, same interpolation
+/// formula as `percentile(xs, 50.0)`. Returns `None` for empty input.
+pub fn median_in_place(xs: &mut [f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(f64::total_cmp);
+    let rank = 50.0 / 100.0 * (xs.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(xs[lo] * (1.0 - frac) + xs[hi] * frac)
+}
+
 /// Minimum of a slice. Returns `None` for empty input.
 pub fn min(xs: &[f64]) -> Option<f64> {
     xs.iter().copied().reduce(f64::min)
@@ -220,6 +237,22 @@ mod tests {
     fn median_even_and_odd() {
         assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
         assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn median_in_place_matches_median() {
+        for xs in [
+            vec![3.0, 1.0, 2.0],
+            vec![4.0, 1.0, 3.0, 2.0],
+            vec![0.5],
+            vec![-1.0, -1.0, 7.5, 0.25, 1e-9, -3.25],
+        ] {
+            let expect = median(&xs);
+            let mut buf = xs.clone();
+            // Bit-identical to the allocating median, sorting in place.
+            assert_eq!(median_in_place(&mut buf), expect, "{xs:?}");
+        }
+        assert_eq!(median_in_place(&mut []), None);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use nomloc_dsp::pdp::DelayProfile;
 use nomloc_dsp::stats::{self, Ecdf};
-use nomloc_dsp::{fft, from_db, to_db, Complex};
+use nomloc_dsp::{fft, from_db, to_db, Complex, FftPlan};
 use proptest::prelude::*;
 
 fn complex_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Complex>> {
@@ -106,5 +106,66 @@ proptest! {
         let profile = DelayProfile::from_csi(&x, 20e6, 64);
         prop_assert!(profile.total_power() > 0.0);
         prop_assert!(profile.rms_delay_spread() >= 0.0);
+    }
+
+    #[test]
+    fn plan_matches_naive_dft_all_power_of_two_sizes(log2 in 1u32..11, seed in 0u64..1000) {
+        // Sizes 2..=1024: the planned kernel must track the O(N²) oracle in
+        // both directions. Seeded pseudo-random input keeps shrinking useful.
+        let n = 1usize << log2;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| {
+                let t = (i as f64 + 1.0) * (seed as f64 + 1.0);
+                Complex::new((0.37 * t).sin(), (0.73 * t).cos())
+            })
+            .collect();
+        let plan = FftPlan::new(n);
+
+        let mut fwd = x.clone();
+        plan.forward(&mut fwd);
+        for (a, b) in fwd.iter().zip(&fft::dft_naive(&x, false)) {
+            prop_assert!((*a - *b).abs() < 1e-9 * n as f64);
+        }
+
+        let mut inv = x.clone();
+        plan.inverse(&mut inv);
+        for (a, b) in inv.iter().zip(&fft::dft_naive(&x, true)) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plan_inverse_matches_ifft_padded_into_bit_for_bit(
+        x in complex_vec(1..80),
+        min_log2 in 0u32..10,
+    ) {
+        // Where both apply — padded length a power of two — a plan-driven
+        // inverse over the padded buffer must be byte-identical to
+        // ifft_padded_into, since that is exactly the code path it runs.
+        let min_len = 1usize << min_log2;
+        let target = min_len.max(x.len()).next_power_of_two();
+
+        let mut via_into = Vec::new();
+        fft::ifft_padded_into(&x, min_len, &mut via_into);
+
+        let mut via_plan = x.clone();
+        via_plan.resize(target, Complex::ZERO);
+        FftPlan::new(target).inverse(&mut via_plan);
+
+        prop_assert_eq!(via_into, via_plan);
+    }
+
+    #[test]
+    fn plan_round_trip_is_identity(x in complex_vec(1..80), pad_log2 in 0u32..9) {
+        let target = (x.len().max(1) << pad_log2).next_power_of_two();
+        let plan = FftPlan::new(target);
+        let mut buf = x.clone();
+        buf.resize(target, Complex::ZERO);
+        let orig = buf.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
     }
 }

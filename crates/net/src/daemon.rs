@@ -32,6 +32,7 @@
 //!   and readers, then lets the batchers empty the queue — every admitted
 //!   request is answered — before joining all threads.
 
+use crate::pool::BufferPool;
 use crate::wire::{
     self, ErrorCode, ErrorReply, Frame, LocateResponse, ServerHealth, WireError, WireEstimate,
 };
@@ -141,6 +142,10 @@ struct Shared {
     shutting_down: AtomicBool,
     net: NetCounters,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Reusable `Vec<u8>` backing stores for reply-frame encoding, shared
+    /// by readers and batchers. Hit/miss and byte counters surface through
+    /// `PipelineStats` → `ServerHealth` (daemon-local display only).
+    pool: BufferPool,
 }
 
 /// Handle to a running daemon: address, live stats, graceful shutdown.
@@ -185,6 +190,9 @@ pub fn spawn<A: ToSocketAddrs>(
         shutting_down: AtomicBool::new(false),
         net: NetCounters::default(),
         conn_threads: Mutex::new(Vec::new()),
+        // Enough idle buffers for every reader and batcher to hold one
+        // while others are checked out; excess returns are dropped.
+        pool: BufferPool::new(64),
     });
 
     let mut acceptors = Vec::with_capacity(config.acceptors.max(1));
@@ -241,9 +249,10 @@ fn watchdog_loop(shared: &Arc<Shared>, mut batchers: Vec<JoinHandle<()>>) {
     }
     // A batcher that killed itself after the shutdown flag was set leaves
     // its requeued batch behind with nobody to respawn for it — answer it
-    // here. `next_batch` returns `None` once the queue is truly empty.
-    while let Some(batch) = next_batch(shared) {
-        solve_and_reply(shared, batch);
+    // here. `next_batch` returns `false` once the queue is truly empty.
+    let mut scratch = BatcherScratch::default();
+    while next_batch(shared, &mut scratch) {
+        solve_and_reply(shared, &mut scratch);
     }
 }
 
@@ -339,6 +348,10 @@ fn health_of(shared: &Shared) -> ServerHealth {
         quality_full: snap.counters.quality_full,
         quality_region: snap.counters.quality_region,
         quality_centroid: snap.counters.quality_centroid,
+        reply_bytes_encoded: snap.counters.reply_bytes_encoded,
+        reply_bytes_pooled: snap.counters.reply_bytes_pooled,
+        pool_hits: snap.counters.pool_hits,
+        pool_misses: snap.counters.pool_misses,
     }
 }
 
@@ -368,16 +381,24 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 }
 
-/// Sends one reply frame, bumping the response counters. Write errors are
+/// Sends one reply frame, bumping the response counters. The frame is
+/// encoded into a pooled buffer (returned afterwards), so steady-state
+/// replies reuse backing stores instead of allocating. Write errors are
 /// swallowed: the client hung up, which is its prerogative.
 fn reply(shared: &Shared, writer: &ConnWriter, response: LocateResponse) {
     let ok = response.outcome.is_ok();
     let frame = Frame::LocateResponse(response);
-    let bytes = wire::frame_to_vec(&frame);
+    let (mut bytes, reused) = shared.pool.get();
+    wire::encode_frame(&frame, &mut bytes);
+    shared
+        .server
+        .stats()
+        .record_reply_encode(bytes.len() as u64, reused);
     let sent = {
         let mut stream = writer.stream.lock().unwrap();
         stream.write_all(&bytes).is_ok()
     };
+    shared.pool.put(bytes);
     if sent {
         shared.net.frames_out.fetch_add(1, Ordering::Relaxed);
     }
@@ -504,8 +525,14 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
         }
         Frame::StatsRequest => {
             let health = health_of(shared);
-            let bytes = wire::frame_to_vec(&Frame::StatsResponse(health));
+            let (mut bytes, reused) = shared.pool.get();
+            wire::encode_frame(&Frame::StatsResponse(health), &mut bytes);
+            shared
+                .server
+                .stats()
+                .record_reply_encode(bytes.len() as u64, reused);
             let sent = writer.stream.lock().unwrap().write_all(&bytes).is_ok();
+            shared.pool.put(bytes);
             if sent {
                 shared.net.frames_out.fetch_add(1, Ordering::Relaxed);
             }
@@ -528,11 +555,30 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
     }
 }
 
+/// Per-batcher-thread reusable buffers for request assembly and replies.
+///
+/// Every `Vec` here keeps its capacity across batches, so a long-lived
+/// batcher forms, solves, and answers micro-batches with zero steady-state
+/// allocation in the assembly layer (the per-request report payloads still
+/// arrive owned from the readers).
+#[derive(Default)]
+struct BatcherScratch {
+    /// The batch popped by `next_batch`.
+    batch: Vec<Pending>,
+    /// Batch minus deadline-expired requests.
+    live: Vec<Pending>,
+    /// Report payloads taken out of `live`, aligned by index.
+    inputs: Vec<Vec<CsiReport>>,
+    /// Solved responses awaiting coalesced writes, aligned with `live`.
+    responses: Vec<Option<LocateResponse>>,
+}
+
 fn batcher_loop(shared: &Arc<Shared>) {
+    let mut scratch = BatcherScratch::default();
     loop {
-        let Some(batch) = next_batch(shared) else {
+        if !next_batch(shared, &mut scratch) {
             return; // drained and shutting down
-        };
+        }
         let popped = shared.net.batches_popped.fetch_add(1, Ordering::Relaxed) + 1;
         let kill = shared.config.kill_batcher_every;
         if kill > 1 && popped.is_multiple_of(kill) {
@@ -542,7 +588,7 @@ fn batcher_loop(shared: &Arc<Shared>) {
             // (`kill == 1` would livelock every batcher, so it is treated
             // as disabled along with 0.)
             let mut q = shared.queue.lock().unwrap();
-            for p in batch.into_iter().rev() {
+            for p in scratch.batch.drain(..).rev() {
                 q.push_front(p);
             }
             drop(q);
@@ -552,15 +598,17 @@ fn batcher_loop(shared: &Arc<Shared>) {
         if !shared.config.batch_pause.is_zero() {
             std::thread::sleep(shared.config.batch_pause);
         }
-        solve_and_reply(shared, batch);
+        solve_and_reply(shared, &mut scratch);
     }
 }
 
 /// Blocks for the next micro-batch: pops the queue head, then coalesces
 /// until `max_batch` requests or `max_wait` elapsed since the head popped.
-/// Returns `None` when the queue is empty and the daemon is shutting down.
-fn next_batch(shared: &Shared) -> Option<Vec<Pending>> {
-    let mut batch: Vec<Pending> = Vec::new();
+/// The batch lands in `scratch.batch` (cleared first, capacity reused).
+/// Returns `false` when the queue is empty and the daemon is shutting down.
+fn next_batch(shared: &Shared, scratch: &mut BatcherScratch) -> bool {
+    let batch = &mut scratch.batch;
+    batch.clear();
     let mut q = shared.queue.lock().unwrap();
     loop {
         if let Some(p) = q.pop_front() {
@@ -568,7 +616,7 @@ fn next_batch(shared: &Shared) -> Option<Vec<Pending>> {
             break;
         }
         if shared.shutting_down.load(Ordering::Acquire) {
-            return None;
+            return false;
         }
         let (guard, _) = shared.queue_cv.wait_timeout(q, POLL_INTERVAL).unwrap();
         q = guard;
@@ -597,14 +645,22 @@ fn next_batch(shared: &Shared) -> Option<Vec<Pending>> {
         }
     }
     drop(q);
-    Some(batch)
+    true
 }
 
-fn solve_and_reply(shared: &Shared, batch: Vec<Pending>) {
+fn solve_and_reply(shared: &Shared, scratch: &mut BatcherScratch) {
+    let BatcherScratch {
+        batch,
+        live,
+        inputs,
+        responses,
+    } = scratch;
+    live.clear();
+    inputs.clear();
+    responses.clear();
     // Expire requests that aged past their deadline while queued — they
     // get an error each; the rest of the batch is unaffected.
-    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
-    for p in batch {
+    for p in batch.drain(..) {
         let expired = p.deadline.is_some_and(|d| p.admitted_at.elapsed() > d);
         if expired {
             shared.server.stats().record_deadline_miss();
@@ -624,22 +680,65 @@ fn solve_and_reply(shared: &Shared, batch: Vec<Pending>) {
     if live.is_empty() {
         return;
     }
-    let inputs: Vec<Vec<CsiReport>> = live
-        .iter_mut()
-        .map(|p| std::mem::take(&mut p.reports))
-        .collect();
+    inputs.extend(live.iter_mut().map(|p| std::mem::take(&mut p.reports)));
     let plan = shared.config.fault_plan.as_ref();
     // Injected panics fire BEFORE the solve touches any core state, so the
     // unwind can never poison a lock inside the server — which is what
     // makes `AssertUnwindSafe` an honest assertion here.
     let batch_result = std::panic::catch_unwind(AssertUnwindSafe(|| {
         panic_if_injected(plan, live.iter().map(|p| p.request_id));
-        shared.server.process_batch(&inputs)
+        shared.server.process_batch(inputs)
     }));
     match batch_result {
         Ok(results) => {
-            for (p, result) in live.iter().zip(results) {
-                reply_result(shared, p, result);
+            responses.extend(
+                live.iter()
+                    .zip(results)
+                    .map(|(p, result)| Some(response_for(shared, p, result))),
+            );
+            // Coalesced writes: encode every reply destined for the same
+            // connection into one pooled buffer and write it with a single
+            // syscall, instead of one locked write per reply.
+            for i in 0..live.len() {
+                if responses[i].is_none() {
+                    continue;
+                }
+                let writer = &live[i].writer;
+                let (mut bytes, reused) = shared.pool.get();
+                let mut frames = 0u64;
+                let mut ok_frames = 0u64;
+                for j in i..live.len() {
+                    if !Arc::ptr_eq(&live[j].writer, writer) {
+                        continue;
+                    }
+                    if let Some(response) = responses[j].take() {
+                        if response.outcome.is_ok() {
+                            ok_frames += 1;
+                        }
+                        wire::encode_frame(&Frame::LocateResponse(response), &mut bytes);
+                        frames += 1;
+                    }
+                }
+                shared
+                    .server
+                    .stats()
+                    .record_reply_encode(bytes.len() as u64, reused);
+                let sent = {
+                    let mut stream = writer.stream.lock().unwrap();
+                    stream.write_all(&bytes).is_ok()
+                };
+                shared.pool.put(bytes);
+                if sent {
+                    shared.net.frames_out.fetch_add(frames, Ordering::Relaxed);
+                }
+                shared
+                    .net
+                    .responses_sent
+                    .fetch_add(frames, Ordering::Relaxed);
+                shared
+                    .net
+                    .requests_ok
+                    .fetch_add(ok_frames, Ordering::Relaxed);
             }
         }
         Err(_) => {
@@ -649,7 +748,7 @@ fn solve_and_reply(shared: &Shared, batch: Vec<Pending>) {
             // `Internal`. `process` is bit-identical to a single-element
             // `process_batch`, so the batch-mates' replies match the
             // panic-free run exactly.
-            for (p, input) in live.iter().zip(&inputs) {
+            for (p, input) in live.iter().zip(inputs.iter()) {
                 let one = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     panic_if_injected(plan, std::iter::once(p.request_id));
                     shared.server.process(input)
@@ -686,14 +785,14 @@ fn panic_if_injected(plan: Option<&FaultPlan>, ids: impl Iterator<Item = u64>) {
     }
 }
 
-/// Sends the reply for one solved request, mapping a typed estimate
-/// failure onto its wire error code.
-fn reply_result(
+/// Builds the reply for one solved request, mapping a typed estimate
+/// failure onto its wire error code (and bumping the failure counter).
+fn response_for(
     shared: &Shared,
     p: &Pending,
     result: Result<nomloc_core::LocationEstimate, nomloc_core::EstimateError>,
-) {
-    let response = match result {
+) -> LocateResponse {
+    match result {
         Ok(est) => LocateResponse {
             request_id: p.request_id,
             outcome: Ok(WireEstimate::from_core(&est)),
@@ -706,6 +805,15 @@ fn reply_result(
                 e.to_string(),
             )
         }
-    };
+    }
+}
+
+/// Sends the reply for one solved request.
+fn reply_result(
+    shared: &Shared,
+    p: &Pending,
+    result: Result<nomloc_core::LocationEstimate, nomloc_core::EstimateError>,
+) {
+    let response = response_for(shared, p, result);
     reply(shared, &p.writer, response);
 }

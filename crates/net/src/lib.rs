@@ -35,9 +35,11 @@ pub mod chaos;
 pub mod crc32;
 pub mod daemon;
 pub mod loadgen;
+pub mod pool;
 pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosReport, ChaosSummary};
 pub use daemon::{spawn, DaemonConfig, DaemonHandle};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use pool::BufferPool;
 pub use wire::{ErrorCode, Frame, ServerHealth, WireError};

@@ -298,13 +298,18 @@ fn drive_once(
         let sender_indices = &indices;
         let sender_stamps = &sent_at;
         let sender: std::thread::ScopedJoinHandle<'_, io::Result<()>> = scope.spawn(move || {
+            // One encode buffer for the whole pass: frames are encoded
+            // into the reused backing store instead of allocating per
+            // request (mirrors the daemon's pooled reply path).
+            let mut bytes = Vec::new();
             for (slot, &i) in sender_indices.iter().enumerate() {
                 let frame = Frame::LocateRequest(LocateRequest {
                     request_id: i as u64,
                     deadline_us: config.deadline_us,
                     reports: requests[i].iter().map(WireReport::from_core).collect(),
                 });
-                let bytes = wire::frame_to_vec(&frame);
+                bytes.clear();
+                wire::encode_frame(&frame, &mut bytes);
                 *sender_stamps[slot].lock().unwrap() = Some(Instant::now());
                 write_half.write_all(&bytes)?;
             }

@@ -1,0 +1,104 @@
+//! A small `Vec<u8>` buffer pool for the frame encode path.
+//!
+//! The daemon's reply path used to allocate a fresh `Vec` per frame
+//! (`frame_to_vec`). With request rates in the tens of thousands per second
+//! that is pure allocator churn: reply frames are all within a few dozen
+//! bytes of each other, so the backing stores are perfectly reusable. The
+//! [`BufferPool`] keeps returned buffers on a bounded stack; checkouts pop a
+//! cleared buffer (capacity intact) and report whether they reused one, so
+//! the serving stats can surface allocator pressure
+//! (`reply bytes encoded … pool hit-rate`).
+//!
+//! Poisoning safety: [`BufferPool::get`] always returns a **cleared** buffer
+//! and encoding only ever appends, so stale bytes from a previous request
+//! can never leak into a later reply. The chaos suite pins this with a
+//! bit-identity test over varied-size requests.
+
+use std::sync::Mutex;
+
+/// A bounded stack of reusable `Vec<u8>` backing stores.
+///
+/// Shared across the daemon's connection and batcher threads; the lock is
+/// held only for a push/pop.
+#[derive(Debug)]
+pub struct BufferPool {
+    stack: Mutex<Vec<Vec<u8>>>,
+    max_buffers: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool retaining at most `max_buffers` idle buffers.
+    pub fn new(max_buffers: usize) -> Self {
+        BufferPool {
+            stack: Mutex::new(Vec::new()),
+            max_buffers,
+        }
+    }
+
+    /// Checks out a cleared buffer. The second element is `true` when an
+    /// existing backing store was reused, `false` when the pool was empty
+    /// and a fresh `Vec` was created.
+    pub fn get(&self) -> (Vec<u8>, bool) {
+        let popped = self.stack.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match popped {
+            Some(mut buf) => {
+                buf.clear();
+                (buf, true)
+            }
+            None => (Vec::new(), false),
+        }
+    }
+
+    /// Returns a buffer to the pool. Dropped instead when the pool is at
+    /// capacity, so a burst can't pin memory forever.
+    pub fn put(&self, buf: Vec<u8>) {
+        let mut stack = self.stack.lock().unwrap_or_else(|e| e.into_inner());
+        if stack.len() < self.max_buffers {
+            stack.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.stack.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_checkout_misses_then_hits() {
+        let pool = BufferPool::new(4);
+        let (buf, reused) = pool.get();
+        assert!(!reused);
+        pool.put(buf);
+        assert_eq!(pool.idle(), 1);
+        let (_, reused) = pool.get();
+        assert!(reused);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn checkout_is_cleared_but_keeps_capacity() {
+        let pool = BufferPool::new(4);
+        let (mut buf, _) = pool.get();
+        buf.extend_from_slice(b"stale reply bytes");
+        let cap = buf.capacity();
+        pool.put(buf);
+        let (buf, reused) = pool.get();
+        assert!(reused);
+        assert!(buf.is_empty(), "pooled buffer must come back cleared");
+        assert_eq!(buf.capacity(), cap, "backing store must be reused");
+    }
+
+    #[test]
+    fn capacity_bound_drops_excess() {
+        let pool = BufferPool::new(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.idle(), 2);
+    }
+}

@@ -469,6 +469,21 @@ pub struct ServerHealth {
     pub quality_region: u64,
     /// Estimates degraded to the weighted site centroid.
     pub quality_centroid: u64,
+    /// Reply-frame bytes encoded by the daemon.
+    ///
+    /// Daemon-local display only: this field and the three below are **not
+    /// serialized** in `StatsResponse` frames (the wire image is unchanged,
+    /// no version bump) and decode as zero.
+    pub reply_bytes_encoded: u64,
+    /// Reply-frame bytes encoded into a pooled (reused) buffer. Daemon-local
+    /// display only; not serialized.
+    pub reply_bytes_pooled: u64,
+    /// Encode-buffer pool checkouts that reused a backing store.
+    /// Daemon-local display only; not serialized.
+    pub pool_hits: u64,
+    /// Encode-buffer pool checkouts that allocated fresh. Daemon-local
+    /// display only; not serialized.
+    pub pool_misses: u64,
 }
 
 impl fmt::Display for ServerHealth {
@@ -495,6 +510,16 @@ impl fmt::Display for ServerHealth {
             self.batches_formed, self.batch_size_p50, self.batch_size_max
         )?;
         writeln!(f, "  queue depth peak      {}", self.queue_depth_peak)?;
+        if self.pool_hits > 0 || self.pool_misses > 0 {
+            let checkouts = self.pool_hits + self.pool_misses;
+            writeln!(
+                f,
+                "  reply bytes encoded   {} ({} pooled, pool hit-rate {:.1}%)",
+                self.reply_bytes_encoded,
+                self.reply_bytes_pooled,
+                100.0 * self.pool_hits as f64 / checkouts as f64,
+            )?;
+        }
         writeln!(
             f,
             "  quality tiers         full {} / region {} / centroid {}",
@@ -822,21 +847,31 @@ fn health_fields_mut(h: &mut ServerHealth) -> [&mut u64; 22] {
 // Frame-level encode/decode.
 
 /// Encodes `frame` (header + payload) onto the end of `out`.
+///
+/// The payload is encoded directly into `out` after a reserved header slot
+/// and the length/CRC fields are backpatched, so encoding never allocates a
+/// staging buffer of its own — callers that reuse `out` encode with zero
+/// allocation in steady state. The byte image is identical to encoding the
+/// payload separately and appending it.
 pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
-    let mut payload = Vec::new();
-    match frame {
-        Frame::LocateRequest(req) => encode_locate_request(req, &mut payload),
-        Frame::LocateResponse(resp) => encode_locate_response(resp, &mut payload),
-        Frame::StatsRequest => {}
-        Frame::StatsResponse(h) => encode_health(h, &mut payload),
-    }
+    let header_at = out.len();
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(frame.type_tag());
     put_u16(out, 0); // reserved
-    put_u32(out, payload.len() as u32);
-    put_u32(out, crc32(&payload));
-    out.extend_from_slice(&payload);
+    put_u32(out, 0); // payload length, backpatched below
+    put_u32(out, 0); // payload crc32, backpatched below
+    let payload_at = out.len();
+    match frame {
+        Frame::LocateRequest(req) => encode_locate_request(req, out),
+        Frame::LocateResponse(resp) => encode_locate_response(resp, out),
+        Frame::StatsRequest => {}
+        Frame::StatsResponse(h) => encode_health(h, out),
+    }
+    let payload_len = (out.len() - payload_at) as u32;
+    let crc = crc32(&out[payload_at..]);
+    out[header_at + 8..header_at + 12].copy_from_slice(&payload_len.to_le_bytes());
+    out[header_at + 12..header_at + 16].copy_from_slice(&crc.to_le_bytes());
 }
 
 /// Encodes `frame` into a fresh buffer.
@@ -1145,6 +1180,48 @@ mod tests {
             decode_frame(&bytes).unwrap().0,
             Frame::StatsResponse(health)
         );
+    }
+
+    #[test]
+    fn pool_counters_are_daemon_local_not_serialized() {
+        // The payload-reuse counters must not change the wire image (no
+        // version bump): two healths differing only in those fields encode
+        // identically, and decoding zeroes them.
+        let base = ServerHealth {
+            frames_in: 7,
+            requests_ok: 5,
+            ..ServerHealth::default()
+        };
+        let with_pool = ServerHealth {
+            reply_bytes_encoded: 1234,
+            reply_bytes_pooled: 1000,
+            pool_hits: 20,
+            pool_misses: 2,
+            ..base
+        };
+        assert_eq!(
+            frame_to_vec(&Frame::StatsResponse(base)),
+            frame_to_vec(&Frame::StatsResponse(with_pool))
+        );
+        let bytes = frame_to_vec(&Frame::StatsResponse(with_pool));
+        assert_eq!(decode_frame(&bytes).unwrap().0, Frame::StatsResponse(base));
+    }
+
+    #[test]
+    fn encode_frame_appends_after_existing_content() {
+        // In-place encoding with backpatched length/CRC must compose when
+        // several frames share one output buffer (the coalesced reply path).
+        let frames = [Frame::StatsRequest, sample_request()];
+        let mut joined = Vec::new();
+        let mut separate = Vec::new();
+        for frame in &frames {
+            encode_frame(frame, &mut joined);
+            separate.extend_from_slice(&frame_to_vec(frame));
+        }
+        assert_eq!(joined, separate);
+        let (first, n) = decode_frame(&joined).unwrap();
+        assert_eq!(first, Frame::StatsRequest);
+        assert_eq!(decode_frame(&joined[n..]).unwrap().0, frames[1].clone());
     }
 
     #[test]

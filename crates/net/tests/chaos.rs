@@ -311,6 +311,57 @@ proptest! {
     }
 }
 
+/// Pooled reply buffers must never leak stale bytes across requests:
+/// serve a varied-size workload twice over a single connection — so the
+/// same backing stores are recycled across micro-batches whose replies
+/// (full estimates and typed errors with different message lengths)
+/// encode to different lengths — and insist every reply is bit-identical
+/// to the in-process baseline. The health counters prove buffer reuse
+/// actually happened, so a poisoning bug could not hide behind a
+/// fresh-allocation fallback.
+#[test]
+fn pooled_reply_buffers_never_leak_stale_bytes() {
+    const N: usize = 24;
+    let full = workload(N);
+    // Vary the request shape so consecutive replies differ in size: a
+    // request with one report draws a typed error, fuller ones draw
+    // estimates.
+    let requests: Vec<Vec<CsiReport>> = full
+        .iter()
+        .enumerate()
+        .map(|(i, r)| r[..(i % r.len()) + 1].to_vec())
+        .collect();
+    let reference = baseline(&requests);
+    let handle = spawn_daemon(None, 0);
+    let config = nomloc_net::LoadgenConfig {
+        connections: 1,
+        ..Default::default()
+    };
+    for pass in 0..2 {
+        let report = nomloc_net::loadgen::run(handle.local_addr(), &config, &requests)
+            .expect("loadgen run completes");
+        for (i, (outcome, expected)) in report.outcomes.iter().zip(&reference).enumerate() {
+            match (&outcome.reply, expected) {
+                (Ok(got), Ok(want)) => {
+                    assert_eq!(got.x.to_bits(), want.x.to_bits(), "pass {pass} req {i}: x");
+                    assert_eq!(got.y.to_bits(), want.y.to_bits(), "pass {pass} req {i}: y");
+                    assert_eq!(got, want, "pass {pass} request {i}: estimate diverged");
+                }
+                (Err(got), Err(want)) => {
+                    assert_eq!(got, want, "pass {pass} request {i}: error diverged");
+                }
+                (got, want) => panic!("pass {pass} request {i}: {got:?} vs {want:?}"),
+            }
+        }
+    }
+    let health = handle.shutdown();
+    assert!(
+        health.pool_hits > 0,
+        "run must actually recycle pooled buffers (hits = 0 would prove nothing)"
+    );
+    assert!(health.reply_bytes_pooled > 0);
+}
+
 /// Same seed ⇒ the same requests are faulted the same way and every reply
 /// is identical across two independent daemon instances — the property
 /// that makes chaos failures reproducible from a seed alone.

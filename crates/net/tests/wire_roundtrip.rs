@@ -153,6 +153,9 @@ proptest! {
             quality_full: fields[19],
             quality_region: fields[20],
             quality_centroid: fields[21],
+            // The payload-reuse counters are daemon-local display only and
+            // never serialized, so they must stay zero to round-trip.
+            ..ServerHealth::default()
         });
         assert_roundtrip(&frame)?;
     }

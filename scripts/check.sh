@@ -31,4 +31,17 @@ echo "==> chaos smoke: fault-injected serving contract over 127.0.0.1"
 cargo run --release -p nomloc-cli --bin nomloc --offline -- \
   chaos --seed 7 --requests 200
 
+echo "==> serving benchmark (quick): BENCH_serving.json present and well-formed"
+NOMLOC_BENCH_QUICK=1 cargo run --release -p nomloc-bench --bin bench_serving_json --offline
+if [[ ! -s BENCH_serving.json ]]; then
+  echo "error: BENCH_serving.json missing or empty" >&2
+  exit 1
+fi
+for key in stages fft pdp_64 encode end_to_end speedup decode_ns_per_request; do
+  if ! grep -q "\"$key\"" BENCH_serving.json; then
+    echo "error: BENCH_serving.json malformed — missing key \"$key\"" >&2
+    exit 1
+  fi
+done
+
 echo "All checks passed."
