@@ -27,6 +27,126 @@ use nomloc_rfsim::{CsiSnapshot, Environment, RadioConfig, SubcarrierGrid};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::io::BufRead;
+
+/// Results of the idle-connection soak (see [`run_soak`]).
+struct SoakResult {
+    idle_target: usize,
+    connections_held: usize,
+    active_requests: usize,
+    active_ns_per_request: f64,
+    active_p99_ns_base: f64,
+    active_p99_ns_idle: f64,
+    daemon_rss_delta_bytes: i64,
+    rss_bytes_per_connection: f64,
+}
+
+/// Resident set size of `pid` in bytes (Linux `/proc`; `None` elsewhere).
+fn rss_of(pid: u32) -> Option<u64> {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    Some(line.split_whitespace().nth(1)?.parse::<u64>().ok()? * 1024)
+}
+
+/// The mostly-idle scaling soak: a daemon on the event-loop backend in
+/// its own subprocess (the fd rlimit is per process, so splitting the
+/// 2 × 10k socket endpoints across two processes is what lets a 10k run
+/// fit), 10k connections opened and held idle, and the same small active
+/// workload driven with and without the idle crowd. Records how many
+/// connections were concurrently held, the daemon's RSS cost per idle
+/// connection, and active-traffic ns/request + p99 under both conditions.
+///
+/// Needs `target/…/nomloc` next to this benchmark binary (the tier-1
+/// `cargo build --release` in `scripts/check.sh` provides it); returns
+/// `None` with a warning when it is missing rather than failing the
+/// whole benchmark.
+fn run_soak(idle_target: usize, active_requests: usize) -> Option<SoakResult> {
+    let nomloc = std::env::current_exe().ok()?.with_file_name("nomloc");
+    if !nomloc.exists() {
+        eprintln!(
+            "soak: skipped — {} not built (run `cargo build --release -p nomloc-cli` first)",
+            nomloc.display()
+        );
+        return None;
+    }
+    let mut child = std::process::Command::new(&nomloc)
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--socket-backend",
+            "event-loop",
+            "--workers",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .ok()?;
+    let addr = {
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("daemon announces its address");
+        line.rsplit(' ')
+            .next()
+            .and_then(|a| a.trim().parse::<std::net::SocketAddr>().ok())
+            .unwrap_or_else(|| panic!("unparseable daemon banner: {line:?}"))
+    };
+
+    // Cheap empty-burst requests: the soak measures the socket layer,
+    // not the estimator.
+    let venue = Venue::lab();
+    let ap = venue.static_deployment()[0];
+    let batch: Vec<Vec<CsiReport>> = (0..active_requests)
+        .map(|_| {
+            vec![CsiReport {
+                site: ApSite::fixed(1, ap),
+                burst: Vec::new(),
+            }]
+        })
+        .collect();
+
+    let baseline_config = nomloc_net::LoadgenConfig {
+        connections: 4,
+        ..nomloc_net::LoadgenConfig::default()
+    };
+    let base = nomloc_net::loadgen::run(addr, &baseline_config, &batch).expect("baseline run");
+
+    let rss_before = rss_of(child.id());
+    let soak_config = nomloc_net::LoadgenConfig {
+        connections: 4,
+        idle_connections: idle_target,
+        ..nomloc_net::LoadgenConfig::default()
+    };
+    let soak = nomloc_net::loadgen::run(addr, &soak_config, &batch).expect("soak run");
+    // RSS is sampled after the run; the daemon keeps the write buffers
+    // and slab slots the crowd forced to exist, which is precisely the
+    // steady-state cost the soak wants to price.
+    let rss_after = rss_of(child.id());
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let delta = match (rss_before, rss_after) {
+        (Some(b), Some(a)) => a as i64 - b as i64,
+        _ => 0,
+    };
+    let held = soak.idle_held;
+    Some(SoakResult {
+        idle_target,
+        connections_held: held,
+        active_requests,
+        active_ns_per_request: 1.0e9 / soak.throughput_rps(),
+        active_p99_ns_base: base.latency_quantile(0.99).as_nanos() as f64,
+        active_p99_ns_idle: soak.latency_quantile(0.99).as_nanos() as f64,
+        daemon_rss_delta_bytes: delta,
+        rss_bytes_per_connection: if held > 0 {
+            delta.max(0) as f64 / held as f64
+        } else {
+            0.0
+        },
+    })
+}
 
 /// The loadgen-shaped loopback workload: each request carries one CSI
 /// report per static AP of the Lab venue, for a different test site.
@@ -295,8 +415,30 @@ fn main() {
     let encode_speedup = encode_fresh_ns / encode_pooled_ns;
     let e2e_speedup = e2e_naive_ns / e2e_optimized_ns;
 
+    // --- Mostly-idle connection scaling on the event-loop backend.
+    let (idle_target, soak_requests) = if quick_mode() {
+        (2_000, 200)
+    } else {
+        (10_000, 400)
+    };
+    let soak = run_soak(idle_target, soak_requests);
+    let soak_json = match &soak {
+        Some(s) => format!(
+            "{{\"backend\": \"event-loop\", \"idle_target\": {}, \"connections_held\": {}, \"active_requests\": {}, \"active_ns_per_request\": {:.1}, \"active_p99_ns_base\": {:.0}, \"active_p99_ns_idle\": {:.0}, \"daemon_rss_delta_bytes\": {}, \"rss_bytes_per_connection\": {:.1}}}",
+            s.idle_target,
+            s.connections_held,
+            s.active_requests,
+            s.active_ns_per_request,
+            s.active_p99_ns_base,
+            s.active_p99_ns_idle,
+            s.daemon_rss_delta_bytes,
+            s.rss_bytes_per_connection,
+        ),
+        None => "null".to_string(),
+    };
+
     let json = format!(
-        "{{\n  \"requests\": {n_requests},\n  \"stages\": {{\"decode_ns_per_request\": {decode_ns:.1}, \"pdp_ns_per_request\": {pdp_ns:.1}, \"constraints_ns_per_request\": {constraints_ns:.1}, \"lp_ns_per_request\": {lp_ns:.1}, \"encode_ns_per_request\": {encode_ns:.1}}},\n  \"fft\": {{\"points\": 256, \"planned_ns\": {fft_planned_ns:.1}, \"naive_ns\": {fft_naive_ns:.1}, \"speedup\": {fft_speedup:.4}}},\n  \"pdp_64\": {{\"planned_ns_per_burst\": {pdp64_planned_ns:.1}, \"unplanned_ns_per_burst\": {pdp64_naive_ns:.1}, \"speedup\": {pdp64_speedup:.4}}},\n  \"encode\": {{\"pooled_ns_per_reply\": {encode_pooled_ns:.1}, \"fresh_ns_per_reply\": {encode_fresh_ns:.1}, \"speedup\": {encode_speedup:.4}}},\n  \"end_to_end\": {{\"optimized_ns_per_request\": {e2e_optimized_ns:.1}, \"naive_ns_per_request\": {e2e_naive_ns:.1}, \"speedup\": {e2e_speedup:.4}}}\n}}\n"
+        "{{\n  \"requests\": {n_requests},\n  \"stages\": {{\"decode_ns_per_request\": {decode_ns:.1}, \"pdp_ns_per_request\": {pdp_ns:.1}, \"constraints_ns_per_request\": {constraints_ns:.1}, \"lp_ns_per_request\": {lp_ns:.1}, \"encode_ns_per_request\": {encode_ns:.1}}},\n  \"fft\": {{\"points\": 256, \"planned_ns\": {fft_planned_ns:.1}, \"naive_ns\": {fft_naive_ns:.1}, \"speedup\": {fft_speedup:.4}}},\n  \"pdp_64\": {{\"planned_ns_per_burst\": {pdp64_planned_ns:.1}, \"unplanned_ns_per_burst\": {pdp64_naive_ns:.1}, \"speedup\": {pdp64_speedup:.4}}},\n  \"encode\": {{\"pooled_ns_per_reply\": {encode_pooled_ns:.1}, \"fresh_ns_per_reply\": {encode_fresh_ns:.1}, \"speedup\": {encode_speedup:.4}}},\n  \"end_to_end\": {{\"optimized_ns_per_request\": {e2e_optimized_ns:.1}, \"naive_ns_per_request\": {e2e_naive_ns:.1}, \"speedup\": {e2e_speedup:.4}}},\n  \"soak\": {soak_json}\n}}\n"
     );
 
     println!(
@@ -319,6 +461,18 @@ fn main() {
         "end-to-end: optimized {e2e_optimized_ns:.0} ns/req, naive {e2e_naive_ns:.0} ns/req — \
          speedup {e2e_speedup:.3}x"
     );
+    if let Some(s) = &soak {
+        println!(
+            "soak: {} idle connections held on the event-loop backend — active {:.0} ns/req, \
+             p99 {:.2} ms idle vs {:.2} ms base, daemon RSS {:+} KiB ({:.0} B/conn)",
+            s.connections_held,
+            s.active_ns_per_request,
+            s.active_p99_ns_idle / 1e6,
+            s.active_p99_ns_base / 1e6,
+            s.daemon_rss_delta_bytes / 1024,
+            s.rss_bytes_per_connection,
+        );
+    }
 
     let path = std::env::var("NOMLOC_BENCH_SERVING_JSON")
         .unwrap_or_else(|_| "BENCH_serving.json".to_string());

@@ -143,6 +143,10 @@ pub struct ServeSpec {
     pub batchers: usize,
     /// Daemon: exit after this many responses (0 = run until killed).
     pub max_requests: usize,
+    /// Daemon: socket backend (event loop or thread-per-connection).
+    pub socket_backend: nomloc_net::SocketBackend,
+    /// Daemon: event-loop threads (event-loop backend only).
+    pub event_loops: usize,
 }
 
 impl Default for ServeSpec {
@@ -160,6 +164,8 @@ impl Default for ServeSpec {
             acceptors: 2,
             batchers: 2,
             max_requests: 0,
+            socket_backend: nomloc_net::SocketBackend::default(),
+            event_loops: 2,
         }
     }
 }
@@ -188,6 +194,11 @@ pub struct LoadgenSpec {
     /// only — the counters never travel on the wire, so with `--connect`
     /// this prints a pointer at the daemon's own stats output instead.
     pub payload_reuse: bool,
+    /// Loopback daemon: socket backend.
+    pub socket_backend: nomloc_net::SocketBackend,
+    /// Extra connections opened and held idle for the whole run —
+    /// exercises the event-loop backend's mostly-idle scaling.
+    pub idle_connections: usize,
 }
 
 impl Default for LoadgenSpec {
@@ -202,6 +213,8 @@ impl Default for LoadgenSpec {
             deadline_us: 0,
             workers: 0,
             payload_reuse: false,
+            socket_backend: nomloc_net::SocketBackend::default(),
+            idle_connections: 0,
         }
     }
 }
@@ -225,6 +238,8 @@ pub struct ChaosSpec {
     /// Kill a batcher thread after every Nth batch (0 = never), proving
     /// the watchdog respawns them without losing requests.
     pub kill_every: usize,
+    /// Loopback daemon: socket backend.
+    pub socket_backend: nomloc_net::SocketBackend,
 }
 
 impl Default for ChaosSpec {
@@ -237,6 +252,7 @@ impl Default for ChaosSpec {
             rate: 0.03,
             workers: 0,
             kill_every: 0,
+            socket_backend: nomloc_net::SocketBackend::default(),
         }
     }
 }
@@ -360,6 +376,11 @@ SERVE OPTIONS:
     --batchers N                  daemon: batcher threads (default 2)
     --max-requests N              daemon: exit after N responses (default 0
                                   = run until killed)
+    --socket-backend threaded|event-loop
+                                  daemon: socket layer (default event-loop
+                                  on Unix; threaded elsewhere)
+    --event-loops N               daemon: event-loop threads (default 2;
+                                  event-loop backend only)
 
 LOADGEN OPTIONS:
     --connect ADDR                daemon to drive (default: spawn a loopback
@@ -374,6 +395,11 @@ LOADGEN OPTIONS:
     --payload-reuse               report reply-buffer reuse: bytes encoded,
                                   bytes into pooled buffers, pool hit-rate
                                   (daemon-local counters; loopback only)
+    --socket-backend threaded|event-loop
+                                  loopback daemon socket layer (default
+                                  event-loop on Unix)
+    --idle-connections N          extra connections opened and held idle
+                                  for the whole run (default 0)
 
 CHAOS OPTIONS:
     --venue lab|lobby|mall        workload venue (default lab)
@@ -385,6 +411,9 @@ CHAOS OPTIONS:
     --kill-every N                kill a batcher after every Nth batch,
                                   0 = never (default 0; watchdog respawns)
     --workers N                   loopback daemon worker threads (default 0)
+    --socket-backend threaded|event-loop
+                                  loopback daemon socket layer (default
+                                  event-loop on Unix)
 ";
 
 /// Parses a full argument list (excluding the program name).
@@ -529,6 +558,14 @@ fn parse_map(args: &[String]) -> Result<MapSpec, ParseError> {
     Ok(spec)
 }
 
+fn parse_backend(value: &str) -> Result<nomloc_net::SocketBackend, ParseError> {
+    nomloc_net::SocketBackend::parse(value).ok_or_else(|| {
+        err(format!(
+            "flag `--socket-backend`: unknown backend `{value}` (threaded|event-loop)"
+        ))
+    })
+}
+
 fn parse_serve(args: &[String]) -> Result<ServeSpec, ParseError> {
     let mut spec = ServeSpec::default();
     let mut it = args.iter();
@@ -574,6 +611,13 @@ fn parse_serve(args: &[String]) -> Result<ServeSpec, ParseError> {
                 }
             }
             "--max-requests" => spec.max_requests = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--socket-backend" => spec.socket_backend = parse_backend(take_value(flag, &mut it)?)?,
+            "--event-loops" => {
+                spec.event_loops = parse_usize(flag, take_value(flag, &mut it)?)?;
+                if spec.event_loops == 0 {
+                    return Err(err("flag `--event-loops`: must be positive"));
+                }
+            }
             other => return Err(err(format!("unknown serve flag `{other}`"))),
         }
     }
@@ -607,6 +651,10 @@ fn parse_loadgen(args: &[String]) -> Result<LoadgenSpec, ParseError> {
             }
             "--workers" => spec.workers = parse_usize(flag, take_value(flag, &mut it)?)?,
             "--payload-reuse" => spec.payload_reuse = true,
+            "--socket-backend" => spec.socket_backend = parse_backend(take_value(flag, &mut it)?)?,
+            "--idle-connections" => {
+                spec.idle_connections = parse_usize(flag, take_value(flag, &mut it)?)?
+            }
             other => return Err(err(format!("unknown loadgen flag `{other}`"))),
         }
     }
@@ -636,6 +684,7 @@ fn parse_chaos(args: &[String]) -> Result<ChaosSpec, ParseError> {
             }
             "--kill-every" => spec.kill_every = parse_usize(flag, take_value(flag, &mut it)?)?,
             "--workers" => spec.workers = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--socket-backend" => spec.socket_backend = parse_backend(take_value(flag, &mut it)?)?,
             other => return Err(err(format!("unknown chaos flag `{other}`"))),
         }
     }
@@ -882,6 +931,8 @@ pub fn start_daemon(spec: &ServeSpec) -> Result<nomloc_net::DaemonHandle, String
         max_batch: spec.max_batch,
         max_wait: std::time::Duration::from_micros(spec.max_wait_us),
         queue_capacity: spec.queue_cap,
+        socket_backend: spec.socket_backend,
+        event_loops: spec.event_loops,
         ..nomloc_net::DaemonConfig::default()
     };
     nomloc_net::spawn(server, config, addr)
@@ -905,6 +956,7 @@ pub fn run_loadgen(spec: &LoadgenSpec) -> Result<String, String> {
             venue: spec.venue,
             workers: spec.workers,
             listen: Some("127.0.0.1:0".to_string()),
+            socket_backend: spec.socket_backend,
             ..ServeSpec::default()
         };
         Some(start_daemon(&serve_spec)?)
@@ -922,6 +974,7 @@ pub fn run_loadgen(spec: &LoadgenSpec) -> Result<String, String> {
     let config = nomloc_net::LoadgenConfig {
         connections: spec.connections,
         deadline_us: spec.deadline_us,
+        idle_connections: spec.idle_connections,
         ..nomloc_net::LoadgenConfig::default()
     };
     let report =
@@ -1003,6 +1056,7 @@ pub fn run_chaos(spec: &ChaosSpec) -> Result<String, String> {
     let config = nomloc_net::DaemonConfig {
         fault_plan: Some(plan),
         kill_batcher_every: spec.kill_every as u64,
+        socket_backend: spec.socket_backend,
         ..nomloc_net::DaemonConfig::default()
     };
     let handle = nomloc_net::spawn(chaos_server(spec, &venue), config, "127.0.0.1:0")
@@ -1236,6 +1290,36 @@ mod tests {
         assert!(parse(&args("serve --queue-cap 0")).is_err());
         assert!(parse(&args("serve --acceptors 0")).is_err());
         assert!(parse(&args("serve --batchers 0")).is_err());
+        assert!(parse(&args("serve --event-loops 0")).is_err());
+    }
+
+    #[test]
+    fn socket_backend_flag() {
+        use nomloc_net::SocketBackend;
+        for (value, want) in [
+            ("threaded", SocketBackend::Threaded),
+            ("event-loop", SocketBackend::EventLoop),
+            ("event_loop", SocketBackend::EventLoop),
+        ] {
+            let cmd = parse(&args(&format!("serve --socket-backend {value}"))).unwrap();
+            let Command::Serve(spec) = cmd else {
+                panic!("not serve")
+            };
+            assert_eq!(spec.socket_backend, want, "value `{value}`");
+        }
+        let cmd = parse(&args("serve --socket-backend event-loop --event-loops 4")).unwrap();
+        let Command::Serve(spec) = cmd else {
+            panic!("not serve")
+        };
+        assert_eq!(spec.event_loops, 4);
+        // All three daemon-spawning subcommands accept the flag.
+        assert!(parse(&args("loadgen --socket-backend threaded")).is_ok());
+        assert!(parse(&args("chaos --socket-backend threaded")).is_ok());
+        // Unknown backends are rejected with the valid values listed.
+        let e = parse(&args("serve --socket-backend fibers")).unwrap_err();
+        assert!(e.to_string().contains("event-loop"), "unhelpful: {e}");
+        assert!(parse(&args("loadgen --socket-backend fibers")).is_err());
+        assert!(parse(&args("chaos --socket-backend fibers")).is_err());
     }
 
     #[test]
@@ -1243,7 +1327,7 @@ mod tests {
         let cmd = parse(&args(
             "loadgen --connect 10.0.0.7:4455 --venue mall --connections 8 \
              --requests 2000 --packets 2 --seed 7 --deadline-us 1500 --workers 3 \
-             --payload-reuse",
+             --payload-reuse --socket-backend threaded --idle-connections 5000",
         ))
         .unwrap();
         assert_eq!(
@@ -1258,6 +1342,8 @@ mod tests {
                 deadline_us: 1500,
                 workers: 3,
                 payload_reuse: true,
+                socket_backend: nomloc_net::SocketBackend::Threaded,
+                idle_connections: 5000,
             })
         );
         assert_eq!(
@@ -1285,6 +1371,7 @@ mod tests {
                 rate: 0.05,
                 workers: 2,
                 kill_every: 6,
+                socket_backend: nomloc_net::SocketBackend::default(),
             })
         );
         assert_eq!(

@@ -1,23 +1,28 @@
-//! The `nomloc-net` serving daemon: sharded TCP accept, cross-connection
-//! micro-batching, admission control, deadlines, and graceful drain.
+//! The `nomloc-net` serving daemon: event-driven (or thread-per-
+//! connection) TCP socket layer, cross-connection micro-batching,
+//! admission control, deadlines, and graceful drain.
 //!
-//! Threading model (all `std`, no async runtime):
+//! Threading model (all `std`, no async runtime), with the default
+//! event-loop socket backend:
 //!
 //! ```text
-//!  acceptor 0 ┐                       ┌ batcher 0 ┐
-//!  acceptor 1 ┼─▶ conn reader ──┐     │           ├─▶ process_batch ─▶ reply
-//!      …      ┘   conn reader ──┼─▶ bounded ──────┤   (scoped worker
-//!                 conn reader ──┘   queue   ▲     └    fan-out in core)
-//!                                           │
-//!                                 Condvar + Mutex<VecDeque>
+//!  event loop 0 ─ owns conns ┐       ┌ batcher 0 ┐
+//!  event loop 1 ─ owns conns ┼─▶ bounded ────────┼─▶ process_batch
+//!      …          (epoll)    ┘   queue   ▲       └   └▶ reply → bounded
+//!                                        │              per-conn buffer,
+//!                              Condvar + Mutex<VecDeque> flushed by loop
 //! ```
 //!
-//! * **Sharded accept**: `acceptors` threads each own a clone of the
-//!   listener and block in `accept`; the kernel load-balances them.
-//! * **Per-connection readers** parse frames incrementally with
-//!   [`crate::wire::decode_frame`]; a protocol violation (bad magic, CRC,
-//!   version…) answers with a `Malformed` reply for request id 0 and
-//!   closes the connection.
+//! * **Socket backends** ([`SocketBackend`]): the default `EventLoop`
+//!   backend runs `event_loops` readiness-driven threads (see
+//!   [`crate::poll`]), each owning nonblocking connections; the
+//!   `Threaded` backend keeps the original sharded-acceptor,
+//!   thread-per-connection model. The serving contract is identical —
+//!   the loopback/chaos/daemon suites run against both.
+//! * **Connection readers** (a loop iteration or a reader thread) parse
+//!   frames incrementally with [`crate::wire::StreamDecoder`]; a
+//!   protocol violation (bad magic, CRC, version…) answers with a
+//!   `Malformed` reply for request id 0 and closes the connection.
 //! * **Cross-connection micro-batching**: readers push decoded requests
 //!   into one bounded queue; `batchers` threads pop the head and then
 //!   coalesce up to `max_batch` requests, waiting at most `max_wait` —
@@ -34,7 +39,7 @@
 
 use crate::pool::BufferPool;
 use crate::wire::{
-    self, ErrorCode, ErrorReply, Frame, LocateResponse, ServerHealth, WireError, WireEstimate,
+    self, ErrorCode, ErrorReply, Frame, LocateResponse, ServerHealth, StreamDecoder, WireEstimate,
 };
 use nomloc_core::server::CsiReport;
 use nomloc_core::stats::StatsSnapshot;
@@ -49,9 +54,60 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+#[cfg(unix)]
+mod event;
+
 /// How long blocked reads and condvar waits sleep between checks of the
 /// shutdown flag — bounds shutdown latency, not throughput.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Which socket layer carries connections between the kernel and the
+/// micro-batcher queue. Everything above the sockets — wire semantics,
+/// admission, deadlines, batching, degradation, drain — is identical;
+/// the parameterized test suites run against both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketBackend {
+    /// Sharded blocking acceptors plus one reader thread per connection.
+    /// Simple and portable; collapses at tens of thousands of mostly-idle
+    /// connections (one OS thread each).
+    Threaded,
+    /// `event_loops` readiness-driven threads (epoll on Linux, `poll(2)`
+    /// elsewhere on Unix) owning every connection nonblockingly, with
+    /// bounded per-connection write buffers and slow-reader eviction.
+    /// Holds 10k+ mostly-idle connections at a few hundred bytes each.
+    EventLoop,
+}
+
+impl Default for SocketBackend {
+    /// `EventLoop` where the poll layer exists (Unix), else `Threaded`.
+    fn default() -> Self {
+        if cfg!(unix) {
+            SocketBackend::EventLoop
+        } else {
+            SocketBackend::Threaded
+        }
+    }
+}
+
+impl SocketBackend {
+    /// Parses the CLI spelling (`"threaded"` / `"event-loop"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "threaded" => Some(SocketBackend::Threaded),
+            "event-loop" | "event_loop" | "eventloop" => Some(SocketBackend::EventLoop),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SocketBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SocketBackend::Threaded => "threaded",
+            SocketBackend::EventLoop => "event-loop",
+        })
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -78,6 +134,17 @@ pub struct DaemonConfig {
     /// batch at the queue front, so no admitted request is lost, and the
     /// watchdog respawns a replacement (counted in `batchers_respawned`).
     pub kill_batcher_every: u64,
+    /// Which socket layer carries connections (see [`SocketBackend`]).
+    pub socket_backend: SocketBackend,
+    /// Event-loop threads for the `EventLoop` backend (ignored by
+    /// `Threaded`). Connections are pinned to the loop that accepted
+    /// them.
+    pub event_loops: usize,
+    /// Per-connection outbound buffer cap for the `EventLoop` backend: a
+    /// connection whose peer stops reading is evicted once its unflushed
+    /// replies exceed this many bytes (`slow_readers_evicted` in the
+    /// health snapshot), instead of buffering without bound.
+    pub write_buffer_cap: usize,
 }
 
 impl Default for DaemonConfig {
@@ -91,6 +158,9 @@ impl Default for DaemonConfig {
             batch_pause: Duration::ZERO,
             fault_plan: None,
             kill_batcher_every: 0,
+            socket_backend: SocketBackend::default(),
+            event_loops: 2,
+            write_buffer_cap: 1 << 20,
         }
     }
 }
@@ -117,6 +187,13 @@ struct NetCounters {
     batchers_respawned: AtomicU64,
     /// Batches popped across all batchers — drives `kill_batcher_every`.
     batches_popped: AtomicU64,
+    /// Event-loop connections evicted for overflowing their bounded
+    /// outbound write buffer (a peer that stopped reading).
+    slow_readers_evicted: AtomicU64,
+    /// Finished per-connection reader threads reaped opportunistically
+    /// by the threaded backend's acceptors (satellite of the shutdown
+    /// join, which drains the remainder).
+    conn_threads_reaped: AtomicU64,
 }
 
 /// One admitted request waiting for a batcher.
@@ -128,10 +205,32 @@ struct Pending {
     writer: Arc<ConnWriter>,
 }
 
-/// The write half of a connection; batch workers lock it per frame, so
-/// concurrent replies interleave as whole frames.
-struct ConnWriter {
-    stream: Mutex<TcpStream>,
+/// The write half of a connection, backend-agnostic: batchers hand every
+/// encoded reply to [`ConnWriter::send`] and never touch a socket type
+/// directly, so `solve_and_reply` (including its `Arc::ptr_eq` write
+/// coalescing) is identical across backends.
+enum ConnWriter {
+    /// Threaded backend: blocking writes under a lock, so concurrent
+    /// replies interleave as whole frames.
+    Direct(Mutex<TcpStream>),
+    /// Event-loop backend: appends to a bounded per-connection buffer
+    /// flushed by the owning loop on write-readiness.
+    #[cfg(unix)]
+    Queued(event::QueuedSink),
+}
+
+impl ConnWriter {
+    /// Sends (or queues) one or more whole encoded frames. Returns
+    /// whether the bytes were accepted — a closed peer or an evicted
+    /// slow reader returns `false`, which callers treat exactly like the
+    /// threaded backend treats a failed `write_all`: the client's loss.
+    fn send(&self, bytes: &[u8]) -> bool {
+        match self {
+            ConnWriter::Direct(stream) => stream.lock().unwrap().write_all(bytes).is_ok(),
+            #[cfg(unix)]
+            ConnWriter::Queued(sink) => sink.send(bytes),
+        }
+    }
 }
 
 struct Shared {
@@ -140,6 +239,10 @@ struct Shared {
     queue: Mutex<VecDeque<Pending>>,
     queue_cv: Condvar,
     shutting_down: AtomicBool,
+    /// Second shutdown phase (event-loop backend): every batcher is
+    /// joined and every reply queued — loops flush their remaining
+    /// outbound bytes and exit.
+    drain_flush: AtomicBool,
     net: NetCounters,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     /// Reusable `Vec<u8>` backing stores for reply-frame encoding, shared
@@ -148,11 +251,23 @@ struct Shared {
     pool: BufferPool,
 }
 
+/// The running socket layer's thread handles, by backend.
+enum SocketLayer {
+    Threaded {
+        acceptors: Vec<JoinHandle<()>>,
+    },
+    #[cfg(unix)]
+    Event {
+        threads: Vec<JoinHandle<()>>,
+        loops: Vec<Arc<event::LoopShared>>,
+    },
+}
+
 /// Handle to a running daemon: address, live stats, graceful shutdown.
 pub struct DaemonHandle {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    acceptors: Vec<JoinHandle<()>>,
+    sockets: SocketLayer,
     /// Owns the batcher handles; respawns dead batchers until shutdown,
     /// then drains the queue and joins them.
     watchdog: JoinHandle<()>,
@@ -188,6 +303,7 @@ pub fn spawn<A: ToSocketAddrs>(
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
         shutting_down: AtomicBool::new(false),
+        drain_flush: AtomicBool::new(false),
         net: NetCounters::default(),
         conn_threads: Mutex::new(Vec::new()),
         // Enough idle buffers for every reader and batcher to hold one
@@ -195,12 +311,18 @@ pub fn spawn<A: ToSocketAddrs>(
         pool: BufferPool::new(64),
     });
 
-    let mut acceptors = Vec::with_capacity(config.acceptors.max(1));
-    for _ in 0..config.acceptors.max(1) {
-        let listener = listener.try_clone()?;
-        let shared = Arc::clone(&shared);
-        acceptors.push(std::thread::spawn(move || accept_loop(&shared, &listener)));
-    }
+    let sockets = match config.socket_backend {
+        SocketBackend::Threaded => {
+            let mut acceptors = Vec::with_capacity(config.acceptors.max(1));
+            for _ in 0..config.acceptors.max(1) {
+                let listener = listener.try_clone()?;
+                let shared = Arc::clone(&shared);
+                acceptors.push(std::thread::spawn(move || accept_loop(&shared, &listener)));
+            }
+            SocketLayer::Threaded { acceptors }
+        }
+        SocketBackend::EventLoop => spawn_event_layer(&shared, &listener)?,
+    };
 
     let mut batchers = Vec::with_capacity(config.batchers.max(1));
     for _ in 0..config.batchers.max(1) {
@@ -214,9 +336,23 @@ pub fn spawn<A: ToSocketAddrs>(
     Ok(DaemonHandle {
         shared,
         local_addr,
-        acceptors,
+        sockets,
         watchdog,
     })
+}
+
+#[cfg(unix)]
+fn spawn_event_layer(shared: &Arc<Shared>, listener: &TcpListener) -> io::Result<SocketLayer> {
+    let (threads, loops) = event::spawn_loops(shared, listener)?;
+    Ok(SocketLayer::Event { threads, loops })
+}
+
+#[cfg(not(unix))]
+fn spawn_event_layer(_shared: &Arc<Shared>, _listener: &TcpListener) -> io::Result<SocketLayer> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "the event-loop socket backend needs a Unix readiness API; use SocketBackend::Threaded",
+    ))
 }
 
 fn spawn_batcher(shared: &Arc<Shared>) -> JoinHandle<()> {
@@ -296,29 +432,77 @@ impl DaemonHandle {
         health_of(&self.shared)
     }
 
+    /// Connections evicted so far for overflowing their bounded outbound
+    /// write buffer (event-loop backend; always 0 on threaded).
+    pub fn slow_readers_evicted(&self) -> u64 {
+        self.shared.net.slow_readers_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Per-connection reader threads not yet reaped (threaded backend
+    /// only; the event-loop backend spawns none). Acceptors join
+    /// finished readers opportunistically, so this tracks *live*
+    /// connections plus at most the few finished since the last accept.
+    pub fn live_conn_threads(&self) -> usize {
+        self.shared.conn_threads.lock().unwrap().len()
+    }
+
     /// Graceful drain: stop accepting, let readers wind down, answer every
     /// admitted request, then join all threads. Returns the final health.
     pub fn shutdown(self) -> ServerHealth {
-        self.shared.shutting_down.store(true, Ordering::Release);
-        // Unblock acceptors parked in accept(2) with dummy connections.
-        for _ in &self.acceptors {
-            let _ = TcpStream::connect(self.local_addr);
+        let DaemonHandle {
+            shared,
+            local_addr,
+            sockets,
+            watchdog,
+        } = self;
+        shared.shutting_down.store(true, Ordering::Release);
+        match sockets {
+            SocketLayer::Threaded { acceptors } => {
+                // Unblock acceptors parked in accept(2) with dummy
+                // connections.
+                for _ in &acceptors {
+                    let _ = TcpStream::connect(local_addr);
+                }
+                for h in acceptors {
+                    let _ = h.join();
+                }
+                // No new connection threads can start now; readers notice
+                // the flag within one poll interval.
+                let conns: Vec<JoinHandle<()>> =
+                    std::mem::take(&mut *shared.conn_threads.lock().unwrap());
+                for h in conns {
+                    let _ = h.join();
+                }
+                // The watchdog joins the batchers, which drain the queue
+                // and exit on (empty && shutting_down), then drains any
+                // kill-requeued tail.
+                shared.queue_cv.notify_all();
+                let _ = watchdog.join();
+            }
+            #[cfg(unix)]
+            SocketLayer::Event { threads, loops } => {
+                // Phase one: wake every loop so it deregisters its
+                // listener and stops consuming input; batchers drain the
+                // admitted queue, queueing replies onto the per-connection
+                // buffers, which the loops keep flushing meanwhile.
+                for l in &loops {
+                    l.wake();
+                }
+                shared.queue_cv.notify_all();
+                let _ = watchdog.join();
+                // Phase two: every reply is queued — tell the loops to
+                // flush their remaining outbound bytes and exit, so
+                // "every admitted request is answered" holds on the wire.
+                shared.drain_flush.store(true, Ordering::Release);
+                for l in &loops {
+                    l.wake();
+                }
+                for h in threads {
+                    let _ = h.join();
+                }
+            }
         }
-        for h in self.acceptors {
-            let _ = h.join();
-        }
-        // No new connection threads can start now; readers notice the
-        // flag within one poll interval.
-        let conns: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.shared.conn_threads.lock().unwrap());
-        for h in conns {
-            let _ = h.join();
-        }
-        // The watchdog joins the batchers, which drain the queue and exit
-        // on (empty && shutting_down), then drains any kill-requeued tail.
-        self.shared.queue_cv.notify_all();
-        let _ = self.watchdog.join();
-        health_of(&self.shared)
+        health_of(&shared)
     }
 }
 
@@ -352,6 +536,7 @@ fn health_of(shared: &Shared) -> ServerHealth {
         reply_bytes_pooled: snap.counters.reply_bytes_pooled,
         pool_hits: snap.counters.pool_hits,
         pool_misses: snap.counters.pool_misses,
+        slow_readers_evicted: net.slow_readers_evicted.load(Ordering::Relaxed),
     }
 }
 
@@ -368,7 +553,24 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                     .fetch_add(1, Ordering::Relaxed);
                 let shared_conn = Arc::clone(shared);
                 let handle = std::thread::spawn(move || conn_loop(&shared_conn, stream));
-                shared.conn_threads.lock().unwrap().push(handle);
+                let mut conns = shared.conn_threads.lock().unwrap();
+                // Opportunistic reap: join readers that already finished
+                // so a long-lived daemon holds handles proportional to
+                // *live* connections, not to connections ever accepted.
+                // (Joining a finished thread returns immediately.)
+                let mut i = 0;
+                while i < conns.len() {
+                    if conns[i].is_finished() {
+                        let _ = conns.swap_remove(i).join();
+                        shared
+                            .net
+                            .conn_threads_reaped
+                            .fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        i += 1;
+                    }
+                }
+                conns.push(handle);
             }
             Err(_) => {
                 if shared.shutting_down.load(Ordering::Acquire) {
@@ -394,10 +596,7 @@ fn reply(shared: &Shared, writer: &ConnWriter, response: LocateResponse) {
         .server
         .stats()
         .record_reply_encode(bytes.len() as u64, reused);
-    let sent = {
-        let mut stream = writer.stream.lock().unwrap();
-        stream.write_all(&bytes).is_ok()
-    };
+    let sent = writer.send(&bytes);
     shared.pool.put(bytes);
     if sent {
         shared.net.frames_out.fetch_add(1, Ordering::Relaxed);
@@ -422,25 +621,22 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(ConnWriter {
-            stream: Mutex::new(w),
-        }),
+        Ok(w) => Arc::new(ConnWriter::Direct(Mutex::new(w))),
         Err(_) => return,
     };
     let mut stream = stream;
-    let mut buf: Vec<u8> = Vec::new();
+    let mut decoder = StreamDecoder::new();
     let mut tmp = [0u8; 64 * 1024];
     loop {
         // Drain every complete frame currently buffered.
         loop {
-            match wire::decode_frame(&buf) {
-                Ok((frame, consumed)) => {
-                    buf.drain(..consumed);
+            match decoder.next_frame() {
+                Ok(Some(frame)) => {
                     if handle_frame(shared, &writer, frame).is_err() {
                         return;
                     }
                 }
-                Err(WireError::Incomplete { .. }) => break,
+                Ok(None) => break,
                 Err(e) => {
                     // Protocol violation: tell the client why, then close.
                     shared.net.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -455,7 +651,7 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
         }
         match stream.read(&mut tmp) {
             Ok(0) => return, // client closed cleanly
-            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Ok(n) => decoder.extend(&tmp[..n]),
             Err(e)
                 if matches!(
                     e.kind(),
@@ -531,7 +727,7 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
                 .server
                 .stats()
                 .record_reply_encode(bytes.len() as u64, reused);
-            let sent = writer.stream.lock().unwrap().write_all(&bytes).is_ok();
+            let sent = writer.send(&bytes);
             shared.pool.put(bytes);
             if sent {
                 shared.net.frames_out.fetch_add(1, Ordering::Relaxed);
@@ -723,10 +919,7 @@ fn solve_and_reply(shared: &Shared, scratch: &mut BatcherScratch) {
                     .server
                     .stats()
                     .record_reply_encode(bytes.len() as u64, reused);
-                let sent = {
-                    let mut stream = writer.stream.lock().unwrap();
-                    stream.write_all(&bytes).is_ok()
-                };
+                let sent = writer.send(&bytes);
                 shared.pool.put(bytes);
                 if sent {
                     shared.net.frames_out.fetch_add(frames, Ordering::Relaxed);

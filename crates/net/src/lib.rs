@@ -9,12 +9,17 @@
 //! * [`wire`]: a versioned, length-prefixed, CRC-protected binary frame
 //!   format with explicit encode/decode for CSI-report requests, location
 //!   estimates, per-request error codes, and a stats/health frame;
-//! * [`daemon`]: a std-only TCP daemon (no async runtime) that accepts
-//!   connections on sharded acceptor threads, coalesces requests *across
+//! * [`daemon`]: a std-only TCP daemon (no async runtime) with two
+//!   socket backends — a readiness-driven event loop (the default on
+//!   Unix: nonblocking connections on [`poll`]-based loop threads, with
+//!   bounded per-connection write buffers and slow-reader eviction) and
+//!   a thread-per-connection fallback — that coalesces requests *across
 //!   connections* into adaptive micro-batches feeding
 //!   `LocalizationServer::process_batch`, and applies admission control
 //!   (bounded queue → explicit `Overloaded` replies), per-request
 //!   deadlines, and graceful drain-on-shutdown;
+//! * [`poll`] (Unix): a minimal std-only readiness abstraction (epoll on
+//!   Linux, `poll(2)` elsewhere) backing the event-loop socket layer;
 //! * [`loadgen`]: a pipelining multi-connection load generator reporting
 //!   throughput and exact p50/p95/p99 latency, with reconnect-and-resend
 //!   on transport failures (capped exponential backoff plus jitter);
@@ -28,18 +33,24 @@
 //! deterministic by construction — returns byte-identical estimates over
 //! the network and in process. The loopback integration test pins that.
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid` for one reason: the event-loop backend's
+// readiness layer needs four libc symbols std does not re-export. All
+// `unsafe` lives in the tiny `sys` module of `poll.rs` (explicitly
+// `allow`ed there); everything else in the crate still refuses it.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
 pub mod crc32;
 pub mod daemon;
 pub mod loadgen;
+#[cfg(unix)]
+pub mod poll;
 pub mod pool;
 pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosReport, ChaosSummary};
-pub use daemon::{spawn, DaemonConfig, DaemonHandle};
+pub use daemon::{spawn, DaemonConfig, DaemonHandle, SocketBackend};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use pool::BufferPool;
 pub use wire::{ErrorCode, Frame, ServerHealth, WireError};

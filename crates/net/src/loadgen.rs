@@ -35,6 +35,12 @@ pub struct LoadgenConfig {
     /// `k` sleeps `base · 2^min(k-1, 5)` plus a deterministic jitter in
     /// `[0, base)` keyed on the connection index and attempt number.
     pub reconnect_backoff: Duration,
+    /// Extra connections opened before the workload starts and held idle
+    /// (no frames ever written) until every response is in — the
+    /// mostly-idle soak shape of crowdsourced CSI traffic. Opened
+    /// best-effort: the run proceeds with however many the OS allows,
+    /// and [`LoadgenReport::idle_held`] reports the count actually held.
+    pub idle_connections: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -45,6 +51,7 @@ impl Default for LoadgenConfig {
             read_timeout: Duration::from_secs(30),
             max_reconnects: 5,
             reconnect_backoff: Duration::from_millis(10),
+            idle_connections: 0,
         }
     }
 }
@@ -98,6 +105,9 @@ pub struct LoadgenReport {
     pub elapsed: Duration,
     /// Reconnects performed across all connections.
     pub reconnects: u64,
+    /// Idle connections actually held open for the whole run (see
+    /// [`LoadgenConfig::idle_connections`]).
+    pub idle_held: usize,
 }
 
 impl LoadgenReport {
@@ -149,8 +159,13 @@ impl LoadgenReport {
             + self.error_count(ErrorCode::InsufficientJudgements)
             + self.error_count(ErrorCode::LpInfeasible)
             + self.error_count(ErrorCode::LpNumerical);
+        let idle = if self.idle_held > 0 {
+            format!(" with {} idle connections held", self.idle_held)
+        } else {
+            String::new()
+        };
         format!(
-            "loadgen: {} requests in {:.1} ms — {:.0} req/s ({} reconnects)\n\
+            "loadgen: {} requests in {:.1} ms — {:.0} req/s ({} reconnects){idle}\n\
              latency p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms\n\
              ok {} | estimate-failed {} | malformed {} | overloaded {} | deadline {} | internal {}\n\
              quality full {} | region {} | centroid {}\n",
@@ -194,6 +209,18 @@ pub fn run(
     let connections = config.connections.clamp(1, n.max(1));
     let outcomes: Vec<Mutex<Option<RequestOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let reconnects = AtomicU64::new(0);
+    // The idle herd connects before the clock starts (it models
+    // *pre-existing* mostly-idle clients, not connection-setup load) and
+    // is held until every response is in. Best-effort: stop at the first
+    // failure (e.g. fd exhaustion) and report what was actually held.
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(config.idle_connections);
+    for _ in 0..config.idle_connections {
+        match TcpStream::connect(addr) {
+            Ok(stream) => idle.push(stream),
+            Err(_) => break,
+        }
+    }
+    let idle_held = idle.len();
     let start = Instant::now();
     let errors: Mutex<Vec<io::Error>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
@@ -214,6 +241,7 @@ pub fn run(
         return Err(e);
     }
     let elapsed = start.elapsed();
+    drop(idle); // held across the whole active workload
     let outcomes = outcomes
         .into_iter()
         .map(|slot| {
@@ -226,6 +254,7 @@ pub fn run(
         outcomes,
         elapsed,
         reconnects: reconnects.into_inner(),
+        idle_held,
     })
 }
 

@@ -484,6 +484,10 @@ pub struct ServerHealth {
     /// Encode-buffer pool checkouts that allocated fresh. Daemon-local
     /// display only; not serialized.
     pub pool_misses: u64,
+    /// Connections evicted because their bounded outbound write buffer
+    /// overflowed (a slow reader on the event-loop socket backend).
+    /// Daemon-local display only; not serialized.
+    pub slow_readers_evicted: u64,
 }
 
 impl fmt::Display for ServerHealth {
@@ -531,6 +535,9 @@ impl fmt::Display for ServerHealth {
             self.batch_panics, self.requests_internal
         )?;
         writeln!(f, "  batchers respawned    {}", self.batchers_respawned)?;
+        if self.slow_readers_evicted > 0 {
+            writeln!(f, "  slow readers evicted  {}", self.slow_readers_evicted)?;
+        }
         writeln!(
             f,
             "  solve latency         p50 ≤ {} ns, p95 ≤ {} ns, p99 ≤ {} ns",
@@ -940,6 +947,90 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
     };
     c.done()?;
     Ok((frame, total))
+}
+
+/// Incremental frame decoder for a byte stream delivered in arbitrary
+/// chunks (one byte at a time, split mid-header, coalesced across
+/// frames — TCP guarantees none of the framing).
+///
+/// Feed bytes with [`StreamDecoder::extend`], then pull frames with
+/// [`StreamDecoder::next_frame`] until it returns `Ok(None)`. Decoding is
+/// equivalent to [`decode_frame`] over the concatenation of everything
+/// fed so far — the property test in `crates/net/tests/decoder.rs` pins
+/// this for every split position.
+///
+/// Consumed bytes are reclaimed by shifting the buffer only when the
+/// consumed prefix is large or the buffer is fully drained, so a
+/// pipelined burst of small frames costs O(bytes) total, not O(bytes ×
+/// frames) as a naive `drain(..consumed)` per frame would.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Compact once the dead prefix crosses this many bytes (or the buffer
+/// empties, which is free).
+const DECODER_COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl StreamDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// Appends freshly-read bytes to the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decodes the next complete frame, or `Ok(None)` if the buffered
+    /// bytes end mid-frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] other than `Incomplete` — a protocol violation
+    /// by the peer. The decoder is not recoverable afterwards (framing is
+    /// lost); the caller should close the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        match decode_frame(&self.buf[self.start..]) {
+            Ok((frame, consumed)) => {
+                self.start += consumed;
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                }
+                Ok(Some(frame))
+            }
+            Err(WireError::Incomplete { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Capacity of the internal buffer (bounds a connection's read-side
+    /// memory footprint in the soak test).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= DECODER_COMPACT_THRESHOLD {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
 }
 
 /// Writes one frame to `w` (single `write_all`, so concurrent writers

@@ -6,6 +6,12 @@
 //! All tests speak the real wire protocol against a real daemon on
 //! `127.0.0.1:0`, with the same seeded [`FaultPlan`] held by the client,
 //! the daemon, and the verifier.
+//!
+//! Every test is parameterized over **both socket backends** (the
+//! `backend_tests!` macro expands each into a `threaded` and an
+//! `event_loop` case; the hostile property tests run each case against a
+//! long-lived daemon per backend): the fault contract is a property of
+//! the serving tier, not of how sockets are pumped.
 
 use nomloc_core::scenario::Venue;
 use nomloc_core::server::CsiReport;
@@ -15,7 +21,7 @@ use nomloc_net::chaos::{self, ChaosConfig};
 use nomloc_net::wire::{
     decode_frame, frame_to_vec, ErrorReply, LocateRequest, WireEstimate, WireReport, WireSnapshot,
 };
-use nomloc_net::{spawn, DaemonConfig, DaemonHandle, ErrorCode, Frame};
+use nomloc_net::{spawn, DaemonConfig, DaemonHandle, ErrorCode, Frame, SocketBackend};
 use nomloc_rfsim::{Environment, RadioConfig, SubcarrierGrid};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -24,6 +30,34 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+/// Expands each listed test body `fn name(backend: SocketBackend)` into a
+/// module with a `#[test]` per backend.
+macro_rules! backend_tests {
+    ($($name:ident),+ $(,)?) => {$(
+        mod $name {
+            use super::SocketBackend;
+
+            #[test]
+            fn threaded() {
+                super::$name(SocketBackend::Threaded);
+            }
+
+            #[test]
+            fn event_loop() {
+                super::$name(SocketBackend::EventLoop);
+            }
+        }
+    )+};
+}
+
+backend_tests!(
+    every_fault_class_upholds_its_contract,
+    mixed_chaos_run_answers_every_request,
+    killed_batchers_are_respawned_without_losing_requests,
+    pooled_reply_buffers_never_leak_stale_bytes,
+    chaos_runs_are_deterministic_in_the_seed,
+);
 
 fn lab_server() -> LocalizationServer {
     LocalizationServer::new(Venue::lab().plan.boundary().clone()).with_workers(1)
@@ -68,7 +102,11 @@ fn baseline(requests: &[Vec<CsiReport>]) -> Vec<Result<WireEstimate, ErrorReply>
         .collect()
 }
 
-fn spawn_daemon(plan: Option<FaultPlan>, kill_batcher_every: u64) -> DaemonHandle {
+fn spawn_daemon(
+    plan: Option<FaultPlan>,
+    kill_batcher_every: u64,
+    backend: SocketBackend,
+) -> DaemonHandle {
     spawn(
         lab_server(),
         DaemonConfig {
@@ -76,6 +114,7 @@ fn spawn_daemon(plan: Option<FaultPlan>, kill_batcher_every: u64) -> DaemonHandl
             batchers: 2,
             fault_plan: plan,
             kill_batcher_every,
+            socket_backend: backend,
             ..DaemonConfig::default()
         },
         "127.0.0.1:0",
@@ -102,14 +141,13 @@ fn single_class_plan(seed: u64, class: FaultClass) -> FaultPlan {
 
 /// Every fault class, injected at rate 1 so each request in the run hits
 /// it: the daemon must uphold that class's contract on all of them.
-#[test]
-fn every_fault_class_upholds_its_contract() {
+fn every_fault_class_upholds_its_contract(backend: SocketBackend) {
     const N: usize = 8;
     let requests = workload(N);
     let reference = baseline(&requests);
     for class in nomloc_faults::FAULT_CLASSES {
         let plan = single_class_plan(42, class);
-        let handle = spawn_daemon(Some(plan), 0);
+        let handle = spawn_daemon(Some(plan), 0, backend);
         let report = chaos::run(handle.local_addr(), &ChaosConfig::new(plan), &requests)
             .unwrap_or_else(|e| panic!("chaos run failed under {class}: {e}"));
         let health = handle.shutdown();
@@ -132,13 +170,12 @@ fn every_fault_class_upholds_its_contract() {
 /// A mixed-rate plan over a bigger run: every request is answered, the
 /// non-faulted majority bit-identically, and the summary accounts for
 /// every request.
-#[test]
-fn mixed_chaos_run_answers_every_request() {
+fn mixed_chaos_run_answers_every_request(backend: SocketBackend) {
     const N: usize = 64;
     let requests = workload(N);
     let reference = baseline(&requests);
     let plan = FaultPlan::uniform(7, 0.04);
-    let handle = spawn_daemon(Some(plan), 0);
+    let handle = spawn_daemon(Some(plan), 0, backend);
     let report = chaos::run(handle.local_addr(), &ChaosConfig::new(plan), &requests)
         .expect("chaos run completes");
     let health = handle.shutdown();
@@ -158,13 +195,12 @@ fn mixed_chaos_run_answers_every_request() {
 /// The kill knob murders batchers mid-run; the watchdog respawns every
 /// one of them, the dying batcher's requeued requests are still answered,
 /// and all replies stay bit-identical to the fault-free baseline.
-#[test]
-fn killed_batchers_are_respawned_without_losing_requests() {
+fn killed_batchers_are_respawned_without_losing_requests(backend: SocketBackend) {
     const N: usize = 24;
     let requests = workload(N);
     let reference = baseline(&requests);
     let plan = FaultPlan::disabled(3);
-    let handle = spawn_daemon(None, 3);
+    let handle = spawn_daemon(None, 3, backend);
     let report = chaos::run(handle.local_addr(), &ChaosConfig::new(plan), &requests)
         .expect("every request answered despite batcher deaths");
     let health = handle.shutdown();
@@ -183,13 +219,18 @@ fn killed_batchers_are_respawned_without_losing_requests() {
 // numerically pathological — may crash the daemon or go unanswered.
 // ---------------------------------------------------------------------
 
-/// One daemon shared by all proptest cases; never shut down (the process
-/// exits at test end). Reusing one address also proves the daemon
-/// survived every previous hostile case.
-fn hostile_daemon_addr() -> SocketAddr {
-    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
-    *ADDR.get_or_init(|| {
-        let handle = spawn_daemon(None, 0);
+/// One long-lived daemon per backend, shared by all proptest cases and
+/// never shut down (the process exits at test end). Reusing one address
+/// also proves the daemon survived every previous hostile case.
+fn hostile_daemon_addr(backend: SocketBackend) -> SocketAddr {
+    static THREADED: OnceLock<SocketAddr> = OnceLock::new();
+    static EVENT_LOOP: OnceLock<SocketAddr> = OnceLock::new();
+    let slot = match backend {
+        SocketBackend::Threaded => &THREADED,
+        SocketBackend::EventLoop => &EVENT_LOOP,
+    };
+    *slot.get_or_init(|| {
+        let handle = spawn_daemon(None, 0, backend);
         let addr = handle.local_addr();
         std::mem::forget(handle);
         addr
@@ -286,28 +327,35 @@ proptest! {
 
     /// Raw-bit reports — NaN positions, descending offsets, the lot —
     /// always draw a reply (typically a typed `Malformed` error) and
-    /// never take the daemon down.
+    /// never take the daemon down, on either socket backend.
     #[test]
     fn hostile_raw_reports_are_always_answered(
         seeds in prop::collection::vec(0u64..u64::MAX, 0..4),
         subcarriers in 0usize..5,
     ) {
-        let addr = hostile_daemon_addr();
-        let reports = seeds.iter().map(|&s| raw_report(s, subcarriers)).collect();
-        expect_reply(addr, reports)?;
+        for backend in [SocketBackend::Threaded, SocketBackend::EventLoop] {
+            let addr = hostile_daemon_addr(backend);
+            let reports: Vec<_> =
+                seeds.iter().map(|&s| raw_report(s, subcarriers)).collect();
+            expect_reply(addr, reports)?;
+        }
     }
 
     /// Wire-valid reports with pathological channel coefficients reach
     /// the DSP and estimator stages; the daemon still answers every one
-    /// (degraded estimate or typed error) and never panics.
+    /// (degraded estimate or typed error) and never panics — on either
+    /// socket backend.
     #[test]
     fn hostile_but_wire_valid_reports_are_always_answered(
         seeds in prop::collection::vec(0u64..u64::MAX, 1..5),
         subcarriers in 1usize..6,
     ) {
-        let addr = hostile_daemon_addr();
-        let reports = seeds.iter().map(|&s| shaped_hostile_report(s, subcarriers)).collect();
-        expect_reply(addr, reports)?;
+        for backend in [SocketBackend::Threaded, SocketBackend::EventLoop] {
+            let addr = hostile_daemon_addr(backend);
+            let reports: Vec<_> =
+                seeds.iter().map(|&s| shaped_hostile_report(s, subcarriers)).collect();
+            expect_reply(addr, reports)?;
+        }
     }
 }
 
@@ -319,8 +367,7 @@ proptest! {
 /// to the in-process baseline. The health counters prove buffer reuse
 /// actually happened, so a poisoning bug could not hide behind a
 /// fresh-allocation fallback.
-#[test]
-fn pooled_reply_buffers_never_leak_stale_bytes() {
+fn pooled_reply_buffers_never_leak_stale_bytes(backend: SocketBackend) {
     const N: usize = 24;
     let full = workload(N);
     // Vary the request shape so consecutive replies differ in size: a
@@ -332,7 +379,7 @@ fn pooled_reply_buffers_never_leak_stale_bytes() {
         .map(|(i, r)| r[..(i % r.len()) + 1].to_vec())
         .collect();
     let reference = baseline(&requests);
-    let handle = spawn_daemon(None, 0);
+    let handle = spawn_daemon(None, 0, backend);
     let config = nomloc_net::LoadgenConfig {
         connections: 1,
         ..Default::default()
@@ -365,13 +412,12 @@ fn pooled_reply_buffers_never_leak_stale_bytes() {
 /// Same seed ⇒ the same requests are faulted the same way and every reply
 /// is identical across two independent daemon instances — the property
 /// that makes chaos failures reproducible from a seed alone.
-#[test]
-fn chaos_runs_are_deterministic_in_the_seed() {
+fn chaos_runs_are_deterministic_in_the_seed(backend: SocketBackend) {
     const N: usize = 32;
     let requests = workload(N);
     let plan = FaultPlan::uniform(99, 0.05);
     let run = || {
-        let handle = spawn_daemon(Some(plan), 0);
+        let handle = spawn_daemon(Some(plan), 0, backend);
         let report = chaos::run(handle.local_addr(), &ChaosConfig::new(plan), &requests)
             .expect("chaos run completes");
         handle.shutdown();

@@ -6,6 +6,12 @@
 //! protocol over actual sockets. Overload/deadline tests use
 //! `DaemonConfig::batch_pause` as a deterministic throttle so they don't
 //! depend on machine speed.
+//!
+//! Every contract test is parameterized over **both socket backends**
+//! (`backend_tests!` expands each into a `threaded` and an `event_loop`
+//! case): the event-loop transplant must not change a single observable
+//! serving behavior. Backend-specific mechanics (slow-reader eviction,
+//! reader-thread reaping) get their own single-backend tests at the end.
 
 use nomloc_core::scenario::Venue;
 use nomloc_core::server::CsiReport;
@@ -13,13 +19,51 @@ use nomloc_core::{ApSite, LocalizationServer};
 use nomloc_net::wire::{
     decode_frame, frame_to_vec, LocateRequest, LocateResponse, WireReport, WireSnapshot,
 };
-use nomloc_net::{spawn, DaemonConfig, ErrorCode, Frame};
+use nomloc_net::{spawn, DaemonConfig, ErrorCode, Frame, SocketBackend};
 use nomloc_rfsim::{Environment, RadioConfig, SubcarrierGrid};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Expands each listed test body `fn name(backend: SocketBackend)` into a
+/// module with a `#[test]` per backend, so one contract written once is
+/// pinned on both socket layers.
+macro_rules! backend_tests {
+    ($($name:ident),+ $(,)?) => {$(
+        mod $name {
+            use super::SocketBackend;
+
+            #[test]
+            fn threaded() {
+                super::$name(SocketBackend::Threaded);
+            }
+
+            #[test]
+            fn event_loop() {
+                super::$name(SocketBackend::EventLoop);
+            }
+        }
+    )+};
+}
+
+backend_tests!(
+    overload_answers_with_bounded_queue,
+    queued_deadline_expiry_is_reported,
+    malformed_request_does_not_poison_the_batch,
+    protocol_error_closes_only_that_connection,
+    stats_frame_reports_health,
+    shutdown_drains_admitted_requests,
+);
+
+/// A default config pinned to one backend.
+fn config(backend: SocketBackend) -> DaemonConfig {
+    DaemonConfig {
+        socket_backend: backend,
+        ..DaemonConfig::default()
+    }
+}
 
 fn lab_server() -> LocalizationServer {
     LocalizationServer::new(Venue::lab().plan.boundary().clone()).with_workers(1)
@@ -87,8 +131,7 @@ fn read_responses(stream: &mut TcpStream, n: usize) -> Vec<LocateResponse> {
 /// Flooding a throttled daemon past its queue capacity yields explicit
 /// `Overloaded` replies — every request is answered, nothing buffers
 /// without bound, and the recorded queue depth respects the cap.
-#[test]
-fn overload_answers_with_bounded_queue() {
+fn overload_answers_with_bounded_queue(backend: SocketBackend) {
     let handle = spawn(
         lab_server(),
         DaemonConfig {
@@ -98,7 +141,7 @@ fn overload_answers_with_bounded_queue() {
             max_wait: Duration::ZERO,
             queue_capacity: 4,
             batch_pause: Duration::from_millis(25),
-            ..DaemonConfig::default()
+            ..config(backend)
         },
         "127.0.0.1:0",
     )
@@ -137,8 +180,7 @@ fn overload_answers_with_bounded_queue() {
 
 /// A request whose deadline expires while it waits in the queue is
 /// answered `DeadlineExceeded` and never solved.
-#[test]
-fn queued_deadline_expiry_is_reported() {
+fn queued_deadline_expiry_is_reported(backend: SocketBackend) {
     let handle = spawn(
         lab_server(),
         DaemonConfig {
@@ -150,7 +192,7 @@ fn queued_deadline_expiry_is_reported() {
             // Every batch waits 30 ms before solving, so a 1 ms deadline
             // is always stale by solve time.
             batch_pause: Duration::from_millis(30),
-            ..DaemonConfig::default()
+            ..config(backend)
         },
         "127.0.0.1:0",
     )
@@ -172,8 +214,7 @@ fn queued_deadline_expiry_is_reported() {
 /// A semantically malformed request inside a pipelined burst errors only
 /// itself: its neighbors in the same micro-batch still get estimates, and
 /// the connection stays open.
-#[test]
-fn malformed_request_does_not_poison_the_batch() {
+fn malformed_request_does_not_poison_the_batch(backend: SocketBackend) {
     let venue = Venue::lab();
     let handle = spawn(
         lab_server(),
@@ -182,7 +223,7 @@ fn malformed_request_does_not_poison_the_batch() {
             batchers: 1,
             max_batch: 16,
             max_wait: Duration::from_millis(20),
-            ..DaemonConfig::default()
+            ..config(backend)
         },
         "127.0.0.1:0",
     )
@@ -242,9 +283,8 @@ fn malformed_request_does_not_poison_the_batch() {
 /// A frame-level protocol violation (garbage on the socket) is answered
 /// with a `Malformed` reply for request id 0 and the connection closes;
 /// other connections are untouched.
-#[test]
-fn protocol_error_closes_only_that_connection() {
-    let handle = spawn(lab_server(), DaemonConfig::default(), "127.0.0.1:0").expect("spawn daemon");
+fn protocol_error_closes_only_that_connection(backend: SocketBackend) {
+    let handle = spawn(lab_server(), config(backend), "127.0.0.1:0").expect("spawn daemon");
 
     let mut bad = TcpStream::connect(handle.local_addr()).expect("connect");
     bad.write_all(b"this is not a NMLC frame at all............")
@@ -271,9 +311,8 @@ fn protocol_error_closes_only_that_connection() {
 }
 
 /// A `StatsRequest` frame answers with the daemon's health snapshot.
-#[test]
-fn stats_frame_reports_health() {
-    let handle = spawn(lab_server(), DaemonConfig::default(), "127.0.0.1:0").expect("spawn daemon");
+fn stats_frame_reports_health(backend: SocketBackend) {
+    let handle = spawn(lab_server(), config(backend), "127.0.0.1:0").expect("spawn daemon");
     let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
     stream.write_all(&cheap_request(1, 0)).unwrap();
     let _ = read_responses(&mut stream, 1);
@@ -302,9 +341,10 @@ fn stats_frame_reports_health() {
 }
 
 /// Shutdown drains: every admitted request is answered before the daemon
-/// exits, even when a throttle keeps the queue deep at shutdown time.
-#[test]
-fn shutdown_drains_admitted_requests() {
+/// exits, even when a throttle keeps the queue deep at shutdown time —
+/// and on the threaded backend, shutdown joins every reader thread it
+/// spawned (no handle or thread leaks past the drain).
+fn shutdown_drains_admitted_requests(backend: SocketBackend) {
     let handle = spawn(
         lab_server(),
         DaemonConfig {
@@ -314,11 +354,20 @@ fn shutdown_drains_admitted_requests() {
             max_wait: Duration::ZERO,
             queue_capacity: 64,
             batch_pause: Duration::from_millis(10),
-            ..DaemonConfig::default()
+            ..config(backend)
         },
         "127.0.0.1:0",
     )
     .expect("spawn daemon");
+
+    // A few sacrificial connections that come and go before the drain:
+    // their reader threads (threaded backend) must be reaped, not
+    // accumulated until shutdown.
+    for id in 100..105u64 {
+        let mut scratch = TcpStream::connect(handle.local_addr()).expect("connect");
+        scratch.write_all(&cheap_request(id, 0)).unwrap();
+        let _ = read_responses(&mut scratch, 1);
+    }
 
     const N: usize = 20;
     let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
@@ -330,16 +379,125 @@ fn shutdown_drains_admitted_requests() {
 
     // Wait until the daemon has admitted all N (they queue behind the
     // throttle), then shut down mid-drain.
-    while handle.health().requests_enqueued < N as u64 {
+    while handle.health().requests_enqueued < (N + 5) as u64 {
         std::thread::sleep(Duration::from_millis(2));
+    }
+    if backend == SocketBackend::Threaded {
+        // The leak regression: handles of finished readers used to pile
+        // up until shutdown. The accept path now reaps them, so at most
+        // the live connection (plus stragglers not yet noticed by an
+        // accept) remain. The last accept happened after all five
+        // sacrificial connections closed, but reader exit is asynchronous
+        // — poke accepts until the count settles.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let _ = TcpStream::connect(handle.local_addr());
+            if handle.live_conn_threads() <= 2 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "reader-thread handles not reaped: {} live",
+                handle.live_conn_threads()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    } else {
+        assert_eq!(
+            handle.live_conn_threads(),
+            0,
+            "event-loop backend must not spawn reader threads"
+        );
     }
     let health = handle.shutdown();
     assert_eq!(
         health.requests_ok + health.requests_failed + health.rejected_overload,
-        N as u64,
+        (N + 5) as u64,
         "shutdown lost admitted requests: {health}"
     );
     // The socket still holds every reply.
     let responses = read_responses(&mut stream, N);
     assert_eq!(responses.len(), N);
+}
+
+/// Slow-reader eviction (event-loop backend): a connection that floods
+/// requests but never drains its socket is evicted once its bounded
+/// outbound buffer fills — while a well-behaved connection **on the same
+/// single event loop** keeps getting answers throughout. Unbounded reply
+/// buffering (the alternative) would OOM; blocking writes (the threaded
+/// backend's behavior) would be the slow reader's problem alone there,
+/// but on a shared loop would stall every batch-mate.
+#[test]
+fn slow_reader_is_evicted_without_stalling_loop_mates() {
+    let handle = spawn(
+        lab_server(),
+        DaemonConfig {
+            acceptors: 1,
+            batchers: 1,
+            max_batch: 8,
+            max_wait: Duration::ZERO,
+            queue_capacity: 8192,
+            socket_backend: SocketBackend::EventLoop,
+            event_loops: 1, // both connections share one loop
+            write_buffer_cap: 16 * 1024,
+            ..DaemonConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn daemon");
+
+    let slow = TcpStream::connect(handle.local_addr()).expect("connect slow");
+    slow.set_nodelay(true).unwrap();
+    let mut good = TcpStream::connect(handle.local_addr()).expect("connect good");
+    good.set_nodelay(true).unwrap();
+    good.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // Flood the slow connection in chunks without ever reading it. Its
+    // replies pile up: first in the kernel's socket buffers, then in the
+    // daemon's bounded write buffer — until the cap trips and the daemon
+    // evicts it. Interleave one request on the good connection per chunk
+    // and require its reply promptly: the loop must never block on the
+    // stuffed socket. Bounded: kernel buffering is finite, so eviction
+    // must fire within a bounded number of chunks.
+    const CHUNK: usize = 500;
+    const MAX_CHUNKS: usize = 200; // ≥ 100k replies ≈ 10 MB ≫ any sndbuf+rcvbuf
+    let mut next_id = 0u64;
+    let mut good_id = 1_000_000u64;
+    let mut chunks = 0usize;
+    while handle.slow_readers_evicted() == 0 {
+        assert!(
+            chunks < MAX_CHUNKS,
+            "no eviction after {} pipelined requests",
+            chunks * CHUNK
+        );
+        let mut blob = Vec::with_capacity(CHUNK * 80);
+        for _ in 0..CHUNK {
+            blob.extend_from_slice(&cheap_request(next_id, 0));
+            next_id += 1;
+        }
+        // Writes may start failing once the daemon closes the evicted
+        // socket — that's the expected end state, not a test failure.
+        let _ = (&slow).write_all(&blob);
+        chunks += 1;
+
+        (&good).write_all(&cheap_request(good_id, 0)).unwrap();
+        let replies = read_responses(&mut good, 1);
+        assert_eq!(replies[0].request_id, good_id, "good conn got wrong reply");
+        assert!(
+            replies[0].outcome.is_ok(),
+            "good conn failed mid-flood: {:?}",
+            replies[0].outcome
+        );
+        good_id += 1;
+    }
+    assert_eq!(handle.slow_readers_evicted(), 1, "exactly one eviction");
+
+    // The good connection still works after the eviction.
+    (&good).write_all(&cheap_request(good_id, 0)).unwrap();
+    let replies = read_responses(&mut good, 1);
+    assert_eq!(replies[0].request_id, good_id);
+
+    let health = handle.shutdown();
+    assert_eq!(health.slow_readers_evicted, 1, "health mirrors: {health}");
 }

@@ -28,8 +28,16 @@ echo "==> loopback serving smoke test (daemon + loadgen over 127.0.0.1)"
 cargo test -q --offline --test net_loopback
 
 echo "==> chaos smoke: fault-injected serving contract over 127.0.0.1"
+echo "    (event-loop socket backend — the default)"
 cargo run --release -p nomloc-cli --bin nomloc --offline -- \
-  chaos --seed 7 --requests 200
+  chaos --seed 7 --requests 200 --socket-backend event-loop
+echo "    (thread-per-connection fallback backend, same seed)"
+cargo run --release -p nomloc-cli --bin nomloc --offline -- \
+  chaos --seed 7 --requests 200 --socket-backend threaded
+
+echo "==> event-loop loopback smoke: loadgen with an idle crowd"
+cargo run --release -p nomloc-cli --bin nomloc --offline -- \
+  loadgen --requests 200 --socket-backend event-loop --idle-connections 500
 
 echo "==> serving benchmark (quick): BENCH_serving.json present and well-formed"
 NOMLOC_BENCH_QUICK=1 cargo run --release -p nomloc-bench --bin bench_serving_json --offline
@@ -37,7 +45,7 @@ if [[ ! -s BENCH_serving.json ]]; then
   echo "error: BENCH_serving.json missing or empty" >&2
   exit 1
 fi
-for key in stages fft pdp_64 encode end_to_end speedup decode_ns_per_request; do
+for key in stages fft pdp_64 encode end_to_end speedup decode_ns_per_request soak; do
   if ! grep -q "\"$key\"" BENCH_serving.json; then
     echo "error: BENCH_serving.json malformed — missing key \"$key\"" >&2
     exit 1
