@@ -346,6 +346,43 @@ fn main() {
     let bursts = all_reports.len() as f64;
     let (pdp64_planned_ns, pdp64_naive_ns) = (pdp64_planned_ns / bursts, pdp64_naive_ns / bursts);
 
+    // --- Batched SoA PDP against the per-packet planned kernel, at the
+    // serving shape: each request's reports extracted together (4 APs ×
+    // 2 packets = 8 lockstep lanes per dispatch) versus the PR-5 hot path
+    // replicated exactly — the planned scalar kernel per snapshot with
+    // reused scratch, median per burst. Both sides allocation-free in
+    // steady state, so the delta is purely the lockstep traversal.
+    let mut batched_scratch = PdpScratch::new();
+    let mut scalar_scratch = PdpScratch::new();
+    let mut batched_out: Vec<Option<f64>> = Vec::new();
+    let mut scalar_peaks: Vec<f64> = Vec::new();
+    let (pdp_batched_ns, pdp_per_packet_ns) = lpcmp::paired_min_ns(
+        rounds(200),
+        1,
+        || {
+            for reports in &requests {
+                let bursts: Vec<&[CsiSnapshot]> =
+                    reports.iter().map(|r| r.burst.as_slice()).collect();
+                pdp.pdp_of_bursts_with(&bursts, &mut batched_scratch, &mut batched_out);
+                black_box(batched_out.len());
+            }
+        },
+        || {
+            for reports in &requests {
+                for r in reports {
+                    scalar_peaks.clear();
+                    scalar_peaks.extend(
+                        r.burst
+                            .iter()
+                            .map(|s| pdp.pdp_of_snapshot_with(s, &mut scalar_scratch)),
+                    );
+                    black_box(nomloc_dsp::stats::median_in_place(&mut scalar_peaks));
+                }
+            }
+        },
+    );
+    let (pdp_batched_ns, pdp_per_packet_ns) = (pdp_batched_ns / n, pdp_per_packet_ns / n);
+
     // --- Pooled vs fresh reply encode, per frame.
     let (encode_pooled_ns, encode_fresh_ns) = lpcmp::paired_min_ns(
         rounds(300),
@@ -411,6 +448,7 @@ fn main() {
     let (e2e_optimized_ns, e2e_naive_ns) = (e2e_optimized_ns / n, e2e_naive_ns / n);
 
     let fft_speedup = fft_naive_ns / fft_planned_ns;
+    let pdp_batched_speedup = pdp_per_packet_ns / pdp_batched_ns;
     let pdp64_speedup = pdp64_naive_ns / pdp64_planned_ns;
     let encode_speedup = encode_fresh_ns / encode_pooled_ns;
     let e2e_speedup = e2e_naive_ns / e2e_optimized_ns;
@@ -438,7 +476,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"requests\": {n_requests},\n  \"stages\": {{\"decode_ns_per_request\": {decode_ns:.1}, \"pdp_ns_per_request\": {pdp_ns:.1}, \"constraints_ns_per_request\": {constraints_ns:.1}, \"lp_ns_per_request\": {lp_ns:.1}, \"encode_ns_per_request\": {encode_ns:.1}}},\n  \"fft\": {{\"points\": 256, \"planned_ns\": {fft_planned_ns:.1}, \"naive_ns\": {fft_naive_ns:.1}, \"speedup\": {fft_speedup:.4}}},\n  \"pdp_64\": {{\"planned_ns_per_burst\": {pdp64_planned_ns:.1}, \"unplanned_ns_per_burst\": {pdp64_naive_ns:.1}, \"speedup\": {pdp64_speedup:.4}}},\n  \"encode\": {{\"pooled_ns_per_reply\": {encode_pooled_ns:.1}, \"fresh_ns_per_reply\": {encode_fresh_ns:.1}, \"speedup\": {encode_speedup:.4}}},\n  \"end_to_end\": {{\"optimized_ns_per_request\": {e2e_optimized_ns:.1}, \"naive_ns_per_request\": {e2e_naive_ns:.1}, \"speedup\": {e2e_speedup:.4}}},\n  \"soak\": {soak_json}\n}}\n"
+        "{{\n  \"requests\": {n_requests},\n  \"stages\": {{\"decode_ns_per_request\": {decode_ns:.1}, \"pdp_ns_per_request\": {pdp_ns:.1}, \"constraints_ns_per_request\": {constraints_ns:.1}, \"lp_ns_per_request\": {lp_ns:.1}, \"encode_ns_per_request\": {encode_ns:.1}}},\n  \"fft\": {{\"points\": 256, \"planned_ns\": {fft_planned_ns:.1}, \"naive_ns\": {fft_naive_ns:.1}, \"speedup\": {fft_speedup:.4}}},\n  \"pdp_batched\": {{\"batched_ns_per_request\": {pdp_batched_ns:.1}, \"per_packet_ns_per_request\": {pdp_per_packet_ns:.1}, \"speedup\": {pdp_batched_speedup:.4}}},\n  \"pdp_64\": {{\"planned_ns_per_burst\": {pdp64_planned_ns:.1}, \"unplanned_ns_per_burst\": {pdp64_naive_ns:.1}, \"speedup\": {pdp64_speedup:.4}}},\n  \"encode\": {{\"pooled_ns_per_reply\": {encode_pooled_ns:.1}, \"fresh_ns_per_reply\": {encode_fresh_ns:.1}, \"speedup\": {encode_speedup:.4}}},\n  \"end_to_end\": {{\"optimized_ns_per_request\": {e2e_optimized_ns:.1}, \"naive_ns_per_request\": {e2e_naive_ns:.1}, \"speedup\": {e2e_speedup:.4}}},\n  \"soak\": {soak_json}\n}}\n"
     );
 
     println!(
@@ -448,6 +486,10 @@ fn main() {
     println!(
         "fft 256-pt: planned {fft_planned_ns:.1} ns, naive {fft_naive_ns:.1} ns — \
          speedup {fft_speedup:.3}x"
+    );
+    println!(
+        "pdp batched: {pdp_batched_ns:.0} ns/req batched SoA, {pdp_per_packet_ns:.0} ns/req \
+         per-packet planned — speedup {pdp_batched_speedup:.3}x"
     );
     println!(
         "pdp 64-pt: planned {pdp64_planned_ns:.0} ns/burst, unplanned {pdp64_naive_ns:.0} \

@@ -7,8 +7,17 @@
 //! packet.
 
 use nomloc_dsp::pdp::DelayProfile;
-use nomloc_dsp::{stats, Complex, Window};
+use nomloc_dsp::plan::with_thread_batch_plan;
+use nomloc_dsp::{fft, stats, Complex, SoaComplex, Window};
 use nomloc_rfsim::CsiSnapshot;
+
+/// Maximum lanes per batched IFFT dispatch.
+///
+/// Bounds the lane-major working set (`padded_len × lanes × 16 B`) so a
+/// chunk stays cache-resident: at the default 256-tap padding, 16 lanes is
+/// 64 KiB of split-complex data. The serving workload's 4 APs × 2 packets
+/// fit in one chunk; larger crowds just take more dispatches.
+const MAX_BATCH_LANES: usize = 16;
 
 /// Configuration of the PDP estimator.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +57,10 @@ pub struct PdpScratch {
     tapered: Vec<Complex>,
     /// Per-packet PDPs of the burst currently being aggregated.
     per_packet: Vec<f64>,
+    /// Lane-major split-complex buffer for batched IFFT dispatches.
+    soa: SoaComplex,
+    /// Per-lane peak powers of the batched dispatch in flight.
+    lane_peaks: Vec<f64>,
 }
 
 impl PdpScratch {
@@ -55,6 +68,28 @@ impl PdpScratch {
     /// reused.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// `Some(n)` when `snaps` yields at least two snapshots whose CSI vectors
+/// all have the same length `n` — the precondition for lockstep batching.
+/// Anything else (zero or one snapshot, or mixed lengths) takes the scalar
+/// per-snapshot path.
+fn batchable_len<'a>(snaps: impl Iterator<Item = &'a CsiSnapshot>) -> Option<usize> {
+    let mut len = None;
+    let mut count = 0usize;
+    for s in snaps {
+        count += 1;
+        match len {
+            None => len = Some(s.h.len()),
+            Some(n) if n == s.h.len() => {}
+            _ => return None,
+        }
+    }
+    if count >= 2 {
+        len
+    } else {
+        None
     }
 }
 
@@ -109,6 +144,12 @@ impl PdpEstimator {
     /// [`PdpEstimator::pdp_of_burst`] against caller-provided scratch:
     /// zero steady-state allocation across bursts. Value-identical to the
     /// allocating variant (`median_in_place` replicates `median` exactly).
+    ///
+    /// A burst of ≥2 same-length snapshots runs through the batched SoA
+    /// kernel — one lockstep IFFT traversal for the whole burst — which is
+    /// bit-identical per packet to the scalar path (see
+    /// [`DelayProfile::peak_powers_from_batch_with`]); mixed-length bursts
+    /// fall back to the per-snapshot kernel.
     pub fn pdp_of_burst_with(
         &self,
         burst: &[CsiSnapshot],
@@ -118,10 +159,115 @@ impl PdpEstimator {
         // the per-snapshot calls; reattach before returning.
         let mut per_packet = std::mem::take(&mut scratch.per_packet);
         per_packet.clear();
-        per_packet.extend(burst.iter().map(|s| self.pdp_of_snapshot_with(s, scratch)));
+        if let Some(n) = batchable_len(burst.iter()) {
+            let mut it = burst.iter();
+            self.batch_peaks(
+                burst.len(),
+                n,
+                || it.next().expect("cursor within burst"),
+                scratch,
+                &mut per_packet,
+            );
+        } else {
+            per_packet.extend(burst.iter().map(|s| self.pdp_of_snapshot_with(s, scratch)));
+        }
         let result = stats::median_in_place(&mut per_packet);
         scratch.per_packet = per_packet;
         result
+    }
+
+    /// Burst PDPs of many reports in one pass: `out[i]` is exactly
+    /// [`PdpEstimator::pdp_of_burst_with`]`(bursts[i])`.
+    ///
+    /// When every snapshot across every burst has the same CSI length, the
+    /// whole set is flattened into lane-major chunks of up to
+    /// [`MAX_BATCH_LANES`] lanes and run through the batched kernel —
+    /// cross-report batching fills far more vector lanes than any single
+    /// burst (the serving workload has 2-packet bursts but 8+ snapshots per
+    /// request). The flat peak sequence is then segmented back per burst
+    /// for the median. Mixed-length inputs fall back per burst.
+    pub fn pdp_of_bursts_with(
+        &self,
+        bursts: &[&[CsiSnapshot]],
+        scratch: &mut PdpScratch,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        out.clear();
+        let total: usize = bursts.iter().map(|b| b.len()).sum();
+        let Some(n) = batchable_len(bursts.iter().flat_map(|b| b.iter())) else {
+            out.extend(bursts.iter().map(|b| self.pdp_of_burst_with(b, scratch)));
+            return;
+        };
+        let mut flat = std::mem::take(&mut scratch.per_packet);
+        flat.clear();
+        let (mut bi, mut si) = (0usize, 0usize);
+        self.batch_peaks(
+            total,
+            n,
+            || {
+                while bursts[bi].len() == si {
+                    bi += 1;
+                    si = 0;
+                }
+                let snap = &bursts[bi][si];
+                si += 1;
+                snap
+            },
+            scratch,
+            &mut flat,
+        );
+        let mut start = 0;
+        for burst in bursts {
+            let end = start + burst.len();
+            out.push(stats::median_in_place(&mut flat[start..end]));
+            start = end;
+        }
+        scratch.per_packet = flat;
+    }
+
+    /// Packs `total` snapshots of CSI length `n` (produced by `next`, in
+    /// order) into lane-major chunks and appends one peak power per
+    /// snapshot to `out` via the batched kernel.
+    ///
+    /// Mirrors the scalar path's validation panics per snapshot ("CSI must
+    /// not be empty", "bandwidth must be positive") before transforming.
+    fn batch_peaks<'a>(
+        &self,
+        total: usize,
+        n: usize,
+        mut next: impl FnMut() -> &'a CsiSnapshot,
+        scratch: &mut PdpScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let padded = fft::padded_len(n, self.min_taps);
+        let mut done = 0usize;
+        while done < total {
+            let lanes = MAX_BATCH_LANES.min(total - done);
+            with_thread_batch_plan(padded, |plan| {
+                scratch.soa.reset(padded * lanes);
+                for lane in 0..lanes {
+                    let snap = next();
+                    assert!(!snap.h.is_empty(), "CSI must not be empty");
+                    let bandwidth = snap.grid.mean_spacing_hz() * n as f64;
+                    assert!(bandwidth > 0.0, "bandwidth must be positive");
+                    self.window.apply_into(&snap.h, &mut scratch.tapered);
+                    // Scatter each tapered row straight into bit-reversed
+                    // positions so the batched inverse can skip its swap
+                    // traversal (rows past the CSI length stay zero from
+                    // the reset — zeros are permutation-invariant).
+                    plan.scatter_lane(&mut scratch.soa, lane, lanes, &scratch.tapered);
+                }
+                DelayProfile::peak_powers_from_prepermuted_batch_with(
+                    plan,
+                    &mut scratch.soa,
+                    lanes,
+                    n,
+                    &mut scratch.lane_peaks,
+                );
+            });
+            out.extend_from_slice(&scratch.lane_peaks);
+            done += lanes;
+        }
     }
 
     /// Array PDP with selection combining: the maximum per-antenna burst
@@ -340,6 +486,103 @@ mod tests {
                 "array {i}"
             );
         }
+    }
+
+    #[test]
+    fn batched_burst_matches_per_snapshot_oracle() {
+        // pdp_of_burst_with batches uniform bursts; the per-snapshot path
+        // (still exercised via pdp_of_snapshot_with) is the oracle. Every
+        // window, because the taper is applied before lane packing.
+        let env = open_env();
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(21);
+        for window in [Window::Rectangular, Window::Hann, Window::Blackman] {
+            let est = PdpEstimator::new().with_window(window);
+            let mut scratch = PdpScratch::new();
+            for n_packets in [2usize, 3, 16, 17, 33] {
+                let burst = env.sample_csi_burst(
+                    Point::new(2.0, 3.0),
+                    Point::new(14.0, 8.0),
+                    &grid,
+                    n_packets,
+                    &mut rng,
+                );
+                let batched = est.pdp_of_burst_with(&burst, &mut scratch);
+                let mut oracle_scratch = PdpScratch::new();
+                let mut peaks: Vec<f64> = burst
+                    .iter()
+                    .map(|s| est.pdp_of_snapshot_with(s, &mut oracle_scratch))
+                    .collect();
+                let oracle = stats::median_in_place(&mut peaks);
+                assert_eq!(batched, oracle, "{window:?} n_packets={n_packets}");
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_batch_matches_per_burst_oracle() {
+        let env = open_env();
+        let est = PdpEstimator::new();
+        let grid = SubcarrierGrid::intel5300();
+        let mut rng = StdRng::seed_from_u64(22);
+        let tx = Point::new(3.0, 4.0);
+        // 4 reports × 2 packets (the serving shape), plus an empty burst
+        // and a single-packet burst in the middle.
+        let bursts_owned: Vec<Vec<CsiSnapshot>> = [2usize, 2, 0, 1, 2, 2]
+            .iter()
+            .enumerate()
+            .map(|(i, &np)| {
+                env.sample_csi_burst(
+                    tx,
+                    Point::new(4.0 + 2.0 * i as f64, 6.0),
+                    &grid,
+                    np,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let bursts: Vec<&[CsiSnapshot]> = bursts_owned.iter().map(|b| b.as_slice()).collect();
+        let mut scratch = PdpScratch::new();
+        let mut batched = Vec::new();
+        est.pdp_of_bursts_with(&bursts, &mut scratch, &mut batched);
+        let oracle: Vec<Option<f64>> = bursts_owned.iter().map(|b| est.pdp_of_burst(b)).collect();
+        assert_eq!(batched, oracle);
+    }
+
+    #[test]
+    fn mixed_length_bursts_fall_back_identically() {
+        // Snapshots of different CSI lengths cannot share a lockstep batch;
+        // the fallback must still equal the allocating per-burst path.
+        let env = open_env();
+        let est = PdpEstimator::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        let tx = Point::new(2.0, 2.0);
+        let a = env.sample_csi_burst(
+            tx,
+            Point::new(8.0, 6.0),
+            &SubcarrierGrid::intel5300(),
+            2,
+            &mut rng,
+        );
+        let b = env.sample_csi_burst(
+            tx,
+            Point::new(12.0, 6.0),
+            &SubcarrierGrid::full_80211n_20mhz(),
+            3,
+            &mut rng,
+        );
+        // Mixed across reports → per-burst fallback (each burst itself
+        // uniform, so still batched internally).
+        let bursts: Vec<&[CsiSnapshot]> = vec![&a, &b];
+        let mut scratch = PdpScratch::new();
+        let mut got = Vec::new();
+        est.pdp_of_bursts_with(&bursts, &mut scratch, &mut got);
+        assert_eq!(got, vec![est.pdp_of_burst(&a), est.pdp_of_burst(&b)]);
+        // Mixed within one burst → per-snapshot fallback.
+        let mut mixed = a.clone();
+        mixed.extend(b.iter().cloned());
+        let batched = est.pdp_of_burst_with(&mixed, &mut scratch);
+        assert_eq!(batched, est.pdp_of_burst(&mixed));
     }
 
     #[test]

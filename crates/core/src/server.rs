@@ -170,23 +170,33 @@ impl LocalizationServer {
     /// long-lived serving thread (a daemon batcher, or the caller itself
     /// when `workers <= 1` keeps batches inline) processes request after
     /// request with zero steady-state allocation in the DSP front-end.
+    /// All bursts of a request are handed to the estimator together
+    /// ([`PdpEstimator::pdp_of_bursts_with`]) so their snapshots share
+    /// lockstep batched IFFT dispatches across report boundaries.
     pub fn extract_readings(&self, reports: &[CsiReport]) -> Vec<PdpReading> {
         thread_local! {
             static PDP_SCRATCH: RefCell<PdpScratch> = RefCell::new(PdpScratch::new());
+            static BURST_REFS: RefCell<Vec<Option<f64>>> = const { RefCell::new(Vec::new()) };
         }
         let start = Instant::now();
         let readings: Vec<PdpReading> = PDP_SCRATCH.with(|scratch| {
-            let scratch = &mut *scratch.borrow_mut();
-            reports
-                .iter()
-                .filter_map(|r| {
-                    let pdp = self.pdp.pdp_of_burst_with(&r.burst, scratch)?;
-                    // try_new (not new): a non-finite PDP or site position
-                    // from a hostile report must drop the reading, never
-                    // panic.
-                    PdpReading::try_new(r.site, pdp).ok()
-                })
-                .collect()
+            BURST_REFS.with(|pdps| {
+                let scratch = &mut *scratch.borrow_mut();
+                let pdps = &mut *pdps.borrow_mut();
+                let bursts: Vec<&[CsiSnapshot]> =
+                    reports.iter().map(|r| r.burst.as_slice()).collect();
+                self.pdp.pdp_of_bursts_with(&bursts, scratch, pdps);
+                reports
+                    .iter()
+                    .zip(pdps.iter())
+                    .filter_map(|(r, pdp)| {
+                        // try_new (not new): a non-finite PDP or site
+                        // position from a hostile report must drop the
+                        // reading, never panic.
+                        PdpReading::try_new(r.site, (*pdp)?).ok()
+                    })
+                    .collect()
+            })
         });
         self.stats
             .record_extract(reports.len() as u64, readings.len() as u64, start.elapsed());

@@ -174,6 +174,17 @@ fn bluestein(x: &[Complex], inverse: bool) -> Vec<Complex> {
     (0..n).map(|k| a[k].scale(scale) * chirp[k]).collect()
 }
 
+/// The padded transform length used by [`ifft_padded`]: the next power of
+/// two at least `max(len, min_len)`.
+///
+/// Exposed so batched callers can size their lane-major buffers to the
+/// exact length the scalar path would use — the bit-identity contract
+/// between the two depends on padding to the same target.
+#[inline]
+pub fn padded_len(len: usize, min_len: usize) -> usize {
+    min_len.max(len).next_power_of_two()
+}
+
 /// Zero-pads `x` to the next power of two at least `min_len` and returns the
 /// inverse FFT.
 ///
@@ -193,7 +204,7 @@ pub fn ifft_padded(x: &[Complex], min_len: usize) -> Vec<Complex> {
 /// two, so both run the same radix-2 kernel and `1/N` scaling in the same
 /// order.
 pub fn ifft_padded_into(x: &[Complex], min_len: usize, out: &mut Vec<Complex>) {
-    let target = min_len.max(x.len()).next_power_of_two();
+    let target = padded_len(x.len(), min_len);
     out.clear();
     out.extend_from_slice(x);
     out.resize(target, Complex::ZERO);
@@ -207,7 +218,7 @@ pub fn ifft_padded_into(x: &[Complex], min_len: usize, out: &mut Vec<Complex>) {
 /// [`ifft_padded_into`] running the unplanned kernel. Benchmark baseline for
 /// the planned path; not used on the serving hot path.
 pub fn ifft_padded_into_unplanned(x: &[Complex], min_len: usize, out: &mut Vec<Complex>) {
-    let target = min_len.max(x.len()).next_power_of_two();
+    let target = padded_len(x.len(), min_len);
     out.clear();
     out.extend_from_slice(x);
     out.resize(target, Complex::ZERO);

@@ -13,6 +13,10 @@
 //! * [`plan`] — precomputed FFT plans (bit-reversal indices + per-stage
 //!   twiddle tables) and the per-thread [`plan::PlanCache`] the radix-2
 //!   kernel runs through.
+//! * [`soa`] / [`batch`] — split (structure-of-arrays) complex buffers and
+//!   the batched FFT kernel that marches a burst of same-length packets
+//!   through the planned butterflies in lockstep, bit-identical per lane to
+//!   the per-packet plan.
 //! * [`pdp`] — power delay profiles and their summary taps.
 //! * [`stats`] — mean/variance/percentiles and empirical CDFs (the paper's
 //!   accuracy metric) plus the spatial-localizability-variance helper.
@@ -42,15 +46,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod complex;
 pub mod fft;
 pub mod pdp;
 pub mod plan;
+pub mod soa;
 pub mod stats;
 mod window;
 
+pub use batch::BatchFftPlan;
 pub use complex::Complex;
 pub use plan::{FftPlan, PlanCache};
+pub use soa::SoaComplex;
 pub use window::Window;
 
 /// Converts a linear power ratio to decibels.

@@ -7,6 +7,8 @@
 //! an IFFT of the frequency-domain CSI and summarizes each link by its
 //! maximum tap power (§IV-A).
 
+use crate::batch::BatchFftPlan;
+use crate::soa::SoaComplex;
 use crate::{fft, Complex};
 
 /// The delay-domain power profile of one radio link.
@@ -135,6 +137,103 @@ impl DelayProfile {
             }
         }
         best
+    }
+
+    /// Batched [`DelayProfile::peak_power_from_csi_with`]: one peak tap
+    /// power per lane of a lane-major batch of same-length CSI rows.
+    ///
+    /// The caller packs `lanes` CSI rows of original length `csi_len` into
+    /// `buf` via [`SoaComplex::reset`] (to `plan.len() * lanes` zeros — the
+    /// zero rows beyond `csi_len` are exactly the padding
+    /// [`fft::ifft_padded_into`] would append) and [`SoaComplex::write_lane`],
+    /// with `plan.len() == fft::padded_len(csi_len, min_taps)`. This runs a
+    /// single batched inverse transform and folds each lane's tap powers
+    /// into its running maximum, writing one peak per lane into `out`.
+    ///
+    /// Bit-identical per lane to the scalar path: the batched kernel
+    /// performs the scalar kernel's float ops in the same per-lane order,
+    /// and the fold uses the same `(h · gain)` norm and `total_cmp`
+    /// tie-break (later ties win).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `csi_len` is zero, `plan.len() < csi_len`, `lanes` is
+    /// zero, or `buf.len() != plan.len() * lanes`.
+    pub fn peak_powers_from_batch_with(
+        plan: &BatchFftPlan,
+        buf: &mut SoaComplex,
+        lanes: usize,
+        csi_len: usize,
+        out: &mut Vec<f64>,
+    ) {
+        assert!(csi_len > 0, "CSI must not be empty");
+        assert!(
+            plan.len() >= csi_len,
+            "padded plan must cover the CSI length"
+        );
+        plan.inverse(buf, lanes);
+        Self::fold_batch_peaks(plan, buf, lanes, csi_len, out);
+    }
+
+    /// [`DelayProfile::peak_powers_from_batch_with`] for a batch whose
+    /// rows were scattered straight into bit-reversed positions via
+    /// [`BatchFftPlan::scatter_lane`]: the inverse transform skips the
+    /// swap traversal ([`BatchFftPlan::inverse_prepermuted`]), everything
+    /// else — gain, fold order, tie-break — is identical, so the peaks
+    /// stay bit-identical to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`DelayProfile::peak_powers_from_batch_with`].
+    pub fn peak_powers_from_prepermuted_batch_with(
+        plan: &BatchFftPlan,
+        buf: &mut SoaComplex,
+        lanes: usize,
+        csi_len: usize,
+        out: &mut Vec<f64>,
+    ) {
+        assert!(csi_len > 0, "CSI must not be empty");
+        assert!(
+            plan.len() >= csi_len,
+            "padded plan must cover the CSI length"
+        );
+        plan.inverse_prepermuted(buf, lanes);
+        Self::fold_batch_peaks(plan, buf, lanes, csi_len, out);
+    }
+
+    /// Shared gain + per-lane running-maximum fold over a transformed
+    /// batch (taps walked row-major, so per lane the visit order matches
+    /// the scalar fold exactly).
+    fn fold_batch_peaks(
+        plan: &BatchFftPlan,
+        buf: &SoaComplex,
+        lanes: usize,
+        csi_len: usize,
+        out: &mut Vec<f64>,
+    ) {
+        let gain = plan.len() as f64 / csi_len as f64;
+        out.clear();
+        // Tap 0 initializes each lane's running maximum…
+        for lane in 0..lanes {
+            let sr = buf.re[lane] * gain;
+            let si = buf.im[lane] * gain;
+            out.push(sr * sr + si * si);
+        }
+        // …and taps 1.. fold in row-major order: per lane this visits taps
+        // in exactly the order the scalar fold does.
+        for i in 1..plan.len() {
+            let base = i * lanes;
+            let row_re = &buf.re[base..base + lanes];
+            let row_im = &buf.im[base..base + lanes];
+            for ((best, &re), &im) in out.iter_mut().zip(row_re).zip(row_im) {
+                let sr = re * gain;
+                let si = im * gain;
+                let power = sr * sr + si * si;
+                if power.total_cmp(best) != std::cmp::Ordering::Less {
+                    *best = power;
+                }
+            }
+        }
     }
 
     /// Number of delay taps.
@@ -299,6 +398,41 @@ mod tests {
             let fused = DelayProfile::peak_power_from_csi_with(&csi, bw, min_taps, &mut scratch);
             // Value-identical: same powers, same tie-break order.
             assert_eq!(fused, profile.peak().power, "n={n} min_taps={min_taps}");
+        }
+    }
+
+    #[test]
+    fn batched_peaks_match_scalar_bit_for_bit() {
+        let bw = 20e6;
+        for (n, min_taps) in [(30usize, 256usize), (30, 64), (16, 16), (56, 128), (1, 1)] {
+            let lanes = 5;
+            let rows: Vec<Vec<Complex>> = (0..lanes)
+                .map(|l| {
+                    two_path_csi(
+                        n,
+                        bw,
+                        (50 + 40 * l) as f64 * 1e-9,
+                        1.0 - 0.1 * l as f64,
+                        350e-9,
+                        0.5,
+                    )
+                })
+                .collect();
+            let padded = crate::fft::padded_len(n, min_taps);
+            let plan = BatchFftPlan::new(padded);
+            let mut buf = SoaComplex::new();
+            buf.reset(padded * lanes);
+            for (l, row) in rows.iter().enumerate() {
+                buf.write_lane(l, lanes, row);
+            }
+            let mut peaks = Vec::new();
+            DelayProfile::peak_powers_from_batch_with(&plan, &mut buf, lanes, n, &mut peaks);
+            let mut scratch = Vec::new();
+            for (l, row) in rows.iter().enumerate() {
+                let scalar =
+                    DelayProfile::peak_power_from_csi_with(row, bw, min_taps, &mut scratch);
+                assert_eq!(peaks[l], scalar, "n={n} min_taps={min_taps} lane={l}");
+            }
         }
     }
 

@@ -286,7 +286,7 @@ impl WireReport {
                     snap.offsets_hz.len()
                 ));
             }
-            if !snap.offsets_hz.iter().all(|f| f.is_finite()) {
+            if !all_finite(&snap.offsets_hz) {
                 return Err(format!(
                     "AP {} snapshot {i}: non-finite subcarrier offset",
                     self.ap
@@ -316,6 +316,24 @@ impl WireReport {
             burst,
         })
     }
+}
+
+/// Finiteness sweep over a decoded `f64` array in one vectorizable pass.
+///
+/// An IEEE-754 double is non-finite (±Inf or any NaN) exactly when its
+/// eleven exponent bits are all ones, so each element reduces to one mask
+/// compare. Counting matches instead of short-circuiting gives the loop a
+/// branch-free sum shape the compiler autovectorizes; equivalence with
+/// `iter().all(is_finite)` is locked by a regression test. (Note the
+/// comparison must be per-element — OR-folding masked exponents would let
+/// two partial exponents combine into a false positive.)
+fn all_finite(xs: &[f64]) -> bool {
+    const EXP_MASK: u64 = 0x7FF0_0000_0000_0000;
+    let non_finite: u32 = xs
+        .iter()
+        .map(|f| u32::from(f.to_bits() & EXP_MASK == EXP_MASK))
+        .sum();
+    non_finite == 0
 }
 
 /// A localization request: one object's CSI reports from every AP site.
@@ -634,6 +652,38 @@ impl<'a> Cursor<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    /// Appends `n` consecutive little-endian `f64`s to `out` with a single
+    /// bounds check up front: the element loop is a straight run of 8-byte
+    /// loads over one slice (`chunks_exact` + `from_le_bytes`), which the
+    /// compiler turns into bulk copies instead of per-sample cursor
+    /// arithmetic. Bit-exact — no finiteness or range interpretation here.
+    ///
+    /// Callers obtain `n` from [`Cursor::len`]`(8)`, whose guard bounds
+    /// `n * 8` by the remaining payload, so the multiply cannot overflow.
+    fn f64_array_into(&mut self, n: usize, out: &mut Vec<f64>) -> Result<(), WireError> {
+        let raw = self.bytes(n * 8)?;
+        out.reserve(n);
+        out.extend(
+            raw.chunks_exact(8)
+                .map(|b| f64::from_le_bytes(b.try_into().unwrap())),
+        );
+        Ok(())
+    }
+
+    /// [`Cursor::f64_array_into`] for `(re, im)` pairs: `n` 16-byte records
+    /// decoded off one bounds-checked slice.
+    fn f64_pairs_into(&mut self, n: usize, out: &mut Vec<(f64, f64)>) -> Result<(), WireError> {
+        let raw = self.bytes(n * 16)?;
+        out.reserve(n);
+        out.extend(raw.chunks_exact(16).map(|b| {
+            (
+                f64::from_le_bytes(b[..8].try_into().unwrap()),
+                f64::from_le_bytes(b[8..].try_into().unwrap()),
+            )
+        }));
+        Ok(())
+    }
+
     /// Reads a `u32` element count and rejects counts whose minimal
     /// encoding could not fit in the remaining payload — corrupt lengths
     /// fail *before* any allocation happens.
@@ -696,15 +746,11 @@ fn decode_locate_request(c: &mut Cursor<'_>) -> Result<LocateRequest, WireError>
         let mut burst = Vec::with_capacity(n_snaps);
         for _ in 0..n_snaps {
             let n_sub = c.len(8)?;
-            let mut offsets_hz = Vec::with_capacity(n_sub);
-            for _ in 0..n_sub {
-                offsets_hz.push(c.f64()?);
-            }
+            let mut offsets_hz = Vec::new();
+            c.f64_array_into(n_sub, &mut offsets_hz)?;
             let n_h = c.len(16)?;
-            let mut h = Vec::with_capacity(n_h);
-            for _ in 0..n_h {
-                h.push((c.f64()?, c.f64()?));
-            }
+            let mut h = Vec::new();
+            c.f64_pairs_into(n_h, &mut h)?;
             burst.push(WireSnapshot { offsets_hz, h });
         }
         reports.push(WireReport {
@@ -1434,6 +1480,121 @@ mod tests {
         let mut short_h = good.clone();
         short_h.burst[0].h.truncate(1);
         assert!(short_h.to_core().is_err());
+    }
+
+    #[test]
+    fn all_finite_matches_is_finite_oracle() {
+        // The branch-free mask sweep must classify exactly like the
+        // short-circuiting is_finite() fold for every special encoding:
+        // quiet/signaling NaNs (any sign, any payload), ±Inf, subnormals,
+        // zeros, and boundary exponents.
+        let specials = [
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::MIN,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 2.0,               // subnormal
+            f64::from_bits(1),                     // smallest subnormal
+            f64::from_bits(0x7FEF_FFFF_FFFF_FFFF), // largest finite
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7FF0_0000_0000_0001), // signaling NaN
+            f64::from_bits(0xFFF8_0000_0000_0000), // negative quiet NaN
+            f64::from_bits(0x7FF7_FFFF_FFFF_FFFF),
+        ];
+        for &a in &specials {
+            assert_eq!(all_finite(&[a]), a.is_finite(), "{:#x}", a.to_bits());
+            for &b in &specials {
+                let xs = [a, b];
+                assert_eq!(
+                    all_finite(&xs),
+                    xs.iter().all(|f| f.is_finite()),
+                    "{:#x} {:#x}",
+                    a.to_bits(),
+                    b.to_bits()
+                );
+            }
+        }
+        assert!(all_finite(&[]));
+        // Two values whose masked exponents would OR together to the full
+        // mask despite both being finite — the case a bitwise OR-fold gets
+        // wrong and a per-element compare must get right.
+        let half_a = f64::from_bits(0x3FF0_0000_0000_0000); // exponent 0x3FF
+        let half_b = f64::from_bits(0x4000_0000_0000_0000); // exponent 0x400
+        assert!(all_finite(&[half_a, half_b]));
+    }
+
+    #[test]
+    fn bulk_decode_preserves_f64_bits_exactly() {
+        // The bulk array decode must stay a bit-level transport: NaN
+        // payloads, signed zeros, and subnormals survive the round trip
+        // unchanged (finiteness policy lives in to_core, not the decoder).
+        let snap = WireSnapshot {
+            offsets_hz: vec![-0.0, f64::MIN_POSITIVE / 2.0, f64::NAN, f64::INFINITY],
+            h: vec![
+                (f64::from_bits(0x7FF0_0000_0000_0001), -0.0),
+                (f64::NEG_INFINITY, f64::from_bits(1)),
+            ],
+        };
+        let req = Frame::LocateRequest(LocateRequest {
+            request_id: 7,
+            deadline_us: 0,
+            reports: vec![WireReport {
+                ap: 1,
+                visit: 2,
+                x: 3.0,
+                y: 4.0,
+                burst: vec![snap.clone()],
+            }],
+        });
+        let mut bytes = Vec::new();
+        encode_frame(&req, &mut bytes);
+        let (Frame::LocateRequest(got), _) = decode_frame(&bytes).unwrap() else {
+            panic!("wrong frame");
+        };
+        let round = &got.reports[0].burst[0];
+        for (a, b) in round.offsets_hz.iter().zip(&snap.offsets_hz) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for ((ar, ai), (br, bi)) in round.h.iter().zip(&snap.h) {
+            assert_eq!(ar.to_bits(), br.to_bits());
+            assert_eq!(ai.to_bits(), bi.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_classification_unchanged_by_bulk_path() {
+        // Regression for the vectorized finiteness pass: a non-finite
+        // subcarrier offset is still rejected by to_core with the same
+        // message (→ Malformed at the daemon), for every non-finite kind
+        // and position; non-finite *channel* values still pass to_core
+        // (they are dropped later by PdpReading::try_new, not Malformed).
+        let good = WireReport {
+            ap: 9,
+            visit: 0,
+            x: 1.0,
+            y: 2.0,
+            burst: vec![WireSnapshot {
+                offsets_hz: vec![0.0, 1.0, 2.0, 3.0],
+                h: vec![(1.0, 0.0); 4],
+            }],
+        };
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -f64::NAN] {
+            for pos in 0..4 {
+                let mut r = good.clone();
+                r.burst[0].offsets_hz[pos] = bad;
+                let err = r.to_core().unwrap_err();
+                assert_eq!(err, "AP 9 snapshot 0: non-finite subcarrier offset");
+            }
+        }
+        let mut nan_h = good.clone();
+        nan_h.burst[0].h[2] = (f64::NAN, f64::INFINITY);
+        assert!(nan_h.to_core().is_ok());
     }
 
     #[test]

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Vectorization sanity check for the batched SoA FFT kernel.
+#
+# Emits release assembly for nomloc-dsp with the host CPU's full feature
+# set and verifies that the batched-kernel code actually contains packed
+# double-precision multiplies / FMAs (`vmulpd` / `vfmadd*pd` on x86,
+# `fmla v*.2d` on aarch64). The lockstep lane loops are written so the
+# compiler autovectorizes them; this script catches a silent fallback to
+# scalar code (e.g. after a refactor perturbs the loop shape).
+#
+# Advisory: prints a warning and exits 0 when no packed ops are found —
+# codegen varies across compiler versions and build hosts, so this is a
+# tripwire, not a CI gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> emitting release asm for nomloc-dsp (-C target-cpu=native)"
+RUSTFLAGS="-C target-cpu=native" \
+  cargo rustc --release --offline -p nomloc-dsp -- --emit asm >/dev/null 2>&1
+
+asm="$(ls -t target/release/deps/nomloc_dsp-*.s 2>/dev/null | head -1)"
+if [[ -z "$asm" ]]; then
+  echo "warning: no emitted asm found under target/release/deps" >&2
+  exit 0
+fi
+echo "    inspecting $asm"
+
+# Pull out only the functions whose mangled names mention the batch
+# module, then look for packed f64 arithmetic inside them.
+packed="$(awk '
+  /^[A-Za-z_][A-Za-z0-9_.$]*:/ {
+    infn = ($0 ~ /[Bb]atch/)
+  }
+  infn && /(vfmadd[0-9]*pd|vmulpd|fmla[[:space:]]+v[0-9]+\.2d)/ { count++ }
+  END { print count + 0 }
+' "$asm")"
+
+if [[ "$packed" -gt 0 ]]; then
+  echo "OK: $packed packed f64 multiply/FMA instruction(s) in batched-kernel code"
+else
+  echo "warning: no packed f64 multiplies found in batched-kernel code —" >&2
+  echo "         the lane loops may have fallen back to scalar codegen" >&2
+fi
+exit 0

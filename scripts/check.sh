@@ -40,16 +40,41 @@ cargo run --release -p nomloc-cli --bin nomloc --offline -- \
   loadgen --requests 200 --socket-backend event-loop --idle-connections 500
 
 echo "==> serving benchmark (quick): BENCH_serving.json present and well-formed"
+# Capture the committed PDP stage cost *before* the quick run overwrites
+# the file — it is the baseline for the regression guard below.
+committed_pdp="$(git show HEAD:BENCH_serving.json 2>/dev/null |
+  sed -n 's/.*"pdp_ns_per_request"[[:space:]]*:[[:space:]]*\([0-9.]*\).*/\1/p' | head -1)"
 NOMLOC_BENCH_QUICK=1 cargo run --release -p nomloc-bench --bin bench_serving_json --offline
 if [[ ! -s BENCH_serving.json ]]; then
   echo "error: BENCH_serving.json missing or empty" >&2
   exit 1
 fi
-for key in stages fft pdp_64 encode end_to_end speedup decode_ns_per_request soak; do
+for key in stages fft pdp_64 pdp_batched encode end_to_end speedup decode_ns_per_request soak; do
   if ! grep -q "\"$key\"" BENCH_serving.json; then
     echo "error: BENCH_serving.json malformed — missing key \"$key\"" >&2
     exit 1
   fi
 done
+
+echo "==> PDP stage regression guard (quick run vs committed BENCH_serving.json)"
+new_pdp="$(sed -n 's/.*"pdp_ns_per_request"[[:space:]]*:[[:space:]]*\([0-9.]*\).*/\1/p' \
+  BENCH_serving.json | head -1)"
+if [[ -z "$committed_pdp" ]]; then
+  echo "    no committed baseline (new file?) — skipping"
+elif [[ -z "$new_pdp" ]]; then
+  echo "error: pdp_ns_per_request missing from fresh BENCH_serving.json" >&2
+  exit 1
+else
+  # Fail on a >25% regression; quick-mode runs are noisy, so the margin is
+  # deliberately generous — a real hot-path regression blows well past it.
+  awk -v new="$new_pdp" -v old="$committed_pdp" 'BEGIN {
+    limit = old * 1.25
+    printf "    pdp_ns_per_request: %.1f (committed %.1f, limit %.1f)\n", new, old, limit
+    exit (new > limit) ? 1 : 0
+  }' || {
+    echo "error: PDP stage regressed >25% vs committed baseline" >&2
+    exit 1
+  }
+fi
 
 echo "All checks passed."
