@@ -15,17 +15,16 @@
 //! vector, IFFT output, per-packet PDP list, and reply frame.
 
 use nomloc_bench::{lpcmp, quick_mode, rounds};
-use nomloc_core::scenario::Venue;
+use nomloc_core::scenario::{synthetic_workload, Venue};
 use nomloc_core::server::CsiReport;
 use nomloc_core::{ApSite, LocalizationServer, PdpEstimator, PdpScratch, SpEstimator};
 use nomloc_dsp::{fft, Complex};
 use nomloc_net::wire::{
     self, ErrorCode, ErrorReply, Frame, LocateRequest, LocateResponse, WireEstimate, WireReport,
+    WireVenue,
 };
 use nomloc_net::BufferPool;
-use nomloc_rfsim::{CsiSnapshot, Environment, RadioConfig, SubcarrierGrid};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nomloc_rfsim::CsiSnapshot;
 use std::hint::black_box;
 use std::io::BufRead;
 
@@ -148,27 +147,122 @@ fn run_soak(idle_target: usize, active_requests: usize) -> Option<SoakResult> {
     })
 }
 
-/// The loadgen-shaped loopback workload: each request carries one CSI
-/// report per static AP of the Lab venue, for a different test site.
-fn workload(n: usize, packets: usize) -> Vec<Vec<CsiReport>> {
+/// Per-request serving cost with a given number of live venues (see
+/// [`run_venue_scales`]).
+struct VenueScale {
+    live_venues: usize,
+    requests: usize,
+    ns_per_request: f64,
+    p99_ns: f64,
+    batches_homogeneous: u64,
+    batches_mixed: u64,
+}
+
+/// Spawns one in-process daemon per venue count, onboards `live - 1`
+/// extra venues on each over the TCP admin plane, then drives a
+/// zipf(1.0)-over-venues workload against the scales in *alternating*
+/// passes — min ns/request over the rounds, so slow machine drift hits
+/// every scale equally (the same discipline as `lpcmp::paired_min_ns`).
+/// Each scale reports its best pass plus the daemon's cumulative
+/// batch-composition counters (every micro-batch across every round must
+/// stay venue-homogeneous).
+///
+/// Every onboarded venue carries the *Lab* geometry, so per-request solve
+/// work is identical at every venue count — the measured delta between
+/// 1 and N live venues is purely registry-resolution and venue-sharding
+/// overhead, which is the thing this section prices. The daemons run with
+/// `max_wait: ZERO` so a micro-batch ships as soon as the same-venue run
+/// at the queue head is exhausted: with the default 500 µs flush timer,
+/// scattering traffic over N venues multiplies *timer stalls* (each
+/// venue-homogeneous batch waits out the full timer), which would swamp
+/// the per-request cost this section is after.
+fn run_venue_scales(counts: &[usize], batch: &[Vec<CsiReport>]) -> Vec<VenueScale> {
+    struct LiveScale {
+        live_venues: usize,
+        handle: nomloc_net::DaemonHandle,
+        config: nomloc_net::LoadgenConfig,
+        best_ns: f64,
+        best_p99: f64,
+    }
     let venue = Venue::lab();
-    let env = Environment::new(venue.plan.clone(), RadioConfig::default());
-    let grid = SubcarrierGrid::intel5300();
-    (0..n)
-        .map(|r| {
-            let object = venue.test_sites[r % venue.test_sites.len()];
-            let mut rng = StdRng::seed_from_u64(r as u64);
-            venue
-                .static_deployment()
-                .iter()
-                .enumerate()
-                .map(|(i, &ap)| CsiReport {
-                    site: ApSite::fixed(i + 1, ap),
-                    burst: env.sample_csi_burst(object, ap, &grid, packets, &mut rng),
-                })
-                .collect()
+    let mut scales: Vec<LiveScale> = counts
+        .iter()
+        .map(|&live| {
+            let server = LocalizationServer::new(venue.plan.boundary().clone()).with_workers(2);
+            let config = nomloc_net::DaemonConfig {
+                max_wait: std::time::Duration::ZERO,
+                ..nomloc_net::DaemonConfig::default()
+            };
+            let handle =
+                nomloc_net::spawn(server, config, "127.0.0.1:0").expect("spawn venue-scale daemon");
+            let addr = handle.local_addr();
+            let mut venues: Vec<u64> = vec![0];
+            for id in 1..live as u64 {
+                nomloc_net::admin::onboard(addr, &WireVenue::from_venue(id, &venue))
+                    .expect("onboard bench venue");
+                venues.push(id);
+            }
+            let config = nomloc_net::LoadgenConfig {
+                connections: 8,
+                venues,
+                zipf_s: 1.0,
+                zipf_seed: 7,
+                ..nomloc_net::LoadgenConfig::default()
+            };
+            LiveScale {
+                live_venues: live,
+                handle,
+                config,
+                best_ns: f64::INFINITY,
+                best_p99: f64::INFINITY,
+            }
+        })
+        .collect();
+    let venue_rounds = 5;
+    for _ in 0..venue_rounds {
+        for scale in scales.iter_mut() {
+            let report = nomloc_net::loadgen::run(scale.handle.local_addr(), &scale.config, batch)
+                .expect("venue-scale loadgen");
+            assert_eq!(
+                report.ok_count(),
+                batch.len(),
+                "venue-scale run must answer every request"
+            );
+            let ns = 1.0e9 / report.throughput_rps();
+            if ns < scale.best_ns {
+                scale.best_ns = ns;
+                scale.best_p99 = report.latency_quantile(0.99).as_nanos() as f64;
+            }
+        }
+    }
+    scales
+        .into_iter()
+        .map(|scale| {
+            let counters = scale.handle.stats_snapshot().counters;
+            assert_eq!(
+                counters.batches_mixed, 0,
+                "micro-batches must stay venue-homogeneous"
+            );
+            scale.handle.shutdown();
+            VenueScale {
+                live_venues: scale.live_venues,
+                requests: batch.len(),
+                ns_per_request: scale.best_ns,
+                p99_ns: scale.best_p99,
+                batches_homogeneous: counters.batches_homogeneous,
+                batches_mixed: counters.batches_mixed,
+            }
         })
         .collect()
+}
+
+/// The loadgen-shaped loopback workload: each request carries one CSI
+/// report per static AP of the Lab venue, for a different test site.
+/// Drawn from the shared [`synthetic_workload`] builder in
+/// `nomloc_core::scenario` — the same traffic the CLI's loopback commands
+/// generate, so numbers here describe the same bytes users replay.
+fn workload(n: usize, packets: usize) -> Vec<Vec<CsiReport>> {
+    synthetic_workload(&Venue::lab(), n, packets, 0).1
 }
 
 /// Minimum wall-clock ns of `f` over `rounds` passes.
@@ -249,6 +343,7 @@ fn main() {
             wire::frame_to_vec(&Frame::LocateRequest(LocateRequest {
                 request_id: i as u64,
                 deadline_us: 0,
+                venue_id: 0,
                 reports: reports.iter().map(WireReport::from_core).collect(),
             }))
         })
@@ -460,6 +555,31 @@ fn main() {
         (10_000, 400)
     };
     let soak = run_soak(idle_target, soak_requests);
+
+    // --- Multi-venue fleet scaling: per-request cost at 1, 100, and
+    // (full mode) 1000 live venues under zipf-over-venues traffic.
+    let venue_counts: &[usize] = if quick_mode() {
+        &[1, 100]
+    } else {
+        &[1, 100, 1000]
+    };
+    let venue_batch = workload(if quick_mode() { 240 } else { 480 }, 2);
+    let venue_scales = run_venue_scales(venue_counts, &venue_batch);
+    let venues_json: Vec<String> = venue_scales
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"live_venues\": {}, \"requests\": {}, \"ns_per_request\": {:.1}, \"p99_ns\": {:.0}, \"batches_homogeneous\": {}, \"batches_mixed\": {}}}",
+                s.live_venues,
+                s.requests,
+                s.ns_per_request,
+                s.p99_ns,
+                s.batches_homogeneous,
+                s.batches_mixed,
+            )
+        })
+        .collect();
+    let venues_json = format!("[{}]", venues_json.join(", "));
     let soak_json = match &soak {
         Some(s) => format!(
             "{{\"backend\": \"event-loop\", \"idle_target\": {}, \"connections_held\": {}, \"active_requests\": {}, \"active_ns_per_request\": {:.1}, \"active_p99_ns_base\": {:.0}, \"active_p99_ns_idle\": {:.0}, \"daemon_rss_delta_bytes\": {}, \"rss_bytes_per_connection\": {:.1}}}",
@@ -476,7 +596,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"requests\": {n_requests},\n  \"stages\": {{\"decode_ns_per_request\": {decode_ns:.1}, \"pdp_ns_per_request\": {pdp_ns:.1}, \"constraints_ns_per_request\": {constraints_ns:.1}, \"lp_ns_per_request\": {lp_ns:.1}, \"encode_ns_per_request\": {encode_ns:.1}}},\n  \"fft\": {{\"points\": 256, \"planned_ns\": {fft_planned_ns:.1}, \"naive_ns\": {fft_naive_ns:.1}, \"speedup\": {fft_speedup:.4}}},\n  \"pdp_batched\": {{\"batched_ns_per_request\": {pdp_batched_ns:.1}, \"per_packet_ns_per_request\": {pdp_per_packet_ns:.1}, \"speedup\": {pdp_batched_speedup:.4}}},\n  \"pdp_64\": {{\"planned_ns_per_burst\": {pdp64_planned_ns:.1}, \"unplanned_ns_per_burst\": {pdp64_naive_ns:.1}, \"speedup\": {pdp64_speedup:.4}}},\n  \"encode\": {{\"pooled_ns_per_reply\": {encode_pooled_ns:.1}, \"fresh_ns_per_reply\": {encode_fresh_ns:.1}, \"speedup\": {encode_speedup:.4}}},\n  \"end_to_end\": {{\"optimized_ns_per_request\": {e2e_optimized_ns:.1}, \"naive_ns_per_request\": {e2e_naive_ns:.1}, \"speedup\": {e2e_speedup:.4}}},\n  \"soak\": {soak_json}\n}}\n"
+        "{{\n  \"requests\": {n_requests},\n  \"stages\": {{\"decode_ns_per_request\": {decode_ns:.1}, \"pdp_ns_per_request\": {pdp_ns:.1}, \"constraints_ns_per_request\": {constraints_ns:.1}, \"lp_ns_per_request\": {lp_ns:.1}, \"encode_ns_per_request\": {encode_ns:.1}}},\n  \"fft\": {{\"points\": 256, \"planned_ns\": {fft_planned_ns:.1}, \"naive_ns\": {fft_naive_ns:.1}, \"speedup\": {fft_speedup:.4}}},\n  \"pdp_batched\": {{\"batched_ns_per_request\": {pdp_batched_ns:.1}, \"per_packet_ns_per_request\": {pdp_per_packet_ns:.1}, \"speedup\": {pdp_batched_speedup:.4}}},\n  \"pdp_64\": {{\"planned_ns_per_burst\": {pdp64_planned_ns:.1}, \"unplanned_ns_per_burst\": {pdp64_naive_ns:.1}, \"speedup\": {pdp64_speedup:.4}}},\n  \"encode\": {{\"pooled_ns_per_reply\": {encode_pooled_ns:.1}, \"fresh_ns_per_reply\": {encode_fresh_ns:.1}, \"speedup\": {encode_speedup:.4}}},\n  \"end_to_end\": {{\"optimized_ns_per_request\": {e2e_optimized_ns:.1}, \"naive_ns_per_request\": {e2e_naive_ns:.1}, \"speedup\": {e2e_speedup:.4}}},\n  \"soak\": {soak_json},\n  \"venues\": {venues_json}\n}}\n"
     );
 
     println!(
@@ -513,6 +633,29 @@ fn main() {
             s.active_p99_ns_base / 1e6,
             s.daemon_rss_delta_bytes / 1024,
             s.rss_bytes_per_connection,
+        );
+    }
+
+    for s in &venue_scales {
+        println!(
+            "venues: {} live — {:.0} ns/req, p99 {:.2} ms, batches homogeneous {} / mixed {}",
+            s.live_venues,
+            s.ns_per_request,
+            s.p99_ns / 1e6,
+            s.batches_homogeneous,
+            s.batches_mixed,
+        );
+    }
+    if let (Some(one), Some(hundred)) = (
+        venue_scales.iter().find(|s| s.live_venues == 1),
+        venue_scales.iter().find(|s| s.live_venues == 100),
+    ) {
+        println!(
+            "venues: 100-venue per-request cost is {:+.1}% vs single-venue \
+             ({:.0} ns vs {:.0} ns)",
+            (hundred.ns_per_request / one.ns_per_request - 1.0) * 100.0,
+            hundred.ns_per_request,
+            one.ns_per_request,
         );
     }
 

@@ -2,8 +2,8 @@
 //! `nomloc_cli`; this binary only dispatches.
 
 use nomloc_cli::{
-    parse, run_campaign, run_chaos, run_loadgen, run_map, run_serve, run_venues, start_daemon,
-    Command, USAGE,
+    parse, run_campaign, run_chaos, run_loadgen, run_map, run_serve, run_venue_admin, run_venues,
+    start_daemon, Command, USAGE,
 };
 use std::process::ExitCode;
 use std::time::Duration;
@@ -56,6 +56,16 @@ fn main() -> ExitCode {
         Ok(Command::Loadgen(spec)) => match run_loadgen(&spec) {
             Ok(report) => {
                 print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(Command::VenueAdmin(spec)) => match run_venue_admin(&spec) {
+            Ok(listing) => {
+                print!("{listing}");
                 ExitCode::SUCCESS
             }
             Err(e) => {

@@ -18,18 +18,19 @@
 
 use nomloc_core::experiment::{Campaign, Deployment};
 use nomloc_core::localizability;
-use nomloc_core::scenario::Venue;
-use nomloc_core::server::CsiReport;
-use nomloc_core::{ApSite, LocalizationServer};
+use nomloc_core::scenario::{fleet_venue, Venue};
+use nomloc_core::LocalizationServer;
 use nomloc_dsp::Window;
 use nomloc_faults::FaultPlan;
 use nomloc_geometry::Point;
 use nomloc_lp::center::CenterMethod;
-use nomloc_net::wire::{ErrorReply, WireEstimate};
-use nomloc_rfsim::{Environment, RadioConfig, SubcarrierGrid};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nomloc_net::wire::{ErrorReply, WireEstimate, WireVenue};
 use std::fmt;
+
+// The synthetic workload lives in `nomloc_core::scenario` (one builder
+// shared with the bench bins and the loopback tests); re-exported here so
+// existing `nomloc_cli::synthetic_workload` callers keep working.
+pub use nomloc_core::scenario::synthetic_workload;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +48,9 @@ pub enum Command {
     /// Spawn a loopback daemon, replay a workload through seeded fault
     /// injection, and verify the per-fault-class serving contract.
     Chaos(ChaosSpec),
+    /// Administer a running daemon's venue registry over the wire-v3
+    /// admin plane (onboard / retire / list).
+    VenueAdmin(VenueAdminSpec),
     /// List the built-in venues.
     Venues,
     /// Print usage.
@@ -147,6 +151,12 @@ pub struct ServeSpec {
     pub socket_backend: nomloc_net::SocketBackend,
     /// Daemon: event-loop threads (event-loop backend only).
     pub event_loops: usize,
+    /// Daemon: fleet venues pre-onboarded at startup (ids `1..=N`,
+    /// rotating scaled floor plans from `fleet_venue`).
+    pub venues: usize,
+    /// Daemon: venue-cache memory budget in bytes (0 = unlimited); cold
+    /// venues beyond it are LRU-evicted and rebuilt on next request.
+    pub venue_budget: usize,
 }
 
 impl Default for ServeSpec {
@@ -166,6 +176,8 @@ impl Default for ServeSpec {
             max_requests: 0,
             socket_backend: nomloc_net::SocketBackend::default(),
             event_loops: 2,
+            venues: 0,
+            venue_budget: 0,
         }
     }
 }
@@ -199,6 +211,13 @@ pub struct LoadgenSpec {
     /// Extra connections opened and held idle for the whole run —
     /// exercises the event-loop backend's mostly-idle scaling.
     pub idle_connections: usize,
+    /// Fleet venues onboarded over the admin plane before driving (ids
+    /// `1..=N`); traffic is then spread zipf-over-venues across ids
+    /// `0..=N` (0 = the daemon's resident venue). 0 = single-venue run.
+    pub venues: usize,
+    /// Zipf exponent `s` for the over-venues traffic skew (1.0 ≈ classic
+    /// web-style popularity; 0.0 = uniform). Only used with `--venues`.
+    pub zipf: f64,
 }
 
 impl Default for LoadgenSpec {
@@ -215,6 +234,8 @@ impl Default for LoadgenSpec {
             payload_reuse: false,
             socket_backend: nomloc_net::SocketBackend::default(),
             idle_connections: 0,
+            venues: 0,
+            zipf: 1.0,
         }
     }
 }
@@ -255,6 +276,33 @@ impl Default for ChaosSpec {
             socket_backend: nomloc_net::SocketBackend::default(),
         }
     }
+}
+
+/// Which admin-plane operation a `venue` invocation performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VenueAction {
+    /// Onboard a venue (build its cache on the daemon, make it live).
+    Onboard,
+    /// Retire a venue (drop it from the registry; in-flight batches
+    /// holding its entry still complete).
+    Retire,
+    /// List the registry: id, name, residency, request count per venue.
+    List,
+}
+
+/// Parameters of a `venue` invocation (wire-v3 admin plane client).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VenueAdminSpec {
+    /// Operation to perform.
+    pub action: VenueAction,
+    /// Daemon address to administer.
+    pub connect: String,
+    /// Venue id to onboard/retire (must be ≥ 1; venue 0 is the daemon's
+    /// resident venue and cannot be administered).
+    pub id: u64,
+    /// Onboard only: a built-in venue to use verbatim. Defaults to the
+    /// id-keyed `fleet_venue` rotation (scaled lab/lobby/mall plans).
+    pub venue: Option<VenueName>,
 }
 
 /// A built-in venue selector.
@@ -338,6 +386,8 @@ USAGE:
     nomloc loadgen [OPTIONS]      drive a daemon with concurrent clients
     nomloc chaos [OPTIONS]        fault-inject a loopback daemon and verify
                                   the graceful-degradation contract
+    nomloc venue ACTION [OPTIONS] administer a daemon's venue registry
+                                  (ACTION: onboard | retire | list)
     nomloc venues                 list built-in venues
     nomloc help                   show this message
 
@@ -381,6 +431,12 @@ SERVE OPTIONS:
                                   on Unix; threaded elsewhere)
     --event-loops N               daemon: event-loop threads (default 2;
                                   event-loop backend only)
+    --venues N                    daemon: pre-onboard N fleet venues
+                                  (ids 1..=N; default 0)
+    --venue-budget BYTES          daemon: venue-cache memory budget; cold
+                                  venues beyond it are LRU-evicted and
+                                  rebuilt on next request (default 0
+                                  = unlimited)
 
 LOADGEN OPTIONS:
     --connect ADDR                daemon to drive (default: spawn a loopback
@@ -400,6 +456,12 @@ LOADGEN OPTIONS:
                                   event-loop on Unix)
     --idle-connections N          extra connections opened and held idle
                                   for the whole run (default 0)
+    --venues N                    onboard N fleet venues over the admin
+                                  plane, then spread traffic zipf-over-
+                                  venues across ids 0..=N (default 0
+                                  = single-venue)
+    --zipf S                      zipf exponent for the venue skew
+                                  (default 1.0; 0 = uniform)
 
 CHAOS OPTIONS:
     --venue lab|lobby|mall        workload venue (default lab)
@@ -414,6 +476,14 @@ CHAOS OPTIONS:
     --socket-backend threaded|event-loop
                                   loopback daemon socket layer (default
                                   event-loop on Unix)
+
+VENUE OPTIONS:
+    --connect ADDR                daemon to administer (required)
+    --id N                        venue id, N ≥ 1 (onboard/retire; venue 0
+                                  is the resident venue)
+    --venue lab|lobby|mall        onboard: use this built-in venue verbatim
+                                  (default: the id-keyed fleet rotation of
+                                  scaled lab/lobby/mall plans)
 ";
 
 /// Parses a full argument list (excluding the program name).
@@ -432,6 +502,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         Some("serve") => parse_serve(it.as_slice()).map(Command::Serve),
         Some("loadgen") => parse_loadgen(it.as_slice()).map(Command::Loadgen),
         Some("chaos") => parse_chaos(it.as_slice()).map(Command::Chaos),
+        Some("venue") => parse_venue_admin(it.as_slice()).map(Command::VenueAdmin),
         Some(other) => Err(err(format!("unknown command `{other}`; try `nomloc help`"))),
     }
 }
@@ -618,6 +689,8 @@ fn parse_serve(args: &[String]) -> Result<ServeSpec, ParseError> {
                     return Err(err("flag `--event-loops`: must be positive"));
                 }
             }
+            "--venues" => spec.venues = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--venue-budget" => spec.venue_budget = parse_usize(flag, take_value(flag, &mut it)?)?,
             other => return Err(err(format!("unknown serve flag `{other}`"))),
         }
     }
@@ -655,6 +728,8 @@ fn parse_loadgen(args: &[String]) -> Result<LoadgenSpec, ParseError> {
             "--idle-connections" => {
                 spec.idle_connections = parse_usize(flag, take_value(flag, &mut it)?)?
             }
+            "--venues" => spec.venues = parse_usize(flag, take_value(flag, &mut it)?)?,
+            "--zipf" => spec.zipf = parse_f64(flag, take_value(flag, &mut it)?)?,
             other => return Err(err(format!("unknown loadgen flag `{other}`"))),
         }
     }
@@ -687,6 +762,49 @@ fn parse_chaos(args: &[String]) -> Result<ChaosSpec, ParseError> {
             "--socket-backend" => spec.socket_backend = parse_backend(take_value(flag, &mut it)?)?,
             other => return Err(err(format!("unknown chaos flag `{other}`"))),
         }
+    }
+    Ok(spec)
+}
+
+fn parse_venue_admin(args: &[String]) -> Result<VenueAdminSpec, ParseError> {
+    let mut it = args.iter();
+    let action = match it.next().map(String::as_str) {
+        Some("onboard") => VenueAction::Onboard,
+        Some("retire") => VenueAction::Retire,
+        Some("list") => VenueAction::List,
+        Some(other) => {
+            return Err(err(format!(
+                "unknown venue action `{other}` (onboard|retire|list)"
+            )))
+        }
+        None => return Err(err("venue: needs an action (onboard|retire|list)")),
+    };
+    let mut spec = VenueAdminSpec {
+        action,
+        connect: String::new(),
+        id: 0,
+        venue: None,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--connect" => spec.connect = take_value(flag, &mut it)?.to_string(),
+            "--id" => {
+                spec.id = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("flag `--id`: not an integer"))?
+            }
+            "--venue" => spec.venue = Some(parse_venue(take_value(flag, &mut it)?)?),
+            other => return Err(err(format!("unknown venue flag `{other}`"))),
+        }
+    }
+    if spec.connect.is_empty() {
+        return Err(err("venue: needs --connect ADDR"));
+    }
+    if spec.action != VenueAction::List && spec.id == 0 {
+        return Err(err(
+            "venue onboard/retire: needs --id N with N ≥ 1 (venue 0 is the \
+             daemon's resident venue and cannot be administered)",
+        ));
     }
     Ok(spec)
 }
@@ -794,54 +912,6 @@ pub fn run_map(spec: &MapSpec) -> String {
     out
 }
 
-/// Splitmix-derived per-request RNG: the same index-keyed seed-derivation
-/// discipline `Campaign::parallel` uses per site, so the workload is
-/// identical no matter how the batch is scheduled.
-fn request_rng(seed: u64, request: usize) -> StdRng {
-    let mut z = seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(request as u64 + 1);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
-}
-
-/// Builds the synthetic request workload `serve` and `loadgen` share: one
-/// request per venue test site (round-robin), each carrying one CSI report
-/// per static AP. Returns the ground-truth positions alongside the batch.
-///
-/// Deterministic in `(venue, requests, packets, seed)`: every request
-/// derives its own RNG via [`request_rng`], so the workload is identical
-/// no matter which process — or which side of a socket — generates it.
-pub fn synthetic_workload(
-    venue: &Venue,
-    requests: usize,
-    packets: usize,
-    seed: u64,
-) -> (Vec<Point>, Vec<Vec<CsiReport>>) {
-    let env = Environment::new(venue.plan.clone(), RadioConfig::default());
-    let aps = venue.static_deployment();
-    let grid = SubcarrierGrid::intel5300();
-    let truths: Vec<Point> = (0..requests)
-        .map(|r| venue.test_sites[r % venue.test_sites.len()])
-        .collect();
-    let batch: Vec<Vec<CsiReport>> = truths
-        .iter()
-        .enumerate()
-        .map(|(r, &object)| {
-            let mut rng = request_rng(seed, r);
-            aps.iter()
-                .enumerate()
-                .map(|(i, &ap)| CsiReport {
-                    site: ApSite::fixed(i + 1, ap),
-                    burst: env.sample_csi_burst(object, ap, &grid, packets, &mut rng),
-                })
-                .collect()
-        })
-        .collect();
-    (truths, batch)
-}
-
 /// Builds the `LocalizationServer` a `serve` invocation (either mode)
 /// localizes with.
 fn serve_server(spec: &ServeSpec, venue: &Venue) -> LocalizationServer {
@@ -933,10 +1003,21 @@ pub fn start_daemon(spec: &ServeSpec) -> Result<nomloc_net::DaemonHandle, String
         queue_capacity: spec.queue_cap,
         socket_backend: spec.socket_backend,
         event_loops: spec.event_loops,
+        venue_budget_bytes: spec.venue_budget,
         ..nomloc_net::DaemonConfig::default()
     };
-    nomloc_net::spawn(server, config, addr)
-        .map_err(|e| format!("serve: cannot listen on `{addr}`: {e}"))
+    let handle = nomloc_net::spawn(server, config, addr)
+        .map_err(|e| format!("serve: cannot listen on `{addr}`: {e}"))?;
+    // Pre-onboard the fleet in-process (same registry path the admin
+    // plane takes, minus the socket) so the daemon is live-venue-complete
+    // before the first client connects.
+    for id in 1..=spec.venues as u64 {
+        handle
+            .registry()
+            .onboard(WireVenue::from_venue(id, &fleet_venue(id)))
+            .map_err(|e| format!("serve: cannot onboard venue {id}: {e}"))?;
+    }
+    Ok(handle)
 }
 
 /// Runs the load generator: spawns a loopback daemon when `--connect` is
@@ -971,10 +1052,25 @@ pub fn run_loadgen(spec: &LoadgenSpec) -> Result<String, String> {
         (None, None) => unreachable!("loopback covers the None connect case"),
     };
 
+    // Multi-venue runs onboard the fleet over the wire-v3 admin plane —
+    // the same frames a remote operator would send — then spread traffic
+    // zipf-over-venues across the resident venue plus the fleet.
+    for id in 1..=spec.venues as u64 {
+        nomloc_net::admin::onboard(addr, &WireVenue::from_venue(id, &fleet_venue(id)))
+            .map_err(|e| format!("loadgen: onboarding venue {id}: {e}"))?;
+    }
+
     let config = nomloc_net::LoadgenConfig {
         connections: spec.connections,
         deadline_us: spec.deadline_us,
         idle_connections: spec.idle_connections,
+        venues: if spec.venues > 0 {
+            (0..=spec.venues as u64).collect()
+        } else {
+            Vec::new()
+        },
+        zipf_s: spec.zipf,
+        zipf_seed: spec.seed,
         ..nomloc_net::LoadgenConfig::default()
     };
     let report =
@@ -984,8 +1080,25 @@ pub fn run_loadgen(spec: &LoadgenSpec) -> Result<String, String> {
         "loadgen: {} — {} connections × {} requests ({} packets/AP, seed {})\n",
         venue.name, config.connections, spec.requests, spec.packets, spec.seed
     );
+    if spec.venues > 0 {
+        out.push_str(&format!(
+            "venues: zipf(s={}) over {} live venues (resident + {} fleet)\n",
+            spec.zipf,
+            spec.venues + 1,
+            spec.venues
+        ));
+    }
     out.push_str(&report.render());
     if let Some(handle) = loopback {
+        if spec.venues > 0 {
+            // The batcher shards by venue, so under zipf traffic every
+            // micro-batch must still be venue-homogeneous.
+            let counters = handle.stats_snapshot().counters;
+            out.push_str(&format!(
+                "venue batching: {} homogeneous micro-batches, {} mixed\n",
+                counters.batches_homogeneous, counters.batches_mixed
+            ));
+        }
         let health = handle.shutdown();
         out.push('\n');
         out.push_str(&health.to_string());
@@ -1094,6 +1207,41 @@ pub fn run_chaos(spec: &ChaosSpec) -> Result<String, String> {
             ))
         }
     }
+}
+
+/// Runs a `venue` admin operation against a live daemon and renders the
+/// registry listing every admin response carries.
+///
+/// # Errors
+///
+/// Returns a user-facing message on connect/protocol failures or when the
+/// daemon rejects the operation (unknown venue, reserved id, bad geometry).
+pub fn run_venue_admin(spec: &VenueAdminSpec) -> Result<String, String> {
+    let addr = spec.connect.as_str();
+    let listing = match spec.action {
+        VenueAction::List => nomloc_net::admin::list(addr),
+        VenueAction::Retire => nomloc_net::admin::retire(addr, spec.id),
+        VenueAction::Onboard => {
+            let venue = match spec.venue {
+                Some(name) => name.venue(),
+                None => fleet_venue(spec.id),
+            };
+            nomloc_net::admin::onboard(addr, &WireVenue::from_venue(spec.id, &venue))
+        }
+    }
+    .map_err(|e| format!("venue: `{addr}`: {e}"))?;
+
+    let mut out = format!("{:>8}  {:<12} {:>10}  state\n", "venue", "name", "requests");
+    for v in &listing {
+        out.push_str(&format!(
+            "{:>8}  {:<12} {:>10}  {}\n",
+            v.venue_id,
+            v.name,
+            v.requests,
+            if v.resident { "resident" } else { "evicted" },
+        ));
+    }
+    Ok(out)
 }
 
 /// Renders the venue listing.
@@ -1294,6 +1442,68 @@ mod tests {
     }
 
     #[test]
+    fn serve_venue_flags() {
+        let cmd = parse(&args(
+            "serve --listen 127.0.0.1:0 --venues 8 --venue-budget 1048576",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeSpec {
+                listen: Some("127.0.0.1:0".to_string()),
+                venues: 8,
+                venue_budget: 1_048_576,
+                ..ServeSpec::default()
+            })
+        );
+    }
+
+    #[test]
+    fn venue_admin_flags() {
+        let cmd = parse(&args("venue list --connect 127.0.0.1:4455")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::VenueAdmin(VenueAdminSpec {
+                action: VenueAction::List,
+                connect: "127.0.0.1:4455".to_string(),
+                id: 0,
+                venue: None,
+            })
+        );
+        let cmd = parse(&args(
+            "venue onboard --connect 127.0.0.1:4455 --id 3 --venue lobby",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::VenueAdmin(VenueAdminSpec {
+                action: VenueAction::Onboard,
+                connect: "127.0.0.1:4455".to_string(),
+                id: 3,
+                venue: Some(VenueName::Lobby),
+            })
+        );
+        let cmd = parse(&args("venue retire --connect 127.0.0.1:4455 --id 3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::VenueAdmin(VenueAdminSpec {
+                action: VenueAction::Retire,
+                connect: "127.0.0.1:4455".to_string(),
+                id: 3,
+                venue: None,
+            })
+        );
+        // Action, --connect, and a nonzero --id (for onboard/retire) are
+        // all mandatory; venue 0 is reserved for the resident venue.
+        assert!(parse(&args("venue")).is_err());
+        assert!(parse(&args("venue evict --connect 127.0.0.1:1")).is_err());
+        assert!(parse(&args("venue list")).is_err());
+        assert!(parse(&args("venue onboard --connect 127.0.0.1:1")).is_err());
+        assert!(parse(&args("venue retire --connect 127.0.0.1:1 --id 0")).is_err());
+        assert!(parse(&args("venue list --connect 127.0.0.1:1 --bogus")).is_err());
+    }
+
+    #[test]
     fn socket_backend_flag() {
         use nomloc_net::SocketBackend;
         for (value, want) in [
@@ -1327,7 +1537,8 @@ mod tests {
         let cmd = parse(&args(
             "loadgen --connect 10.0.0.7:4455 --venue mall --connections 8 \
              --requests 2000 --packets 2 --seed 7 --deadline-us 1500 --workers 3 \
-             --payload-reuse --socket-backend threaded --idle-connections 5000",
+             --payload-reuse --socket-backend threaded --idle-connections 5000 \
+             --venues 100 --zipf 1.2",
         ))
         .unwrap();
         assert_eq!(
@@ -1344,6 +1555,8 @@ mod tests {
                 payload_reuse: true,
                 socket_backend: nomloc_net::SocketBackend::Threaded,
                 idle_connections: 5000,
+                venues: 100,
+                zipf: 1.2,
             })
         );
         assert_eq!(
@@ -1442,6 +1655,64 @@ mod tests {
             out.contains("payload reuse:") && out.contains("hit-rate"),
             "missing payload-reuse report:\n{out}"
         );
+    }
+
+    #[test]
+    fn run_loadgen_multi_venue_smoke() {
+        let out = run_loadgen(&LoadgenSpec {
+            requests: 24,
+            packets: 2,
+            connections: 2,
+            workers: 2,
+            venues: 3,
+            ..LoadgenSpec::default()
+        })
+        .unwrap();
+        assert!(out.contains("24 requests"), "missing totals:\n{out}");
+        assert!(
+            out.contains("zipf(s=1) over 4 live venues"),
+            "missing venue header:\n{out}"
+        );
+        // The venue-sharded batcher must never mix venues in a batch.
+        assert!(out.contains(", 0 mixed"), "mixed batches:\n{out}");
+        // Drain-time health carries one per-venue line per live venue.
+        assert_eq!(
+            out.matches("    venue ").count(),
+            4,
+            "missing per-venue health:\n{out}"
+        );
+    }
+
+    #[test]
+    fn run_venue_admin_round_trip() {
+        let handle = start_daemon(&ServeSpec {
+            listen: Some("127.0.0.1:0".to_string()),
+            workers: 2,
+            ..ServeSpec::default()
+        })
+        .expect("loopback daemon");
+        let connect = handle.local_addr().to_string();
+        let admin = |argv: String| {
+            let Command::VenueAdmin(spec) = parse(&args(&argv)).expect("parses") else {
+                panic!("not a venue command")
+            };
+            run_venue_admin(&spec)
+        };
+
+        let out = admin(format!("venue onboard --connect {connect} --id 2")).unwrap();
+        assert!(out.contains("resident"), "venue not live:\n{out}");
+        let out = admin(format!(
+            "venue onboard --connect {connect} --id 3 --venue mall"
+        ))
+        .unwrap();
+        assert!(out.contains("Mall"), "explicit venue ignored:\n{out}");
+        let out = admin(format!("venue retire --connect {connect} --id 2")).unwrap();
+        assert!(!out.contains(" 2  "), "retired venue still listed:\n{out}");
+        // The daemon rejects bad operations with a typed error that the
+        // client surfaces as a message, not a panic.
+        let msg = admin(format!("venue retire --connect {connect} --id 99")).unwrap_err();
+        assert!(msg.contains("99"), "unhelpful error: {msg}");
+        handle.shutdown();
     }
 
     #[test]

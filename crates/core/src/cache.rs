@@ -105,6 +105,60 @@ impl VenueCache {
     pub fn n_boundary_constraints(&self) -> usize {
         self.pieces.iter().map(|p| p.boundary.len()).sum()
     }
+
+    /// Approximate resident size of the cache in bytes: the heap payload
+    /// of every piece polygon, boundary-constraint list, and edge list,
+    /// plus the struct shells. The multi-venue registry charges this
+    /// against its memory budget when deciding which cold venues to evict.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::{size_of, size_of_val};
+        let polygon_bytes = |p: &Polygon| size_of_val(p.vertices());
+        let mut total = size_of::<VenueCache>() + polygon_bytes(&self.area);
+        for piece in &self.pieces {
+            total += size_of::<CachedPiece>()
+                + polygon_bytes(&piece.polygon)
+                + size_of_val(piece.boundary.as_slice())
+                + size_of_val(piece.edges.as_slice());
+        }
+        total
+    }
+
+    /// FNV-1a fingerprint over every coefficient bit pattern in the cache,
+    /// in deterministic traversal order. Two caches fingerprint equal iff
+    /// their geometry is bit-for-bit identical — the eviction tests use
+    /// this to pin that a rebuilt cache matches the evicted one exactly.
+    pub fn fingerprint(&self) -> u64 {
+        fn eat(h: &mut u64, bits: u64) {
+            for byte in bits.to_le_bytes() {
+                *h ^= byte as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in self.area.vertices() {
+            eat(&mut h, v.x.to_bits());
+            eat(&mut h, v.y.to_bits());
+        }
+        for piece in &self.pieces {
+            for v in piece.polygon.vertices() {
+                eat(&mut h, v.x.to_bits());
+                eat(&mut h, v.y.to_bits());
+            }
+            for c in &piece.boundary {
+                eat(&mut h, c.halfplane.a.x.to_bits());
+                eat(&mut h, c.halfplane.a.y.to_bits());
+                eat(&mut h, c.halfplane.b.to_bits());
+                eat(&mut h, c.weight.to_bits());
+            }
+            for e in &piece.edges {
+                eat(&mut h, e.a.x.to_bits());
+                eat(&mut h, e.a.y.to_bits());
+                eat(&mut h, e.b.to_bits());
+            }
+        }
+        eat(&mut h, self.pieces.len() as u64);
+        h
+    }
 }
 
 #[cfg(test)]
@@ -174,5 +228,42 @@ mod tests {
     fn area_is_retained() {
         let cache = VenueCache::new(square());
         assert_eq!(cache.area(), &square());
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_geometry() {
+        let small = VenueCache::new(square());
+        let big = VenueCache::new(l_shape());
+        assert!(small.approx_bytes() > 0);
+        assert!(
+            big.approx_bytes() > small.approx_bytes(),
+            "an L-shape decomposition must weigh more than a single square"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        // Rebuilding from the same polygon is bit-identical — the registry's
+        // evict-then-rebuild path leans on exactly this property.
+        assert_eq!(
+            VenueCache::new(l_shape()).fingerprint(),
+            VenueCache::new(l_shape()).fingerprint()
+        );
+        assert_ne!(
+            VenueCache::new(square()).fingerprint(),
+            VenueCache::new(l_shape()).fingerprint()
+        );
+        // A sub-ULP nudge to one vertex must change the fingerprint.
+        let nudged = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, f64::from_bits(10.0_f64.to_bits() + 1)),
+            Point::new(0.0, 10.0),
+        ])
+        .unwrap();
+        assert_ne!(
+            VenueCache::new(square()).fingerprint(),
+            VenueCache::new(nudged).fingerprint()
+        );
     }
 }

@@ -16,8 +16,12 @@
 //! *structure* (venue shape, AP counts, site counts, clutter density,
 //! nomadic site sets), which is what the evaluation's trends depend on.
 
+use crate::server::CsiReport;
+use crate::ApSite;
 use nomloc_geometry::{Point, Polygon, Segment};
-use nomloc_rfsim::{FloorPlan, Material, RadioConfig};
+use nomloc_rfsim::{Environment, FloorPlan, Material, RadioConfig, SubcarrierGrid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// One experimental venue: floor plan, AP deployment, and test sites.
 ///
@@ -311,6 +315,108 @@ impl Venue {
     }
 }
 
+/// Deterministically picks a fleet venue for slot `i`: the three built-in
+/// layouts rotated round-robin and scaled through five distinct size
+/// factors, so any number of "different" venues can be onboarded without
+/// hand-authoring floor plans. Slot 0 is the unscaled Lab — the same venue
+/// a single-venue daemon serves by default.
+pub fn fleet_venue(i: u64) -> Venue {
+    let base = match i % 3 {
+        0 => Venue::lab(),
+        1 => Venue::lobby(),
+        _ => Venue::mall(),
+    };
+    let factor = 1.0 + 0.1 * ((i / 3) % 5) as f64;
+    if factor == 1.0 {
+        base
+    } else {
+        base.scaled(factor)
+    }
+}
+
+/// Splitmix-derived per-request RNG: the same index-keyed seed-derivation
+/// discipline `Campaign::parallel` uses per site, so a workload is
+/// identical no matter how the batch is scheduled — or which process (or
+/// side of a socket) generates it.
+pub fn request_rng(seed: u64, request: usize) -> StdRng {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(request as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Per-venue synthetic-workload generator: owns the ray-traced
+/// [`Environment`] (the expensive part) so multi-venue callers can build
+/// one per distinct venue and draw requests à la carte. The CLI, the
+/// serving benches, and the loopback tests all synthesize traffic through
+/// this one builder — previously the CLI and bench carried drifting copies.
+pub struct WorkloadBuilder {
+    env: Environment,
+    aps: Vec<Point>,
+    grid: SubcarrierGrid,
+    test_sites: Vec<Point>,
+}
+
+impl WorkloadBuilder {
+    /// Prepares the venue's environment and static AP deployment.
+    pub fn new(venue: &Venue) -> Self {
+        WorkloadBuilder {
+            env: Environment::new(venue.plan.clone(), RadioConfig::default()),
+            aps: venue.static_deployment(),
+            grid: SubcarrierGrid::intel5300(),
+            test_sites: venue.test_sites.clone(),
+        }
+    }
+
+    /// Synthesizes request `r` of a `(seed, packets)` workload: the
+    /// ground-truth position (test sites round-robin) and one CSI report
+    /// per static AP. Deterministic in `(venue, r, packets, seed)` via
+    /// [`request_rng`] — independent of which other requests are drawn.
+    pub fn request(&self, r: usize, packets: usize, seed: u64) -> (Point, Vec<CsiReport>) {
+        let object = self.test_sites[r % self.test_sites.len()];
+        let mut rng = request_rng(seed, r);
+        let reports = self
+            .aps
+            .iter()
+            .enumerate()
+            .map(|(i, &ap)| CsiReport {
+                site: ApSite::fixed(i + 1, ap),
+                burst: self
+                    .env
+                    .sample_csi_burst(object, ap, &self.grid, packets, &mut rng),
+            })
+            .collect();
+        (object, reports)
+    }
+}
+
+/// Builds the synthetic request workload `serve`, `loadgen`, and the
+/// serving benches share: one request per venue test site (round-robin),
+/// each carrying one CSI report per static AP. Returns the ground-truth
+/// positions alongside the batch.
+///
+/// Deterministic in `(venue, requests, packets, seed)`: every request
+/// derives its own RNG via [`request_rng`], so the workload is identical
+/// no matter which process — or which side of a socket — generates it.
+pub fn synthetic_workload(
+    venue: &Venue,
+    requests: usize,
+    packets: usize,
+    seed: u64,
+) -> (Vec<Point>, Vec<Vec<CsiReport>>) {
+    let builder = WorkloadBuilder::new(venue);
+    let mut truths = Vec::with_capacity(requests);
+    let mut batch = Vec::with_capacity(requests);
+    for r in 0..requests {
+        let (truth, reports) = builder.request(r, packets, seed);
+        truths.push(truth);
+        batch.push(reports);
+    }
+    (truths, batch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +506,49 @@ mod tests {
             }
         }
         assert!(nlos >= 5, "only {nlos} NLOS links in the Lab");
+    }
+
+    #[test]
+    fn fleet_venues_rotate_and_scale() {
+        assert_eq!(fleet_venue(0).name, "Lab");
+        assert_eq!(fleet_venue(1).name, "Lobby");
+        assert_eq!(fleet_venue(2).name, "Mall");
+        assert_eq!(fleet_venue(3).name, "Lab");
+        // Slot 3 is the Lab scaled 1.1× — a genuinely different polygon.
+        let base = fleet_venue(0).plan.boundary().area();
+        let scaled = fleet_venue(3).plan.boundary().area();
+        assert!((scaled / base - 1.21).abs() < 1e-9, "area scales by 1.1²");
+        check_venue(&fleet_venue(7));
+        // Deterministic: the same slot always yields the same venue.
+        assert_eq!(
+            fleet_venue(5).plan.boundary().vertices(),
+            fleet_venue(5).plan.boundary().vertices()
+        );
+    }
+
+    #[test]
+    fn synthetic_workload_is_deterministic_and_request_keyed() {
+        let venue = Venue::lab();
+        let (truths, batch) = synthetic_workload(&venue, 4, 2, 9);
+        let (truths2, batch2) = synthetic_workload(&venue, 4, 2, 9);
+        assert_eq!(truths, truths2);
+        assert_eq!(batch.len(), 4);
+        for (a, b) in batch.iter().zip(&batch2) {
+            assert_eq!(a.len(), b.len());
+            for (ra, rb) in a.iter().zip(b) {
+                assert_eq!(ra.site, rb.site);
+                assert_eq!(ra.burst, rb.burst);
+            }
+        }
+        // Drawing request 3 alone matches its slot in the full batch —
+        // the builder is index-keyed, not sequence-keyed.
+        let builder = WorkloadBuilder::new(&venue);
+        let (truth3, reports3) = builder.request(3, 2, 9);
+        assert_eq!(truth3, truths[3]);
+        assert_eq!(reports3.len(), batch[3].len());
+        for (ra, rb) in reports3.iter().zip(&batch[3]) {
+            assert_eq!(ra.burst, rb.burst);
+        }
     }
 
     #[test]

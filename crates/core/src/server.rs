@@ -29,6 +29,7 @@ use nomloc_geometry::{Point, Polygon};
 use nomloc_lp::center::CenterMethod;
 use nomloc_rfsim::CsiSnapshot;
 use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A CSI report from one AP site: the burst of snapshots it captured for
@@ -68,7 +69,7 @@ pub struct LocalizationServer {
     estimator: SpEstimator,
     workers: usize,
     degrade: bool,
-    stats: PipelineStats,
+    stats: Arc<PipelineStats>,
 }
 
 impl std::fmt::Debug for LocalizationServer {
@@ -97,8 +98,17 @@ impl LocalizationServer {
             estimator: SpEstimator::default(),
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             degrade: true,
-            stats: PipelineStats::new(),
+            stats: Arc::new(PipelineStats::new()),
         }
+    }
+
+    /// Shares a [`PipelineStats`] instance with this server. The
+    /// multi-venue registry hands every venue server the same instance so
+    /// aggregate serving counters (batches, queue depth, reply encoding)
+    /// stay global while per-venue breakdowns live in the registry.
+    pub fn with_stats(mut self, stats: Arc<PipelineStats>) -> Self {
+        self.stats = stats;
+        self
     }
 
     /// Replaces the confidence function.
@@ -138,6 +148,13 @@ impl LocalizationServer {
         self
     }
 
+    /// The configured worker-thread count (see
+    /// [`LocalizationServer::with_workers`]) — the multi-venue registry
+    /// mirrors it when building per-venue servers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
     /// The area of interest.
     pub fn area(&self) -> &Polygon {
         self.cache.area()
@@ -151,6 +168,13 @@ impl LocalizationServer {
     /// The live pipeline counters.
     pub fn stats(&self) -> &PipelineStats {
         &self.stats
+    }
+
+    /// A shared handle to the live pipeline counters — clone this into
+    /// [`LocalizationServer::with_stats`] to make several servers record
+    /// into one aggregate instance.
+    pub fn stats_arc(&self) -> Arc<PipelineStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Plain-data copy of the current pipeline counters and latency
@@ -376,7 +400,13 @@ impl LocalizationServer {
         if n > 0 {
             self.stats.record_batch(n as u64);
         }
-        let workers = self.workers.clamp(1, n.max(1));
+        // Fan out only when every worker gets at least two slots: spawning
+        // and joining a scoped thread costs about as much as one request's
+        // solve, so a thread per single-request chunk burns more CPU than
+        // it buys. Results are bit-identical either way (index-keyed
+        // slots, RNG-free pipeline), so the clamp is purely a scheduling
+        // decision.
+        let workers = self.workers.min(n / 2).max(1);
         if workers <= 1 {
             return (0..n).map(job).collect();
         }
@@ -677,6 +707,17 @@ mod tests {
         // Nothing valid survives: boundary-only region estimate.
         assert_eq!(est.quality, EstimateQuality::Region);
         assert!(est.position.distance(Point::new(6.0, 6.0)) < 1e-3);
+    }
+
+    #[test]
+    fn servers_can_share_one_stats_instance() {
+        let a = LocalizationServer::new(square());
+        let b = LocalizationServer::new(square()).with_stats(a.stats_arc());
+        a.localize(&request(1)).unwrap();
+        b.localize(&request(2)).unwrap();
+        // Both servers recorded into the same counters.
+        assert_eq!(a.stats_snapshot().counters.requests, 2);
+        assert_eq!(b.stats_snapshot().counters.requests, 2);
     }
 
     #[test]

@@ -267,6 +267,13 @@ pub struct CounterTotals {
     /// Batches dispatched through the batch entry points (in-process
     /// `localize_batch`/`process_batch` calls and serving micro-batches).
     pub batches_dispatched: u64,
+    /// Serving micro-batches whose requests all named the same venue —
+    /// the batcher shards by venue, so under multi-venue traffic this
+    /// should equal the total and `batches_mixed` should stay zero.
+    pub batches_homogeneous: u64,
+    /// Serving micro-batches that mixed requests from different venues
+    /// (a venue-sharding bug if ever non-zero).
+    pub batches_mixed: u64,
     /// Requests rejected by admission control (serving queue full).
     pub queue_rejected: u64,
     /// Requests dropped because they aged past their deadline before
@@ -346,6 +353,13 @@ impl fmt::Display for StatsSnapshot {
                 self.batch_sizes.quantile_upper_bound(1.0),
             )?;
         }
+        if c.batches_homogeneous > 0 || c.batches_mixed > 0 {
+            writeln!(
+                f,
+                "  batch venue mix       homogeneous {} / mixed {}",
+                c.batches_homogeneous, c.batches_mixed
+            )?;
+        }
         if c.queue_rejected > 0 || c.deadline_missed > 0 || c.queue_depth_peak > 0 {
             writeln!(f, "  queue depth peak      {}", c.queue_depth_peak)?;
             writeln!(f, "  overload rejections   {}", c.queue_rejected)?;
@@ -406,6 +420,8 @@ pub struct PipelineStats {
     cause_invalid_input: AtomicU64,
     invalid_readings: AtomicU64,
     batches_dispatched: AtomicU64,
+    batches_homogeneous: AtomicU64,
+    batches_mixed: AtomicU64,
     queue_rejected: AtomicU64,
     deadline_missed: AtomicU64,
     queue_depth_peak: AtomicU64,
@@ -509,6 +525,18 @@ impl PipelineStats {
         self.batch_sizes.record(size);
     }
 
+    /// Records the venue composition of one serving micro-batch:
+    /// `distinct_venues ≤ 1` counts as homogeneous, anything else as mixed.
+    /// The venue-sharding batcher calls this on every dispatch so tests
+    /// can assert micro-batches never mix venues.
+    pub fn record_batch_composition(&self, distinct_venues: u64) {
+        if distinct_venues > 1 {
+            self.batches_mixed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.batches_homogeneous.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Records one request rejected by admission control (queue full).
     pub fn record_overload(&self) {
         self.queue_rejected.fetch_add(1, Ordering::Relaxed);
@@ -565,6 +593,8 @@ impl PipelineStats {
                 cause_invalid_input: self.cause_invalid_input.load(Ordering::Relaxed),
                 invalid_readings: self.invalid_readings.load(Ordering::Relaxed),
                 batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+                batches_homogeneous: self.batches_homogeneous.load(Ordering::Relaxed),
+                batches_mixed: self.batches_mixed.load(Ordering::Relaxed),
                 queue_rejected: self.queue_rejected.load(Ordering::Relaxed),
                 deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
                 queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
@@ -602,6 +632,8 @@ impl PipelineStats {
         self.cause_invalid_input.store(0, Ordering::Relaxed);
         self.invalid_readings.store(0, Ordering::Relaxed);
         self.batches_dispatched.store(0, Ordering::Relaxed);
+        self.batches_homogeneous.store(0, Ordering::Relaxed);
+        self.batches_mixed.store(0, Ordering::Relaxed);
         self.queue_rejected.store(0, Ordering::Relaxed);
         self.deadline_missed.store(0, Ordering::Relaxed);
         self.queue_depth_peak.store(0, Ordering::Relaxed);
@@ -831,6 +863,23 @@ mod tests {
         let s = stats.snapshot();
         assert_eq!(s.counters, CounterTotals::default());
         assert_eq!(s.batch_sizes.count(), 0);
+    }
+
+    #[test]
+    fn batch_composition_counters() {
+        let stats = PipelineStats::new();
+        stats.record_batch_composition(1);
+        stats.record_batch_composition(0);
+        stats.record_batch_composition(3);
+        let c = stats.snapshot().counters;
+        assert_eq!(c.batches_homogeneous, 2);
+        assert_eq!(c.batches_mixed, 1);
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("batch venue mix       homogeneous 2 / mixed 1"));
+        stats.reset();
+        let s = stats.snapshot();
+        assert_eq!(s.counters, CounterTotals::default());
+        assert!(!s.to_string().contains("batch venue mix"));
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Blocking admin-plane client: onboard, retire, and list venues over the
+//! wire v3 admin frames.
+//!
+//! Shared by the CLI's `venue` subcommand, the multi-venue loadgen
+//! bootstrap, the bench bins, and the integration tests — one client, one
+//! behavior. Every operation opens one connection, sends one frame, and
+//! reads the single [`VenueAdminResponse`] the daemon answers with: the
+//! registry listing after the operation, or a structured error.
+
+use crate::wire::{read_frame, write_frame, Frame, VenueAdminResponse, VenueSummary, WireVenue};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+fn transact(addr: impl ToSocketAddrs, frame: &Frame) -> io::Result<Vec<VenueSummary>> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, frame)?;
+    match read_frame(&mut stream)? {
+        Some(Frame::VenueAdminResponse(VenueAdminResponse { outcome })) => outcome.map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{}: {}", e.code, e.message),
+            )
+        }),
+        Some(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected VenueAdminResponse, got {other:?}"),
+        )),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection before replying",
+        )),
+    }
+}
+
+/// Onboards (or replaces) a venue; returns the registry listing after.
+///
+/// # Errors
+///
+/// Connection/protocol failures, or the daemon's structured rejection
+/// (reserved id, degenerate boundary) as [`io::ErrorKind::InvalidInput`].
+pub fn onboard(addr: impl ToSocketAddrs, venue: &WireVenue) -> io::Result<Vec<VenueSummary>> {
+    transact(addr, &Frame::VenueOnboard(venue.clone()))
+}
+
+/// Retires a venue by id; returns the registry listing after.
+///
+/// # Errors
+///
+/// As [`onboard`]; retiring venue 0 or an unknown venue is rejected.
+pub fn retire(addr: impl ToSocketAddrs, venue_id: u64) -> io::Result<Vec<VenueSummary>> {
+    transact(addr, &Frame::VenueRetire(venue_id))
+}
+
+/// Lists the registry.
+///
+/// # Errors
+///
+/// Connection or protocol failures.
+pub fn list(addr: impl ToSocketAddrs) -> io::Result<Vec<VenueSummary>> {
+    transact(addr, &Frame::VenueList)
+}

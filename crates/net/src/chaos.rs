@@ -47,6 +47,10 @@ pub struct ChaosConfig {
     /// corrupted frame before giving up on observing it (a flip that hits
     /// the length field leaves the server waiting for bytes instead).
     pub reject_probe: Duration,
+    /// The venue every request in this run targets (0 = the daemon's
+    /// resident venue). One chaos run exercises one venue; venue-isolation
+    /// tests run two drivers against different venues concurrently.
+    pub venue_id: u64,
 }
 
 impl ChaosConfig {
@@ -57,6 +61,7 @@ impl ChaosConfig {
             plan,
             read_timeout: Duration::from_secs(10),
             reject_probe: Duration::from_millis(250),
+            venue_id: 0,
         }
     }
 }
@@ -272,6 +277,7 @@ pub fn run(
         let frame = Frame::LocateRequest(LocateRequest {
             request_id: id,
             deadline_us: 0,
+            venue_id: config.venue_id,
             reports: wire_reports,
         });
         let bytes = wire::frame_to_vec(&frame);

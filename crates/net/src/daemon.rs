@@ -38,11 +38,13 @@
 //!   request is answered — before joining all threads.
 
 use crate::pool::BufferPool;
+use crate::registry::{RegistryReader, ResolveError, VenueRegistry};
 use crate::wire::{
-    self, ErrorCode, ErrorReply, Frame, LocateResponse, ServerHealth, StreamDecoder, WireEstimate,
+    self, ErrorCode, ErrorReply, Frame, LocateResponse, ServerHealth, StreamDecoder,
+    VenueAdminResponse, WireError, WireEstimate,
 };
 use nomloc_core::server::CsiReport;
-use nomloc_core::stats::StatsSnapshot;
+use nomloc_core::stats::{PipelineStats, StatsSnapshot};
 use nomloc_core::LocalizationServer;
 use nomloc_faults::{FaultClass, FaultPlan};
 use std::collections::VecDeque;
@@ -145,6 +147,11 @@ pub struct DaemonConfig {
     /// replies exceed this many bytes (`slow_readers_evicted` in the
     /// health snapshot), instead of buffering without bound.
     pub write_buffer_cap: usize,
+    /// Memory budget for resident venue caches
+    /// ([`nomloc_core::cache::VenueCache::approx_bytes`] summed over the
+    /// registry); 0 = unlimited. Cold venues beyond it are LRU-evicted
+    /// and rebuilt bit-identically on their next request.
+    pub venue_budget_bytes: usize,
 }
 
 impl Default for DaemonConfig {
@@ -161,6 +168,7 @@ impl Default for DaemonConfig {
             socket_backend: SocketBackend::default(),
             event_loops: 2,
             write_buffer_cap: 1 << 20,
+            venue_budget_bytes: 0,
         }
     }
 }
@@ -199,6 +207,7 @@ struct NetCounters {
 /// One admitted request waiting for a batcher.
 struct Pending {
     request_id: u64,
+    venue: u64,
     reports: Vec<CsiReport>,
     admitted_at: Instant,
     deadline: Option<Duration>,
@@ -234,7 +243,12 @@ impl ConnWriter {
 }
 
 struct Shared {
-    server: LocalizationServer,
+    /// The venue map; venue 0 is the server `spawn` was given. Batchers
+    /// resolve the server per micro-batch through per-thread readers.
+    registry: Arc<VenueRegistry>,
+    /// The daemon-wide pipeline counters (venue 0's instance, shared by
+    /// every per-venue server the registry builds).
+    stats: Arc<PipelineStats>,
     config: DaemonConfig,
     queue: Mutex<VecDeque<Pending>>,
     queue_cv: Condvar,
@@ -297,8 +311,18 @@ pub fn spawn<A: ToSocketAddrs>(
     if config.fault_plan.is_some() {
         install_quiet_panic_hook();
     }
+    let resident = Arc::new(server);
+    let stats = resident.stats_arc();
+    let workers = resident.workers();
+    let registry = Arc::new(VenueRegistry::new(
+        resident,
+        "resident",
+        workers,
+        config.venue_budget_bytes,
+    ));
     let shared = Arc::new(Shared {
-        server,
+        registry,
+        stats,
         config: config.clone(),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
@@ -421,9 +445,17 @@ impl DaemonHandle {
         self.shared.net.responses_sent.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of the wrapped server's pipeline stats.
+    /// Snapshot of the wrapped server's pipeline stats (aggregated across
+    /// every venue — the registry's servers share one instance).
     pub fn stats_snapshot(&self) -> StatsSnapshot {
-        self.shared.server.stats_snapshot()
+        self.shared.stats.snapshot()
+    }
+
+    /// The venue registry, for in-process onboarding (the CLI's loopback
+    /// modes and the bench bins use the TCP admin plane instead when they
+    /// want to exercise the wire).
+    pub fn registry(&self) -> &Arc<VenueRegistry> {
+        &self.shared.registry
     }
 
     /// Combined network + pipeline health snapshot (the payload of a
@@ -508,7 +540,7 @@ impl DaemonHandle {
 
 fn health_of(shared: &Shared) -> ServerHealth {
     let net = &shared.net;
-    let snap = shared.server.stats_snapshot();
+    let snap = shared.stats.snapshot();
     ServerHealth {
         connections_accepted: net.connections_accepted.load(Ordering::Relaxed),
         frames_in: net.frames_in.load(Ordering::Relaxed),
@@ -537,6 +569,7 @@ fn health_of(shared: &Shared) -> ServerHealth {
         pool_hits: snap.counters.pool_hits,
         pool_misses: snap.counters.pool_misses,
         slow_readers_evicted: net.slow_readers_evicted.load(Ordering::Relaxed),
+        venues: shared.registry.health(),
     }
 }
 
@@ -592,10 +625,7 @@ fn reply(shared: &Shared, writer: &ConnWriter, response: LocateResponse) {
     let frame = Frame::LocateResponse(response);
     let (mut bytes, reused) = shared.pool.get();
     wire::encode_frame(&frame, &mut bytes);
-    shared
-        .server
-        .stats()
-        .record_reply_encode(bytes.len() as u64, reused);
+    shared.stats.record_reply_encode(bytes.len() as u64, reused);
     let sent = writer.send(&bytes);
     shared.pool.put(bytes);
     if sent {
@@ -605,6 +635,17 @@ fn reply(shared: &Shared, writer: &ConnWriter, response: LocateResponse) {
     if ok {
         shared.net.requests_ok.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Answers a request whose version byte we cannot serve with a clean
+/// [`ErrorCode::UnsupportedVersion`] reply on the *client's* dialect
+/// (see [`wire::unsupported_version_reply`]), then the caller closes.
+fn version_reject(shared: &Shared, writer: &ConnWriter, got: u8) {
+    let bytes = wire::unsupported_version_reply(got);
+    if writer.send(&bytes) {
+        shared.net.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.net.responses_sent.fetch_add(1, Ordering::Relaxed);
 }
 
 fn error_reply(request_id: u64, code: ErrorCode, message: impl Into<String>) -> LocateResponse {
@@ -637,6 +678,13 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
                     }
                 }
                 Ok(None) => break,
+                Err(WireError::BadVersion { got }) => {
+                    // Version mismatch: answer on the client's dialect so
+                    // its old decoder sees a structured reject, then close.
+                    shared.net.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    version_reject(shared, &writer, got);
+                    return;
+                }
                 Err(e) => {
                     // Protocol violation: tell the client why, then close.
                     shared.net.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -687,8 +735,13 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
             };
             let deadline =
                 (req.deadline_us > 0).then(|| Duration::from_micros(req.deadline_us as u64));
+            // Venue existence is checked at batch-resolution time, not
+            // admission: the reader path stays registry-free (no reader
+            // handle per connection), and an unknown venue answers
+            // `UnknownVenue` from the batcher.
             let pending = Pending {
                 request_id,
+                venue: req.venue_id,
                 reports,
                 admitted_at: Instant::now(),
                 deadline,
@@ -702,7 +755,7 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
                     false
                 } else {
                     q.push_back(pending);
-                    shared.server.stats().note_queue_depth(q.len() as u64);
+                    shared.stats.note_queue_depth(q.len() as u64);
                     true
                 }
             };
@@ -710,7 +763,7 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
                 shared.net.requests_enqueued.fetch_add(1, Ordering::Relaxed);
                 shared.queue_cv.notify_one();
             } else {
-                shared.server.stats().record_overload();
+                shared.stats.record_overload();
                 reply(
                     shared,
                     writer,
@@ -721,21 +774,36 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
         }
         Frame::StatsRequest => {
             let health = health_of(shared);
-            let (mut bytes, reused) = shared.pool.get();
-            wire::encode_frame(&Frame::StatsResponse(health), &mut bytes);
-            shared
-                .server
-                .stats()
-                .record_reply_encode(bytes.len() as u64, reused);
-            let sent = writer.send(&bytes);
-            shared.pool.put(bytes);
-            if sent {
-                shared.net.frames_out.fetch_add(1, Ordering::Relaxed);
-            }
+            send_admin_frame(shared, writer, &Frame::StatsResponse(health));
+            Ok(())
+        }
+        // Admin plane: rare, so the registry's publisher lock is fine
+        // here. Every admin frame is answered with the listing-or-error
+        // response; the connection stays open for more frames.
+        Frame::VenueOnboard(venue) => {
+            let result = shared
+                .registry
+                .onboard(venue)
+                .map_err(|m| (ErrorCode::Malformed, m));
+            send_admin_response(shared, writer, result);
+            Ok(())
+        }
+        Frame::VenueRetire(venue_id) => {
+            let code = if venue_id == 0 {
+                ErrorCode::Malformed
+            } else {
+                ErrorCode::UnknownVenue
+            };
+            let result = shared.registry.retire(venue_id).map_err(|m| (code, m));
+            send_admin_response(shared, writer, result);
+            Ok(())
+        }
+        Frame::VenueList => {
+            send_admin_response(shared, writer, Ok(()));
             Ok(())
         }
         // Clients must not send response frames; treat as protocol error.
-        Frame::LocateResponse(_) | Frame::StatsResponse(_) => {
+        Frame::LocateResponse(_) | Frame::StatsResponse(_) | Frame::VenueAdminResponse(_) => {
             shared.net.protocol_errors.fetch_add(1, Ordering::Relaxed);
             reply(
                 shared,
@@ -749,6 +817,36 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
             Err(())
         }
     }
+}
+
+/// Encodes one non-locate frame into a pooled buffer and sends it.
+fn send_admin_frame(shared: &Shared, writer: &ConnWriter, frame: &Frame) {
+    let (mut bytes, reused) = shared.pool.get();
+    wire::encode_frame(frame, &mut bytes);
+    shared.stats.record_reply_encode(bytes.len() as u64, reused);
+    let sent = writer.send(&bytes);
+    shared.pool.put(bytes);
+    if sent {
+        shared.net.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Answers an admin frame: the registry listing on success, the
+/// structured error otherwise.
+fn send_admin_response(
+    shared: &Shared,
+    writer: &ConnWriter,
+    result: Result<(), (ErrorCode, String)>,
+) {
+    let outcome = match result {
+        Ok(()) => Ok(shared.registry.list()),
+        Err((code, message)) => Err(ErrorReply { code, message }),
+    };
+    send_admin_frame(
+        shared,
+        writer,
+        &Frame::VenueAdminResponse(VenueAdminResponse { outcome }),
+    );
 }
 
 /// Per-batcher-thread reusable buffers for request assembly and replies.
@@ -767,6 +865,9 @@ struct BatcherScratch {
     inputs: Vec<Vec<CsiReport>>,
     /// Solved responses awaiting coalesced writes, aligned with `live`.
     responses: Vec<Option<LocateResponse>>,
+    /// This thread's venue-registry read handle (one atomic load per batch
+    /// in steady state).
+    reader: RegistryReader,
 }
 
 fn batcher_loop(shared: &Arc<Shared>) {
@@ -799,15 +900,21 @@ fn batcher_loop(shared: &Arc<Shared>) {
 }
 
 /// Blocks for the next micro-batch: pops the queue head, then coalesces
-/// until `max_batch` requests or `max_wait` elapsed since the head popped.
-/// The batch lands in `scratch.batch` (cleared first, capacity reused).
-/// Returns `false` when the queue is empty and the daemon is shutting down.
+/// *same-venue* requests until `max_batch` requests or `max_wait` elapsed
+/// since the head popped. Sharding by venue keeps every micro-batch
+/// venue-homogeneous, so `solve_and_reply` resolves the registry exactly
+/// once per batch; with a single live venue the shard scan degenerates to
+/// the old pop-front. The batch lands in `scratch.batch` (cleared first,
+/// capacity reused). Returns `false` when the queue is empty and the
+/// daemon is shutting down.
 fn next_batch(shared: &Shared, scratch: &mut BatcherScratch) -> bool {
     let batch = &mut scratch.batch;
     batch.clear();
     let mut q = shared.queue.lock().unwrap();
+    let venue;
     loop {
         if let Some(p) = q.pop_front() {
+            venue = p.venue;
             batch.push(p);
             break;
         }
@@ -817,9 +924,15 @@ fn next_batch(shared: &Shared, scratch: &mut BatcherScratch) -> bool {
         let (guard, _) = shared.queue_cv.wait_timeout(q, POLL_INTERVAL).unwrap();
         q = guard;
     }
+    // Pulls the first queued request for the head's venue, if any. Other
+    // venues' requests stay queued in arrival order for the next batcher.
+    let pop_same_venue = |q: &mut VecDeque<Pending>| {
+        let pos = q.iter().position(|p| p.venue == venue)?;
+        q.remove(pos)
+    };
     let flush_by = Instant::now() + shared.config.max_wait;
     while batch.len() < shared.config.max_batch {
-        if let Some(p) = q.pop_front() {
+        if let Some(p) = pop_same_venue(&mut q) {
             batch.push(p);
             continue;
         }
@@ -834,7 +947,7 @@ fn next_batch(shared: &Shared, scratch: &mut BatcherScratch) -> bool {
         q = guard;
         if timeout.timed_out() {
             // Re-check the queue once more, then flush what we have.
-            if let Some(p) = q.pop_front() {
+            if let Some(p) = pop_same_venue(&mut q) {
                 batch.push(p);
             }
             break;
@@ -850,6 +963,7 @@ fn solve_and_reply(shared: &Shared, scratch: &mut BatcherScratch) {
         live,
         inputs,
         responses,
+        reader,
     } = scratch;
     live.clear();
     inputs.clear();
@@ -859,7 +973,7 @@ fn solve_and_reply(shared: &Shared, scratch: &mut BatcherScratch) {
     for p in batch.drain(..) {
         let expired = p.deadline.is_some_and(|d| p.admitted_at.elapsed() > d);
         if expired {
-            shared.server.stats().record_deadline_miss();
+            shared.stats.record_deadline_miss();
             reply(
                 shared,
                 &p.writer,
@@ -876,6 +990,49 @@ fn solve_and_reply(shared: &Shared, scratch: &mut BatcherScratch) {
     if live.is_empty() {
         return;
     }
+    // Batches are venue-homogeneous by construction (`next_batch` shards
+    // by the head's venue); the composition counter pins that invariant.
+    let venue = live[0].venue;
+    let mut distinct = 0u64;
+    for (i, p) in live.iter().enumerate() {
+        if live[..i].iter().all(|q| q.venue != p.venue) {
+            distinct += 1;
+        }
+    }
+    shared.stats.record_batch_composition(distinct);
+    // One registry resolution per batch. Unknown venue fails the whole
+    // (homogeneous) batch with per-request errors; holding the entry `Arc`
+    // keeps the server alive even if the venue is evicted or retired
+    // mid-solve, so eviction never loses admitted requests.
+    let entry = match shared.registry.resolve(venue, reader) {
+        Ok(entry) => entry,
+        Err(e) => {
+            let (code, message) = match e {
+                ResolveError::Unknown => (
+                    ErrorCode::UnknownVenue,
+                    format!("venue {venue} is not onboarded"),
+                ),
+                ResolveError::Rebuild(m) => (
+                    ErrorCode::Internal,
+                    format!("venue {venue} cache rebuild failed: {m}"),
+                ),
+            };
+            for p in live.iter() {
+                shared.net.requests_failed.fetch_add(1, Ordering::Relaxed);
+                reply(
+                    shared,
+                    &p.writer,
+                    error_reply(p.request_id, code, message.clone()),
+                );
+            }
+            return;
+        }
+    };
+    let server = entry.server().expect("resolved entries are resident");
+    entry
+        .stats
+        .requests
+        .fetch_add(live.len() as u64, Ordering::Relaxed);
     inputs.extend(live.iter_mut().map(|p| std::mem::take(&mut p.reports)));
     let plan = shared.config.fault_plan.as_ref();
     // Injected panics fire BEFORE the solve touches any core state, so the
@@ -883,15 +1040,16 @@ fn solve_and_reply(shared: &Shared, scratch: &mut BatcherScratch) {
     // makes `AssertUnwindSafe` an honest assertion here.
     let batch_result = std::panic::catch_unwind(AssertUnwindSafe(|| {
         panic_if_injected(plan, live.iter().map(|p| p.request_id));
-        shared.server.process_batch(inputs)
+        server.process_batch(inputs)
     }));
     match batch_result {
         Ok(results) => {
-            responses.extend(
-                live.iter()
-                    .zip(results)
-                    .map(|(p, result)| Some(response_for(shared, p, result))),
-            );
+            responses.extend(live.iter().zip(results).map(|(p, result)| {
+                if let Ok(est) = &result {
+                    entry.stats.record_quality(est.quality);
+                }
+                Some(response_for(shared, p, result))
+            }));
             // Coalesced writes: encode every reply destined for the same
             // connection into one pooled buffer and write it with a single
             // syscall, instead of one locked write per reply.
@@ -915,10 +1073,7 @@ fn solve_and_reply(shared: &Shared, scratch: &mut BatcherScratch) {
                         frames += 1;
                     }
                 }
-                shared
-                    .server
-                    .stats()
-                    .record_reply_encode(bytes.len() as u64, reused);
+                shared.stats.record_reply_encode(bytes.len() as u64, reused);
                 let sent = writer.send(&bytes);
                 shared.pool.put(bytes);
                 if sent {
@@ -944,10 +1099,15 @@ fn solve_and_reply(shared: &Shared, scratch: &mut BatcherScratch) {
             for (p, input) in live.iter().zip(inputs.iter()) {
                 let one = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     panic_if_injected(plan, std::iter::once(p.request_id));
-                    shared.server.process(input)
+                    server.process(input)
                 }));
                 match one {
-                    Ok(result) => reply_result(shared, p, result),
+                    Ok(result) => {
+                        if let Ok(est) = &result {
+                            entry.stats.record_quality(est.quality);
+                        }
+                        reply_result(shared, p, result);
+                    }
                     Err(_) => {
                         shared.net.requests_internal.fetch_add(1, Ordering::Relaxed);
                         shared.net.requests_failed.fetch_add(1, Ordering::Relaxed);

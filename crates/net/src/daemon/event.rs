@@ -28,9 +28,9 @@
 //! "every admitted request is answered" holds on the wire, not just in
 //! the buffers.
 
-use super::{error_reply, handle_frame, reply, ConnWriter, Shared, POLL_INTERVAL};
+use super::{error_reply, handle_frame, reply, version_reject, ConnWriter, Shared, POLL_INTERVAL};
 use crate::poll::{Event, Interest, Poller, Waker};
-use crate::wire::{ErrorCode, StreamDecoder};
+use crate::wire::{ErrorCode, StreamDecoder, WireError};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -397,6 +397,15 @@ fn handle_readable(
                                 }
                             }
                             Ok(None) => break,
+                            Err(WireError::BadVersion { got }) => {
+                                // Version mismatch: reply in the *client's*
+                                // protocol version so it can decode the
+                                // rejection, then close.
+                                shared.net.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                version_reject(shared, &conn.writer, got);
+                                action = Action::CloseAfterFlush;
+                                break;
+                            }
                             Err(e) => {
                                 // Protocol violation: same contract as the
                                 // threaded backend — explain, then close

@@ -26,7 +26,14 @@
 //! * [`chaos`]: a fault-injecting replay driver that mangles requests
 //!   according to a seeded [`nomloc_faults::FaultPlan`] and verifies the
 //!   daemon's per-fault-class serving contract against a fault-free
-//!   baseline.
+//!   baseline;
+//! * [`registry`]: the multi-venue registry — venues onboard as pure
+//!   data over the wire v3 admin frames, publish through a hand-rolled
+//!   read-mostly arc-swap (one atomic load per locate in steady state),
+//!   and LRU-evict cold caches under a memory budget with bit-identical
+//!   rebuild on the next request;
+//! * [`admin`]: the blocking admin-plane client (onboard/retire/list)
+//!   shared by the CLI, the bench bins, and the tests.
 //!
 //! The wire codec is bit-exact for `f64`s, so a request decoded by the
 //! daemon is *identical* to the in-process value and the pipeline —
@@ -40,6 +47,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod chaos;
 pub mod crc32;
 pub mod daemon;
@@ -47,10 +55,12 @@ pub mod loadgen;
 #[cfg(unix)]
 pub mod poll;
 pub mod pool;
+pub mod registry;
 pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosReport, ChaosSummary};
 pub use daemon::{spawn, DaemonConfig, DaemonHandle, SocketBackend};
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{LoadgenConfig, LoadgenReport, VenuePicker};
 pub use pool::BufferPool;
-pub use wire::{ErrorCode, Frame, ServerHealth, WireError};
+pub use registry::{RegistryReader, VenueRegistry};
+pub use wire::{ErrorCode, Frame, ServerHealth, VenueSummary, WireError, WireVenue};

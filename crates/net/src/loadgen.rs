@@ -41,6 +41,16 @@ pub struct LoadgenConfig {
     /// best-effort: the run proceeds with however many the OS allows,
     /// and [`LoadgenReport::idle_held`] reports the count actually held.
     pub idle_connections: usize,
+    /// Venue ids traffic is spread over, rank-ordered hottest first (the
+    /// zipf head is `venues[0]`). Empty sends everything to venue 0, the
+    /// daemon's resident venue.
+    pub venues: Vec<u64>,
+    /// Zipf exponent `s` for the over-venues traffic skew: rank `k`
+    /// (1-based) receives weight `1/k^s`. `0.0` is uniform; real fleet
+    /// traffic is closer to `1.0`.
+    pub zipf_s: f64,
+    /// Seed for the deterministic request → venue assignment.
+    pub zipf_seed: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -52,7 +62,64 @@ impl Default for LoadgenConfig {
             max_reconnects: 5,
             reconnect_backoff: Duration::from_millis(10),
             idle_connections: 0,
+            venues: Vec::new(),
+            zipf_s: 1.0,
+            zipf_seed: 0,
         }
+    }
+}
+
+/// Deterministic zipf-over-venues traffic assignment.
+///
+/// Request `i` hashes (via [`mix64`]) to a uniform sample that is pushed
+/// through the zipf(`s`) CDF over the venue list, so the same
+/// `(venues, s, seed)` triple always yields the same assignment — the
+/// loadgen stamps it into the frame, and verifiers (the CLI's per-venue
+/// breakdown, the bench bins, tests) recompute it independently.
+#[derive(Debug, Clone)]
+pub struct VenuePicker {
+    venues: Vec<u64>,
+    cdf: Vec<f64>,
+    seed: u64,
+}
+
+impl VenuePicker {
+    /// Builds the CDF once; `venues` is hottest-first rank order.
+    pub fn new(venues: &[u64], s: f64, seed: u64) -> Self {
+        let mut cdf = Vec::with_capacity(venues.len());
+        let mut total = 0.0f64;
+        for k in 0..venues.len() {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        VenuePicker {
+            venues: venues.to_vec(),
+            cdf,
+            seed,
+        }
+    }
+
+    /// The picker a config describes.
+    pub fn from_config(config: &LoadgenConfig) -> Self {
+        VenuePicker::new(&config.venues, config.zipf_s, config.zipf_seed)
+    }
+
+    /// The venue request `request_id` travels to (venue 0 when the venue
+    /// list is empty).
+    pub fn pick(&self, request_id: u64) -> u64 {
+        if self.venues.is_empty() {
+            return 0;
+        }
+        // 53 mantissa-exact bits of the hash → uniform in [0, 1).
+        let u = (mix64(self.seed, request_id) >> 11) as f64 / (1u64 << 53) as f64;
+        let rank = self
+            .cdf
+            .partition_point(|&c| c <= u)
+            .min(self.venues.len() - 1);
+        self.venues[rank]
     }
 }
 
@@ -317,6 +384,7 @@ fn drive_once(
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(config.read_timeout))?;
     let mut write_half = stream.try_clone()?;
+    let picker = VenuePicker::from_config(config);
 
     // Send stamps, indexed by position in `indices`; stamped just before
     // the frame bytes hit the socket.
@@ -326,6 +394,7 @@ fn drive_once(
     std::thread::scope(|scope| -> io::Result<()> {
         let sender_indices = &indices;
         let sender_stamps = &sent_at;
+        let picker = &picker;
         let sender: std::thread::ScopedJoinHandle<'_, io::Result<()>> = scope.spawn(move || {
             // One encode buffer for the whole pass: frames are encoded
             // into the reused backing store instead of allocating per
@@ -335,6 +404,7 @@ fn drive_once(
                 let frame = Frame::LocateRequest(LocateRequest {
                     request_id: i as u64,
                     deadline_us: config.deadline_us,
+                    venue_id: picker.pick(i as u64),
                     reports: requests[i].iter().map(WireReport::from_core).collect(),
                 });
                 bytes.clear();

@@ -6,12 +6,15 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  "NMLC"
-//!      4     1  protocol version (currently 2; v2 added the estimate
-//!                                 quality tier and per-cause error codes —
-//!                                 v1 decoders reject v2 frames cleanly
+//!      4     1  protocol version (currently 3; v3 added the venue id on
+//!                                 requests, the venue admin frames, and
+//!                                 per-venue health records — older
+//!                                 decoders reject v3 frames cleanly
 //!                                 with `BadVersion`)
 //!      5     1  frame type (1 = LocateRequest, 2 = LocateResponse,
-//!                           3 = StatsRequest,  4 = StatsResponse)
+//!                           3 = StatsRequest,  4 = StatsResponse,
+//!                           5 = VenueOnboard,  6 = VenueRetire,
+//!                           7 = VenueList,     8 = VenueAdminResponse)
 //!      6     2  reserved, must be zero
 //!      8     4  payload length, little-endian
 //!     12     4  CRC-32 (IEEE) over the payload, little-endian
@@ -37,10 +40,11 @@
 
 use crate::crc32::crc32;
 use nomloc_core::estimator::{EstimateError, EstimateQuality, FailureCause, LocationEstimate};
+use nomloc_core::scenario::Venue;
 use nomloc_core::server::CsiReport;
 use nomloc_core::ApSite;
 use nomloc_dsp::Complex;
-use nomloc_geometry::Point;
+use nomloc_geometry::{Point, Polygon};
 use nomloc_rfsim::{CsiSnapshot, SubcarrierGrid};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -49,8 +53,14 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 4] = *b"NMLC";
 /// Current protocol version. v2 extended [`WireEstimate`] with the
 /// [`EstimateQuality`] tier and [`ServerHealth`] with fault-tolerance
-/// counters; v1 decoders reject v2 frames with [`WireError::BadVersion`].
-pub const VERSION: u8 = 2;
+/// counters. v3 adds the venue id to [`LocateRequest`], the venue admin
+/// frames (tags 5–8), and per-venue [`VenueHealth`] records on
+/// [`ServerHealth`]; older decoders reject v3 frames with
+/// [`WireError::BadVersion`], and a v3 daemon answers a down-version
+/// request with a [`ErrorCode::UnsupportedVersion`] reply encoded at the
+/// *client's* version (see [`unsupported_version_reply`]) so old
+/// structural decoders never see a CRC or framing failure.
+pub const VERSION: u8 = 3;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 16;
 /// Maximum accepted payload length (guards allocation on hostile input).
@@ -62,6 +72,10 @@ mod tag {
     pub const LOCATE_RESPONSE: u8 = 2;
     pub const STATS_REQUEST: u8 = 3;
     pub const STATS_RESPONSE: u8 = 4;
+    pub const VENUE_ONBOARD: u8 = 5;
+    pub const VENUE_RETIRE: u8 = 6;
+    pub const VENUE_LIST: u8 = 7;
+    pub const VENUE_ADMIN_RESPONSE: u8 = 8;
 }
 
 /// A structural decoding failure. Every variant is a clean error — the
@@ -164,6 +178,16 @@ pub enum ErrorCode {
     LpInfeasible = 7,
     /// The LP solver failed numerically on every venue piece.
     LpNumerical = 8,
+    /// The client spoke a protocol version the server does not serve.
+    /// New in v3: a v3 daemon answers a down-version request with this
+    /// code encoded at the client's version. Decoders older than v3 do
+    /// not know the code and surface it as a clean
+    /// `Malformed("unknown error code 9")` — still a structured reject,
+    /// never a CRC or framing failure.
+    UnsupportedVersion = 9,
+    /// The request named a venue the registry has never onboarded
+    /// (new in v3).
+    UnknownVenue = 10,
 }
 
 impl ErrorCode {
@@ -177,6 +201,8 @@ impl ErrorCode {
             6 => Ok(ErrorCode::InsufficientJudgements),
             7 => Ok(ErrorCode::LpInfeasible),
             8 => Ok(ErrorCode::LpNumerical),
+            9 => Ok(ErrorCode::UnsupportedVersion),
+            10 => Ok(ErrorCode::UnknownVenue),
             other => Err(WireError::Malformed(format!("unknown error code {other}"))),
         }
     }
@@ -205,6 +231,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::InsufficientJudgements => write!(f, "insufficient-judgements"),
             ErrorCode::LpInfeasible => write!(f, "lp-infeasible"),
             ErrorCode::LpNumerical => write!(f, "lp-numerical"),
+            ErrorCode::UnsupportedVersion => write!(f, "unsupported-version"),
+            ErrorCode::UnknownVenue => write!(f, "unknown-venue"),
         }
     }
 }
@@ -343,6 +371,10 @@ pub struct LocateRequest {
     pub request_id: u64,
     /// Deadline in microseconds from server admission; 0 means none.
     pub deadline_us: u32,
+    /// The venue this request belongs to (new in v3). Venue 0 is the
+    /// daemon's resident default venue, so single-venue clients can keep
+    /// sending 0 forever; any other id must have been onboarded.
+    pub venue_id: u64,
     /// The CSI reports for this request.
     pub reports: Vec<WireReport>,
 }
@@ -439,9 +471,113 @@ pub struct LocateResponse {
     pub outcome: Result<WireEstimate, ErrorReply>,
 }
 
-/// A stats/health snapshot frame: serving counters plus latency and
-/// batch-size quantiles, all `u64`.
+/// A venue description on the wire — the geometric inputs the
+/// `scenario.rs` builders consume, so an onboarding payload and an
+/// in-process scenario come from the same data (new in v3).
+///
+/// Only geometry travels: the daemon's locate path needs the boundary
+/// polygon (for [`nomloc_core::cache::VenueCache`]); the AP/site lists
+/// ride along so `VenueList` stays a useful fleet inventory. Radio and
+/// clutter parameters are simulation-side and never cross the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireVenue {
+    /// Registry identifier; 0 is reserved for the daemon's resident venue.
+    pub venue_id: u64,
+    /// Human-readable venue name.
+    pub name: String,
+    /// Area-of-interest boundary vertices as `(x, y)` metres.
+    pub boundary: Vec<(f64, f64)>,
+    /// Static AP positions.
+    pub static_aps: Vec<(f64, f64)>,
+    /// The nomadic AP's home position.
+    pub nomadic_home: (f64, f64),
+    /// The nomadic AP's walk sites.
+    pub nomadic_sites: Vec<(f64, f64)>,
+    /// Ground-truth test sites.
+    pub test_sites: Vec<(f64, f64)>,
+}
+
+impl WireVenue {
+    /// Builds the onboarding payload from a scenario venue (bit-exact:
+    /// coordinates travel as their IEEE-754 bit patterns).
+    pub fn from_venue(venue_id: u64, v: &Venue) -> Self {
+        let pt = |p: &Point| (p.x, p.y);
+        WireVenue {
+            venue_id,
+            name: v.name.to_owned(),
+            boundary: v.plan.boundary().vertices().iter().map(pt).collect(),
+            static_aps: v.static_aps.iter().map(pt).collect(),
+            nomadic_home: pt(&v.nomadic_home),
+            nomadic_sites: v.nomadic_sites.iter().map(pt).collect(),
+            test_sites: v.test_sites.iter().map(pt).collect(),
+        }
+    }
+
+    /// Reconstructs the boundary polygon the registry builds its
+    /// [`nomloc_core::cache::VenueCache`] from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the vertices do not form a valid simple
+    /// polygon (too few, non-finite, degenerate area).
+    pub fn boundary_polygon(&self) -> Result<Polygon, String> {
+        Polygon::new(
+            self.boundary
+                .iter()
+                .map(|&(x, y)| Point::new(x, y))
+                .collect(),
+        )
+        .map_err(|e| format!("venue {} boundary: {e:?}", self.venue_id))
+    }
+}
+
+/// One registry entry in a `VenueAdminResponse` listing (new in v3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VenueSummary {
+    /// Registry identifier.
+    pub venue_id: u64,
+    /// Human-readable venue name.
+    pub name: String,
+    /// Whether the venue's cache is currently resident (not evicted).
+    pub resident: bool,
+    /// Locate requests answered for this venue since onboarding.
+    pub requests: u64,
+}
+
+/// The single response frame for every admin request (onboard, retire,
+/// list): either the current venue listing or a structured error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VenueAdminResponse {
+    /// The registry listing after the operation, or the failure.
+    pub outcome: Result<Vec<VenueSummary>, ErrorReply>,
+}
+
+/// Per-venue serving counters appended to [`ServerHealth`] (new in v3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VenueHealth {
+    /// Registry identifier.
+    pub venue_id: u64,
+    /// Locate requests resolved against this venue.
+    pub requests: u64,
+    /// Estimates served at full quality.
+    pub quality_full: u64,
+    /// Estimates degraded to the site-constraints-only region.
+    pub quality_region: u64,
+    /// Estimates degraded to the weighted site centroid.
+    pub quality_centroid: u64,
+    /// Batch resolutions that found the venue cache resident.
+    pub cache_hits: u64,
+    /// Batch resolutions that had to rebuild an evicted cache.
+    pub cache_rebuilds: u64,
+    /// Times this venue's cache was evicted under the memory budget.
+    pub cache_evictions: u64,
+    /// Whether the cache is resident right now.
+    pub resident: bool,
+}
+
+/// A stats/health snapshot frame: serving counters plus latency and
+/// batch-size quantiles, all `u64`, plus per-venue records (v3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServerHealth {
     /// TCP connections accepted since start.
     pub connections_accepted: u64,
@@ -506,6 +642,9 @@ pub struct ServerHealth {
     /// overflowed (a slow reader on the event-loop socket backend).
     /// Daemon-local display only; not serialized.
     pub slow_readers_evicted: u64,
+    /// Per-venue serving counters, one record per onboarded venue
+    /// (serialized after the scalar fields; new in v3).
+    pub venues: Vec<VenueHealth>,
 }
 
 impl fmt::Display for ServerHealth {
@@ -560,7 +699,26 @@ impl fmt::Display for ServerHealth {
             f,
             "  solve latency         p50 ≤ {} ns, p95 ≤ {} ns, p99 ≤ {} ns",
             self.solve_p50_ns, self.solve_p95_ns, self.solve_p99_ns
-        )
+        )?;
+        if !self.venues.is_empty() {
+            writeln!(f, "  venues                {}", self.venues.len())?;
+            for v in &self.venues {
+                writeln!(
+                    f,
+                    "    venue {:<6} req {} (full {} / region {} / centroid {}) cache hit {} rebuild {} evict {}{}",
+                    v.venue_id,
+                    v.requests,
+                    v.quality_full,
+                    v.quality_region,
+                    v.quality_centroid,
+                    v.cache_hits,
+                    v.cache_rebuilds,
+                    v.cache_evictions,
+                    if v.resident { "" } else { " [evicted]" },
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -575,6 +733,14 @@ pub enum Frame {
     StatsRequest,
     /// The server's health snapshot.
     StatsResponse(ServerHealth),
+    /// Onboard (or replace) a venue in the registry (v3 admin plane).
+    VenueOnboard(WireVenue),
+    /// Retire a venue by id (v3 admin plane).
+    VenueRetire(u64),
+    /// List the registry (empty payload, v3 admin plane).
+    VenueList,
+    /// The response to any admin frame (v3 admin plane).
+    VenueAdminResponse(VenueAdminResponse),
 }
 
 impl Frame {
@@ -584,6 +750,10 @@ impl Frame {
             Frame::LocateResponse(_) => tag::LOCATE_RESPONSE,
             Frame::StatsRequest => tag::STATS_REQUEST,
             Frame::StatsResponse(_) => tag::STATS_RESPONSE,
+            Frame::VenueOnboard(_) => tag::VENUE_ONBOARD,
+            Frame::VenueRetire(_) => tag::VENUE_RETIRE,
+            Frame::VenueList => tag::VENUE_LIST,
+            Frame::VenueAdminResponse(_) => tag::VENUE_ADMIN_RESPONSE,
         }
     }
 }
@@ -684,6 +854,22 @@ impl<'a> Cursor<'a> {
         Ok(())
     }
 
+    /// Reads a length-prefixed UTF-8 string.
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.len(1)?;
+        Ok(std::str::from_utf8(self.bytes(n)?)
+            .map_err(|_| WireError::Malformed("string is not UTF-8".into()))?
+            .to_owned())
+    }
+
+    /// Reads a length-prefixed list of `(x, y)` coordinate pairs.
+    fn points(&mut self) -> Result<Vec<(f64, f64)>, WireError> {
+        let n = self.len(16)?;
+        let mut out = Vec::new();
+        self.f64_pairs_into(n, &mut out)?;
+        Ok(out)
+    }
+
     /// Reads a `u32` element count and rejects counts whose minimal
     /// encoding could not fit in the remaining payload — corrupt lengths
     /// fail *before* any allocation happens.
@@ -711,6 +897,7 @@ impl<'a> Cursor<'a> {
 fn encode_locate_request(req: &LocateRequest, out: &mut Vec<u8>) {
     put_u64(out, req.request_id);
     put_u32(out, req.deadline_us);
+    put_u64(out, req.venue_id);
     put_u32(out, req.reports.len() as u32);
     for r in &req.reports {
         put_u64(out, r.ap);
@@ -735,6 +922,7 @@ fn encode_locate_request(req: &LocateRequest, out: &mut Vec<u8>) {
 fn decode_locate_request(c: &mut Cursor<'_>) -> Result<LocateRequest, WireError> {
     let request_id = c.u64()?;
     let deadline_us = c.u32()?;
+    let venue_id = c.u64()?;
     let n_reports = c.len(32)?; // ap + visit + x + y at minimum
     let mut reports = Vec::with_capacity(n_reports);
     for _ in 0..n_reports {
@@ -764,8 +952,90 @@ fn decode_locate_request(c: &mut Cursor<'_>) -> Result<LocateRequest, WireError>
     Ok(LocateRequest {
         request_id,
         deadline_us,
+        venue_id,
         reports,
     })
+}
+
+fn put_points(out: &mut Vec<u8>, pts: &[(f64, f64)]) {
+    put_u32(out, pts.len() as u32);
+    for &(x, y) in pts {
+        put_f64(out, x);
+        put_f64(out, y);
+    }
+}
+
+fn encode_venue(v: &WireVenue, out: &mut Vec<u8>) {
+    put_u64(out, v.venue_id);
+    put_str(out, &v.name);
+    put_points(out, &v.boundary);
+    put_points(out, &v.static_aps);
+    put_f64(out, v.nomadic_home.0);
+    put_f64(out, v.nomadic_home.1);
+    put_points(out, &v.nomadic_sites);
+    put_points(out, &v.test_sites);
+}
+
+fn decode_venue(c: &mut Cursor<'_>) -> Result<WireVenue, WireError> {
+    Ok(WireVenue {
+        venue_id: c.u64()?,
+        name: c.str()?,
+        boundary: c.points()?,
+        static_aps: c.points()?,
+        nomadic_home: (c.f64()?, c.f64()?),
+        nomadic_sites: c.points()?,
+        test_sites: c.points()?,
+    })
+}
+
+fn encode_admin_response(resp: &VenueAdminResponse, out: &mut Vec<u8>) {
+    match &resp.outcome {
+        Ok(summaries) => {
+            out.push(0);
+            put_u32(out, summaries.len() as u32);
+            for s in summaries {
+                put_u64(out, s.venue_id);
+                put_str(out, &s.name);
+                out.push(u8::from(s.resident));
+                put_u64(out, s.requests);
+            }
+        }
+        Err(e) => {
+            out.push(e.code as u8);
+            put_str(out, &e.message);
+        }
+    }
+}
+
+fn decode_admin_response(c: &mut Cursor<'_>) -> Result<VenueAdminResponse, WireError> {
+    let status = c.u8()?;
+    let outcome = if status == 0 {
+        // venue_id + name length + resident + requests at minimum.
+        let n = c.len(21)?;
+        let mut summaries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let venue_id = c.u64()?;
+            let name = c.str()?;
+            let resident = match c.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(WireError::Malformed(format!("bad resident flag {other}"))),
+            };
+            let requests = c.u64()?;
+            summaries.push(VenueSummary {
+                venue_id,
+                name,
+                resident,
+                requests,
+            });
+        }
+        Ok(summaries)
+    } else {
+        let code = ErrorCode::from_u8(status)?;
+        let message = c.str()?;
+        Err(ErrorReply { code, message })
+    };
+    Ok(VenueAdminResponse { outcome })
 }
 
 fn encode_locate_response(resp: &LocateResponse, out: &mut Vec<u8>) {
@@ -832,12 +1102,46 @@ fn encode_health(h: &ServerHealth, out: &mut Vec<u8>) {
     for v in health_fields(h) {
         put_u64(out, v);
     }
+    put_u32(out, h.venues.len() as u32);
+    for v in &h.venues {
+        put_u64(out, v.venue_id);
+        put_u64(out, v.requests);
+        put_u64(out, v.quality_full);
+        put_u64(out, v.quality_region);
+        put_u64(out, v.quality_centroid);
+        put_u64(out, v.cache_hits);
+        put_u64(out, v.cache_rebuilds);
+        put_u64(out, v.cache_evictions);
+        out.push(u8::from(v.resident));
+    }
 }
 
 fn decode_health(c: &mut Cursor<'_>) -> Result<ServerHealth, WireError> {
     let mut h = ServerHealth::default();
     for slot in health_fields_mut(&mut h) {
         *slot = c.u64()?;
+    }
+    // Eight u64 counters plus the resident flag per record.
+    let n = c.len(65)?;
+    h.venues.reserve(n);
+    for _ in 0..n {
+        let mut v = VenueHealth {
+            venue_id: c.u64()?,
+            requests: c.u64()?,
+            quality_full: c.u64()?,
+            quality_region: c.u64()?,
+            quality_centroid: c.u64()?,
+            cache_hits: c.u64()?,
+            cache_rebuilds: c.u64()?,
+            cache_evictions: c.u64()?,
+            resident: false,
+        };
+        v.resident = match c.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(WireError::Malformed(format!("bad resident flag {other}"))),
+        };
+        h.venues.push(v);
     }
     Ok(h)
 }
@@ -907,9 +1211,21 @@ fn health_fields_mut(h: &mut ServerHealth) -> [&mut u64; 22] {
 /// allocation in steady state. The byte image is identical to encoding the
 /// payload separately and appending it.
 pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    encode_frame_with_version(frame, VERSION, out);
+}
+
+/// [`encode_frame`] with an explicit version byte in the header.
+///
+/// Payload schemas are always the *current* version's — this exists so the
+/// daemon can stamp a version-stable frame (a [`LocateResponse`] error,
+/// whose layout has not changed since v2) with a down-level client's
+/// version byte, letting that client's structural decoder accept the
+/// [`ErrorCode::UnsupportedVersion`] reply instead of tripping on
+/// `BadVersion`.
+pub fn encode_frame_with_version(frame: &Frame, version: u8, out: &mut Vec<u8>) {
     let header_at = out.len();
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(version);
     out.push(frame.type_tag());
     put_u16(out, 0); // reserved
     put_u32(out, 0); // payload length, backpatched below
@@ -920,11 +1236,42 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
         Frame::LocateResponse(resp) => encode_locate_response(resp, out),
         Frame::StatsRequest => {}
         Frame::StatsResponse(h) => encode_health(h, out),
+        Frame::VenueOnboard(v) => encode_venue(v, out),
+        Frame::VenueRetire(id) => put_u64(out, *id),
+        Frame::VenueList => {}
+        Frame::VenueAdminResponse(resp) => encode_admin_response(resp, out),
     }
     let payload_len = (out.len() - payload_at) as u32;
     let crc = crc32(&out[payload_at..]);
     out[header_at + 8..header_at + 12].copy_from_slice(&payload_len.to_le_bytes());
     out[header_at + 12..header_at + 16].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// The daemon's reply to a request whose version byte it cannot serve: a
+/// [`LocateResponse`] carrying [`ErrorCode::UnsupportedVersion`], encoded
+/// at the *client's* version when the client is older than us (so its
+/// structural decoder accepts the frame — the response layout is stable
+/// across v2/v3) and at our version otherwise.
+///
+/// Satellite guarantee: a v2-only client talking to a v3 daemon sees a
+/// clean structured error on its own wire dialect, never a CRC or framing
+/// failure.
+pub fn unsupported_version_reply(got: u8) -> Vec<u8> {
+    let reply_version = if (1..VERSION).contains(&got) {
+        got
+    } else {
+        VERSION
+    };
+    let frame = Frame::LocateResponse(LocateResponse {
+        request_id: 0,
+        outcome: Err(ErrorReply {
+            code: ErrorCode::UnsupportedVersion,
+            message: format!("server speaks protocol v{VERSION}, got v{got}"),
+        }),
+    });
+    let mut out = Vec::new();
+    encode_frame_with_version(&frame, reply_version, &mut out);
+    out
 }
 
 /// Encodes `frame` into a fresh buffer.
@@ -944,6 +1291,17 @@ pub fn frame_to_vec(frame: &Frame) -> Vec<u8> {
 /// [`WireError::Incomplete`] when `buf` holds a valid prefix that needs
 /// more bytes; any other variant is a protocol violation.
 pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+    decode_frame_with_version(buf, VERSION)
+}
+
+/// [`decode_frame`] with an explicit accepted version byte.
+///
+/// Payload schemas are always the *current* version's, so this is only
+/// meaningful for version-stable frames ([`LocateResponse`],
+/// [`StatsRequest`]) — the negotiation tests use it to act as a v2-only
+/// client verifying that a v3 daemon's [`unsupported_version_reply`]
+/// decodes cleanly on the old dialect.
+pub fn decode_frame_with_version(buf: &[u8], version: u8) -> Result<(Frame, usize), WireError> {
     if buf.len() < HEADER_LEN {
         return Err(WireError::Incomplete {
             needed: HEADER_LEN - buf.len(),
@@ -953,11 +1311,11 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
     if magic != MAGIC {
         return Err(WireError::BadMagic { got: magic });
     }
-    if buf[4] != VERSION {
+    if buf[4] != version {
         return Err(WireError::BadVersion { got: buf[4] });
     }
     let frame_type = buf[5];
-    if !(tag::LOCATE_REQUEST..=tag::STATS_RESPONSE).contains(&frame_type) {
+    if !(tag::LOCATE_REQUEST..=tag::VENUE_ADMIN_RESPONSE).contains(&frame_type) {
         return Err(WireError::UnknownFrameType { got: frame_type });
     }
     let reserved = u16::from_le_bytes(buf[6..8].try_into().unwrap());
@@ -989,6 +1347,10 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
         tag::LOCATE_RESPONSE => Frame::LocateResponse(decode_locate_response(&mut c)?),
         tag::STATS_REQUEST => Frame::StatsRequest,
         tag::STATS_RESPONSE => Frame::StatsResponse(decode_health(&mut c)?),
+        tag::VENUE_ONBOARD => Frame::VenueOnboard(decode_venue(&mut c)?),
+        tag::VENUE_RETIRE => Frame::VenueRetire(c.u64()?),
+        tag::VENUE_LIST => Frame::VenueList,
+        tag::VENUE_ADMIN_RESPONSE => Frame::VenueAdminResponse(decode_admin_response(&mut c)?),
         _ => unreachable!("tag range checked above"),
     };
     c.done()?;
@@ -1138,6 +1500,7 @@ mod tests {
         Frame::LocateRequest(LocateRequest {
             request_id: 42,
             deadline_us: 1500,
+            venue_id: 3,
             reports: vec![WireReport {
                 ap: 7,
                 visit: 2,
@@ -1202,6 +1565,8 @@ mod tests {
             ErrorCode::InsufficientJudgements,
             ErrorCode::LpInfeasible,
             ErrorCode::LpNumerical,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::UnknownVenue,
         ] {
             let frame = Frame::LocateResponse(LocateResponse {
                 request_id: 1,
@@ -1223,7 +1588,7 @@ mod tests {
         });
         let mut bytes = frame_to_vec(&frame);
         let status_at = HEADER_LEN + 8;
-        bytes[status_at] = 9;
+        bytes[status_at] = 11;
         let payload = bytes[HEADER_LEN..].to_vec();
         bytes[12..16].copy_from_slice(&crc32(&payload).to_le_bytes());
         assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
@@ -1255,17 +1620,100 @@ mod tests {
     }
 
     #[test]
-    fn v1_decoders_reject_v2_frames_cleanly() {
-        // A v1 decoder checked `buf[4] != 1`; our v2 frames carry 2 there,
+    fn old_decoders_reject_v3_frames_cleanly() {
+        // A v2 decoder checked `buf[4] != 2`; our v3 frames carry 3 there,
         // so the old check fires BadVersion before any payload is touched.
-        // Symmetrically, a v1 frame presented to this decoder is rejected.
+        // Symmetrically, a down-version frame presented to this decoder is
+        // rejected the same way.
         let mut bytes = frame_to_vec(&Frame::StatsRequest);
-        assert_eq!(bytes[4], 2, "frames are emitted at protocol v2");
-        bytes[4] = 1;
-        assert!(matches!(
-            decode_frame(&bytes),
-            Err(WireError::BadVersion { got: 1 })
-        ));
+        assert_eq!(bytes[4], 3, "frames are emitted at protocol v3");
+        for old in [1u8, 2] {
+            bytes[4] = old;
+            assert!(matches!(
+                decode_frame(&bytes),
+                Err(WireError::BadVersion { got }) if got == old
+            ));
+        }
+    }
+
+    #[test]
+    fn down_version_requests_get_a_decodable_unsupported_version_reply() {
+        // Satellite 1: a v2-only client sends a request with version byte 2
+        // (the CRC covers only the payload, so the daemon rejects on the
+        // version byte alone) and must be able to decode the reply on its
+        // own dialect — acting the v2 client via decode_frame_with_version.
+        let mut req = frame_to_vec(&sample_request());
+        req[4] = 2;
+        let Err(WireError::BadVersion { got }) = decode_frame(&req) else {
+            panic!("v2 request must be rejected on the version byte");
+        };
+        let reply = unsupported_version_reply(got);
+        assert_eq!(reply[4], 2, "reply is stamped with the client's version");
+        let (frame, n) = decode_frame_with_version(&reply, 2).unwrap();
+        assert_eq!(n, reply.len());
+        let Frame::LocateResponse(resp) = frame else {
+            panic!("reply must be a LocateResponse, got {frame:?}");
+        };
+        assert_eq!(
+            resp.outcome.unwrap_err().code,
+            ErrorCode::UnsupportedVersion
+        );
+        // A *newer* client (hypothetical v4) gets the reply on our dialect.
+        let reply = unsupported_version_reply(4);
+        assert_eq!(reply[4], VERSION);
+        assert!(decode_frame(&reply).is_ok());
+    }
+
+    #[test]
+    fn venue_admin_frames_round_trip() {
+        let venue = WireVenue::from_venue(7, &Venue::lab());
+        assert_eq!(venue.name, "Lab");
+        assert_eq!(venue.static_aps.len(), 3);
+        assert!(venue.boundary_polygon().is_ok());
+        for frame in [
+            Frame::VenueOnboard(venue.clone()),
+            Frame::VenueRetire(7),
+            Frame::VenueList,
+            Frame::VenueAdminResponse(VenueAdminResponse {
+                outcome: Ok(vec![
+                    VenueSummary {
+                        venue_id: 0,
+                        name: "Lab".into(),
+                        resident: true,
+                        requests: 12,
+                    },
+                    VenueSummary {
+                        venue_id: 7,
+                        name: "Mall".into(),
+                        resident: false,
+                        requests: 0,
+                    },
+                ]),
+            }),
+            Frame::VenueAdminResponse(VenueAdminResponse {
+                outcome: Err(ErrorReply {
+                    code: ErrorCode::UnknownVenue,
+                    message: "venue 9 was never onboarded".into(),
+                }),
+            }),
+        ] {
+            let bytes = frame_to_vec(&frame);
+            let (decoded, n) = decode_frame(&bytes).unwrap();
+            assert_eq!(n, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn wire_venue_coordinates_are_bit_exact() {
+        let mut venue = WireVenue::from_venue(1, &Venue::lobby());
+        venue.boundary[0].0 = f64::from_bits(0.1f64.to_bits() + 1);
+        let bytes = frame_to_vec(&Frame::VenueOnboard(venue.clone()));
+        let (Frame::VenueOnboard(got), _) = decode_frame(&bytes).unwrap() else {
+            panic!("wrong frame");
+        };
+        assert_eq!(got.boundary[0].0.to_bits(), venue.boundary[0].0.to_bits());
+        assert_eq!(got, venue);
     }
 
     #[test]
@@ -1310,9 +1758,33 @@ mod tests {
             quality_full: 80,
             quality_region: 7,
             quality_centroid: 3,
+            venues: vec![
+                VenueHealth {
+                    venue_id: 0,
+                    requests: 60,
+                    quality_full: 55,
+                    quality_region: 4,
+                    quality_centroid: 1,
+                    cache_hits: 60,
+                    cache_rebuilds: 0,
+                    cache_evictions: 0,
+                    resident: true,
+                },
+                VenueHealth {
+                    venue_id: 17,
+                    requests: 30,
+                    quality_full: 25,
+                    quality_region: 3,
+                    quality_centroid: 2,
+                    cache_hits: 28,
+                    cache_rebuilds: 2,
+                    cache_evictions: 2,
+                    resident: false,
+                },
+            ],
             ..ServerHealth::default()
         };
-        let bytes = frame_to_vec(&Frame::StatsResponse(health));
+        let bytes = frame_to_vec(&Frame::StatsResponse(health.clone()));
         assert_eq!(
             decode_frame(&bytes).unwrap().0,
             Frame::StatsResponse(health)
@@ -1334,11 +1806,11 @@ mod tests {
             reply_bytes_pooled: 1000,
             pool_hits: 20,
             pool_misses: 2,
-            ..base
+            ..base.clone()
         };
         assert_eq!(
-            frame_to_vec(&Frame::StatsResponse(base)),
-            frame_to_vec(&Frame::StatsResponse(with_pool))
+            frame_to_vec(&Frame::StatsResponse(base.clone())),
+            frame_to_vec(&Frame::StatsResponse(with_pool.clone()))
         );
         let bytes = frame_to_vec(&Frame::StatsResponse(with_pool));
         assert_eq!(decode_frame(&bytes).unwrap().0, Frame::StatsResponse(base));
@@ -1544,6 +2016,7 @@ mod tests {
         let req = Frame::LocateRequest(LocateRequest {
             request_id: 7,
             deadline_us: 0,
+            venue_id: 0,
             reports: vec![WireReport {
                 ap: 1,
                 visit: 2,

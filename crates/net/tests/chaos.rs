@@ -293,6 +293,7 @@ fn expect_reply(addr: SocketAddr, reports: Vec<WireReport>) -> Result<(), TestCa
     let frame = Frame::LocateRequest(LocateRequest {
         request_id,
         deadline_us: 0,
+        venue_id: 0,
         reports,
     });
     let mut stream = TcpStream::connect(addr).expect("connect to hostile daemon");

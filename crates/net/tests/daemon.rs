@@ -78,6 +78,7 @@ fn cheap_request(request_id: u64, deadline_us: u32) -> Vec<u8> {
     frame_to_vec(&Frame::LocateRequest(LocateRequest {
         request_id,
         deadline_us,
+        venue_id: 0,
         reports: vec![WireReport {
             ap: 1,
             visit: 0,
@@ -233,6 +234,7 @@ fn malformed_request_does_not_poison_the_batch(backend: SocketBackend) {
         frame_to_vec(&Frame::LocateRequest(LocateRequest {
             request_id: id,
             deadline_us: 0,
+            venue_id: 0,
             reports: real_reports(&venue, id)
                 .iter()
                 .map(WireReport::from_core)
@@ -243,6 +245,7 @@ fn malformed_request_does_not_poison_the_batch(backend: SocketBackend) {
     let bad = frame_to_vec(&Frame::LocateRequest(LocateRequest {
         request_id: 1,
         deadline_us: 0,
+        venue_id: 0,
         reports: vec![WireReport {
             ap: 1,
             visit: 0,

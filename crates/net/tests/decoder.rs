@@ -32,6 +32,7 @@ fn frame_zoo(seed: u64) -> Vec<Frame> {
         Frame::LocateRequest(LocateRequest {
             request_id: mix(1),
             deadline_us: (mix(2) % 1_000_000) as u32,
+            venue_id: mix(9),
             reports: vec![
                 WireReport {
                     ap: 1,

@@ -80,6 +80,7 @@ proptest! {
     fn locate_request_roundtrip(
         request_id in 0u64..u64::MAX,
         deadline_us in 0u32..u32::MAX,
+        venue_id in 0u64..u64::MAX,
         seeds in prop::collection::vec(0u64..u64::MAX, 0..4),
         bursts in 0usize..3,
         subcarriers in 0usize..6,
@@ -87,6 +88,7 @@ proptest! {
         let frame = Frame::LocateRequest(LocateRequest {
             request_id,
             deadline_us,
+            venue_id,
             reports: seeds.iter().map(|&s| report(s, bursts, subcarriers)).collect(),
         });
         assert_roundtrip(&frame)?;
@@ -170,6 +172,7 @@ proptest! {
         let frame = Frame::LocateRequest(LocateRequest {
             request_id: seed,
             deadline_us: (seed >> 32) as u32,
+            venue_id: seed.rotate_left(23),
             reports: vec![report(seed, 2, 4)],
         });
         let bytes = frame_to_vec(&frame);
@@ -202,6 +205,7 @@ proptest! {
         let frame = Frame::LocateRequest(LocateRequest {
             request_id: seed,
             deadline_us: 0,
+            venue_id: seed.rotate_left(41),
             reports: vec![report(seed, 1, 3)],
         });
         let mut bytes = frame_to_vec(&frame);
@@ -230,7 +234,8 @@ proptest! {
     ) {
         let mut buf = Vec::new();
         buf.extend_from_slice(b"NMLC");
-        buf.push(1); // version
+        buf.push(nomloc_net::wire::VERSION); // current version, so the
+        // hostile length field (not a version mismatch) is what's tested
         buf.push(1); // LocateRequest
         buf.extend_from_slice(&0u16.to_le_bytes());
         buf.extend_from_slice(&len_bits.to_le_bytes());
@@ -286,6 +291,7 @@ fn streaming_consumes_frame_by_frame() {
     let b = frame_to_vec(&Frame::LocateRequest(LocateRequest {
         request_id: 7,
         deadline_us: 0,
+        venue_id: 3,
         reports: vec![report(42, 1, 2)],
     }));
     let mut buf = a.clone();

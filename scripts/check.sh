@@ -39,6 +39,24 @@ echo "==> event-loop loopback smoke: loadgen with an idle crowd"
 cargo run --release -p nomloc-cli --bin nomloc --offline -- \
   loadgen --requests 200 --socket-backend event-loop --idle-connections 500
 
+echo "==> multi-venue smoke: 8 venues over the admin plane, zipf traffic"
+mv_out="$(cargo run --release -p nomloc-cli --bin nomloc --offline -- \
+  loadgen --requests 400 --packets 2 --venues 8 --zipf 1.0)"
+echo "$mv_out" | grep -E "venue batching|zipf"
+# The venue-sharded batcher must never form a mixed-venue micro-batch.
+if ! echo "$mv_out" | grep -q ", 0 mixed"; then
+  echo "error: venue-sharded batcher produced mixed batches" >&2
+  exit 1
+fi
+# Every request is attributed to exactly one venue: the per-venue request
+# counters in the drain-time health must sum to the driven total.
+mv_total="$(echo "$mv_out" | sed -n 's/^ *venue [0-9][0-9]* *req \([0-9]*\).*/\1/p' |
+  awk '{s+=$1} END {print s+0}')"
+if [[ "$mv_total" != "400" ]]; then
+  echo "error: per-venue request counters sum to ${mv_total}, expected 400" >&2
+  exit 1
+fi
+
 echo "==> serving benchmark (quick): BENCH_serving.json present and well-formed"
 # Capture the committed PDP stage cost *before* the quick run overwrites
 # the file — it is the baseline for the regression guard below.
@@ -49,7 +67,7 @@ if [[ ! -s BENCH_serving.json ]]; then
   echo "error: BENCH_serving.json missing or empty" >&2
   exit 1
 fi
-for key in stages fft pdp_64 pdp_batched encode end_to_end speedup decode_ns_per_request soak; do
+for key in stages fft pdp_64 pdp_batched encode end_to_end speedup decode_ns_per_request soak venues; do
   if ! grep -q "\"$key\"" BENCH_serving.json; then
     echo "error: BENCH_serving.json malformed — missing key \"$key\"" >&2
     exit 1
