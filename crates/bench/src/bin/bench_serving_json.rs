@@ -256,6 +256,68 @@ fn run_venue_scales(counts: &[usize], batch: &[Vec<CsiReport>]) -> Vec<VenueScal
         .collect()
 }
 
+/// Sessioned vs stateless serving cost (see [`run_sessions`]).
+struct SessionCost {
+    requests: usize,
+    stateless_ns_per_request: f64,
+    sessioned_ns_per_request: f64,
+    overhead_pct: f64,
+    smoothed_replies: usize,
+}
+
+/// Prices the session plane: the same workload driven stateless and with
+/// one session per connection, in alternating min-of-rounds passes
+/// against a single daemon. The sessioned side pays the tracker push,
+/// the localizability bound lookup, and the larger reply frame on every
+/// request — the headline number is that overhead as a percentage.
+fn run_sessions(batch: &[Vec<CsiReport>]) -> SessionCost {
+    let venue = Venue::lab();
+    let server = LocalizationServer::new(venue.plan.boundary().clone()).with_workers(2);
+    let config = nomloc_net::DaemonConfig {
+        max_wait: std::time::Duration::ZERO,
+        ..nomloc_net::DaemonConfig::default()
+    };
+    let handle = nomloc_net::spawn(server, config, "127.0.0.1:0").expect("spawn session daemon");
+    let addr = handle.local_addr();
+    let stateless = nomloc_net::LoadgenConfig {
+        connections: 8,
+        ..nomloc_net::LoadgenConfig::default()
+    };
+    let sessioned = nomloc_net::LoadgenConfig {
+        connections: 8,
+        sessions: true,
+        ..nomloc_net::LoadgenConfig::default()
+    };
+    let mut stateless_ns = f64::INFINITY;
+    let mut sessioned_ns = f64::INFINITY;
+    let mut smoothed_replies = 0usize;
+    for _ in 0..5 {
+        let base = nomloc_net::loadgen::run(addr, &stateless, batch).expect("stateless pass");
+        assert_eq!(
+            base.ok_count(),
+            batch.len(),
+            "stateless pass answers everything"
+        );
+        stateless_ns = stateless_ns.min(1.0e9 / base.throughput_rps());
+        let tracked = nomloc_net::loadgen::run(addr, &sessioned, batch).expect("sessioned pass");
+        assert_eq!(
+            tracked.ok_count(),
+            batch.len(),
+            "sessioned pass answers everything"
+        );
+        sessioned_ns = sessioned_ns.min(1.0e9 / tracked.throughput_rps());
+        smoothed_replies = tracked.session_deviations().iter().map(|(_, n, _)| n).sum();
+    }
+    handle.shutdown();
+    SessionCost {
+        requests: batch.len(),
+        stateless_ns_per_request: stateless_ns,
+        sessioned_ns_per_request: sessioned_ns,
+        overhead_pct: (sessioned_ns / stateless_ns - 1.0) * 100.0,
+        smoothed_replies,
+    }
+}
+
 /// The loadgen-shaped loopback workload: each request carries one CSI
 /// report per static AP of the Lab venue, for a different test site.
 /// Drawn from the shared [`synthetic_workload`] builder in
@@ -344,6 +406,7 @@ fn main() {
                 request_id: i as u64,
                 deadline_us: 0,
                 venue_id: 0,
+                session_id: 0,
                 reports: reports.iter().map(WireReport::from_core).collect(),
             }))
         })
@@ -565,6 +628,17 @@ fn main() {
     };
     let venue_batch = workload(if quick_mode() { 240 } else { 480 }, 2);
     let venue_scales = run_venue_scales(venue_counts, &venue_batch);
+
+    // --- Session plane: per-request cost of stateful tracking.
+    let sessions = run_sessions(&venue_batch);
+    let sessions_json = format!(
+        "{{\"requests\": {}, \"stateless_ns_per_request\": {:.1}, \"sessioned_ns_per_request\": {:.1}, \"overhead_pct\": {:.2}, \"smoothed_replies\": {}}}",
+        sessions.requests,
+        sessions.stateless_ns_per_request,
+        sessions.sessioned_ns_per_request,
+        sessions.overhead_pct,
+        sessions.smoothed_replies,
+    );
     let venues_json: Vec<String> = venue_scales
         .iter()
         .map(|s| {
@@ -596,7 +670,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"requests\": {n_requests},\n  \"stages\": {{\"decode_ns_per_request\": {decode_ns:.1}, \"pdp_ns_per_request\": {pdp_ns:.1}, \"constraints_ns_per_request\": {constraints_ns:.1}, \"lp_ns_per_request\": {lp_ns:.1}, \"encode_ns_per_request\": {encode_ns:.1}}},\n  \"fft\": {{\"points\": 256, \"planned_ns\": {fft_planned_ns:.1}, \"naive_ns\": {fft_naive_ns:.1}, \"speedup\": {fft_speedup:.4}}},\n  \"pdp_batched\": {{\"batched_ns_per_request\": {pdp_batched_ns:.1}, \"per_packet_ns_per_request\": {pdp_per_packet_ns:.1}, \"speedup\": {pdp_batched_speedup:.4}}},\n  \"pdp_64\": {{\"planned_ns_per_burst\": {pdp64_planned_ns:.1}, \"unplanned_ns_per_burst\": {pdp64_naive_ns:.1}, \"speedup\": {pdp64_speedup:.4}}},\n  \"encode\": {{\"pooled_ns_per_reply\": {encode_pooled_ns:.1}, \"fresh_ns_per_reply\": {encode_fresh_ns:.1}, \"speedup\": {encode_speedup:.4}}},\n  \"end_to_end\": {{\"optimized_ns_per_request\": {e2e_optimized_ns:.1}, \"naive_ns_per_request\": {e2e_naive_ns:.1}, \"speedup\": {e2e_speedup:.4}}},\n  \"soak\": {soak_json},\n  \"venues\": {venues_json}\n}}\n"
+        "{{\n  \"requests\": {n_requests},\n  \"stages\": {{\"decode_ns_per_request\": {decode_ns:.1}, \"pdp_ns_per_request\": {pdp_ns:.1}, \"constraints_ns_per_request\": {constraints_ns:.1}, \"lp_ns_per_request\": {lp_ns:.1}, \"encode_ns_per_request\": {encode_ns:.1}}},\n  \"fft\": {{\"points\": 256, \"planned_ns\": {fft_planned_ns:.1}, \"naive_ns\": {fft_naive_ns:.1}, \"speedup\": {fft_speedup:.4}}},\n  \"pdp_batched\": {{\"batched_ns_per_request\": {pdp_batched_ns:.1}, \"per_packet_ns_per_request\": {pdp_per_packet_ns:.1}, \"speedup\": {pdp_batched_speedup:.4}}},\n  \"pdp_64\": {{\"planned_ns_per_burst\": {pdp64_planned_ns:.1}, \"unplanned_ns_per_burst\": {pdp64_naive_ns:.1}, \"speedup\": {pdp64_speedup:.4}}},\n  \"encode\": {{\"pooled_ns_per_reply\": {encode_pooled_ns:.1}, \"fresh_ns_per_reply\": {encode_fresh_ns:.1}, \"speedup\": {encode_speedup:.4}}},\n  \"end_to_end\": {{\"optimized_ns_per_request\": {e2e_optimized_ns:.1}, \"naive_ns_per_request\": {e2e_naive_ns:.1}, \"speedup\": {e2e_speedup:.4}}},\n  \"soak\": {soak_json},\n  \"venues\": {venues_json},\n  \"sessions\": {sessions_json}\n}}\n"
     );
 
     println!(
@@ -658,6 +732,15 @@ fn main() {
             one.ns_per_request,
         );
     }
+
+    println!(
+        "sessions: sessioned {:.0} ns/req vs stateless {:.0} ns/req — overhead {:+.2}% \
+         ({} smoothed replies)",
+        sessions.sessioned_ns_per_request,
+        sessions.stateless_ns_per_request,
+        sessions.overhead_pct,
+        sessions.smoothed_replies,
+    );
 
     let path = std::env::var("NOMLOC_BENCH_SERVING_JSON")
         .unwrap_or_else(|_| "BENCH_serving.json".to_string());

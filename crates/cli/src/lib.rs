@@ -218,6 +218,10 @@ pub struct LoadgenSpec {
     /// Zipf exponent `s` for the over-venues traffic skew (1.0 ≈ classic
     /// web-style popularity; 0.0 = uniform). Only used with `--venues`.
     pub zipf: f64,
+    /// Sessioned traffic: each connection drives one long-lived session
+    /// (carried across reconnects); the report adds the per-session
+    /// smoothed-vs-raw deviation.
+    pub sessions: bool,
 }
 
 impl Default for LoadgenSpec {
@@ -236,6 +240,7 @@ impl Default for LoadgenSpec {
             idle_connections: 0,
             venues: 0,
             zipf: 1.0,
+            sessions: false,
         }
     }
 }
@@ -261,6 +266,10 @@ pub struct ChaosSpec {
     pub kill_every: usize,
     /// Loopback daemon: socket backend.
     pub socket_backend: nomloc_net::SocketBackend,
+    /// Concurrent sessions the chaos run interleaves (0 = stateless).
+    /// With N ≥ 2 the verifier's per-session tracker replay doubles as a
+    /// cross-wire detector, and the plan's stale-session fault is armed.
+    pub sessions: u64,
 }
 
 impl Default for ChaosSpec {
@@ -274,6 +283,7 @@ impl Default for ChaosSpec {
             workers: 0,
             kill_every: 0,
             socket_backend: nomloc_net::SocketBackend::default(),
+            sessions: 0,
         }
     }
 }
@@ -462,6 +472,9 @@ LOADGEN OPTIONS:
                                   = single-venue)
     --zipf S                      zipf exponent for the venue skew
                                   (default 1.0; 0 = uniform)
+    --sessions                    sessioned traffic: one long-lived session
+                                  per connection (survives reconnects);
+                                  reports per-session smoothing deviation
 
 CHAOS OPTIONS:
     --venue lab|lobby|mall        workload venue (default lab)
@@ -476,6 +489,10 @@ CHAOS OPTIONS:
     --socket-backend threaded|event-loop
                                   loopback daemon socket layer (default
                                   event-loop on Unix)
+    --sessions N                  interleave N concurrent sessions, verified
+                                  by per-session tracker replay (cross-wire
+                                  detection; arms the stale-session fault;
+                                  default 0 = stateless)
 
 VENUE OPTIONS:
     --connect ADDR                daemon to administer (required)
@@ -730,6 +747,7 @@ fn parse_loadgen(args: &[String]) -> Result<LoadgenSpec, ParseError> {
             }
             "--venues" => spec.venues = parse_usize(flag, take_value(flag, &mut it)?)?,
             "--zipf" => spec.zipf = parse_f64(flag, take_value(flag, &mut it)?)?,
+            "--sessions" => spec.sessions = true,
             other => return Err(err(format!("unknown loadgen flag `{other}`"))),
         }
     }
@@ -760,6 +778,11 @@ fn parse_chaos(args: &[String]) -> Result<ChaosSpec, ParseError> {
             "--kill-every" => spec.kill_every = parse_usize(flag, take_value(flag, &mut it)?)?,
             "--workers" => spec.workers = parse_usize(flag, take_value(flag, &mut it)?)?,
             "--socket-backend" => spec.socket_backend = parse_backend(take_value(flag, &mut it)?)?,
+            "--sessions" => {
+                spec.sessions = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("flag `--sessions`: not an integer"))?
+            }
             other => return Err(err(format!("unknown chaos flag `{other}`"))),
         }
     }
@@ -1071,6 +1094,7 @@ pub fn run_loadgen(spec: &LoadgenSpec) -> Result<String, String> {
         },
         zipf_s: spec.zipf,
         zipf_seed: spec.seed,
+        sessions: spec.sessions,
         ..nomloc_net::LoadgenConfig::default()
     };
     let report =
@@ -1174,12 +1198,18 @@ pub fn run_chaos(spec: &ChaosSpec) -> Result<String, String> {
     };
     let handle = nomloc_net::spawn(chaos_server(spec, &venue), config, "127.0.0.1:0")
         .map_err(|e| format!("chaos: cannot bind loopback daemon: {e}"))?;
-    let chaos_config = nomloc_net::ChaosConfig::new(plan);
+    let mut chaos_config = nomloc_net::ChaosConfig::new(plan);
+    chaos_config.sessions = spec.sessions;
+    if spec.sessions > 0 {
+        // Hand the driver the daemon's live table so the plan's
+        // stale-session fault can force-expire server-side state.
+        chaos_config.session_table = Some(handle.sessions());
+    }
     let report = nomloc_net::chaos::run(handle.local_addr(), &chaos_config, &batch)
         .map_err(|e| format!("chaos: {e}"))?;
     let health = handle.shutdown();
 
-    match report.verify(&plan, &baseline) {
+    match report.verify(&chaos_config, &baseline) {
         Ok(summary) => {
             let mut out = format!(
                 "chaos: {} — {} requests (seed {}, per-class rate {}, ≈{:.0} % faulted)\n",
@@ -1194,6 +1224,12 @@ pub fn run_chaos(spec: &ChaosSpec) -> Result<String, String> {
                 "  transport: {} reconnects | {} corrupt frames rejected by the server\n",
                 report.reconnects, report.rejections_observed
             ));
+            if spec.sessions > 0 {
+                out.push_str(&format!(
+                    "  sessions: {} interleaved, replay-verified | {} stale-session expiries\n",
+                    spec.sessions, report.stale_expiries
+                ));
+            }
             out.push('\n');
             out.push_str(&health.to_string());
             Ok(out)
@@ -1538,7 +1574,7 @@ mod tests {
             "loadgen --connect 10.0.0.7:4455 --venue mall --connections 8 \
              --requests 2000 --packets 2 --seed 7 --deadline-us 1500 --workers 3 \
              --payload-reuse --socket-backend threaded --idle-connections 5000 \
-             --venues 100 --zipf 1.2",
+             --venues 100 --zipf 1.2 --sessions",
         ))
         .unwrap();
         assert_eq!(
@@ -1557,6 +1593,7 @@ mod tests {
                 idle_connections: 5000,
                 venues: 100,
                 zipf: 1.2,
+                sessions: true,
             })
         );
         assert_eq!(
@@ -1571,7 +1608,7 @@ mod tests {
     fn chaos_flags() {
         let cmd = parse(&args(
             "chaos --venue lobby --requests 80 --packets 2 --seed 7 --rate 0.05 \
-             --kill-every 6 --workers 2",
+             --kill-every 6 --workers 2 --sessions 3",
         ))
         .unwrap();
         assert_eq!(
@@ -1585,6 +1622,7 @@ mod tests {
                 workers: 2,
                 kill_every: 6,
                 socket_backend: nomloc_net::SocketBackend::default(),
+                sessions: 3,
             })
         );
         assert_eq!(

@@ -89,8 +89,8 @@ impl fmt::Display for FailureCause {
 /// Quality tier of a served estimate — which rung of the degradation
 /// ladder produced it.
 ///
-/// Ordered best-first: `Full < Region < Centroid` under `Ord`, so
-/// "worst quality in a batch" is a plain `max`.
+/// Ordered best-first: `Full < Region < Predicted < Centroid` under
+/// `Ord`, so "worst quality in a batch" is a plain `max`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EstimateQuality {
     /// Full SP estimate from proximity judgements (the paper pipeline).
@@ -98,6 +98,12 @@ pub enum EstimateQuality {
     /// Site-constraints-only region: no judgement constraints survived,
     /// the estimate is the center of the venue boundary region.
     Region,
+    /// Motion-model extrapolation from a session's tracking history —
+    /// served when the request's own readings were unusable (corrupt CSI,
+    /// dropped readings) but the session has fresh smoothed state. Better
+    /// than [`EstimateQuality::Centroid`] (the position is informed by
+    /// the client's recent trajectory), worse than a same-request solve.
+    Predicted,
     /// Weighted centroid of the visited AP sites — the last rung, used
     /// when even the boundary LP is unusable or judgements cannot form.
     Centroid,
@@ -110,6 +116,7 @@ impl EstimateQuality {
             EstimateQuality::Full => 0,
             EstimateQuality::Region => 1,
             EstimateQuality::Centroid => 2,
+            EstimateQuality::Predicted => 3,
         }
     }
 
@@ -119,6 +126,7 @@ impl EstimateQuality {
             0 => Some(EstimateQuality::Full),
             1 => Some(EstimateQuality::Region),
             2 => Some(EstimateQuality::Centroid),
+            3 => Some(EstimateQuality::Predicted),
             _ => None,
         }
     }
@@ -134,6 +142,7 @@ impl fmt::Display for EstimateQuality {
         f.write_str(match self {
             EstimateQuality::Full => "full",
             EstimateQuality::Region => "region",
+            EstimateQuality::Predicted => "predicted",
             EstimateQuality::Centroid => "centroid",
         })
     }
@@ -649,13 +658,15 @@ mod tests {
         for q in [
             EstimateQuality::Full,
             EstimateQuality::Region,
+            EstimateQuality::Predicted,
             EstimateQuality::Centroid,
         ] {
             assert_eq!(EstimateQuality::from_u8(q.as_u8()), Some(q));
         }
-        assert_eq!(EstimateQuality::from_u8(3), None);
+        assert_eq!(EstimateQuality::from_u8(4), None);
         assert!(EstimateQuality::Full < EstimateQuality::Region);
-        assert!(EstimateQuality::Region < EstimateQuality::Centroid);
+        assert!(EstimateQuality::Region < EstimateQuality::Predicted);
+        assert!(EstimateQuality::Predicted < EstimateQuality::Centroid);
     }
 
     #[test]

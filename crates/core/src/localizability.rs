@@ -96,6 +96,19 @@ impl LocalizabilityMap {
             .iter()
             .max_by(|a, b| a.predicted_error.total_cmp(&b.predicted_error))
     }
+
+    /// Predicted error of the grid cell nearest `p` — the
+    /// localizability-derived error bound the serving layer attaches to an
+    /// estimate in that cell. `None` on an empty map or a non-finite `p`.
+    pub fn predicted_error_at(&self, p: Point) -> Option<f64> {
+        if !p.x.is_finite() || !p.y.is_finite() {
+            return None;
+        }
+        self.cells
+            .iter()
+            .min_by(|a, b| a.point.distance_sq(p).total_cmp(&b.point.distance_sq(p)))
+            .map(|c| c.predicted_error)
+    }
 }
 
 /// Predicts localizability over `area` for APs measuring from `ap_sites`,
@@ -385,5 +398,42 @@ mod tests {
         for c in map.cells() {
             assert!((c.cell_area - 100.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn blind_spot_threshold_is_exclusive_at_the_boundary() {
+        let map = analyze(&square(), &corners(), 1.0);
+        let worst = map.worst().unwrap().predicted_error;
+        // A threshold exactly at the worst cell's error excludes it: the
+        // predicate is strictly `>`, so no cell sitting exactly on the
+        // threshold counts as blind.
+        assert!(map.blind_spots(worst).is_empty());
+        // Infinitesimally below the worst error, at least that cell is
+        // blind; at a threshold below every cell, all cells are blind.
+        assert!(!map.blind_spots(worst * (1.0 - 1e-12) - 1e-12).is_empty());
+        assert_eq!(map.blind_spots(-1.0).len(), map.len());
+        assert_eq!(map.blind_spots(f64::INFINITY).len(), 0);
+        // Degenerate thresholds behave like comparisons, not panics.
+        assert_eq!(map.blind_spots(f64::NAN).len(), 0);
+    }
+
+    #[test]
+    fn predicted_error_at_answers_the_nearest_cell() {
+        let map = analyze(&square(), &corners(), 1.0);
+        for c in map.cells() {
+            // Querying exactly on a grid point answers that cell.
+            assert_eq!(map.predicted_error_at(c.point), Some(c.predicted_error));
+        }
+        // Off-grid queries snap to the nearest cell; far-away queries
+        // still answer (the bound of the closest boundary cell).
+        let near = map.predicted_error_at(Point::new(5.1, 5.1)).unwrap();
+        assert!(near.is_finite());
+        assert!(map.predicted_error_at(Point::new(500.0, 500.0)).is_some());
+        assert!(map.predicted_error_at(Point::new(f64::NAN, 1.0)).is_none());
+        let empty = LocalizabilityMap {
+            cells: Vec::new(),
+            pitch: 1.0,
+        };
+        assert!(empty.predicted_error_at(Point::ORIGIN).is_none());
     }
 }

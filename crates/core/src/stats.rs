@@ -252,6 +252,10 @@ pub struct CounterTotals {
     pub quality_region: u64,
     /// Estimates degraded to [`EstimateQuality::Centroid`].
     pub quality_centroid: u64,
+    /// Estimates served at [`EstimateQuality::Predicted`] — answered from
+    /// a session's motion model because the request's own readings were
+    /// unusable.
+    pub quality_predicted: u64,
     /// Requests that hit [`FailureCause::InsufficientJudgements`]
     /// (degraded or failed).
     pub cause_insufficient_judgements: u64,
@@ -324,8 +328,8 @@ impl fmt::Display for StatsSnapshot {
         writeln!(f, "  estimate failures     {}", c.estimate_failures)?;
         writeln!(
             f,
-            "  quality tiers         full {} / region {} / centroid {}",
-            c.quality_full, c.quality_region, c.quality_centroid
+            "  quality tiers         full {} / region {} / predicted {} / centroid {}",
+            c.quality_full, c.quality_region, c.quality_predicted, c.quality_centroid
         )?;
         let causes = [
             ("insufficient judgements", c.cause_insufficient_judgements),
@@ -414,6 +418,7 @@ pub struct PipelineStats {
     quality_full: AtomicU64,
     quality_region: AtomicU64,
     quality_centroid: AtomicU64,
+    quality_predicted: AtomicU64,
     cause_insufficient_judgements: AtomicU64,
     cause_lp_infeasible: AtomicU64,
     cause_lp_numerical: AtomicU64,
@@ -488,9 +493,28 @@ impl PipelineStats {
             EstimateQuality::Full => &self.quality_full,
             EstimateQuality::Region => &self.quality_region,
             EstimateQuality::Centroid => &self.quality_centroid,
+            EstimateQuality::Predicted => &self.quality_predicted,
         };
         tier.fetch_add(1, Ordering::Relaxed);
         self.solve_latency.record(elapsed);
+    }
+
+    /// Records one request answered from a session's motion model
+    /// ([`EstimateQuality::Predicted`]) — the estimator never ran, so
+    /// only the request and tier counters move.
+    pub fn record_predicted(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.quality_predicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reclassifies one already-recorded centroid-tier solve as
+    /// [`EstimateQuality::Predicted`]: the serving layer answered from a
+    /// warm session's motion model instead of the centroid the estimator
+    /// produced (and counted). The request counter is untouched — the
+    /// solve happened, only the served tier changed.
+    pub fn promote_centroid_to_predicted(&self) {
+        self.quality_centroid.fetch_sub(1, Ordering::Relaxed);
+        self.quality_predicted.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one estimator call that returned an error, by cause.
@@ -585,6 +609,7 @@ impl PipelineStats {
                 quality_full: self.quality_full.load(Ordering::Relaxed),
                 quality_region: self.quality_region.load(Ordering::Relaxed),
                 quality_centroid: self.quality_centroid.load(Ordering::Relaxed),
+                quality_predicted: self.quality_predicted.load(Ordering::Relaxed),
                 cause_insufficient_judgements: self
                     .cause_insufficient_judgements
                     .load(Ordering::Relaxed),
@@ -625,6 +650,7 @@ impl PipelineStats {
         self.quality_full.store(0, Ordering::Relaxed);
         self.quality_region.store(0, Ordering::Relaxed);
         self.quality_centroid.store(0, Ordering::Relaxed);
+        self.quality_predicted.store(0, Ordering::Relaxed);
         self.cause_insufficient_judgements
             .store(0, Ordering::Relaxed);
         self.cause_lp_infeasible.store(0, Ordering::Relaxed);

@@ -49,6 +49,7 @@ pub struct Tracker {
     velocity: Vec2,
     raw_history: Vec<Point>,
     smooth_history: Vec<Point>,
+    rejected: u64,
 }
 
 impl Tracker {
@@ -75,6 +76,7 @@ impl Tracker {
             velocity: Vec2::ZERO,
             raw_history: Vec::new(),
             smooth_history: Vec::new(),
+            rejected: 0,
         }
     }
 
@@ -94,11 +96,17 @@ impl Tracker {
     /// Feeds the next raw estimate taken `dt` seconds after the previous
     /// one and returns the smoothed position.
     ///
-    /// # Panics
-    ///
-    /// Panics when `dt` is not strictly positive.
+    /// Invalid inputs — a non-finite position, or a `dt` that is zero,
+    /// negative, or non-finite (a delayed-frame replay can produce dt = 0;
+    /// dividing the alpha-beta gain by it would poison the velocity with
+    /// NaN) — are rejected without touching the tracker state: the prior
+    /// smoothed position (or the origin when no estimate has ever been
+    /// accepted) is returned and [`Tracker::rejected`] is incremented.
     pub fn push(&mut self, raw: Point, dt: f64) -> Point {
-        assert!(dt > 0.0, "time step must be positive");
+        if !dt.is_finite() || dt <= 0.0 || !raw.x.is_finite() || !raw.y.is_finite() {
+            self.rejected += 1;
+            return self.position.unwrap_or(Point::ORIGIN);
+        }
         self.raw_history.push(raw);
 
         let gated = match (self.position, self.max_speed) {
@@ -140,6 +148,34 @@ impl Tracker {
         self.velocity
     }
 
+    /// Number of estimates rejected at the [`Tracker::push`] input guard
+    /// (non-finite position or invalid time step).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Motion-model extrapolation `dt` seconds past the latest smoothed
+    /// position; `None` until an estimate has been accepted. The speed
+    /// gate also caps the extrapolated step, so a corrupted velocity
+    /// cannot predict a physically impossible jump.
+    pub fn predict(&self, dt: f64) -> Option<Point> {
+        let prev = self.position?;
+        if !dt.is_finite() || dt < 0.0 {
+            return Some(prev);
+        }
+        let mut step = self.velocity * dt;
+        if let Some(vmax) = self.max_speed {
+            let limit = vmax * dt;
+            if step.norm() > limit {
+                match step.normalized() {
+                    Some(dir) => step = dir * limit,
+                    None => step = Vec2::ZERO,
+                }
+            }
+        }
+        Some(prev + step)
+    }
+
     /// Raw estimates fed so far.
     pub fn raw_history(&self) -> &[Point] {
         &self.raw_history
@@ -158,12 +194,29 @@ impl Tracker {
             .sum()
     }
 
+    /// Drops all but the newest `keep` history entries. The filter state
+    /// (position, velocity, rejection count) is untouched, so smoothing
+    /// continues bit-identically; only the windows returned by
+    /// [`Tracker::raw_history`] / [`Tracker::smooth_history`] (and hence
+    /// [`Tracker::path_length`]) shrink. Long-lived server sessions call
+    /// this to bound per-session memory.
+    pub fn shrink_history(&mut self, keep: usize) {
+        if self.raw_history.len() > keep {
+            self.raw_history.drain(..self.raw_history.len() - keep);
+        }
+        if self.smooth_history.len() > keep {
+            self.smooth_history
+                .drain(..self.smooth_history.len() - keep);
+        }
+    }
+
     /// Clears history and state, keeping the configuration.
     pub fn reset(&mut self) {
         self.position = None;
         self.velocity = Vec2::ZERO;
         self.raw_history.clear();
         self.smooth_history.clear();
+        self.rejected = 0;
     }
 }
 
@@ -296,9 +349,150 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time step")]
-    fn rejects_zero_dt() {
+    fn rejects_zero_dt_without_panicking() {
         let mut t = Tracker::new(Smoothing::Raw);
-        t.push(Point::ORIGIN, 0.0);
+        // With no accepted estimate yet, a rejected push answers the
+        // origin and leaves the tracker pristine.
+        assert_eq!(t.push(Point::new(3.0, 3.0), 0.0), Point::ORIGIN);
+        assert_eq!(t.rejected(), 1);
+        assert!(t.position().is_none());
+        assert!(t.raw_history().is_empty());
+        // After real history, rejected pushes answer the prior smoothed
+        // point and the state is untouched.
+        t.push(Point::new(1.0, 2.0), 1.0);
+        for (raw, dt) in [
+            (Point::new(5.0, 5.0), 0.0),
+            (Point::new(5.0, 5.0), -1.0),
+            (Point::new(5.0, 5.0), f64::NAN),
+            (Point::new(5.0, 5.0), f64::INFINITY),
+            (Point::new(f64::NAN, 5.0), 1.0),
+            (Point::new(5.0, f64::INFINITY), 1.0),
+        ] {
+            assert_eq!(t.push(raw, dt), Point::new(1.0, 2.0), "raw {raw} dt {dt}");
+        }
+        assert_eq!(t.rejected(), 7);
+        assert_eq!(t.raw_history().len(), 1);
+        assert_eq!(t.smooth_history().len(), 1);
+        assert_eq!(t.position(), Some(Point::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn rejections_never_poison_the_velocity() {
+        let mut t = Tracker::new(Smoothing::AlphaBeta {
+            alpha: 0.85,
+            beta: 0.5,
+        });
+        for i in 0..10 {
+            t.push(Point::new(i as f64, 0.0), 1.0);
+        }
+        let v = t.velocity();
+        // A dt=0 replay of the last frame must not divide beta by zero.
+        t.push(Point::new(9.0, 0.0), 0.0);
+        assert_eq!(t.velocity(), v);
+        assert!(t.velocity().x.is_finite());
+    }
+
+    #[test]
+    fn speed_gate_admits_steps_at_exactly_max_speed() {
+        let mut t = Tracker::new(Smoothing::Raw).with_max_speed(1.5);
+        t.push(Point::new(0.0, 0.0), 1.0);
+        // norm == limit is legal: the gate clamps only strictly faster steps.
+        let out = t.push(Point::new(1.5, 0.0), 1.0);
+        assert_eq!(out, Point::new(1.5, 0.0));
+        // ... and the limit scales with dt.
+        let out = t.push(Point::new(4.5, 0.0), 2.0);
+        assert_eq!(out, Point::new(4.5, 0.0));
+    }
+
+    #[test]
+    fn reset_mid_stream_forgets_the_old_trajectory() {
+        let mut t = Tracker::new(Smoothing::AlphaBeta {
+            alpha: 0.85,
+            beta: 0.5,
+        })
+        .with_max_speed(100.0);
+        for i in 0..20 {
+            t.push(Point::new(i as f64, 0.0), 1.0);
+        }
+        assert!(t.velocity().x > 0.5);
+        t.reset();
+        assert_eq!(t.velocity(), Vec2::ZERO);
+        assert_eq!(t.rejected(), 0);
+        assert!(t.predict(1.0).is_none());
+        // The first post-reset estimate is taken as-is even though it is
+        // far from the pre-reset track.
+        let out = t.push(Point::new(500.0, 500.0), 1.0);
+        assert_eq!(out, Point::new(500.0, 500.0));
+        assert_eq!(t.smooth_history().len(), 1);
+    }
+
+    #[test]
+    fn single_point_history_predicts_in_place() {
+        let mut t = Tracker::new(Smoothing::AlphaBeta {
+            alpha: 0.85,
+            beta: 0.5,
+        });
+        assert!(t.predict(1.0).is_none());
+        t.push(Point::new(2.0, 3.0), 1.0);
+        // One sample ⇒ zero velocity ⇒ the prediction stays put.
+        assert_eq!(t.predict(5.0), Some(Point::new(2.0, 3.0)));
+        assert!((t.path_length()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_extrapolates_and_respects_the_speed_gate() {
+        let mut t = Tracker::new(Smoothing::AlphaBeta {
+            alpha: 0.85,
+            beta: 0.5,
+        })
+        .with_max_speed(2.0);
+        for i in 0..30 {
+            t.push(Point::new(i as f64, 0.0), 1.0);
+        }
+        let pos = t.position().unwrap();
+        let ahead = t.predict(1.0).unwrap();
+        assert!(ahead.x > pos.x, "prediction continues the motion");
+        // The extrapolated step obeys the same physical speed cap.
+        assert!(ahead.distance(pos) <= 2.0 + 1e-9);
+        // Invalid horizons fall back to the current position.
+        assert_eq!(t.predict(f64::NAN), Some(pos));
+        assert_eq!(t.predict(-1.0), Some(pos));
+    }
+
+    #[test]
+    fn shrink_history_bounds_memory_without_touching_the_filter() {
+        let mut a = Tracker::new(Smoothing::AlphaBeta {
+            alpha: 0.85,
+            beta: 0.5,
+        });
+        let mut b = a.clone();
+        for i in 0..100 {
+            let p = Point::new(i as f64, (i % 3) as f64);
+            a.push(p, 1.0);
+            b.push(p, 1.0);
+            b.shrink_history(4);
+        }
+        assert_eq!(b.raw_history().len(), 4);
+        assert_eq!(b.smooth_history().len(), 4);
+        // The filter itself never diverges from the unshrunk twin.
+        assert_eq!(a.position(), b.position());
+        assert_eq!(a.velocity(), b.velocity());
+        assert_eq!(a.predict(1.0), b.predict(1.0));
+        assert_eq!(
+            &a.smooth_history()[96..],
+            b.smooth_history(),
+            "the retained window is the newest entries"
+        );
+    }
+
+    #[test]
+    fn track_error_on_mismatched_lengths_is_none() {
+        let a = [Point::ORIGIN, Point::new(1.0, 0.0)];
+        let b = [Point::ORIGIN];
+        assert!(track_error(&a, &b).is_none());
+        assert!(track_error(&b, &a).is_none());
+        assert!(track_error(&[], &a).is_none());
+        let e = track_error(&a, &a).unwrap();
+        assert_eq!(e, 0.0);
     }
 }

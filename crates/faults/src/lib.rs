@@ -167,6 +167,7 @@ mod stream {
     pub const FLIP_MASK: u64 = 6;
     pub const DELAY_SPLIT: u64 = 7;
     pub const REPORT_INDEX: u64 = 8;
+    pub const STALE_SESSION: u64 = 9;
 }
 
 /// A seeded fault-injection plan: one rate per fault class.
@@ -193,6 +194,13 @@ pub struct FaultPlan {
     pub kill_connection: f64,
     /// Rate of [`FaultClass::InjectPanic`].
     pub inject_panic: f64,
+    /// Rate of the *stale session* fault: before the request is sent,
+    /// every tracked session on the server is force-expired, as if the
+    /// TTL sweeper had reclaimed them all. Orthogonal to the per-request
+    /// class draw (it perturbs server-side state, not the frame), so it
+    /// composes with any [`FaultClass`] and does not count against the
+    /// cumulative rate budget.
+    pub stale_session: f64,
 }
 
 impl FaultPlan {
@@ -209,6 +217,7 @@ impl FaultPlan {
             delay_frame: 0.0,
             kill_connection: 0.0,
             inject_panic: 0.0,
+            stale_session: 0.0,
         }
     }
 
@@ -228,6 +237,7 @@ impl FaultPlan {
             delay_frame: r,
             kill_connection: r,
             inject_panic: r,
+            stale_session: r,
         }
     }
 
@@ -267,6 +277,12 @@ impl FaultPlan {
         if total > 1.0 + 1e-12 {
             return Err(format!("fault rates sum to {total}, which exceeds 1"));
         }
+        if !(0.0..=1.0).contains(&self.stale_session) {
+            return Err(format!(
+                "stale-session rate is {}, not in [0, 1]",
+                self.stale_session
+            ));
+        }
         Ok(())
     }
 
@@ -287,6 +303,14 @@ impl FaultPlan {
             }
         }
         FaultClass::None
+    }
+
+    /// Whether the stale-session fault fires before `request_id` is sent
+    /// — a pure function of `(seed, request_id)`, drawn on its own stream
+    /// so it is independent of [`FaultPlan::classify`].
+    #[must_use]
+    pub fn stale_session_fires(&self, request_id: u64) -> bool {
+        unit(self.draw(stream::STALE_SESSION, request_id)) < self.stale_session
     }
 
     /// The corruption mode a `CorruptCsi` fault applies to `request_id`.
@@ -458,6 +482,32 @@ mod tests {
         for id in 0..100u64 {
             assert_eq!(p.classify(id), FaultClass::CorruptCsi);
         }
+    }
+
+    #[test]
+    fn stale_session_is_an_independent_stream() {
+        let p = FaultPlan::uniform(17, 0.05);
+        let n = 40_000u64;
+        let fired = (0..n).filter(|&id| p.stale_session_fires(id)).count() as f64;
+        let expect = p.stale_session * n as f64;
+        assert!(
+            (fired - expect).abs() < 0.2 * expect,
+            "observed {fired}, expected ≈{expect}"
+        );
+        // It composes with the class draw: some stale-session firings must
+        // coincide with a non-None class (they are independent draws).
+        assert!(
+            (0..n).any(|id| p.stale_session_fires(id) && p.classify(id) != FaultClass::None),
+            "stale-session never overlapped a frame fault"
+        );
+        // Determinism across holders of the same plan.
+        let q = FaultPlan::uniform(17, 0.05);
+        for id in 0..5_000u64 {
+            assert_eq!(p.stale_session_fires(id), q.stale_session_fires(id));
+        }
+        let mut bad = FaultPlan::disabled(1);
+        bad.stale_session = 1.5;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -24,15 +24,41 @@
 //! the faults demand), so each reply is unambiguously paired with its
 //! request and the daemon's determinism makes the bit-identity assertion
 //! meaningful.
+//!
+//! # Sessioned chaos
+//!
+//! With [`ChaosConfig::sessions`] > 0, requests round-robin across that
+//! many concurrent session ids and the contract table shifts: the
+//! verifier replays every session's tracker (the same deterministic
+//! [`session_tracker`] the daemon runs, advanced one logical tick per
+//! accepted estimate) and demands each reply's session block match the
+//! replayed state **bit-identically**. Because ≥2 sessions interleave
+//! over one venue, this doubles as a cross-wire detector: an answer
+//! smoothed by the *wrong* session's tracker cannot match its own
+//! session's replay. Warm sessions also upgrade the degraded rows —
+//! a `CorruptCsi` request answers `Predicted` from the motion model
+//! instead of `Malformed`, and a centroid-tier answer is promoted to
+//! `Predicted` at the extrapolated position — and the verifier demands
+//! exactly that upgrade, never anything worse than the stateless tier.
+//! The orthogonal stale-session fault ([`FaultPlan::stale_session`])
+//! force-expires every server-side session mid-run; the verifier models
+//! it by resetting its replay state at the same (plan-deterministic)
+//! requests.
 
 use crate::loadgen::ResponseReader;
+use crate::sessions::{session_tracker, SessionTable, SESSION_TICK_SECONDS};
 use crate::wire::{
     self, ErrorCode, ErrorReply, Frame, LocateRequest, LocateResponse, WireEstimate, WireReport,
+    WireSession,
 };
 use nomloc_core::server::CsiReport;
+use nomloc_core::tracking::Tracker;
 use nomloc_faults::{CsiCorruption, DropMode, FaultClass, FaultPlan, FAULT_CLASSES};
+use nomloc_geometry::{Point, Vec2};
+use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Chaos-driver configuration.
@@ -51,10 +77,22 @@ pub struct ChaosConfig {
     /// resident venue). One chaos run exercises one venue; venue-isolation
     /// tests run two drivers against different venues concurrently.
     pub venue_id: u64,
+    /// How many concurrent sessions the run interleaves (0 = stateless:
+    /// every request carries `session_id = 0`). With `n > 0`, request `i`
+    /// joins session `1 + i % n`, so consecutive requests alternate
+    /// sessions and the verifier's per-session replay doubles as a
+    /// cross-wire detector.
+    pub sessions: u64,
+    /// The daemon's live session table (from
+    /// [`crate::DaemonHandle::sessions`]). Required for the plan's
+    /// stale-session fault to fire: when set and
+    /// [`FaultPlan::stale_session`] samples true for a request, the
+    /// driver force-expires every session before sending it.
+    pub session_table: Option<Arc<SessionTable>>,
 }
 
 impl ChaosConfig {
-    /// Default timeouts around `plan`.
+    /// Default timeouts around `plan`; stateless (no sessions).
     #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
         ChaosConfig {
@@ -62,7 +100,26 @@ impl ChaosConfig {
             read_timeout: Duration::from_secs(10),
             reject_probe: Duration::from_millis(250),
             venue_id: 0,
+            sessions: 0,
+            session_table: None,
         }
+    }
+
+    /// The session id request `i` carries (0 when the run is stateless).
+    #[must_use]
+    pub fn session_id_for(&self, request_id: u64) -> u64 {
+        if self.sessions == 0 {
+            0
+        } else {
+            1 + request_id % self.sessions
+        }
+    }
+
+    /// Whether the stale-session fault is live for this run (sessions on
+    /// *and* the driver holds the daemon's table to expire).
+    #[must_use]
+    pub fn stale_sessions_live(&self) -> bool {
+        self.sessions > 0 && self.session_table.is_some()
     }
 }
 
@@ -85,6 +142,8 @@ pub struct ChaosReport {
     /// Corrupted frames the server was *observed* rejecting with a
     /// protocol-level `Malformed` before the clean retry.
     pub rejections_observed: u64,
+    /// Times the stale-session fault force-expired the server's sessions.
+    pub stale_expiries: u64,
 }
 
 /// Aggregate counts from a verified chaos run.
@@ -101,6 +160,9 @@ pub struct ChaosSummary {
     pub typed_errors: usize,
     /// Requests answered with a degraded-quality estimate as demanded.
     pub degraded: usize,
+    /// Requests a warm session upgraded to the `Predicted` tier (and
+    /// verified against the replayed motion model).
+    pub predicted: usize,
     /// Request count per fault class, in [`FAULT_CLASSES`] order with
     /// `None` appended last.
     pub per_class: Vec<(FaultClass, usize)>,
@@ -111,8 +173,14 @@ impl ChaosSummary {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = format!(
-            "chaos: {} requests, {} faulted — bit-identical {} | typed errors {} | degraded {}\n",
-            self.total, self.faulted, self.bit_identical, self.typed_errors, self.degraded
+            "chaos: {} requests, {} faulted — bit-identical {} | typed errors {} | \
+             degraded {} | predicted {}\n",
+            self.total,
+            self.faulted,
+            self.bit_identical,
+            self.typed_errors,
+            self.degraded,
+            self.predicted
         );
         out.push_str("  per class:");
         for (class, n) in &self.per_class {
@@ -123,19 +191,37 @@ impl ChaosSummary {
     }
 }
 
+/// What one sessioned check concluded (feeds the summary counters).
+enum SessionVerdict {
+    /// The reply matched the stateless baseline (plus, for estimate
+    /// replies, the replayed session block).
+    Identical,
+    /// A warm session upgraded the reply to the `Predicted` tier, and the
+    /// position matched the replayed motion model bit-exactly.
+    Predicted,
+}
+
 impl ChaosReport {
     /// Checks every outcome against the per-class contract (table in the
-    /// module docs), using `baseline[i]` as the fault-free reply to
-    /// request `i`.
+    /// module docs), using `baseline[i]` as the **stateless** fault-free
+    /// reply to request `i` (drive the baseline with `sessions = 0` —
+    /// the verifier itself replays what sessions must add on top).
+    ///
+    /// With sessions enabled the verifier maintains one replayed
+    /// [`session_tracker`] per session id, fed exactly as the daemon
+    /// feeds its own (accepted estimates only, one logical tick each),
+    /// and requires every session block — and every `Predicted` upgrade
+    /// — to match the replay bit-identically.
     ///
     /// # Errors
     ///
     /// Returns one message per violated request.
     pub fn verify(
         &self,
-        plan: &FaultPlan,
+        config: &ChaosConfig,
         baseline: &[Result<WireEstimate, ErrorReply>],
     ) -> Result<ChaosSummary, Vec<String>> {
+        let plan = &config.plan;
         let mut violations = Vec::new();
         let mut summary = ChaosSummary {
             total: self.outcomes.len(),
@@ -143,6 +229,7 @@ impl ChaosReport {
             bit_identical: 0,
             typed_errors: 0,
             degraded: 0,
+            predicted: 0,
             per_class: FAULT_CLASSES
                 .iter()
                 .copied()
@@ -150,7 +237,11 @@ impl ChaosReport {
                 .map(|c| (c, 0))
                 .collect(),
         };
+        // The per-session replay state. A stale-session firing wipes it,
+        // mirroring the force-expiry the driver inflicted on the daemon.
+        let mut trackers: HashMap<u64, Tracker> = HashMap::new();
         for (i, outcome) in self.outcomes.iter().enumerate() {
+            let id = i as u64;
             let class = outcome.class;
             if let Some(slot) = summary.per_class.iter_mut().find(|(c, _)| *c == class) {
                 slot.1 += 1;
@@ -158,6 +249,10 @@ impl ChaosReport {
             if class != FaultClass::None {
                 summary.faulted += 1;
             }
+            if config.stale_sessions_live() && plan.stale_session_fires(id) {
+                trackers.clear();
+            }
+            let session_id = config.session_id_for(id);
             match class {
                 FaultClass::None
                 | FaultClass::TruncateFrame
@@ -165,17 +260,55 @@ impl ChaosReport {
                 | FaultClass::DuplicateFrame
                 | FaultClass::DelayFrame
                 | FaultClass::KillConnection => {
-                    match check_bit_identical(&outcome.reply, &baseline[i]) {
-                        Ok(()) => summary.bit_identical += 1,
+                    let verdict = if session_id == 0 {
+                        check_bit_identical(&outcome.reply, &baseline[i])
+                            .map(|()| SessionVerdict::Identical)
+                    } else {
+                        // A killed or duplicated frame reaches the daemon
+                        // twice; the observed reply may reflect either
+                        // push, but the daemon's tracker always ends two
+                        // pushes ahead (both copies carry the same raw).
+                        let pushes = match class {
+                            FaultClass::DuplicateFrame | FaultClass::KillConnection => 2,
+                            _ => 1,
+                        };
+                        let tracker = trackers.entry(session_id).or_insert_with(session_tracker);
+                        check_sessioned(tracker, &outcome.reply, &baseline[i], pushes)
+                    };
+                    match verdict {
+                        Ok(SessionVerdict::Identical) => summary.bit_identical += 1,
+                        Ok(SessionVerdict::Predicted) => summary.predicted += 1,
                         Err(why) => violations.push(format!("request {i} ({class}): {why}")),
                     }
                 }
-                FaultClass::CorruptCsi => match &outcome.reply {
-                    Err(e) if e.code == ErrorCode::Malformed => summary.typed_errors += 1,
-                    other => violations.push(format!(
-                        "request {i} (corrupt-csi): expected a Malformed error, got {other:?}"
-                    )),
-                },
+                FaultClass::CorruptCsi => {
+                    // A warm session answers the corrupt request from the
+                    // motion model (reader-side intercept); cold or
+                    // stateless, the typed Malformed stands.
+                    let warm = (session_id != 0)
+                        .then(|| trackers.get(&session_id))
+                        .flatten()
+                        .and_then(|t| t.predict(SESSION_TICK_SECONDS).map(|p| (p, t.velocity())));
+                    match (warm, &outcome.reply) {
+                        (Some((pred, vel)), Ok(est)) => {
+                            match check_predicted(est, pred, vel, DiagCheck::Zeroed) {
+                                Ok(()) => summary.predicted += 1,
+                                Err(why) => violations
+                                    .push(format!("request {i} (corrupt-csi, warm): {why}")),
+                            }
+                        }
+                        (Some(_), other) => violations.push(format!(
+                            "request {i} (corrupt-csi): session is warm, expected a Predicted \
+                             estimate, got {other:?}"
+                        )),
+                        (None, Err(e)) if e.code == ErrorCode::Malformed => {
+                            summary.typed_errors += 1;
+                        }
+                        (None, other) => violations.push(format!(
+                            "request {i} (corrupt-csi): expected a Malformed error, got {other:?}"
+                        )),
+                    }
+                }
                 FaultClass::InjectPanic => match &outcome.reply {
                     Err(e) if e.code == ErrorCode::Internal => summary.typed_errors += 1,
                     other => violations.push(format!(
@@ -183,13 +316,47 @@ impl ChaosReport {
                     )),
                 },
                 FaultClass::DropReadings => {
-                    let want = match plan.drop_mode(i as u64) {
+                    let want = match plan.drop_mode(id) {
                         DropMode::KeepOne => 2, // weighted-centroid tier
                         DropMode::DropAll => 1, // area-region tier
                     };
-                    match &outcome.reply {
-                        Ok(est) if est.quality == want => summary.degraded += 1,
-                        other => violations.push(format!(
+                    let warm = (session_id != 0 && want == 2)
+                        .then(|| trackers.get(&session_id))
+                        .flatten()
+                        .and_then(|t| t.predict(SESSION_TICK_SECONDS).map(|p| (p, t.velocity())));
+                    match (warm, &outcome.reply) {
+                        // Centroid tier + warm session: promoted to
+                        // Predicted at the extrapolated position.
+                        (Some((pred, vel)), Ok(est)) => {
+                            match check_predicted(est, pred, vel, DiagCheck::Any) {
+                                Ok(()) => summary.predicted += 1,
+                                Err(why) => violations
+                                    .push(format!("request {i} (drop-readings, warm): {why}")),
+                            }
+                        }
+                        (None, Ok(est)) if est.quality == want => {
+                            if session_id != 0 && want == 1 {
+                                // Region tier still feeds the session; the
+                                // reply must carry the replayed block.
+                                let tracker =
+                                    trackers.entry(session_id).or_insert_with(session_tracker);
+                                let raw = Point::new(est.x, est.y);
+                                let smoothed = tracker.push(raw, SESSION_TICK_SECONDS);
+                                match expect_block(est, &[(smoothed, tracker.velocity())]) {
+                                    Ok(()) => summary.degraded += 1,
+                                    Err(why) => violations
+                                        .push(format!("request {i} (drop-readings): {why}")),
+                                }
+                            } else if est.session.is_some() {
+                                violations.push(format!(
+                                    "request {i} (drop-readings): cold centroid reply must not \
+                                     carry a session block"
+                                ));
+                            } else {
+                                summary.degraded += 1;
+                            }
+                        }
+                        (_, other) => violations.push(format!(
                             "request {i} (drop-readings): expected quality tier {want}, \
                              got {other:?}"
                         )),
@@ -222,19 +389,185 @@ fn check_bit_identical(
     }
 }
 
+/// Checks a sessioned reply for a class whose stateless contract is
+/// "bit-identical to baseline": the estimator's fields must still match
+/// the stateless baseline exactly, while the session machinery adds (or,
+/// for a warm centroid, *upgrades*) on top — verified against `tracker`,
+/// the caller's replay of this session. `pushes` is how many copies of
+/// the frame reached the daemon (2 for duplicated/killed frames).
+fn check_sessioned(
+    tracker: &mut Tracker,
+    got: &Result<WireEstimate, ErrorReply>,
+    want: &Result<WireEstimate, ErrorReply>,
+    pushes: usize,
+) -> Result<SessionVerdict, String> {
+    match (got, want) {
+        (Err(g), Err(w)) if g.code == w.code => Ok(SessionVerdict::Identical),
+        (Ok(g), Ok(w)) => match w.quality {
+            // Full/Region: the raw answer is unchanged and also feeds the
+            // tracker; the reply must carry the replayed smoothed view.
+            0 | 1 => {
+                if !nonsession_bit_identical(g, w) {
+                    return Err(format!("estimate diverged from baseline: {g:?} vs {w:?}"));
+                }
+                let raw = Point::new(g.x, g.y);
+                let mut views = Vec::with_capacity(pushes);
+                for _ in 0..pushes {
+                    let smoothed = tracker.push(raw, SESSION_TICK_SECONDS);
+                    views.push((smoothed, tracker.velocity()));
+                }
+                expect_block(g, &views)?;
+                Ok(SessionVerdict::Identical)
+            }
+            // Centroid: a warm session is promoted to Predicted at the
+            // extrapolated position (the centroid never feeds the
+            // tracker); a cold one passes the baseline through untouched.
+            2 => match tracker.predict(SESSION_TICK_SECONDS) {
+                Some(pred) => {
+                    check_predicted(g, pred, tracker.velocity(), DiagCheck::Matches(w))?;
+                    Ok(SessionVerdict::Predicted)
+                }
+                None => {
+                    if !nonsession_bit_identical(g, w) {
+                        return Err(format!("estimate diverged from baseline: {g:?} vs {w:?}"));
+                    }
+                    if g.session.is_some() {
+                        return Err("cold centroid reply must not carry a session block".into());
+                    }
+                    Ok(SessionVerdict::Identical)
+                }
+            },
+            q => Err(format!(
+                "stateless baseline has impossible quality tier {q}"
+            )),
+        },
+        (g, w) => Err(format!("reply {g:?} does not match baseline {w:?}")),
+    }
+}
+
+/// What a `Predicted` reply's diagnostic (LP) fields must look like.
+enum DiagCheck<'a> {
+    /// The reader-side intercept never ran the estimator: all zeros.
+    Zeroed,
+    /// The batcher upgrade preserves the underlying solve's diagnostics:
+    /// they must match this baseline estimate.
+    Matches(&'a WireEstimate),
+    /// The underlying solve saw a faulted payload — its diagnostics are
+    /// not reproducible from the baseline, so they go unchecked.
+    Any,
+}
+
+/// Checks a `Predicted`-tier reply against the replayed motion model:
+/// quality 3, position bit-equal to the extrapolation, and a session
+/// block carrying the same view.
+fn check_predicted(
+    est: &WireEstimate,
+    pred: Point,
+    vel: Vec2,
+    diag: DiagCheck<'_>,
+) -> Result<(), String> {
+    if est.quality != 3 {
+        return Err(format!(
+            "expected the Predicted tier (3), got quality {}",
+            est.quality
+        ));
+    }
+    if est.x.to_bits() != pred.x.to_bits() || est.y.to_bits() != pred.y.to_bits() {
+        return Err(format!(
+            "position ({}, {}) is not the replayed extrapolation ({}, {})",
+            est.x, est.y, pred.x, pred.y
+        ));
+    }
+    match diag {
+        DiagCheck::Zeroed => {
+            if est.relaxation_cost != 0.0
+                || est.region_area != 0.0
+                || est.n_constraints != 0
+                || est.n_winning_pieces != 0
+                || est.lp_iterations != 0
+                || est.warm_start_hits != 0
+                || est.phase1_pivots_saved != 0
+            {
+                return Err(format!(
+                    "reader-side Predicted reply leaked solver diagnostics: {est:?}"
+                ));
+            }
+        }
+        DiagCheck::Matches(w) => {
+            if !diagnostics_bit_identical(est, w) {
+                return Err(format!(
+                    "Predicted upgrade changed solver diagnostics: {est:?} vs baseline {w:?}"
+                ));
+            }
+        }
+        DiagCheck::Any => {}
+    }
+    expect_block(est, &[(pred, vel)])
+}
+
+/// Asserts the reply carries a session block matching one of the
+/// candidate replayed views (two candidates when the daemon processed the
+/// frame twice and the observed reply may reflect either push).
+fn expect_block(est: &WireEstimate, views: &[(Point, Vec2)]) -> Result<(), String> {
+    let Some(block) = &est.session else {
+        return Err("sessioned reply is missing its session block".into());
+    };
+    if block.error_bound < 0.0 {
+        return Err(format!("negative error bound {}", block.error_bound));
+    }
+    if views.iter().any(|(s, v)| {
+        block.smoothed_x.to_bits() == s.x.to_bits()
+            && block.smoothed_y.to_bits() == s.y.to_bits()
+            && block.velocity_x.to_bits() == v.x.to_bits()
+            && block.velocity_y.to_bits() == v.y.to_bits()
+    }) {
+        Ok(())
+    } else {
+        Err(format!(
+            "session block {block:?} does not match the replayed tracker view(s) {views:?} — \
+             smoothed by the wrong session's state (cross-wired) or by a diverged tracker"
+        ))
+    }
+}
+
 /// Field-by-field bit equality (`to_bits` on floats, so `-0.0 != 0.0` and
-/// NaN payloads would be caught — stronger than `PartialEq`).
+/// NaN payloads would be caught — stronger than `PartialEq`), including
+/// the session block.
 fn estimates_bit_identical(a: &WireEstimate, b: &WireEstimate) -> bool {
+    nonsession_bit_identical(a, b) && session_blocks_bit_identical(&a.session, &b.session)
+}
+
+/// Bit equality over everything but the session block.
+fn nonsession_bit_identical(a: &WireEstimate, b: &WireEstimate) -> bool {
     a.x.to_bits() == b.x.to_bits()
         && a.y.to_bits() == b.y.to_bits()
-        && a.relaxation_cost.to_bits() == b.relaxation_cost.to_bits()
+        && a.quality == b.quality
+        && diagnostics_bit_identical(a, b)
+}
+
+/// Bit equality over the diagnostic (LP) fields only.
+fn diagnostics_bit_identical(a: &WireEstimate, b: &WireEstimate) -> bool {
+    a.relaxation_cost.to_bits() == b.relaxation_cost.to_bits()
         && a.region_area.to_bits() == b.region_area.to_bits()
         && a.n_constraints == b.n_constraints
         && a.n_winning_pieces == b.n_winning_pieces
         && a.lp_iterations == b.lp_iterations
         && a.warm_start_hits == b.warm_start_hits
         && a.phase1_pivots_saved == b.phase1_pivots_saved
-        && a.quality == b.quality
+}
+
+fn session_blocks_bit_identical(a: &Option<WireSession>, b: &Option<WireSession>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            x.smoothed_x.to_bits() == y.smoothed_x.to_bits()
+                && x.smoothed_y.to_bits() == y.smoothed_y.to_bits()
+                && x.velocity_x.to_bits() == y.velocity_x.to_bits()
+                && x.velocity_y.to_bits() == y.velocity_y.to_bits()
+                && x.error_bound.to_bits() == y.error_bound.to_bits()
+        }
+        _ => false,
+    }
 }
 
 /// Drives `requests` against the daemon at `addr`, injecting the faults
@@ -256,9 +589,21 @@ pub fn run(
     let mut outcomes = Vec::with_capacity(requests.len());
     let mut reconnects = 0u64;
     let mut rejections_observed = 0u64;
+    let mut stale_expiries = 0u64;
     for (i, reports) in requests.iter().enumerate() {
         let id = i as u64;
         let class = plan.classify(id);
+        let session_id = config.session_id_for(id);
+        if config.stale_sessions_live() && plan.stale_session_fires(id) {
+            if let Some(table) = &config.session_table {
+                // Let any straggling in-flight copy (a killed connection's
+                // first send racing its resend) land before wiping state,
+                // so the verifier's replayed expectation stays exact.
+                std::thread::sleep(Duration::from_millis(10));
+                table.expire_all();
+                stale_expiries += 1;
+            }
+        }
         let mut wire_reports: Vec<WireReport> = reports.iter().map(WireReport::from_core).collect();
         match class {
             FaultClass::CorruptCsi => corrupt_csi(&mut wire_reports, plan, id),
@@ -278,6 +623,7 @@ pub fn run(
             request_id: id,
             deadline_us: 0,
             venue_id: config.venue_id,
+            session_id,
             reports: wire_reports,
         });
         let bytes = wire::frame_to_vec(&frame);
@@ -362,6 +708,7 @@ pub fn run(
         outcomes,
         reconnects,
         rejections_observed,
+        stale_expiries,
     })
 }
 
@@ -423,12 +770,16 @@ fn read_reply(c: &mut Conn, id: u64) -> io::Result<Result<WireEstimate, ErrorRep
     Ok(resp.outcome)
 }
 
+/// Duplicate replies must agree on everything the estimator produced; the
+/// session block is exempt — the second copy of a Full/Region frame
+/// legitimately advances the tracker one more tick, and a warm-centroid
+/// upgrade moves both copies off the baseline identically anyway.
 fn replies_agree(
     a: &Result<WireEstimate, ErrorReply>,
     b: &Result<WireEstimate, ErrorReply>,
 ) -> bool {
     match (a, b) {
-        (Ok(x), Ok(y)) => estimates_bit_identical(x, y),
+        (Ok(x), Ok(y)) => nonsession_bit_identical(x, y),
         (Err(x), Err(y)) => x.code == y.code,
         _ => false,
     }

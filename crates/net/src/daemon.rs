@@ -38,14 +38,15 @@
 //!   request is answered — before joining all threads.
 
 use crate::pool::BufferPool;
-use crate::registry::{RegistryReader, ResolveError, VenueRegistry};
+use crate::registry::{RegistryReader, ResolveError, VenueEntry, VenueRegistry};
+use crate::sessions::{SessionConfig, SessionTable, SessionView, PREDICTED_ERROR_WIDENING};
 use crate::wire::{
     self, ErrorCode, ErrorReply, Frame, LocateResponse, ServerHealth, StreamDecoder,
-    VenueAdminResponse, WireError, WireEstimate,
+    VenueAdminResponse, WireError, WireEstimate, WireSession,
 };
 use nomloc_core::server::CsiReport;
 use nomloc_core::stats::{PipelineStats, StatsSnapshot};
-use nomloc_core::LocalizationServer;
+use nomloc_core::{EstimateQuality, LocalizationServer};
 use nomloc_faults::{FaultClass, FaultPlan};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -152,6 +153,11 @@ pub struct DaemonConfig {
     /// registry); 0 = unlimited. Cold venues beyond it are LRU-evicted
     /// and rebuilt bit-identically on their next request.
     pub venue_budget_bytes: usize,
+    /// Idle time after which a session (a request stream sharing a v4
+    /// `session_id`) is evicted from the session table.
+    pub session_ttl: Duration,
+    /// Lock shards of the session table.
+    pub session_shards: usize,
 }
 
 impl Default for DaemonConfig {
@@ -169,6 +175,8 @@ impl Default for DaemonConfig {
             event_loops: 2,
             write_buffer_cap: 1 << 20,
             venue_budget_bytes: 0,
+            session_ttl: Duration::from_secs(60),
+            session_shards: 16,
         }
     }
 }
@@ -208,6 +216,8 @@ struct NetCounters {
 struct Pending {
     request_id: u64,
     venue: u64,
+    /// v4 session id; 0 = stateless.
+    session: u64,
     reports: Vec<CsiReport>,
     admitted_at: Instant,
     deadline: Option<Duration>,
@@ -258,6 +268,12 @@ struct Shared {
     /// outbound bytes and exit.
     drain_flush: AtomicBool,
     net: NetCounters,
+    /// The session plane. Owned here — OUTSIDE the batcher threads — so
+    /// per-batch `catch_unwind` panics and watchdog batcher respawn
+    /// never lose or corrupt a session: trackers resume bit-identically.
+    /// `Arc` so the chaos harness can hold the table across the daemon's
+    /// lifetime and force TTL races.
+    sessions: Arc<SessionTable>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     /// Reusable `Vec<u8>` backing stores for reply-frame encoding, shared
     /// by readers and batchers. Hit/miss and byte counters surface through
@@ -329,6 +345,10 @@ pub fn spawn<A: ToSocketAddrs>(
         shutting_down: AtomicBool::new(false),
         drain_flush: AtomicBool::new(false),
         net: NetCounters::default(),
+        sessions: Arc::new(SessionTable::new(SessionConfig {
+            ttl: config.session_ttl,
+            shards: config.session_shards,
+        })),
         conn_threads: Mutex::new(Vec::new()),
         // Enough idle buffers for every reader and batcher to hold one
         // while others are checked out; excess returns are dropped.
@@ -401,6 +421,10 @@ fn watchdog_loop(shared: &Arc<Shared>, mut batchers: Vec<JoinHandle<()>>) {
                     .fetch_add(1, Ordering::Relaxed);
             }
         }
+        // Eager TTL pass so idle sessions don't linger until their next
+        // (never-coming) request. Lazy expiry on access still backstops
+        // sessions touched between sweeps.
+        shared.sessions.sweep(Instant::now());
         std::thread::sleep(POLL_INTERVAL);
     }
     shared.queue_cv.notify_all();
@@ -462,6 +486,13 @@ impl DaemonHandle {
     /// `StatsResponse` frame).
     pub fn health(&self) -> ServerHealth {
         health_of(&self.shared)
+    }
+
+    /// The session table, shared with the daemon. The chaos harness
+    /// holds this to force-expire sessions (a TTL race you can schedule);
+    /// it stays valid across batcher panics and respawns by construction.
+    pub fn sessions(&self) -> Arc<SessionTable> {
+        Arc::clone(&self.shared.sessions)
     }
 
     /// Connections evicted so far for overflowing their bounded outbound
@@ -563,7 +594,12 @@ fn health_of(shared: &Shared) -> ServerHealth {
         batchers_respawned: net.batchers_respawned.load(Ordering::Relaxed),
         quality_full: snap.counters.quality_full,
         quality_region: snap.counters.quality_region,
+        quality_predicted: snap.counters.quality_predicted,
         quality_centroid: snap.counters.quality_centroid,
+        sessions_active: shared.sessions.active(),
+        sessions_created: shared.sessions.created(),
+        sessions_evicted: shared.sessions.evicted(),
+        tracker_rejections: shared.sessions.rejections(),
         reply_bytes_encoded: snap.counters.reply_bytes_encoded,
         reply_bytes_pooled: snap.counters.reply_bytes_pooled,
         pool_hits: snap.counters.pool_hits,
@@ -724,6 +760,16 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
             let reports = match req.to_core_reports() {
                 Ok(reports) => reports,
                 Err(msg) => {
+                    // Validation failure (corrupt CSI, bad payload). A
+                    // warm session can still answer: extrapolate from the
+                    // motion model at the `Predicted` tier — explicitly
+                    // widened error bound — instead of a hard error.
+                    if let Some(response) =
+                        predicted_fallback(shared, request_id, req.venue_id, req.session_id)
+                    {
+                        reply(shared, writer, response);
+                        return Ok(());
+                    }
                     // Semantic failure: an error for THIS request only.
                     reply(
                         shared,
@@ -742,6 +788,7 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
             let pending = Pending {
                 request_id,
                 venue: req.venue_id,
+                session: req.session_id,
                 reports,
                 admitted_at: Instant::now(),
                 deadline,
@@ -795,6 +842,11 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
                 ErrorCode::UnknownVenue
             };
             let result = shared.registry.retire(venue_id).map_err(|m| (code, m));
+            if result.is_ok() {
+                // A retired venue's sessions are dead state: drop them so
+                // a later venue-id reuse can never resume a stale track.
+                shared.sessions.retire_venue(venue_id);
+            }
             send_admin_response(shared, writer, result);
             Ok(())
         }
@@ -1044,12 +1096,11 @@ fn solve_and_reply(shared: &Shared, scratch: &mut BatcherScratch) {
     }));
     match batch_result {
         Ok(results) => {
-            responses.extend(live.iter().zip(results).map(|(p, result)| {
-                if let Ok(est) = &result {
-                    entry.stats.record_quality(est.quality);
-                }
-                Some(response_for(shared, p, result))
-            }));
+            responses.extend(
+                live.iter()
+                    .zip(results)
+                    .map(|(p, result)| Some(response_for(shared, &entry, p, result))),
+            );
             // Coalesced writes: encode every reply destined for the same
             // connection into one pooled buffer and write it with a single
             // syscall, instead of one locked write per reply.
@@ -1103,10 +1154,8 @@ fn solve_and_reply(shared: &Shared, scratch: &mut BatcherScratch) {
                 }));
                 match one {
                     Ok(result) => {
-                        if let Ok(est) = &result {
-                            entry.stats.record_quality(est.quality);
-                        }
-                        reply_result(shared, p, result);
+                        let response = response_for(shared, &entry, p, result);
+                        reply(shared, &p.writer, response);
                     }
                     Err(_) => {
                         shared.net.requests_internal.fetch_add(1, Ordering::Relaxed);
@@ -1138,18 +1187,28 @@ fn panic_if_injected(plan: Option<&FaultPlan>, ids: impl Iterator<Item = u64>) {
     }
 }
 
-/// Builds the reply for one solved request, mapping a typed estimate
-/// failure onto its wire error code (and bumping the failure counter).
+/// Builds the reply for one solved request: session smoothing and the
+/// centroid→`Predicted` upgrade on success (recording the *served*
+/// quality tier), the mapped wire error code on failure. Used by both
+/// the batch path and the per-request panic-isolation path, so a
+/// respawned batcher answers bit-identically to the batch it replaced.
 fn response_for(
     shared: &Shared,
+    entry: &VenueEntry,
     p: &Pending,
     result: Result<nomloc_core::LocationEstimate, nomloc_core::EstimateError>,
 ) -> LocateResponse {
     match result {
-        Ok(est) => LocateResponse {
-            request_id: p.request_id,
-            outcome: Ok(WireEstimate::from_core(&est)),
-        },
+        Ok(est) => {
+            let (est, session) = sessionize(shared, entry, p, est);
+            entry.stats.record_quality(est.quality);
+            let mut wire_est = WireEstimate::from_core(&est);
+            wire_est.session = session;
+            LocateResponse {
+                request_id: p.request_id,
+                outcome: Ok(wire_est),
+            }
+        }
         Err(e) => {
             shared.net.requests_failed.fetch_add(1, Ordering::Relaxed);
             error_reply(
@@ -1161,12 +1220,112 @@ fn response_for(
     }
 }
 
-/// Sends the reply for one solved request.
-fn reply_result(
+/// Runs one successful estimate through the session plane (no-op for
+/// stateless requests):
+///
+/// * **Full/Region**: the raw position feeds the session's tracker; the
+///   reply carries the smoothed view and the localizability bound at the
+///   smoothed cell. The served quality tier is unchanged.
+/// * **Centroid + warm session**: the estimator only managed the venue
+///   centroid, but the motion model knows better — answer the
+///   extrapolated position at the `Predicted` tier with the bound
+///   widened by [`PREDICTED_ERROR_WIDENING`]. The centroid never feeds
+///   the tracker (it would drag the track toward the venue center).
+/// * **Centroid + cold session**: plain centroid, no session block —
+///   there is no track to smooth against yet.
+fn sessionize(
     shared: &Shared,
+    entry: &VenueEntry,
     p: &Pending,
-    result: Result<nomloc_core::LocationEstimate, nomloc_core::EstimateError>,
-) {
-    let response = response_for(shared, p, result);
-    reply(shared, &p.writer, response);
+    mut est: nomloc_core::LocationEstimate,
+) -> (nomloc_core::LocationEstimate, Option<WireSession>) {
+    if p.session == 0 {
+        return (est, None);
+    }
+    let now = Instant::now();
+    if est.quality == EstimateQuality::Centroid {
+        let Some(view) = shared.sessions.predict(p.venue, p.session, now) else {
+            return (est, None);
+        };
+        shared.stats.promote_centroid_to_predicted();
+        est.position = view.smoothed;
+        est.quality = EstimateQuality::Predicted;
+        let session = session_block(entry, &view, PREDICTED_ERROR_WIDENING);
+        return (est, Some(session));
+    }
+    let view = shared
+        .sessions
+        .observe(p.venue, p.session, est.position, now);
+    let session = session_block(entry, &view, 1.0);
+    (est, Some(session))
+}
+
+/// Assembles the reply's session block: the smoothed view plus the
+/// localizability-derived error bound for the smoothed position's cell,
+/// scaled by `widening` (NaN when the venue has no resident map — the
+/// wire layer documents NaN as "bound unavailable").
+fn session_block(entry: &VenueEntry, view: &SessionView, widening: f64) -> WireSession {
+    let bound = entry
+        .localizability()
+        .and_then(|map| map.predicted_error_at(view.smoothed))
+        .map(|e| e * widening);
+    WireSession {
+        smoothed_x: view.smoothed.x,
+        smoothed_y: view.smoothed.y,
+        velocity_x: view.velocity.x,
+        velocity_y: view.velocity.y,
+        error_bound: bound.unwrap_or(f64::NAN),
+    }
+}
+
+/// The reader-side `Predicted` intercept: a request whose payload failed
+/// validation, but whose session is warm, is answered from the motion
+/// model instead of `Malformed`. Returns `None` (fall through to the
+/// error) for stateless requests and cold/expired sessions.
+fn predicted_fallback(
+    shared: &Shared,
+    request_id: u64,
+    venue_id: u64,
+    session_id: u64,
+) -> Option<LocateResponse> {
+    if session_id == 0 {
+        return None;
+    }
+    let view = shared
+        .sessions
+        .predict(venue_id, session_id, Instant::now())?;
+    // Snapshot peek only: the reader path must not touch the LRU clock
+    // or trigger a rebuild. An evicted venue just means no error bound.
+    let entry = shared.registry.peek(venue_id);
+    let session = match &entry {
+        Some(e) => session_block(e, &view, PREDICTED_ERROR_WIDENING),
+        None => WireSession {
+            smoothed_x: view.smoothed.x,
+            smoothed_y: view.smoothed.y,
+            velocity_x: view.velocity.x,
+            velocity_y: view.velocity.y,
+            error_bound: f64::NAN,
+        },
+    };
+    shared.stats.record_predicted();
+    if let Some(e) = &entry {
+        e.stats.requests.fetch_add(1, Ordering::Relaxed);
+        e.stats.record_quality(EstimateQuality::Predicted);
+    }
+    Some(LocateResponse {
+        request_id,
+        outcome: Ok(WireEstimate {
+            x: view.smoothed.x,
+            y: view.smoothed.y,
+            relaxation_cost: 0.0,
+            region_area: 0.0,
+            n_constraints: 0,
+            n_winning_pieces: 0,
+            lp_iterations: 0,
+            warm_start_hits: 0,
+            phase1_pivots_saved: 0,
+            quality: EstimateQuality::Predicted.as_u8(),
+            session: Some(session),
+        }),
+    })
 }

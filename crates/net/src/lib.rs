@@ -32,6 +32,11 @@
 //!   read-mostly arc-swap (one atomic load per locate in steady state),
 //!   and LRU-evict cold caches under a memory budget with bit-identical
 //!   rebuild on the next request;
+//! * [`sessions`]: the crash-safe session plane — per-(venue, session)
+//!   motion trackers in a sharded, TTL-evicted table owned outside the
+//!   batcher threads, so sessions survive per-batch panics and batcher
+//!   respawn bit-identically, and power the `Predicted` degradation
+//!   tier;
 //! * [`admin`]: the blocking admin-plane client (onboard/retire/list)
 //!   shared by the CLI, the bench bins, and the tests.
 //!
@@ -56,6 +61,7 @@ pub mod loadgen;
 pub mod poll;
 pub mod pool;
 pub mod registry;
+pub mod sessions;
 pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosReport, ChaosSummary};
@@ -63,4 +69,5 @@ pub use daemon::{spawn, DaemonConfig, DaemonHandle, SocketBackend};
 pub use loadgen::{LoadgenConfig, LoadgenReport, VenuePicker};
 pub use pool::BufferPool;
 pub use registry::{RegistryReader, VenueRegistry};
+pub use sessions::{SessionConfig, SessionTable};
 pub use wire::{ErrorCode, Frame, ServerHealth, VenueSummary, WireError, WireVenue};

@@ -51,6 +51,12 @@ pub struct LoadgenConfig {
     pub zipf_s: f64,
     /// Seed for the deterministic request → venue assignment.
     pub zipf_seed: u64,
+    /// Sessioned traffic: each connection becomes one long-lived session
+    /// (`session_id = 1 + connection index`), carried across
+    /// reconnect-and-resend so a session survives its transport dying.
+    /// Replies then smooth through the daemon's session plane and the
+    /// report breaks out the per-session smoothed-vs-raw deviation.
+    pub sessions: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -65,6 +71,7 @@ impl Default for LoadgenConfig {
             venues: Vec::new(),
             zipf_s: 1.0,
             zipf_seed: 0,
+            sessions: false,
         }
     }
 }
@@ -175,6 +182,11 @@ pub struct LoadgenReport {
     /// Idle connections actually held open for the whole run (see
     /// [`LoadgenConfig::idle_connections`]).
     pub idle_held: usize,
+    /// Connections actually driven (the request → session mapping key).
+    pub connections: usize,
+    /// Whether the run carried session ids (see
+    /// [`LoadgenConfig::sessions`]).
+    pub sessions_enabled: bool,
 }
 
 impl LoadgenReport {
@@ -219,6 +231,42 @@ impl LoadgenReport {
         lat[rank - 1]
     }
 
+    /// Per-session smoothed-vs-raw deviation: for every Full/Region reply
+    /// that carried a session block, the distance between the raw estimate
+    /// and the session's smoothed position. Returns
+    /// `(session_id, samples, mean deviation in metres)` per session,
+    /// ascending by id; empty for stateless runs. A wildly large mean
+    /// would indicate the session plane smoothing against the wrong
+    /// track (cross-wiring) — the chaos verifier checks that exactly,
+    /// this is the fleet-facing summary of the same signal.
+    pub fn session_deviations(&self) -> Vec<(u64, usize, f64)> {
+        if !self.sessions_enabled || self.connections == 0 {
+            return Vec::new();
+        }
+        let mut acc: std::collections::BTreeMap<u64, (usize, f64)> =
+            std::collections::BTreeMap::new();
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let session_id = 1 + (i % self.connections) as u64;
+            if let Ok(est) = &o.reply {
+                if est.quality <= 1 {
+                    if let Some(block) = &est.session {
+                        let d = ((est.x - block.smoothed_x).powi(2)
+                            + (est.y - block.smoothed_y).powi(2))
+                        .sqrt();
+                        if d.is_finite() {
+                            let e = acc.entry(session_id).or_insert((0, 0.0));
+                            e.0 += 1;
+                            e.1 += d;
+                        }
+                    }
+                }
+            }
+        }
+        acc.into_iter()
+            .map(|(sid, (n, sum))| (sid, n, sum / n.max(1) as f64))
+            .collect()
+    }
+
     /// Renders throughput plus p50/p95/p99 latency and outcome counts.
     pub fn render(&self) -> String {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
@@ -231,11 +279,11 @@ impl LoadgenReport {
         } else {
             String::new()
         };
-        format!(
+        let mut out = format!(
             "loadgen: {} requests in {:.1} ms — {:.0} req/s ({} reconnects){idle}\n\
              latency p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms\n\
              ok {} | estimate-failed {} | malformed {} | overloaded {} | deadline {} | internal {}\n\
-             quality full {} | region {} | centroid {}\n",
+             quality full {} | region {} | centroid {} | predicted {}\n",
             self.outcomes.len(),
             ms(self.elapsed),
             self.throughput_rps(),
@@ -252,7 +300,14 @@ impl LoadgenReport {
             self.quality_count(0),
             self.quality_count(1),
             self.quality_count(2),
-        )
+            self.quality_count(3),
+        );
+        for (sid, n, mean) in self.session_deviations() {
+            out.push_str(&format!(
+                "  session {sid}: {n} smoothed replies, raw-vs-smoothed mean {mean:.3} m\n"
+            ));
+        }
+        out
     }
 }
 
@@ -322,6 +377,8 @@ pub fn run(
         elapsed,
         reconnects: reconnects.into_inner(),
         idle_held,
+        connections,
+        sessions_enabled: config.sessions,
     })
 }
 
@@ -354,7 +411,7 @@ fn drive_connection(
         if unanswered.is_empty() {
             return Ok(());
         }
-        match drive_once(addr, config, requests, &unanswered, outcomes) {
+        match drive_once(addr, config, requests, &unanswered, outcomes, conn) {
             Ok(()) => return Ok(()),
             Err(e) if is_reconnectable(&e) && (attempt as usize) < config.max_reconnects => {
                 attempt += 1;
@@ -379,12 +436,17 @@ fn drive_once(
     requests: &[Vec<CsiReport>],
     indices: &[usize],
     outcomes: &[Mutex<Option<RequestOutcome>>],
+    conn: usize,
 ) -> io::Result<()> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(config.read_timeout))?;
     let mut write_half = stream.try_clone()?;
     let picker = VenuePicker::from_config(config);
+    // The session follows the *connection index*, not the TCP connection:
+    // a reconnect-and-resend keeps the same id, so the daemon resumes the
+    // session instead of opening a fresh one.
+    let session_id = if config.sessions { 1 + conn as u64 } else { 0 };
 
     // Send stamps, indexed by position in `indices`; stamped just before
     // the frame bytes hit the socket.
@@ -405,6 +467,7 @@ fn drive_once(
                     request_id: i as u64,
                     deadline_us: config.deadline_us,
                     venue_id: picker.pick(i as u64),
+                    session_id,
                     reports: requests[i].iter().map(WireReport::from_core).collect(),
                 });
                 bytes.clear();

@@ -33,8 +33,10 @@
 //! evicted and never retired.
 
 use crate::wire::{VenueHealth, VenueSummary, WireVenue};
+use nomloc_core::localizability::{self, LocalizabilityMap};
 use nomloc_core::server::LocalizationServer;
 use nomloc_core::stats::PipelineStats;
+use nomloc_geometry::Point;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -49,6 +51,8 @@ pub struct VenueStats {
     pub quality_full: AtomicU64,
     /// Estimates degraded to the site-constraints-only region.
     pub quality_region: AtomicU64,
+    /// Estimates answered from a session's motion-model prediction.
+    pub quality_predicted: AtomicU64,
     /// Estimates degraded to the weighted site centroid.
     pub quality_centroid: AtomicU64,
     /// Batch resolutions that found the cache resident.
@@ -68,6 +72,7 @@ impl VenueStats {
         match quality {
             Full => &self.quality_full,
             Region => &self.quality_region,
+            Predicted => &self.quality_predicted,
             Centroid => &self.quality_centroid,
         }
         .fetch_add(1, Ordering::Relaxed);
@@ -87,6 +92,11 @@ pub struct VenueEntry {
     spec: Option<WireVenue>,
     /// The serving state; `None` while evicted.
     server: Option<Arc<LocalizationServer>>,
+    /// The venue's localizability analysis, built at onboard time from
+    /// the boundary polygon and static AP sites. Evicted and rebuilt in
+    /// lockstep with the venue cache — `analyze` is a pure function of
+    /// the spec, so the rebuild is bit-identical.
+    localizability: Option<Arc<LocalizabilityMap>>,
     /// Counters shared across evict/rebuild incarnations.
     pub stats: Arc<VenueStats>,
 }
@@ -102,7 +112,23 @@ impl VenueEntry {
     pub fn server(&self) -> Option<&Arc<LocalizationServer>> {
         self.server.as_ref()
     }
+
+    /// The venue's localizability map, resident exactly when the server
+    /// is: both are dropped on eviction and rebuilt together on resolve.
+    pub fn localizability(&self) -> Option<&Arc<LocalizabilityMap>> {
+        self.localizability.as_ref()
+    }
 }
+
+/// Grid pitch (metres) for the per-venue localizability analysis. Coarse
+/// enough that the map is a few hundred cells for fleet-sized venues,
+/// fine enough that the per-cell error bound tracks real blind spots.
+/// Grid pitch (metres) of the per-venue localizability maps the registry
+/// builds alongside each resident server. Coarser than the analysis
+/// default: the session plane only needs a cell-level error bound, and a
+/// coarse grid keeps onboarding (and LRU rebuild) cheap. Public so tests
+/// and clients can rebuild the identical map.
+pub const LOCALIZABILITY_PITCH_M: f64 = 2.0;
 
 type Map = HashMap<u64, Arc<VenueEntry>>;
 
@@ -144,11 +170,20 @@ impl VenueRegistry {
         budget_bytes: usize,
     ) -> Self {
         let shared_stats = resident.stats_arc();
+        // Venue 0 has no onboarding spec (its server was built in-process),
+        // so its AP sites are unknown here: analyze the boundary with an
+        // empty AP set, which still yields per-cell geometry-driven bounds.
+        let localizability = Arc::new(localizability::analyze(
+            resident.area(),
+            &[],
+            LOCALIZABILITY_PITCH_M,
+        ));
         let entry = Arc::new(VenueEntry {
             venue_id: 0,
             name: name.into(),
             spec: None,
             server: Some(resident),
+            localizability: Some(localizability),
             stats: Arc::new(VenueStats::default()),
         });
         let mut map = Map::new();
@@ -210,6 +245,7 @@ impl VenueRegistry {
                 name: old.name.clone(),
                 spec: old.spec.clone(),
                 server: None,
+                localizability: None,
                 stats: Arc::clone(&old.stats),
             });
             evicted
@@ -220,12 +256,24 @@ impl VenueRegistry {
         }
     }
 
-    fn build_server(&self, spec: &WireVenue) -> Result<Arc<LocalizationServer>, String> {
+    fn build_server(
+        &self,
+        spec: &WireVenue,
+    ) -> Result<(Arc<LocalizationServer>, Arc<LocalizabilityMap>), String> {
         let area = spec.boundary_polygon()?;
-        Ok(Arc::new(
-            LocalizationServer::new(area)
-                .with_workers(self.workers)
-                .with_stats(Arc::clone(&self.shared_stats)),
+        let aps: Vec<Point> = spec
+            .static_aps
+            .iter()
+            .map(|&(x, y)| Point::new(x, y))
+            .collect();
+        let localizability = Arc::new(localizability::analyze(&area, &aps, LOCALIZABILITY_PITCH_M));
+        Ok((
+            Arc::new(
+                LocalizationServer::new(area)
+                    .with_workers(self.workers)
+                    .with_stats(Arc::clone(&self.shared_stats)),
+            ),
+            localizability,
         ))
     }
 
@@ -240,7 +288,7 @@ impl VenueRegistry {
         if spec.venue_id == 0 {
             return Err("venue id 0 is reserved for the resident venue".into());
         }
-        let server = self.build_server(&spec)?;
+        let (server, localizability) = self.build_server(&spec)?;
         let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         self.publish(|map| {
             let stats = map
@@ -253,6 +301,7 @@ impl VenueRegistry {
                 name: spec.name.clone(),
                 spec: Some(spec),
                 server: Some(server),
+                localizability: Some(localizability),
                 stats,
             });
             map.insert(entry.venue_id, entry);
@@ -303,6 +352,7 @@ impl VenueRegistry {
                     requests: s.requests.load(Ordering::Relaxed),
                     quality_full: s.quality_full.load(Ordering::Relaxed),
                     quality_region: s.quality_region.load(Ordering::Relaxed),
+                    quality_predicted: s.quality_predicted.load(Ordering::Relaxed),
                     quality_centroid: s.quality_centroid.load(Ordering::Relaxed),
                     cache_hits: s.cache_hits.load(Ordering::Relaxed),
                     cache_rebuilds: s.cache_rebuilds.load(Ordering::Relaxed),
@@ -342,7 +392,7 @@ impl VenueRegistry {
         // Evicted: rebuild under the publisher lock. Re-check the *current*
         // map first — another batcher may have rebuilt while we waited.
         let spec = entry.spec.clone().ok_or(ResolveError::Unknown)?;
-        let server = self.build_server(&spec).map_err(ResolveError::Rebuild)?;
+        let (server, localizability) = self.build_server(&spec).map_err(ResolveError::Rebuild)?;
         self.publish(|map| match map.get(&venue_id) {
             Some(cur) if cur.resident() => Ok(Arc::clone(cur)),
             Some(cur) => {
@@ -351,6 +401,7 @@ impl VenueRegistry {
                     name: cur.name.clone(),
                     spec: cur.spec.clone(),
                     server: Some(server),
+                    localizability: Some(localizability),
                     stats: Arc::clone(&cur.stats),
                 });
                 entry.stats.cache_rebuilds.fetch_add(1, Ordering::Relaxed);
@@ -360,6 +411,14 @@ impl VenueRegistry {
             }
             None => Err(ResolveError::Unknown), // retired while we rebuilt
         })
+    }
+
+    /// A snapshot peek at one venue's entry: no LRU touch, no rebuild,
+    /// no hit/miss accounting. The reader-side `Predicted` fallback uses
+    /// this — it only needs the (possibly evicted) entry's stats and
+    /// localizability map, and must stay off the resolve path.
+    pub fn peek(&self, venue_id: u64) -> Option<Arc<VenueEntry>> {
+        self.slot.lock().unwrap().get(&venue_id).cloned()
     }
 
     /// Summed
@@ -537,6 +596,61 @@ mod tests {
         // Evicted venues still answer via rebuild.
         let mut reader = RegistryReader::new();
         assert!(reg.resolve(1, &mut reader).is_ok());
+    }
+
+    #[test]
+    fn localizability_map_rides_the_venue_cache_lifecycle() {
+        // The map is resident exactly when the server is, and a rebuild
+        // after eviction reproduces the analysis bit-identically (it is a
+        // pure function of the onboarding spec).
+        let reg = VenueRegistry::new(resident_server(), "Lab", 1, 0);
+        reg.onboard(spec(1)).unwrap();
+        let mut reader = RegistryReader::new();
+        let entry = reg.resolve(1, &mut reader).unwrap();
+        let map = entry.localizability().expect("resident venue has a map");
+        assert!(!map.cells().is_empty(), "fleet venue grid is non-empty");
+        let before: Vec<(u64, u64, u64)> = map
+            .cells()
+            .iter()
+            .map(|c| {
+                (
+                    c.point.x.to_bits(),
+                    c.point.y.to_bits(),
+                    c.predicted_error.to_bits(),
+                )
+            })
+            .collect();
+
+        // Tiny budget: publishing anything evicts venue 1 (never venue 0).
+        let reg2 = VenueRegistry::new(resident_server(), "Lab", 1, 1);
+        reg2.onboard(spec(1)).unwrap();
+        let snap = Arc::clone(&reg2.slot.lock().unwrap());
+        let evicted = snap.get(&1).unwrap();
+        assert!(!evicted.resident());
+        assert!(
+            evicted.localizability().is_none(),
+            "eviction drops the map with the cache"
+        );
+        drop(snap);
+        let rebuilt = reg2.resolve(1, &mut reader).unwrap();
+        let after: Vec<(u64, u64, u64)> = rebuilt
+            .localizability()
+            .expect("rebuild restores the map")
+            .cells()
+            .iter()
+            .map(|c| {
+                (
+                    c.point.x.to_bits(),
+                    c.point.y.to_bits(),
+                    c.predicted_error.to_bits(),
+                )
+            })
+            .collect();
+        assert_eq!(before, after, "rebuilt analysis is bit-identical");
+
+        // Venue 0 (no spec) still carries a boundary-only map.
+        let v0 = reg.resolve(0, &mut reader).unwrap();
+        assert!(v0.localizability().is_some());
     }
 
     #[test]

@@ -53,14 +53,18 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 4] = *b"NMLC";
 /// Current protocol version. v2 extended [`WireEstimate`] with the
 /// [`EstimateQuality`] tier and [`ServerHealth`] with fault-tolerance
-/// counters. v3 adds the venue id to [`LocateRequest`], the venue admin
+/// counters. v3 added the venue id to [`LocateRequest`], the venue admin
 /// frames (tags 5–8), and per-venue [`VenueHealth`] records on
-/// [`ServerHealth`]; older decoders reject v3 frames with
-/// [`WireError::BadVersion`], and a v3 daemon answers a down-version
-/// request with a [`ErrorCode::UnsupportedVersion`] reply encoded at the
-/// *client's* version (see [`unsupported_version_reply`]) so old
-/// structural decoders never see a CRC or framing failure.
-pub const VERSION: u8 = 3;
+/// [`ServerHealth`]. v4 adds the session plane: a `session_id` on
+/// [`LocateRequest`] (0 = stateless), an optional [`WireSession`] block
+/// (smoothed position, velocity, localizability error bound) on
+/// [`WireEstimate`], the `Predicted` quality tier (byte 3), and session
+/// counters on [`ServerHealth`]/[`VenueHealth`]. Older decoders reject v4
+/// frames with [`WireError::BadVersion`], and a v4 daemon answers a
+/// down-version request with a [`ErrorCode::UnsupportedVersion`] reply
+/// encoded at the *client's* version (see [`unsupported_version_reply`])
+/// so old structural decoders never see a CRC or framing failure.
+pub const VERSION: u8 = 4;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 16;
 /// Maximum accepted payload length (guards allocation on hostile input).
@@ -375,6 +379,11 @@ pub struct LocateRequest {
     /// daemon's resident default venue, so single-venue clients can keep
     /// sending 0 forever; any other id must have been onboarded.
     pub venue_id: u64,
+    /// Tracking-session identifier (new in v4). 0 means stateless — the
+    /// request is answered exactly as in v3. Any other id routes the
+    /// estimate through the daemon's per-(venue, session) `Tracker`, and
+    /// the reply carries a [`WireSession`] block.
+    pub session_id: u64,
     /// The CSI reports for this request.
     pub reports: Vec<WireReport>,
 }
@@ -388,6 +397,29 @@ impl LocateRequest {
     pub fn to_core_reports(&self) -> Result<Vec<CsiReport>, String> {
         self.reports.iter().map(WireReport::to_core).collect()
     }
+}
+
+/// Session-plane state attached to a [`WireEstimate`] when the request
+/// carried a non-zero session id (new in v4).
+///
+/// All f64s travel bit-exact (`to_bits` little-endian), so replays and
+/// bit-identity checks compare these fields the same way they compare the
+/// estimate itself. `error_bound` is the localizability-predicted error of
+/// the estimate's grid cell — widened when the tier is `Predicted`, since
+/// the position came from extrapolation rather than a same-request solve —
+/// and `NaN` when the venue has no localizability map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireSession {
+    /// Smoothed x after the session tracker, metres.
+    pub smoothed_x: f64,
+    /// Smoothed y after the session tracker, metres.
+    pub smoothed_y: f64,
+    /// Tracked velocity x, m/s.
+    pub velocity_x: f64,
+    /// Tracked velocity y, m/s.
+    pub velocity_y: f64,
+    /// Localizability-derived error bound for the estimate's cell, metres.
+    pub error_bound: f64,
 }
 
 /// A location estimate on the wire — mirrors
@@ -413,8 +445,12 @@ pub struct WireEstimate {
     /// Phase-1 pivots those warm starts avoided.
     pub phase1_pivots_saved: u64,
     /// Degradation-ladder tier ([`EstimateQuality::as_u8`] encoding).
-    /// New in protocol v2; the decoder rejects values above 2.
+    /// New in protocol v2; the decoder rejects values above 3 (v4 added
+    /// tier 3, `Predicted`).
     pub quality: u8,
+    /// Session-plane block (new in v4); `None` for stateless requests,
+    /// which keeps v3-era bit-identity expectations intact.
+    pub session: Option<WireSession>,
 }
 
 impl WireEstimate {
@@ -431,6 +467,7 @@ impl WireEstimate {
             warm_start_hits: est.warm_start_hits,
             phase1_pivots_saved: est.phase1_pivots_saved,
             quality: est.quality.as_u8(),
+            session: None,
         }
     }
 
@@ -565,6 +602,8 @@ pub struct VenueHealth {
     pub quality_region: u64,
     /// Estimates degraded to the weighted site centroid.
     pub quality_centroid: u64,
+    /// Estimates answered from a session's motion model (v4).
+    pub quality_predicted: u64,
     /// Batch resolutions that found the venue cache resident.
     pub cache_hits: u64,
     /// Batch resolutions that had to rebuild an evicted cache.
@@ -623,6 +662,18 @@ pub struct ServerHealth {
     pub quality_region: u64,
     /// Estimates degraded to the weighted site centroid.
     pub quality_centroid: u64,
+    /// Estimates answered from a session's motion model
+    /// ([`EstimateQuality::Predicted`]; new in v4).
+    pub quality_predicted: u64,
+    /// Tracking sessions currently live in the session table (v4).
+    pub sessions_active: u64,
+    /// Tracking sessions created since start (v4).
+    pub sessions_created: u64,
+    /// Tracking sessions evicted by the TTL sweeper (v4).
+    pub sessions_evicted: u64,
+    /// Estimates the session trackers rejected at the input guard
+    /// (non-finite position or invalid time step; v4).
+    pub tracker_rejections: u64,
     /// Reply-frame bytes encoded by the daemon.
     ///
     /// Daemon-local display only: this field and the three below are **not
@@ -683,9 +734,19 @@ impl fmt::Display for ServerHealth {
         }
         writeln!(
             f,
-            "  quality tiers         full {} / region {} / centroid {}",
-            self.quality_full, self.quality_region, self.quality_centroid
+            "  quality tiers         full {} / region {} / predicted {} / centroid {}",
+            self.quality_full, self.quality_region, self.quality_predicted, self.quality_centroid
         )?;
+        if self.sessions_created > 0 {
+            writeln!(
+                f,
+                "  sessions              {} active / {} created / {} evicted ({} tracker rejections)",
+                self.sessions_active,
+                self.sessions_created,
+                self.sessions_evicted,
+                self.tracker_rejections
+            )?;
+        }
         writeln!(
             f,
             "  batch panics          {} ({} internal replies)",
@@ -705,11 +766,12 @@ impl fmt::Display for ServerHealth {
             for v in &self.venues {
                 writeln!(
                     f,
-                    "    venue {:<6} req {} (full {} / region {} / centroid {}) cache hit {} rebuild {} evict {}{}",
+                    "    venue {:<6} req {} (full {} / region {} / predicted {} / centroid {}) cache hit {} rebuild {} evict {}{}",
                     v.venue_id,
                     v.requests,
                     v.quality_full,
                     v.quality_region,
+                    v.quality_predicted,
                     v.quality_centroid,
                     v.cache_hits,
                     v.cache_rebuilds,
@@ -898,6 +960,7 @@ fn encode_locate_request(req: &LocateRequest, out: &mut Vec<u8>) {
     put_u64(out, req.request_id);
     put_u32(out, req.deadline_us);
     put_u64(out, req.venue_id);
+    put_u64(out, req.session_id);
     put_u32(out, req.reports.len() as u32);
     for r in &req.reports {
         put_u64(out, r.ap);
@@ -923,6 +986,7 @@ fn decode_locate_request(c: &mut Cursor<'_>) -> Result<LocateRequest, WireError>
     let request_id = c.u64()?;
     let deadline_us = c.u32()?;
     let venue_id = c.u64()?;
+    let session_id = c.u64()?;
     let n_reports = c.len(32)?; // ap + visit + x + y at minimum
     let mut reports = Vec::with_capacity(n_reports);
     for _ in 0..n_reports {
@@ -953,6 +1017,7 @@ fn decode_locate_request(c: &mut Cursor<'_>) -> Result<LocateRequest, WireError>
         request_id,
         deadline_us,
         venue_id,
+        session_id,
         reports,
     })
 }
@@ -1052,6 +1117,20 @@ fn encode_locate_response(resp: &LocateResponse, out: &mut Vec<u8>) {
             put_u64(out, est.lp_iterations);
             put_u64(out, est.warm_start_hits);
             put_u64(out, est.phase1_pivots_saved);
+            // The session block precedes the quality byte so that the
+            // quality tier stays the last payload byte in every layout —
+            // the property the tamper tests poke at.
+            match &est.session {
+                Some(s) => {
+                    out.push(1);
+                    put_f64(out, s.smoothed_x);
+                    put_f64(out, s.smoothed_y);
+                    put_f64(out, s.velocity_x);
+                    put_f64(out, s.velocity_y);
+                    put_f64(out, s.error_bound);
+                }
+                None => out.push(0),
+            }
             out.push(est.quality);
         }
         Err(e) => {
@@ -1065,7 +1144,7 @@ fn decode_locate_response(c: &mut Cursor<'_>) -> Result<LocateResponse, WireErro
     let request_id = c.u64()?;
     let status = c.u8()?;
     let outcome = if status == 0 {
-        let est = WireEstimate {
+        let mut est = WireEstimate {
             x: c.f64()?,
             y: c.f64()?,
             relaxation_cost: c.f64()?,
@@ -1075,8 +1154,25 @@ fn decode_locate_response(c: &mut Cursor<'_>) -> Result<LocateResponse, WireErro
             lp_iterations: c.u64()?,
             warm_start_hits: c.u64()?,
             phase1_pivots_saved: c.u64()?,
-            quality: c.u8()?,
+            quality: 0,
+            session: None,
         };
+        est.session = match c.u8()? {
+            0 => None,
+            1 => Some(WireSession {
+                smoothed_x: c.f64()?,
+                smoothed_y: c.f64()?,
+                velocity_x: c.f64()?,
+                velocity_y: c.f64()?,
+                error_bound: c.f64()?,
+            }),
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "bad session-block flag {other}"
+                )))
+            }
+        };
+        est.quality = c.u8()?;
         if EstimateQuality::from_u8(est.quality).is_none() {
             return Err(WireError::Malformed(format!(
                 "unknown estimate quality tier {}",
@@ -1109,6 +1205,7 @@ fn encode_health(h: &ServerHealth, out: &mut Vec<u8>) {
         put_u64(out, v.quality_full);
         put_u64(out, v.quality_region);
         put_u64(out, v.quality_centroid);
+        put_u64(out, v.quality_predicted);
         put_u64(out, v.cache_hits);
         put_u64(out, v.cache_rebuilds);
         put_u64(out, v.cache_evictions);
@@ -1121,8 +1218,8 @@ fn decode_health(c: &mut Cursor<'_>) -> Result<ServerHealth, WireError> {
     for slot in health_fields_mut(&mut h) {
         *slot = c.u64()?;
     }
-    // Eight u64 counters plus the resident flag per record.
-    let n = c.len(65)?;
+    // Nine u64 counters plus the resident flag per record.
+    let n = c.len(73)?;
     h.venues.reserve(n);
     for _ in 0..n {
         let mut v = VenueHealth {
@@ -1131,6 +1228,7 @@ fn decode_health(c: &mut Cursor<'_>) -> Result<ServerHealth, WireError> {
             quality_full: c.u64()?,
             quality_region: c.u64()?,
             quality_centroid: c.u64()?,
+            quality_predicted: c.u64()?,
             cache_hits: c.u64()?,
             cache_rebuilds: c.u64()?,
             cache_evictions: c.u64()?,
@@ -1146,7 +1244,7 @@ fn decode_health(c: &mut Cursor<'_>) -> Result<ServerHealth, WireError> {
     Ok(h)
 }
 
-fn health_fields(h: &ServerHealth) -> [u64; 22] {
+fn health_fields(h: &ServerHealth) -> [u64; 27] {
     [
         h.connections_accepted,
         h.frames_in,
@@ -1170,10 +1268,15 @@ fn health_fields(h: &ServerHealth) -> [u64; 22] {
         h.quality_full,
         h.quality_region,
         h.quality_centroid,
+        h.quality_predicted,
+        h.sessions_active,
+        h.sessions_created,
+        h.sessions_evicted,
+        h.tracker_rejections,
     ]
 }
 
-fn health_fields_mut(h: &mut ServerHealth) -> [&mut u64; 22] {
+fn health_fields_mut(h: &mut ServerHealth) -> [&mut u64; 27] {
     [
         &mut h.connections_accepted,
         &mut h.frames_in,
@@ -1197,6 +1300,11 @@ fn health_fields_mut(h: &mut ServerHealth) -> [&mut u64; 22] {
         &mut h.quality_full,
         &mut h.quality_region,
         &mut h.quality_centroid,
+        &mut h.quality_predicted,
+        &mut h.sessions_active,
+        &mut h.sessions_created,
+        &mut h.sessions_evicted,
+        &mut h.tracker_rejections,
     ]
 }
 
@@ -1501,6 +1609,7 @@ mod tests {
             request_id: 42,
             deadline_us: 1500,
             venue_id: 3,
+            session_id: 0,
             reports: vec![WireReport {
                 ap: 7,
                 visit: 2,
@@ -1539,6 +1648,29 @@ mod tests {
                     warm_start_hits: 2,
                     phase1_pivots_saved: 8,
                     quality: 1,
+                    session: None,
+                }),
+            }),
+            Frame::LocateResponse(LocateResponse {
+                request_id: 11,
+                outcome: Ok(WireEstimate {
+                    x: 4.0,
+                    y: 5.0,
+                    relaxation_cost: 0.0,
+                    region_area: 2.0,
+                    n_constraints: 6,
+                    n_winning_pieces: 1,
+                    lp_iterations: 12,
+                    warm_start_hits: 0,
+                    phase1_pivots_saved: 0,
+                    quality: 3,
+                    session: Some(WireSession {
+                        smoothed_x: 4.25,
+                        smoothed_y: 4.75,
+                        velocity_x: 0.5,
+                        velocity_y: -0.25,
+                        error_bound: 1.5,
+                    }),
                 }),
             }),
             Frame::LocateResponse(LocateResponse {
@@ -1609,25 +1741,27 @@ mod tests {
                 warm_start_hits: 1,
                 phase1_pivots_saved: 0,
                 quality: 0,
+                session: None,
             }),
         });
         let mut bytes = frame_to_vec(&frame);
-        // The quality byte is the last payload byte of an Ok response.
-        *bytes.last_mut().unwrap() = 3;
+        // The quality byte is the last payload byte of an Ok response
+        // (the session block, present or not, encodes before it).
+        *bytes.last_mut().unwrap() = 4;
         let payload = bytes[HEADER_LEN..].to_vec();
         bytes[12..16].copy_from_slice(&crc32(&payload).to_le_bytes());
         assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
     }
 
     #[test]
-    fn old_decoders_reject_v3_frames_cleanly() {
-        // A v2 decoder checked `buf[4] != 2`; our v3 frames carry 3 there,
+    fn old_decoders_reject_v4_frames_cleanly() {
+        // A v3 decoder checked `buf[4] != 3`; our v4 frames carry 4 there,
         // so the old check fires BadVersion before any payload is touched.
         // Symmetrically, a down-version frame presented to this decoder is
         // rejected the same way.
         let mut bytes = frame_to_vec(&Frame::StatsRequest);
-        assert_eq!(bytes[4], 3, "frames are emitted at protocol v3");
-        for old in [1u8, 2] {
+        assert_eq!(bytes[4], 4, "frames are emitted at protocol v4");
+        for old in [1u8, 2, 3] {
             bytes[4] = old;
             assert!(matches!(
                 decode_frame(&bytes),
@@ -1658,8 +1792,8 @@ mod tests {
             resp.outcome.unwrap_err().code,
             ErrorCode::UnsupportedVersion
         );
-        // A *newer* client (hypothetical v4) gets the reply on our dialect.
-        let reply = unsupported_version_reply(4);
+        // A *newer* client (hypothetical v5) gets the reply on our dialect.
+        let reply = unsupported_version_reply(5);
         assert_eq!(reply[4], VERSION);
         assert!(decode_frame(&reply).is_ok());
     }
@@ -1723,6 +1857,7 @@ mod tests {
             (EstimateQuality::Full, 0u8),
             (EstimateQuality::Region, 1),
             (EstimateQuality::Centroid, 2),
+            (EstimateQuality::Predicted, 3),
         ] {
             let est = LocationEstimate {
                 position: Point::new(1.0, 2.0),
@@ -1757,13 +1892,19 @@ mod tests {
             batchers_respawned: 1,
             quality_full: 80,
             quality_region: 7,
+            quality_predicted: 2,
             quality_centroid: 3,
+            sessions_active: 3,
+            sessions_created: 5,
+            sessions_evicted: 2,
+            tracker_rejections: 1,
             venues: vec![
                 VenueHealth {
                     venue_id: 0,
                     requests: 60,
                     quality_full: 55,
                     quality_region: 4,
+                    quality_predicted: 1,
                     quality_centroid: 1,
                     cache_hits: 60,
                     cache_rebuilds: 0,
@@ -1775,6 +1916,7 @@ mod tests {
                     requests: 30,
                     quality_full: 25,
                     quality_region: 3,
+                    quality_predicted: 0,
                     quality_centroid: 2,
                     cache_hits: 28,
                     cache_rebuilds: 2,
@@ -2017,6 +2159,7 @@ mod tests {
             request_id: 7,
             deadline_us: 0,
             venue_id: 0,
+            session_id: 0,
             reports: vec![WireReport {
                 ap: 1,
                 visit: 2,

@@ -13,11 +13,14 @@
 //! long-lived daemon per backend): the fault contract is a property of
 //! the serving tier, not of how sockets are pumped.
 
+use nomloc_core::localizability;
 use nomloc_core::scenario::Venue;
 use nomloc_core::server::CsiReport;
 use nomloc_core::{ApSite, LocalizationServer};
 use nomloc_faults::{FaultClass, FaultPlan};
+use nomloc_geometry::Point;
 use nomloc_net::chaos::{self, ChaosConfig};
+use nomloc_net::sessions::{session_tracker, PREDICTED_ERROR_WIDENING, SESSION_TICK_SECONDS};
 use nomloc_net::wire::{
     decode_frame, frame_to_vec, ErrorReply, LocateRequest, WireEstimate, WireReport, WireSnapshot,
 };
@@ -26,6 +29,7 @@ use nomloc_rfsim::{Environment, RadioConfig, SubcarrierGrid};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,6 +61,11 @@ backend_tests!(
     killed_batchers_are_respawned_without_losing_requests,
     pooled_reply_buffers_never_leak_stale_bytes,
     chaos_runs_are_deterministic_in_the_seed,
+    warm_sessions_survive_payload_corruption,
+    rate_one_drop_readings_never_degrades_a_warm_session,
+    killed_connections_resume_their_session,
+    batcher_respawns_lose_no_sessions,
+    sessioned_chaos_crosses_no_wires,
 );
 
 fn lab_server() -> LocalizationServer {
@@ -148,11 +157,12 @@ fn every_fault_class_upholds_its_contract(backend: SocketBackend) {
     for class in nomloc_faults::FAULT_CLASSES {
         let plan = single_class_plan(42, class);
         let handle = spawn_daemon(Some(plan), 0, backend);
-        let report = chaos::run(handle.local_addr(), &ChaosConfig::new(plan), &requests)
+        let config = ChaosConfig::new(plan);
+        let report = chaos::run(handle.local_addr(), &config, &requests)
             .unwrap_or_else(|e| panic!("chaos run failed under {class}: {e}"));
         let health = handle.shutdown();
         let summary = report
-            .verify(&plan, &reference)
+            .verify(&config, &reference)
             .unwrap_or_else(|v| panic!("contract violated under {class}: {v:?}"));
         assert_eq!(summary.total, N);
         assert_eq!(summary.faulted, N, "rate-1 plan must fault everything");
@@ -176,12 +186,12 @@ fn mixed_chaos_run_answers_every_request(backend: SocketBackend) {
     let reference = baseline(&requests);
     let plan = FaultPlan::uniform(7, 0.04);
     let handle = spawn_daemon(Some(plan), 0, backend);
-    let report = chaos::run(handle.local_addr(), &ChaosConfig::new(plan), &requests)
-        .expect("chaos run completes");
+    let config = ChaosConfig::new(plan);
+    let report = chaos::run(handle.local_addr(), &config, &requests).expect("chaos run completes");
     let health = handle.shutdown();
     assert_eq!(report.outcomes.len(), N, "every request got a reply");
     let summary = report
-        .verify(&plan, &reference)
+        .verify(&config, &reference)
         .unwrap_or_else(|v| panic!("contract violated: {v:?}"));
     assert!(summary.faulted > 0, "seed 7 at 4 %/class faults something");
     assert_eq!(
@@ -201,11 +211,12 @@ fn killed_batchers_are_respawned_without_losing_requests(backend: SocketBackend)
     let reference = baseline(&requests);
     let plan = FaultPlan::disabled(3);
     let handle = spawn_daemon(None, 3, backend);
-    let report = chaos::run(handle.local_addr(), &ChaosConfig::new(plan), &requests)
+    let config = ChaosConfig::new(plan);
+    let report = chaos::run(handle.local_addr(), &config, &requests)
         .expect("every request answered despite batcher deaths");
     let health = handle.shutdown();
     let summary = report
-        .verify(&plan, &reference)
+        .verify(&config, &reference)
         .unwrap_or_else(|v| panic!("kill knob broke replies: {v:?}"));
     assert_eq!(summary.bit_identical, N, "all replies bit-identical");
     assert!(
@@ -294,6 +305,7 @@ fn expect_reply(addr: SocketAddr, reports: Vec<WireReport>) -> Result<(), TestCa
         request_id,
         deadline_us: 0,
         venue_id: 0,
+        session_id: 0,
         reports,
     });
     let mut stream = TcpStream::connect(addr).expect("connect to hostile daemon");
@@ -408,6 +420,234 @@ fn pooled_reply_buffers_never_leak_stale_bytes(backend: SocketBackend) {
         "run must actually recycle pooled buffers (hits = 0 would prove nothing)"
     );
     assert!(health.reply_bytes_pooled > 0);
+}
+
+// ---------------------------------------------------------------------
+// Sessioned chaos: the session plane under every fault class. The
+// verifier replays each session's tracker, so these runs prove faults
+// never corrupt, cross-wire, or leak sessions.
+// ---------------------------------------------------------------------
+
+/// A chaos config interleaving `sessions` concurrent sessions.
+fn sessioned_config(plan: FaultPlan, sessions: u64) -> ChaosConfig {
+    let mut config = ChaosConfig::new(plan);
+    config.sessions = sessions;
+    config
+}
+
+/// Warm sessions answer rate-1 corrupt-CSI traffic from the motion model:
+/// a clean sessioned pass warms two sessions, then **every** request's
+/// payload is corrupted — and instead of the cold-path `Malformed`, each
+/// reply must be `Predicted` at the (independently replayed) extrapolated
+/// position with the venue's localizability bound widened exactly
+/// [`PREDICTED_ERROR_WIDENING`]-fold.
+fn warm_sessions_survive_payload_corruption(backend: SocketBackend) {
+    const N: usize = 12;
+    const SESSIONS: u64 = 2;
+    let requests = workload(N);
+    let reference = baseline(&requests);
+    let handle = spawn_daemon(None, 0, backend);
+    let addr = handle.local_addr();
+
+    // Phase 1 — clean sessioned traffic; the standard verifier pins every
+    // session block to the replay.
+    let clean = sessioned_config(FaultPlan::disabled(5), SESSIONS);
+    let warmup = chaos::run(addr, &clean, &requests).expect("warmup run completes");
+    warmup
+        .verify(&clean, &reference)
+        .unwrap_or_else(|v| panic!("warmup violated the session contract: {v:?}"));
+
+    // Replicate the daemon's trackers from the observed warmup replies.
+    let mut trackers = HashMap::new();
+    for (i, outcome) in warmup.outcomes.iter().enumerate() {
+        let sid = clean.session_id_for(i as u64);
+        if let Ok(est) = &outcome.reply {
+            if est.quality <= 1 {
+                trackers
+                    .entry(sid)
+                    .or_insert_with(session_tracker)
+                    .push(Point::new(est.x, est.y), SESSION_TICK_SECONDS);
+            }
+        }
+    }
+
+    // Phase 2 — same sessions, every payload corrupted.
+    let corrupt = sessioned_config(single_class_plan(5, FaultClass::CorruptCsi), SESSIONS);
+    let report = chaos::run(addr, &corrupt, &requests).expect("corrupt run completes");
+    // The registry's venue-0 map, rebuilt identically (analyze is pure).
+    let map = localizability::analyze(
+        lab_server().area(),
+        &[],
+        nomloc_net::registry::LOCALIZABILITY_PITCH_M,
+    );
+    let mut predicted = 0u64;
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        let sid = corrupt.session_id_for(i as u64);
+        let expected = trackers
+            .get(&sid)
+            .and_then(|t| t.predict(SESSION_TICK_SECONDS));
+        match (expected, &outcome.reply) {
+            (Some(pred), Ok(est)) => {
+                assert_eq!(
+                    est.quality, 3,
+                    "request {i}: warm session must answer Predicted"
+                );
+                assert_eq!(est.x.to_bits(), pred.x.to_bits(), "request {i}: x");
+                assert_eq!(est.y.to_bits(), pred.y.to_bits(), "request {i}: y");
+                let block = est
+                    .session
+                    .as_ref()
+                    .expect("Predicted reply carries a block");
+                let want_bound = map
+                    .predicted_error_at(pred)
+                    .map_or(f64::NAN, |e| e * PREDICTED_ERROR_WIDENING);
+                assert_eq!(
+                    block.error_bound.to_bits(),
+                    want_bound.to_bits(),
+                    "request {i}: bound must be the localizability map's, widened ×{PREDICTED_ERROR_WIDENING}"
+                );
+                predicted += 1;
+            }
+            (None, Err(e)) => assert_eq!(e.code, ErrorCode::Malformed, "request {i}"),
+            (want, got) => panic!("request {i}: expected {want:?}-shaped reply, got {got:?}"),
+        }
+    }
+    assert!(
+        predicted as usize == N,
+        "both sessions warmed in phase 1, so all {N} corrupt requests must be \
+         answered Predicted; got {predicted}"
+    );
+    let health = handle.shutdown();
+    assert!(
+        health.quality_predicted >= predicted,
+        "stats must count the intercepts"
+    );
+    assert_eq!(
+        health.sessions_created, SESSIONS,
+        "no session forked or leaked"
+    );
+}
+
+/// Rate-1 drop-readings with sessions: `DropAll` requests (region tier)
+/// feed the sessions, so later `KeepOne` requests — a centroid answer
+/// stateless — are promoted to `Predicted`. The verifier's replay checks
+/// each promotion exactly; nothing is ever *worse* than the stateless
+/// tier.
+fn rate_one_drop_readings_never_degrades_a_warm_session(backend: SocketBackend) {
+    const N: usize = 24;
+    let requests = workload(N);
+    let reference = baseline(&requests);
+    let plan = single_class_plan(11, FaultClass::DropReadings);
+    let handle = spawn_daemon(Some(plan), 0, backend);
+    let config = sessioned_config(plan, 2);
+    let report = chaos::run(handle.local_addr(), &config, &requests).expect("chaos run completes");
+    let health = handle.shutdown();
+    let summary = report
+        .verify(&config, &reference)
+        .unwrap_or_else(|v| panic!("session degradation contract violated: {v:?}"));
+    assert_eq!(summary.faulted, N);
+    assert_eq!(
+        summary.degraded + summary.predicted,
+        N,
+        "every faulted request answers degraded-or-better"
+    );
+    assert!(
+        summary.predicted > 0,
+        "seed 11 interleaves DropAll warmups with KeepOne requests, so some \
+         centroid answers must be promoted"
+    );
+    assert!(health.sessions_active <= 2);
+}
+
+/// Rate-1 kill-connection: every request's connection dies before the
+/// reply and is resent on a fresh one — and every resend must resume the
+/// *same* session (the verifier replays each tracker straight through the
+/// kills; a session restarted or forked by the reconnect would diverge).
+fn killed_connections_resume_their_session(backend: SocketBackend) {
+    const N: usize = 16;
+    let requests = workload(N);
+    let reference = baseline(&requests);
+    let plan = single_class_plan(21, FaultClass::KillConnection);
+    let handle = spawn_daemon(None, 0, backend);
+    let config = sessioned_config(plan, 2);
+    let report = chaos::run(handle.local_addr(), &config, &requests).expect("chaos run completes");
+    let health = handle.shutdown();
+    let summary = report
+        .verify(&config, &reference)
+        .unwrap_or_else(|v| panic!("kill+reconnect broke a session: {v:?}"));
+    assert_eq!(
+        report.reconnects, N as u64,
+        "every request burned a connection"
+    );
+    assert_eq!(summary.bit_identical + summary.predicted, N);
+    assert_eq!(
+        health.sessions_created, 2,
+        "reconnects must resume sessions, never fork fresh ones"
+    );
+}
+
+/// The batcher kill knob murders solver threads mid-run while sessioned
+/// traffic flows: the watchdog respawns them and — because the session
+/// table lives outside the batchers — the verifier's uninterrupted replay
+/// still matches every reply. Zero sessions lost, zero state diverged.
+fn batcher_respawns_lose_no_sessions(backend: SocketBackend) {
+    const N: usize = 24;
+    let requests = workload(N);
+    let reference = baseline(&requests);
+    let plan = FaultPlan::disabled(3);
+    let handle = spawn_daemon(None, 3, backend);
+    let config = sessioned_config(plan, 2);
+    let report = chaos::run(handle.local_addr(), &config, &requests)
+        .expect("every request answered despite batcher deaths");
+    let health = handle.shutdown();
+    let summary = report
+        .verify(&config, &reference)
+        .unwrap_or_else(|v| panic!("a batcher respawn corrupted session state: {v:?}"));
+    assert_eq!(summary.bit_identical + summary.predicted, N);
+    assert!(
+        health.batchers_respawned > 0,
+        "kill-every-3 over {N} batches must kill at least one batcher"
+    );
+    assert_eq!(
+        health.sessions_created, 2,
+        "respawns must not lose or fork sessions"
+    );
+}
+
+/// Mixed chaos over three interleaved sessions with the stale-session
+/// fault armed: every fault class fires somewhere, the server's sessions
+/// are force-expired mid-run, and the per-session replay still matches
+/// every reply — proving no fault class ever returns another session's
+/// position (a cross-wired answer cannot match its own session's replay)
+/// and that forced expiry degrades cleanly instead of corrupting.
+fn sessioned_chaos_crosses_no_wires(backend: SocketBackend) {
+    const N: usize = 64;
+    let requests = workload(N);
+    let reference = baseline(&requests);
+    let plan = FaultPlan::uniform(7, 0.04);
+    let handle = spawn_daemon(Some(plan), 0, backend);
+    let mut config = sessioned_config(plan, 3);
+    config.session_table = Some(handle.sessions());
+    let report = chaos::run(handle.local_addr(), &config, &requests).expect("chaos run completes");
+    let health = handle.shutdown();
+    let summary = report
+        .verify(&config, &reference)
+        .unwrap_or_else(|v| panic!("sessioned chaos contract violated: {v:?}"));
+    assert_eq!(
+        summary.bit_identical + summary.typed_errors + summary.degraded + summary.predicted,
+        N,
+        "every request is accounted for exactly once"
+    );
+    assert!(summary.faulted > 0, "seed 7 at 4 %/class faults something");
+    assert!(
+        report.stale_expiries > 0,
+        "seed 7 at 4 % must fire the stale-session fault at least once over {N} requests"
+    );
+    assert!(
+        health.sessions_created > 3,
+        "forced expiries must have recreated sessions ({} created)",
+        health.sessions_created
+    );
 }
 
 /// Same seed ⇒ the same requests are faulted the same way and every reply

@@ -79,6 +79,7 @@ fn cheap_request(request_id: u64, deadline_us: u32) -> Vec<u8> {
         request_id,
         deadline_us,
         venue_id: 0,
+        session_id: 0,
         reports: vec![WireReport {
             ap: 1,
             visit: 0,
@@ -235,6 +236,7 @@ fn malformed_request_does_not_poison_the_batch(backend: SocketBackend) {
             request_id: id,
             deadline_us: 0,
             venue_id: 0,
+            session_id: 0,
             reports: real_reports(&venue, id)
                 .iter()
                 .map(WireReport::from_core)
@@ -246,6 +248,7 @@ fn malformed_request_does_not_poison_the_batch(backend: SocketBackend) {
         request_id: 1,
         deadline_us: 0,
         venue_id: 0,
+        session_id: 0,
         reports: vec![WireReport {
             ap: 1,
             visit: 0,

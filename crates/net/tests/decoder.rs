@@ -12,7 +12,7 @@
 
 use nomloc_net::wire::{
     decode_frame, frame_to_vec, ErrorReply, LocateRequest, LocateResponse, ServerHealth,
-    StreamDecoder, WireEstimate, WireReport, WireSnapshot,
+    StreamDecoder, WireEstimate, WireReport, WireSession, WireSnapshot,
 };
 use nomloc_net::{ErrorCode, Frame, WireError};
 use proptest::prelude::*;
@@ -33,6 +33,7 @@ fn frame_zoo(seed: u64) -> Vec<Frame> {
             request_id: mix(1),
             deadline_us: (mix(2) % 1_000_000) as u32,
             venue_id: mix(9),
+            session_id: mix(11),
             reports: vec![
                 WireReport {
                     ap: 1,
@@ -63,6 +64,17 @@ fn frame_zoo(seed: u64) -> Vec<Frame> {
                 lp_iterations: mix(16) % 100,
                 warm_start_hits: mix(17) % 100,
                 phase1_pivots_saved: mix(18) % 100,
+                session: if mix(22) % 2 == 0 {
+                    None
+                } else {
+                    Some(WireSession {
+                        smoothed_x: f(23),
+                        smoothed_y: f(24),
+                        velocity_x: f(25),
+                        velocity_y: f(26),
+                        error_bound: f(27),
+                    })
+                },
             }),
         }),
         Frame::LocateResponse(LocateResponse {

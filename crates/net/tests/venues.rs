@@ -45,6 +45,7 @@ fn locate(
             request_id,
             deadline_us: 0,
             venue_id,
+            session_id: 0,
             reports: reports.iter().map(WireReport::from_core).collect(),
         }),
     )

@@ -7,7 +7,7 @@
 
 use nomloc_net::wire::{
     decode_frame, frame_to_vec, ErrorCode, ErrorReply, LocateRequest, LocateResponse, ServerHealth,
-    WireError, WireEstimate, WireReport, WireSnapshot,
+    WireError, WireEstimate, WireReport, WireSession, WireSnapshot,
 };
 use nomloc_net::Frame;
 use proptest::prelude::*;
@@ -81,6 +81,7 @@ proptest! {
         request_id in 0u64..u64::MAX,
         deadline_us in 0u32..u32::MAX,
         venue_id in 0u64..u64::MAX,
+        session_id in 0u64..u64::MAX,
         seeds in prop::collection::vec(0u64..u64::MAX, 0..4),
         bursts in 0usize..3,
         subcarriers in 0usize..6,
@@ -89,6 +90,7 @@ proptest! {
             request_id,
             deadline_us,
             venue_id,
+            session_id,
             reports: seeds.iter().map(|&s| report(s, bursts, subcarriers)).collect(),
         });
         assert_roundtrip(&frame)?;
@@ -96,6 +98,17 @@ proptest! {
 
     #[test]
     fn locate_response_ok_roundtrip(fields in prop::collection::vec(0u64..u64::MAX, 9..10)) {
+        let session = if fields[0] % 2 == 0 {
+            None
+        } else {
+            Some(WireSession {
+                smoothed_x: bits(fields[1].rotate_left(3)),
+                smoothed_y: bits(fields[2].rotate_left(5)),
+                velocity_x: bits(fields[3].rotate_left(7)),
+                velocity_y: bits(fields[4].rotate_left(11)),
+                error_bound: bits(fields[5].rotate_left(13)),
+            })
+        };
         let frame = Frame::LocateResponse(LocateResponse {
             request_id: fields[0],
             outcome: Ok(WireEstimate {
@@ -108,7 +121,8 @@ proptest! {
                 lp_iterations: fields[7],
                 warm_start_hits: fields[8],
                 phase1_pivots_saved: fields[0].rotate_left(17),
-                quality: (fields[0] % 3) as u8,
+                quality: (fields[0] % 4) as u8,
+                session,
             }),
         });
         assert_roundtrip(&frame)?;
@@ -173,6 +187,7 @@ proptest! {
             request_id: seed,
             deadline_us: (seed >> 32) as u32,
             venue_id: seed.rotate_left(23),
+            session_id: seed.rotate_left(7),
             reports: vec![report(seed, 2, 4)],
         });
         let bytes = frame_to_vec(&frame);
@@ -206,6 +221,7 @@ proptest! {
             request_id: seed,
             deadline_us: 0,
             venue_id: seed.rotate_left(41),
+            session_id: seed.rotate_left(13),
             reports: vec![report(seed, 1, 3)],
         });
         let mut bytes = frame_to_vec(&frame);
@@ -292,6 +308,7 @@ fn streaming_consumes_frame_by_frame() {
         request_id: 7,
         deadline_us: 0,
         venue_id: 3,
+        session_id: 0,
         reports: vec![report(42, 1, 2)],
     }));
     let mut buf = a.clone();

@@ -35,6 +35,17 @@ echo "    (thread-per-connection fallback backend, same seed)"
 cargo run --release -p nomloc-cli --bin nomloc --offline -- \
   chaos --seed 7 --requests 200 --socket-backend threaded
 
+echo "==> session chaos smoke: 1% faults over 3 interleaved sessions"
+# The per-session replay inside the verifier is a cross-wire detector:
+# any reply carrying another session's track fails the run.
+sc_out="$(cargo run --release -p nomloc-cli --bin nomloc --offline -- \
+  chaos --seed 11 --requests 300 --rate 0.01 --sessions 3)"
+echo "$sc_out" | grep -E "sessions:|verdict"
+if ! echo "$sc_out" | grep -q "replay-verified"; then
+  echo "error: sessioned chaos run did not replay-verify" >&2
+  exit 1
+fi
+
 echo "==> event-loop loopback smoke: loadgen with an idle crowd"
 cargo run --release -p nomloc-cli --bin nomloc --offline -- \
   loadgen --requests 200 --socket-backend event-loop --idle-connections 500
@@ -67,7 +78,7 @@ if [[ ! -s BENCH_serving.json ]]; then
   echo "error: BENCH_serving.json missing or empty" >&2
   exit 1
 fi
-for key in stages fft pdp_64 pdp_batched encode end_to_end speedup decode_ns_per_request soak venues; do
+for key in stages fft pdp_64 pdp_batched encode end_to_end speedup decode_ns_per_request soak venues sessions; do
   if ! grep -q "\"$key\"" BENCH_serving.json; then
     echo "error: BENCH_serving.json malformed — missing key \"$key\"" >&2
     exit 1
