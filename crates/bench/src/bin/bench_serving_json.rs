@@ -147,6 +147,170 @@ fn run_soak(idle_target: usize, active_requests: usize) -> Option<SoakResult> {
     })
 }
 
+/// Sharded vs single-queue dispatch cost at one venue count (see
+/// [`run_dispatch`]).
+struct DispatchScale {
+    live_venues: usize,
+    connections: usize,
+    requests: usize,
+    queue_shards: usize,
+    sharded_ns_per_request: f64,
+    single_ns_per_request: f64,
+    improvement_pct: f64,
+    sharded_closed_rps: f64,
+    single_closed_rps: f64,
+    sharded_worst_worker_p99_ns: f64,
+    single_worst_worker_p99_ns: f64,
+    queue_steals: u64,
+    enqueue_contention: u64,
+    sharded_depth_peak: u64,
+    single_depth_peak: u64,
+}
+
+/// Prices the admission plane itself: the sharded venue-affine queues
+/// against the retained single-queue oracle (`queue_shards: 1`), per
+/// venue count, both daemons live simultaneously and driven in
+/// *alternating* min-of-rounds passes like [`run_venue_scales`].
+///
+/// Two traffic shapes per scale:
+///
+/// - **Pipelined** (8 connections, every request in flight at once): the
+///   queue runs deep, which is exactly where the single queue's
+///   head-venue coalescing scan goes quadratic — each same-venue pop
+///   rescans the whole mixed backlog — while the sharded plane pops an
+///   already-homogeneous venue FIFO in O(batch). This is the headline
+///   `ns_per_request` comparison and the regression-gated number.
+/// - **Closed-loop** (8 synchronous workers via
+///   `LoadgenConfig::concurrency`): aggregate RPS plus the worst
+///   per-worker p99, the fairness-sensitive view where one stalled
+///   worker can't hide behind its siblings' throughput.
+///
+/// Requests are the soak's empty-burst cheapest-possible shape so
+/// dispatch cost dominates solve cost, and `queue_capacity` is raised so
+/// the pipelined flood is admitted in full (an `Overloaded` reply would
+/// make the two sides answer different work). Both daemons must answer
+/// every request and keep every micro-batch venue-homogeneous.
+fn run_dispatch(counts: &[usize], requests_per_pass: usize) -> Vec<DispatchScale> {
+    let venue = Venue::lab();
+    let ap = venue.static_deployment()[0];
+    let batch: Vec<Vec<CsiReport>> = (0..requests_per_pass)
+        .map(|_| {
+            vec![CsiReport {
+                site: ApSite::fixed(1, ap),
+                burst: Vec::new(),
+            }]
+        })
+        .collect();
+
+    counts
+        .iter()
+        .map(|&live| {
+            let spawn_side = |queue_shards: usize| {
+                let server = LocalizationServer::new(venue.plan.boundary().clone()).with_workers(2);
+                let config = nomloc_net::DaemonConfig {
+                    max_wait: std::time::Duration::ZERO,
+                    queue_capacity: requests_per_pass.max(1024) * 2,
+                    queue_shards,
+                    batchers: 2,
+                    max_batch: 64,
+                    ..nomloc_net::DaemonConfig::default()
+                };
+                let handle = nomloc_net::spawn(server, config, "127.0.0.1:0")
+                    .expect("spawn dispatch-bench daemon");
+                for id in 1..live as u64 {
+                    nomloc_net::admin::onboard(
+                        handle.local_addr(),
+                        &WireVenue::from_venue(id, &venue),
+                    )
+                    .expect("onboard dispatch-bench venue");
+                }
+                handle
+            };
+            let sharded = spawn_side(nomloc_net::DaemonConfig::default().queue_shards);
+            let single = spawn_side(1);
+            let venues: Vec<u64> = (0..live as u64).collect();
+            let pipelined = nomloc_net::LoadgenConfig {
+                connections: 8,
+                venues: venues.clone(),
+                zipf_s: 1.0,
+                zipf_seed: 7,
+                ..nomloc_net::LoadgenConfig::default()
+            };
+            let closed = nomloc_net::LoadgenConfig {
+                concurrency: 8,
+                venues,
+                zipf_s: 1.0,
+                zipf_seed: 7,
+                ..nomloc_net::LoadgenConfig::default()
+            };
+
+            let mut best = [f64::INFINITY; 2]; // [sharded, single] pipelined ns/req
+            let mut best_rps = [0.0f64; 2];
+            let mut best_p99 = [f64::INFINITY; 2];
+            for _ in 0..5 {
+                for (i, handle) in [&sharded, &single].into_iter().enumerate() {
+                    let report = nomloc_net::loadgen::run(handle.local_addr(), &pipelined, &batch)
+                        .expect("pipelined dispatch pass");
+                    assert_eq!(
+                        report.ok_count(),
+                        batch.len(),
+                        "pipelined dispatch pass must answer every request"
+                    );
+                    best[i] = best[i].min(1.0e9 / report.throughput_rps());
+                    let report = nomloc_net::loadgen::run(handle.local_addr(), &closed, &batch)
+                        .expect("closed-loop dispatch pass");
+                    assert_eq!(
+                        report.ok_count(),
+                        batch.len(),
+                        "closed-loop dispatch pass must answer every request"
+                    );
+                    if report.throughput_rps() > best_rps[i] {
+                        best_rps[i] = report.throughput_rps();
+                        best_p99[i] = report
+                            .per_worker_quantile(0.99)
+                            .iter()
+                            .map(|d| d.as_nanos() as f64)
+                            .fold(0.0, f64::max);
+                    }
+                }
+            }
+
+            let sharded_counters = sharded.stats_snapshot().counters;
+            let single_counters = single.stats_snapshot().counters;
+            for (side, c) in [("sharded", &sharded_counters), ("single", &single_counters)] {
+                assert_eq!(
+                    c.batches_mixed, 0,
+                    "{side} dispatch bench formed a mixed batch"
+                );
+            }
+            assert_eq!(
+                single_counters.queue_steals, 0,
+                "the single-queue oracle has nothing to steal from"
+            );
+            let queue_shards = nomloc_net::DaemonConfig::default().queue_shards;
+            let sharded_depth_peak = sharded.shutdown().queue_depth_peak;
+            let single_depth_peak = single.shutdown().queue_depth_peak;
+            DispatchScale {
+                live_venues: live,
+                connections: 8,
+                requests: batch.len(),
+                queue_shards,
+                sharded_ns_per_request: best[0],
+                single_ns_per_request: best[1],
+                improvement_pct: (best[1] / best[0] - 1.0) * 100.0,
+                sharded_closed_rps: best_rps[0],
+                single_closed_rps: best_rps[1],
+                sharded_worst_worker_p99_ns: best_p99[0],
+                single_worst_worker_p99_ns: best_p99[1],
+                queue_steals: sharded_counters.queue_steals,
+                enqueue_contention: sharded_counters.enqueue_contention,
+                sharded_depth_peak,
+                single_depth_peak,
+            }
+        })
+        .collect()
+}
+
 /// Per-request serving cost with a given number of live venues (see
 /// [`run_venue_scales`]).
 struct VenueScale {
@@ -629,6 +793,11 @@ fn main() {
     let venue_batch = workload(if quick_mode() { 240 } else { 480 }, 2);
     let venue_scales = run_venue_scales(venue_counts, &venue_batch);
 
+    // --- Dispatch plane: sharded venue-affine queues vs the single-queue
+    // oracle, at 1 and 100 live venues.
+    let dispatch_requests = if quick_mode() { 12_000 } else { 16_000 };
+    let dispatch_scales = run_dispatch(&[1, 100], dispatch_requests);
+
     // --- Session plane: per-request cost of stateful tracking.
     let sessions = run_sessions(&venue_batch);
     let sessions_json = format!(
@@ -654,15 +823,40 @@ fn main() {
         })
         .collect();
     let venues_json = format!("[{}]", venues_json.join(", "));
+    let dispatch_json: Vec<String> = dispatch_scales
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"live_venues\": {}, \"connections\": {}, \"requests\": {}, \"queue_shards\": {}, \"sharded_ns_per_request\": {:.1}, \"single_ns_per_request\": {:.1}, \"improvement_pct\": {:.2}, \"sharded_closed_rps\": {:.0}, \"single_closed_rps\": {:.0}, \"sharded_worst_worker_p99_ns\": {:.0}, \"single_worst_worker_p99_ns\": {:.0}, \"queue_steals\": {}, \"enqueue_contention\": {}, \"sharded_depth_peak\": {}, \"single_depth_peak\": {}}}",
+                d.live_venues,
+                d.connections,
+                d.requests,
+                d.queue_shards,
+                d.sharded_ns_per_request,
+                d.single_ns_per_request,
+                d.improvement_pct,
+                d.sharded_closed_rps,
+                d.single_closed_rps,
+                d.sharded_worst_worker_p99_ns,
+                d.single_worst_worker_p99_ns,
+                d.queue_steals,
+                d.enqueue_contention,
+                d.sharded_depth_peak,
+                d.single_depth_peak,
+            )
+        })
+        .collect();
+    let dispatch_json = format!("[{}]", dispatch_json.join(", "));
     let soak_json = match &soak {
         Some(s) => format!(
-            "{{\"backend\": \"event-loop\", \"idle_target\": {}, \"connections_held\": {}, \"active_requests\": {}, \"active_ns_per_request\": {:.1}, \"active_p99_ns_base\": {:.0}, \"active_p99_ns_idle\": {:.0}, \"daemon_rss_delta_bytes\": {}, \"rss_bytes_per_connection\": {:.1}}}",
+            "{{\"backend\": \"event-loop\", \"idle_target\": {}, \"connections_held\": {}, \"active_requests\": {}, \"active_ns_per_request\": {:.1}, \"active_p99_ns_base\": {:.0}, \"active_p99_ns_idle\": {:.0}, \"idle_p99_ratio\": {:.3}, \"daemon_rss_delta_bytes\": {}, \"rss_bytes_per_connection\": {:.1}}}",
             s.idle_target,
             s.connections_held,
             s.active_requests,
             s.active_ns_per_request,
             s.active_p99_ns_base,
             s.active_p99_ns_idle,
+            s.active_p99_ns_idle / s.active_p99_ns_base.max(1.0),
             s.daemon_rss_delta_bytes,
             s.rss_bytes_per_connection,
         ),
@@ -670,7 +864,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"requests\": {n_requests},\n  \"stages\": {{\"decode_ns_per_request\": {decode_ns:.1}, \"pdp_ns_per_request\": {pdp_ns:.1}, \"constraints_ns_per_request\": {constraints_ns:.1}, \"lp_ns_per_request\": {lp_ns:.1}, \"encode_ns_per_request\": {encode_ns:.1}}},\n  \"fft\": {{\"points\": 256, \"planned_ns\": {fft_planned_ns:.1}, \"naive_ns\": {fft_naive_ns:.1}, \"speedup\": {fft_speedup:.4}}},\n  \"pdp_batched\": {{\"batched_ns_per_request\": {pdp_batched_ns:.1}, \"per_packet_ns_per_request\": {pdp_per_packet_ns:.1}, \"speedup\": {pdp_batched_speedup:.4}}},\n  \"pdp_64\": {{\"planned_ns_per_burst\": {pdp64_planned_ns:.1}, \"unplanned_ns_per_burst\": {pdp64_naive_ns:.1}, \"speedup\": {pdp64_speedup:.4}}},\n  \"encode\": {{\"pooled_ns_per_reply\": {encode_pooled_ns:.1}, \"fresh_ns_per_reply\": {encode_fresh_ns:.1}, \"speedup\": {encode_speedup:.4}}},\n  \"end_to_end\": {{\"optimized_ns_per_request\": {e2e_optimized_ns:.1}, \"naive_ns_per_request\": {e2e_naive_ns:.1}, \"speedup\": {e2e_speedup:.4}}},\n  \"soak\": {soak_json},\n  \"venues\": {venues_json},\n  \"sessions\": {sessions_json}\n}}\n"
+        "{{\n  \"requests\": {n_requests},\n  \"stages\": {{\"decode_ns_per_request\": {decode_ns:.1}, \"pdp_ns_per_request\": {pdp_ns:.1}, \"constraints_ns_per_request\": {constraints_ns:.1}, \"lp_ns_per_request\": {lp_ns:.1}, \"encode_ns_per_request\": {encode_ns:.1}}},\n  \"fft\": {{\"points\": 256, \"planned_ns\": {fft_planned_ns:.1}, \"naive_ns\": {fft_naive_ns:.1}, \"speedup\": {fft_speedup:.4}}},\n  \"pdp_batched\": {{\"batched_ns_per_request\": {pdp_batched_ns:.1}, \"per_packet_ns_per_request\": {pdp_per_packet_ns:.1}, \"speedup\": {pdp_batched_speedup:.4}}},\n  \"pdp_64\": {{\"planned_ns_per_burst\": {pdp64_planned_ns:.1}, \"unplanned_ns_per_burst\": {pdp64_naive_ns:.1}, \"speedup\": {pdp64_speedup:.4}}},\n  \"encode\": {{\"pooled_ns_per_reply\": {encode_pooled_ns:.1}, \"fresh_ns_per_reply\": {encode_fresh_ns:.1}, \"speedup\": {encode_speedup:.4}}},\n  \"end_to_end\": {{\"optimized_ns_per_request\": {e2e_optimized_ns:.1}, \"naive_ns_per_request\": {e2e_naive_ns:.1}, \"speedup\": {e2e_speedup:.4}}},\n  \"soak\": {soak_json},\n  \"venues\": {venues_json},\n  \"dispatch\": {dispatch_json},\n  \"sessions\": {sessions_json}\n}}\n"
     );
 
     println!(
@@ -700,13 +894,35 @@ fn main() {
     if let Some(s) = &soak {
         println!(
             "soak: {} idle connections held on the event-loop backend — active {:.0} ns/req, \
-             p99 {:.2} ms idle vs {:.2} ms base, daemon RSS {:+} KiB ({:.0} B/conn)",
+             p99 {:.2} ms idle vs {:.2} ms base ({:.2}x), daemon RSS {:+} KiB ({:.0} B/conn)",
             s.connections_held,
             s.active_ns_per_request,
             s.active_p99_ns_idle / 1e6,
             s.active_p99_ns_base / 1e6,
+            s.active_p99_ns_idle / s.active_p99_ns_base.max(1.0),
             s.daemon_rss_delta_bytes / 1024,
             s.rss_bytes_per_connection,
+        );
+    }
+
+    for d in &dispatch_scales {
+        println!(
+            "dispatch: {} venues, {} conns — sharded {:.0} ns/req vs single-queue {:.0} ns/req \
+             ({:+.1}%), closed-loop {:.0} vs {:.0} rps, worst worker p99 {:.2} vs {:.2} ms, \
+             {} steals, {} contended enqueues, depth peak {} vs {}",
+            d.live_venues,
+            d.connections,
+            d.sharded_ns_per_request,
+            d.single_ns_per_request,
+            d.improvement_pct,
+            d.sharded_closed_rps,
+            d.single_closed_rps,
+            d.sharded_worst_worker_p99_ns / 1e6,
+            d.single_worst_worker_p99_ns / 1e6,
+            d.queue_steals,
+            d.enqueue_contention,
+            d.sharded_depth_peak,
+            d.single_depth_peak,
         );
     }
 

@@ -141,6 +141,9 @@ pub struct ServeSpec {
     pub max_wait_us: u64,
     /// Daemon: admission-queue capacity (`Overloaded` beyond it).
     pub queue_cap: usize,
+    /// Daemon: venue-affine dispatch shards (`1` = the legacy single
+    /// admission queue, kept as the A/B correctness oracle).
+    pub queue_shards: usize,
     /// Daemon: acceptor threads sharing the listening socket.
     pub acceptors: usize,
     /// Daemon: batcher threads forming micro-batches.
@@ -171,6 +174,7 @@ impl Default for ServeSpec {
             max_batch: 32,
             max_wait_us: 500,
             queue_cap: 1024,
+            queue_shards: 8,
             acceptors: 2,
             batchers: 2,
             max_requests: 0,
@@ -222,6 +226,11 @@ pub struct LoadgenSpec {
     /// (carried across reconnects); the report adds the per-session
     /// smoothed-vs-raw deviation.
     pub sessions: bool,
+    /// Closed-loop worker count (`0` = open-loop pipelined). `N > 0`
+    /// drives N synchronous send-one-wait-one workers, each on its own
+    /// connection, and reports aggregate RPS plus the worst per-worker
+    /// p99 — the contended-dispatch view. Overrides `--connections`.
+    pub concurrency: usize,
 }
 
 impl Default for LoadgenSpec {
@@ -241,6 +250,7 @@ impl Default for LoadgenSpec {
             venues: 0,
             zipf: 1.0,
             sessions: false,
+            concurrency: 0,
         }
     }
 }
@@ -432,6 +442,8 @@ SERVE OPTIONS:
     --max-batch N                 daemon: micro-batch size cap (default 32)
     --max-wait-us N               daemon: micro-batch max wait (default 500)
     --queue-cap N                 daemon: admission queue cap (default 1024)
+    --queue-shards N              daemon: venue-affine dispatch shards
+                                  (default 8; 1 = legacy single queue)
     --acceptors N                 daemon: acceptor threads (default 2)
     --batchers N                  daemon: batcher threads (default 2)
     --max-requests N              daemon: exit after N responses (default 0
@@ -475,6 +487,11 @@ LOADGEN OPTIONS:
     --sessions                    sessioned traffic: one long-lived session
                                   per connection (survives reconnects);
                                   reports per-session smoothing deviation
+    --concurrency N               closed loop: N synchronous workers, one
+                                  connection each, send-one-wait-one;
+                                  reports aggregate RPS + worst per-worker
+                                  p99 (default 0 = open-loop pipelined;
+                                  overrides --connections)
 
 CHAOS OPTIONS:
     --venue lab|lobby|mall        workload venue (default lab)
@@ -686,6 +703,12 @@ fn parse_serve(args: &[String]) -> Result<ServeSpec, ParseError> {
                     return Err(err("flag `--queue-cap`: must be positive"));
                 }
             }
+            "--queue-shards" => {
+                spec.queue_shards = parse_usize(flag, take_value(flag, &mut it)?)?;
+                if spec.queue_shards == 0 {
+                    return Err(err("flag `--queue-shards`: must be positive"));
+                }
+            }
             "--acceptors" => {
                 spec.acceptors = parse_usize(flag, take_value(flag, &mut it)?)?;
                 if spec.acceptors == 0 {
@@ -748,6 +771,7 @@ fn parse_loadgen(args: &[String]) -> Result<LoadgenSpec, ParseError> {
             "--venues" => spec.venues = parse_usize(flag, take_value(flag, &mut it)?)?,
             "--zipf" => spec.zipf = parse_f64(flag, take_value(flag, &mut it)?)?,
             "--sessions" => spec.sessions = true,
+            "--concurrency" => spec.concurrency = parse_usize(flag, take_value(flag, &mut it)?)?,
             other => return Err(err(format!("unknown loadgen flag `{other}`"))),
         }
     }
@@ -1024,6 +1048,7 @@ pub fn start_daemon(spec: &ServeSpec) -> Result<nomloc_net::DaemonHandle, String
         max_batch: spec.max_batch,
         max_wait: std::time::Duration::from_micros(spec.max_wait_us),
         queue_capacity: spec.queue_cap,
+        queue_shards: spec.queue_shards,
         socket_backend: spec.socket_backend,
         event_loops: spec.event_loops,
         venue_budget_bytes: spec.venue_budget,
@@ -1095,6 +1120,7 @@ pub fn run_loadgen(spec: &LoadgenSpec) -> Result<String, String> {
         zipf_s: spec.zipf,
         zipf_seed: spec.seed,
         sessions: spec.sessions,
+        concurrency: spec.concurrency,
         ..nomloc_net::LoadgenConfig::default()
     };
     let report =
@@ -1453,7 +1479,8 @@ mod tests {
     fn serve_daemon_flags() {
         let cmd = parse(&args(
             "serve --listen 127.0.0.1:4455 --max-batch 8 --max-wait-us 250 \
-             --queue-cap 64 --acceptors 1 --batchers 3 --max-requests 500",
+             --queue-cap 64 --queue-shards 4 --acceptors 1 --batchers 3 \
+             --max-requests 500",
         ))
         .unwrap();
         assert_eq!(
@@ -1463,6 +1490,7 @@ mod tests {
                 max_batch: 8,
                 max_wait_us: 250,
                 queue_cap: 64,
+                queue_shards: 4,
                 acceptors: 1,
                 batchers: 3,
                 max_requests: 500,
@@ -1472,6 +1500,7 @@ mod tests {
         // Zero is nonsense for sizing knobs and rejected at parse time.
         assert!(parse(&args("serve --max-batch 0")).is_err());
         assert!(parse(&args("serve --queue-cap 0")).is_err());
+        assert!(parse(&args("serve --queue-shards 0")).is_err());
         assert!(parse(&args("serve --acceptors 0")).is_err());
         assert!(parse(&args("serve --batchers 0")).is_err());
         assert!(parse(&args("serve --event-loops 0")).is_err());
@@ -1574,7 +1603,7 @@ mod tests {
             "loadgen --connect 10.0.0.7:4455 --venue mall --connections 8 \
              --requests 2000 --packets 2 --seed 7 --deadline-us 1500 --workers 3 \
              --payload-reuse --socket-backend threaded --idle-connections 5000 \
-             --venues 100 --zipf 1.2 --sessions",
+             --venues 100 --zipf 1.2 --sessions --concurrency 6",
         ))
         .unwrap();
         assert_eq!(
@@ -1594,6 +1623,7 @@ mod tests {
                 venues: 100,
                 zipf: 1.2,
                 sessions: true,
+                concurrency: 6,
             })
         );
         assert_eq!(
@@ -1719,6 +1749,24 @@ mod tests {
             4,
             "missing per-venue health:\n{out}"
         );
+    }
+
+    #[test]
+    fn run_loadgen_closed_loop_smoke() {
+        let out = run_loadgen(&LoadgenSpec {
+            requests: 16,
+            packets: 2,
+            workers: 2,
+            venues: 3,
+            concurrency: 4,
+            ..LoadgenSpec::default()
+        })
+        .unwrap();
+        assert!(
+            out.contains("closed-loop: 4 workers"),
+            "missing closed-loop report line:\n{out}"
+        );
+        assert!(out.contains(", 0 mixed"), "mixed batches:\n{out}");
     }
 
     #[test]

@@ -285,6 +285,16 @@ pub struct CounterTotals {
     pub deadline_missed: u64,
     /// High-water mark of the serving admission queue depth.
     pub queue_depth_peak: u64,
+    /// Admissions that found their dispatch-shard lock held and had to
+    /// block for it (sharded batching plane; always 0 on the single-queue
+    /// layout, where every admission takes the one global lock).
+    pub enqueue_contention: u64,
+    /// Micro-batches a batcher pulled from a *sibling* shard because its
+    /// own shard ran dry (work stealing in the sharded batching plane).
+    pub queue_steals: u64,
+    /// High-water mark of any single dispatch shard's queue depth
+    /// (sharded batching plane; 0 on the single-queue layout).
+    pub shard_depth_peak: u64,
     /// Reply-frame bytes encoded by the serving layer.
     pub reply_bytes_encoded: u64,
     /// Reply-frame bytes encoded into a pooled (reused) buffer rather than
@@ -369,6 +379,11 @@ impl fmt::Display for StatsSnapshot {
             writeln!(f, "  overload rejections   {}", c.queue_rejected)?;
             writeln!(f, "  deadline misses       {}", c.deadline_missed)?;
         }
+        if c.queue_steals > 0 || c.enqueue_contention > 0 || c.shard_depth_peak > 0 {
+            writeln!(f, "  shard depth peak      {}", c.shard_depth_peak)?;
+            writeln!(f, "  queue steals          {}", c.queue_steals)?;
+            writeln!(f, "  enqueue contention    {}", c.enqueue_contention)?;
+        }
         if c.pool_hits > 0 || c.pool_misses > 0 {
             let checkouts = c.pool_hits + c.pool_misses;
             writeln!(
@@ -430,6 +445,9 @@ pub struct PipelineStats {
     queue_rejected: AtomicU64,
     deadline_missed: AtomicU64,
     queue_depth_peak: AtomicU64,
+    enqueue_contention: AtomicU64,
+    queue_steals: AtomicU64,
+    shard_depth_peak: AtomicU64,
     reply_bytes_encoded: AtomicU64,
     reply_bytes_pooled: AtomicU64,
     pool_hits: AtomicU64,
@@ -576,6 +594,23 @@ impl PipelineStats {
         self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Records one admission that found its dispatch-shard lock held
+    /// (sharded batching plane enqueue contention).
+    pub fn record_enqueue_contention(&self) {
+        self.enqueue_contention.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one micro-batch stolen from a sibling dispatch shard.
+    pub fn record_queue_steal(&self) {
+        self.queue_steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the single-shard queue-depth high-water mark to at least
+    /// `depth` (sharded batching plane).
+    pub fn note_shard_depth(&self, depth: u64) {
+        self.shard_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Records one reply-frame encode of `bytes` into a pool checkout that
     /// either `reused` an existing backing store or had to allocate.
     ///
@@ -623,6 +658,9 @@ impl PipelineStats {
                 queue_rejected: self.queue_rejected.load(Ordering::Relaxed),
                 deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
                 queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+                enqueue_contention: self.enqueue_contention.load(Ordering::Relaxed),
+                queue_steals: self.queue_steals.load(Ordering::Relaxed),
+                shard_depth_peak: self.shard_depth_peak.load(Ordering::Relaxed),
                 reply_bytes_encoded: self.reply_bytes_encoded.load(Ordering::Relaxed),
                 reply_bytes_pooled: self.reply_bytes_pooled.load(Ordering::Relaxed),
                 pool_hits: self.pool_hits.load(Ordering::Relaxed),
@@ -663,6 +701,9 @@ impl PipelineStats {
         self.queue_rejected.store(0, Ordering::Relaxed);
         self.deadline_missed.store(0, Ordering::Relaxed);
         self.queue_depth_peak.store(0, Ordering::Relaxed);
+        self.enqueue_contention.store(0, Ordering::Relaxed);
+        self.queue_steals.store(0, Ordering::Relaxed);
+        self.shard_depth_peak.store(0, Ordering::Relaxed);
         self.reply_bytes_encoded.store(0, Ordering::Relaxed);
         self.reply_bytes_pooled.store(0, Ordering::Relaxed);
         self.pool_hits.store(0, Ordering::Relaxed);
@@ -889,6 +930,28 @@ mod tests {
         let s = stats.snapshot();
         assert_eq!(s.counters, CounterTotals::default());
         assert_eq!(s.batch_sizes.count(), 0);
+    }
+
+    #[test]
+    fn dispatch_plane_counters_accumulate_and_reset() {
+        let stats = PipelineStats::new();
+        stats.record_enqueue_contention();
+        stats.record_queue_steal();
+        stats.record_queue_steal();
+        stats.note_shard_depth(7);
+        stats.note_shard_depth(4); // lower than peak: no effect
+        let c = stats.snapshot().counters;
+        assert_eq!(c.enqueue_contention, 1);
+        assert_eq!(c.queue_steals, 2);
+        assert_eq!(c.shard_depth_peak, 7);
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("shard depth peak      7"));
+        assert!(text.contains("queue steals          2"));
+        assert!(text.contains("enqueue contention    1"));
+        stats.reset();
+        let s = stats.snapshot();
+        assert_eq!(s.counters, CounterTotals::default());
+        assert!(!s.to_string().contains("queue steals"));
     }
 
     #[test]

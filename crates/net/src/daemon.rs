@@ -6,11 +6,12 @@
 //! event-loop socket backend:
 //!
 //! ```text
-//!  event loop 0 ─ owns conns ┐       ┌ batcher 0 ┐
-//!  event loop 1 ─ owns conns ┼─▶ bounded ────────┼─▶ process_batch
-//!      …          (epoll)    ┘   queue   ▲       └   └▶ reply → bounded
-//!                                        │              per-conn buffer,
-//!                              Condvar + Mutex<VecDeque> flushed by loop
+//!  event loop 0 ─ owns conns ┐  ┌ shard 0 ─▶ batcher 0 ┐
+//!  event loop 1 ─ owns conns ┼─▶┤ shard 1 ─▶ batcher 1 ┼─▶ process_batch
+//!      …          (epoll)    ┘  │    …    ⤢ steal    … │    └▶ reply →
+//!                               └ shard N-1 ───────────┘  bounded per-conn
+//!                      venue→shard fib hash;              buffer, flushed
+//!                      park/unpark wakeups                by owning loop
 //! ```
 //!
 //! * **Socket backends** ([`SocketBackend`]): the default `EventLoop`
@@ -24,13 +25,16 @@
 //!   protocol violation (bad magic, CRC, version…) answers with a
 //!   `Malformed` reply for request id 0 and closes the connection.
 //! * **Cross-connection micro-batching**: readers push decoded requests
-//!   into one bounded queue; `batchers` threads pop the head and then
-//!   coalesce up to `max_batch` requests, waiting at most `max_wait` —
-//!   requests from *different* connections land in the same
-//!   `LocalizationServer::process_batch` call.
-//! * **Admission control**: when the queue holds `queue_capacity`
-//!   requests, new arrivals are answered `Overloaded` immediately instead
-//!   of buffering without bound.
+//!   into the dispatch plane (see [`dispatch`]) — `queue_shards`
+//!   venue-affine shard queues by default, or the legacy single global
+//!   queue with `--queue-shards 1`; `batchers` threads pop
+//!   venue-homogeneous batches of up to `max_batch` requests, waiting at
+//!   most `max_wait` — requests from *different* connections land in the
+//!   same `LocalizationServer::process_batch` call.
+//! * **Admission control**: when the plane holds `queue_capacity`
+//!   requests (a global bound, regardless of sharding), new arrivals are
+//!   answered `Overloaded` immediately instead of buffering without
+//!   bound.
 //! * **Deadlines**: a request carrying `deadline_us > 0` that ages past
 //!   it while queued is answered `DeadlineExceeded` and never solved.
 //! * **Graceful drain**: [`DaemonHandle::shutdown`] stops the acceptors
@@ -48,15 +52,15 @@ use nomloc_core::server::CsiReport;
 use nomloc_core::stats::{PipelineStats, StatsSnapshot};
 use nomloc_core::{EstimateQuality, LocalizationServer};
 use nomloc_faults::{FaultClass, FaultPlan};
-use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+mod dispatch;
 #[cfg(unix)]
 mod event;
 
@@ -124,7 +128,14 @@ pub struct DaemonConfig {
     /// …or once this much time has passed since its first request.
     pub max_wait: Duration,
     /// Admission-queue capacity; arrivals beyond it get `Overloaded`.
+    /// A *global* bound: the sharded plane enforces it with one atomic
+    /// gauge across all shards.
     pub queue_capacity: usize,
+    /// Shard count of the venue-affine dispatch plane. `1` selects the
+    /// legacy single global queue (the A/B correctness oracle for the
+    /// sharded layout); higher values spread venues over that many
+    /// lock-light shard queues by fibonacci hash.
+    pub queue_shards: usize,
     /// Artificial pause before each batch solve. Zero in production; the
     /// overload tests use it to throttle the drain rate deterministically.
     pub batch_pause: Duration,
@@ -168,6 +179,7 @@ impl Default for DaemonConfig {
             max_batch: 32,
             max_wait: Duration::from_micros(500),
             queue_capacity: 1024,
+            queue_shards: 8,
             batch_pause: Duration::ZERO,
             fault_plan: None,
             kill_batcher_every: 0,
@@ -260,8 +272,12 @@ struct Shared {
     /// every per-venue server the registry builds).
     stats: Arc<PipelineStats>,
     config: DaemonConfig,
-    queue: Mutex<VecDeque<Pending>>,
-    queue_cv: Condvar,
+    /// The admission/dispatch plane: sharded venue-affine queues, or the
+    /// single-queue oracle when `queue_shards <= 1`.
+    dispatch: dispatch::Dispatch,
+    /// The batching parameters `dispatch` needs, copied out of `config`
+    /// once at spawn.
+    dispatch_config: dispatch::DispatchConfig,
     shutting_down: AtomicBool,
     /// Second shutdown phase (event-loop backend): every batcher is
     /// joined and every reply queued — loops flush their remaining
@@ -339,9 +355,13 @@ pub fn spawn<A: ToSocketAddrs>(
     let shared = Arc::new(Shared {
         registry,
         stats,
+        dispatch: dispatch::Dispatch::new(config.queue_shards, config.batchers.max(1)),
+        dispatch_config: dispatch::DispatchConfig {
+            max_batch: config.max_batch,
+            max_wait: config.max_wait,
+            queue_capacity: config.queue_capacity,
+        },
         config: config.clone(),
-        queue: Mutex::new(VecDeque::new()),
-        queue_cv: Condvar::new(),
         shutting_down: AtomicBool::new(false),
         drain_flush: AtomicBool::new(false),
         net: NetCounters::default(),
@@ -369,8 +389,8 @@ pub fn spawn<A: ToSocketAddrs>(
     };
 
     let mut batchers = Vec::with_capacity(config.batchers.max(1));
-    for _ in 0..config.batchers.max(1) {
-        batchers.push(spawn_batcher(&shared));
+    for idx in 0..config.batchers.max(1) {
+        batchers.push(spawn_batcher(&shared, idx));
     }
     let watchdog = {
         let shared = Arc::clone(&shared);
@@ -399,9 +419,9 @@ fn spawn_event_layer(_shared: &Arc<Shared>, _listener: &TcpListener) -> io::Resu
     ))
 }
 
-fn spawn_batcher(shared: &Arc<Shared>) -> JoinHandle<()> {
+fn spawn_batcher(shared: &Arc<Shared>, idx: usize) -> JoinHandle<()> {
     let shared = Arc::clone(shared);
-    std::thread::spawn(move || batcher_loop(&shared))
+    std::thread::spawn(move || batcher_loop(&shared, idx))
 }
 
 /// Supervises the batcher pool: any batcher that dies (the
@@ -411,9 +431,12 @@ fn spawn_batcher(shared: &Arc<Shared>) -> JoinHandle<()> {
 /// requeued, preserving the every-admitted-request-is-answered contract.
 fn watchdog_loop(shared: &Arc<Shared>, mut batchers: Vec<JoinHandle<()>>) {
     while !shared.shutting_down.load(Ordering::Acquire) {
-        for slot in batchers.iter_mut() {
+        for (idx, slot) in batchers.iter_mut().enumerate() {
             if slot.is_finished() && !shared.shutting_down.load(Ordering::Acquire) {
-                let dead = std::mem::replace(slot, spawn_batcher(shared));
+                // Respawn into the same slot index, so the replacement
+                // inherits the dead batcher's shard affinity and parking
+                // slot (it re-registers its own thread handle on entry).
+                let dead = std::mem::replace(slot, spawn_batcher(shared, idx));
                 let _ = dead.join();
                 shared
                     .net
@@ -427,17 +450,32 @@ fn watchdog_loop(shared: &Arc<Shared>, mut batchers: Vec<JoinHandle<()>>) {
         shared.sessions.sweep(Instant::now());
         std::thread::sleep(POLL_INTERVAL);
     }
-    shared.queue_cv.notify_all();
+    shared.dispatch.wake_all();
     for h in batchers {
         let _ = h.join();
     }
     // A batcher that killed itself after the shutdown flag was set leaves
     // its requeued batch behind with nobody to respawn for it — answer it
-    // here. `next_batch` returns `false` once the queue is truly empty.
+    // here (single-threaded: every batcher is joined, so requeue races
+    // are over). `next_batch` returns `false` once the plane is truly
+    // empty.
     let mut scratch = BatcherScratch::default();
-    while next_batch(shared, &mut scratch) {
+    while next_batch(shared, 0, &mut scratch) {
         solve_and_reply(shared, &mut scratch);
     }
+}
+
+/// Pops the next venue-homogeneous micro-batch into `scratch.batch`
+/// through the dispatch plane. Returns `false` when the plane is empty
+/// and the daemon is shutting down.
+fn next_batch(shared: &Shared, batcher: usize, scratch: &mut BatcherScratch) -> bool {
+    shared.dispatch.next_batch(
+        batcher,
+        &mut scratch.batch,
+        &shared.dispatch_config,
+        || shared.shutting_down.load(Ordering::Acquire),
+        &shared.stats,
+    )
 }
 
 /// Payload type for deliberately injected panics, so the process-global
@@ -536,10 +574,10 @@ impl DaemonHandle {
                 for h in conns {
                     let _ = h.join();
                 }
-                // The watchdog joins the batchers, which drain the queue
+                // The watchdog joins the batchers, which drain the plane
                 // and exit on (empty && shutting_down), then drains any
                 // kill-requeued tail.
-                shared.queue_cv.notify_all();
+                shared.dispatch.wake_all();
                 let _ = watchdog.join();
             }
             #[cfg(unix)]
@@ -551,7 +589,7 @@ impl DaemonHandle {
                 for l in &loops {
                     l.wake();
                 }
-                shared.queue_cv.notify_all();
+                shared.dispatch.wake_all();
                 let _ = watchdog.join();
                 // Phase two: every reply is queued — tell the loops to
                 // flush their remaining outbound bytes and exit, so
@@ -605,6 +643,10 @@ fn health_of(shared: &Shared) -> ServerHealth {
         pool_hits: snap.counters.pool_hits,
         pool_misses: snap.counters.pool_misses,
         slow_readers_evicted: net.slow_readers_evicted.load(Ordering::Relaxed),
+        enqueue_contention: snap.counters.enqueue_contention,
+        queue_steals: snap.counters.queue_steals,
+        shard_depth_peak: snap.counters.shard_depth_peak,
+        queue_shards: shared.config.queue_shards.max(1) as u64,
         venues: shared.registry.health(),
     }
 }
@@ -794,28 +836,27 @@ fn handle_frame(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, frame: Frame) ->
                 deadline,
                 writer: Arc::clone(writer),
             };
-            let admitted = {
-                let mut q = shared.queue.lock().unwrap();
-                if shared.shutting_down.load(Ordering::Acquire)
-                    || q.len() >= shared.config.queue_capacity
-                {
-                    false
-                } else {
-                    q.push_back(pending);
-                    shared.stats.note_queue_depth(q.len() as u64);
-                    true
+            match shared.dispatch.admit(
+                pending,
+                shared.shutting_down.load(Ordering::Acquire),
+                &shared.dispatch_config,
+                &shared.stats,
+            ) {
+                Ok(()) => {
+                    shared.net.requests_enqueued.fetch_add(1, Ordering::Relaxed);
                 }
-            };
-            if admitted {
-                shared.net.requests_enqueued.fetch_add(1, Ordering::Relaxed);
-                shared.queue_cv.notify_one();
-            } else {
-                shared.stats.record_overload();
-                reply(
-                    shared,
-                    writer,
-                    error_reply(request_id, ErrorCode::Overloaded, "admission queue full"),
-                );
+                Err(rejected) => {
+                    shared.stats.record_overload();
+                    reply(
+                        shared,
+                        &rejected.writer,
+                        error_reply(
+                            rejected.request_id,
+                            ErrorCode::Overloaded,
+                            "admission queue full",
+                        ),
+                    );
+                }
             }
             Ok(())
         }
@@ -922,26 +963,23 @@ struct BatcherScratch {
     reader: RegistryReader,
 }
 
-fn batcher_loop(shared: &Arc<Shared>) {
+fn batcher_loop(shared: &Arc<Shared>, idx: usize) {
+    shared.dispatch.register_batcher(idx);
     let mut scratch = BatcherScratch::default();
     loop {
-        if !next_batch(shared, &mut scratch) {
+        if !next_batch(shared, idx, &mut scratch) {
             return; // drained and shutting down
         }
         let popped = shared.net.batches_popped.fetch_add(1, Ordering::Relaxed) + 1;
         let kill = shared.config.kill_batcher_every;
         if kill > 1 && popped.is_multiple_of(kill) {
-            // Simulated batcher death: requeue the batch at the queue
-            // front — no admitted request is lost — and exit the thread.
-            // The watchdog notices and respawns within one poll interval.
-            // (`kill == 1` would livelock every batcher, so it is treated
-            // as disabled along with 0.)
-            let mut q = shared.queue.lock().unwrap();
-            for p in scratch.batch.drain(..).rev() {
-                q.push_front(p);
-            }
-            drop(q);
-            shared.queue_cv.notify_all();
+            // Simulated batcher death: requeue the batch at the front of
+            // its queue (its venue's FIFO, in its own shard, on the
+            // sharded plane) — no admitted request is lost — and exit the
+            // thread. The watchdog notices and respawns within one poll
+            // interval. (`kill == 1` would livelock every batcher, so it
+            // is treated as disabled along with 0.)
+            shared.dispatch.requeue_front(&mut scratch.batch);
             return;
         }
         if !shared.config.batch_pause.is_zero() {
@@ -949,64 +987,6 @@ fn batcher_loop(shared: &Arc<Shared>) {
         }
         solve_and_reply(shared, &mut scratch);
     }
-}
-
-/// Blocks for the next micro-batch: pops the queue head, then coalesces
-/// *same-venue* requests until `max_batch` requests or `max_wait` elapsed
-/// since the head popped. Sharding by venue keeps every micro-batch
-/// venue-homogeneous, so `solve_and_reply` resolves the registry exactly
-/// once per batch; with a single live venue the shard scan degenerates to
-/// the old pop-front. The batch lands in `scratch.batch` (cleared first,
-/// capacity reused). Returns `false` when the queue is empty and the
-/// daemon is shutting down.
-fn next_batch(shared: &Shared, scratch: &mut BatcherScratch) -> bool {
-    let batch = &mut scratch.batch;
-    batch.clear();
-    let mut q = shared.queue.lock().unwrap();
-    let venue;
-    loop {
-        if let Some(p) = q.pop_front() {
-            venue = p.venue;
-            batch.push(p);
-            break;
-        }
-        if shared.shutting_down.load(Ordering::Acquire) {
-            return false;
-        }
-        let (guard, _) = shared.queue_cv.wait_timeout(q, POLL_INTERVAL).unwrap();
-        q = guard;
-    }
-    // Pulls the first queued request for the head's venue, if any. Other
-    // venues' requests stay queued in arrival order for the next batcher.
-    let pop_same_venue = |q: &mut VecDeque<Pending>| {
-        let pos = q.iter().position(|p| p.venue == venue)?;
-        q.remove(pos)
-    };
-    let flush_by = Instant::now() + shared.config.max_wait;
-    while batch.len() < shared.config.max_batch {
-        if let Some(p) = pop_same_venue(&mut q) {
-            batch.push(p);
-            continue;
-        }
-        if shared.shutting_down.load(Ordering::Acquire) {
-            break; // drain mode: flush immediately
-        }
-        let now = Instant::now();
-        if now >= flush_by {
-            break;
-        }
-        let (guard, timeout) = shared.queue_cv.wait_timeout(q, flush_by - now).unwrap();
-        q = guard;
-        if timeout.timed_out() {
-            // Re-check the queue once more, then flush what we have.
-            if let Some(p) = pop_same_venue(&mut q) {
-                batch.push(p);
-            }
-            break;
-        }
-    }
-    drop(q);
-    true
 }
 
 fn solve_and_reply(shared: &Shared, scratch: &mut BatcherScratch) {

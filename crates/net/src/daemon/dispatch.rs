@@ -1,0 +1,566 @@
+//! The admission/dispatch plane between the socket layer and the
+//! batcher pool: either the legacy single global queue (the correctness
+//! oracle, `queue_shards <= 1`) or the venue-affine sharded batching
+//! plane (`queue_shards > 1`).
+//!
+//! **Single queue** (legacy layout, retained behind the flag): one
+//! `Mutex<VecDeque>` + `Condvar`. Every enqueue and every batch pop
+//! contends on the same lock, batch formation scans the whole queue for
+//! same-venue requests, and wakeups are condvar broadcasts.
+//!
+//! **Sharded plane**: `queue_shards` bounded shard queues, venue→shard
+//! by fibonacci hash, so a socket thread enqueues with exactly one
+//! shard-local lock (contention is counted, never spun on) and batchers
+//! pop *already venue-homogeneous* batches with no scan at all — each
+//! shard keeps per-venue FIFOs threaded on a round-robin venue order,
+//! so batch formation is pop-front. Shard `s` is *owned* by batcher
+//! `s mod B`: each batcher round-robins its disjoint owned set (so
+//! every shard has a bounded service interval even with `B < N`), and
+//! only when the whole set is dry does it steal from the others, in
+//! deterministic order from a per-batcher rotating cursor — a hot venue
+//! can neither strand cold batchers nor starve a cold shard. Wakeups
+//! are targeted park/unpark: an enqueue unparks the shard's owner
+//! (falling back to any parked batcher, which will steal), bounded by
+//! the same [`POLL_INTERVAL`] backstop every blocking wait in the
+//! daemon uses.
+//!
+//! **Shared contract, both layouts**: admission control is a *global*
+//! capacity (an atomic depth gauge on the sharded plane), so
+//! `queue_depth_peak <= queue_capacity` and `Overloaded` accounting are
+//! layout-invariant; queued-deadline expiry stays per-request at solve
+//! time; a dying batcher requeues its (venue-homogeneous) batch at the
+//! front of that venue's FIFO in its own shard; and drain-on-shutdown
+//! empties every shard before `next_batch` reports dry — every admitted
+//! request is answered.
+
+use super::{Pending, POLL_INTERVAL};
+use nomloc_core::stats::PipelineStats;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+/// Venue→shard by fibonacci hashing — the same multiplicative mix the
+/// session table uses, so consecutive venue ids spread evenly.
+fn shard_of(venue: u64, shards: usize) -> usize {
+    (venue.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize % shards
+}
+
+/// Parameters `next_batch` needs from the daemon config, copied once at
+/// construction so the plane is self-contained.
+#[derive(Clone, Copy)]
+pub(super) struct DispatchConfig {
+    pub max_batch: usize,
+    pub max_wait: Duration,
+    pub queue_capacity: usize,
+}
+
+/// One venue's FIFO within a shard, plus whether the venue currently
+/// occupies a slot in the shard's round-robin order.
+#[derive(Default)]
+struct VenueQueue {
+    q: VecDeque<Pending>,
+    /// The venue id is present in `ShardState::order`. Kept in lockstep
+    /// so a venue is never listed twice (which would double-serve it) or
+    /// dropped while it still holds requests (which would strand them).
+    listed: bool,
+}
+
+#[derive(Default)]
+struct ShardState {
+    /// Round-robin service order over venues with queued requests. A
+    /// venue goes to the *back* after each batch, so a cold venue in the
+    /// same shard is reached within one pass of the listed venues —
+    /// bounded batches, no starvation.
+    order: VecDeque<u64>,
+    venues: HashMap<u64, VenueQueue>,
+    /// Requests queued in this shard (the global gauge lives in
+    /// [`Sharded::depth`]).
+    len: usize,
+}
+
+/// One batcher's parking slot: the targeted-wakeup half of the plane.
+struct BatcherSlot {
+    /// The batcher is parked (or about to park) and wants an unpark.
+    /// `swap(false)` on the waker side makes each token single-use.
+    parked: AtomicBool,
+    /// The thread to unpark, registered by the batcher itself on entry
+    /// (and re-registered by a watchdog respawn taking over the slot).
+    thread: Mutex<Option<Thread>>,
+    /// Round-robin cursor over the batcher's *owned* shards (shard `s`
+    /// is owned by batcher `s % B`). Advanced past each batch, so a
+    /// persistently hot owned shard cannot shadow a cold sibling in the
+    /// same set — the cross-shard half of the no-starvation guarantee
+    /// (the per-venue round-robin in [`ShardState::order`] is the
+    /// within-shard half).
+    own_cursor: AtomicUsize,
+    /// Rotating start of the steal scan over *non-owned* shards, used
+    /// only when every owned shard is dry. Advanced past each
+    /// successful steal for the same fairness reason.
+    steal_cursor: AtomicUsize,
+}
+
+/// The sharded half of the plane (fields private to this module; the
+/// daemon drives it through [`Dispatch`]'s methods).
+pub(super) struct Sharded {
+    shards: Vec<Mutex<ShardState>>,
+    /// Global queued-request gauge: admission CAS-reserves a slot here
+    /// *before* touching any shard, so the `queue_capacity` bound and
+    /// `queue_depth_peak` keep the exact single-queue semantics.
+    depth: AtomicUsize,
+    batchers: Vec<BatcherSlot>,
+}
+
+impl Sharded {
+    fn try_unpark(&self, idx: usize) -> bool {
+        if self.batchers[idx].parked.swap(false, Ordering::AcqRel) {
+            if let Some(t) = &*self.batchers[idx].thread.lock().unwrap() {
+                t.unpark();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Targeted wakeup for an enqueue into `shard`: first the shard's
+    /// owner (`shard % B`), then any parked batcher (which will steal
+    /// its way to the work). At most one thread is woken per enqueue.
+    fn wake_for_shard(&self, shard: usize) {
+        if self.try_unpark(shard % self.batchers.len()) {
+            return;
+        }
+        for b in 0..self.batchers.len() {
+            if self.try_unpark(b) {
+                return;
+            }
+        }
+    }
+
+    /// Pops one venue-homogeneous batch (≤ `max_batch`) off `shard`'s
+    /// round-robin order. No scan: the per-venue FIFO is drained from
+    /// the front. Returns the batch's venue, or `None` if the shard has
+    /// no queued requests.
+    fn pop_batch_from(
+        &self,
+        shard: usize,
+        batch: &mut Vec<Pending>,
+        max_batch: usize,
+    ) -> Option<u64> {
+        let mut state = self.shards[shard].lock().unwrap();
+        loop {
+            let venue = *state.order.front()?;
+            state.order.pop_front();
+            let vq = state
+                .venues
+                .get_mut(&venue)
+                .expect("listed venues have a queue");
+            if vq.q.is_empty() {
+                // Stale listing (a fill-wait or steal emptied it after it
+                // was re-listed): unlist and keep looking.
+                vq.listed = false;
+                state.venues.remove(&venue);
+                continue;
+            }
+            let take = vq.q.len().min(max_batch.saturating_sub(batch.len()).max(1));
+            batch.extend(vq.q.drain(..take));
+            if vq.q.is_empty() {
+                vq.listed = false;
+                state.venues.remove(&venue);
+            } else {
+                // Round-robin: the venue's remainder goes to the back, so
+                // shard-mates get served before its next batch.
+                state.order.push_back(venue);
+            }
+            state.len -= take;
+            self.depth.fetch_sub(take, Ordering::AcqRel);
+            return Some(venue);
+        }
+    }
+
+    /// Pops any queued requests for `venue` from `shard` (front of its
+    /// FIFO, up to the batch's remaining headroom) during the max_wait
+    /// fill window. Returns how many were taken.
+    fn pop_same_venue(
+        &self,
+        shard: usize,
+        venue: u64,
+        batch: &mut Vec<Pending>,
+        max_batch: usize,
+    ) -> usize {
+        let mut state = self.shards[shard].lock().unwrap();
+        let Some(vq) = state.venues.get_mut(&venue) else {
+            return 0;
+        };
+        let take = vq.q.len().min(max_batch.saturating_sub(batch.len()));
+        if take == 0 {
+            return 0;
+        }
+        batch.extend(vq.q.drain(..take));
+        if vq.q.is_empty() && !vq.listed {
+            state.venues.remove(&venue);
+        }
+        state.len -= take;
+        self.depth.fetch_sub(take, Ordering::AcqRel);
+        take
+    }
+}
+
+/// The dispatch plane, selected by `DaemonConfig::queue_shards`.
+pub(super) enum Dispatch {
+    /// The legacy single global queue — the A/B correctness oracle.
+    Single {
+        queue: Mutex<VecDeque<Pending>>,
+        cv: Condvar,
+    },
+    /// The venue-affine sharded batching plane.
+    Sharded(Sharded),
+}
+
+impl Dispatch {
+    pub(super) fn new(queue_shards: usize, batchers: usize) -> Self {
+        if queue_shards <= 1 {
+            Dispatch::Single {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            }
+        } else {
+            Dispatch::Sharded(Sharded {
+                shards: (0..queue_shards).map(|_| Mutex::default()).collect(),
+                depth: AtomicUsize::new(0),
+                batchers: (0..batchers.max(1))
+                    .map(|_| BatcherSlot {
+                        parked: AtomicBool::new(false),
+                        thread: Mutex::new(None),
+                        own_cursor: AtomicUsize::new(0),
+                        steal_cursor: AtomicUsize::new(0),
+                    })
+                    .collect(),
+            })
+        }
+    }
+
+    /// Registers the calling thread as batcher `idx` for targeted
+    /// unparks. Called on batcher entry; a watchdog respawn re-registers
+    /// the slot with the replacement thread.
+    pub(super) fn register_batcher(&self, idx: usize) {
+        if let Dispatch::Sharded(s) = self {
+            if let Some(slot) = s.batchers.get(idx) {
+                *slot.thread.lock().unwrap() = Some(std::thread::current());
+            }
+        }
+    }
+
+    /// Admits `p` under the global capacity bound, or hands it back (the
+    /// `Err`) for an `Overloaded` reply. `shutting_down` closes admission
+    /// entirely. Updates the depth high-water mark (and the per-shard one
+    /// on the sharded plane), then wakes exactly one batcher.
+    pub(super) fn admit(
+        &self,
+        p: Pending,
+        shutting_down: bool,
+        config: &DispatchConfig,
+        stats: &PipelineStats,
+    ) -> Result<(), Pending> {
+        match self {
+            Dispatch::Single { queue, cv } => {
+                let mut q = queue.lock().unwrap();
+                if shutting_down || q.len() >= config.queue_capacity {
+                    return Err(p);
+                }
+                q.push_back(p);
+                stats.note_queue_depth(q.len() as u64);
+                drop(q);
+                cv.notify_one();
+                Ok(())
+            }
+            Dispatch::Sharded(s) => {
+                if shutting_down {
+                    return Err(p);
+                }
+                // Reserve a global slot first (CAS, so two shards can
+                // never jointly overshoot the capacity), then take the
+                // one shard-local lock.
+                let mut depth = s.depth.load(Ordering::Acquire);
+                loop {
+                    if depth >= config.queue_capacity {
+                        return Err(p);
+                    }
+                    match s.depth.compare_exchange_weak(
+                        depth,
+                        depth + 1,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => break,
+                        Err(now) => depth = now,
+                    }
+                }
+                stats.note_queue_depth(depth as u64 + 1);
+                let shard = shard_of(p.venue, s.shards.len());
+                let venue = p.venue;
+                let mut state = match s.shards[shard].try_lock() {
+                    Ok(g) => g,
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        stats.record_enqueue_contention();
+                        s.shards[shard].lock().unwrap()
+                    }
+                    Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                };
+                let vq = state.venues.entry(venue).or_default();
+                vq.q.push_back(p);
+                if !vq.listed {
+                    vq.listed = true;
+                    state.order.push_back(venue);
+                }
+                state.len += 1;
+                stats.note_shard_depth(state.len as u64);
+                drop(state);
+                s.wake_for_shard(shard);
+                Ok(())
+            }
+        }
+    }
+
+    /// Requeues a dying batcher's batch at the *front* of its queue (its
+    /// own shard's venue FIFO on the sharded plane), preserving request
+    /// order, then wakes everyone so a sibling picks it up. The batch is
+    /// venue-homogeneous by construction, so the whole thing goes back
+    /// to one venue FIFO.
+    pub(super) fn requeue_front(&self, batch: &mut Vec<Pending>) {
+        match self {
+            Dispatch::Single { queue, cv } => {
+                let mut q = queue.lock().unwrap();
+                for p in batch.drain(..).rev() {
+                    q.push_front(p);
+                }
+                drop(q);
+                cv.notify_all();
+            }
+            Dispatch::Sharded(s) => {
+                if batch.is_empty() {
+                    return;
+                }
+                let venue = batch[0].venue;
+                let shard = shard_of(venue, s.shards.len());
+                let n = batch.len();
+                // Re-reserve the depth *before* pushing content, keeping
+                // the invariant depth >= queued content (so depth == 0
+                // still implies an empty plane for drain checks).
+                s.depth.fetch_add(n, Ordering::AcqRel);
+                let mut state = s.shards[shard].lock().unwrap();
+                let vq = state.venues.entry(venue).or_default();
+                for p in batch.drain(..).rev() {
+                    vq.q.push_front(p);
+                }
+                if !vq.listed {
+                    vq.listed = true;
+                }
+                // The venue goes to the order *front*: the requeued batch
+                // is the oldest admitted work in this shard.
+                if let Some(pos) = state.order.iter().position(|&v| v == venue) {
+                    state.order.remove(pos);
+                }
+                state.order.push_front(venue);
+                state.len += n;
+                drop(state);
+                self.wake_all();
+            }
+        }
+    }
+
+    /// Wakes every waiter (shutdown, or a requeue that any batcher may
+    /// claim).
+    pub(super) fn wake_all(&self) {
+        match self {
+            Dispatch::Single { cv, .. } => cv.notify_all(),
+            Dispatch::Sharded(s) => {
+                for i in 0..s.batchers.len() {
+                    s.try_unpark(i);
+                }
+            }
+        }
+    }
+
+    /// Blocks for the next venue-homogeneous micro-batch into `batch`
+    /// (cleared first; capacity reused). `batcher` is the caller's slot
+    /// index — it selects the affined shard and the parking slot on the
+    /// sharded plane (the watchdog's final drain passes 0; it never
+    /// parks because a drained plane returns `false` immediately).
+    /// Returns `false` once the plane is empty *and* shutting down.
+    pub(super) fn next_batch(
+        &self,
+        batcher: usize,
+        batch: &mut Vec<Pending>,
+        config: &DispatchConfig,
+        shutting_down: impl Fn() -> bool,
+        stats: &PipelineStats,
+    ) -> bool {
+        batch.clear();
+        match self {
+            Dispatch::Single { queue, cv } => {
+                let mut q = queue.lock().unwrap();
+                let venue;
+                loop {
+                    if let Some(p) = q.pop_front() {
+                        venue = p.venue;
+                        batch.push(p);
+                        break;
+                    }
+                    if shutting_down() {
+                        return false;
+                    }
+                    let (guard, _) = cv.wait_timeout(q, POLL_INTERVAL).unwrap();
+                    q = guard;
+                }
+                // Pulls the first queued request for the head's venue, if
+                // any. Other venues' requests stay queued in arrival order
+                // for the next batcher.
+                let pop_same_venue = |q: &mut VecDeque<Pending>| {
+                    let pos = q.iter().position(|p| p.venue == venue)?;
+                    q.remove(pos)
+                };
+                let flush_by = Instant::now() + config.max_wait;
+                while batch.len() < config.max_batch {
+                    if let Some(p) = pop_same_venue(&mut q) {
+                        batch.push(p);
+                        continue;
+                    }
+                    if shutting_down() {
+                        break; // drain mode: flush immediately
+                    }
+                    let now = Instant::now();
+                    if now >= flush_by {
+                        break;
+                    }
+                    let (guard, timeout) = cv.wait_timeout(q, flush_by - now).unwrap();
+                    q = guard;
+                    if timeout.timed_out() {
+                        // Re-check the queue once more, then flush.
+                        if let Some(p) = pop_same_venue(&mut q) {
+                            batch.push(p);
+                        }
+                        break;
+                    }
+                }
+                true
+            }
+            Dispatch::Sharded(s) => {
+                let nshards = s.shards.len();
+                let nb = s.batchers.len();
+                let b = batcher % nb;
+                // This batcher owns shards `b, b+B, b+2B, …` — every
+                // shard has exactly one owner (for B <= N), so an active
+                // owner round-robinning its set bounds every shard's
+                // service interval even if no steal ever fires.
+                let owned = if b < nshards {
+                    (nshards - b).div_ceil(nb)
+                } else {
+                    0
+                };
+                let slot = s.batchers.get(batcher);
+                let venue = loop {
+                    // Owned shards first, entered at the rotating cursor
+                    // so a hot owned shard cannot shadow a cold one.
+                    let mut got = None;
+                    let oc = slot
+                        .map(|sl| sl.own_cursor.load(Ordering::Relaxed))
+                        .unwrap_or(0);
+                    for k in 0..owned {
+                        let idx = (oc + k) % owned;
+                        let shard = b + idx * nb;
+                        if let Some(v) = s.pop_batch_from(shard, batch, config.max_batch) {
+                            if let Some(sl) = slot {
+                                sl.own_cursor.store((idx + 1) % owned, Ordering::Relaxed);
+                            }
+                            got = Some(v);
+                            break;
+                        }
+                    }
+                    // Every owned shard is dry: steal from the rest,
+                    // again from a rotating start, so dry batchers fan
+                    // out over hot shards without re-draining the first
+                    // one they find.
+                    if got.is_none() {
+                        let sc = slot
+                            .map(|sl| sl.steal_cursor.load(Ordering::Relaxed))
+                            .unwrap_or(0);
+                        for k in 0..nshards {
+                            let shard = (sc + k) % nshards;
+                            if shard % nb == b {
+                                continue; // owned; just scanned above
+                            }
+                            if let Some(v) = s.pop_batch_from(shard, batch, config.max_batch) {
+                                stats.record_queue_steal();
+                                if let Some(sl) = slot {
+                                    sl.steal_cursor
+                                        .store((shard + 1) % nshards, Ordering::Relaxed);
+                                }
+                                got = Some(v);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(v) = got {
+                        break v;
+                    }
+                    if shutting_down() && s.depth.load(Ordering::Acquire) == 0 {
+                        return false;
+                    }
+                    // Park until an enqueue targets us (or the poll
+                    // backstop fires — same bound as every blocking wait
+                    // here). The parked flag is published before the
+                    // re-check, so an enqueue between our scan and the
+                    // park is guaranteed to either land in the re-check
+                    // or leave us an unpark token.
+                    if let Some(slot) = s.batchers.get(batcher) {
+                        slot.parked.store(true, Ordering::Release);
+                        if s.depth.load(Ordering::Acquire) > 0 || shutting_down() {
+                            slot.parked.store(false, Ordering::Release);
+                            continue;
+                        }
+                        std::thread::park_timeout(POLL_INTERVAL);
+                        slot.parked.store(false, Ordering::Release);
+                    } else {
+                        // Unregistered caller (the watchdog drain): the
+                        // plane still has depth, so spin-wait briefly for
+                        // the in-flight enqueue to land.
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                };
+                // Fill window: wait out max_wait for more same-venue
+                // arrivals, exactly like the single-queue layout — but
+                // the re-check is a front-pop on one venue FIFO, not a
+                // scan. The batch's venue lives in *its* shard even if
+                // this batcher stole it.
+                let home = shard_of(venue, nshards);
+                let flush_by = Instant::now() + config.max_wait;
+                while batch.len() < config.max_batch && !shutting_down() {
+                    let now = Instant::now();
+                    if now >= flush_by {
+                        break;
+                    }
+                    if s.pop_same_venue(home, venue, batch, config.max_batch) > 0 {
+                        continue;
+                    }
+                    if let Some(slot) = s.batchers.get(batcher) {
+                        slot.parked.store(true, Ordering::Release);
+                        if s.pop_same_venue(home, venue, batch, config.max_batch) == 0 {
+                            std::thread::park_timeout((flush_by - now).min(POLL_INTERVAL));
+                        }
+                        slot.parked.store(false, Ordering::Release);
+                    } else {
+                        std::thread::sleep((flush_by - now).min(Duration::from_micros(50)));
+                    }
+                }
+                // One last sweep so a just-arrived straggler ships now
+                // instead of paying a whole extra batch.
+                if batch.len() < config.max_batch {
+                    s.pop_same_venue(home, venue, batch, config.max_batch);
+                }
+                true
+            }
+        }
+    }
+}

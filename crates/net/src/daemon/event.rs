@@ -34,7 +34,7 @@ use crate::wire::{ErrorCode, StreamDecoder, WireError};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -52,34 +52,52 @@ const FLUSH_DEADLINE: Duration = Duration::from_secs(5);
 /// Poll granularity inside the final flush phase.
 const FLUSH_POLL: Duration = Duration::from_millis(5);
 
+/// Accepts drained per listener-readiness pass. An accept storm (a herd
+/// of clients connecting at once) used to stall the whole loop while it
+/// drained *every* pending accept — ~10µs of syscalls each — before any
+/// established connection's requests were served, which is where the
+/// idle-crowd p99 inflation lived. Level-triggered polling re-reports
+/// the listener on the next pass, so capping the drain just interleaves
+/// the remaining backlog with request handling.
+const ACCEPTS_PER_PASS: usize = 64;
+
 /// The cross-thread face of one event loop: batchers (and `shutdown`)
 /// reach the loop only through this — mark a connection dirty, wake the
 /// poller.
 pub(super) struct LoopShared {
     waker: Waker,
     /// Slab slots with freshly queued outbound bytes (or an eviction to
-    /// act on). Deduplicated on insert; drained by the loop each pass.
+    /// act on). Deduplicated by each sink's [`QueuedSink::dirty`] flag —
+    /// a producer pushes its slot at most once per loop pass, so marking
+    /// is O(1) regardless of how many replies are in flight. Drained by
+    /// the loop each pass.
     dirty: Mutex<Vec<usize>>,
+    /// A wake byte is already in the waker pipe (or this pass will pick
+    /// the work up anyway) — dedups the wake syscall under reply bursts.
+    wake_pending: AtomicBool,
 }
 
 impl LoopShared {
-    /// Nudges the loop out of `Poller::wait` (shutdown phase changes).
+    /// Nudges the loop out of `Poller::wait` (shutdown phase changes,
+    /// freshly queued replies). One pipe write per loop pass, no matter
+    /// how many producers call this.
     pub(super) fn wake(&self) {
-        self.waker.wake();
+        if !self.wake_pending.swap(true, Ordering::AcqRel) {
+            self.waker.wake();
+        }
     }
 
     fn mark_dirty(&self, slot: usize) {
-        {
-            let mut dirty = self.dirty.lock().unwrap();
-            if !dirty.contains(&slot) {
-                dirty.push(slot);
-            }
-        }
-        self.waker.wake();
+        self.dirty.lock().unwrap().push(slot);
+        self.wake();
     }
 
+    /// Swaps the dirty list out and re-arms the wake dedup: producers
+    /// pushing after this write a fresh wake byte, producers pushing
+    /// before it are in `into`.
     fn take_dirty(&self, into: &mut Vec<usize>) {
         into.clear();
+        self.wake_pending.store(false, Ordering::Release);
         std::mem::swap(&mut *self.dirty.lock().unwrap(), into);
     }
 }
@@ -91,6 +109,10 @@ pub(super) struct QueuedSink {
     owner: Arc<LoopShared>,
     slot: usize,
     cap: usize,
+    /// This sink's slot is already on the owner's dirty list. Cleared by
+    /// the loop as it drains the list, so each send is one `swap` — not
+    /// a locked `contains` scan over the list.
+    dirty: AtomicBool,
     out: Mutex<OutBuf>,
 }
 
@@ -137,7 +159,9 @@ impl QueuedSink {
                 true
             }
         };
-        self.owner.mark_dirty(self.slot);
+        if !self.dirty.swap(true, Ordering::AcqRel) {
+            self.owner.mark_dirty(self.slot);
+        }
         queued
     }
 
@@ -237,6 +261,7 @@ pub(super) fn spawn_loops(
         let loop_shared = Arc::new(LoopShared {
             waker,
             dirty: Mutex::new(Vec::new()),
+            wake_pending: AtomicBool::new(false),
         });
         loops.push(Arc::clone(&loop_shared));
         let shared = Arc::clone(shared);
@@ -302,6 +327,13 @@ fn run_loop(
         }
         ls.take_dirty(&mut dirty);
         for &slot in &dirty {
+            // Re-arm the sink's dedup *before* flushing: a reply queued
+            // mid-flush re-marks the slot instead of being stranded.
+            if let Some(conn) = conns.get_mut(slot) {
+                if let ConnWriter::Queued(sink) = &*conn.writer {
+                    sink.dirty.store(false, Ordering::Release);
+                }
+            }
             flush_slot(shared, &poller, &mut conns, slot);
         }
     }
@@ -314,7 +346,7 @@ fn accept_ready(
     conns: &mut Slab,
     ls: &Arc<LoopShared>,
 ) {
-    loop {
+    for _ in 0..ACCEPTS_PER_PASS {
         match listener.accept() {
             Ok((stream, _)) => {
                 shared
@@ -332,6 +364,7 @@ fn accept_ready(
                         owner,
                         slot,
                         cap,
+                        dirty: AtomicBool::new(false),
                         out: Mutex::new(OutBuf::default()),
                     })),
                     stream,

@@ -57,6 +57,14 @@ pub struct LoadgenConfig {
     /// Replies then smooth through the daemon's session plane and the
     /// report breaks out the per-session smoothed-vs-raw deviation.
     pub sessions: bool,
+    /// Closed-loop worker count. `0` (the default) keeps the open-loop
+    /// fully pipelined shape. `N > 0` drives the workload with `N`
+    /// synchronous workers instead — each on its own connection, sending
+    /// one request and waiting for its reply before the next — the shape
+    /// that measures contended dispatch throughput (aggregate RPS and
+    /// per-worker p99) rather than pipelined batching latency. Overrides
+    /// `connections`.
+    pub concurrency: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -72,6 +80,7 @@ impl Default for LoadgenConfig {
             zipf_s: 1.0,
             zipf_seed: 0,
             sessions: false,
+            concurrency: 0,
         }
     }
 }
@@ -187,6 +196,9 @@ pub struct LoadgenReport {
     /// Whether the run carried session ids (see
     /// [`LoadgenConfig::sessions`]).
     pub sessions_enabled: bool,
+    /// Closed-loop worker count the run was driven with (0 = open-loop
+    /// pipelined; see [`LoadgenConfig::concurrency`]).
+    pub concurrency: usize,
 }
 
 impl LoadgenReport {
@@ -222,13 +234,35 @@ impl LoadgenReport {
 
     /// Exact latency quantile `q ∈ [0, 1]` over all responses.
     pub fn latency_quantile(&self, q: f64) -> Duration {
-        if self.outcomes.is_empty() {
+        Self::quantile_of(self.outcomes.iter().map(|o| o.latency).collect(), q)
+    }
+
+    fn quantile_of(mut lat: Vec<Duration>, q: f64) -> Duration {
+        if lat.is_empty() {
             return Duration::ZERO;
         }
-        let mut lat: Vec<Duration> = self.outcomes.iter().map(|o| o.latency).collect();
         lat.sort_unstable();
         let rank = ((q.clamp(0.0, 1.0) * lat.len() as f64).ceil() as usize).max(1);
         lat[rank - 1]
+    }
+
+    /// Per-worker exact latency quantiles for a closed-loop run: worker
+    /// `w` owns requests `i % concurrency == w`. Empty for open-loop
+    /// runs.
+    pub fn per_worker_quantile(&self, q: f64) -> Vec<Duration> {
+        (0..self.concurrency)
+            .map(|w| {
+                Self::quantile_of(
+                    self.outcomes
+                        .iter()
+                        .skip(w)
+                        .step_by(self.concurrency)
+                        .map(|o| o.latency)
+                        .collect(),
+                    q,
+                )
+            })
+            .collect()
     }
 
     /// Per-session smoothed-vs-raw deviation: for every Full/Region reply
@@ -302,6 +336,15 @@ impl LoadgenReport {
             self.quality_count(2),
             self.quality_count(3),
         );
+        if self.concurrency > 0 {
+            let p99s = self.per_worker_quantile(0.99);
+            let worst = p99s.iter().copied().max().unwrap_or(Duration::ZERO);
+            out.push_str(&format!(
+                "  closed-loop: {} workers | worst per-worker p99 {:.3} ms\n",
+                self.concurrency,
+                ms(worst),
+            ));
+        }
         for (sid, n, mean) in self.session_deviations() {
             out.push_str(&format!(
                 "  session {sid}: {n} smoothed replies, raw-vs-smoothed mean {mean:.3} m\n"
@@ -328,7 +371,12 @@ pub fn run(
     requests: &[Vec<CsiReport>],
 ) -> io::Result<LoadgenReport> {
     let n = requests.len();
-    let connections = config.connections.clamp(1, n.max(1));
+    let closed_loop = config.concurrency > 0;
+    let connections = if closed_loop {
+        config.concurrency.clamp(1, n.max(1))
+    } else {
+        config.connections.clamp(1, n.max(1))
+    };
     let outcomes: Vec<Mutex<Option<RequestOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let reconnects = AtomicU64::new(0);
     // The idle herd connects before the clock starts (it models
@@ -351,9 +399,16 @@ pub fn run(
             let errors = &errors;
             let reconnects = &reconnects;
             scope.spawn(move || {
-                if let Err(e) =
-                    drive_connection(addr, config, requests, c, connections, outcomes, reconnects)
-                {
+                if let Err(e) = drive_connection(
+                    addr,
+                    config,
+                    requests,
+                    c,
+                    connections,
+                    outcomes,
+                    reconnects,
+                    closed_loop,
+                ) {
                     errors.lock().unwrap().push(e);
                 }
             });
@@ -379,6 +434,7 @@ pub fn run(
         idle_held,
         connections,
         sessions_enabled: config.sessions,
+        concurrency: if closed_loop { connections } else { 0 },
     })
 }
 
@@ -394,6 +450,7 @@ fn drive_connection(
     connections: usize,
     outcomes: &[Mutex<Option<RequestOutcome>>],
     reconnects: &AtomicU64,
+    closed_loop: bool,
 ) -> io::Result<()> {
     let all: Vec<usize> = (conn..requests.len()).step_by(connections).collect();
     if all.is_empty() {
@@ -411,7 +468,12 @@ fn drive_connection(
         if unanswered.is_empty() {
             return Ok(());
         }
-        match drive_once(addr, config, requests, &unanswered, outcomes, conn) {
+        let pass = if closed_loop {
+            drive_once_closed(addr, config, requests, &unanswered, outcomes, conn)
+        } else {
+            drive_once(addr, config, requests, &unanswered, outcomes, conn)
+        };
+        match pass {
             Ok(()) => return Ok(()),
             Err(e) if is_reconnectable(&e) && (attempt as usize) < config.max_reconnects => {
                 attempt += 1;
@@ -510,6 +572,61 @@ fn drive_once(
         }
         sender.join().expect("loadgen sender thread panicked")
     })
+}
+
+/// One closed-loop pass over `indices` on a fresh connection: send one
+/// request, wait for its reply, send the next — the synchronous-worker
+/// shape of [`LoadgenConfig::concurrency`]. Exactly one request is in
+/// flight per connection, so each reply must answer the request just
+/// sent.
+fn drive_once_closed(
+    addr: SocketAddr,
+    config: &LoadgenConfig,
+    requests: &[Vec<CsiReport>],
+    indices: &[usize],
+    outcomes: &[Mutex<Option<RequestOutcome>>],
+    conn: usize,
+) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    let mut write_half = stream.try_clone()?;
+    let picker = VenuePicker::from_config(config);
+    let session_id = if config.sessions { 1 + conn as u64 } else { 0 };
+    let mut reader = ResponseReader::new(stream);
+    let mut bytes = Vec::new();
+    for &i in indices {
+        let frame = Frame::LocateRequest(LocateRequest {
+            request_id: i as u64,
+            deadline_us: config.deadline_us,
+            venue_id: picker.pick(i as u64),
+            session_id,
+            reports: requests[i].iter().map(WireReport::from_core).collect(),
+        });
+        bytes.clear();
+        wire::encode_frame(&frame, &mut bytes);
+        let sent = Instant::now();
+        write_half.write_all(&bytes)?;
+        let response = reader.next_response()?;
+        let id = response.request_id as usize;
+        if id != i {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("closed-loop reply mismatch: sent request {i}, got reply for {id}"),
+            ));
+        }
+        let previous = outcomes[i].lock().unwrap().replace(RequestOutcome {
+            latency: sent.elapsed(),
+            reply: response.outcome,
+        });
+        if previous.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("duplicate response for request id {id}"),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Incremental frame reader over the connection's read half (shared with

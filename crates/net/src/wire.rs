@@ -693,6 +693,20 @@ pub struct ServerHealth {
     /// overflowed (a slow reader on the event-loop socket backend).
     /// Daemon-local display only; not serialized.
     pub slow_readers_evicted: u64,
+    /// Admissions that found their dispatch-shard lock held (sharded
+    /// batching plane). Daemon-local display only; not serialized.
+    pub enqueue_contention: u64,
+    /// Micro-batches stolen from a sibling dispatch shard (work stealing
+    /// in the sharded batching plane). Daemon-local display only; not
+    /// serialized.
+    pub queue_steals: u64,
+    /// High-water mark of any single dispatch shard's queue depth
+    /// (sharded batching plane). Daemon-local display only; not
+    /// serialized.
+    pub shard_depth_peak: u64,
+    /// Dispatch shards the daemon was configured with (1 = the legacy
+    /// single-queue layout). Daemon-local display only; not serialized.
+    pub queue_shards: u64,
     /// Per-venue serving counters, one record per onboarded venue
     /// (serialized after the scalar fields; new in v3).
     pub venues: Vec<VenueHealth>,
@@ -722,6 +736,16 @@ impl fmt::Display for ServerHealth {
             self.batches_formed, self.batch_size_p50, self.batch_size_max
         )?;
         writeln!(f, "  queue depth peak      {}", self.queue_depth_peak)?;
+        if self.queue_shards > 1 {
+            writeln!(
+                f,
+                "  dispatch shards       {} (shard depth peak {}, steals {}, enqueue contention {})",
+                self.queue_shards,
+                self.shard_depth_peak,
+                self.queue_steals,
+                self.enqueue_contention
+            )?;
+        }
         if self.pool_hits > 0 || self.pool_misses > 0 {
             let checkouts = self.pool_hits + self.pool_misses;
             writeln!(
@@ -1955,6 +1979,31 @@ mod tests {
             frame_to_vec(&Frame::StatsResponse(with_pool.clone()))
         );
         let bytes = frame_to_vec(&Frame::StatsResponse(with_pool));
+        assert_eq!(decode_frame(&bytes).unwrap().0, Frame::StatsResponse(base));
+    }
+
+    #[test]
+    fn dispatch_counters_are_daemon_local_not_serialized() {
+        // Same no-version-bump discipline as the pool counters: the
+        // sharded-dispatch counters must not change the wire image, and
+        // decoding zeroes them.
+        let base = ServerHealth {
+            frames_in: 7,
+            requests_ok: 5,
+            ..ServerHealth::default()
+        };
+        let with_dispatch = ServerHealth {
+            enqueue_contention: 3,
+            queue_steals: 41,
+            shard_depth_peak: 9,
+            queue_shards: 8,
+            ..base.clone()
+        };
+        assert_eq!(
+            frame_to_vec(&Frame::StatsResponse(base.clone())),
+            frame_to_vec(&Frame::StatsResponse(with_dispatch.clone()))
+        );
+        let bytes = frame_to_vec(&Frame::StatsResponse(with_dispatch));
         assert_eq!(decode_frame(&bytes).unwrap().0, Frame::StatsResponse(base));
     }
 

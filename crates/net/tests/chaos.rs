@@ -66,6 +66,8 @@ backend_tests!(
     killed_connections_resume_their_session,
     batcher_respawns_lose_no_sessions,
     sessioned_chaos_crosses_no_wires,
+    single_queue_oracle_survives_the_fault_matrix,
+    sessioned_kills_are_bit_identical_across_queue_layouts,
 );
 
 fn lab_server() -> LocalizationServer {
@@ -116,6 +118,22 @@ fn spawn_daemon(
     kill_batcher_every: u64,
     backend: SocketBackend,
 ) -> DaemonHandle {
+    spawn_daemon_with_shards(
+        plan,
+        kill_batcher_every,
+        backend,
+        DaemonConfig::default().queue_shards,
+    )
+}
+
+/// [`spawn_daemon`] with an explicit dispatch layout: `queue_shards: 1`
+/// selects the legacy single-queue oracle, `> 1` the sharded plane.
+fn spawn_daemon_with_shards(
+    plan: Option<FaultPlan>,
+    kill_batcher_every: u64,
+    backend: SocketBackend,
+    queue_shards: usize,
+) -> DaemonHandle {
     spawn(
         lab_server(),
         DaemonConfig {
@@ -124,6 +142,7 @@ fn spawn_daemon(
             fault_plan: plan,
             kill_batcher_every,
             socket_backend: backend,
+            queue_shards,
             ..DaemonConfig::default()
         },
         "127.0.0.1:0",
@@ -676,6 +695,84 @@ fn chaos_runs_are_deterministic_in_the_seed(backend: SocketBackend) {
             }
             (Err(p), Err(q)) => assert_eq!(p.code, q.code, "request {i} error diverged"),
             (p, q) => panic!("request {i}: {p:?} vs {q:?}"),
+        }
+    }
+}
+
+/// The single-queue oracle (`queue_shards: 1`) survives the full fault
+/// matrix with exactly the contract the sharded plane upholds: every
+/// class's rate-1 run verifies, and the kill knob loses nothing. Keeping
+/// the legacy layout green under chaos is what makes it a trustworthy
+/// A/B reference for the sharded plane.
+fn single_queue_oracle_survives_the_fault_matrix(backend: SocketBackend) {
+    const N: usize = 8;
+    let requests = workload(N);
+    let reference = baseline(&requests);
+    for class in nomloc_faults::FAULT_CLASSES {
+        let plan = single_class_plan(42, class);
+        let handle = spawn_daemon_with_shards(Some(plan), 0, backend, 1);
+        let config = ChaosConfig::new(plan);
+        let report = chaos::run(handle.local_addr(), &config, &requests)
+            .unwrap_or_else(|e| panic!("oracle chaos run failed under {class}: {e}"));
+        let health = handle.shutdown();
+        let summary = report
+            .verify(&config, &reference)
+            .unwrap_or_else(|v| panic!("oracle contract violated under {class}: {v:?}"));
+        assert_eq!(summary.total, N);
+        assert_eq!(summary.faulted, N, "rate-1 plan must fault everything");
+        assert_eq!(health.queue_shards, 1, "oracle layout selected");
+        assert_eq!(health.queue_steals, 0, "single queue cannot steal");
+    }
+
+    // The kill knob on the oracle: requeue-at-front on the legacy queue
+    // still answers every request bit-identically.
+    let handle = spawn_daemon_with_shards(None, 3, backend, 1);
+    let config = ChaosConfig::new(FaultPlan::disabled(3));
+    let report = chaos::run(handle.local_addr(), &config, &requests)
+        .expect("every request answered despite batcher deaths");
+    let health = handle.shutdown();
+    let summary = report
+        .verify(&config, &reference)
+        .unwrap_or_else(|v| panic!("oracle kill knob broke replies: {v:?}"));
+    assert_eq!(summary.bit_identical, N, "all replies bit-identical");
+    assert!(health.batchers_respawned > 0, "kill knob never fired");
+}
+
+/// A sessioned run under the batcher kill knob produces **bit-identical
+/// replies on both queue layouts**: a killed batcher requeues its batch
+/// at the front of the batch venue's own shard, so replay order — and
+/// therefore every session-smoothed coordinate — matches the single
+/// queue's requeue-at-front exactly. A lost, duplicated, or reordered
+/// requeue would diverge the session state and fail the comparison.
+fn sessioned_kills_are_bit_identical_across_queue_layouts(backend: SocketBackend) {
+    const N: usize = 24;
+    let requests = workload(N);
+    let reference = baseline(&requests);
+    let run = |queue_shards: usize| {
+        let handle = spawn_daemon_with_shards(None, 3, backend, queue_shards);
+        let config = sessioned_config(FaultPlan::disabled(3), 2);
+        let report = chaos::run(handle.local_addr(), &config, &requests)
+            .expect("every sessioned request answered despite batcher deaths");
+        let health = handle.shutdown();
+        let summary = report
+            .verify(&config, &reference)
+            .unwrap_or_else(|v| panic!("sessioned kill run diverged from replay: {v:?}"));
+        assert_eq!(summary.bit_identical + summary.predicted, N);
+        assert!(health.batchers_respawned > 0, "kill knob never fired");
+        assert_eq!(health.sessions_created, 2, "no session lost or forked");
+        report
+    };
+    let sharded = run(DaemonConfig::default().queue_shards);
+    let oracle = run(1);
+    for (i, (s, o)) in sharded.outcomes.iter().zip(&oracle.outcomes).enumerate() {
+        match (&s.reply, &o.reply) {
+            (Ok(p), Ok(q)) => {
+                assert_eq!(p.x.to_bits(), q.x.to_bits(), "request {i} x diverged");
+                assert_eq!(p.y.to_bits(), q.y.to_bits(), "request {i} y diverged");
+                assert_eq!(p.quality, q.quality, "request {i} quality diverged");
+            }
+            (Err(p), Err(q)) => assert_eq!(p.code, q.code, "request {i} error diverged"),
+            (p, q) => panic!("request {i} differs across layouts: {p:?} vs {q:?}"),
         }
     }
 }

@@ -19,7 +19,9 @@ use nomloc_core::{ApSite, LocalizationServer};
 use nomloc_net::wire::{
     decode_frame, frame_to_vec, LocateRequest, LocateResponse, WireReport, WireSnapshot,
 };
-use nomloc_net::{spawn, DaemonConfig, ErrorCode, Frame, SocketBackend};
+use nomloc_net::{
+    admin, spawn, DaemonConfig, ErrorCode, Frame, LoadgenConfig, SocketBackend, WireVenue,
+};
 use nomloc_rfsim::{Environment, RadioConfig, SubcarrierGrid};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,6 +57,9 @@ backend_tests!(
     protocol_error_closes_only_that_connection,
     stats_frame_reports_health,
     shutdown_drains_admitted_requests,
+    cold_venue_is_answered_under_hot_flood,
+    single_queue_oracle_upholds_the_serving_contract,
+    closed_loop_loadgen_measures_contended_dispatch,
 );
 
 /// A default config pinned to one backend.
@@ -73,12 +78,17 @@ fn lab_server() -> LocalizationServer {
 /// bursts: the pipeline skips them and solves a boundary-only region, so
 /// it is the cheapest possible admissible request — ideal for flooding.
 fn cheap_request(request_id: u64, deadline_us: u32) -> Vec<u8> {
+    cheap_request_for(request_id, 0, deadline_us)
+}
+
+/// [`cheap_request`] aimed at a specific venue.
+fn cheap_request_for(request_id: u64, venue_id: u64, deadline_us: u32) -> Vec<u8> {
     let venue = Venue::lab();
     let ap = venue.static_deployment()[0];
     frame_to_vec(&Frame::LocateRequest(LocateRequest {
         request_id,
         deadline_us,
-        venue_id: 0,
+        venue_id,
         session_id: 0,
         reports: vec![WireReport {
             ap: 1,
@@ -506,4 +516,194 @@ fn slow_reader_is_evicted_without_stalling_loop_mates() {
 
     let health = handle.shutdown();
     assert_eq!(health.slow_readers_evicted, 1, "health mirrors: {health}");
+}
+
+/// Fairness under work stealing: while one venue floods the plane with a
+/// sustained hot backlog, a single request for a cold venue is still
+/// answered within a bounded number of batches. The per-shard per-venue
+/// round-robin (and the batcher's round-robin over its owned shards)
+/// guarantees the cold venue's turn comes after at most a few batches; a
+/// FIFO queue would drain the entire hot backlog first. The throttle
+/// makes the two outcomes cleanly separable: draining 160 hot requests
+/// at 8 per 25 ms-paused batch takes ≥ 500 ms, while a fair plane
+/// answers the cold request in a handful of batch pauses.
+fn cold_venue_is_answered_under_hot_flood(backend: SocketBackend) {
+    const HOT: usize = 160;
+    const COLD_VENUE: u64 = 7;
+    let handle = spawn(
+        lab_server(),
+        DaemonConfig {
+            acceptors: 1,
+            batchers: 1,
+            max_batch: 8,
+            max_wait: Duration::ZERO,
+            queue_capacity: 4096,
+            batch_pause: Duration::from_millis(25),
+            ..config(backend)
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn daemon");
+    admin::onboard(
+        handle.local_addr(),
+        &WireVenue::from_venue(COLD_VENUE, &Venue::lab()),
+    )
+    .expect("onboard cold venue");
+
+    // Conn A floods the hot venue in one pipelined blob.
+    let mut hot = TcpStream::connect(handle.local_addr()).expect("connect hot");
+    hot.set_nodelay(true).unwrap();
+    hot.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut blob = Vec::new();
+    for id in 0..HOT as u64 {
+        blob.extend_from_slice(&cheap_request(id, 0));
+    }
+    hot.write_all(&blob).expect("flood hot venue");
+
+    // Wait until the backlog is actually admitted — the fairness claim
+    // is about a cold request *behind* a standing hot queue.
+    let admitted = Instant::now();
+    while (handle.health().requests_enqueued as usize) < HOT {
+        assert!(
+            admitted.elapsed() < Duration::from_secs(10),
+            "hot flood was never admitted"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Conn B sends one cold-venue request and times the answer.
+    let mut cold = TcpStream::connect(handle.local_addr()).expect("connect cold");
+    cold.set_nodelay(true).unwrap();
+    cold.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let sent = Instant::now();
+    cold.write_all(&cheap_request_for(9_999, COLD_VENUE, 0))
+        .unwrap();
+    let replies = read_responses(&mut cold, 1);
+    let waited = sent.elapsed();
+    assert_eq!(replies[0].request_id, 9_999);
+    assert!(
+        replies[0].outcome.is_ok(),
+        "cold venue request failed: {:?}",
+        replies[0].outcome
+    );
+    assert!(
+        waited < Duration::from_millis(300),
+        "cold venue starved behind the hot flood: answered after {waited:?} \
+         (full hot drain takes ≥ 500 ms)"
+    );
+
+    // The hot flood still completes in full.
+    let responses = read_responses(&mut hot, HOT);
+    assert_eq!(responses.len(), HOT);
+    let health = handle.shutdown();
+    assert_eq!(health.rejected_overload, 0, "{health}");
+    assert_eq!(
+        health.requests_ok + health.requests_failed,
+        (HOT + 1) as u64,
+        "every admitted request is answered: {health}"
+    );
+}
+
+/// The legacy single-queue layout (`queue_shards: 1`) stays available as
+/// the A/B correctness oracle and upholds the same serving contract:
+/// every request answered, overload explicit, depth bounded by capacity
+/// — with the sharded plane's counters pinned at zero (one queue has
+/// nothing to steal from and no shard locks to contend).
+fn single_queue_oracle_upholds_the_serving_contract(backend: SocketBackend) {
+    let handle = spawn(
+        lab_server(),
+        DaemonConfig {
+            acceptors: 1,
+            batchers: 2,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 4,
+            queue_shards: 1,
+            batch_pause: Duration::from_millis(25),
+            ..config(backend)
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn daemon");
+
+    const FLOOD: usize = 48;
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut blob = Vec::new();
+    for id in 0..FLOOD as u64 {
+        blob.extend_from_slice(&cheap_request(id, 0));
+    }
+    stream.write_all(&blob).expect("flood the daemon");
+
+    let responses = read_responses(&mut stream, FLOOD);
+    let overloaded = responses
+        .iter()
+        .filter(|r| matches!(&r.outcome, Err(e) if e.code == ErrorCode::Overloaded))
+        .count();
+    let solved = responses.iter().filter(|r| r.outcome.is_ok()).count();
+    assert!(overloaded > 0, "no Overloaded replies in {responses:?}");
+    assert!(solved > 0, "no request was solved at all");
+    assert_eq!(overloaded + solved, FLOOD, "every request gets an answer");
+
+    let health = handle.shutdown();
+    assert_eq!(health.rejected_overload, overloaded as u64);
+    assert!(
+        health.queue_depth_peak <= 4,
+        "queue depth {} exceeded the capacity of 4",
+        health.queue_depth_peak
+    );
+    assert_eq!(health.queue_shards, 1, "{health}");
+    assert_eq!(health.queue_steals, 0, "single queue cannot steal");
+    assert_eq!(
+        health.enqueue_contention, 0,
+        "single queue takes the blocking lock, never a try_lock miss"
+    );
+}
+
+/// Closed-loop loadgen smoke: `concurrency: N` drives N synchronous
+/// workers (send-one-wait-one, each on its own connection) against the
+/// sharded plane, every request is answered with a strict reply-id
+/// match, and the report carries per-worker latency quantiles.
+fn closed_loop_loadgen_measures_contended_dispatch(backend: SocketBackend) {
+    let venue = Venue::lab();
+    let handle = spawn(
+        lab_server(),
+        DaemonConfig {
+            acceptors: 1,
+            batchers: 2,
+            max_batch: 8,
+            max_wait: Duration::ZERO,
+            ..config(backend)
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn daemon");
+
+    const N: usize = 12;
+    let requests: Vec<_> = (0..N as u64).map(|i| real_reports(&venue, i)).collect();
+    let report = nomloc_net::loadgen::run(
+        handle.local_addr(),
+        &LoadgenConfig {
+            concurrency: 4,
+            ..LoadgenConfig::default()
+        },
+        &requests,
+    )
+    .expect("closed-loop run");
+
+    assert_eq!(report.ok_count(), N, "every request answered ok");
+    assert_eq!(report.concurrency, 4);
+    assert_eq!(report.connections, 4, "one connection per worker");
+    let per_worker = report.per_worker_quantile(0.99);
+    assert_eq!(per_worker.len(), 4, "one p99 per worker");
+    assert!(per_worker.iter().all(|d| *d > Duration::ZERO));
+
+    let counters = handle.stats_snapshot().counters;
+    assert_eq!(
+        counters.batches_mixed, 0,
+        "venue-homogeneous by construction"
+    );
+    let health = handle.shutdown();
+    assert_eq!(health.requests_ok, N as u64, "{health}");
 }

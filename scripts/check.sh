@@ -68,6 +68,28 @@ if [[ "$mv_total" != "400" ]]; then
   exit 1
 fi
 
+echo "==> contended-dispatch smoke: 8 closed-loop workers over 100 zipf venues"
+cd_out="$(cargo run --release -p nomloc-cli --bin nomloc --offline -- \
+  loadgen --requests 400 --packets 2 --venues 100 --zipf 1.0 --concurrency 8)"
+echo "$cd_out" | grep -E "closed-loop|venue batching"
+if ! echo "$cd_out" | grep -q "closed-loop: 8 workers"; then
+  echo "error: closed-loop run did not report its worker pool" >&2
+  exit 1
+fi
+# The sharded plane must keep every micro-batch venue-homogeneous even
+# under contended dispatch across 101 live venues.
+if ! echo "$cd_out" | grep -q ", 0 mixed"; then
+  echo "error: contended dispatch produced mixed batches" >&2
+  exit 1
+fi
+# Every driven request lands on exactly one venue counter.
+cd_total="$(echo "$cd_out" | sed -n 's/^ *venue [0-9][0-9]* *req \([0-9]*\).*/\1/p' |
+  awk '{s+=$1} END {print s+0}')"
+if [[ "$cd_total" != "400" ]]; then
+  echo "error: per-venue request counters sum to ${cd_total}, expected 400" >&2
+  exit 1
+fi
+
 echo "==> serving benchmark (quick): BENCH_serving.json present and well-formed"
 # Capture the committed PDP stage cost *before* the quick run overwrites
 # the file — it is the baseline for the regression guard below.
@@ -78,7 +100,7 @@ if [[ ! -s BENCH_serving.json ]]; then
   echo "error: BENCH_serving.json missing or empty" >&2
   exit 1
 fi
-for key in stages fft pdp_64 pdp_batched encode end_to_end speedup decode_ns_per_request soak venues sessions; do
+for key in stages fft pdp_64 pdp_batched encode end_to_end speedup decode_ns_per_request soak venues dispatch sessions; do
   if ! grep -q "\"$key\"" BENCH_serving.json; then
     echo "error: BENCH_serving.json malformed — missing key \"$key\"" >&2
     exit 1
@@ -102,6 +124,68 @@ else
     exit (new > limit) ? 1 : 0
   }' || {
     echo "error: PDP stage regressed >25% vs committed baseline" >&2
+    exit 1
+  }
+fi
+
+echo "==> dispatch regression guard (quick run vs committed BENCH_serving.json)"
+# The 100-venue entry is the last element of the "dispatch" array: the
+# contended regime where the sharded plane must beat the single-queue
+# oracle. Two gates: absolute (sharded must stay ahead of the oracle by a
+# real margin) and relative (sharded ns/request must not regress vs the
+# committed baseline, same discipline as the PDP stage guard).
+committed_disp="$(git show HEAD:BENCH_serving.json 2>/dev/null |
+  sed -n 's/.*"sharded_ns_per_request"[[:space:]]*:[[:space:]]*\([0-9.]*\).*/\1/p' |
+  tail -1)"
+new_disp="$(sed -n 's/.*"sharded_ns_per_request"[[:space:]]*:[[:space:]]*\([0-9.]*\).*/\1/p' \
+  BENCH_serving.json | tail -1)"
+new_improvement="$(sed -n 's/.*"improvement_pct"[[:space:]]*:[[:space:]]*\(-\{0,1\}[0-9.]*\).*/\1/p' \
+  BENCH_serving.json | tail -1)"
+if [[ -z "$new_disp" || -z "$new_improvement" ]]; then
+  echo "error: dispatch section missing from fresh BENCH_serving.json" >&2
+  exit 1
+fi
+awk -v imp="$new_improvement" 'BEGIN {
+  printf "    dispatch improvement at 100 venues: %+.1f%% (floor +10%%)\n", imp
+  exit (imp < 10.0) ? 1 : 0
+}' || {
+  echo "error: sharded dispatch no longer beats the single-queue oracle by >=10%" >&2
+  exit 1
+}
+if [[ -z "$committed_disp" ]]; then
+  echo "    no committed dispatch baseline (new section?) — skipping relative gate"
+else
+  # Wider margin than the PDP stage guard: the contended-dispatch regime
+  # (deep backlog, 8 connections racing 2 batchers) is inherently noisier
+  # per quick-mode run than an in-process microbench. The +10% improvement
+  # floor above is the load-bearing gate; this one only catches gross
+  # regressions of the sharded plane itself.
+  awk -v new="$new_disp" -v old="$committed_disp" 'BEGIN {
+    limit = old * 1.5
+    printf "    sharded_ns_per_request: %.1f (committed %.1f, limit %.1f)\n", new, old, limit
+    exit (new > limit) ? 1 : 0
+  }' || {
+    echo "error: sharded dispatch regressed >50% vs committed baseline" >&2
+    exit 1
+  }
+fi
+
+echo "==> idle-crowd p99 guard (soak idle_p99_ratio)"
+# Satellite of the dispatch PR: with bounded accept draining and O(1)
+# dirty-marking, an idle herd may no longer multiply active p99 by more
+# than this. Before the fix the ratio ran >3x and unbounded with crowd
+# size; the gate holds the line well under the old failure mode while
+# absorbing quick-mode noise.
+idle_ratio="$(sed -n 's/.*"idle_p99_ratio"[[:space:]]*:[[:space:]]*\([0-9.]*\).*/\1/p' \
+  BENCH_serving.json | head -1)"
+if [[ -z "$idle_ratio" ]]; then
+  echo "    soak skipped (no nomloc binary) — skipping ratio gate"
+else
+  awk -v r="$idle_ratio" 'BEGIN {
+    printf "    idle_p99_ratio: %.2fx (limit 4.50x)\n", r
+    exit (r > 4.5) ? 1 : 0
+  }' || {
+    echo "error: idle crowd inflates active p99 beyond 4.5x" >&2
     exit 1
   }
 fi
